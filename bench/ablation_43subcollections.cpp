@@ -1,0 +1,63 @@
+// Robustness study: 43 uneven subcollections (Section 4, Effectiveness).
+//
+// "We also examined effectiveness when TREC disk two is broken into 43
+// subcollections ... The impact on effectiveness was surprisingly
+// small." This bench re-splits the corpus into increasing numbers of
+// uneven subcollections and evaluates CN (the methodology whose local
+// statistics are most exposed to small, topical collections) against
+// the 4-way split and the mono-server baseline.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace teraphim;
+
+namespace {
+
+eval::EffectivenessSummary evaluate(dir::Federation& fed) {
+    const auto& corpus = bench::shared_corpus();
+    return eval::evaluate_run(corpus.short_queries, corpus.judgments,
+                              [&](const eval::TestQuery& q) {
+                                  return fed.ranked_ids(fed.receptionist().rank(q.text, 1000));
+                              });
+}
+
+}  // namespace
+
+int main() {
+    const auto& corpus = bench::shared_corpus();
+
+    std::printf("Robustness: CN effectiveness as the collection fragments (short queries)\n");
+    bench::print_rule(80);
+    std::printf("  %-24s %12s %16s %14s\n", "split", "librarians", "11-pt avg (%)",
+                "rel. top20");
+    bench::print_rule(80);
+
+    {
+        auto ms = dir::Federation::create(corpus, bench::mode_options(dir::Mode::MonoServer));
+        const auto s = evaluate(ms);
+        std::printf("  %-24s %12d %16.2f %14.1f\n", "mono-server", 1,
+                    100.0 * s.mean_eleven_pt, s.mean_relevant_in_top20);
+    }
+    {
+        auto cn4 = dir::Federation::create(corpus, bench::mode_options(dir::Mode::CentralNothing));
+        const auto s = evaluate(cn4);
+        std::printf("  %-24s %12d %16.2f %14.1f\n", "CN, 4 subcollections", 4,
+                    100.0 * s.mean_eleven_pt, s.mean_relevant_in_top20);
+    }
+    for (std::size_t n : {8u, 16u, 43u}) {
+        const auto parts = corpus::resplit(corpus, n, /*seed=*/1998);
+        auto fed = dir::Federation::create(parts, bench::mode_options(dir::Mode::CentralNothing));
+        const auto s = evaluate(fed);
+        char label[64];
+        std::snprintf(label, sizeof label, "CN, %zu uneven subcolls", n);
+        std::printf("  %-24s %12zu %16.2f %14.1f\n", label, n, 100.0 * s.mean_eleven_pt,
+                    s.mean_relevant_in_top20);
+    }
+    bench::print_rule(80);
+    std::printf(
+        "\nExpected shape: effectiveness at 43 subcollections 'only marginally\n"
+        "poorer' than the 4-way split — larger fragments keep term statistics\n"
+        "reliable, though the paper warns CN is the least robust methodology.\n");
+    return 0;
+}

@@ -1,0 +1,114 @@
+// Shared workload definitions for the paper-table benches.
+//
+// Every table binary builds the same synthetic stand-in for TREC disk
+// two (see DESIGN.md §4): four subcollections whose relative sizes match
+// the real AP/WSJ/FR/ZIFF split, long and short query sets, and ground-
+// truth judgments. Timing benches additionally price traces with a cost
+// model whose workload_scale maps the synthetic corpus onto the paper's
+// ~231k-document collection, so simulated seconds land in the same
+// regime as Tables 3-4.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "dir/deployment.h"
+#include "eval/queryset.h"
+#include "sim/cost_model.h"
+#include "util/timer.h"
+
+namespace teraphim::bench {
+
+/// TREC disk 2 document counts (AP 79,919; WSJ 74,520; FR 19,860;
+/// ZIFF 56,920): the synthetic corpus keeps the same proportions.
+constexpr double kPaperDocuments = 231219.0;
+
+inline corpus::CorpusConfig paper_corpus_config() {
+    corpus::CorpusConfig config;
+    config.vocab_size = 24000;
+    // Proportional to the real disk 2 split (AP 80k, WSJ 75k, FR 20k,
+    // ZIFF 57k documents).
+    config.subcollections = {
+        {"AP", 20800, 200.0, 0.45},
+        {"WSJ", 19400, 190.0, 0.45},
+        {"FR", 5200, 280.0, 0.6},
+        {"ZIFF", 14800, 150.0, 0.5},
+    };
+    config.num_long_topics = 20;
+    config.num_short_topics = 20;
+    config.seed = 19980406;  // ICDCS'98
+    return config;
+}
+
+/// The corpus is built once per binary (it is deterministic anyway).
+inline const corpus::SyntheticCorpus& shared_corpus() {
+    static const corpus::SyntheticCorpus corpus = [] {
+        util::Timer timer;
+        std::printf("# generating synthetic TREC-disk-2 stand-in ... ");
+        std::fflush(stdout);
+        auto c = corpus::generate_corpus(paper_corpus_config());
+        std::printf("done (%.1fs, %u documents)\n", timer.elapsed_seconds(),
+                    c.total_documents());
+        return c;
+    }();
+    return corpus;
+}
+
+/// Cost model calibrated for mid-90s hardware, with index work scaled to
+/// the paper's collection size (document-count ratio; a first-order
+/// estimate used where no measured anchor is available).
+inline sim::CostModel paper_cost_model() {
+    sim::CostModel model;
+    model.workload_scale = kPaperDocuments / shared_corpus().total_documents();
+    return model;
+}
+
+/// Calibrates workload_scale so the simulated mono-server mono-disk
+/// index phase reproduces the paper's own measured baseline (Table 3:
+/// MS = 1.07 s/query on short queries). The authors' exact 1996 hardware
+/// and term statistics cannot be reconstructed, so the paper's MS cell
+/// anchors the scale; every *other* cell is then a model prediction and
+/// the comparison target. `ms_traces` are traces of the MS system (one
+/// librarian).
+inline sim::CostModel calibrated_cost_model(const std::vector<dir::QueryTrace>& ms_traces,
+                                            double target_seconds = 1.07) {
+    sim::CostModel model;
+    const auto spec = sim::mono_disk_topology(1);
+    const auto mean_for = [&](double scale) {
+        model.workload_scale = scale;
+        double total = 0.0;
+        for (const auto& t : ms_traces) {
+            total += dir::simulate_query(t, spec, model).index_seconds;
+        }
+        return total / static_cast<double>(ms_traces.size());
+    };
+    double hi = 1.0;
+    while (mean_for(hi) < target_seconds && hi < 1e6) hi *= 2.0;
+    double lo = 0.0;
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = (lo + hi) / 2.0;
+        (mean_for(mid) < target_seconds ? lo : hi) = mid;
+    }
+    model.workload_scale = (lo + hi) / 2.0;
+    return model;
+}
+
+inline dir::ReceptionistOptions mode_options(dir::Mode mode, std::uint32_t k_prime = 100) {
+    dir::ReceptionistOptions o;
+    o.mode = mode;
+    o.answers = 20;  // k = 20 throughout the paper's tables
+    o.group_size = 10;
+    o.k_prime = k_prime;
+    o.use_skips = false;   // the paper's as-run configuration
+    o.bundle_fetch = false;  // documents were transferred individually
+    return o;
+}
+
+inline void print_rule(int width = 72) {
+    for (int i = 0; i < width; ++i) std::putchar('-');
+    std::putchar('\n');
+}
+
+}  // namespace teraphim::bench

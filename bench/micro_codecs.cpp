@@ -1,0 +1,102 @@
+// Micro benchmarks: integer codecs and Huffman coding throughput.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "compress/codecs.h"
+#include "compress/huffman.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace teraphim;
+using namespace teraphim::compress;
+
+std::vector<std::uint64_t> gap_values(std::size_t n, std::uint64_t max_gap) {
+    util::Rng rng(42);
+    std::vector<std::uint64_t> values(n);
+    for (auto& v : values) v = 1 + rng.below(max_gap);
+    return values;
+}
+
+void BM_GammaEncode(benchmark::State& state) {
+    const auto values = gap_values(10000, 1000);
+    for (auto _ : state) {
+        BitWriter w;
+        for (auto v : values) write_gamma(w, v);
+        benchmark::DoNotOptimize(w.bit_count());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_GammaEncode);
+
+void BM_GammaDecode(benchmark::State& state) {
+    const auto values = gap_values(10000, 1000);
+    BitWriter w;
+    for (auto v : values) write_gamma(w, v);
+    const auto bytes = w.take();
+    for (auto _ : state) {
+        BitReader r(bytes);
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < values.size(); ++i) sum += read_gamma(r);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_GammaDecode);
+
+void BM_GolombDecode(benchmark::State& state) {
+    const std::uint64_t b = static_cast<std::uint64_t>(state.range(0));
+    const auto values = gap_values(10000, 4 * b);
+    BitWriter w;
+    for (auto v : values) write_golomb(w, v, b);
+    const auto bytes = w.take();
+    for (auto _ : state) {
+        BitReader r(bytes);
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < values.size(); ++i) sum += read_golomb(r, b);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_GolombDecode)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_VByteDecode(benchmark::State& state) {
+    const auto values = gap_values(10000, 1u << 20);
+    BitWriter w;
+    for (auto v : values) write_vbyte(w, v);
+    const auto bytes = w.take();
+    for (auto _ : state) {
+        BitReader r(bytes);
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < values.size(); ++i) sum += read_vbyte(r);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_VByteDecode);
+
+void BM_HuffmanDecode(benchmark::State& state) {
+    util::Rng rng(7);
+    const std::size_t alphabet = static_cast<std::size_t>(state.range(0));
+    std::vector<std::uint64_t> freqs(alphabet);
+    for (std::size_t i = 0; i < alphabet; ++i) freqs[i] = 1 + (1000000 / (i + 1));
+    const HuffmanCode code = HuffmanCode::from_frequencies(freqs);
+
+    std::vector<std::uint32_t> symbols(10000);
+    for (auto& s : symbols) s = static_cast<std::uint32_t>(rng.below(alphabet));
+    BitWriter w;
+    for (auto s : symbols) code.encode(w, s);
+    const auto bytes = w.take();
+
+    for (auto _ : state) {
+        BitReader r(bytes);
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < symbols.size(); ++i) sum += code.decode(r);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_HuffmanDecode)->Arg(256)->Arg(65536);
+
+}  // namespace

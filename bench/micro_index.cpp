@@ -1,0 +1,89 @@
+// Micro benchmarks: index construction, postings iteration and skipped
+// seeks.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "index/builder.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace teraphim;
+using namespace teraphim::index;
+
+std::vector<std::vector<std::string>> synthetic_docs(std::size_t docs, std::size_t terms,
+                                                     std::size_t vocab) {
+    util::Rng rng(11);
+    std::vector<std::vector<std::string>> out(docs);
+    for (auto& d : out) {
+        d.reserve(terms);
+        for (std::size_t i = 0; i < terms; ++i) {
+            d.push_back("w" + std::to_string(rng.below(vocab)));
+        }
+    }
+    return out;
+}
+
+void BM_IndexBuild(benchmark::State& state) {
+    const auto docs = synthetic_docs(static_cast<std::size_t>(state.range(0)), 60, 5000);
+    for (auto _ : state) {
+        IndexBuilder builder;
+        for (const auto& d : docs) builder.add_document(d);
+        const InvertedIndex idx = std::move(builder).build();
+        benchmark::DoNotOptimize(idx.num_terms());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_IndexBuild)->Arg(1000)->Arg(5000);
+
+const InvertedIndex& big_index() {
+    // Small vocabulary -> long postings lists (~2400 entries), so the
+    // seek benchmark actually has something to skip over.
+    static const InvertedIndex idx = [] {
+        const auto docs = synthetic_docs(20000, 60, 500);
+        IndexBuilder builder;
+        for (const auto& d : docs) builder.add_document(d);
+        return std::move(builder).build();
+    }();
+    return idx;
+}
+
+void BM_PostingsScan(benchmark::State& state) {
+    const auto& idx = big_index();
+    const auto id = idx.vocabulary().lookup("w1");
+    const PostingsList& list = idx.postings(*id);
+    for (auto _ : state) {
+        std::uint64_t sum = 0;
+        for (PostingsCursor cur(list, false); !cur.at_end(); cur.next()) sum += cur.fdt();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * list.count());
+}
+BENCHMARK(BM_PostingsScan);
+
+void BM_PostingsSeek(benchmark::State& state) {
+    const bool use_skips = state.range(0) != 0;
+    const auto& idx = big_index();
+    const auto id = idx.vocabulary().lookup("w1");
+    const PostingsList& list = idx.postings(*id);
+    util::Rng rng(13);
+    std::vector<std::uint32_t> targets;
+    for (int i = 0; i < 64; ++i) targets.push_back(static_cast<std::uint32_t>(rng.below(20000)));
+    std::sort(targets.begin(), targets.end());
+    for (auto _ : state) {
+        PostingsCursor cur(list, use_skips);
+        std::uint64_t hits = 0;
+        for (auto t : targets) {
+            if (cur.seek(t)) ++hits;
+            if (cur.at_end()) break;
+        }
+        benchmark::DoNotOptimize(hits);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_PostingsSeek)->Arg(0)->Arg(1);
+
+}  // namespace

@@ -1,0 +1,92 @@
+// Micro benchmarks: ranked query evaluation and candidate scoring.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "index/builder.h"
+#include "rank/candidate_scorer.h"
+#include "rank/query_processor.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace teraphim;
+
+const index::InvertedIndex& collection() {
+    static const index::InvertedIndex idx = [] {
+        util::Rng rng(17);
+        index::IndexBuilder builder;
+        std::vector<std::string> terms;
+        for (int d = 0; d < 20000; ++d) {
+            terms.clear();
+            for (int i = 0; i < 50; ++i) terms.push_back("w" + std::to_string(rng.below(8000)));
+            builder.add_document(terms);
+        }
+        return std::move(builder).build();
+    }();
+    return idx;
+}
+
+rank::Query make_query(int num_terms) {
+    rank::Query q;
+    for (int i = 0; i < num_terms; ++i) q.terms.push_back({"w" + std::to_string(i * 37), 1});
+    return q;
+}
+
+void BM_RankedQuery(benchmark::State& state) {
+    const auto& idx = collection();
+    rank::QueryProcessor qp(idx, rank::cosine_log_tf());
+    const auto q = make_query(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        const auto results = qp.rank(q, 20);
+        benchmark::DoNotOptimize(results.size());
+    }
+}
+BENCHMARK(BM_RankedQuery)->Arg(2)->Arg(10)->Arg(90);
+
+void BM_CandidateScoring(benchmark::State& state) {
+    const bool use_skips = state.range(1) != 0;
+    const auto& idx = collection();
+    rank::QueryProcessor qp(idx, rank::cosine_log_tf());
+    const auto q = make_query(10);
+    const auto weights = qp.resolve_weights(q);
+    const double norm = rank::query_norm(weights);
+
+    util::Rng rng(19);
+    std::vector<std::uint32_t> candidates;
+    std::unordered_set<std::uint32_t> seen;
+    while (candidates.size() < static_cast<std::size_t>(state.range(0))) {
+        const auto d = static_cast<std::uint32_t>(rng.below(idx.num_documents()));
+        if (seen.insert(d).second) candidates.push_back(d);
+    }
+    std::sort(candidates.begin(), candidates.end());
+
+    for (auto _ : state) {
+        const auto scored = rank::score_candidates(idx, rank::cosine_log_tf(), weights, norm,
+                                                   candidates, use_skips);
+        benchmark::DoNotOptimize(scored.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_CandidateScoring)
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1});
+
+void BM_TopKSelection(benchmark::State& state) {
+    util::Rng rng(23);
+    std::vector<double> accumulators(100000);
+    for (auto& a : accumulators) a = rng.uniform();
+    for (auto _ : state) {
+        const auto top = rank::top_k_from_accumulators(accumulators, 20);
+        benchmark::DoNotOptimize(top.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_TopKSelection);
+
+}  // namespace

@@ -1,0 +1,120 @@
+// Resource usage and storage accounting (Section 4, Analysis, and the
+// paper's third evaluation criterion).
+//
+// Response time measures the delay one user sees; resource usage bounds
+// the throughput of a loaded system. This bench reports, per
+// methodology: total postings processed per query (across every party),
+// network traffic, message counts, receptionist storage (the paper:
+// merged vocabularies "less than 10 Mb for the gigabyte of text", the
+// central index "around 40 Mb"), and the effect of the two transmission
+// optimisations discussed in the Analysis — compressed documents and
+// bundled fetches.
+#include <cstdio>
+
+#include "util/strings.h"
+#include "bench_common.h"
+
+using namespace teraphim;
+
+namespace {
+
+struct Usage {
+    double postings = 0;
+    double bytes = 0;
+    double messages = 0;
+    double participants = 0;
+    double fetch_bytes = 0;
+};
+
+Usage measure(dir::Federation& fed) {
+    const auto& corpus = bench::shared_corpus();
+    Usage u;
+    for (const auto& q : corpus.short_queries.queries) {
+        const auto answer = fed.receptionist().search(q.text);
+        const auto& t = answer.trace;
+        u.postings += static_cast<double>(t.total_postings_decoded());
+        u.bytes += static_cast<double>(t.total_message_bytes());
+        u.messages += static_cast<double>(t.total_messages());
+        u.participants += static_cast<double>(t.participating_librarians());
+        for (const auto& f : t.fetch_phase) u.fetch_bytes += static_cast<double>(f.payload_bytes);
+    }
+    const auto n = static_cast<double>(corpus.short_queries.size());
+    u.postings /= n;
+    u.bytes /= n;
+    u.messages /= n;
+    u.participants /= n;
+    u.fetch_bytes /= n;
+    return u;
+}
+
+}  // namespace
+
+int main() {
+    const auto& corpus = bench::shared_corpus();
+
+    std::printf("Resource usage per query (short queries, k=20, k'=100)\n");
+    bench::print_rule(100);
+    std::printf("  %-6s %14s %14s %10s %12s %16s %18s\n", "Mode", "postings", "msg bytes",
+                "msgs", "librarians", "fetch bytes", "recept. storage");
+    bench::print_rule(100);
+
+    for (dir::Mode mode : {dir::Mode::MonoServer, dir::Mode::CentralNothing,
+                           dir::Mode::CentralVocabulary, dir::Mode::CentralIndex}) {
+        auto fed = dir::Federation::create(corpus, bench::mode_options(mode));
+        const Usage u = measure(fed);
+        std::printf("  %-6s %14.0f %14.0f %10.1f %12.1f %16.0f %18s\n",
+                    std::string(dir::mode_name(mode)).c_str(), u.postings, u.bytes,
+                    u.messages, u.participants, u.fetch_bytes,
+                    util::format_bytes(fed.receptionist().global_state_bytes()).c_str());
+    }
+    bench::print_rule(100);
+
+    // --- Transmission optimisations -----------------------------------
+    std::printf("\nDocument transmission options (CV, WAN-relevant costs per query):\n");
+    bench::print_rule(84);
+    std::printf("  %-34s %16s %16s\n", "configuration", "fetch bytes", "fetch messages");
+    bench::print_rule(84);
+    struct Option {
+        const char* label;
+        bool compressed;
+        bool bundled;
+    };
+    for (const Option opt : {Option{"individual, uncompressed", false, false},
+                             Option{"individual, compressed", true, false},
+                             Option{"bundled, uncompressed", false, true},
+                             Option{"bundled, compressed", true, true}}) {
+        auto o = bench::mode_options(dir::Mode::CentralVocabulary);
+        o.compressed_fetch = opt.compressed;
+        o.bundle_fetch = opt.bundled;
+        auto fed = dir::Federation::create(corpus, o);
+        double bytes = 0, messages = 0;
+        for (const auto& q : corpus.short_queries.queries) {
+            const auto answer = fed.receptionist().search(q.text);
+            for (const auto& f : answer.trace.fetch_phase) {
+                bytes += static_cast<double>(f.payload_bytes);
+                messages += static_cast<double>(f.messages);
+            }
+        }
+        const auto n = static_cast<double>(corpus.short_queries.size());
+        std::printf("  %-34s %16.0f %16.1f\n", opt.label, bytes / n, messages / n);
+    }
+    bench::print_rule(84);
+
+    // --- Index storage across the federation ---------------------------
+    auto cn = dir::Federation::create(corpus, bench::mode_options(dir::Mode::CentralNothing));
+    const auto combined = cn.combined_index_stats();
+    std::uint64_t raw = 0, stored = 0;
+    for (std::size_t s = 0; s < cn.num_librarians(); ++s) {
+        raw += cn.librarian(s).store().total_raw_bytes();
+        stored += cn.librarian(s).store().total_compressed_bytes();
+    }
+    std::printf("\nStorage: text %s raw -> %s compressed; combined librarian index %s\n",
+                util::format_bytes(raw).c_str(), util::format_bytes(stored).c_str(),
+                util::format_bytes(combined.total_bytes()).c_str());
+    std::printf(
+        "\nExpected shape: every federated mode processes more postings in total\n"
+        "than MS (each librarian re-fetches its own, shorter, lists); CV adds a\n"
+        "modest vocabulary at the receptionist; CI adds a grouped index several\n"
+        "times larger; compression + bundling cut fetch traffic and round trips.\n");
+    return 0;
+}

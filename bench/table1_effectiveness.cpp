@@ -1,0 +1,70 @@
+// Reproduces Table 1: retrieval effectiveness of MS/CV, CN, and CI
+// (k' = 100 and k' = 1000) on the long and short query sets — 11-point
+// average recall-precision at 1000 documents retrieved, and the average
+// number of relevant documents in the top 20.
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace teraphim;
+
+namespace {
+
+struct Row {
+    std::string label;
+    eval::EffectivenessSummary summary;
+};
+
+eval::EffectivenessSummary evaluate(dir::Federation& fed, const eval::QuerySet& queries) {
+    return eval::evaluate_run(queries, bench::shared_corpus().judgments,
+                              [&](const eval::TestQuery& q) {
+                                  return fed.ranked_ids(fed.receptionist().rank(q.text, 1000));
+                              });
+}
+
+void print_block(const char* title, const std::vector<Row>& rows) {
+    std::printf("%s\n", title);
+    for (const auto& row : rows) {
+        std::printf("  %-14s %13.2f %14.1f\n", row.label.c_str(),
+                    100.0 * row.summary.mean_eleven_pt,
+                    row.summary.mean_relevant_in_top20);
+    }
+}
+
+}  // namespace
+
+int main() {
+    const auto& corpus = bench::shared_corpus();
+
+    std::printf("Table 1: Retrieval effectiveness (paper: de Kretser et al., ICDCS'98)\n");
+    bench::print_rule();
+    std::printf("  %-14s %13s %14s\n", "Mode", "11-pt avg (%)", "rel. in top20");
+    bench::print_rule();
+
+    auto ms = dir::Federation::create(corpus, bench::mode_options(dir::Mode::MonoServer));
+    auto cn = dir::Federation::create(corpus, bench::mode_options(dir::Mode::CentralNothing));
+    auto cv = dir::Federation::create(corpus, bench::mode_options(dir::Mode::CentralVocabulary));
+    auto ci100 = dir::Federation::create(corpus, bench::mode_options(dir::Mode::CentralIndex, 100));
+    auto ci1000 =
+        dir::Federation::create(corpus, bench::mode_options(dir::Mode::CentralIndex, 1000));
+
+    for (const auto* queries : {&corpus.long_queries, &corpus.short_queries}) {
+        std::vector<Row> rows;
+        rows.push_back({"MS", evaluate(ms, *queries)});
+        rows.push_back({"CV", evaluate(cv, *queries)});
+        rows.push_back({"CN", evaluate(cn, *queries)});
+        rows.push_back({"CI, k'=100", evaluate(ci100, *queries)});
+        rows.push_back({"CI, k'=1000", evaluate(ci1000, *queries)});
+        print_block(queries->name.c_str(), rows);
+        bench::print_rule();
+    }
+
+    std::printf(
+        "\nPaper's values (TREC disk 2) for comparison:\n"
+        "  Long:  MS/CV 23.07/8.2  CN 24.35/8.6  CI100 10.49/7.2  CI1000 21.10/8.5\n"
+        "  Short: MS/CV 15.67/4.7  CN 16.21/4.9  CI100 14.01/5.3  CI1000 16.81/5.0\n"
+        "Expected shape: MS == CV exactly; CN within noise of MS; CI k'=100\n"
+        "collapses the 11-pt average (only k'G = 1000 docs ever scored) while\n"
+        "precision in the top 20 stays comparable; CI k'=1000 recovers.\n");
+    return 0;
+}

@@ -1,0 +1,188 @@
+// index_tool — a small MG-style command-line front end.
+//
+//   index_tool build <prefix> <file>...   index text files (one doc each)
+//   index_tool stats <prefix>             show index/store statistics
+//   index_tool query <prefix> <terms>...  ranked query (top 10)
+//   index_tool boolean <prefix> <expr>    Boolean query
+//   index_tool fetch <prefix> <docnum>    print a stored document
+//   index_tool demo                       self-contained walkthrough
+//
+// The index persists as <prefix>.tpix and the compressed document store
+// as <prefix>.tpds; `query` serves entirely from the saved files.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "index/builder.h"
+#include "index/persist.h"
+#include "rank/boolean.h"
+#include "rank/query_processor.h"
+#include "store/persist.h"
+#include "util/strings.h"
+
+using namespace teraphim;
+
+namespace {
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage:\n"
+                 "  index_tool build <prefix> <file>...\n"
+                 "  index_tool stats <prefix>\n"
+                 "  index_tool query <prefix> <terms>...\n"
+                 "  index_tool boolean <prefix> <expression>\n"
+                 "  index_tool fetch <prefix> <docnum>\n"
+                 "  index_tool demo\n");
+    return 1;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw IoError("cannot read " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void build(const std::string& prefix, const std::vector<std::string>& files) {
+    text::Pipeline pipeline;
+    index::IndexBuilder builder;
+    store::DocStoreBuilder store_builder;
+    for (const auto& file : files) {
+        const std::string content = read_file(file);
+        builder.add_document(pipeline.terms(content));
+        store_builder.add_document({file, content});
+    }
+    const auto idx = std::move(builder).build();
+    const auto store = std::move(store_builder).build();
+    index::save_index(idx, prefix + ".tpix");
+    store::save_store(store, prefix + ".tpds");
+    std::printf("indexed %u documents, %zu terms -> %s.tpix / %s.tpds\n",
+                idx.num_documents(), idx.num_terms(), prefix.c_str(), prefix.c_str());
+}
+
+void stats(const std::string& prefix) {
+    const auto idx = index::load_index(prefix + ".tpix");
+    const auto store = store::load_store(prefix + ".tpds");
+    const auto s = idx.index_stats();
+    std::printf("documents:        %llu\n", static_cast<unsigned long long>(s.num_documents));
+    std::printf("distinct terms:   %llu\n", static_cast<unsigned long long>(s.num_terms));
+    std::printf("postings:         %llu\n", static_cast<unsigned long long>(s.num_postings));
+    std::printf("index size:       %s (skips %s, vocabulary %s)\n",
+                util::format_bytes(s.total_bytes()).c_str(),
+                util::format_bytes((s.skip_bits + 7) / 8).c_str(),
+                util::format_bytes(s.vocabulary_bytes).c_str());
+    std::printf("text:             %s raw, %s compressed\n",
+                util::format_bytes(store.total_raw_bytes()).c_str(),
+                util::format_bytes(store.total_compressed_bytes()).c_str());
+}
+
+void query(const std::string& prefix, const std::string& text_query) {
+    const auto idx = index::load_index(prefix + ".tpix");
+    const auto store = store::load_store(prefix + ".tpds");
+    text::Pipeline pipeline;
+    rank::QueryProcessor qp(idx, rank::cosine_log_tf());
+    const auto results = qp.rank(rank::parse_query(text_query, pipeline), 10);
+    if (results.empty()) {
+        std::printf("no matching documents\n");
+        return;
+    }
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        std::printf("%2zu. %8.4f  doc %-6u %s\n", i + 1, results[i].score, results[i].doc,
+                    store.external_id(results[i].doc).c_str());
+    }
+}
+
+void boolean(const std::string& prefix, const std::string& expression) {
+    const auto idx = index::load_index(prefix + ".tpix");
+    const auto store = store::load_store(prefix + ".tpds");
+    text::Pipeline pipeline;
+    const auto docs = rank::boolean_search(expression, idx, pipeline);
+    std::printf("%zu matching documents\n", docs.size());
+    for (std::size_t i = 0; i < docs.size() && i < 20; ++i) {
+        std::printf("  doc %-6u %s\n", docs[i], store.external_id(docs[i]).c_str());
+    }
+}
+
+void fetch(const std::string& prefix, std::uint32_t doc) {
+    const auto store = store::load_store(prefix + ".tpds");
+    if (doc >= store.size()) throw DataError("document number out of range");
+    std::printf("%s\n%s\n", store.external_id(doc).c_str(), store.fetch(doc).c_str());
+}
+
+void demo() {
+    const std::string prefix = std::string(std::getenv("TMPDIR") ? std::getenv("TMPDIR") : "/tmp") +
+                               "/teraphim_demo";
+    // Write a few throwaway documents, then drive the tool's own paths.
+    const std::vector<std::pair<std::string, std::string>> docs = {
+        {prefix + "_a.txt", "Compressed inverted files make large text collections searchable."},
+        {prefix + "_b.txt", "A librarian evaluates ranked queries over its own subcollection."},
+        {prefix + "_c.txt", "Receptionists merge librarian rankings into one answer list."},
+    };
+    std::vector<std::string> files;
+    for (const auto& [path, content] : docs) {
+        std::ofstream out(path, std::ios::trunc);
+        out << content;
+        files.push_back(path);
+    }
+    build(prefix, files);
+    std::printf("\n$ index_tool stats %s\n", prefix.c_str());
+    stats(prefix);
+    std::printf("\n$ index_tool query %s 'librarian rankings'\n", prefix.c_str());
+    query(prefix, "librarian rankings");
+    std::printf("\n$ index_tool boolean %s 'ranked OR rankings'\n", prefix.c_str());
+    boolean(prefix, "ranked OR rankings");
+    std::printf("\n$ index_tool fetch %s 1\n", prefix.c_str());
+    fetch(prefix, 1);
+    for (const auto& [path, content] : docs) std::remove(path.c_str());
+    std::remove((prefix + ".tpix").c_str());
+    std::remove((prefix + ".tpds").c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    try {
+        const std::vector<std::string> args(argv + 1, argv + argc);
+        if (args.empty() || args[0] == "demo") {
+            demo();
+            return 0;
+        }
+        if (args[0] == "build" && args.size() >= 3) {
+            build(args[1], {args.begin() + 2, args.end()});
+            return 0;
+        }
+        if (args[0] == "stats" && args.size() == 2) {
+            stats(args[1]);
+            return 0;
+        }
+        if (args[0] == "query" && args.size() >= 3) {
+            std::string q;
+            for (std::size_t i = 2; i < args.size(); ++i) {
+                if (!q.empty()) q += ' ';
+                q += args[i];
+            }
+            query(args[1], q);
+            return 0;
+        }
+        if (args[0] == "boolean" && args.size() >= 3) {
+            std::string expr;
+            for (std::size_t i = 2; i < args.size(); ++i) {
+                if (!expr.empty()) expr += ' ';
+                expr += args[i];
+            }
+            boolean(args[1], expr);
+            return 0;
+        }
+        if (args[0] == "fetch" && args.size() == 3) {
+            fetch(args[1], static_cast<std::uint32_t>(std::stoul(args[2])));
+            return 0;
+        }
+        return usage();
+    } catch (const Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}

@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerates every table/figure bench output (bench_output.txt).
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo "===================================================================="
+  echo "== $b"
+  echo "===================================================================="
+  "$b"
+  echo
+done

@@ -1,0 +1,75 @@
+#include "compress/bitio.h"
+
+namespace teraphim::compress {
+
+void BitWriter::write_bits(std::uint64_t value, int count) {
+    TERAPHIM_ASSERT(count >= 0 && count <= 64);
+    if (count == 0) return;
+    if (count < 64) value &= (1ULL << count) - 1;
+    bit_count_ += static_cast<std::uint64_t>(count);
+
+    while (count > 0) {
+        const int room = 8 - pending_;
+        const int take = count < room ? count : room;
+        const std::uint64_t chunk = value >> (count - take);
+        accum_ = (accum_ << take) | (chunk & ((take == 64) ? ~0ULL : ((1ULL << take) - 1)));
+        pending_ += take;
+        count -= take;
+        if (pending_ == 8) {
+            buffer_.push_back(static_cast<std::uint8_t>(accum_ & 0xFF));
+            accum_ = 0;
+            pending_ = 0;
+        }
+    }
+}
+
+void BitWriter::align_to_byte() {
+    if (pending_ != 0) write_bits(0, 8 - pending_);
+}
+
+std::vector<std::uint8_t> BitWriter::take() {
+    align_to_byte();
+    std::vector<std::uint8_t> out;
+    out.swap(buffer_);
+    accum_ = 0;
+    pending_ = 0;
+    bit_count_ = 0;
+    return out;
+}
+
+std::uint64_t BitReader::read_bits(int count) {
+    TERAPHIM_ASSERT(count >= 0 && count <= 64);
+    if (count == 0) return 0;
+    if (static_cast<std::uint64_t>(count) > bits_remaining()) {
+        throw DataError("BitReader: read past end of stream");
+    }
+    std::uint64_t result = 0;
+    int remaining = count;
+    while (remaining > 0) {
+        const std::size_t byte_index = static_cast<std::size_t>(bit_position_ >> 3);
+        const int bit_in_byte = static_cast<int>(bit_position_ & 7);
+        const int avail = 8 - bit_in_byte;
+        const int take = remaining < avail ? remaining : avail;
+        const std::uint8_t byte = data_[byte_index];
+        const std::uint8_t chunk =
+            static_cast<std::uint8_t>((byte >> (avail - take)) & ((1u << take) - 1));
+        result = (result << take) | chunk;
+        bit_position_ += static_cast<std::uint64_t>(take);
+        remaining -= take;
+    }
+    return result;
+}
+
+void BitReader::align_to_byte() {
+    bit_position_ = (bit_position_ + 7) & ~std::uint64_t{7};
+    TERAPHIM_ASSERT(bit_position_ <= static_cast<std::uint64_t>(data_.size()) * 8);
+}
+
+void BitReader::seek_bit(std::uint64_t bit_offset) {
+    if (bit_offset > static_cast<std::uint64_t>(data_.size()) * 8) {
+        throw DataError("BitReader: seek past end of stream");
+    }
+    bit_position_ = bit_offset;
+}
+
+}  // namespace teraphim::compress

@@ -1,0 +1,80 @@
+// Bit-granularity I/O over in-memory buffers.
+//
+// The inverted file and the compressed document store are bit streams in
+// the MG tradition: postings are Golomb/Elias coded, document text is
+// Huffman coded. BitWriter appends most-significant-bit first so that
+// canonical Huffman decoding and unary runs read naturally.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace teraphim::compress {
+
+/// Accumulates bits MSB-first into a byte buffer.
+class BitWriter {
+public:
+    BitWriter() = default;
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    /// count must be in [0, 64].
+    void write_bits(std::uint64_t value, int count);
+
+    /// Appends a single bit.
+    void write_bit(bool bit) { write_bits(bit ? 1u : 0u, 1); }
+
+    /// Pads with zero bits to the next byte boundary.
+    void align_to_byte();
+
+    /// Number of bits written so far.
+    std::uint64_t bit_count() const { return bit_count_; }
+
+    /// Finishes the stream (pads to a byte) and returns the buffer.
+    std::vector<std::uint8_t> take();
+
+    /// Read-only view of the (byte-aligned portion of the) buffer.
+    std::span<const std::uint8_t> bytes() const { return buffer_; }
+
+private:
+    std::vector<std::uint8_t> buffer_;
+    std::uint64_t accum_ = 0;  // pending bits, left-aligned within `pending_`
+    int pending_ = 0;          // number of pending bits in accum_ (always < 8)
+    std::uint64_t bit_count_ = 0;
+};
+
+/// Reads bits MSB-first from a byte buffer. The reader does not own the
+/// bytes; the caller keeps them alive.
+class BitReader {
+public:
+    explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    /// Reads `count` bits (0..64) and returns them right-aligned.
+    /// Throws DataError on exhaustion.
+    std::uint64_t read_bits(int count);
+
+    /// Reads a single bit.
+    bool read_bit() { return read_bits(1) != 0; }
+
+    /// Skips forward to the next byte boundary.
+    void align_to_byte();
+
+    /// Absolute bit position from the start of the buffer.
+    std::uint64_t bit_position() const { return bit_position_; }
+
+    /// Repositions the reader at an absolute bit offset.
+    void seek_bit(std::uint64_t bit_offset);
+
+    /// Bits remaining in the buffer.
+    std::uint64_t bits_remaining() const {
+        return static_cast<std::uint64_t>(data_.size()) * 8 - bit_position_;
+    }
+
+private:
+    std::span<const std::uint8_t> data_;
+    std::uint64_t bit_position_ = 0;
+};
+
+}  // namespace teraphim::compress

@@ -1,0 +1,190 @@
+#include "compress/codecs.h"
+
+#include <bit>
+#include <cmath>
+
+namespace teraphim::compress {
+
+int floor_log2(std::uint64_t n) {
+    TERAPHIM_ASSERT(n >= 1);
+    return 63 - std::countl_zero(n);
+}
+
+// ---- Unary -----------------------------------------------------------
+
+void write_unary(BitWriter& w, std::uint64_t n) {
+    TERAPHIM_ASSERT(n >= 1);
+    std::uint64_t ones = n - 1;
+    while (ones >= 32) {
+        w.write_bits(0xFFFFFFFFu, 32);
+        ones -= 32;
+    }
+    // `ones` one-bits then a terminating zero, in a single write.
+    w.write_bits((1ULL << (ones + 1)) - 2, static_cast<int>(ones) + 1);
+}
+
+std::uint64_t read_unary(BitReader& r) {
+    std::uint64_t n = 1;
+    while (r.read_bit()) ++n;
+    return n;
+}
+
+std::uint64_t unary_length(std::uint64_t n) {
+    TERAPHIM_ASSERT(n >= 1);
+    return n;
+}
+
+// ---- Elias gamma ------------------------------------------------------
+
+void write_gamma(BitWriter& w, std::uint64_t n) {
+    TERAPHIM_ASSERT(n >= 1);
+    const int k = floor_log2(n);
+    write_unary(w, static_cast<std::uint64_t>(k) + 1);
+    w.write_bits(n, k);  // low k bits (implicit leading 1 dropped)
+}
+
+std::uint64_t read_gamma(BitReader& r) {
+    const int k = static_cast<int>(read_unary(r)) - 1;
+    return (1ULL << k) | r.read_bits(k);
+}
+
+std::uint64_t gamma_length(std::uint64_t n) {
+    const int k = floor_log2(n);
+    return 2 * static_cast<std::uint64_t>(k) + 1;
+}
+
+// ---- Elias delta ------------------------------------------------------
+
+void write_delta(BitWriter& w, std::uint64_t n) {
+    TERAPHIM_ASSERT(n >= 1);
+    const int k = floor_log2(n);
+    write_gamma(w, static_cast<std::uint64_t>(k) + 1);
+    w.write_bits(n, k);
+}
+
+std::uint64_t read_delta(BitReader& r) {
+    const int k = static_cast<int>(read_gamma(r)) - 1;
+    return (1ULL << k) | r.read_bits(k);
+}
+
+std::uint64_t delta_length(std::uint64_t n) {
+    const int k = floor_log2(n);
+    return gamma_length(static_cast<std::uint64_t>(k) + 1) + static_cast<std::uint64_t>(k);
+}
+
+// ---- Golomb -----------------------------------------------------------
+
+namespace {
+
+// Truncated binary coding of a remainder in [0, b).
+void write_truncated(BitWriter& w, std::uint64_t rem, std::uint64_t b) {
+    if (b == 1) return;
+    const int k = floor_log2(b);
+    const std::uint64_t cutoff = (1ULL << (k + 1)) - b;  // first `cutoff` values use k bits
+    if (rem < cutoff) {
+        w.write_bits(rem, k);
+    } else {
+        w.write_bits(rem + cutoff, k + 1);
+    }
+}
+
+std::uint64_t read_truncated(BitReader& r, std::uint64_t b) {
+    if (b == 1) return 0;
+    const int k = floor_log2(b);
+    const std::uint64_t cutoff = (1ULL << (k + 1)) - b;
+    std::uint64_t value = r.read_bits(k);
+    if (value >= cutoff) {
+        value = (value << 1) | (r.read_bit() ? 1 : 0);
+        value -= cutoff;
+    }
+    return value;
+}
+
+std::uint64_t truncated_length(std::uint64_t rem, std::uint64_t b) {
+    if (b == 1) return 0;
+    const int k = floor_log2(b);
+    const std::uint64_t cutoff = (1ULL << (k + 1)) - b;
+    return static_cast<std::uint64_t>(rem < cutoff ? k : k + 1);
+}
+
+}  // namespace
+
+void write_golomb(BitWriter& w, std::uint64_t n, std::uint64_t b) {
+    TERAPHIM_ASSERT(n >= 1 && b >= 1);
+    const std::uint64_t q = (n - 1) / b;
+    const std::uint64_t rem = (n - 1) % b;
+    write_unary(w, q + 1);
+    write_truncated(w, rem, b);
+}
+
+std::uint64_t read_golomb(BitReader& r, std::uint64_t b) {
+    TERAPHIM_ASSERT(b >= 1);
+    const std::uint64_t q = read_unary(r) - 1;
+    const std::uint64_t rem = read_truncated(r, b);
+    return q * b + rem + 1;
+}
+
+std::uint64_t golomb_length(std::uint64_t n, std::uint64_t b) {
+    const std::uint64_t q = (n - 1) / b;
+    const std::uint64_t rem = (n - 1) % b;
+    return (q + 1) + truncated_length(rem, b);
+}
+
+std::uint64_t golomb_parameter(std::uint64_t universe, std::uint64_t count) {
+    if (count == 0) return 1;
+    const double b = 0.69 * static_cast<double>(universe) / static_cast<double>(count);
+    const auto rounded = static_cast<std::uint64_t>(std::ceil(b));
+    return rounded >= 1 ? rounded : 1;
+}
+
+// ---- Rice -------------------------------------------------------------
+
+void write_rice(BitWriter& w, std::uint64_t n, int k) {
+    TERAPHIM_ASSERT(n >= 1 && k >= 0 && k < 63);
+    const std::uint64_t m = n - 1;
+    write_unary(w, (m >> k) + 1);
+    w.write_bits(m, k);
+}
+
+std::uint64_t read_rice(BitReader& r, int k) {
+    const std::uint64_t q = read_unary(r) - 1;
+    return ((q << k) | r.read_bits(k)) + 1;
+}
+
+std::uint64_t rice_length(std::uint64_t n, int k) {
+    const std::uint64_t m = n - 1;
+    return (m >> k) + 1 + static_cast<std::uint64_t>(k);
+}
+
+// ---- vbyte ------------------------------------------------------------
+
+void write_vbyte(BitWriter& w, std::uint64_t n) {
+    while (n >= 0x80) {
+        w.write_bits(0x80 | (n & 0x7F), 8);
+        n >>= 7;
+    }
+    w.write_bits(n, 8);
+}
+
+std::uint64_t read_vbyte(BitReader& r) {
+    std::uint64_t value = 0;
+    int shift = 0;
+    for (;;) {
+        const std::uint64_t byte = r.read_bits(8);
+        value |= (byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) return value;
+        shift += 7;
+        if (shift > 63) throw DataError("vbyte: value overflows 64 bits");
+    }
+}
+
+std::uint64_t vbyte_length(std::uint64_t n) {
+    std::uint64_t bytes = 1;
+    while (n >= 0x80) {
+        n >>= 7;
+        ++bytes;
+    }
+    return bytes * 8;
+}
+
+}  // namespace teraphim::compress

@@ -1,0 +1,69 @@
+// Integer codes used by the inverted file.
+//
+// MG stores a postings list for term t as a sequence of d-gaps coded with
+// a Golomb code parameterised per list, and in-document frequencies f_dt
+// coded with Elias gamma. We provide the whole family the MG literature
+// discusses — unary, Elias gamma/delta, Golomb, Rice, and byte-aligned
+// vbyte — all over the shared BitWriter/BitReader, plus helpers to pick
+// the Golomb parameter and to measure coded sizes.
+//
+// Conventions: unary/gamma/delta code integers >= 1; Golomb/Rice code
+// integers >= 1 (d-gaps are always >= 1); vbyte codes integers >= 0.
+#pragma once
+
+#include <cstdint>
+
+#include "compress/bitio.h"
+
+namespace teraphim::compress {
+
+// ---- Unary -----------------------------------------------------------
+
+/// Writes n >= 1 as (n-1) one-bits followed by a zero bit.
+void write_unary(BitWriter& w, std::uint64_t n);
+std::uint64_t read_unary(BitReader& r);
+/// Bits needed to code n in unary.
+std::uint64_t unary_length(std::uint64_t n);
+
+// ---- Elias gamma ------------------------------------------------------
+
+/// Writes n >= 1: unary(1 + floor(log2 n)) then the low floor(log2 n) bits.
+void write_gamma(BitWriter& w, std::uint64_t n);
+std::uint64_t read_gamma(BitReader& r);
+std::uint64_t gamma_length(std::uint64_t n);
+
+// ---- Elias delta ------------------------------------------------------
+
+/// Writes n >= 1: gamma(1 + floor(log2 n)) then the low floor(log2 n) bits.
+void write_delta(BitWriter& w, std::uint64_t n);
+std::uint64_t read_delta(BitReader& r);
+std::uint64_t delta_length(std::uint64_t n);
+
+// ---- Golomb -----------------------------------------------------------
+
+/// Writes n >= 1 with Golomb parameter b >= 1: quotient q = (n-1)/b in
+/// unary (q+1), remainder via truncated binary.
+void write_golomb(BitWriter& w, std::uint64_t n, std::uint64_t b);
+std::uint64_t read_golomb(BitReader& r, std::uint64_t b);
+std::uint64_t golomb_length(std::uint64_t n, std::uint64_t b);
+
+/// Witten/Moffat/Bell recommendation: b = ceil(0.69 * N / f) for a list of
+/// f document numbers drawn from a universe of N documents. Returns >= 1.
+std::uint64_t golomb_parameter(std::uint64_t universe, std::uint64_t count);
+
+// ---- Rice (Golomb with b = 2^k) ----------------------------------------
+
+void write_rice(BitWriter& w, std::uint64_t n, int k);
+std::uint64_t read_rice(BitReader& r, int k);
+std::uint64_t rice_length(std::uint64_t n, int k);
+
+// ---- Variable-byte (byte aligned, used for vocabulary file fields) ------
+
+void write_vbyte(BitWriter& w, std::uint64_t n);
+std::uint64_t read_vbyte(BitReader& r);
+std::uint64_t vbyte_length(std::uint64_t n);
+
+/// floor(log2 n) for n >= 1.
+int floor_log2(std::uint64_t n);
+
+}  // namespace teraphim::compress

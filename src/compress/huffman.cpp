@@ -1,0 +1,158 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace teraphim::compress {
+
+namespace {
+
+struct Node {
+    std::uint64_t weight;
+    std::int32_t left;   // -1 for leaf
+    std::int32_t right;
+    std::uint32_t symbol;
+};
+
+// Depth-first code-length assignment over the built tree.
+void assign_depths(const std::vector<Node>& nodes, std::int32_t at, int depth,
+                   std::vector<std::uint8_t>& lengths) {
+    const Node& n = nodes[static_cast<std::size_t>(at)];
+    if (n.left < 0) {
+        lengths[n.symbol] = static_cast<std::uint8_t>(depth == 0 ? 1 : depth);
+        return;
+    }
+    assign_depths(nodes, n.left, depth + 1, lengths);
+    assign_depths(nodes, n.right, depth + 1, lengths);
+}
+
+std::vector<std::uint8_t> build_lengths_once(std::span<const std::uint64_t> freqs) {
+    std::vector<std::uint8_t> lengths(freqs.size(), 0);
+    std::vector<Node> nodes;
+    nodes.reserve(freqs.size() * 2);
+
+    using Entry = std::pair<std::uint64_t, std::int32_t>;  // (weight, node index)
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    for (std::uint32_t s = 0; s < freqs.size(); ++s) {
+        if (freqs[s] == 0) continue;
+        nodes.push_back({freqs[s], -1, -1, s});
+        heap.emplace(freqs[s], static_cast<std::int32_t>(nodes.size() - 1));
+    }
+    if (heap.empty()) return lengths;
+    while (heap.size() > 1) {
+        const auto [wa, a] = heap.top();
+        heap.pop();
+        const auto [wb, b] = heap.top();
+        heap.pop();
+        nodes.push_back({wa + wb, a, b, 0});
+        heap.emplace(wa + wb, static_cast<std::int32_t>(nodes.size() - 1));
+    }
+    assign_depths(nodes, heap.top().second, 0, lengths);
+    return lengths;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> huffman_code_lengths(std::span<const std::uint64_t> freqs,
+                                               int max_length) {
+    TERAPHIM_ASSERT(max_length >= 1 && max_length <= 57);
+    std::vector<std::uint64_t> working(freqs.begin(), freqs.end());
+    for (;;) {
+        auto lengths = build_lengths_once(working);
+        const int max_seen =
+            lengths.empty() ? 0 : *std::max_element(lengths.begin(), lengths.end());
+        if (max_seen <= max_length) return lengths;
+        // Flatten the distribution and retry: halving (with +1 floor for
+        // live symbols) strictly reduces skew, so termination is assured.
+        for (auto& f : working) {
+            if (f > 0) f = f / 2 + 1;
+        }
+    }
+}
+
+HuffmanCode::HuffmanCode(std::vector<std::uint8_t> lengths) : lengths_(std::move(lengths)) {
+    max_len_ = lengths_.empty() ? 0 : *std::max_element(lengths_.begin(), lengths_.end());
+    codes_.assign(lengths_.size(), 0);
+    count_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+    first_code_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+    first_index_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+
+    for (std::uint8_t len : lengths_) {
+        if (len > 0) ++count_[len];
+    }
+    // Kraft check: sum of 2^-len over coded symbols must not exceed 1.
+    std::uint64_t kraft = 0;  // in units of 2^-max_len_
+    for (int len = 1; len <= max_len_; ++len) {
+        kraft += static_cast<std::uint64_t>(count_[static_cast<std::size_t>(len)])
+                 << (max_len_ - len);
+    }
+    if (max_len_ > 0 && kraft > (1ULL << max_len_)) {
+        throw DataError("HuffmanCode: code lengths violate the Kraft inequality");
+    }
+
+    // Canonical first codes per length.
+    std::uint32_t code = 0;
+    std::uint32_t index = 0;
+    for (int len = 1; len <= max_len_; ++len) {
+        code = (code + (len > 1 ? count_[static_cast<std::size_t>(len) - 1] : 0)) << 1;
+        first_code_[static_cast<std::size_t>(len)] = code;
+        first_index_[static_cast<std::size_t>(len)] = index;
+        index += count_[static_cast<std::size_t>(len)];
+    }
+
+    // Symbols sorted by (length, symbol) — the canonical order.
+    sorted_symbols_.reserve(index);
+    for (int len = 1; len <= max_len_; ++len) {
+        for (std::uint32_t s = 0; s < lengths_.size(); ++s) {
+            if (lengths_[s] == len) sorted_symbols_.push_back(s);
+        }
+    }
+
+    // Per-symbol codes for the encoder.
+    std::vector<std::uint32_t> next_code(first_code_);
+    for (std::uint32_t s : sorted_symbols_) {
+        codes_[s] = next_code[lengths_[s]]++;
+    }
+}
+
+HuffmanCode HuffmanCode::from_frequencies(std::span<const std::uint64_t> freqs,
+                                          int max_length) {
+    return HuffmanCode(huffman_code_lengths(freqs, max_length));
+}
+
+void HuffmanCode::encode(BitWriter& w, std::uint32_t symbol) const {
+    TERAPHIM_ASSERT(symbol < lengths_.size());
+    const int len = lengths_[symbol];
+    TERAPHIM_ASSERT_MSG(len > 0, "encoding a symbol with no code");
+    w.write_bits(codes_[symbol], len);
+}
+
+std::uint32_t HuffmanCode::decode(BitReader& r) const {
+    if (max_len_ == 0) throw DataError("HuffmanCode: decode with empty code book");
+    std::uint32_t code = 0;
+    for (int len = 1; len <= max_len_; ++len) {
+        code = (code << 1) | (r.read_bit() ? 1u : 0u);
+        const std::uint32_t n = count_[static_cast<std::size_t>(len)];
+        if (n != 0) {
+            const std::uint32_t first = first_code_[static_cast<std::size_t>(len)];
+            if (code >= first && code < first + n) {
+                return sorted_symbols_[first_index_[static_cast<std::size_t>(len)] +
+                                       (code - first)];
+            }
+        }
+    }
+    throw DataError("HuffmanCode: invalid bit sequence");
+}
+
+double HuffmanCode::mean_length(std::span<const std::uint64_t> freqs) const {
+    TERAPHIM_ASSERT(freqs.size() == lengths_.size());
+    std::uint64_t total = 0;
+    double bits = 0.0;
+    for (std::size_t s = 0; s < freqs.size(); ++s) {
+        total += freqs[s];
+        bits += static_cast<double>(freqs[s]) * lengths_[s];
+    }
+    return total == 0 ? 0.0 : bits / static_cast<double>(total);
+}
+
+}  // namespace teraphim::compress

@@ -1,0 +1,58 @@
+// Canonical Huffman coding.
+//
+// Used by the document-text codec (word-based model, as in MG) and
+// available to any other component that needs entropy coding over a
+// known symbol alphabet. Codes are canonical so the decoder needs only
+// the code-length array, and decoding proceeds length-by-length with the
+// first-code table — exactly the scheme described in Managing Gigabytes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "compress/bitio.h"
+
+namespace teraphim::compress {
+
+/// Computes canonical Huffman code lengths for the given symbol
+/// frequencies. Zero-frequency symbols get length 0 (no code). If the
+/// implied tree would exceed `max_length` bits, frequencies are rescaled
+/// until it fits (MG uses the same trick to bound decode tables).
+std::vector<std::uint8_t> huffman_code_lengths(std::span<const std::uint64_t> freqs,
+                                               int max_length = 32);
+
+/// Encoder+decoder for one canonical code book.
+class HuffmanCode {
+public:
+    /// Builds the canonical code from per-symbol lengths (0 = unused).
+    explicit HuffmanCode(std::vector<std::uint8_t> lengths);
+
+    /// Convenience: build straight from frequencies.
+    static HuffmanCode from_frequencies(std::span<const std::uint64_t> freqs,
+                                        int max_length = 32);
+
+    void encode(BitWriter& w, std::uint32_t symbol) const;
+    std::uint32_t decode(BitReader& r) const;
+
+    /// Code length of a symbol in bits (0 if the symbol has no code).
+    int length(std::uint32_t symbol) const { return lengths_[symbol]; }
+
+    std::size_t alphabet_size() const { return lengths_.size(); }
+    const std::vector<std::uint8_t>& lengths() const { return lengths_; }
+
+    /// Expected bits per symbol under the given frequency distribution.
+    double mean_length(std::span<const std::uint64_t> freqs) const;
+
+private:
+    std::vector<std::uint8_t> lengths_;
+    std::vector<std::uint32_t> codes_;       // canonical code per symbol
+    int max_len_ = 0;
+    // Decoder tables, indexed by code length 1..max_len_:
+    std::vector<std::uint32_t> first_code_;  // smallest code of this length
+    std::vector<std::uint32_t> first_index_; // index into sorted_symbols_
+    std::vector<std::uint32_t> count_;       // number of codes of this length
+    std::vector<std::uint32_t> sorted_symbols_;  // symbols ordered by (length, symbol)
+};
+
+}  // namespace teraphim::compress

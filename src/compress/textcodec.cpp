@@ -1,0 +1,184 @@
+#include "compress/textcodec.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "compress/codecs.h"
+
+namespace teraphim::compress {
+
+namespace {
+bool is_word_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+// Literal (escape-coded) token body: gamma(length + 1) then raw bytes.
+void write_literal(BitWriter& w, std::string_view token) {
+    write_gamma(w, token.size() + 1);
+    for (char c : token) w.write_bits(static_cast<std::uint8_t>(c), 8);
+}
+
+std::string read_literal(BitReader& r) {
+    const std::uint64_t len = read_gamma(r) - 1;
+    std::string out;
+    out.reserve(len);
+    for (std::uint64_t i = 0; i < len; ++i) {
+        out.push_back(static_cast<char>(r.read_bits(8)));
+    }
+    return out;
+}
+}  // namespace
+
+std::vector<std::string> alternating_tokens(std::string_view text) {
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        std::size_t end = pos;
+        while (end < text.size() && is_word_char(text[end])) ++end;
+        out.emplace_back(text.substr(pos, end - pos));  // word (may be empty)
+        pos = end;
+        while (end < text.size() && !is_word_char(text[end])) ++end;
+        out.emplace_back(text.substr(pos, end - pos));  // nonword (may be empty)
+        pos = end;
+    }
+    return out;  // even length by construction
+}
+
+TokenModel::TokenModel(std::vector<std::string> vocab, std::vector<std::uint64_t> freqs)
+    : vocab_(std::move(vocab)),
+      code_([&] {
+          TERAPHIM_ASSERT(vocab_.size() == freqs.size());
+          TERAPHIM_ASSERT_MSG(!freqs.empty() && freqs[0] > 0,
+                              "symbol 0 must be the escape symbol with nonzero frequency");
+          return HuffmanCode::from_frequencies(freqs);
+      }()) {
+    build_lookup();
+}
+
+TokenModel::TokenModel(std::vector<std::string> vocab, std::vector<std::uint8_t> lengths,
+                       FromLengthsTag)
+    : vocab_(std::move(vocab)), code_(std::move(lengths)) {
+    TERAPHIM_ASSERT(vocab_.size() == code_.alphabet_size());
+    build_lookup();
+}
+
+TokenModel TokenModel::from_lengths(std::vector<std::string> vocab,
+                                    std::vector<std::uint8_t> lengths) {
+    return TokenModel(std::move(vocab), std::move(lengths), FromLengthsTag{});
+}
+
+void TokenModel::build_lookup() {
+    lookup_.reserve(vocab_.size());
+    for (std::uint32_t s = 1; s < vocab_.size(); ++s) {
+        lookup_.emplace(vocab_[s], s);
+    }
+}
+
+std::optional<std::uint32_t> TokenModel::symbol_of(std::string_view token) const {
+    const auto it = lookup_.find(std::string(token));
+    if (it == lookup_.end()) return std::nullopt;
+    return it->second;
+}
+
+const std::string& TokenModel::token_of(std::uint32_t symbol) const {
+    TERAPHIM_ASSERT(symbol > 0 && symbol < vocab_.size());
+    return vocab_[symbol];
+}
+
+void TokenModel::encode_token(BitWriter& w, std::string_view token) const {
+    if (const auto sym = symbol_of(token)) {
+        code_.encode(w, *sym);
+    } else {
+        code_.encode(w, 0);  // escape
+        write_literal(w, token);
+    }
+}
+
+std::string TokenModel::decode_token(BitReader& r) const {
+    const std::uint32_t sym = code_.decode(r);
+    if (sym == 0) return read_literal(r);
+    return token_of(sym);
+}
+
+std::uint64_t TokenModel::model_bytes() const {
+    std::uint64_t bytes = 0;
+    for (const auto& token : vocab_) bytes += token.size() + 1;  // string + terminator
+    bytes += vocab_.size();                                      // one code length each
+    return bytes;
+}
+
+void TextModelBuilder::add_document(std::string_view text) {
+    const auto tokens = alternating_tokens(text);
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        auto& freqs = (i % 2 == 0) ? word_freqs_ : nonword_freqs_;
+        ++freqs[tokens[i]];
+    }
+    // Crude but adequate escape-frequency estimate: one novel token per
+    // few documents keeps the escape code short without distorting the
+    // model (MG uses a comparable heuristic).
+    ++escape_estimate_;
+}
+
+TextCodec TextModelBuilder::build(std::uint64_t min_count) const {
+    const auto make_model = [&](const std::unordered_map<std::string, std::uint64_t>& freqs) {
+        std::vector<std::pair<std::string, std::uint64_t>> kept;
+        kept.reserve(freqs.size());
+        for (const auto& [token, count] : freqs) {
+            if (count >= min_count) kept.emplace_back(token, count);
+        }
+        // Deterministic symbol numbering regardless of hash order.
+        std::sort(kept.begin(), kept.end());
+        std::vector<std::string> vocab;
+        std::vector<std::uint64_t> counts;
+        vocab.reserve(kept.size() + 1);
+        counts.reserve(kept.size() + 1);
+        vocab.emplace_back("");  // escape
+        counts.push_back(std::max<std::uint64_t>(1, escape_estimate_ / 4 + 1));
+        for (auto& [token, count] : kept) {
+            vocab.push_back(std::move(token));
+            counts.push_back(count);
+        }
+        return TokenModel(std::move(vocab), std::move(counts));
+    };
+    return TextCodec(make_model(word_freqs_), make_model(nonword_freqs_));
+}
+
+TextCodec::TextCodec(TokenModel words, TokenModel nonwords)
+    : words_(std::move(words)), nonwords_(std::move(nonwords)) {}
+
+std::vector<std::uint8_t> TextCodec::encode(std::string_view text) const {
+    BitWriter w;
+    const auto tokens = alternating_tokens(text);
+    write_gamma(w, tokens.size() / 2 + 1);  // number of (word, nonword) pairs
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const auto& model = (i % 2 == 0) ? words_ : nonwords_;
+        model.encode_token(w, tokens[i]);
+    }
+    return w.take();
+}
+
+std::string TextCodec::decode(std::span<const std::uint8_t> data) const {
+    BitReader r(data);
+    const std::uint64_t pairs = read_gamma(r) - 1;
+    std::string out;
+    for (std::uint64_t i = 0; i < pairs; ++i) {
+        out += words_.decode_token(r);
+        out += nonwords_.decode_token(r);
+    }
+    return out;
+}
+
+std::uint64_t TextCodec::encoded_bits(std::string_view text) const {
+    // Encode into a scratch writer; documents are small so this costs
+    // little and guarantees the figure matches encode() exactly.
+    BitWriter w;
+    const auto tokens = alternating_tokens(text);
+    write_gamma(w, tokens.size() / 2 + 1);
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        const auto& model = (i % 2 == 0) ? words_ : nonwords_;
+        model.encode_token(w, tokens[i]);
+    }
+    return w.bit_count();
+}
+
+}  // namespace teraphim::compress

@@ -1,0 +1,108 @@
+// Word-based document text compression, after the MG scheme.
+//
+// Text is parsed into a strictly alternating sequence of "words" (runs of
+// alphanumerics) and "non-words" (runs of everything else). Two canonical
+// Huffman models — one per token class — are trained on a first pass over
+// the collection; a reserved escape symbol covers tokens never seen at
+// training time, which are then spelled out literally. The scheme is
+// lossless: decode(encode(text)) == text for any byte string.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/huffman.h"
+
+namespace teraphim::compress {
+
+/// One token class (words or non-words): vocabulary plus Huffman code.
+/// Symbol 0 is always the escape symbol.
+class TokenModel {
+public:
+    TokenModel(std::vector<std::string> vocab, std::vector<std::uint64_t> freqs);
+
+    /// Reconstructs a model from its persisted form: the vocabulary and
+    /// the canonical code lengths (store/persist.h). The code book is
+    /// identical to the one originally built from frequencies, because
+    /// canonical codes are a pure function of the lengths.
+    static TokenModel from_lengths(std::vector<std::string> vocab,
+                                   std::vector<std::uint8_t> lengths);
+
+    /// Symbol id for a token, if it is in the model's vocabulary.
+    std::optional<std::uint32_t> symbol_of(std::string_view token) const;
+
+    const std::string& token_of(std::uint32_t symbol) const;
+    std::size_t vocab_size() const { return vocab_.size(); }
+
+    void encode_token(BitWriter& w, std::string_view token) const;
+    std::string decode_token(BitReader& r) const;
+
+    /// Serialized size of the model itself (vocabulary + code lengths),
+    /// in bytes; contributes to the index-size accounting.
+    std::uint64_t model_bytes() const;
+
+    /// Persistence accessors (store/persist.h).
+    const std::vector<std::string>& vocab() const { return vocab_; }
+    const std::vector<std::uint8_t>& code_lengths() const { return code_.lengths(); }
+
+private:
+    struct FromLengthsTag {};
+    TokenModel(std::vector<std::string> vocab, std::vector<std::uint8_t> lengths,
+               FromLengthsTag);
+    void build_lookup();
+
+    std::vector<std::string> vocab_;  // vocab_[0] is the escape pseudo-token ""
+    std::unordered_map<std::string, std::uint32_t> lookup_;
+    HuffmanCode code_;
+};
+
+/// Accumulates token statistics over a training pass.
+class TextModelBuilder {
+public:
+    void add_document(std::string_view text);
+
+    /// Freezes the statistics into an encode/decode-capable codec.
+    /// Tokens seen fewer than `min_count` times are dropped from the
+    /// vocabulary (they will be escape-coded).
+    class TextCodec build(std::uint64_t min_count = 1) const;
+
+private:
+    std::unordered_map<std::string, std::uint64_t> word_freqs_;
+    std::unordered_map<std::string, std::uint64_t> nonword_freqs_;
+    std::uint64_t escape_estimate_ = 0;
+};
+
+/// Splits text into alternating word / non-word runs. The result always
+/// has even length: (word, nonword) pairs, with empty strings where a run
+/// is absent (e.g. text starting with punctuation).
+std::vector<std::string> alternating_tokens(std::string_view text);
+
+/// The document compressor.
+class TextCodec {
+public:
+    TextCodec(TokenModel words, TokenModel nonwords);
+
+    std::vector<std::uint8_t> encode(std::string_view text) const;
+    std::string decode(std::span<const std::uint8_t> data) const;
+
+    /// Coded size in bits without materialising the output.
+    std::uint64_t encoded_bits(std::string_view text) const;
+
+    std::uint64_t model_bytes() const {
+        return words_.model_bytes() + nonwords_.model_bytes();
+    }
+
+    const TokenModel& word_model() const { return words_; }
+    const TokenModel& nonword_model() const { return nonwords_; }
+
+private:
+    TokenModel words_;
+    TokenModel nonwords_;
+};
+
+}  // namespace teraphim::compress

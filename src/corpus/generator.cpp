@@ -1,0 +1,427 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "corpus/topics.h"
+#include "corpus/zipf.h"
+#include "util/error.h"
+
+namespace teraphim::corpus {
+
+namespace {
+
+constexpr int kLongQueryFirstId = 51;
+constexpr int kShortQueryFirstId = 202;
+
+/// A scheduled topical document: which topic it carries and how strongly.
+struct TopicalSlot {
+    std::uint32_t topic = 0;
+    double mixture = 0.0;
+};
+
+std::string external_id(const std::string& sub_name, std::uint32_t num) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "-%06u", num);
+    return sub_name + buf;
+}
+
+/// Renders a token stream as document text with sentence and paragraph
+/// structure, so the Huffman text codec sees realistic material.
+std::string render_text(const std::vector<std::string_view>& tokens, util::Rng& rng) {
+    std::string out;
+    out.reserve(tokens.size() * 8);
+    std::size_t sentence_len = 0;
+    std::size_t sentence_target = 8 + rng.below(10);
+    std::size_t sentences_in_par = 0;
+    std::size_t par_target = 4 + rng.below(4);
+    bool start_of_sentence = true;
+    for (std::string_view tok : tokens) {
+        if (start_of_sentence) {
+            std::string word(tok);
+            if (!word.empty()) word[0] = static_cast<char>(word[0] - 'a' + 'A');
+            out += word;
+            start_of_sentence = false;
+        } else {
+            out += ' ';
+            out += tok;
+        }
+        if (++sentence_len >= sentence_target) {
+            out += '.';
+            sentence_len = 0;
+            sentence_target = 8 + rng.below(10);
+            start_of_sentence = true;
+            if (++sentences_in_par >= par_target) {
+                out += "\n\n";
+                sentences_in_par = 0;
+                par_target = 4 + rng.below(4);
+            } else {
+                out += ' ';
+            }
+        }
+    }
+    if (!start_of_sentence) out += '.';
+    return out;
+}
+
+}  // namespace
+
+std::uint32_t SyntheticCorpus::total_documents() const {
+    std::uint32_t total = 0;
+    for (const auto& sub : subcollections) {
+        total += static_cast<std::uint32_t>(sub.documents.size());
+    }
+    return total;
+}
+
+SyntheticCorpus generate_corpus(const CorpusConfig& config) {
+    TERAPHIM_ASSERT(!config.subcollections.empty());
+    TERAPHIM_ASSERT(config.vocab_size > config.topic_term_floor);
+    TERAPHIM_ASSERT(config.mixture_min < config.relevance_threshold &&
+                    config.relevance_threshold < config.mixture_max);
+
+    util::Rng rng(config.seed);
+    const std::size_t num_subs = config.subcollections.size();
+    const std::uint32_t num_topics = config.num_long_topics + config.num_short_topics;
+
+    // --- Vocabulary and per-subcollection background samplers ----------
+    const std::vector<std::string> vocab = generate_vocabulary(config.vocab_size, rng);
+    const std::vector<double> background = zipf_weights(config.vocab_size, config.zipf_s);
+
+    std::vector<util::AliasSampler> sub_samplers;
+    sub_samplers.reserve(num_subs);
+    for (std::size_t s = 0; s < num_subs; ++s) {
+        std::vector<double> biased = background;
+        for (auto& w : biased) {
+            if (rng.chance(config.dialect_fraction)) {
+                // Log-uniform factor in [1/strength, strength].
+                const double e = rng.uniform() * 2.0 - 1.0;
+                w *= std::pow(config.dialect_strength, e);
+            }
+        }
+        sub_samplers.emplace_back(std::span<const double>(biased));
+    }
+
+    // --- Topics and their home subcollections --------------------------
+    std::vector<Topic> topics;
+    topics.reserve(num_topics);
+    const std::uint32_t ceiling =
+        config.topic_term_ceiling != 0
+            ? config.topic_term_ceiling
+            : std::max(config.topic_term_floor + config.terms_per_topic,
+                       config.vocab_size / 4);
+    for (std::uint32_t t = 0; t < num_topics; ++t) {
+        topics.emplace_back(ceiling, config.topic_term_floor, config.terms_per_topic, rng,
+                            config.topic_skew);
+    }
+    // A topic's relevant documents concentrate in its home subcollection,
+    // mimicking "most of the relevant documents were in AP and WSJ".
+    std::vector<std::size_t> topic_home(num_topics);
+    {
+        std::vector<double> sub_mass(num_subs);
+        for (std::size_t s = 0; s < num_subs; ++s) {
+            sub_mass[s] = static_cast<double>(config.subcollections[s].num_docs);
+        }
+        for (std::uint32_t t = 0; t < num_topics; ++t) {
+            topic_home[t] = rng.weighted(sub_mass);
+        }
+    }
+
+    // --- Schedule topical documents ------------------------------------
+    // Quotas guarantee every topic enough relevant documents regardless
+    // of sampling luck.
+    std::vector<std::uint32_t> sub_topical_capacity(num_subs);
+    std::uint32_t total_topical = 0;
+    for (std::size_t s = 0; s < num_subs; ++s) {
+        sub_topical_capacity[s] = static_cast<std::uint32_t>(
+            config.topical_doc_fraction *
+            static_cast<double>(config.subcollections[s].num_docs));
+        total_topical += sub_topical_capacity[s];
+    }
+    TERAPHIM_ASSERT_MSG(total_topical >= num_topics,
+                        "corpus too small for the requested number of topics");
+
+    std::vector<std::vector<TopicalSlot>> sub_slots(num_subs);
+    std::vector<std::uint32_t> remaining = sub_topical_capacity;
+    std::uint32_t scheduled = 0;
+    // Round-robin over topics so quotas stay balanced; within a topic,
+    // place instances preferentially in the home subcollection.
+    for (std::uint32_t round = 0; scheduled < total_topical; ++round) {
+        for (std::uint32_t t = 0; t < num_topics && scheduled < total_topical; ++t) {
+            std::vector<double> w(num_subs, 0.0);
+            double total_w = 0.0;
+            for (std::size_t s = 0; s < num_subs; ++s) {
+                if (remaining[s] == 0) continue;
+                w[s] = static_cast<double>(remaining[s]) * (topic_home[t] == s ? 6.0 : 1.0);
+                total_w += w[s];
+            }
+            if (total_w == 0.0) break;
+            const std::size_t s = rng.weighted(w);
+            // The first two rounds are forced-relevant so every topic has
+            // judged documents; later rounds span the whole range.
+            const double mixture =
+                round < 2
+                    ? config.relevance_threshold +
+                          rng.uniform() * (config.mixture_max - config.relevance_threshold)
+                    : config.mixture_min +
+                          rng.uniform() * (config.mixture_max - config.mixture_min);
+            sub_slots[s].push_back({t, mixture});
+            --remaining[s];
+            ++scheduled;
+        }
+    }
+    // Arrange each subcollection's topical documents in *bursts*: runs of
+    // adjacent documents about the same topic, the way newswire stories
+    // about one event appear on consecutive days. Document adjacency is
+    // what makes the paper's grouped central index effective (adjacent
+    // documents collected into groups share topics, ref [13]).
+    std::vector<std::vector<std::vector<TopicalSlot>>> sub_bursts(num_subs);
+    for (std::size_t s = 0; s < num_subs; ++s) {
+        std::vector<std::vector<TopicalSlot>> by_topic(num_topics);
+        for (const TopicalSlot& slot : sub_slots[s]) by_topic[slot.topic].push_back(slot);
+        for (std::uint32_t t = 0; t < num_topics; ++t) {
+            auto& slots = by_topic[t];
+            std::size_t i = 0;
+            while (i < slots.size()) {
+                const std::size_t burst_len =
+                    std::min<std::size_t>(slots.size() - i, 1 + rng.below(5));
+                sub_bursts[s].emplace_back(slots.begin() + static_cast<std::ptrdiff_t>(i),
+                                           slots.begin() +
+                                               static_cast<std::ptrdiff_t>(i + burst_len));
+                i += burst_len;
+            }
+        }
+        std::shuffle(sub_bursts[s].begin(), sub_bursts[s].end(), rng);
+    }
+
+    // --- Generate the documents ----------------------------------------
+    SyntheticCorpus corpus;
+    corpus.subcollections.resize(num_subs);
+    const auto query_id_of = [&](std::uint32_t topic) {
+        return topic < config.num_long_topics
+                   ? kLongQueryFirstId + static_cast<int>(topic)
+                   : kShortQueryFirstId + static_cast<int>(topic - config.num_long_topics);
+    };
+
+    std::vector<std::string_view> tokens;
+    for (std::size_t s = 0; s < num_subs; ++s) {
+        const SubcollectionProfile& profile = config.subcollections[s];
+        Subcollection& sub = corpus.subcollections[s];
+        sub.name = profile.name;
+        sub.documents.reserve(profile.num_docs);
+
+        // Lay the shuffled bursts onto document positions: a burst, once
+        // started, occupies consecutive positions; gaps between bursts
+        // are background documents.
+        std::vector<const TopicalSlot*> slot_at(profile.num_docs, nullptr);
+        {
+            const auto& bursts = sub_bursts[s];
+            std::size_t slots_left = 0;
+            for (const auto& b : bursts) slots_left += b.size();
+            std::size_t burst_index = 0;
+            std::size_t within = 0;
+            bool in_burst = false;
+            for (std::uint32_t d = 0; d < profile.num_docs; ++d) {
+                const std::size_t docs_left = profile.num_docs - d;
+                if (!in_burst && burst_index < bursts.size()) {
+                    // Start probability keeps expected coverage exact; a
+                    // forced start guarantees every slot is placed.
+                    const double p =
+                        static_cast<double>(slots_left) / static_cast<double>(docs_left);
+                    if (docs_left <= slots_left || rng.chance(p)) {
+                        in_burst = true;
+                        within = 0;
+                    }
+                }
+                if (in_burst) {
+                    slot_at[d] = &bursts[burst_index][within];
+                    --slots_left;
+                    if (++within == bursts[burst_index].size()) {
+                        in_burst = false;
+                        ++burst_index;
+                    }
+                }
+            }
+            TERAPHIM_ASSERT_MSG(slots_left == 0, "burst layout left slots unplaced");
+        }
+
+        for (std::uint32_t d = 0; d < profile.num_docs; ++d) {
+            const double len_draw =
+                std::exp(std::log(profile.mean_doc_terms) +
+                         profile.doc_terms_sigma * rng.normal() -
+                         0.5 * profile.doc_terms_sigma * profile.doc_terms_sigma);
+            const auto num_terms = static_cast<std::uint32_t>(
+                std::clamp(len_draw, 30.0, 3000.0));
+
+            tokens.clear();
+            tokens.reserve(num_terms);
+            std::string id = external_id(sub.name, d);
+
+            if (slot_at[d] != nullptr) {
+                const TopicalSlot& slot = *slot_at[d];
+                const Topic& topic = topics[slot.topic];
+                // The document discusses its own *aspect* of the topic:
+                // topical tokens come from a per-document subset of the
+                // topic terms, weighted by the topic distribution.
+                const auto aspect = topic.sample_aspect(config.doc_aspect_terms, rng);
+                std::vector<double> aspect_weights;
+                aspect_weights.reserve(aspect.size());
+                for (std::size_t i : aspect) aspect_weights.push_back(topic.weight(i));
+                // A quarter of topical documents also carry a weak
+                // secondary topic, blurring topic boundaries.
+                const bool has_secondary = rng.chance(0.25);
+                const std::uint32_t secondary =
+                    has_secondary ? static_cast<std::uint32_t>(rng.below(num_topics)) : 0;
+                for (std::uint32_t i = 0; i < num_terms; ++i) {
+                    const double u = rng.uniform();
+                    std::uint32_t term;
+                    if (u < slot.mixture) {
+                        term = topic.term(aspect[rng.weighted(aspect_weights)]);
+                    } else if (has_secondary && u < slot.mixture + 0.08) {
+                        term = topics[secondary].sample(rng);
+                    } else {
+                        term = static_cast<std::uint32_t>(sub_samplers[s].sample(rng));
+                    }
+                    tokens.push_back(vocab[term]);
+                }
+                if (slot.mixture >= config.relevance_threshold) {
+                    corpus.judgments.add(query_id_of(slot.topic), id);
+                }
+            } else {
+                for (std::uint32_t i = 0; i < num_terms; ++i) {
+                    tokens.push_back(vocab[sub_samplers[s].sample(rng)]);
+                }
+            }
+
+            sub.documents.push_back({std::move(id), render_text(tokens, rng)});
+        }
+    }
+
+    // --- Queries ---------------------------------------------------------
+    const auto sample_distinct_topic_terms = [&](const Topic& topic, std::size_t want) {
+        std::vector<std::uint32_t> out;
+        std::unordered_set<std::uint32_t> seen;
+        // Weighted sampling with rejection; bounded because want <=
+        // terms_per_topic.
+        std::size_t guard = 0;
+        while (out.size() < want && guard++ < 10000) {
+            const std::uint32_t term = topic.sample(rng);
+            if (seen.insert(term).second) out.push_back(term);
+        }
+        return out;
+    };
+
+    corpus.long_queries.name = "Long queries (51-" +
+                               std::to_string(kLongQueryFirstId +
+                                              static_cast<int>(config.num_long_topics) - 1) +
+                               ")";
+    corpus.short_queries.name =
+        "Short queries (202-" +
+        std::to_string(kShortQueryFirstId + static_cast<int>(config.num_short_topics) - 1) +
+        ")";
+
+    for (std::uint32_t t = 0; t < num_topics; ++t) {
+        const bool is_long = t < config.num_long_topics;
+        const Topic& topic = topics[t];
+        std::string text;
+        if (is_long) {
+            // Verbose TREC-topic style: a topical core plus background
+            // narrative noise, with natural term repetition.
+            const auto core = sample_distinct_topic_terms(
+                topic, std::min<std::size_t>(16, topic.terms().size()));
+            for (std::uint32_t i = 0; i < config.long_query_terms; ++i) {
+                const double u = rng.uniform();
+                std::uint32_t term;
+                if (u < 0.45 && !core.empty()) {
+                    term = core[rng.below(core.size())];
+                } else {
+                    term = static_cast<std::uint32_t>(
+                        sub_samplers[rng.below(num_subs)].sample(rng));
+                }
+                if (!text.empty()) text += ' ';
+                text += vocab[term];
+            }
+        } else {
+            // Title-style: a handful of distinct characteristic terms,
+            // plus a little background noise (real short queries contain
+            // non-discriminative words even after stopping).
+            const std::size_t noise =
+                std::min<std::size_t>(config.short_query_noise_terms,
+                                      config.short_query_terms);
+            const auto core = sample_distinct_topic_terms(
+                topic, std::min<std::size_t>(config.short_query_terms - noise,
+                                             topic.terms().size()));
+            for (std::uint32_t term : core) {
+                if (!text.empty()) text += ' ';
+                text += vocab[term];
+            }
+            for (std::size_t i = 0; i < noise; ++i) {
+                const auto term = static_cast<std::uint32_t>(
+                    sub_samplers[rng.below(num_subs)].sample(rng));
+                if (!text.empty()) text += ' ';
+                text += vocab[term];
+            }
+        }
+        const int id = query_id_of(t);
+        (is_long ? corpus.long_queries : corpus.short_queries)
+            .queries.push_back({id, std::move(text)});
+    }
+
+    return corpus;
+}
+
+std::vector<Subcollection> resplit(const SyntheticCorpus& corpus, std::size_t n,
+                                   std::uint64_t seed) {
+    TERAPHIM_ASSERT(n >= 1);
+    std::vector<const store::Document*> all;
+    for (const auto& sub : corpus.subcollections) {
+        for (const auto& doc : sub.documents) all.push_back(&doc);
+    }
+    TERAPHIM_ASSERT(all.size() >= n);
+
+    // Geometric spread of sizes (largest ~8x the smallest, echoing the
+    // paper's "just over 1000 to just under 10,000 documents"), shuffled
+    // so size does not correlate with position.
+    util::Rng rng(seed);
+    std::vector<double> raw(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        raw[i] = std::pow(8.0, n == 1 ? 0.0 : static_cast<double>(i) / (n - 1));
+    }
+    std::shuffle(raw.begin(), raw.end(), rng);
+    const double total_raw = std::accumulate(raw.begin(), raw.end(), 0.0);
+
+    std::vector<std::size_t> sizes(n);
+    std::size_t assigned = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sizes[i] = std::max<std::size_t>(
+            1, static_cast<std::size_t>(raw[i] / total_raw * all.size()));
+        assigned += sizes[i];
+    }
+    // Fix rounding drift on the last subcollection.
+    while (assigned > all.size()) {
+        for (std::size_t i = 0; i < n && assigned > all.size(); ++i) {
+            if (sizes[i] > 1) {
+                --sizes[i];
+                --assigned;
+            }
+        }
+    }
+    sizes[n - 1] += all.size() - assigned;
+
+    std::vector<Subcollection> out(n);
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        char name[16];
+        std::snprintf(name, sizeof name, "S%02zu", i + 1);
+        out[i].name = name;
+        out[i].documents.reserve(sizes[i]);
+        for (std::size_t d = 0; d < sizes[i]; ++d) {
+            out[i].documents.push_back(*all[next++]);
+        }
+    }
+    TERAPHIM_ASSERT(next == all.size());
+    return out;
+}
+
+}  // namespace teraphim::corpus

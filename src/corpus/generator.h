@@ -1,0 +1,118 @@
+// Synthetic TREC-like corpus generation.
+//
+// The paper evaluates on TREC disk two: about a gigabyte of text in four
+// collections (AP, FR, WSJ, ZIFF), query sets 51-200 (long, ~90 terms
+// after stopping) and 202-250 (short, ~9.6 terms), and NIST relevance
+// judgments. None of that data can ship here, so this module generates a
+// corpus with the same *mechanisms*:
+//
+//  * a Zipfian vocabulary, so index compression and list-length skew are
+//    realistic;
+//  * four subcollections with individual lexical "dialects", so local
+//    and global term statistics genuinely diverge (the CN-vs-CV axis);
+//  * explicit topics with relevance by construction, so the 11-pt
+//    average and precision@20 of Table 1 can be computed;
+//  * long and short query sets with TREC-style topic numbers.
+//
+// Everything is driven by one seed: the same config always yields the
+// same corpus, queries and judgments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "eval/queryset.h"
+#include "store/docstore.h"
+#include "util/rng.h"
+
+namespace teraphim::corpus {
+
+struct SubcollectionProfile {
+    std::string name;
+    std::uint32_t num_docs = 0;
+    double mean_doc_terms = 180.0;  ///< mean indexed terms per document
+    double doc_terms_sigma = 0.5;   ///< lognormal shape for document length
+};
+
+struct CorpusConfig {
+    std::uint32_t vocab_size = 20000;
+    double zipf_s = 1.05;
+
+    /// Analogues of AP / WSJ / FR / ZIFF. Defaults give a small corpus
+    /// suitable for tests; the benches scale num_docs up.
+    std::vector<SubcollectionProfile> subcollections = {
+        {"AP", 1500, 200.0, 0.4},
+        {"WSJ", 1500, 180.0, 0.4},
+        {"FR", 1000, 260.0, 0.6},
+        {"ZIFF", 1000, 150.0, 0.5},
+    };
+
+    std::uint32_t num_long_topics = 16;   ///< queries numbered from 51
+    std::uint32_t num_short_topics = 16;  ///< queries numbered from 202
+    std::uint32_t terms_per_topic = 48;
+
+    /// Skew of the within-topic term distribution (small = broad, which
+    /// lowers query/document term overlap and makes retrieval harder).
+    double topic_skew = 0.4;
+
+    /// Each topical document draws its topical tokens from this many of
+    /// the topic's terms (its "aspect"): relevant documents about the
+    /// same topic then share only part of their vocabulary, as in real
+    /// collections, so recall is imperfect.
+    std::uint32_t doc_aspect_terms = 4;
+
+    /// Topic terms are drawn from the Zipf rank band [floor, ceiling):
+    /// frequent enough to pervade background text (ambiguous evidence),
+    /// but not stop-word-like. ceiling of 0 means vocab_size / 4.
+    std::uint32_t topic_term_floor = 100;
+    std::uint32_t topic_term_ceiling = 0;
+
+    /// Fraction of documents that carry a topic mixture.
+    double topical_doc_fraction = 0.35;
+    /// Topic mixture strength range for topical documents.
+    double mixture_min = 0.03;
+    double mixture_max = 0.15;
+    /// Documents with mixture >= threshold are judged relevant.
+    double relevance_threshold = 0.10;
+
+    /// Per-subcollection dialect: each subcollection re-weights this
+    /// fraction of the background vocabulary...
+    double dialect_fraction = 0.15;
+    /// ...by a factor drawn log-uniformly from [1/strength, strength].
+    double dialect_strength = 4.0;
+
+    std::uint32_t short_query_terms = 8;
+    /// Of which this many are background noise rather than topic terms.
+    std::uint32_t short_query_noise_terms = 3;
+    std::uint32_t long_query_terms = 90;
+
+    std::uint64_t seed = 42;
+};
+
+struct Subcollection {
+    std::string name;
+    std::vector<store::Document> documents;
+};
+
+struct SyntheticCorpus {
+    std::vector<Subcollection> subcollections;
+    eval::QuerySet long_queries;   ///< "Long queries (51-...)"
+    eval::QuerySet short_queries;  ///< "Short queries (202-...)"
+    eval::Judgments judgments;
+
+    std::uint32_t total_documents() const;
+};
+
+/// Generates the full corpus + queries + judgments.
+SyntheticCorpus generate_corpus(const CorpusConfig& config);
+
+/// Redistributes all documents of `corpus` into `n` contiguous
+/// subcollections of uneven sizes (geometric spread between the smallest
+/// and largest, shuffled), reproducing the paper's "43 subcollections"
+/// robustness experiment. Queries and judgments are unaffected because
+/// they reference external document ids.
+std::vector<Subcollection> resplit(const SyntheticCorpus& corpus, std::size_t n,
+                                   std::uint64_t seed);
+
+}  // namespace teraphim::corpus

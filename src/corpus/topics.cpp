@@ -1,0 +1,46 @@
+#include "corpus/topics.h"
+
+#include <unordered_set>
+
+#include "corpus/zipf.h"
+#include "util/error.h"
+
+namespace teraphim::corpus {
+
+Topic::Topic(std::uint32_t ceiling, std::uint32_t first_eligible, std::uint32_t num_terms,
+             util::Rng& rng, double skew)
+    : weights_(zipf_weights(num_terms, skew)),
+      sampler_([this] { return std::span<const double>(weights_); }()) {
+    TERAPHIM_ASSERT(first_eligible < ceiling);
+    TERAPHIM_ASSERT(num_terms > 0 && num_terms <= ceiling - first_eligible);
+    std::unordered_set<std::uint32_t> chosen;
+    terms_.reserve(num_terms);
+    while (terms_.size() < num_terms) {
+        const auto id = static_cast<std::uint32_t>(
+            first_eligible + rng.below(ceiling - first_eligible));
+        if (chosen.insert(id).second) terms_.push_back(id);
+    }
+}
+
+std::uint32_t Topic::sample(util::Rng& rng) const {
+    return terms_[sampler_.sample(rng)];
+}
+
+std::vector<std::size_t> Topic::sample_aspect(std::size_t count, util::Rng& rng) const {
+    TERAPHIM_ASSERT(count >= 1);
+    if (count >= terms_.size()) {
+        std::vector<std::size_t> all(terms_.size());
+        for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+        return all;
+    }
+    std::unordered_set<std::size_t> chosen;
+    std::vector<std::size_t> out;
+    out.reserve(count);
+    while (out.size() < count) {
+        const std::size_t i = sampler_.sample(rng);
+        if (chosen.insert(i).second) out.push_back(i);
+    }
+    return out;
+}
+
+}  // namespace teraphim::corpus

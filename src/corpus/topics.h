@@ -1,0 +1,53 @@
+// Topic models for the synthetic corpus.
+//
+// Each TREC query in the paper corresponds to an information need with a
+// judged set of relevant documents. The generator reproduces that
+// structure with explicit topics: a topic is a skewed distribution over
+// a small set of characteristic terms. Relevant documents mix topic
+// terms into their background text; queries sample the same terms. The
+// strength of the mixture controls how hard the topic is to retrieve.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace teraphim::corpus {
+
+class Topic {
+public:
+    /// Draws `num_terms` distinct characteristic terms from the id range
+    /// [first_eligible, ceiling) and assigns them Zipf(skew) weights.
+    /// A small skew keeps the distribution broad, so different documents
+    /// about the topic emphasise different terms — which is what makes
+    /// retrieval imperfect, as with real topics. Keeping the ceiling low
+    /// (mid-frequency words) means topic terms also occur routinely in
+    /// background text, so term matches are ambiguous evidence.
+    Topic(std::uint32_t ceiling, std::uint32_t first_eligible, std::uint32_t num_terms,
+          util::Rng& rng, double skew = 0.5);
+
+    /// Samples one term id from the full topic distribution.
+    std::uint32_t sample(util::Rng& rng) const;
+
+    /// Draws a document "aspect": `count` distinct term indices sampled
+    /// by weight. A document about the topic uses only its aspect, so
+    /// two relevant documents (or a document and a query) may share only
+    /// a few terms.
+    std::vector<std::size_t> sample_aspect(std::size_t count, util::Rng& rng) const;
+
+    /// Characteristic terms, most heavily weighted first.
+    const std::vector<std::uint32_t>& terms() const { return terms_; }
+
+    /// Weight of the i-th characteristic term (unnormalised).
+    double weight(std::size_t i) const { return weights_[i]; }
+
+    std::uint32_t term(std::size_t i) const { return terms_[i]; }
+
+private:
+    std::vector<std::uint32_t> terms_;
+    std::vector<double> weights_;
+    util::AliasSampler sampler_;
+};
+
+}  // namespace teraphim::corpus

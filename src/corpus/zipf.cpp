@@ -1,0 +1,56 @@
+#include "corpus/zipf.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "text/stopwords.h"
+#include "util/error.h"
+
+namespace teraphim::corpus {
+
+std::vector<double> zipf_weights(std::size_t n, double s) {
+    TERAPHIM_ASSERT(n > 0 && s > 0.0);
+    std::vector<double> w(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 1.0 / std::pow(static_cast<double>(i + 1), s);
+    }
+    return w;
+}
+
+std::vector<std::string> generate_vocabulary(std::size_t count, util::Rng& rng) {
+    static constexpr const char* kOnsets[] = {"b",  "c",  "d",  "f",  "g",  "h",  "j",
+                                              "k",  "l",  "m",  "n",  "p",  "r",  "s",
+                                              "t",  "v",  "w",  "z",  "br", "ch", "cl",
+                                              "cr", "dr", "fl", "gr", "pl", "pr", "sh",
+                                              "sl", "sp", "st", "str", "th", "tr"};
+    static constexpr const char* kNuclei[] = {"a",  "e",  "i",  "o",  "u",  "ai", "au",
+                                              "ea", "ee", "ia", "ie", "io", "oa", "oo",
+                                              "ou", "ui"};
+    static constexpr const char* kCodas[] = {"",   "",   "",  "b",  "ck", "d",  "g",
+                                             "l",  "m",  "n", "nd", "ng", "nt", "p",
+                                             "r",  "rd", "rm", "rn", "s",  "st", "t",
+                                             "x"};
+
+    const auto pick = [&rng](const auto& table) {
+        return table[rng.below(std::size(table))];
+    };
+
+    std::vector<std::string> vocab;
+    vocab.reserve(count);
+    std::unordered_set<std::string> seen;
+    const text::StopList& stops = text::StopList::english();
+    while (vocab.size() < count) {
+        std::string word;
+        const std::uint64_t syllables = 2 + rng.below(3);  // 2-4 syllables
+        for (std::uint64_t s = 0; s < syllables; ++s) {
+            word += pick(kOnsets);
+            word += pick(kNuclei);
+            if (s + 1 == syllables || rng.chance(0.3)) word += pick(kCodas);
+        }
+        if (stops.contains(word)) continue;
+        if (seen.insert(word).second) vocab.push_back(std::move(word));
+    }
+    return vocab;
+}
+
+}  // namespace teraphim::corpus

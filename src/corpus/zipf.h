@@ -1,0 +1,25 @@
+// Zipfian vocabulary machinery for the synthetic corpus.
+//
+// Natural-language term frequencies follow a Zipf law; the generator
+// samples background text from one, which is what gives the synthetic
+// inverted file the same compressed-size behaviour (few long lists, many
+// short ones) as the TREC data the paper indexes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace teraphim::corpus {
+
+/// Unnormalised Zipf weights w_i = 1/(i+1)^s for i in [0, n).
+std::vector<double> zipf_weights(std::size_t n, double s);
+
+/// Generates `count` distinct pronounceable lower-case pseudo-words,
+/// none of which collide with the default English stop list. Determined
+/// entirely by `rng`.
+std::vector<std::string> generate_vocabulary(std::size_t count, util::Rng& rng);
+
+}  // namespace teraphim::corpus

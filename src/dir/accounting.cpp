@@ -1,0 +1,69 @@
+#include "dir/accounting.h"
+
+namespace teraphim::dir {
+
+std::string_view mode_name(Mode mode) {
+    switch (mode) {
+        case Mode::MonoServer: return "MS";
+        case Mode::CentralNothing: return "CN";
+        case Mode::CentralVocabulary: return "CV";
+        case Mode::CentralIndex: return "CI";
+    }
+    return "?";
+}
+
+std::uint64_t QueryTrace::total_message_bytes() const {
+    std::uint64_t total = 0;
+    for (const auto& w : index_phase) total += w.request_bytes + w.response_bytes;
+    for (const auto& f : fetch_phase) total += f.request_bytes + f.response_bytes;
+    return total;
+}
+
+std::uint64_t QueryTrace::total_messages() const {
+    std::uint64_t total = 0;
+    for (const auto& w : index_phase) total += w.messages;
+    for (const auto& f : fetch_phase) total += f.messages;
+    return total;
+}
+
+std::uint64_t QueryTrace::total_postings_decoded() const {
+    std::uint64_t total = receptionist.central_postings;
+    for (const auto& w : index_phase) total += w.postings_decoded;
+    return total;
+}
+
+std::uint64_t QueryTrace::total_index_bits_read() const {
+    std::uint64_t total = receptionist.central_index_bits;
+    for (const auto& w : index_phase) total += w.index_bits_read;
+    return total;
+}
+
+std::size_t QueryTrace::participating_librarians() const {
+    std::size_t n = 0;
+    for (const auto& w : index_phase) {
+        if (w.participated) ++n;
+    }
+    return n;
+}
+
+void TraceTotals::add(const QueryTrace& trace) {
+    ++queries;
+    message_bytes += trace.total_message_bytes();
+    messages += trace.total_messages();
+    postings += trace.total_postings_decoded();
+    index_bits += trace.total_index_bits_read();
+    participants += trace.participating_librarians();
+}
+
+namespace {
+double ratio(std::uint64_t num, std::uint64_t den) {
+    return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+}
+}  // namespace
+
+double TraceTotals::mean_message_bytes() const { return ratio(message_bytes, queries); }
+double TraceTotals::mean_messages() const { return ratio(messages, queries); }
+double TraceTotals::mean_postings() const { return ratio(postings, queries); }
+double TraceTotals::mean_participants() const { return ratio(participants, queries); }
+
+}  // namespace teraphim::dir

@@ -1,0 +1,91 @@
+// Work accounting for distributed query evaluation.
+//
+// Every query execution produces a QueryTrace: who participated, how
+// many bytes moved, how much index work each party did. The trace serves
+// two purposes mirroring the paper's two evaluation axes (Section 3,
+// "Evaluation Criteria"):
+//   * response time — the trace is replayed on the discrete-event
+//     simulator (dir/deployment.h) against a topology and cost model;
+//   * resource usage — total CPU work, network volume, and storage,
+//     summed over all parties, independent of elapsed time.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace teraphim::dir {
+
+/// The methodologies of Section 3, plus the mono-server baseline.
+enum class Mode {
+    MonoServer,
+    CentralNothing,
+    CentralVocabulary,
+    CentralIndex,
+};
+
+std::string_view mode_name(Mode mode);
+
+/// Index-phase work performed by one librarian for one query.
+struct LibrarianWork {
+    bool participated = false;
+    std::uint64_t request_bytes = 0;
+    std::uint64_t response_bytes = 0;
+    std::uint64_t messages = 0;  ///< round trips in this phase
+    std::uint64_t term_lookups = 0;
+    std::uint64_t postings_decoded = 0;
+    std::uint64_t index_bits_read = 0;
+    std::uint64_t lists_opened = 0;  ///< disk seeks attributable to lists
+    std::uint64_t results_returned = 0;
+};
+
+/// Document-fetch-phase work for one librarian.
+struct FetchWork {
+    std::uint64_t docs = 0;
+    std::uint64_t payload_bytes = 0;  ///< document bytes on the wire
+    std::uint64_t disk_bytes = 0;     ///< compressed bytes read from disk
+    std::uint64_t messages = 0;       ///< 1 if bundled, `docs` if individual
+    std::uint64_t request_bytes = 0;
+    std::uint64_t response_bytes = 0;
+};
+
+/// Work performed centrally by the receptionist.
+struct ReceptionistWork {
+    std::uint64_t term_lookups = 0;       ///< global vocabulary probes
+    std::uint64_t central_postings = 0;   ///< CI grouped-index postings
+    std::uint64_t central_index_bits = 0;
+    std::uint64_t central_lists = 0;
+    std::uint64_t merge_items = 0;
+    std::uint64_t candidates_expanded = 0;  ///< CI: k' * G
+};
+
+struct QueryTrace {
+    Mode mode = Mode::MonoServer;
+    ReceptionistWork receptionist;
+    std::vector<LibrarianWork> index_phase;  ///< one entry per librarian
+    std::vector<FetchWork> fetch_phase;      ///< one entry per librarian
+
+    std::uint64_t total_message_bytes() const;
+    std::uint64_t total_messages() const;
+    std::uint64_t total_postings_decoded() const;
+    std::uint64_t total_index_bits_read() const;
+    std::size_t participating_librarians() const;
+};
+
+/// Element-wise accumulation, for averaging traces over a query set.
+struct TraceTotals {
+    std::uint64_t queries = 0;
+    std::uint64_t message_bytes = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t postings = 0;
+    std::uint64_t index_bits = 0;
+    std::uint64_t participants = 0;
+
+    void add(const QueryTrace& trace);
+    double mean_message_bytes() const;
+    double mean_messages() const;
+    double mean_postings() const;
+    double mean_participants() const;
+};
+
+}  // namespace teraphim::dir

@@ -1,0 +1,318 @@
+#include "dir/deployment.h"
+
+#include <functional>
+#include <memory>
+
+#include "index/builder.h"
+#include "sim/engine.h"
+#include "util/error.h"
+
+namespace teraphim::dir {
+
+namespace {
+
+std::unique_ptr<Librarian> build_from_documents(const std::string& name,
+                                                std::span<const store::Document* const> docs,
+                                                const LibrarianBuildOptions& options) {
+    text::Pipeline pipeline(options.pipeline);
+    index::IndexBuilder builder({options.skip_period});
+    store::DocStoreBuilder store_builder;
+    for (const store::Document* doc : docs) {
+        builder.add_document(pipeline.terms(doc->text));
+        store_builder.add_document(*doc);
+    }
+    return std::make_unique<Librarian>(name, std::move(builder).build(),
+                                       std::move(store_builder).build(), pipeline,
+                                       *options.measure);
+}
+
+std::unique_ptr<Librarian> build_from_subcollection(const corpus::Subcollection& sub,
+                                                    const LibrarianBuildOptions& options) {
+    std::vector<const store::Document*> docs;
+    docs.reserve(sub.documents.size());
+    for (const auto& d : sub.documents) docs.push_back(&d);
+    return build_from_documents(sub.name, docs, options);
+}
+
+}  // namespace
+
+std::unique_ptr<Librarian> build_librarian(const corpus::Subcollection& sub,
+                                           const LibrarianBuildOptions& options) {
+    return build_from_subcollection(sub, options);
+}
+
+std::unique_ptr<Librarian> build_mono_librarian(const corpus::SyntheticCorpus& corpus,
+                                                const LibrarianBuildOptions& options) {
+    std::vector<const store::Document*> docs;
+    for (const auto& sub : corpus.subcollections) {
+        for (const auto& d : sub.documents) docs.push_back(&d);
+    }
+    return build_from_documents("MS", docs, options);
+}
+
+// ---- Federation -----------------------------------------------------------
+
+Federation Federation::create(const corpus::SyntheticCorpus& corpus,
+                              const ReceptionistOptions& options,
+                              const LibrarianBuildOptions& build) {
+    if (options.mode == Mode::MonoServer) {
+        Federation fed;
+        fed.librarians_.push_back(build_mono_librarian(corpus, build));
+        std::vector<std::unique_ptr<Channel>> channels;
+        channels.push_back(std::make_unique<InProcessChannel>(*fed.librarians_[0]));
+        fed.receptionist_ = std::make_unique<Receptionist>(
+            std::move(channels), options, text::Pipeline(build.pipeline), *build.measure);
+        fed.receptionist_->prepare();
+        return fed;
+    }
+    return create(corpus.subcollections, options, build);
+}
+
+Federation Federation::create(const std::vector<corpus::Subcollection>& subs,
+                              const ReceptionistOptions& options,
+                              const LibrarianBuildOptions& build) {
+    TERAPHIM_ASSERT_MSG(options.mode != Mode::MonoServer,
+                        "mono-server federations are built from a whole corpus");
+    Federation fed;
+    std::vector<std::unique_ptr<Channel>> channels;
+    std::vector<const index::InvertedIndex*> indexes;
+    for (const auto& sub : subs) {
+        fed.librarians_.push_back(build_librarian(sub, build));
+        channels.push_back(std::make_unique<InProcessChannel>(*fed.librarians_.back()));
+        indexes.push_back(&fed.librarians_.back()->index());
+    }
+    fed.receptionist_ = std::make_unique<Receptionist>(
+        std::move(channels), options, text::Pipeline(build.pipeline), *build.measure);
+    if (options.mode == Mode::CentralIndex) {
+        fed.receptionist_->prepare(indexes);
+    } else {
+        fed.receptionist_->prepare();
+    }
+    return fed;
+}
+
+const std::string& Federation::external_id(const GlobalResult& result) const {
+    TERAPHIM_ASSERT(result.librarian < librarians_.size());
+    return librarians_[result.librarian]->store().external_id(result.doc);
+}
+
+std::vector<std::string> Federation::ranked_ids(const RankedAnswer& answer) const {
+    std::vector<std::string> ids;
+    ids.reserve(answer.ranking.size());
+    for (const GlobalResult& r : answer.ranking) ids.push_back(external_id(r));
+    return ids;
+}
+
+index::IndexStats Federation::combined_index_stats() const {
+    index::IndexStats total;
+    for (const auto& lib : librarians_) {
+        const index::IndexStats s = lib->index().index_stats();
+        total.num_documents += s.num_documents;
+        total.num_terms += s.num_terms;
+        total.num_postings += s.num_postings;
+        total.postings_bits += s.postings_bits;
+        total.skip_bits += s.skip_bits;
+        total.vocabulary_bytes += s.vocabulary_bytes;
+        total.weights_bytes += s.weights_bytes;
+    }
+    return total;
+}
+
+// ---- TcpFederation ----------------------------------------------------------
+
+TcpFederation TcpFederation::create(const corpus::SyntheticCorpus& corpus,
+                                    const ReceptionistOptions& options,
+                                    const LibrarianBuildOptions& build) {
+    TcpFederation fed;
+    std::vector<const index::InvertedIndex*> indexes;
+
+    if (options.mode == Mode::MonoServer) {
+        fed.librarians_.push_back(build_mono_librarian(corpus, build));
+    } else {
+        for (const auto& sub : corpus.subcollections) {
+            fed.librarians_.push_back(build_librarian(sub, build));
+        }
+    }
+    std::vector<std::unique_ptr<Channel>> channels;
+    for (auto& lib : fed.librarians_) {
+        indexes.push_back(&lib->index());
+        Librarian* raw = lib.get();
+        fed.servers_.push_back(std::make_unique<net::MessageServer>(
+            0, [raw](const net::Message& m) { return raw->handle(m); }));
+        channels.push_back(std::make_unique<TcpChannel>(
+            raw->name(),
+            net::TcpConnection::connect_to("127.0.0.1", fed.servers_.back()->port())));
+    }
+    fed.receptionist_ = std::make_unique<Receptionist>(
+        std::move(channels), options, text::Pipeline(build.pipeline), *build.measure);
+    if (options.mode == Mode::CentralIndex) {
+        fed.receptionist_->prepare(indexes);
+    } else {
+        fed.receptionist_->prepare();
+    }
+    return fed;
+}
+
+TcpFederation::~TcpFederation() { shutdown(); }
+
+const std::string& TcpFederation::external_id(const GlobalResult& result) const {
+    TERAPHIM_ASSERT(result.librarian < librarians_.size());
+    return librarians_[result.librarian]->store().external_id(result.doc);
+}
+
+void TcpFederation::shutdown() {
+    receptionist_.reset();  // closes the client connections first
+    for (auto& server : servers_) {
+        if (server) server->stop();
+    }
+    servers_.clear();
+}
+
+// ---- Simulation replay --------------------------------------------------------
+
+SimulatedTiming simulate_query(const QueryTrace& trace, const sim::TopologySpec& topology,
+                               const sim::CostModel& model) {
+    TERAPHIM_ASSERT_MSG(trace.index_phase.size() == topology.librarians.size(),
+                        "trace and topology disagree on librarian count");
+
+    sim::Engine engine;
+    sim::SimNetwork net(engine, topology);
+
+    double index_done = 0.0;
+    double total_done = 0.0;
+    std::size_t participants = 0;
+    for (const LibrarianWork& w : trace.index_phase) {
+        if (w.participated) ++participants;
+    }
+    std::size_t responses = 0;
+
+    std::size_t fetchers = 0;
+    for (const FetchWork& f : trace.fetch_phase) {
+        if (f.docs > 0) ++fetchers;
+    }
+    std::size_t fetchers_done = 0;
+    std::uint64_t total_fetched_docs = 0;
+
+    // Each request message pays the TCP/session establishment round
+    // trips before any payload moves — the "handshaking" the paper's WAN
+    // analysis identifies as the dominant wide-area cost.
+    const auto with_setup = [&](std::size_t s, std::function<void()> fn) {
+        const double setup = model.tcp_setup_round_trips * net.ping(s);
+        if (setup <= 0.0) {
+            fn();
+        } else {
+            engine.schedule_in(setup, std::move(fn));
+        }
+    };
+
+    // Fetch phase: per-librarian chains of `messages` round trips, run in
+    // parallel across librarians (the paper's implementation fetched
+    // documents individually; bundle_fetch collapses each chain to one
+    // round trip).
+    auto fetch_round = std::make_shared<std::function<void(std::size_t, std::uint64_t)>>();
+    const auto start_fetch = [&] {
+        index_done = engine.now();
+        if (fetchers == 0) {
+            total_done = index_done;
+            return;
+        }
+        for (std::size_t s = 0; s < trace.fetch_phase.size(); ++s) {
+            if (trace.fetch_phase[s].docs > 0) (*fetch_round)(s, 0);
+        }
+    };
+    *fetch_round = [&, fetch_round](std::size_t s, std::uint64_t round) {
+        // Plain values only: this closure's frame is gone by the time the
+        // nested callbacks fire inside the event loop.
+        const FetchWork f = trace.fetch_phase[s];
+        const std::uint64_t m = f.messages == 0 ? 1 : f.messages;
+        if (round == m) {
+            total_fetched_docs += f.docs;
+            if (++fetchers_done == fetchers) {
+                // Receptionist decodes/relays the documents to the user.
+                net.receptionist_cpu().use(
+                    static_cast<double>(total_fetched_docs) * model.seconds_per_doc_decode,
+                    [&] { total_done = engine.now(); });
+            }
+            return;
+        }
+        with_setup(s, [&, s, round, f, m] {
+        net.transfer(s, f.request_bytes / m, [&, s, round, f, m] {
+            net.librarian_disk(s).use(
+                model.fetch_disk_time(f.disk_bytes / m, f.docs / m), [&, s, round, f, m] {
+                    net.librarian_cpu(s).use(model.seconds_per_message, [&, s, round, f, m] {
+                        net.transfer(s, f.response_bytes / m,
+                                     [&, s, round] { (*fetch_round)(s, round + 1); });
+                    });
+                });
+        });
+        });
+    };
+
+    // Index phase: broadcast, librarian work, responses, merge.
+    const auto broadcast = [&] {
+        if (participants == 0) {
+            start_fetch();
+            return;
+        }
+        for (std::size_t s = 0; s < trace.index_phase.size(); ++s) {
+            const LibrarianWork& w = trace.index_phase[s];
+            if (!w.participated) continue;
+            with_setup(s, [&, s] {
+            net.transfer(s, trace.index_phase[s].request_bytes, [&, s] {
+                // trace outlives engine.run(); index it afresh per hop.
+                net.librarian_cpu(s).use(model.seconds_per_message, [&, s] {
+                    const LibrarianWork& lw = trace.index_phase[s];
+                    net.librarian_disk(s).use(
+                        model.index_disk_time(lw.index_bits_read / 8, lw.lists_opened),
+                        [&, s] {
+                            const LibrarianWork& lw2 = trace.index_phase[s];
+                            net.librarian_cpu(s).use(
+                                model.index_cpu_time(lw2.postings_decoded, lw2.term_lookups),
+                                [&, s] {
+                                    net.transfer(
+                                        s, trace.index_phase[s].response_bytes, [&] {
+                                            if (++responses == participants) {
+                                                net.receptionist_cpu().use(
+                                                    model.merge_cpu_time(
+                                                        trace.receptionist.merge_items),
+                                                    start_fetch);
+                                            }
+                                        });
+                                });
+                        });
+                });
+            });
+            });
+        }
+    };
+
+    // Receptionist startup: parse the query, probe the global vocabulary,
+    // and (CI) process the central grouped index before contacting anyone.
+    const double parse_cpu =
+        model.query_parse_seconds +
+        static_cast<double>(trace.receptionist.term_lookups) * model.seconds_per_term_lookup;
+    net.receptionist_cpu().use(parse_cpu, [&] {
+        if (trace.receptionist.central_index_bits > 0 ||
+            trace.receptionist.central_postings > 0) {
+            net.receptionist_disk().use(
+                model.index_disk_time(trace.receptionist.central_index_bits / 8,
+                                      trace.receptionist.central_lists),
+                [&] {
+                    net.receptionist_cpu().use(
+                        model.index_cpu_time(trace.receptionist.central_postings, 0) +
+                            model.merge_cpu_time(trace.receptionist.candidates_expanded),
+                        broadcast);
+                });
+        } else {
+            broadcast();
+        }
+    });
+
+    engine.run();
+    SimulatedTiming timing;
+    timing.index_seconds = index_done;
+    timing.total_seconds = total_done;
+    return timing;
+}
+
+}  // namespace teraphim::dir

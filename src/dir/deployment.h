@@ -1,0 +1,156 @@
+// Assembling TERAPHIM systems and pricing their executions.
+//
+// Three deployments share the same librarian/receptionist code and the
+// same wire protocol:
+//
+//  * In-process — channels call Librarian::handle directly (still through
+//    encoded frames, so byte accounting matches the network exactly).
+//    Used for effectiveness runs and as the execution engine whose
+//    traces the simulator prices.
+//  * TCP — librarians run as MessageServer threads on loopback ports;
+//    the receptionist talks real sockets. Used by the distributed
+//    examples and the integration tests.
+//  * Simulated — a QueryTrace recorded by either real deployment is
+//    replayed against a topology (sim/topology.h) and cost model
+//    (sim/cost_model.h) to produce the elapsed times of Tables 3-4.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "dir/receptionist.h"
+#include "net/tcp.h"
+#include "sim/cost_model.h"
+#include "sim/topology.h"
+
+namespace teraphim::dir {
+
+/// Channel that invokes a librarian in the same process. Frames are
+/// still encoded/decoded so message sizes equal the TCP deployment's.
+class InProcessChannel final : public Channel {
+public:
+    explicit InProcessChannel(Librarian& librarian) : librarian_(&librarian) {}
+
+    net::Message exchange(const net::Message& request) override {
+        return librarian_->handle(request);
+    }
+    const std::string& name() const override { return librarian_->name(); }
+
+private:
+    Librarian* librarian_;
+};
+
+/// Channel over a live TCP connection.
+class TcpChannel final : public Channel {
+public:
+    TcpChannel(std::string name, net::TcpConnection connection)
+        : name_(std::move(name)), connection_(std::move(connection)) {}
+
+    net::Message exchange(const net::Message& request) override {
+        connection_.send_message(request);
+        return connection_.recv_message();
+    }
+    const std::string& name() const override { return name_; }
+
+    net::TcpConnection& connection() { return connection_; }
+
+private:
+    std::string name_;
+    net::TcpConnection connection_;
+};
+
+struct LibrarianBuildOptions {
+    text::PipelineOptions pipeline;
+    std::uint32_t skip_period = 64;
+    const rank::SimilarityMeasure* measure = &rank::cosine_log_tf();
+};
+
+/// Indexes and stores one subcollection into a standalone librarian.
+std::unique_ptr<Librarian> build_librarian(const corpus::Subcollection& sub,
+                                           const LibrarianBuildOptions& options = {});
+
+/// Builds a single librarian over *all* documents of the corpus, in
+/// subcollection order — the mono-server (MS) baseline.
+std::unique_ptr<Librarian> build_mono_librarian(const corpus::SyntheticCorpus& corpus,
+                                                const LibrarianBuildOptions& options = {});
+
+/// A complete in-process TERAPHIM system: librarians plus receptionist,
+/// ready for querying, with evaluation helpers.
+class Federation {
+public:
+    /// Builds one librarian per subcollection (or a single mono-server
+    /// librarian when options.mode == MonoServer) and prepares the
+    /// receptionist.
+    static Federation create(const corpus::SyntheticCorpus& corpus,
+                             const ReceptionistOptions& options,
+                             const LibrarianBuildOptions& build = {});
+
+    /// Same, over an explicit subcollection split (the 43-way study).
+    static Federation create(const std::vector<corpus::Subcollection>& subs,
+                             const ReceptionistOptions& options,
+                             const LibrarianBuildOptions& build = {});
+
+    Receptionist& receptionist() { return *receptionist_; }
+    const Librarian& librarian(std::size_t i) const { return *librarians_[i]; }
+    std::size_t num_librarians() const { return librarians_.size(); }
+
+    /// External id of a merged result (evaluation only; not on the wire).
+    const std::string& external_id(const GlobalResult& result) const;
+
+    /// The ranking as external ids, for the effectiveness metrics.
+    std::vector<std::string> ranked_ids(const RankedAnswer& answer) const;
+
+    /// Combined index statistics across the librarians.
+    index::IndexStats combined_index_stats() const;
+
+private:
+    Federation() = default;
+
+    std::vector<std::unique_ptr<Librarian>> librarians_;
+    std::unique_ptr<Receptionist> receptionist_;
+};
+
+/// A TCP deployment: every librarian runs behind a MessageServer thread
+/// on a loopback port; the receptionist holds one TcpChannel per
+/// librarian. Intended for the examples and integration tests.
+class TcpFederation {
+public:
+    static TcpFederation create(const corpus::SyntheticCorpus& corpus,
+                                const ReceptionistOptions& options,
+                                const LibrarianBuildOptions& build = {});
+    ~TcpFederation();
+
+    TcpFederation(TcpFederation&&) = default;
+    TcpFederation& operator=(TcpFederation&&) = default;
+
+    Receptionist& receptionist() { return *receptionist_; }
+    const Librarian& librarian(std::size_t i) const { return *librarians_[i]; }
+    std::size_t num_librarians() const { return librarians_.size(); }
+    std::uint16_t port(std::size_t i) const { return servers_[i]->port(); }
+
+    const std::string& external_id(const GlobalResult& result) const;
+
+    /// Closes receptionist connections and stops the server threads.
+    void shutdown();
+
+private:
+    TcpFederation() = default;
+
+    std::vector<std::unique_ptr<Librarian>> librarians_;
+    std::vector<std::unique_ptr<net::MessageServer>> servers_;
+    std::unique_ptr<Receptionist> receptionist_;
+};
+
+/// Simulated elapsed times for one query trace.
+struct SimulatedTiming {
+    double index_seconds = 0.0;  ///< steps 1-3 (Table 3)
+    double total_seconds = 0.0;  ///< steps 1-4 (Table 4)
+};
+
+/// Replays a trace on the discrete-event simulator. Deterministic.
+SimulatedTiming simulate_query(const QueryTrace& trace, const sim::TopologySpec& topology,
+                               const sim::CostModel& model);
+
+}  // namespace teraphim::dir

@@ -1,0 +1,146 @@
+#include "dir/librarian.h"
+
+#include "rank/boolean.h"
+#include "rank/candidate_scorer.h"
+#include "rank/query_processor.h"
+
+namespace teraphim::dir {
+
+Librarian::Librarian(std::string name, index::InvertedIndex index, store::DocumentStore store,
+                     text::Pipeline pipeline, const rank::SimilarityMeasure& measure)
+    : name_(std::move(name)),
+      index_(std::move(index)),
+      store_(std::move(store)),
+      pipeline_(pipeline),
+      measure_(&measure) {
+    TERAPHIM_ASSERT_MSG(index_.num_documents() == store_.size(),
+                        "index and document store disagree on collection size");
+}
+
+net::Message Librarian::handle(const net::Message& request) {
+    try {
+        switch (request.type) {
+            case net::MessageType::Ping:
+                return {net::MessageType::Pong, {}};
+            case net::MessageType::StatsRequest:
+                return stats().encode();
+            case net::MessageType::VocabularyRequest:
+                return vocabulary_dump().encode();
+            case net::MessageType::RankRequest:
+                return rank_local(RankRequest::decode(request)).encode();
+            case net::MessageType::RankWeightedRequest:
+                return rank_weighted(RankWeightedRequest::decode(request)).encode();
+            case net::MessageType::CandidateRequest:
+                return score_candidates(CandidateRequest::decode(request)).encode();
+            case net::MessageType::FetchRequest:
+                return fetch(FetchRequest::decode(request)).encode();
+            case net::MessageType::BooleanRequest:
+                return boolean(BooleanRequest::decode(request)).encode();
+            default:
+                return ErrorResponse{"unsupported request type"}.encode();
+        }
+    } catch (const Error& e) {
+        return ErrorResponse{e.what()}.encode();
+    }
+}
+
+StatsResponse Librarian::stats() const {
+    StatsResponse out;
+    out.librarian_name = name_;
+    out.num_documents = index_.num_documents();
+    out.num_terms = index_.num_terms();
+    out.index_bytes = index_.index_stats().total_bytes();
+    out.store_bytes = store_.total_compressed_bytes() + store_.model_bytes();
+    return out;
+}
+
+VocabularyResponse Librarian::vocabulary_dump() const {
+    VocabularyResponse out;
+    out.num_documents = index_.num_documents();
+    out.entries.reserve(index_.num_terms());
+    for (index::TermId id : index_.vocabulary().sorted_ids()) {
+        out.entries.push_back(
+            {index_.vocabulary().term(id), index_.stats(id).doc_frequency});
+    }
+    return out;
+}
+
+namespace {
+WorkReport work_from_rank_stats(const rank::RankStats& stats) {
+    WorkReport w;
+    w.term_lookups = stats.terms_matched;
+    w.postings_decoded = stats.postings_decoded;
+    w.index_bits_read = stats.index_bits_read;
+    w.lists_opened = stats.terms_matched;
+    w.disk_bytes = (stats.index_bits_read + 7) / 8;
+    return w;
+}
+}  // namespace
+
+RankResponse Librarian::rank_local(const RankRequest& req) const {
+    rank::Query query;
+    query.terms = req.terms;
+    rank::RankStats stats;
+    rank::QueryProcessor processor(index_, *measure_);
+    RankResponse out;
+    out.results = processor.rank(query, req.k, &stats);
+    out.work = work_from_rank_stats(stats);
+    return out;
+}
+
+RankResponse Librarian::rank_weighted(const RankWeightedRequest& req) const {
+    rank::RankStats stats;
+    rank::QueryProcessor processor(index_, *measure_);
+    RankResponse out;
+    out.results = processor.rank_weighted(req.terms, req.query_norm, req.k, &stats);
+    out.work = work_from_rank_stats(stats);
+    return out;
+}
+
+CandidateResponse Librarian::score_candidates(const CandidateRequest& req) const {
+    rank::CandidateStats stats;
+    CandidateResponse out;
+    out.scored = rank::score_candidates(index_, *measure_, req.terms, req.query_norm,
+                                        req.candidates, req.use_skips, &stats);
+    out.work.term_lookups = stats.terms_matched;
+    out.work.postings_decoded = stats.postings_decoded;
+    out.work.index_bits_read = stats.index_bits_read;
+    out.work.lists_opened = stats.terms_matched;
+    out.work.disk_bytes = (stats.index_bits_read + 7) / 8;
+    return out;
+}
+
+FetchResponse Librarian::fetch(const FetchRequest& req) const {
+    FetchResponse out;
+    out.docs.reserve(req.docs.size());
+    for (std::uint32_t doc : req.docs) {
+        if (doc >= store_.size()) {
+            throw ProtocolError("fetch: document " + std::to_string(doc) +
+                                " out of range at librarian " + name_);
+        }
+        FetchedDocument fd;
+        fd.external_id = store_.external_id(doc);
+        fd.compressed = req.send_compressed;
+        if (req.send_compressed) {
+            const auto blob = store_.compressed(doc);
+            fd.payload.assign(blob.begin(), blob.end());
+        } else {
+            const std::string text = store_.fetch(doc);
+            fd.payload.assign(text.begin(), text.end());
+        }
+        out.work.disk_bytes += store_.compressed_bytes(doc);
+        out.docs.push_back(std::move(fd));
+    }
+    return out;
+}
+
+BooleanResponse Librarian::boolean(const BooleanRequest& req) const {
+    BooleanResponse out;
+    out.docs = rank::boolean_search(req.expression, index_, pipeline_);
+    // Boolean evaluation touches the full lists of every query term; we
+    // approximate work as the parse tree's term lists.
+    out.work.term_lookups = 0;
+    return out;
+}
+
+}  // namespace teraphim::dir

@@ -1,0 +1,58 @@
+// The librarian: an independent mono-server over one subcollection.
+//
+// "Each is responsible for some component of the collection, for which
+// it maintains an index, evaluates queries, and fetches documents"
+// (Section 3). A librarian is deliberately self-sufficient: it can
+// answer every request using only local state, so any subcollection can
+// be queried standalone or be a logical component of databases managed
+// by several different receptionists (the paper's transparency
+// requirement).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "dir/protocol.h"
+#include "index/inverted_index.h"
+#include "net/message.h"
+#include "rank/similarity.h"
+#include "store/docstore.h"
+#include "text/pipeline.h"
+
+namespace teraphim::dir {
+
+class Librarian {
+public:
+    Librarian(std::string name, index::InvertedIndex index, store::DocumentStore store,
+              text::Pipeline pipeline = text::Pipeline{},
+              const rank::SimilarityMeasure& measure = rank::cosine_log_tf());
+
+    /// Single protocol entry point: decodes the request, performs the
+    /// work, returns the encoded response. Never throws for malformed
+    /// requests — those yield an Error message, as a network server must.
+    net::Message handle(const net::Message& request);
+
+    // Typed operations (handle() delegates to these; direct callers skip
+    // the serialization round trip).
+    StatsResponse stats() const;
+    VocabularyResponse vocabulary_dump() const;
+    RankResponse rank_local(const RankRequest& req) const;
+    RankResponse rank_weighted(const RankWeightedRequest& req) const;
+    CandidateResponse score_candidates(const CandidateRequest& req) const;
+    FetchResponse fetch(const FetchRequest& req) const;
+    BooleanResponse boolean(const BooleanRequest& req) const;
+
+    const std::string& name() const { return name_; }
+    const index::InvertedIndex& index() const { return index_; }
+    const store::DocumentStore& store() const { return store_; }
+    const text::Pipeline& pipeline() const { return pipeline_; }
+
+private:
+    std::string name_;
+    index::InvertedIndex index_;
+    store::DocumentStore store_;
+    text::Pipeline pipeline_;
+    const rank::SimilarityMeasure* measure_;
+};
+
+}  // namespace teraphim::dir

@@ -1,0 +1,65 @@
+#include "dir/merge.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace teraphim::dir {
+
+bool global_result_before(const GlobalResult& a, const GlobalResult& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.librarian != b.librarian) return a.librarian < b.librarian;
+    return a.doc < b.doc;
+}
+
+std::vector<GlobalResult> merge_rankings(
+    std::span<const std::vector<rank::SearchResult>> per_librarian, std::size_t k,
+    std::uint64_t* merge_items) {
+    // Heads of each list form the heap; popping the global best advances
+    // that list. Each input list is required to be sorted best-first.
+    struct Head {
+        std::uint32_t librarian;
+        std::size_t pos;
+    };
+    std::uint64_t ops = 0;
+
+    const auto head_result = [&](const Head& h) {
+        const rank::SearchResult& r = per_librarian[h.librarian][h.pos];
+        return GlobalResult{h.librarian, r.doc, r.score};
+    };
+    const auto later = [&](const Head& a, const Head& b) {
+        return global_result_before(head_result(b), head_result(a));
+    };
+
+    std::vector<Head> heap;
+    heap.reserve(per_librarian.size());
+    for (std::uint32_t s = 0; s < per_librarian.size(); ++s) {
+        for (std::size_t i = 1; i < per_librarian[s].size(); ++i) {
+            TERAPHIM_ASSERT_MSG(
+                rank::result_before(per_librarian[s][i - 1], per_librarian[s][i]) ||
+                    per_librarian[s][i - 1].score == per_librarian[s][i].score,
+                "librarian ranking must be sorted best-first");
+        }
+        if (!per_librarian[s].empty()) heap.push_back({s, 0});
+    }
+    std::make_heap(heap.begin(), heap.end(), later);
+
+    std::vector<GlobalResult> out;
+    out.reserve(std::min(k, heap.size() * 4));
+    while (!heap.empty() && out.size() < k) {
+        std::pop_heap(heap.begin(), heap.end(), later);
+        Head h = heap.back();
+        heap.pop_back();
+        out.push_back(head_result(h));
+        ++ops;
+        if (h.pos + 1 < per_librarian[h.librarian].size()) {
+            heap.push_back({h.librarian, h.pos + 1});
+            std::push_heap(heap.begin(), heap.end(), later);
+            ++ops;
+        }
+    }
+    if (merge_items != nullptr) *merge_items = ops;
+    return out;
+}
+
+}  // namespace teraphim::dir

@@ -1,0 +1,42 @@
+// Merging librarian rankings into a collection-wide ranking.
+//
+// Step 3 of the Section 3 method: "the receptionist ... waits for all
+// the nominated librarians to respond and then merges their rankings to
+// obtain a global collection-wide ranking and identify the top k
+// documents." In CN the supplied similarity values are accepted at face
+// value ("it has no basis for perturbing either the numeric values or
+// the ordering"); in CV and CI the values are globally consistent by
+// construction, so the same merge produces exactly the mono-server
+// ranking.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rank/similarity.h"
+
+namespace teraphim::dir {
+
+/// A result with provenance: which librarian owns the document.
+struct GlobalResult {
+    std::uint32_t librarian = 0;
+    std::uint32_t doc = 0;  ///< local doc number within that librarian
+    double score = 0.0;
+
+    friend bool operator==(const GlobalResult&, const GlobalResult&) = default;
+};
+
+/// Deterministic global order: score descending, then (librarian, doc)
+/// ascending to break ties.
+bool global_result_before(const GlobalResult& a, const GlobalResult& b);
+
+/// Merges per-librarian rankings (each already sorted best-first) and
+/// returns the top `k` overall. The merge is a k-way heap walk, costing
+/// O(k log S); `merge_items` (if provided) receives the number of heap
+/// operations for cost accounting.
+std::vector<GlobalResult> merge_rankings(
+    std::span<const std::vector<rank::SearchResult>> per_librarian, std::size_t k,
+    std::uint64_t* merge_items = nullptr);
+
+}  // namespace teraphim::dir

@@ -1,0 +1,171 @@
+// The three federated methodologies (Section 3 of the paper).
+#include <algorithm>
+
+#include "dir/receptionist.h"
+#include "rank/query_processor.h"
+#include "util/error.h"
+
+namespace teraphim::dir {
+
+namespace {
+
+LibrarianWork work_from_report(const WorkReport& report) {
+    LibrarianWork w;
+    w.term_lookups = report.term_lookups;
+    w.postings_decoded = report.postings_decoded;
+    w.index_bits_read = report.index_bits_read;
+    w.lists_opened = report.lists_opened;
+    return w;
+}
+
+}  // namespace
+
+RankedAnswer Receptionist::rank_central_nothing(const rank::Query& query, std::size_t depth) {
+    RankedAnswer answer;
+    answer.trace.mode = options_.mode;
+    answer.trace.index_phase.assign(channels_.size(), LibrarianWork{});
+
+    RankRequest req;
+    req.k = static_cast<std::uint32_t>(depth);
+    req.terms = query.terms;
+    const net::Message encoded = req.encode();
+
+    // "When a query is entered every librarian is given the query and
+    // prepares a ranking of its k best documents, as determined by its
+    // index and its values for parameters f_t and N."
+    std::vector<std::vector<rank::SearchResult>> rankings(channels_.size());
+    for (std::size_t s = 0; s < channels_.size(); ++s) {
+        LibrarianWork& lw = answer.trace.index_phase[s];
+        const net::Message reply = exchange_counted(s, encoded, lw);
+        auto resp = RankResponse::decode(reply);
+        const LibrarianWork counted = lw;  // keep byte/message counts
+        lw = work_from_report(resp.work);
+        lw.participated = counted.participated;
+        lw.request_bytes = counted.request_bytes;
+        lw.response_bytes = counted.response_bytes;
+        lw.messages = counted.messages;
+        lw.results_returned = resp.results.size();
+        rankings[s] = std::move(resp.results);
+    }
+
+    answer.ranking =
+        merge_rankings(rankings, depth, &answer.trace.receptionist.merge_items);
+    return answer;
+}
+
+RankedAnswer Receptionist::rank_central_vocabulary(const rank::Query& query,
+                                                   std::size_t depth) {
+    RankedAnswer answer;
+    answer.trace.mode = options_.mode;
+    answer.trace.index_phase.assign(channels_.size(), LibrarianWork{});
+
+    // Resolve collection-wide weights against the merged vocabulary;
+    // librarians holding none of the query terms are never contacted.
+    std::vector<bool> holders;
+    const auto weighted = global_weights(query, &holders);
+    answer.trace.receptionist.term_lookups += query.terms.size();
+
+    RankWeightedRequest req;
+    req.k = static_cast<std::uint32_t>(depth);
+    req.terms = weighted;
+    req.query_norm = rank::query_norm(weighted);
+    const net::Message encoded = req.encode();
+
+    std::vector<std::vector<rank::SearchResult>> rankings(channels_.size());
+    for (std::size_t s = 0; s < channels_.size(); ++s) {
+        if (!holders[s]) continue;
+        LibrarianWork& lw = answer.trace.index_phase[s];
+        const net::Message reply = exchange_counted(s, encoded, lw);
+        auto resp = RankResponse::decode(reply);
+        const LibrarianWork counted = lw;
+        lw = work_from_report(resp.work);
+        lw.participated = counted.participated;
+        lw.request_bytes = counted.request_bytes;
+        lw.response_bytes = counted.response_bytes;
+        lw.messages = counted.messages;
+        lw.results_returned = resp.results.size();
+        rankings[s] = std::move(resp.results);
+    }
+
+    answer.ranking =
+        merge_rankings(rankings, depth, &answer.trace.receptionist.merge_items);
+    return answer;
+}
+
+RankedAnswer Receptionist::rank_central_index(const rank::Query& query, std::size_t depth) {
+    TERAPHIM_ASSERT_MSG(grouped_.has_value(), "CI receptionist not prepared");
+    RankedAnswer answer;
+    answer.trace.mode = options_.mode;
+    answer.trace.index_phase.assign(channels_.size(), LibrarianWork{});
+
+    // --- Step 1: rank groups on the central grouped index --------------
+    // The grouped index is itself a small text database; its own group-
+    // level statistics drive the group ranking.
+    rank::RankStats central;
+    rank::QueryProcessor group_processor(grouped_->index(), *measure_);
+    const auto group_ranking = group_processor.rank(query, options_.k_prime, &central);
+    answer.trace.receptionist.central_postings = central.postings_decoded;
+    answer.trace.receptionist.central_index_bits = central.index_bits_read;
+    answer.trace.receptionist.central_lists = central.terms_matched;
+    answer.trace.receptionist.term_lookups += query.terms.size();
+
+    // --- Step 2: expand the k' best groups into candidate documents ----
+    const index::CollectionLayout& layout = grouped_->layout();
+    std::vector<std::vector<std::uint32_t>> candidates(channels_.size());
+    for (const rank::SearchResult& g : group_ranking) {
+        const auto [begin, end] = grouped_->group_doc_range(g.doc);
+        for (std::uint32_t global_doc = begin; global_doc < end; ++global_doc) {
+            const auto [sub, local] = layout.local_of(global_doc);
+            candidates[sub].push_back(local);
+        }
+    }
+    std::uint64_t total_candidates = 0;
+    for (auto& c : candidates) {
+        std::sort(c.begin(), c.end());
+        total_candidates += c.size();
+    }
+    answer.trace.receptionist.candidates_expanded = total_candidates;
+
+    // --- Step 3: librarians score exactly the candidates they own ------
+    // Weights come from the merged document-level vocabulary, so scores
+    // are globally consistent (the receptionist merged the subcollection
+    // vocabularies during preprocessing).
+    const auto weighted = global_weights(query, nullptr);
+    const double norm = rank::query_norm(weighted);
+
+    std::vector<GlobalResult> scored;
+    scored.reserve(total_candidates);
+    for (std::size_t s = 0; s < channels_.size(); ++s) {
+        if (candidates[s].empty()) continue;
+        CandidateRequest req;
+        req.query_norm = norm;
+        req.use_skips = options_.use_skips;
+        req.terms = weighted;
+        req.candidates = candidates[s];
+
+        LibrarianWork& lw = answer.trace.index_phase[s];
+        const net::Message reply = exchange_counted(s, req.encode(), lw);
+        auto resp = CandidateResponse::decode(reply);
+        const LibrarianWork counted = lw;
+        lw = work_from_report(resp.work);
+        lw.participated = counted.participated;
+        lw.request_bytes = counted.request_bytes;
+        lw.response_bytes = counted.response_bytes;
+        lw.messages = counted.messages;
+        lw.results_returned = resp.scored.size();
+        for (const rank::SearchResult& r : resp.scored) {
+            if (r.score > 0.0) {
+                scored.push_back({static_cast<std::uint32_t>(s), r.doc, r.score});
+            }
+        }
+    }
+
+    // --- Merge: sort the k'.G similarity values, keep the best ---------
+    std::sort(scored.begin(), scored.end(), global_result_before);
+    answer.trace.receptionist.merge_items = scored.size();
+    if (scored.size() > depth) scored.resize(depth);
+    answer.ranking = std::move(scored);
+    return answer;
+}
+
+}  // namespace teraphim::dir

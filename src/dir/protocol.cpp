@@ -1,0 +1,334 @@
+#include "dir/protocol.h"
+
+#include "net/serialize.h"
+
+namespace teraphim::dir {
+
+namespace {
+
+void encode_work(net::Writer& w, const WorkReport& work) {
+    w.u64(work.term_lookups);
+    w.u64(work.postings_decoded);
+    w.u64(work.index_bits_read);
+    w.u64(work.lists_opened);
+    w.u64(work.disk_bytes);
+}
+
+WorkReport decode_work(net::Reader& r) {
+    WorkReport work;
+    work.term_lookups = r.u64();
+    work.postings_decoded = r.u64();
+    work.index_bits_read = r.u64();
+    work.lists_opened = r.u64();
+    work.disk_bytes = r.u64();
+    return work;
+}
+
+net::Message finish(net::MessageType type, net::Writer& w) {
+    return {type, w.take()};
+}
+
+}  // namespace
+
+void expect_type(const net::Message& m, net::MessageType expected) {
+    if (m.type == net::MessageType::Error) {
+        throw ProtocolError("librarian error: " + ErrorResponse::decode(m).reason);
+    }
+    if (m.type != expected) {
+        throw ProtocolError("unexpected message type " +
+                            std::to_string(static_cast<int>(m.type)));
+    }
+}
+
+// ---- Stats ---------------------------------------------------------------
+
+net::Message StatsRequest::encode() const {
+    net::Writer w;
+    return finish(net::MessageType::StatsRequest, w);
+}
+
+StatsRequest StatsRequest::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::StatsRequest);
+    return {};
+}
+
+net::Message StatsResponse::encode() const {
+    net::Writer w;
+    w.str(librarian_name);
+    w.u32(num_documents);
+    w.u64(num_terms);
+    w.u64(index_bytes);
+    w.u64(store_bytes);
+    return finish(net::MessageType::StatsResponse, w);
+}
+
+StatsResponse StatsResponse::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::StatsResponse);
+    net::Reader r(m.payload);
+    StatsResponse out;
+    out.librarian_name = r.str();
+    out.num_documents = r.u32();
+    out.num_terms = r.u64();
+    out.index_bytes = r.u64();
+    out.store_bytes = r.u64();
+    return out;
+}
+
+// ---- Vocabulary ------------------------------------------------------------
+
+net::Message VocabularyRequest::encode() const {
+    net::Writer w;
+    return finish(net::MessageType::VocabularyRequest, w);
+}
+
+VocabularyRequest VocabularyRequest::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::VocabularyRequest);
+    return {};
+}
+
+net::Message VocabularyResponse::encode() const {
+    net::Writer w;
+    w.u32(num_documents);
+    w.vec(entries, [](net::Writer& wr, const VocabEntry& e) {
+        wr.str(e.term);
+        wr.u64(e.doc_frequency);
+    });
+    return finish(net::MessageType::VocabularyResponse, w);
+}
+
+VocabularyResponse VocabularyResponse::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::VocabularyResponse);
+    net::Reader r(m.payload);
+    VocabularyResponse out;
+    out.num_documents = r.u32();
+    out.entries = r.vec<VocabEntry>([](net::Reader& rd) {
+        VocabEntry e;
+        e.term = rd.str();
+        e.doc_frequency = rd.u64();
+        return e;
+    });
+    return out;
+}
+
+// ---- Ranking ---------------------------------------------------------------
+
+net::Message RankRequest::encode() const {
+    net::Writer w;
+    w.u32(k);
+    w.vec(terms, [](net::Writer& wr, const rank::QueryTerm& t) {
+        wr.str(t.term);
+        wr.u32(t.fqt);
+    });
+    return finish(net::MessageType::RankRequest, w);
+}
+
+RankRequest RankRequest::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::RankRequest);
+    net::Reader r(m.payload);
+    RankRequest out;
+    out.k = r.u32();
+    out.terms = r.vec<rank::QueryTerm>([](net::Reader& rd) {
+        rank::QueryTerm t;
+        t.term = rd.str();
+        t.fqt = rd.u32();
+        return t;
+    });
+    return out;
+}
+
+net::Message RankWeightedRequest::encode() const {
+    net::Writer w;
+    w.u32(k);
+    w.f64(query_norm);
+    w.vec(terms, [](net::Writer& wr, const rank::WeightedQueryTerm& t) {
+        wr.str(t.term);
+        wr.f64(t.weight);
+    });
+    return finish(net::MessageType::RankWeightedRequest, w);
+}
+
+RankWeightedRequest RankWeightedRequest::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::RankWeightedRequest);
+    net::Reader r(m.payload);
+    RankWeightedRequest out;
+    out.k = r.u32();
+    out.query_norm = r.f64();
+    out.terms = r.vec<rank::WeightedQueryTerm>([](net::Reader& rd) {
+        rank::WeightedQueryTerm t;
+        t.term = rd.str();
+        t.weight = rd.f64();
+        return t;
+    });
+    return out;
+}
+
+namespace {
+void encode_results(net::Writer& w, const std::vector<rank::SearchResult>& results) {
+    w.vec(results, [](net::Writer& wr, const rank::SearchResult& r) {
+        wr.u32(r.doc);
+        wr.f64(r.score);
+    });
+}
+
+std::vector<rank::SearchResult> decode_results(net::Reader& r) {
+    return r.vec<rank::SearchResult>([](net::Reader& rd) {
+        rank::SearchResult s;
+        s.doc = rd.u32();
+        s.score = rd.f64();
+        return s;
+    });
+}
+}  // namespace
+
+net::Message RankResponse::encode() const {
+    net::Writer w;
+    encode_results(w, results);
+    encode_work(w, work);
+    return finish(net::MessageType::RankResponse, w);
+}
+
+RankResponse RankResponse::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::RankResponse);
+    net::Reader r(m.payload);
+    RankResponse out;
+    out.results = decode_results(r);
+    out.work = decode_work(r);
+    return out;
+}
+
+net::Message CandidateRequest::encode() const {
+    net::Writer w;
+    w.f64(query_norm);
+    w.u8(use_skips ? 1 : 0);
+    w.vec(terms, [](net::Writer& wr, const rank::WeightedQueryTerm& t) {
+        wr.str(t.term);
+        wr.f64(t.weight);
+    });
+    w.vec(candidates, [](net::Writer& wr, std::uint32_t d) { wr.u32(d); });
+    return finish(net::MessageType::CandidateRequest, w);
+}
+
+CandidateRequest CandidateRequest::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::CandidateRequest);
+    net::Reader r(m.payload);
+    CandidateRequest out;
+    out.query_norm = r.f64();
+    out.use_skips = r.u8() != 0;
+    out.terms = r.vec<rank::WeightedQueryTerm>([](net::Reader& rd) {
+        rank::WeightedQueryTerm t;
+        t.term = rd.str();
+        t.weight = rd.f64();
+        return t;
+    });
+    out.candidates = r.vec<std::uint32_t>([](net::Reader& rd) { return rd.u32(); });
+    return out;
+}
+
+net::Message CandidateResponse::encode() const {
+    net::Writer w;
+    encode_results(w, scored);
+    encode_work(w, work);
+    return finish(net::MessageType::CandidateResponse, w);
+}
+
+CandidateResponse CandidateResponse::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::CandidateResponse);
+    net::Reader r(m.payload);
+    CandidateResponse out;
+    out.scored = decode_results(r);
+    out.work = decode_work(r);
+    return out;
+}
+
+// ---- Fetch -----------------------------------------------------------------
+
+net::Message FetchRequest::encode() const {
+    net::Writer w;
+    w.u8(send_compressed ? 1 : 0);
+    w.vec(docs, [](net::Writer& wr, std::uint32_t d) { wr.u32(d); });
+    return finish(net::MessageType::FetchRequest, w);
+}
+
+FetchRequest FetchRequest::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::FetchRequest);
+    net::Reader r(m.payload);
+    FetchRequest out;
+    out.send_compressed = r.u8() != 0;
+    out.docs = r.vec<std::uint32_t>([](net::Reader& rd) { return rd.u32(); });
+    return out;
+}
+
+net::Message FetchResponse::encode() const {
+    net::Writer w;
+    w.vec(docs, [](net::Writer& wr, const FetchedDocument& d) {
+        wr.str(d.external_id);
+        wr.u8(d.compressed ? 1 : 0);
+        wr.bytes(d.payload);
+    });
+    encode_work(w, work);
+    return finish(net::MessageType::FetchResponse, w);
+}
+
+FetchResponse FetchResponse::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::FetchResponse);
+    net::Reader r(m.payload);
+    FetchResponse out;
+    out.docs = r.vec<FetchedDocument>([](net::Reader& rd) {
+        FetchedDocument d;
+        d.external_id = rd.str();
+        d.compressed = rd.u8() != 0;
+        d.payload = rd.bytes();
+        return d;
+    });
+    out.work = decode_work(r);
+    return out;
+}
+
+// ---- Boolean ---------------------------------------------------------------
+
+net::Message BooleanRequest::encode() const {
+    net::Writer w;
+    w.str(expression);
+    return finish(net::MessageType::BooleanRequest, w);
+}
+
+BooleanRequest BooleanRequest::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::BooleanRequest);
+    net::Reader r(m.payload);
+    BooleanRequest out;
+    out.expression = r.str();
+    return out;
+}
+
+net::Message BooleanResponse::encode() const {
+    net::Writer w;
+    w.vec(docs, [](net::Writer& wr, std::uint32_t d) { wr.u32(d); });
+    encode_work(w, work);
+    return finish(net::MessageType::BooleanResponse, w);
+}
+
+BooleanResponse BooleanResponse::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::BooleanResponse);
+    net::Reader r(m.payload);
+    BooleanResponse out;
+    out.docs = r.vec<std::uint32_t>([](net::Reader& rd) { return rd.u32(); });
+    out.work = decode_work(r);
+    return out;
+}
+
+// ---- Error ------------------------------------------------------------------
+
+net::Message ErrorResponse::encode() const {
+    net::Writer w;
+    w.str(reason);
+    return finish(net::MessageType::Error, w);
+}
+
+ErrorResponse ErrorResponse::decode(const net::Message& m) {
+    net::Reader r(m.payload);
+    ErrorResponse out;
+    out.reason = r.str();
+    return out;
+}
+
+}  // namespace teraphim::dir

@@ -1,0 +1,169 @@
+// The TERAPHIM wire protocol.
+//
+// Typed request/response payloads exchanged between receptionists and
+// librarians, with explicit serialization. The same encoded frames are
+// used by every deployment (in-process, TCP, simulated), so byte
+// accounting is deployment-independent. The protocol deliberately keeps
+// round trips minimal — the paper's WAN measurements show handshaking
+// dominating response time ("handshaking should be kept to an absolute
+// minimum", Section 4).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/message.h"
+#include "rank/similarity.h"
+#include "util/error.h"
+
+namespace teraphim::dir {
+
+/// Server-side work counters piggybacked on responses; real deployments
+/// report them for monitoring, and the trace replay prices them.
+struct WorkReport {
+    std::uint64_t term_lookups = 0;
+    std::uint64_t postings_decoded = 0;
+    std::uint64_t index_bits_read = 0;
+    std::uint64_t lists_opened = 0;
+    std::uint64_t disk_bytes = 0;
+};
+
+// ---- Setup ---------------------------------------------------------------
+
+struct StatsRequest {
+    net::Message encode() const;
+    static StatsRequest decode(const net::Message& m);
+};
+
+struct StatsResponse {
+    std::string librarian_name;
+    std::uint32_t num_documents = 0;
+    std::uint64_t num_terms = 0;
+    std::uint64_t index_bytes = 0;
+    std::uint64_t store_bytes = 0;
+
+    net::Message encode() const;
+    static StatsResponse decode(const net::Message& m);
+};
+
+struct VocabularyRequest {
+    net::Message encode() const;
+    static VocabularyRequest decode(const net::Message& m);
+};
+
+struct VocabEntry {
+    std::string term;
+    std::uint64_t doc_frequency = 0;
+};
+
+struct VocabularyResponse {
+    std::uint32_t num_documents = 0;
+    std::vector<VocabEntry> entries;  ///< lexicographic term order
+
+    net::Message encode() const;
+    static VocabularyResponse decode(const net::Message& m);
+};
+
+// ---- Ranking (steps 1-3 of the Section 3 method) -------------------------
+
+/// CN: the librarian weights terms with its own N and f_t.
+struct RankRequest {
+    std::uint32_t k = 0;
+    std::vector<rank::QueryTerm> terms;
+
+    net::Message encode() const;
+    static RankRequest decode(const net::Message& m);
+};
+
+/// CV: terms arrive pre-weighted from the receptionist's global
+/// vocabulary, making librarian scores identical to the mono-server's.
+struct RankWeightedRequest {
+    std::uint32_t k = 0;
+    double query_norm = 0.0;  ///< global W_q
+    std::vector<rank::WeightedQueryTerm> terms;
+
+    net::Message encode() const;
+    static RankWeightedRequest decode(const net::Message& m);
+};
+
+struct RankResponse {
+    std::vector<rank::SearchResult> results;  ///< local doc numbers + scores
+    WorkReport work;
+
+    net::Message encode() const;
+    static RankResponse decode(const net::Message& m);
+};
+
+/// CI: score exactly these local documents with the supplied weights.
+struct CandidateRequest {
+    double query_norm = 0.0;
+    bool use_skips = false;
+    std::vector<rank::WeightedQueryTerm> terms;
+    std::vector<std::uint32_t> candidates;  ///< sorted local doc numbers
+
+    net::Message encode() const;
+    static CandidateRequest decode(const net::Message& m);
+};
+
+struct CandidateResponse {
+    std::vector<rank::SearchResult> scored;  ///< aligned with the request
+    WorkReport work;
+
+    net::Message encode() const;
+    static CandidateResponse decode(const net::Message& m);
+};
+
+// ---- Document fetch (step 4) ----------------------------------------------
+
+struct FetchRequest {
+    std::vector<std::uint32_t> docs;  ///< local doc numbers
+    bool send_compressed = true;      ///< ship the stored compressed form
+
+    net::Message encode() const;
+    static FetchRequest decode(const net::Message& m);
+};
+
+struct FetchedDocument {
+    std::string external_id;
+    bool compressed = false;
+    std::vector<std::uint8_t> payload;  ///< compressed blob or raw text bytes
+};
+
+struct FetchResponse {
+    std::vector<FetchedDocument> docs;
+    WorkReport work;
+
+    net::Message encode() const;
+    static FetchResponse decode(const net::Message& m);
+};
+
+// ---- Boolean -----------------------------------------------------------
+
+struct BooleanRequest {
+    std::string expression;
+
+    net::Message encode() const;
+    static BooleanRequest decode(const net::Message& m);
+};
+
+struct BooleanResponse {
+    std::vector<std::uint32_t> docs;
+    WorkReport work;
+
+    net::Message encode() const;
+    static BooleanResponse decode(const net::Message& m);
+};
+
+/// Error reply carrying a human-readable reason.
+struct ErrorResponse {
+    std::string reason;
+
+    net::Message encode() const;
+    static ErrorResponse decode(const net::Message& m);
+};
+
+/// Throws ProtocolError if `m` is an Error frame or not of `expected`.
+void expect_type(const net::Message& m, net::MessageType expected);
+
+}  // namespace teraphim::dir

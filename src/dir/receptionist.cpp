@@ -1,0 +1,233 @@
+#include "dir/receptionist.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.h"
+
+namespace teraphim::dir {
+
+Receptionist::Receptionist(std::vector<std::unique_ptr<Channel>> channels,
+                           ReceptionistOptions options, text::Pipeline pipeline,
+                           const rank::SimilarityMeasure& measure)
+    : channels_(std::move(channels)),
+      options_(options),
+      pipeline_(pipeline),
+      measure_(&measure) {
+    TERAPHIM_ASSERT_MSG(!channels_.empty(), "a receptionist needs at least one librarian");
+    if (options_.mode == Mode::MonoServer) {
+        TERAPHIM_ASSERT_MSG(channels_.size() == 1,
+                            "mono-server mode is a single librarian");
+    }
+    TERAPHIM_ASSERT(options_.group_size >= 1);
+}
+
+Receptionist::~Receptionist() = default;
+
+net::Message Receptionist::exchange_counted(std::size_t librarian,
+                                            const net::Message& request,
+                                            LibrarianWork& work) {
+    work.participated = true;
+    work.request_bytes += request.wire_bytes();
+    ++work.messages;
+    net::Message response = channels_[librarian]->exchange(request);
+    work.response_bytes += response.wire_bytes();
+    return response;
+}
+
+void Receptionist::prepare(std::span<const index::InvertedIndex* const> indexes_for_ci) {
+    total_documents_ = 0;
+    librarian_sizes_.clear();
+    global_vocab_.clear();
+    merged_vocab_bytes_ = 0;
+    central_index_bytes_ = 0;
+    grouped_.reset();
+
+    for (std::size_t s = 0; s < channels_.size(); ++s) {
+        const auto stats = StatsResponse::decode(channels_[s]->exchange(StatsRequest{}.encode()));
+        librarian_sizes_.push_back(stats.num_documents);
+        total_documents_ += stats.num_documents;
+    }
+
+    const bool needs_vocab = options_.mode == Mode::CentralVocabulary ||
+                             options_.mode == Mode::CentralIndex;
+    if (needs_vocab) {
+        for (std::size_t s = 0; s < channels_.size(); ++s) {
+            const auto vocab =
+                VocabularyResponse::decode(channels_[s]->exchange(VocabularyRequest{}.encode()));
+            for (const VocabEntry& e : vocab.entries) {
+                GlobalTermInfo& info = global_vocab_[e.term];
+                info.doc_frequency += e.doc_frequency;
+                if (e.doc_frequency > 0) info.holders.push_back(static_cast<std::uint32_t>(s));
+            }
+        }
+        // Storage estimate for the merged vocabulary: front coding over
+        // the sorted terms plus (f_t, holders) bookkeeping, mirroring
+        // index::Vocabulary::serialized_bytes.
+        std::vector<std::string_view> terms;
+        terms.reserve(global_vocab_.size());
+        for (const auto& [term, info] : global_vocab_) terms.push_back(term);
+        std::sort(terms.begin(), terms.end());
+        std::string_view prev;
+        for (std::string_view cur : terms) {
+            std::size_t common = 0;
+            const std::size_t limit = std::min(prev.size(), cur.size());
+            while (common < limit && prev[common] == cur[common]) ++common;
+            merged_vocab_bytes_ += 2 + (cur.size() - common) + 4;
+            prev = cur;
+        }
+    }
+
+    if (options_.mode == Mode::CentralIndex) {
+        TERAPHIM_ASSERT_MSG(indexes_for_ci.size() == channels_.size(),
+                            "CI preparation needs one subcollection index per librarian");
+        grouped_ = index::GroupedIndex::build(indexes_for_ci, options_.group_size);
+        central_index_bytes_ = grouped_->index().index_stats().total_bytes();
+    }
+
+    prepared_ = true;
+}
+
+std::uint64_t Receptionist::global_state_bytes() const {
+    switch (options_.mode) {
+        case Mode::MonoServer:
+        case Mode::CentralNothing:
+            return 0;
+        case Mode::CentralVocabulary:
+            return merged_vocab_bytes_;
+        case Mode::CentralIndex:
+            return merged_vocab_bytes_ + central_index_bytes_;
+    }
+    return 0;
+}
+
+std::vector<rank::WeightedQueryTerm> Receptionist::global_weights(
+    const rank::Query& query, std::vector<bool>* holders_out) const {
+    std::vector<rank::WeightedQueryTerm> weighted;
+    weighted.reserve(query.terms.size());
+    if (holders_out != nullptr) holders_out->assign(channels_.size(), false);
+    for (const rank::QueryTerm& qt : query.terms) {
+        const auto it = global_vocab_.find(qt.term);
+        const std::uint64_t ft = it == global_vocab_.end() ? 0 : it->second.doc_frequency;
+        const double w = measure_->query_weight(qt.fqt, total_documents_, ft);
+        if (w == 0.0) continue;  // absent everywhere: nothing to send
+        weighted.push_back({qt.term, w});
+        if (holders_out != nullptr && it != global_vocab_.end()) {
+            for (std::uint32_t s : it->second.holders) (*holders_out)[s] = true;
+        }
+    }
+    return weighted;
+}
+
+RankedAnswer Receptionist::rank(std::string_view query_text, std::size_t depth) {
+    TERAPHIM_ASSERT_MSG(prepared_, "call prepare() before querying");
+    const rank::Query query = rank::parse_query(query_text, pipeline_);
+    switch (options_.mode) {
+        case Mode::MonoServer:
+        case Mode::CentralNothing:
+            return rank_central_nothing(query, depth);
+        case Mode::CentralVocabulary:
+            return rank_central_vocabulary(query, depth);
+        case Mode::CentralIndex:
+            return rank_central_index(query, depth);
+    }
+    throw Error("unknown mode");
+}
+
+QueryAnswer Receptionist::search(std::string_view query_text) {
+    RankedAnswer ranked = rank(query_text, options_.answers);
+    QueryAnswer answer;
+    answer.ranking = std::move(ranked.ranking);
+    answer.trace = std::move(ranked.trace);
+    fetch_documents(answer);
+    return answer;
+}
+
+void Receptionist::fetch_documents(QueryAnswer& answer) {
+    answer.trace.fetch_phase.assign(channels_.size(), FetchWork{});
+
+    // Group the wanted documents by owning librarian, preserving enough
+    // information to reassemble the answer in rank order.
+    std::map<std::uint32_t, std::vector<std::uint32_t>> wanted;
+    for (const GlobalResult& r : answer.ranking) wanted[r.librarian].push_back(r.doc);
+
+    std::map<std::pair<std::uint32_t, std::uint32_t>, FetchedDocument> received;
+    for (auto& [librarian, docs] : wanted) {
+        FetchWork& fw = answer.trace.fetch_phase[librarian];
+        const auto issue = [&](std::vector<std::uint32_t> batch) {
+            FetchRequest req;
+            req.docs = std::move(batch);
+            req.send_compressed = options_.compressed_fetch;
+            LibrarianWork lw;  // scratch: fetch accounting uses FetchWork
+            const net::Message reply = exchange_counted(librarian, req.encode(), lw);
+            auto resp = FetchResponse::decode(reply);
+            fw.request_bytes += lw.request_bytes;
+            fw.response_bytes += lw.response_bytes;
+            fw.messages += lw.messages;
+            fw.disk_bytes += resp.work.disk_bytes;
+            for (std::size_t i = 0; i < resp.docs.size(); ++i) {
+                fw.payload_bytes += resp.docs[i].payload.size();
+                ++fw.docs;
+                received.emplace(std::make_pair(librarian, req.docs[i]),
+                                 std::move(resp.docs[i]));
+            }
+        };
+        if (options_.bundle_fetch) {
+            issue(docs);
+        } else if (options_.mode == Mode::CentralIndex && grouped_.has_value()) {
+            // CI ships each expanded group's answers as one block: the
+            // group's documents are adjacent in the librarian's
+            // compressed text file (that is what grouping means
+            // physically), so one request covers the whole run.
+            std::vector<std::uint32_t> sorted = docs;
+            std::sort(sorted.begin(), sorted.end());
+            const std::uint32_t g = options_.group_size;
+            const std::uint32_t offset = [&] {
+                std::uint32_t off = 0;
+                for (std::uint32_t s = 0; s < librarian; ++s) off += librarian_sizes_[s];
+                return off;
+            }();
+            std::vector<std::uint32_t> run;
+            std::uint32_t run_group = 0;
+            for (std::uint32_t doc : sorted) {
+                const std::uint32_t group = (offset + doc) / g;
+                if (!run.empty() && group != run_group) {
+                    issue(run);
+                    run.clear();
+                }
+                run_group = group;
+                run.push_back(doc);
+            }
+            if (!run.empty()) issue(run);
+        } else {
+            // The paper's implementation: one round trip per document
+            // ("documents should be bundled into blocks by the
+            // librarians rather than transferred individually" is listed
+            // as an improvement, not the as-measured behaviour).
+            for (std::uint32_t doc : docs) issue({doc});
+        }
+    }
+
+    answer.documents.reserve(answer.ranking.size());
+    for (const GlobalResult& r : answer.ranking) {
+        const auto it = received.find({r.librarian, r.doc});
+        TERAPHIM_ASSERT_MSG(it != received.end(), "librarian failed to return a document");
+        answer.documents.push_back(std::move(it->second));
+    }
+}
+
+std::vector<GlobalResult> Receptionist::boolean(std::string_view expression) {
+    BooleanRequest req;
+    req.expression = std::string(expression);
+    const net::Message encoded = req.encode();
+    std::vector<GlobalResult> out;
+    for (std::size_t s = 0; s < channels_.size(); ++s) {
+        const auto resp = BooleanResponse::decode(channels_[s]->exchange(encoded));
+        for (std::uint32_t doc : resp.docs) {
+            out.push_back({static_cast<std::uint32_t>(s), doc, 1.0});
+        }
+    }
+    return out;  // already sorted by (librarian, doc)
+}
+
+}  // namespace teraphim::dir

@@ -1,0 +1,155 @@
+// The receptionist: broker between users and librarians.
+//
+// Implements the query-evaluation method of Section 3 under each of the
+// three methodologies:
+//
+//   CN (Central Nothing)     — global state: the list of librarians.
+//   CV (Central Vocabulary)  — global state: the merged vocabulary, used
+//                              to attach collection-wide weights to query
+//                              terms; librarians with no query term are
+//                              not consulted.
+//   CI (Central Index)       — global state: merged vocabulary + grouped
+//                              central index (groups of G documents);
+//                              query processing ranks groups centrally,
+//                              expands the best k' into k'.G candidates,
+//                              and asks librarians to score exactly those.
+//
+// Mode::MonoServer is the baseline: a single librarian holding the whole
+// collection, queried through the same machinery.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dir/accounting.h"
+#include "dir/librarian.h"
+#include "dir/merge.h"
+#include "dir/protocol.h"
+#include "index/grouped_index.h"
+#include "net/message.h"
+#include "rank/similarity.h"
+#include "text/pipeline.h"
+
+namespace teraphim::dir {
+
+/// Transport-agnostic endpoint for one librarian. Implementations:
+/// InProcessChannel and TcpChannel (dir/deployment.h).
+class Channel {
+public:
+    virtual ~Channel() = default;
+
+    /// Synchronous request/response exchange.
+    virtual net::Message exchange(const net::Message& request) = 0;
+
+    virtual const std::string& name() const = 0;
+};
+
+struct ReceptionistOptions {
+    Mode mode = Mode::CentralVocabulary;
+    std::size_t answers = 20;  ///< k: documents fetched for the user
+
+    // CI parameters (Section 3 / Table 1).
+    std::uint32_t group_size = 10;  ///< G
+    std::uint32_t k_prime = 100;    ///< groups expanded
+    bool use_skips = false;  ///< paper: "we did not employ our skipping mechanism"
+
+    // Fetch behaviour. The paper's implementation moved documents with
+    // individual round trips (bundling is listed as future improvement),
+    // and stores/ships documents compressed.
+    bool bundle_fetch = false;
+    bool compressed_fetch = true;
+};
+
+/// A merged, globally-ranked answer list plus the work trace.
+struct RankedAnswer {
+    std::vector<GlobalResult> ranking;
+    QueryTrace trace;
+};
+
+/// Full user-level answer: top-k documents with their text payloads.
+struct QueryAnswer {
+    std::vector<GlobalResult> ranking;        ///< depth `answers`
+    std::vector<FetchedDocument> documents;   ///< aligned with `ranking`
+    QueryTrace trace;
+};
+
+class Receptionist {
+public:
+    Receptionist(std::vector<std::unique_ptr<Channel>> channels, ReceptionistOptions options,
+                 text::Pipeline pipeline = text::Pipeline{},
+                 const rank::SimilarityMeasure& measure = rank::cosine_log_tf());
+    ~Receptionist();
+
+    /// One-time preparation (the paper's "optional initial step ... to
+    /// establish parameters"):
+    ///  CN — collects librarian stats only.
+    ///  CV — additionally merges the librarians' vocabularies.
+    ///  CI — additionally builds the grouped central index; the
+    ///       subcollection indexes are handed over directly (index
+    ///       shipping is preprocessing, outside the measured protocol).
+    void prepare(std::span<const index::InvertedIndex* const> indexes_for_ci = {});
+
+    /// Steps 1-3: produce the global ranking to `depth` (without
+    /// fetching documents). Table 1 uses depth 1000; Tables 3-4 use 20.
+    RankedAnswer rank(std::string_view query_text, std::size_t depth);
+
+    /// Steps 1-4: rank, then fetch the top `answers` documents.
+    QueryAnswer search(std::string_view query_text);
+
+    /// Distributed Boolean query: the union of the librarians' result
+    /// sets (Section 1).
+    std::vector<GlobalResult> boolean(std::string_view expression);
+
+    // --- storage accounting (Section 4, Analysis) ---------------------
+    /// Bytes of global state held: 0 for CN; merged vocabulary for CV;
+    /// vocabulary + grouped index for CI.
+    std::uint64_t global_state_bytes() const;
+    std::uint64_t merged_vocabulary_bytes() const { return merged_vocab_bytes_; }
+    std::uint64_t central_index_bytes() const { return central_index_bytes_; }
+
+    std::size_t num_librarians() const { return channels_.size(); }
+    std::uint32_t total_documents() const { return total_documents_; }
+    const ReceptionistOptions& options() const { return options_; }
+
+    /// Librarian collection sizes learned during prepare().
+    const std::vector<std::uint32_t>& librarian_sizes() const { return librarian_sizes_; }
+
+private:
+    struct GlobalTermInfo {
+        std::uint64_t doc_frequency = 0;          ///< collection-wide f_t
+        std::vector<std::uint32_t> holders;       ///< librarians with f_t > 0
+    };
+
+    RankedAnswer rank_central_nothing(const rank::Query& query, std::size_t depth);
+    RankedAnswer rank_central_vocabulary(const rank::Query& query, std::size_t depth);
+    RankedAnswer rank_central_index(const rank::Query& query, std::size_t depth);
+
+    /// Resolves global weights from the merged vocabulary; also reports
+    /// which librarians hold at least one query term.
+    std::vector<rank::WeightedQueryTerm> global_weights(
+        const rank::Query& query, std::vector<bool>* holders_out) const;
+
+    void fetch_documents(QueryAnswer& answer);
+
+    net::Message exchange_counted(std::size_t librarian, const net::Message& request,
+                                  LibrarianWork& work);
+
+    std::vector<std::unique_ptr<Channel>> channels_;
+    ReceptionistOptions options_;
+    text::Pipeline pipeline_;
+    const rank::SimilarityMeasure* measure_;
+
+    bool prepared_ = false;
+    std::uint32_t total_documents_ = 0;
+    std::vector<std::uint32_t> librarian_sizes_;
+    std::unordered_map<std::string, GlobalTermInfo> global_vocab_;
+    std::uint64_t merged_vocab_bytes_ = 0;
+    std::uint64_t central_index_bytes_ = 0;
+    std::optional<index::GroupedIndex> grouped_;
+};
+
+}  // namespace teraphim::dir

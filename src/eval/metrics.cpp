@@ -1,0 +1,100 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace teraphim::eval {
+
+namespace {
+
+/// Precision value at each rank where a relevant document appears.
+/// Element j is the precision after the (j+1)-th relevant doc is found.
+std::vector<double> precision_at_relevant_ranks(std::span<const std::string> ranked,
+                                                const RelevantSet& relevant) {
+    std::vector<double> out;
+    std::size_t found = 0;
+    for (std::size_t i = 0; i < ranked.size(); ++i) {
+        if (relevant.contains(ranked[i])) {
+            ++found;
+            out.push_back(static_cast<double>(found) / static_cast<double>(i + 1));
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<double> recall_precision_curve(std::span<const std::string> ranked,
+                                           const RelevantSet& relevant) {
+    std::vector<double> curve(11, 0.0);
+    if (relevant.empty()) return curve;
+    const auto precisions = precision_at_relevant_ranks(ranked, relevant);
+    const double total_relevant = static_cast<double>(relevant.size());
+
+    // Interpolated precision at recall r = max precision at any recall >= r.
+    // Walk the relevant hits from last to first, carrying the running max.
+    std::vector<double> interp(precisions.size());
+    double running = 0.0;
+    for (std::size_t j = precisions.size(); j-- > 0;) {
+        running = std::max(running, precisions[j]);
+        interp[j] = running;
+    }
+
+    for (int level = 0; level <= 10; ++level) {
+        const double target_recall = static_cast<double>(level) / 10.0;
+        // First relevant hit whose recall meets the level.
+        const double needed = target_recall * total_relevant;
+        const auto first_index = static_cast<std::size_t>(std::max(0.0, std::ceil(needed) - 1.0));
+        if (target_recall == 0.0) {
+            curve[0] = interp.empty() ? 0.0 : interp[0];
+        } else if (first_index < interp.size() &&
+                   static_cast<double>(first_index + 1) >= needed) {
+            curve[static_cast<std::size_t>(level)] = interp[first_index];
+        } else {
+            curve[static_cast<std::size_t>(level)] = 0.0;
+        }
+    }
+    return curve;
+}
+
+double eleven_point_average(std::span<const std::string> ranked, const RelevantSet& relevant) {
+    if (relevant.empty()) return 0.0;
+    const auto curve = recall_precision_curve(ranked, relevant);
+    double sum = 0.0;
+    for (double p : curve) sum += p;
+    return sum / 11.0;
+}
+
+std::size_t relevant_in_top(std::span<const std::string> ranked, const RelevantSet& relevant,
+                            std::size_t k) {
+    std::size_t found = 0;
+    const std::size_t limit = std::min(k, ranked.size());
+    for (std::size_t i = 0; i < limit; ++i) {
+        if (relevant.contains(ranked[i])) ++found;
+    }
+    return found;
+}
+
+double precision_at(std::span<const std::string> ranked, const RelevantSet& relevant,
+                    std::size_t k) {
+    if (k == 0) return 0.0;
+    return static_cast<double>(relevant_in_top(ranked, relevant, k)) /
+           static_cast<double>(k);
+}
+
+double recall_at(std::span<const std::string> ranked, const RelevantSet& relevant,
+                 std::size_t k) {
+    if (relevant.empty()) return 0.0;
+    return static_cast<double>(relevant_in_top(ranked, relevant, k)) /
+           static_cast<double>(relevant.size());
+}
+
+double average_precision(std::span<const std::string> ranked, const RelevantSet& relevant) {
+    if (relevant.empty()) return 0.0;
+    const auto precisions = precision_at_relevant_ranks(ranked, relevant);
+    double sum = 0.0;
+    for (double p : precisions) sum += p;
+    return sum / static_cast<double>(relevant.size());
+}
+
+}  // namespace teraphim::eval

@@ -1,0 +1,48 @@
+// Retrieval-effectiveness metrics.
+//
+// The paper reports two figures (Section 2): the TREC "11-pt average" —
+// interpolated precision averaged over the 11 recall levels 0.0 .. 1.0,
+// computed over a ranking of 1000 documents — and the number of relevant
+// documents among the top 20 returned. Both are implemented here exactly
+// as trec_eval computes them, so the Table 1 bench prints comparable
+// numbers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace teraphim::eval {
+
+/// The set of documents judged relevant for one query, by external id.
+using RelevantSet = std::unordered_set<std::string>;
+
+/// Interpolated precision at the 11 standard recall points, averaged.
+/// `ranked` is the system ranking, best first, already truncated to the
+/// evaluation depth (the paper uses 1000). Returns 0 when `relevant` is
+/// empty.
+double eleven_point_average(std::span<const std::string> ranked, const RelevantSet& relevant);
+
+/// Number of relevant documents among the first `k` of `ranked`.
+std::size_t relevant_in_top(std::span<const std::string> ranked, const RelevantSet& relevant,
+                            std::size_t k);
+
+/// Precision after `k` documents retrieved.
+double precision_at(std::span<const std::string> ranked, const RelevantSet& relevant,
+                    std::size_t k);
+
+/// Recall after `k` documents retrieved.
+double recall_at(std::span<const std::string> ranked, const RelevantSet& relevant,
+                 std::size_t k);
+
+/// Non-interpolated average precision (MAP component) over the ranking.
+double average_precision(std::span<const std::string> ranked, const RelevantSet& relevant);
+
+/// Full interpolated recall-precision curve at the 11 standard points;
+/// element i is the interpolated precision at recall i/10.
+std::vector<double> recall_precision_curve(std::span<const std::string> ranked,
+                                           const RelevantSet& relevant);
+
+}  // namespace teraphim::eval

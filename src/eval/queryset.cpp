@@ -1,0 +1,20 @@
+#include "eval/queryset.h"
+
+namespace teraphim::eval {
+
+void Judgments::add(int query_id, std::string doc_id) {
+    by_query_[query_id].insert(std::move(doc_id));
+}
+
+const RelevantSet& Judgments::relevant_for(int query_id) const {
+    const auto it = by_query_.find(query_id);
+    return it == by_query_.end() ? empty_ : it->second;
+}
+
+std::size_t Judgments::total_relevant() const {
+    std::size_t total = 0;
+    for (const auto& [id, set] : by_query_) total += set.size();
+    return total;
+}
+
+}  // namespace teraphim::eval

@@ -1,0 +1,91 @@
+// Test queries and relevance judgments.
+//
+// Mirrors the TREC apparatus the paper uses: a corpus of text, a set of
+// test queries (the paper's "51-200" long set and "202-250" short set),
+// and relevance judgments mapping each query to the documents a human
+// assessor deemed relevant. Here the judgments come from the synthetic
+// corpus generator, which knows ground truth by construction.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+
+namespace teraphim::eval {
+
+struct TestQuery {
+    int id = 0;          ///< TREC-style topic number
+    std::string text;    ///< raw query text (pre-pipeline)
+};
+
+struct QuerySet {
+    std::string name;    ///< e.g. "Long queries (51-200)"
+    std::vector<TestQuery> queries;
+
+    std::size_t size() const { return queries.size(); }
+};
+
+/// query id -> relevant external document ids.
+class Judgments {
+public:
+    void add(int query_id, std::string doc_id);
+
+    const RelevantSet& relevant_for(int query_id) const;
+
+    /// Number of queries with at least one relevant document.
+    std::size_t judged_queries() const { return by_query_.size(); }
+
+    std::size_t total_relevant() const;
+
+private:
+    std::map<int, RelevantSet> by_query_;
+    RelevantSet empty_;
+};
+
+/// Per-query evaluation of one system run.
+struct QueryOutcome {
+    int query_id = 0;
+    double eleven_pt = 0.0;
+    std::size_t relevant_in_top20 = 0;
+    std::size_t retrieved = 0;
+};
+
+/// Aggregate over a query set: the two columns of the paper's Table 1.
+struct EffectivenessSummary {
+    double mean_eleven_pt = 0.0;        ///< reported as a percentage in the paper
+    double mean_relevant_in_top20 = 0.0;
+    std::vector<QueryOutcome> per_query;
+};
+
+/// Scores one system: for each query, `run(query)` must return the
+/// ranked external ids (best first, up to the evaluation depth).
+template <typename RunFn>
+EffectivenessSummary evaluate_run(const QuerySet& queries, const Judgments& judgments,
+                                  RunFn&& run, std::size_t top = 20) {
+    EffectivenessSummary summary;
+    double sum_ap = 0.0;
+    double sum_top = 0.0;
+    for (const TestQuery& q : queries.queries) {
+        const std::vector<std::string> ranked = run(q);
+        const RelevantSet& rel = judgments.relevant_for(q.id);
+        QueryOutcome outcome;
+        outcome.query_id = q.id;
+        outcome.eleven_pt = eleven_point_average(ranked, rel);
+        outcome.relevant_in_top20 = relevant_in_top(ranked, rel, top);
+        outcome.retrieved = ranked.size();
+        sum_ap += outcome.eleven_pt;
+        sum_top += static_cast<double>(outcome.relevant_in_top20);
+        summary.per_query.push_back(std::move(outcome));
+    }
+    const auto n = static_cast<double>(queries.queries.size());
+    if (n > 0) {
+        summary.mean_eleven_pt = sum_ap / n;
+        summary.mean_relevant_in_top20 = sum_top / n;
+    }
+    return summary;
+}
+
+}  // namespace teraphim::eval

@@ -1,0 +1,49 @@
+#include "index/builder.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace teraphim::index {
+
+IndexBuilder::IndexBuilder(BuildOptions options) : options_(options) {}
+
+DocNum IndexBuilder::add_document(std::span<const std::string> terms) {
+    const DocNum doc = num_docs_++;
+    scratch_freqs_.clear();
+    for (const auto& term : terms) {
+        const TermId id = vocabulary_.add_or_get(term);
+        if (id == term_postings_.size()) {
+            term_postings_.emplace_back();
+            stats_.emplace_back();
+        }
+        ++scratch_freqs_[id];
+    }
+    double weight_sq = 0.0;
+    for (const auto& [id, fdt] : scratch_freqs_) {
+        term_postings_[id].push_back({doc, fdt});
+        ++stats_[id].doc_frequency;
+        stats_[id].collection_frequency += fdt;
+        const double wdt = std::log(static_cast<double>(fdt) + 1.0);
+        weight_sq += wdt * wdt;
+    }
+    doc_weights_.push_back(std::sqrt(weight_sq));
+    doc_lengths_.push_back(static_cast<std::uint32_t>(terms.size()));
+    return doc;
+}
+
+InvertedIndex IndexBuilder::build() && {
+    // add_document appends postings in increasing doc order, so each list
+    // is already sorted; compress in term-id order.
+    std::vector<PostingsList> lists;
+    lists.reserve(term_postings_.size());
+    for (auto& postings : term_postings_) {
+        lists.push_back(PostingsList::build(postings, num_docs_, options_.skip_period));
+        postings.clear();
+        postings.shrink_to_fit();
+    }
+    return InvertedIndex(std::move(vocabulary_), std::move(stats_), std::move(lists),
+                         std::move(doc_weights_), std::move(doc_lengths_));
+}
+
+}  // namespace teraphim::index

@@ -1,0 +1,49 @@
+// In-memory index construction.
+//
+// Documents are fed through the text pipeline by the caller; the builder
+// receives term lists, accumulates per-term postings, and on build()
+// compresses everything into an InvertedIndex, computing the document
+// weights W_d = sqrt(sum_t log(f_dt + 1)^2) as it goes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace teraphim::index {
+
+struct BuildOptions {
+    /// Sync-point spacing for self-indexing; 0 disables skips.
+    std::uint32_t skip_period = 64;
+};
+
+class IndexBuilder {
+public:
+    explicit IndexBuilder(BuildOptions options = {});
+
+    /// Adds the next document (terms in occurrence order, already
+    /// normalised). Returns the document number assigned.
+    DocNum add_document(std::span<const std::string> terms);
+
+    std::uint32_t document_count() const { return num_docs_; }
+
+    /// Consumes the builder and produces the immutable index.
+    InvertedIndex build() &&;
+
+private:
+    BuildOptions options_;
+    Vocabulary vocabulary_;
+    std::vector<std::vector<Posting>> term_postings_;
+    std::vector<TermStats> stats_;
+    std::vector<double> doc_weights_;
+    std::vector<std::uint32_t> doc_lengths_;
+    std::uint32_t num_docs_ = 0;
+    // Scratch: per-document term frequencies, reused across documents.
+    std::unordered_map<TermId, std::uint32_t> scratch_freqs_;
+};
+
+}  // namespace teraphim::index

@@ -1,0 +1,123 @@
+#include "index/grouped_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace teraphim::index {
+
+CollectionLayout::CollectionLayout(std::vector<std::uint32_t> sizes)
+    : sizes_(std::move(sizes)) {
+    offsets_.reserve(sizes_.size());
+    for (std::uint32_t size : sizes_) {
+        offsets_.push_back(total_);
+        total_ += size;
+    }
+}
+
+std::uint32_t CollectionLayout::size_of(std::size_t sub) const {
+    TERAPHIM_ASSERT(sub < sizes_.size());
+    return sizes_[sub];
+}
+
+std::uint32_t CollectionLayout::offset_of(std::size_t sub) const {
+    TERAPHIM_ASSERT(sub < offsets_.size());
+    return offsets_[sub];
+}
+
+std::uint32_t CollectionLayout::global_of(std::size_t sub, std::uint32_t local) const {
+    TERAPHIM_ASSERT(sub < sizes_.size() && local < sizes_[sub]);
+    return offsets_[sub] + local;
+}
+
+std::pair<std::size_t, std::uint32_t> CollectionLayout::local_of(std::uint32_t global_doc) const {
+    TERAPHIM_ASSERT(global_doc < total_);
+    // First offset greater than global_doc, minus one, owns it.
+    const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), global_doc);
+    const std::size_t sub = static_cast<std::size_t>(it - offsets_.begin()) - 1;
+    return {sub, global_doc - offsets_[sub]};
+}
+
+GroupedIndex GroupedIndex::build(std::span<const InvertedIndex* const> subs,
+                                 std::uint32_t group_size, std::uint32_t skip_period) {
+    TERAPHIM_ASSERT(group_size >= 1);
+    std::vector<std::uint32_t> sizes;
+    sizes.reserve(subs.size());
+    for (const InvertedIndex* sub : subs) {
+        TERAPHIM_ASSERT(sub != nullptr);
+        sizes.push_back(sub->num_documents());
+    }
+    CollectionLayout layout(std::move(sizes));
+    const std::uint32_t num_groups =
+        (layout.total_documents() + group_size - 1) / group_size;
+
+    // Merge vocabularies into a global term space; remember each
+    // subcollection's local id for each global term.
+    Vocabulary merged;
+    std::vector<std::vector<std::pair<std::size_t, TermId>>> members;  // per global term
+    for (std::size_t s = 0; s < subs.size(); ++s) {
+        const Vocabulary& vocab = subs[s]->vocabulary();
+        for (TermId local = 0; local < vocab.size(); ++local) {
+            const TermId global = merged.add_or_get(vocab.term(local));
+            if (global == members.size()) members.emplace_back();
+            members[global].emplace_back(s, local);
+        }
+    }
+
+    // Per-group squared weights accumulate across terms.
+    std::vector<double> group_weight_sq(num_groups, 0.0);
+    std::vector<std::uint32_t> group_lengths(num_groups, 0);
+
+    std::vector<TermStats> stats(merged.size());
+    std::vector<PostingsList> lists;
+    lists.reserve(merged.size());
+
+    std::vector<Posting> scratch;
+    for (TermId t = 0; t < merged.size(); ++t) {
+        scratch.clear();
+        // Subcollection doc ranges are disjoint and appended in order, so
+        // walking members in subcollection order yields globally sorted
+        // group postings without an explicit merge.
+        for (const auto& [s, local_term] : members[t]) {
+            const std::uint32_t offset = layout.offset_of(s);
+            for (PostingsCursor cur(subs[s]->postings(local_term), false); !cur.at_end();
+                 cur.next()) {
+                const std::uint32_t group = (offset + cur.doc()) / group_size;
+                if (!scratch.empty() && scratch.back().doc == group) {
+                    scratch.back().fdt += cur.fdt();
+                } else {
+                    scratch.push_back({group, cur.fdt()});
+                }
+            }
+        }
+        stats[t].doc_frequency = scratch.size();
+        for (const Posting& p : scratch) {
+            stats[t].collection_frequency += p.fdt;
+            const double wgt = std::log(static_cast<double>(p.fdt) + 1.0);
+            group_weight_sq[p.doc] += wgt * wgt;
+            group_lengths[p.doc] += p.fdt;
+        }
+        lists.push_back(PostingsList::build(scratch, num_groups, skip_period));
+    }
+
+    std::vector<double> group_weights(num_groups);
+    for (std::uint32_t g = 0; g < num_groups; ++g) {
+        group_weights[g] = std::sqrt(group_weight_sq[g]);
+    }
+
+    InvertedIndex index(std::move(merged), std::move(stats), std::move(lists),
+                        std::move(group_weights), std::move(group_lengths));
+    return GroupedIndex(std::move(index), std::move(layout), group_size);
+}
+
+std::pair<std::uint32_t, std::uint32_t> GroupedIndex::group_doc_range(
+    std::uint32_t group) const {
+    TERAPHIM_ASSERT(group < num_groups());
+    const std::uint32_t begin = group * group_size_;
+    const std::uint32_t end =
+        std::min(begin + group_size_, layout_.total_documents());
+    return {begin, end};
+}
+
+}  // namespace teraphim::index

@@ -1,0 +1,76 @@
+// Grouped central index for the Central Index (CI) methodology.
+//
+// The receptionist cannot afford a full duplicate of every librarian's
+// index, so adjacent documents are collected into groups of G and the
+// groups indexed as if they were single documents (Moffat & Zobel,
+// TREC-3 [13]; Section 3 of the paper). Group postings carry
+// f_{g,t} = sum of f_{d,t} over the group's documents, and group weights
+// are computed from those totals. Query processing ranks groups, expands
+// the best k' of them into k'·G candidate document ids, and sends each
+// librarian the candidates it owns.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace teraphim::index {
+
+/// Global document numbering across an ordered set of subcollections.
+/// Subcollection s occupies the contiguous global range
+/// [offset(s), offset(s) + size(s)).
+class CollectionLayout {
+public:
+    CollectionLayout() = default;
+    explicit CollectionLayout(std::vector<std::uint32_t> sizes);
+
+    std::size_t num_collections() const { return sizes_.size(); }
+    std::uint32_t total_documents() const { return total_; }
+
+    std::uint32_t size_of(std::size_t sub) const;
+    std::uint32_t offset_of(std::size_t sub) const;
+
+    std::uint32_t global_of(std::size_t sub, std::uint32_t local) const;
+
+    /// Maps a global doc number back to (subcollection, local doc).
+    std::pair<std::size_t, std::uint32_t> local_of(std::uint32_t global_doc) const;
+
+    std::size_t owner_of(std::uint32_t global_doc) const { return local_of(global_doc).first; }
+
+private:
+    std::vector<std::uint32_t> sizes_;
+    std::vector<std::uint32_t> offsets_;
+    std::uint32_t total_ = 0;
+};
+
+class GroupedIndex {
+public:
+    /// Merges the subcollection indexes into a grouped central index.
+    /// `group_size` is the G of the paper (G=1 degenerates to a full
+    /// central index over individual documents).
+    static GroupedIndex build(std::span<const InvertedIndex* const> subs,
+                              std::uint32_t group_size, std::uint32_t skip_period = 64);
+
+    /// The group-level inverted index ("documents" are groups).
+    const InvertedIndex& index() const { return index_; }
+
+    std::uint32_t group_size() const { return group_size_; }
+    std::uint32_t num_groups() const { return index_.num_documents(); }
+    const CollectionLayout& layout() const { return layout_; }
+
+    /// Global doc-number range [begin, end) covered by a group.
+    std::pair<std::uint32_t, std::uint32_t> group_doc_range(std::uint32_t group) const;
+
+private:
+    GroupedIndex(InvertedIndex index, CollectionLayout layout, std::uint32_t group_size)
+        : index_(std::move(index)), layout_(std::move(layout)), group_size_(group_size) {}
+
+    InvertedIndex index_;
+    CollectionLayout layout_;
+    std::uint32_t group_size_ = 1;
+};
+
+}  // namespace teraphim::index

@@ -1,0 +1,55 @@
+#include "index/inverted_index.h"
+
+#include "util/error.h"
+
+namespace teraphim::index {
+
+InvertedIndex::InvertedIndex(Vocabulary vocabulary, std::vector<TermStats> stats,
+                             std::vector<PostingsList> lists, std::vector<double> doc_weights,
+                             std::vector<std::uint32_t> doc_lengths)
+    : vocabulary_(std::move(vocabulary)),
+      stats_(std::move(stats)),
+      lists_(std::move(lists)),
+      doc_weights_(std::move(doc_weights)),
+      doc_lengths_(std::move(doc_lengths)) {
+    TERAPHIM_ASSERT(stats_.size() == vocabulary_.size());
+    TERAPHIM_ASSERT(lists_.size() == vocabulary_.size());
+    TERAPHIM_ASSERT(doc_lengths_.size() == doc_weights_.size());
+}
+
+const TermStats& InvertedIndex::stats(TermId id) const {
+    TERAPHIM_ASSERT(id < stats_.size());
+    return stats_[id];
+}
+
+const PostingsList& InvertedIndex::postings(TermId id) const {
+    TERAPHIM_ASSERT(id < lists_.size());
+    return lists_[id];
+}
+
+double InvertedIndex::doc_weight(DocNum doc) const {
+    TERAPHIM_ASSERT(doc < doc_weights_.size());
+    return doc_weights_[doc];
+}
+
+std::uint32_t InvertedIndex::doc_length(DocNum doc) const {
+    TERAPHIM_ASSERT(doc < doc_lengths_.size());
+    return doc_lengths_[doc];
+}
+
+IndexStats InvertedIndex::index_stats() const {
+    IndexStats s;
+    s.num_documents = doc_weights_.size();
+    s.num_terms = vocabulary_.size();
+    for (const auto& list : lists_) {
+        s.num_postings += list.count();
+        s.postings_bits += list.payload_bits();
+        s.skip_bits += list.skip_bits();
+    }
+    s.vocabulary_bytes = vocabulary_.serialized_bytes();
+    // W_d values are stored as 4-byte floats in the MG on-disk layout.
+    s.weights_bytes = doc_weights_.size() * 4;
+    return s;
+}
+
+}  // namespace teraphim::index

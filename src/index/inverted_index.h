@@ -1,0 +1,79 @@
+// The inverted file of one (sub)collection.
+//
+// Holds the vocabulary, one compressed postings list per term, the
+// per-term statistics (f_t), and the precomputed document weights
+// W_d = sqrt(sum_t w_dt^2) that Section 2 of the paper describes. The
+// weight formulation deliberately keeps W_d free of collection-wide
+// statistics so that a librarian's index never needs rebuilding when the
+// federation around it changes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/postings.h"
+#include "index/vocabulary.h"
+
+namespace teraphim::index {
+
+using DocNum = std::uint32_t;
+
+/// Storage accounting, in support of the paper's Section 4 analysis
+/// (vocabulary "<10 Mb", central index "~40 Mb" figures).
+struct IndexStats {
+    std::uint64_t num_documents = 0;
+    std::uint64_t num_terms = 0;
+    std::uint64_t num_postings = 0;
+    std::uint64_t postings_bits = 0;
+    std::uint64_t skip_bits = 0;
+    std::uint64_t vocabulary_bytes = 0;
+    std::uint64_t weights_bytes = 0;
+
+    std::uint64_t total_bytes() const {
+        return (postings_bits + skip_bits + 7) / 8 + vocabulary_bytes + weights_bytes;
+    }
+};
+
+class InvertedIndex {
+public:
+    /// Assembles an index from prebuilt components; used by IndexBuilder,
+    /// GroupedIndex::build and prune_index. `lists[i]` and `stats[i]`
+    /// describe the term with id i; `doc_weights.size()` is N.
+    InvertedIndex(Vocabulary vocabulary, std::vector<TermStats> stats,
+                  std::vector<PostingsList> lists, std::vector<double> doc_weights,
+                  std::vector<std::uint32_t> doc_lengths);
+
+    InvertedIndex(const InvertedIndex&) = delete;
+    InvertedIndex& operator=(const InvertedIndex&) = delete;
+    InvertedIndex(InvertedIndex&&) = default;
+    InvertedIndex& operator=(InvertedIndex&&) = default;
+
+    std::uint32_t num_documents() const {
+        return static_cast<std::uint32_t>(doc_weights_.size());
+    }
+    std::size_t num_terms() const { return vocabulary_.size(); }
+
+    const Vocabulary& vocabulary() const { return vocabulary_; }
+    const TermStats& stats(TermId id) const;
+    const PostingsList& postings(TermId id) const;
+
+    /// Precomputed document weight W_d (>= 0; 0 for an empty document).
+    double doc_weight(DocNum doc) const;
+
+    /// Number of indexed term occurrences in the document.
+    std::uint32_t doc_length(DocNum doc) const;
+
+    std::span<const double> doc_weights() const { return doc_weights_; }
+
+    IndexStats index_stats() const;
+
+private:
+    Vocabulary vocabulary_;
+    std::vector<TermStats> stats_;
+    std::vector<PostingsList> lists_;
+    std::vector<double> doc_weights_;
+    std::vector<std::uint32_t> doc_lengths_;
+};
+
+}  // namespace teraphim::index

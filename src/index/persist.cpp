@@ -1,0 +1,126 @@
+#include "index/persist.h"
+
+#include <fstream>
+
+namespace teraphim::index {
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) throw IoError("cannot open " + path + " for reading");
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    if (!in.read(reinterpret_cast<char*>(bytes.data()), size)) {
+        throw IoError("short read from " + path);
+    }
+    return bytes;
+}
+
+void write_file(const std::string& path, std::span<const std::uint8_t> bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw IoError("cannot open " + path + " for writing");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw IoError("short write to " + path);
+}
+
+void serialize_postings(const PostingsList& list, net::Writer& out) {
+    out.u32(list.count());
+    out.u64(list.golomb_b());
+    out.u32(list.skip_period());
+    out.u64(list.payload_bits());
+    out.u64(list.skip_bits());
+    out.bytes(list.raw_data());
+    out.vec(list.raw_skip_docs(), [](net::Writer& w, std::uint32_t d) { w.u32(d); });
+    out.vec(list.raw_skip_offsets(), [](net::Writer& w, std::uint64_t o) { w.u64(o); });
+}
+
+PostingsList deserialize_postings(net::Reader& in) {
+    const std::uint32_t count = in.u32();
+    const std::uint64_t golomb_b = in.u64();
+    const std::uint32_t skip_period = in.u32();
+    const std::uint64_t payload_bits = in.u64();
+    const std::uint64_t skip_bits = in.u64();
+    auto data = in.bytes();
+    auto skip_docs = in.vec<std::uint32_t>([](net::Reader& r) { return r.u32(); });
+    auto skip_offsets = in.vec<std::uint64_t>([](net::Reader& r) { return r.u64(); });
+    return PostingsList::from_parts(std::move(data), count, golomb_b, skip_period,
+                                    payload_bits, skip_bits, std::move(skip_docs),
+                                    std::move(skip_offsets));
+}
+
+}  // namespace
+
+void serialize_index(const InvertedIndex& index, net::Writer& out) {
+    out.u32(kIndexMagic);
+    out.u8(kIndexFormatVersion);
+
+    const auto num_terms = static_cast<std::uint32_t>(index.num_terms());
+    out.u32(num_terms);
+    for (TermId t = 0; t < num_terms; ++t) {
+        out.str(index.vocabulary().term(t));
+        out.u64(index.stats(t).doc_frequency);
+        out.u64(index.stats(t).collection_frequency);
+    }
+    for (TermId t = 0; t < num_terms; ++t) {
+        serialize_postings(index.postings(t), out);
+    }
+    out.u32(index.num_documents());
+    for (DocNum d = 0; d < index.num_documents(); ++d) {
+        out.f64(index.doc_weight(d));
+        out.u32(index.doc_length(d));
+    }
+}
+
+InvertedIndex deserialize_index(net::Reader& in) {
+    if (in.u32() != kIndexMagic) throw DataError("not a TERAPHIM index file");
+    const std::uint8_t version = in.u8();
+    if (version != kIndexFormatVersion) {
+        throw DataError("unsupported index format version " + std::to_string(version));
+    }
+
+    const std::uint32_t num_terms = in.u32();
+    Vocabulary vocab;
+    std::vector<TermStats> stats;
+    stats.reserve(num_terms);
+    for (std::uint32_t t = 0; t < num_terms; ++t) {
+        const TermId id = vocab.add_or_get(in.str());
+        if (id != t) throw DataError("index file contains duplicate terms");
+        TermStats st;
+        st.doc_frequency = in.u64();
+        st.collection_frequency = in.u64();
+        stats.push_back(st);
+    }
+    std::vector<PostingsList> lists;
+    lists.reserve(num_terms);
+    for (std::uint32_t t = 0; t < num_terms; ++t) {
+        lists.push_back(deserialize_postings(in));
+    }
+    const std::uint32_t num_docs = in.u32();
+    std::vector<double> weights;
+    std::vector<std::uint32_t> lengths;
+    weights.reserve(num_docs);
+    lengths.reserve(num_docs);
+    for (std::uint32_t d = 0; d < num_docs; ++d) {
+        weights.push_back(in.f64());
+        lengths.push_back(in.u32());
+    }
+    return InvertedIndex(std::move(vocab), std::move(stats), std::move(lists),
+                         std::move(weights), std::move(lengths));
+}
+
+void save_index(const InvertedIndex& index, const std::string& path) {
+    net::Writer out;
+    serialize_index(index, out);
+    write_file(path, out.view());
+}
+
+InvertedIndex load_index(const std::string& path) {
+    const auto bytes = read_file(path);
+    net::Reader in(bytes);
+    return deserialize_index(in);
+}
+
+}  // namespace teraphim::index

@@ -1,0 +1,34 @@
+// On-disk persistence for inverted indexes.
+//
+// MG is a disk-resident database: a librarian builds its index once and
+// serves queries from the files thereafter. This module gives the
+// reimplementation the same property: an InvertedIndex round-trips
+// through a single binary file (magic + version header, vocabulary,
+// per-term statistics, compressed postings with their skip tables,
+// document weights). Postings bytes are written exactly as built — no
+// re-encoding — so a loaded index is bit-identical to the saved one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "index/inverted_index.h"
+#include "net/serialize.h"
+
+namespace teraphim::index {
+
+/// File magic: "TPIX" followed by a format version byte.
+inline constexpr std::uint32_t kIndexMagic = 0x58495054;  // 'TPIX' little-endian
+inline constexpr std::uint8_t kIndexFormatVersion = 1;
+
+/// Serializes the index into `out` (appended).
+void serialize_index(const InvertedIndex& index, net::Writer& out);
+
+/// Reconstructs an index; throws DataError on malformed input.
+InvertedIndex deserialize_index(net::Reader& in);
+
+/// File convenience wrappers. Throw IoError on filesystem failures.
+void save_index(const InvertedIndex& index, const std::string& path);
+InvertedIndex load_index(const std::string& path);
+
+}  // namespace teraphim::index

@@ -1,0 +1,127 @@
+#include "index/postings.h"
+
+#include <algorithm>
+
+#include "compress/codecs.h"
+#include "util/error.h"
+
+namespace teraphim::index {
+
+PostingsList PostingsList::build(std::span<const Posting> postings, std::uint32_t universe,
+                                 std::uint32_t skip_period) {
+    PostingsList list;
+    list.count_ = static_cast<std::uint32_t>(postings.size());
+    list.skip_period_ = skip_period;
+    list.golomb_b_ =
+        compress::golomb_parameter(universe ? universe : 1, postings.size());
+
+    compress::BitWriter w;
+    std::uint32_t prev_plus_one = 0;
+    std::uint32_t prev_skip_doc = 0;
+    std::uint64_t prev_skip_bits = 0;
+    for (std::uint32_t i = 0; i < postings.size(); ++i) {
+        const Posting& p = postings[i];
+        TERAPHIM_ASSERT_MSG(p.doc + 1 > prev_plus_one, "postings must be strictly increasing");
+        TERAPHIM_ASSERT_MSG(p.fdt >= 1, "in-document frequency must be positive");
+        if (skip_period != 0 && i != 0 && i % skip_period == 0) {
+            list.skip_docs_.push_back(prev_plus_one);
+            list.skip_bit_offsets_.push_back(w.bit_count());
+            // Account the entry as the vbyte-coded deltas a self-indexed
+            // list embeds in its stream.
+            list.skip_bits_ += compress::vbyte_length(prev_plus_one - prev_skip_doc) +
+                               compress::vbyte_length(w.bit_count() - prev_skip_bits);
+            prev_skip_doc = prev_plus_one;
+            prev_skip_bits = w.bit_count();
+        }
+        const std::uint64_t gap = p.doc + 1 - prev_plus_one;
+        compress::write_golomb(w, gap, list.golomb_b_);
+        compress::write_gamma(w, p.fdt);
+        prev_plus_one = p.doc + 1;
+    }
+    list.payload_bits_ = w.bit_count();
+    list.data_ = w.take();
+    return list;
+}
+
+PostingsList PostingsList::from_parts(std::vector<std::uint8_t> data, std::uint32_t count,
+                                      std::uint64_t golomb_b, std::uint32_t skip_period,
+                                      std::uint64_t payload_bits, std::uint64_t skip_bits,
+                                      std::vector<std::uint32_t> skip_docs,
+                                      std::vector<std::uint64_t> skip_offsets) {
+    TERAPHIM_ASSERT(skip_docs.size() == skip_offsets.size());
+    TERAPHIM_ASSERT(golomb_b >= 1);
+    PostingsList list;
+    list.data_ = std::move(data);
+    list.count_ = count;
+    list.golomb_b_ = golomb_b;
+    list.skip_period_ = skip_period;
+    list.payload_bits_ = payload_bits;
+    list.skip_bits_ = skip_bits;
+    list.skip_docs_ = std::move(skip_docs);
+    list.skip_bit_offsets_ = std::move(skip_offsets);
+    return list;
+}
+
+std::vector<Posting> PostingsList::decode_all() const {
+    std::vector<Posting> out;
+    out.reserve(count_);
+    for (PostingsCursor cur(*this, /*use_skips=*/false); !cur.at_end(); cur.next()) {
+        out.push_back(cur.posting());
+    }
+    return out;
+}
+
+PostingsCursor::PostingsCursor(const PostingsList& list, bool use_skips)
+    : list_(&list), reader_(list.data_), use_skips_(use_skips) {
+    if (list_->count_ > 0) {
+        decode_current();
+    }
+}
+
+void PostingsCursor::decode_current() {
+    const std::uint64_t gap = compress::read_golomb(reader_, list_->golomb_b_);
+    current_.doc = static_cast<std::uint32_t>(prev_doc_plus_one_ + gap - 1);
+    current_.fdt = static_cast<std::uint32_t>(compress::read_gamma(reader_));
+    prev_doc_plus_one_ = current_.doc + 1;
+    ++decoded_;
+}
+
+void PostingsCursor::next() {
+    TERAPHIM_ASSERT(!at_end());
+    ++index_;
+    if (!at_end()) decode_current();
+}
+
+bool PostingsCursor::seek(std::uint32_t target) {
+    if (at_end()) return false;
+    if (current_.doc >= target) return current_.doc == target;
+
+    if (use_skips_ && !list_->skip_docs_.empty()) {
+        // Last sync point whose d-gap base (previous doc + 1) is <= target:
+        // every posting strictly before it is < target, so the jump never
+        // overshoots a potential match.
+        const auto& docs = list_->skip_docs_;
+        const auto it = std::upper_bound(docs.begin(), docs.end(), target);
+        if (it != docs.begin()) {
+            const std::size_t entry = static_cast<std::size_t>(it - docs.begin()) - 1;
+            const std::uint32_t entry_index =
+                static_cast<std::uint32_t>((entry + 1) * list_->skip_period_);
+            if (entry_index > index_) {
+                reader_.seek_bit(list_->skip_bit_offsets_[entry]);
+                prev_doc_plus_one_ = docs[entry];
+                index_ = entry_index;
+                decode_current();
+                if (current_.doc >= target) return current_.doc == target;
+            }
+        }
+    }
+
+    while (current_.doc < target) {
+        ++index_;
+        if (at_end()) return false;
+        decode_current();
+    }
+    return current_.doc == target;
+}
+
+}  // namespace teraphim::index

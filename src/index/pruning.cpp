@@ -1,0 +1,69 @@
+#include "index/pruning.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace teraphim::index {
+
+InvertedIndex prune_index(const InvertedIndex& source, const PruneOptions& options,
+                          PruneReport* report) {
+    TERAPHIM_ASSERT(options.fdt_fraction >= 0.0 && options.fdt_fraction <= 1.0);
+
+    Vocabulary vocab;
+    std::vector<TermStats> stats;
+    std::vector<PostingsList> lists;
+    stats.reserve(source.num_terms());
+    lists.reserve(source.num_terms());
+
+    PruneReport local;
+    std::vector<Posting> kept;
+    for (TermId t = 0; t < source.num_terms(); ++t) {
+        const TermId new_id = vocab.add_or_get(source.vocabulary().term(t));
+        TERAPHIM_ASSERT_MSG(new_id == t, "pruning must preserve term ids");
+
+        const PostingsList& list = source.postings(t);
+        local.postings_before += list.count();
+        local.bits_before += list.total_bits();
+
+        kept.clear();
+        if (list.count() < options.protect_short_lists || options.fdt_fraction == 0.0) {
+            for (PostingsCursor cur(list, false); !cur.at_end(); cur.next()) {
+                kept.push_back(cur.posting());
+            }
+        } else {
+            std::uint32_t max_fdt = 0;
+            for (PostingsCursor cur(list, false); !cur.at_end(); cur.next()) {
+                max_fdt = std::max(max_fdt, cur.fdt());
+            }
+            const double cutoff = options.fdt_fraction * static_cast<double>(max_fdt);
+            for (PostingsCursor cur(list, false); !cur.at_end(); cur.next()) {
+                if (static_cast<double>(cur.fdt()) >= cutoff) kept.push_back(cur.posting());
+            }
+        }
+
+        TermStats st;
+        st.doc_frequency = kept.size();
+        for (const Posting& p : kept) st.collection_frequency += p.fdt;
+        stats.push_back(st);
+
+        lists.push_back(
+            PostingsList::build(kept, source.num_documents(), options.skip_period));
+        local.postings_after += lists.back().count();
+        local.bits_after += lists.back().total_bits();
+    }
+
+    if (report != nullptr) *report = local;
+
+    // Weights and lengths carry over unchanged: pruning alters which
+    // documents are *found*, not how found documents are normalised.
+    std::vector<double> weights(source.doc_weights().begin(), source.doc_weights().end());
+    std::vector<std::uint32_t> lengths;
+    lengths.reserve(source.num_documents());
+    for (DocNum d = 0; d < source.num_documents(); ++d) lengths.push_back(source.doc_length(d));
+
+    return InvertedIndex(std::move(vocab), std::move(stats), std::move(lists),
+                         std::move(weights), std::move(lengths));
+}
+
+}  // namespace teraphim::index

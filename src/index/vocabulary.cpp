@@ -1,0 +1,57 @@
+#include "index/vocabulary.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace teraphim::index {
+
+TermId Vocabulary::add_or_get(std::string_view term) {
+    if (const auto it = lookup_.find(term); it != lookup_.end()) return it->second;
+    const auto id = static_cast<TermId>(terms_.size());
+    terms_.emplace_back(term);
+    // The deque guarantees the string object (and hence any SSO buffer)
+    // never moves, so the view stored as key stays valid for the
+    // vocabulary's lifetime.
+    lookup_.emplace(std::string_view(terms_.back()), id);
+    return id;
+}
+
+std::optional<TermId> Vocabulary::lookup(std::string_view term) const {
+    const auto it = lookup_.find(term);
+    if (it == lookup_.end()) return std::nullopt;
+    return it->second;
+}
+
+const std::string& Vocabulary::term(TermId id) const {
+    TERAPHIM_ASSERT(id < terms_.size());
+    return terms_[id];
+}
+
+std::uint64_t Vocabulary::serialized_bytes() const {
+    // Front coding over the sorted term list: store the shared-prefix
+    // length (1 byte), the suffix length (1 byte), the suffix bytes, and
+    // a 3-byte (f_t, pointer) overhead per entry.
+    auto ids = sorted_ids();
+    std::uint64_t bytes = 0;
+    std::string_view prev;
+    for (TermId id : ids) {
+        std::string_view cur = terms_[id];
+        std::size_t common = 0;
+        const std::size_t limit = std::min(prev.size(), cur.size());
+        while (common < limit && prev[common] == cur[common]) ++common;
+        bytes += 2 + (cur.size() - common) + 3;
+        prev = cur;
+    }
+    return bytes;
+}
+
+std::vector<TermId> Vocabulary::sorted_ids() const {
+    std::vector<TermId> ids(terms_.size());
+    for (TermId i = 0; i < terms_.size(); ++i) ids[i] = i;
+    std::sort(ids.begin(), ids.end(),
+              [&](TermId a, TermId b) { return terms_[a] < terms_[b]; });
+    return ids;
+}
+
+}  // namespace teraphim::index

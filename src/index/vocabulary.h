@@ -1,0 +1,63 @@
+// Term vocabulary: string <-> TermId mapping plus per-term statistics.
+//
+// Each librarian owns one vocabulary; the CV receptionist merges the
+// vocabularies of its librarians into a single global one (Section 3,
+// "Central Vocabulary"). Term ids are dense and local to a vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace teraphim::index {
+
+using TermId = std::uint32_t;
+
+/// Per-term statistics as used by the cosine measure.
+struct TermStats {
+    std::uint64_t doc_frequency = 0;     ///< f_t: documents containing t
+    std::uint64_t collection_frequency = 0;  ///< total occurrences of t
+};
+
+class Vocabulary {
+public:
+    Vocabulary() = default;
+    // The lookup map holds views into terms_; moving preserves them
+    // (deque nodes and map buckets travel), but a naive copy would leave
+    // the clone's map viewing the original's strings.
+    Vocabulary(const Vocabulary&) = delete;
+    Vocabulary& operator=(const Vocabulary&) = delete;
+    Vocabulary(Vocabulary&&) = default;
+    Vocabulary& operator=(Vocabulary&&) = default;
+
+    /// Returns the id of `term`, creating it if absent.
+    TermId add_or_get(std::string_view term);
+
+    /// Looks a term up without inserting.
+    std::optional<TermId> lookup(std::string_view term) const;
+
+    const std::string& term(TermId id) const;
+    std::size_t size() const { return terms_.size(); }
+
+    /// Approximate serialized size: front-coded sorted strings plus a
+    /// vbyte doc-frequency per term — the MG vocabulary-file layout.
+    /// Used for the storage accounting in Section 4 ("less than 10 Mb
+    /// for the gigabyte of text").
+    std::uint64_t serialized_bytes() const;
+
+    /// Term ids in lexicographic term order (deterministic iteration,
+    /// used by vocabulary merging).
+    std::vector<TermId> sorted_ids() const;
+
+private:
+    // Deque keeps element addresses stable, so the lookup map can key on
+    // string_views into the stored strings without copies going stale.
+    std::deque<std::string> terms_;
+    std::unordered_map<std::string_view, TermId> lookup_;
+};
+
+}  // namespace teraphim::index

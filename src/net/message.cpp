@@ -1,0 +1,4 @@
+#include "net/message.h"
+
+// Message is a plain aggregate; frame encoding/decoding lives with the
+// TCP transport (net/tcp.cpp), the only place raw frames exist.

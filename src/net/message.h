@@ -1,0 +1,45 @@
+// Framed protocol messages.
+//
+// Every receptionist <-> librarian exchange is a typed message: a
+// 6-byte frame header (4-byte little-endian payload length, 2-byte type)
+// followed by the serialized payload. The same frame travels over TCP
+// (net/tcp.h) and through the in-process channel, so byte accounting is
+// identical in both deployments.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace teraphim::net {
+
+enum class MessageType : std::uint16_t {
+    Error = 0,
+    Ping = 1,
+    Pong = 2,
+    StatsRequest = 10,
+    StatsResponse = 11,
+    VocabularyRequest = 12,
+    VocabularyResponse = 13,
+    RankRequest = 20,        // CN: query terms, local weighting
+    RankWeightedRequest = 21,  // CV: receptionist-supplied weights
+    RankResponse = 22,
+    CandidateRequest = 30,   // CI: score exactly these documents
+    CandidateResponse = 31,
+    FetchRequest = 40,
+    FetchResponse = 41,
+    BooleanRequest = 50,
+    BooleanResponse = 51,
+    Shutdown = 99,
+};
+
+struct Message {
+    MessageType type = MessageType::Error;
+    std::vector<std::uint8_t> payload;
+
+    /// Total bytes on the wire, including the frame header.
+    std::uint64_t wire_bytes() const { return kHeaderBytes + payload.size(); }
+
+    static constexpr std::uint64_t kHeaderBytes = 6;
+};
+
+}  // namespace teraphim::net

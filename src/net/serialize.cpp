@@ -1,0 +1,92 @@
+#include "net/serialize.h"
+
+#include <bit>
+#include <cstring>
+
+namespace teraphim::net {
+
+void Writer::u8(std::uint8_t v) { buffer_.push_back(v); }
+
+void Writer::u16(std::uint16_t v) {
+    buffer_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    buffer_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::f64(double v) {
+    static_assert(sizeof(double) == 8);
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    u64(bits);
+}
+
+void Writer::str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void Writer::bytes(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+std::uint8_t Reader::u8() {
+    need(1);
+    return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return v;
+}
+
+std::uint32_t Reader::u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return v;
+}
+
+std::uint64_t Reader::u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return v;
+}
+
+double Reader::f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+}
+
+std::string Reader::str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+}
+
+std::vector<std::uint8_t> Reader::bytes() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+}
+
+}  // namespace teraphim::net

@@ -1,0 +1,75 @@
+// Byte-order-safe serialization for the wire protocol.
+//
+// All protocol payloads are encoded little-endian with explicit widths;
+// strings and vectors are length-prefixed. Reader throws ProtocolError
+// on truncated input so malformed peers cannot crash a librarian.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace teraphim::net {
+
+class Writer {
+public:
+    void u8(std::uint8_t v);
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void f64(double v);
+    void str(std::string_view s);
+    void bytes(std::span<const std::uint8_t> data);
+
+    template <typename T, typename Fn>
+    void vec(const std::vector<T>& items, Fn&& encode_one) {
+        u32(static_cast<std::uint32_t>(items.size()));
+        for (const T& item : items) encode_one(*this, item);
+    }
+
+    std::size_t size() const { return buffer_.size(); }
+    std::vector<std::uint8_t> take() { return std::move(buffer_); }
+    std::span<const std::uint8_t> view() const { return buffer_; }
+
+private:
+    std::vector<std::uint8_t> buffer_;
+};
+
+class Reader {
+public:
+    explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+    std::vector<std::uint8_t> bytes();
+
+    template <typename T, typename Fn>
+    std::vector<T> vec(Fn&& decode_one) {
+        const std::uint32_t n = u32();
+        std::vector<T> items;
+        items.reserve(n);
+        for (std::uint32_t i = 0; i < n; ++i) items.push_back(decode_one(*this));
+        return items;
+    }
+
+    bool exhausted() const { return pos_ == data_.size(); }
+    std::size_t remaining() const { return data_.size() - pos_; }
+
+private:
+    void need(std::size_t n) const {
+        if (pos_ + n > data_.size()) throw ProtocolError("serialized payload truncated");
+    }
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace teraphim::net

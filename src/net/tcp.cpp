@@ -1,0 +1,241 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace teraphim::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// ---- TcpConnection ------------------------------------------------------
+
+TcpConnection::TcpConnection(int fd) : fd_(fd) {
+    TERAPHIM_ASSERT(fd_ >= 0);
+    // The protocol is request/response with small frames; disable Nagle
+    // so round trips are not delayed (handshaking cost matters, Sec. 4).
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+TcpConnection::~TcpConnection() { close(); }
+
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept
+    : fd_(other.fd_), bytes_sent_(other.bytes_sent_), bytes_received_(other.bytes_received_) {
+    other.fd_ = -1;
+}
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        bytes_sent_ = other.bytes_sent_;
+        bytes_received_ = other.bytes_received_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+TcpConnection TcpConnection::connect_to(const std::string& host, std::uint16_t port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw IoError("invalid address: " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        const int err = errno;
+        ::close(fd);
+        errno = err;
+        throw_errno("connect to " + host + ":" + std::to_string(port));
+    }
+    return TcpConnection(fd);
+}
+
+void TcpConnection::write_all(const std::uint8_t* data, std::size_t len) {
+    std::size_t sent = 0;
+    while (sent < len) {
+        const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("send");
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    bytes_sent_ += len;
+}
+
+void TcpConnection::read_all(std::uint8_t* data, std::size_t len) {
+    std::size_t got = 0;
+    while (got < len) {
+        const ssize_t n = ::recv(fd_, data + got, len - got, 0);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            throw_errno("recv");
+        }
+        if (n == 0) throw IoError("connection closed by peer");
+        got += static_cast<std::size_t>(n);
+    }
+    bytes_received_ += len;
+}
+
+void TcpConnection::send_message(const Message& message) {
+    TERAPHIM_ASSERT(is_open());
+    std::uint8_t header[Message::kHeaderBytes];
+    const auto len = static_cast<std::uint32_t>(message.payload.size());
+    const auto type = static_cast<std::uint16_t>(message.type);
+    for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
+    header[4] = static_cast<std::uint8_t>(type & 0xFF);
+    header[5] = static_cast<std::uint8_t>(type >> 8);
+    write_all(header, sizeof header);
+    if (!message.payload.empty()) write_all(message.payload.data(), message.payload.size());
+}
+
+Message TcpConnection::recv_message() {
+    TERAPHIM_ASSERT(is_open());
+    std::uint8_t header[Message::kHeaderBytes];
+    read_all(header, sizeof header);
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+    const auto type = static_cast<std::uint16_t>(header[4] | (header[5] << 8));
+    constexpr std::uint32_t kMaxPayload = 256u << 20;  // 256 MB sanity bound
+    if (len > kMaxPayload) throw ProtocolError("frame length exceeds protocol maximum");
+    Message m;
+    m.type = static_cast<MessageType>(type);
+    m.payload.resize(len);
+    if (len > 0) read_all(m.payload.data(), len);
+    return m;
+}
+
+void TcpConnection::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void TcpConnection::shutdown_both() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+// ---- TcpListener --------------------------------------------------------
+
+TcpListener::TcpListener(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw_errno("socket");
+    int one = 1;
+    ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = err;
+        throw_errno("bind");
+    }
+    if (::listen(fd_, 16) != 0) {
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        errno = err;
+        throw_errno("listen");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+        throw_errno("getsockname");
+    }
+    port_ = ntohs(bound.sin_port);
+}
+
+TcpListener::~TcpListener() { close(); }
+
+TcpConnection TcpListener::accept() {
+    TERAPHIM_ASSERT(fd_ >= 0);
+    for (;;) {
+        const int client = ::accept(fd_, nullptr, nullptr);
+        if (client >= 0) return TcpConnection(client);
+        if (errno == EINTR) continue;
+        throw_errno("accept");
+    }
+}
+
+void TcpListener::shutdown() {
+    // shutdown() on a listening socket forces a blocked accept() to
+    // return with an error on Linux; close() alone does not.
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpListener::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+// ---- MessageServer ------------------------------------------------------
+
+MessageServer::MessageServer(std::uint16_t port, Handler handler)
+    : listener_(port), handler_(std::move(handler)), thread_([this] { serve(); }) {}
+
+MessageServer::~MessageServer() { stop(); }
+
+void MessageServer::serve() {
+    while (!stopping_.load()) {
+        try {
+            TcpConnection conn = listener_.accept();
+            active_fd_.store(conn.native_handle());
+            // stop() may have fired between accept() and the store; the
+            // explicit check closes that window (stop() reads active_fd_
+            // only after setting stopping_).
+            if (stopping_.load()) break;
+            for (;;) {
+                const Message request = conn.recv_message();
+                if (request.type == MessageType::Shutdown) {
+                    stopping_.store(true);
+                    conn.send_message({MessageType::Shutdown, {}});
+                    return;
+                }
+                conn.send_message(handler_(request));
+            }
+        } catch (const IoError&) {
+            // Client disconnected (await the next connection), the
+            // connection was cancelled by stop(), or the listener was
+            // shut down (the loop condition exits).
+        }
+        active_fd_.store(-1);
+    }
+}
+
+void MessageServer::stop() {
+    if (!thread_.joinable()) return;
+    stopping_.store(true);
+    // Wake the serve thread wherever it is blocked: in accept() on the
+    // listener, or in recv_message() on a live connection.
+    listener_.shutdown();
+    const int fd = active_fd_.load();
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    thread_.join();
+    listener_.close();
+}
+
+}  // namespace teraphim::net

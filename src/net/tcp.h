@@ -1,0 +1,119 @@
+// Blocking TCP transport over POSIX sockets.
+//
+// TERAPHIM librarians listen on TCP ports; receptionists connect and
+// exchange framed messages (net/message.h). The paper ran sessions
+// between Melbourne and machines in Canberra, Brisbane, Hamilton and
+// Tel Aviv; here the sockets are exercised on the loopback interface by
+// the distributed examples and integration tests, with wide-area latency
+// studied in simulation instead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/message.h"
+
+namespace teraphim::net {
+
+/// One connected socket speaking the framed protocol. Move-only RAII
+/// owner of the file descriptor.
+class TcpConnection {
+public:
+    explicit TcpConnection(int fd);
+    ~TcpConnection();
+
+    TcpConnection(TcpConnection&& other) noexcept;
+    TcpConnection& operator=(TcpConnection&& other) noexcept;
+    TcpConnection(const TcpConnection&) = delete;
+    TcpConnection& operator=(const TcpConnection&) = delete;
+
+    /// Connects to host:port (blocking). Throws IoError on failure.
+    static TcpConnection connect_to(const std::string& host, std::uint16_t port);
+
+    /// Sends one framed message (blocking, handles partial writes).
+    void send_message(const Message& message);
+
+    /// Receives one framed message. Throws IoError if the peer closed.
+    Message recv_message();
+
+    void close();
+    bool is_open() const { return fd_ >= 0; }
+
+    /// Half-closes both directions, waking any thread blocked in recv on
+    /// this socket (used for cross-thread cancellation; close() alone
+    /// does not reliably interrupt a blocked read).
+    void shutdown_both();
+
+    /// The underlying file descriptor (for cross-thread cancellation).
+    int native_handle() const { return fd_; }
+
+    std::uint64_t bytes_sent() const { return bytes_sent_; }
+    std::uint64_t bytes_received() const { return bytes_received_; }
+
+private:
+    void write_all(const std::uint8_t* data, std::size_t len);
+    void read_all(std::uint8_t* data, std::size_t len);
+
+    int fd_ = -1;
+    std::uint64_t bytes_sent_ = 0;
+    std::uint64_t bytes_received_ = 0;
+};
+
+/// Listening socket bound to 127.0.0.1. Port 0 picks an ephemeral port.
+class TcpListener {
+public:
+    explicit TcpListener(std::uint16_t port = 0);
+    ~TcpListener();
+
+    TcpListener(const TcpListener&) = delete;
+    TcpListener& operator=(const TcpListener&) = delete;
+
+    std::uint16_t port() const { return port_; }
+
+    /// Blocks until a client connects.
+    TcpConnection accept();
+
+    /// Wakes a thread blocked in accept() (it will throw IoError).
+    void shutdown();
+
+    void close();
+
+private:
+    int fd_ = -1;
+    std::uint16_t port_ = 0;
+};
+
+/// A server thread running a request handler over one listener: accepts
+/// connections sequentially and answers messages until it receives
+/// Shutdown or the connection closes. This is the shape of a TERAPHIM
+/// librarian session process.
+class MessageServer {
+public:
+    using Handler = std::function<Message(const Message&)>;
+
+    MessageServer(std::uint16_t port, Handler handler);
+    ~MessageServer();
+
+    MessageServer(const MessageServer&) = delete;
+    MessageServer& operator=(const MessageServer&) = delete;
+
+    std::uint16_t port() const { return listener_.port(); }
+
+    /// Asks the server to exit its accept loop and joins the thread.
+    void stop();
+
+private:
+    void serve();
+
+    TcpListener listener_;
+    Handler handler_;
+    std::atomic<bool> stopping_{false};
+    std::atomic<int> active_fd_{-1};  ///< fd being served, for cancellation
+    std::thread thread_;
+};
+
+}  // namespace teraphim::net

@@ -1,0 +1,258 @@
+#include "rank/boolean.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.h"
+
+namespace teraphim::rank {
+
+namespace {
+
+struct Token {
+    enum class Kind { Term, And, Or, Not, LParen, RParen, End };
+    Kind kind;
+    std::string text;
+};
+
+class Lexer {
+public:
+    explicit Lexer(std::string_view input) : input_(input) { advance(); }
+
+    const Token& peek() const { return current_; }
+
+    Token take() {
+        Token t = std::move(current_);
+        advance();
+        return t;
+    }
+
+private:
+    void advance() {
+        while (pos_ < input_.size() &&
+               std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+            ++pos_;
+        }
+        if (pos_ >= input_.size()) {
+            current_ = {Token::Kind::End, ""};
+            return;
+        }
+        const char c = input_[pos_];
+        if (c == '(') {
+            ++pos_;
+            current_ = {Token::Kind::LParen, "("};
+            return;
+        }
+        if (c == ')') {
+            ++pos_;
+            current_ = {Token::Kind::RParen, ")"};
+            return;
+        }
+        std::size_t end = pos_;
+        while (end < input_.size() && input_[end] != '(' && input_[end] != ')' &&
+               !std::isspace(static_cast<unsigned char>(input_[end]))) {
+            ++end;
+        }
+        std::string word(input_.substr(pos_, end - pos_));
+        pos_ = end;
+        std::string upper = word;
+        for (char& ch : upper) ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        if (upper == "AND") {
+            current_ = {Token::Kind::And, std::move(word)};
+        } else if (upper == "OR") {
+            current_ = {Token::Kind::Or, std::move(word)};
+        } else if (upper == "NOT") {
+            current_ = {Token::Kind::Not, std::move(word)};
+        } else {
+            current_ = {Token::Kind::Term, std::move(word)};
+        }
+    }
+
+    std::string_view input_;
+    std::size_t pos_ = 0;
+    Token current_{Token::Kind::End, ""};
+};
+
+class Parser {
+public:
+    Parser(Lexer lexer, const text::Pipeline& pipeline)
+        : lexer_(std::move(lexer)), pipeline_(&pipeline) {}
+
+    std::unique_ptr<BooleanNode> parse() {
+        auto node = parse_or();
+        if (lexer_.peek().kind != Token::Kind::End) {
+            throw DataError("boolean query: unexpected token '" + lexer_.peek().text + "'");
+        }
+        if (!node) throw DataError("boolean query: no indexable terms");
+        return node;
+    }
+
+private:
+    // Each parse_* may return nullptr when its terms were all removed by
+    // the pipeline (stop-words); callers treat a null operand as absent.
+    std::unique_ptr<BooleanNode> parse_or() {
+        auto left = parse_and();
+        while (lexer_.peek().kind == Token::Kind::Or) {
+            lexer_.take();
+            auto right = parse_and();
+            left = combine(BooleanNode::Kind::Or, std::move(left), std::move(right));
+        }
+        return left;
+    }
+
+    std::unique_ptr<BooleanNode> parse_and() {
+        auto left = parse_unary();
+        for (;;) {
+            const auto kind = lexer_.peek().kind;
+            if (kind == Token::Kind::And) {
+                lexer_.take();
+            } else if (kind != Token::Kind::Term && kind != Token::Kind::Not &&
+                       kind != Token::Kind::LParen) {
+                break;  // adjacency only continues over operand starters
+            }
+            auto right = parse_unary();
+            left = combine(BooleanNode::Kind::And, std::move(left), std::move(right));
+        }
+        return left;
+    }
+
+    std::unique_ptr<BooleanNode> parse_unary() {
+        const Token t = lexer_.take();
+        switch (t.kind) {
+            case Token::Kind::Not: {
+                auto operand = parse_unary();
+                if (!operand) throw DataError("boolean query: NOT with empty operand");
+                auto node = std::make_unique<BooleanNode>();
+                node->kind = BooleanNode::Kind::Not;
+                node->left = std::move(operand);
+                return node;
+            }
+            case Token::Kind::LParen: {
+                auto inner = parse_or();
+                if (lexer_.peek().kind != Token::Kind::RParen) {
+                    throw DataError("boolean query: missing ')'");
+                }
+                lexer_.take();
+                return inner;
+            }
+            case Token::Kind::Term: {
+                const std::string norm = pipeline_->normalize(
+                    [&] {
+                        std::string lower = t.text;
+                        for (char& c : lower) {
+                            c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+                        }
+                        return lower;
+                    }());
+                if (norm.empty()) return nullptr;  // stopped term
+                auto node = std::make_unique<BooleanNode>();
+                node->kind = BooleanNode::Kind::Term;
+                node->term = norm;
+                return node;
+            }
+            default:
+                throw DataError("boolean query: unexpected token '" + t.text + "'");
+        }
+    }
+
+    static std::unique_ptr<BooleanNode> combine(BooleanNode::Kind kind,
+                                                std::unique_ptr<BooleanNode> left,
+                                                std::unique_ptr<BooleanNode> right) {
+        if (!left) return right;
+        if (!right) return left;
+        auto node = std::make_unique<BooleanNode>();
+        node->kind = kind;
+        node->left = std::move(left);
+        node->right = std::move(right);
+        return node;
+    }
+
+    Lexer lexer_;
+    const text::Pipeline* pipeline_;
+};
+
+std::vector<std::uint32_t> term_docs(const std::string& term,
+                                     const index::InvertedIndex& index) {
+    std::vector<std::uint32_t> out;
+    if (const auto id = index.vocabulary().lookup(term)) {
+        const index::PostingsList& list = index.postings(*id);
+        out.reserve(list.count());
+        for (index::PostingsCursor cur(list, false); !cur.at_end(); cur.next()) {
+            out.push_back(cur.doc());
+        }
+    }
+    return out;
+}
+
+std::vector<std::uint32_t> universe(const index::InvertedIndex& index) {
+    std::vector<std::uint32_t> all(index.num_documents());
+    for (std::uint32_t d = 0; d < all.size(); ++d) all[d] = d;
+    return all;
+}
+
+}  // namespace
+
+std::string BooleanNode::to_string() const {
+    switch (kind) {
+        case Kind::Term:
+            return term;
+        case Kind::And:
+            return "(" + left->to_string() + " AND " + right->to_string() + ")";
+        case Kind::Or:
+            return "(" + left->to_string() + " OR " + right->to_string() + ")";
+        case Kind::Not:
+            return "(NOT " + left->to_string() + ")";
+    }
+    return "?";
+}
+
+std::unique_ptr<BooleanNode> parse_boolean(std::string_view query,
+                                           const text::Pipeline& pipeline) {
+    return Parser(Lexer(query), pipeline).parse();
+}
+
+std::vector<std::uint32_t> evaluate_boolean(const BooleanNode& node,
+                                            const index::InvertedIndex& index) {
+    switch (node.kind) {
+        case BooleanNode::Kind::Term:
+            return term_docs(node.term, index);
+        case BooleanNode::Kind::And:
+            return set_intersect(evaluate_boolean(*node.left, index),
+                                 evaluate_boolean(*node.right, index));
+        case BooleanNode::Kind::Or:
+            return set_union(evaluate_boolean(*node.left, index),
+                             evaluate_boolean(*node.right, index));
+        case BooleanNode::Kind::Not:
+            return set_difference(universe(index), evaluate_boolean(*node.left, index));
+    }
+    throw DataError("boolean query: corrupt AST");
+}
+
+std::vector<std::uint32_t> boolean_search(std::string_view query,
+                                          const index::InvertedIndex& index,
+                                          const text::Pipeline& pipeline) {
+    return evaluate_boolean(*parse_boolean(query, pipeline), index);
+}
+
+std::vector<std::uint32_t> set_intersect(std::span<const std::uint32_t> a,
+                                         std::span<const std::uint32_t> b) {
+    std::vector<std::uint32_t> out;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+    return out;
+}
+
+std::vector<std::uint32_t> set_union(std::span<const std::uint32_t> a,
+                                     std::span<const std::uint32_t> b) {
+    std::vector<std::uint32_t> out;
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+    return out;
+}
+
+std::vector<std::uint32_t> set_difference(std::span<const std::uint32_t> a,
+                                          std::span<const std::uint32_t> b) {
+    std::vector<std::uint32_t> out;
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(), std::back_inserter(out));
+    return out;
+}
+
+}  // namespace teraphim::rank

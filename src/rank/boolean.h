@@ -1,0 +1,65 @@
+// Boolean query evaluation.
+//
+// Section 1 of the paper contrasts ranking with Boolean querying, where
+// "independent servers execute the query on each of the subcollections,
+// and the overall result set is simply the union of the individual
+// result sets". This module supplies that baseline query model: a
+// recursive-descent parser for AND / OR / NOT with parentheses, and an
+// evaluator over the inverted file producing exact document sets.
+//
+// Grammar (case-insensitive keywords; bare adjacency means AND):
+//   expr   := orexpr
+//   orexpr := andexpr ( OR andexpr )*
+//   andexpr:= unary ( [AND] unary )*
+//   unary  := NOT unary | '(' expr ')' | term
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "text/pipeline.h"
+
+namespace teraphim::rank {
+
+/// AST node for a parsed Boolean query.
+struct BooleanNode {
+    enum class Kind { Term, And, Or, Not };
+
+    Kind kind = Kind::Term;
+    std::string term;  // Kind::Term only
+    std::unique_ptr<BooleanNode> left;
+    std::unique_ptr<BooleanNode> right;  // unused by Not
+
+    /// Human-readable rendering (tests, debugging).
+    std::string to_string() const;
+};
+
+/// Parses a Boolean expression; terms are normalised through `pipeline`.
+/// Throws DataError on syntax errors or when every term is stopped away.
+std::unique_ptr<BooleanNode> parse_boolean(std::string_view query,
+                                           const text::Pipeline& pipeline);
+
+/// Evaluates the query against one index: a sorted list of matching
+/// document numbers. NOT complements against [0, N).
+std::vector<std::uint32_t> evaluate_boolean(const BooleanNode& node,
+                                            const index::InvertedIndex& index);
+
+/// Convenience: parse then evaluate.
+std::vector<std::uint32_t> boolean_search(std::string_view query,
+                                          const index::InvertedIndex& index,
+                                          const text::Pipeline& pipeline);
+
+// Sorted-set primitives, exposed for testing and for the distributed
+// union in dir/ (Boolean results from several librarians are unioned).
+std::vector<std::uint32_t> set_intersect(std::span<const std::uint32_t> a,
+                                         std::span<const std::uint32_t> b);
+std::vector<std::uint32_t> set_union(std::span<const std::uint32_t> a,
+                                     std::span<const std::uint32_t> b);
+std::vector<std::uint32_t> set_difference(std::span<const std::uint32_t> a,
+                                          std::span<const std::uint32_t> b);
+
+}  // namespace teraphim::rank

@@ -1,0 +1,65 @@
+#include "rank/candidate_scorer.h"
+
+#include "util/error.h"
+
+namespace teraphim::rank {
+
+std::vector<SearchResult> score_candidates(const index::InvertedIndex& index,
+                                           const SimilarityMeasure& measure,
+                                           const std::vector<WeightedQueryTerm>& terms,
+                                           double query_norm,
+                                           std::span<const std::uint32_t> candidates,
+                                           bool use_skips, CandidateStats* stats) {
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+        TERAPHIM_ASSERT_MSG(candidates[i - 1] < candidates[i],
+                            "candidates must be sorted and distinct");
+    }
+
+    CandidateStats local;
+    std::vector<double> scores(candidates.size(), 0.0);
+
+    // Term-at-a-time: one pass over each matching term's list, seeking
+    // from candidate to candidate so the cursor only moves forward.
+    for (const auto& wt : terms) {
+        if (wt.weight == 0.0) continue;
+        const auto id = index.vocabulary().lookup(wt.term);
+        if (!id) continue;
+        const index::PostingsList& list = index.postings(*id);
+        ++local.terms_matched;
+
+        index::PostingsCursor cur(list, use_skips);
+        for (std::size_t i = 0; i < candidates.size() && !cur.at_end(); ++i) {
+            ++local.seeks;
+            if (cur.seek(candidates[i])) {
+                scores[i] += wt.weight * measure.doc_weight(cur.fdt());
+            }
+        }
+        local.postings_decoded += cur.postings_decoded();
+        // Charge only the bits actually traversed: proportional to the
+        // fraction of the list decoded (the whole point of skipping).
+        local.index_bits_read +=
+            list.count() == 0
+                ? 0
+                : list.total_bits() * cur.postings_decoded() / list.count();
+    }
+
+    const bool by_doc = measure.normalise_by_document();
+    const bool by_query = measure.normalise_by_query() && query_norm > 0.0;
+    std::vector<SearchResult> out;
+    out.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        double score = scores[i];
+        if (score != 0.0) {
+            if (by_doc) {
+                const double wd = index.doc_weight(candidates[i]);
+                score = wd > 0.0 ? score / wd : 0.0;
+            }
+            if (by_query) score /= query_norm;
+        }
+        out.push_back({candidates[i], score});
+    }
+    if (stats != nullptr) *stats = local;
+    return out;
+}
+
+}  // namespace teraphim::rank

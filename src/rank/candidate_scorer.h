@@ -1,0 +1,43 @@
+// Candidate-restricted scoring for the Central Index methodology.
+//
+// After ranking its grouped index, the CI receptionist knows *which*
+// documents might matter (the k'·G expanded candidates) and asks each
+// librarian for exact similarity values for just those documents. With
+// self-indexed postings this costs far less than a full ranking: each
+// query term's list is entered only at the sync points nearest the
+// candidates ("a mechanism that allows similarity values for some
+// documents to be computed without processing the index lists in full",
+// Section 3). `use_skips = false` reproduces the paper's as-run
+// configuration; the skipping ablation bench measures the difference.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "rank/similarity.h"
+
+namespace teraphim::rank {
+
+struct CandidateStats {
+    std::uint64_t terms_matched = 0;
+    std::uint64_t postings_decoded = 0;
+    std::uint64_t seeks = 0;
+    std::uint64_t index_bits_read = 0;
+};
+
+/// Computes similarity scores for exactly `candidates` (sorted, distinct
+/// local doc numbers). Returns one SearchResult per candidate, in
+/// candidate order; documents matching no query term get score 0.
+///
+/// `query_norm` is W_q (pass the receptionist's global norm in CI mode).
+std::vector<SearchResult> score_candidates(const index::InvertedIndex& index,
+                                           const SimilarityMeasure& measure,
+                                           const std::vector<WeightedQueryTerm>& terms,
+                                           double query_norm,
+                                           std::span<const std::uint32_t> candidates,
+                                           bool use_skips = true,
+                                           CandidateStats* stats = nullptr);
+
+}  // namespace teraphim::rank

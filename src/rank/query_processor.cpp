@@ -1,0 +1,119 @@
+#include "rank/query_processor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace teraphim::rank {
+
+QueryProcessor::QueryProcessor(const index::InvertedIndex& index,
+                               const SimilarityMeasure& measure)
+    : index_(&index), measure_(&measure) {}
+
+std::vector<WeightedQueryTerm> QueryProcessor::resolve_weights(const Query& query) const {
+    std::vector<WeightedQueryTerm> out;
+    out.reserve(query.terms.size());
+    const std::uint64_t n = index_->num_documents();
+    for (const QueryTerm& qt : query.terms) {
+        std::uint64_t ft = 0;
+        if (const auto id = index_->vocabulary().lookup(qt.term)) {
+            ft = index_->stats(*id).doc_frequency;
+        }
+        out.push_back({qt.term, measure_->query_weight(qt.fqt, n, ft)});
+    }
+    return out;
+}
+
+std::vector<SearchResult> QueryProcessor::rank(const Query& query, std::size_t k,
+                                               RankStats* stats) const {
+    const auto weighted = resolve_weights(query);
+    return rank_weighted(weighted, query_norm(weighted), k, stats);
+}
+
+std::vector<SearchResult> QueryProcessor::rank_weighted(
+    const std::vector<WeightedQueryTerm>& terms, double qnorm, std::size_t k,
+    const RankPolicy& policy, RankStats* stats) const {
+    RankStats local;
+    std::vector<double> accumulators(index_->num_documents(), 0.0);
+
+    // Under a limiting policy, the rarest (highest-weighted) terms go
+    // first: they select the documents most likely to rank well, so the
+    // accumulator budget is spent on the best candidates [14].
+    const bool limited = policy.strategy != RankPolicy::Strategy::Unlimited;
+    std::vector<const WeightedQueryTerm*> order;
+    order.reserve(terms.size());
+    for (const auto& wt : terms) order.push_back(&wt);
+    if (limited) {
+        std::stable_sort(order.begin(), order.end(),
+                         [](const WeightedQueryTerm* a, const WeightedQueryTerm* b) {
+                             return a->weight > b->weight;
+                         });
+    }
+
+    std::size_t live_accumulators = 0;
+    bool budget_hit = false;
+    for (const WeightedQueryTerm* wt : order) {
+        if (wt->weight == 0.0) continue;
+        if (budget_hit && policy.strategy == RankPolicy::Strategy::Quit) break;
+        const auto id = index_->vocabulary().lookup(wt->term);
+        if (!id) continue;
+        const index::PostingsList& list = index_->postings(*id);
+        ++local.terms_matched;
+        local.index_bits_read += list.total_bits();
+        const bool admit_new = !budget_hit;
+        for (index::PostingsCursor cur(list, /*use_skips=*/false); !cur.at_end(); cur.next()) {
+            double& acc = accumulators[cur.doc()];
+            if (acc == 0.0) {
+                if (!admit_new) continue;  // Continue: update existing only
+                ++live_accumulators;
+            }
+            acc += wt->weight * measure_->doc_weight(cur.fdt());
+        }
+        local.postings_decoded += list.count();
+        if (limited && live_accumulators >= policy.max_accumulators) budget_hit = true;
+    }
+
+    // Normalisation: divide by W_d (unless the measure opts out) and by
+    // W_q (constant per query; kept so CN-merged scores are comparable in
+    // the same way the paper's implementation makes them comparable).
+    const bool by_doc = measure_->normalise_by_document();
+    const bool by_query = measure_->normalise_by_query() && qnorm > 0.0;
+    for (index::DocNum d = 0; d < accumulators.size(); ++d) {
+        if (accumulators[d] == 0.0) continue;
+        ++local.accumulators_used;
+        if (by_doc) {
+            const double wd = index_->doc_weight(d);
+            accumulators[d] = wd > 0.0 ? accumulators[d] / wd : 0.0;
+        }
+        if (by_query) accumulators[d] /= qnorm;
+    }
+
+    if (stats != nullptr) *stats = local;
+    return top_k_from_accumulators(accumulators, k);
+}
+
+std::vector<SearchResult> top_k_from_accumulators(const std::vector<double>& accumulators,
+                                                  std::size_t k) {
+    std::vector<SearchResult> heap;  // min-heap on result_before order
+    heap.reserve(k + 1);
+    const auto worse_first = [](const SearchResult& a, const SearchResult& b) {
+        return result_before(a, b);  // makes the heap top the *worst* kept result
+    };
+    for (std::uint32_t d = 0; d < accumulators.size(); ++d) {
+        if (accumulators[d] <= 0.0) continue;
+        const SearchResult r{d, accumulators[d]};
+        if (heap.size() < k) {
+            heap.push_back(r);
+            std::push_heap(heap.begin(), heap.end(), worse_first);
+        } else if (k > 0 && result_before(r, heap.front())) {
+            std::pop_heap(heap.begin(), heap.end(), worse_first);
+            heap.back() = r;
+            std::push_heap(heap.begin(), heap.end(), worse_first);
+        }
+    }
+    std::sort(heap.begin(), heap.end(), result_before);
+    return heap;
+}
+
+}  // namespace teraphim::rank

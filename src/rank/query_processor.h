@@ -1,0 +1,87 @@
+// Ranked query evaluation over one inverted index.
+//
+// Term-at-a-time processing with an accumulator per document and a final
+// top-k heap selection — the MG evaluation strategy the paper builds on.
+// Two entry points mirror the two modes a librarian runs in:
+//
+//  * rank():          query weights computed from the index's own N and
+//                     f_t — the MS and CN configurations.
+//  * rank_weighted(): query weights supplied by the caller — the CV
+//                     configuration, where the receptionist resolves
+//                     weights against its merged vocabulary so that every
+//                     librarian produces exactly the MS scores.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "rank/similarity.h"
+
+namespace teraphim::rank {
+
+/// Work counters used by the cost model and the ablation benches.
+struct RankStats {
+    std::uint64_t terms_matched = 0;      ///< query terms found in the vocabulary
+    std::uint64_t postings_decoded = 0;   ///< inverted-list entries touched
+    std::uint64_t accumulators_used = 0;  ///< documents with a nonzero score
+    std::uint64_t index_bits_read = 0;    ///< compressed bits fetched from "disk"
+};
+
+/// Accumulator limiting, after Moffat & Zobel's "Self-indexing inverted
+/// files" [14] — the same paper the skipping mechanism comes from. Terms
+/// are processed in decreasing w_qt order (rarest first); once the
+/// accumulator target is hit, the *quit* strategy abandons the remaining
+/// lists entirely, while *continue* keeps updating existing accumulators
+/// without admitting new documents.
+struct RankPolicy {
+    enum class Strategy {
+        Unlimited,  ///< every posting of every query term (the default)
+        Quit,
+        Continue,
+    };
+    Strategy strategy = Strategy::Unlimited;
+    /// Accumulator target; ignored when strategy == Unlimited.
+    std::size_t max_accumulators = 0;
+};
+
+class QueryProcessor {
+public:
+    QueryProcessor(const index::InvertedIndex& index, const SimilarityMeasure& measure);
+
+    /// Ranks the whole collection with locally computed query weights and
+    /// returns the top `k` by (score desc, doc asc).
+    std::vector<SearchResult> rank(const Query& query, std::size_t k,
+                                   RankStats* stats = nullptr) const;
+
+    /// Ranks with caller-supplied w_qt values. `query_norm` is W_q; pass
+    /// the global norm in CV mode so scores match the mono-server ones.
+    std::vector<SearchResult> rank_weighted(const std::vector<WeightedQueryTerm>& terms,
+                                            double query_norm, std::size_t k,
+                                            RankStats* stats = nullptr) const {
+        return rank_weighted(terms, query_norm, k, RankPolicy{}, stats);
+    }
+
+    /// As above, under an accumulator-limiting policy.
+    std::vector<SearchResult> rank_weighted(const std::vector<WeightedQueryTerm>& terms,
+                                            double query_norm, std::size_t k,
+                                            const RankPolicy& policy,
+                                            RankStats* stats = nullptr) const;
+
+    /// Resolves w_qt for each query term against this index's statistics.
+    std::vector<WeightedQueryTerm> resolve_weights(const Query& query) const;
+
+    const index::InvertedIndex& index() const { return *index_; }
+    const SimilarityMeasure& measure() const { return *measure_; }
+
+private:
+    const index::InvertedIndex* index_;
+    const SimilarityMeasure* measure_;
+};
+
+/// Extracts the top-k results (score desc, doc asc) from a full
+/// accumulator array; exposed for reuse by the merging logic.
+std::vector<SearchResult> top_k_from_accumulators(const std::vector<double>& accumulators,
+                                                  std::size_t k);
+
+}  // namespace teraphim::rank

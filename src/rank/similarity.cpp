@@ -1,0 +1,110 @@
+#include "rank/similarity.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace teraphim::rank {
+
+Query parse_query(std::string_view text, const text::Pipeline& pipeline) {
+    Query q;
+    std::unordered_map<std::string, std::size_t> seen;
+    for (auto& term : pipeline.terms(text)) {
+        const auto [it, inserted] = seen.emplace(term, q.terms.size());
+        if (inserted) {
+            q.terms.push_back({std::move(term), 1});
+        } else {
+            ++q.terms[it->second].fqt;
+        }
+    }
+    return q;
+}
+
+bool result_before(const SearchResult& a, const SearchResult& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+}
+
+namespace {
+
+class CosineLogTf final : public SimilarityMeasure {
+public:
+    double query_weight(std::uint32_t fqt, std::uint64_t n, std::uint64_t ft) const override {
+        if (ft == 0) return 0.0;
+        return std::log(static_cast<double>(fqt) + 1.0) *
+               std::log(static_cast<double>(n) / static_cast<double>(ft) + 1.0);
+    }
+    double doc_weight(std::uint32_t fdt) const override {
+        return std::log(static_cast<double>(fdt) + 1.0);
+    }
+    std::string_view name() const override { return "cosine-log-tf"; }
+};
+
+class CosineTfIdf final : public SimilarityMeasure {
+public:
+    double query_weight(std::uint32_t fqt, std::uint64_t n, std::uint64_t ft) const override {
+        if (ft == 0) return 0.0;
+        return static_cast<double>(fqt) *
+               std::log(static_cast<double>(n) / static_cast<double>(ft) + 1.0);
+    }
+    double doc_weight(std::uint32_t fdt) const override { return static_cast<double>(fdt); }
+    std::string_view name() const override { return "cosine-tf-idf"; }
+};
+
+class CosineBinary final : public SimilarityMeasure {
+public:
+    double query_weight(std::uint32_t, std::uint64_t n, std::uint64_t ft) const override {
+        if (ft == 0) return 0.0;
+        return std::log(static_cast<double>(n) / static_cast<double>(ft) + 1.0);
+    }
+    double doc_weight(std::uint32_t) const override { return 1.0; }
+    std::string_view name() const override { return "cosine-binary"; }
+};
+
+class InnerProductLogTf final : public SimilarityMeasure {
+public:
+    double query_weight(std::uint32_t fqt, std::uint64_t n, std::uint64_t ft) const override {
+        if (ft == 0) return 0.0;
+        return std::log(static_cast<double>(fqt) + 1.0) *
+               std::log(static_cast<double>(n) / static_cast<double>(ft) + 1.0);
+    }
+    double doc_weight(std::uint32_t fdt) const override {
+        return std::log(static_cast<double>(fdt) + 1.0);
+    }
+    bool normalise_by_document() const override { return false; }
+    bool normalise_by_query() const override { return false; }
+    std::string_view name() const override { return "inner-product-log-tf"; }
+};
+
+}  // namespace
+
+const SimilarityMeasure& cosine_log_tf() {
+    static const CosineLogTf m;
+    return m;
+}
+
+const SimilarityMeasure& cosine_tf_idf() {
+    static const CosineTfIdf m;
+    return m;
+}
+
+const SimilarityMeasure& cosine_binary() {
+    static const CosineBinary m;
+    return m;
+}
+
+const SimilarityMeasure& inner_product_log_tf() {
+    static const InnerProductLogTf m;
+    return m;
+}
+
+std::vector<const SimilarityMeasure*> all_measures() {
+    return {&cosine_log_tf(), &cosine_tf_idf(), &cosine_binary(), &inner_product_log_tf()};
+}
+
+double query_norm(const std::vector<WeightedQueryTerm>& terms) {
+    double sum_sq = 0.0;
+    for (const auto& t : terms) sum_sq += t.weight * t.weight;
+    return std::sqrt(sum_sq);
+}
+
+}  // namespace teraphim::rank

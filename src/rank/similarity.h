@@ -1,0 +1,104 @@
+// Similarity measures for ranked retrieval.
+//
+// The paper's experiments use "the cosine measure with logarithmic
+// in-document frequency" (Section 2):
+//
+//   C(q,d) = sum_{t in q ∩ d} w_qt * w_dt / sqrt(W_q^2 * W_d^2)
+//   w_dt   = log(f_dt + 1)
+//   w_qt   = log(f_qt + 1) * log(N/f_t + 1)
+//
+// with the collection-wide statistic confined to the query weights. The
+// family below also carries the neighbouring formulations from Zobel &
+// Moffat's "Exploring the similarity space" [29], used by the similarity
+// ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/pipeline.h"
+
+namespace teraphim::rank {
+
+/// A parsed query: distinct terms with their within-query frequencies.
+struct QueryTerm {
+    std::string term;
+    std::uint32_t fqt = 1;
+};
+
+struct Query {
+    std::vector<QueryTerm> terms;
+
+    std::size_t distinct_terms() const { return terms.size(); }
+};
+
+/// Runs raw query text through the pipeline and folds duplicates into
+/// f_qt counts. Term order is first-occurrence order (deterministic).
+Query parse_query(std::string_view text, const text::Pipeline& pipeline);
+
+/// A query term with its weight resolved against some set of collection
+/// statistics — either the librarian's own (MS/CN) or the receptionist's
+/// global ones (CV). This is exactly what travels on the wire in CV mode.
+struct WeightedQueryTerm {
+    std::string term;
+    double weight = 0.0;  ///< w_qt
+};
+
+/// One ranked answer.
+struct SearchResult {
+    std::uint32_t doc = 0;
+    double score = 0.0;
+
+    friend bool operator==(const SearchResult&, const SearchResult&) = default;
+};
+
+/// Orders by score descending, then doc ascending: the deterministic
+/// order used everywhere results are ranked or merged.
+bool result_before(const SearchResult& a, const SearchResult& b);
+
+/// The pluggable measure. Implementations must be stateless and
+/// thread-safe; all methods are pure functions of their arguments.
+class SimilarityMeasure {
+public:
+    virtual ~SimilarityMeasure() = default;
+
+    /// w_qt for a term with query frequency f_qt, collection size N and
+    /// document frequency f_t. Must return 0 when f_t == 0.
+    virtual double query_weight(std::uint32_t fqt, std::uint64_t num_docs,
+                                std::uint64_t ft) const = 0;
+
+    /// w_dt for in-document frequency f_dt (>= 1).
+    virtual double doc_weight(std::uint32_t fdt) const = 0;
+
+    /// Whether scores are divided by W_d (document-length normalisation).
+    virtual bool normalise_by_document() const { return true; }
+
+    /// Whether scores are divided by W_q (constant per query; changes
+    /// score values, and hence CN merging, but not per-librarian order).
+    virtual bool normalise_by_query() const { return true; }
+
+    virtual std::string_view name() const = 0;
+};
+
+/// The paper's measure: w_dt = log(f_dt+1), w_qt = log(f_qt+1)*log(N/f_t+1).
+const SimilarityMeasure& cosine_log_tf();
+
+/// w_dt = f_dt, w_qt = f_qt * log(N/f_t + 1)  (classic tf·idf cosine).
+const SimilarityMeasure& cosine_tf_idf();
+
+/// w_dt = 1, w_qt = log(N/f_t + 1)  (binary documents, idf queries).
+const SimilarityMeasure& cosine_binary();
+
+/// Unnormalised inner product with the paper's weights (no W_d, no W_q).
+const SimilarityMeasure& inner_product_log_tf();
+
+/// All measures, for parameterised tests and the similarity bench.
+std::vector<const SimilarityMeasure*> all_measures();
+
+/// W_q = sqrt(sum of w_qt^2) over the supplied weighted terms.
+double query_norm(const std::vector<WeightedQueryTerm>& terms);
+
+}  // namespace teraphim::rank

@@ -1,0 +1,4 @@
+#include "sim/cost_model.h"
+
+// Header-only today; this translation unit anchors the module so future
+// calibration tables can live out-of-line without build changes.

@@ -1,0 +1,25 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+namespace teraphim::sim {
+
+void Engine::schedule_at(SimTime at, std::function<void()> fn) {
+    TERAPHIM_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+    queue_.push({at, next_seq_++, std::move(fn)});
+}
+
+SimTime Engine::run() {
+    while (!queue_.empty()) {
+        // priority_queue::top() is const; the function object must be
+        // moved out before pop, so copy the metadata and steal the fn.
+        Event ev = std::move(const_cast<Event&>(queue_.top()));
+        queue_.pop();
+        now_ = ev.at;
+        ++executed_;
+        ev.fn();
+    }
+    return now_;
+}
+
+}  // namespace teraphim::sim

@@ -1,0 +1,61 @@
+// Discrete-event simulation core.
+//
+// The paper's timing results (Tables 3 and 4) come from real SPARC
+// machines on a real ethernet and real Internet links. Those are
+// reproduced here with a small discrete-event simulator: callbacks
+// scheduled on a virtual clock, plus FIFO resources (sim/resource.h)
+// modelling disks, CPU pools and shared network segments. The simulator
+// is deterministic: equal schedules yield equal clocks, bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/error.h"
+
+namespace teraphim::sim {
+
+/// Simulated seconds.
+using SimTime = double;
+
+class Engine {
+public:
+    /// Schedules `fn` to run at absolute time `at` (>= now()). Events at
+    /// equal times run in scheduling order (stable FIFO tie-break).
+    void schedule_at(SimTime at, std::function<void()> fn);
+
+    /// Schedules `fn` after a delay from the current time.
+    void schedule_in(SimTime delay, std::function<void()> fn) {
+        schedule_at(now_ + delay, std::move(fn));
+    }
+
+    /// Runs until the event queue drains. Returns the final clock.
+    SimTime run();
+
+    SimTime now() const { return now_; }
+
+    /// Events executed so far (test/debug aid).
+    std::uint64_t events_executed() const { return executed_; }
+
+private:
+    struct Event {
+        SimTime at;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+    struct Later {
+        bool operator()(const Event& a, const Event& b) const {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    SimTime now_ = 0.0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace teraphim::sim

@@ -1,0 +1,42 @@
+#include "sim/resource.h"
+
+#include <algorithm>
+
+namespace teraphim::sim {
+
+Resource::Resource(Engine& engine, std::size_t capacity, std::string name)
+    : engine_(&engine), capacity_(capacity), name_(std::move(name)) {
+    TERAPHIM_ASSERT(capacity_ >= 1);
+}
+
+void Resource::use(SimTime service_time, std::function<void()> on_done) {
+    TERAPHIM_ASSERT(service_time >= 0.0);
+    Job job{service_time, engine_->now(), std::move(on_done)};
+    if (busy_ < capacity_) {
+        start(std::move(job));
+    } else {
+        queue_.push_back(std::move(job));
+        max_queue_ = std::max(max_queue_, queue_.size());
+    }
+}
+
+void Resource::start(Job job) {
+    ++busy_;
+    busy_time_ += job.service_time;
+    wait_time_ += engine_->now() - job.enqueued_at;
+    ++jobs_served_;
+    engine_->schedule_in(job.service_time,
+                         [this, done = std::move(job.on_done)]() mutable { finish(std::move(done)); });
+}
+
+void Resource::finish(std::function<void()> on_done) {
+    --busy_;
+    if (!queue_.empty()) {
+        Job next = std::move(queue_.front());
+        queue_.pop_front();
+        start(std::move(next));
+    }
+    if (on_done) on_done();
+}
+
+}  // namespace teraphim::sim

@@ -1,0 +1,176 @@
+#include "sim/topology.h"
+
+#include "util/error.h"
+
+namespace teraphim::sim {
+
+const std::vector<SiteInfo>& wan_sites() {
+    // Hop counts and ping times are Table 2 of the paper, measured from
+    // Melbourne at noon local time. Bandwidths are our estimates from the
+    // paper's commentary: the New Zealand link is "relatively direct, but
+    // of modest bandwidth"; the Israel link "traverses the United States".
+    static const std::vector<SiteInfo> sites = {
+        {"Waikato", 13, 0.76, 8.0e4},
+        {"Canberra", 14, 0.18, 2.5e5},
+        {"Brisbane", 16, 0.14, 2.5e5},
+        {"Israel", 28, 1.04, 6.0e4},
+    };
+    return sites;
+}
+
+TopologySpec mono_disk_topology(std::size_t num_librarians) {
+    TopologySpec spec;
+    spec.name = "mono-disk";
+    spec.machine_cpus = {4};  // the four-processor SPARC 10
+    spec.machine_names = {"sparc10-quad"};
+    spec.num_disks = 1;
+    spec.receptionist = {0, 0, -1};
+    spec.librarians.assign(num_librarians, Placement{0, 0, -1});
+    return spec;
+}
+
+TopologySpec multi_disk_topology(std::size_t num_librarians) {
+    TopologySpec spec;
+    spec.name = "multi-disk";
+    spec.machine_cpus = {4};
+    spec.machine_names = {"sparc10-quad"};
+    spec.num_disks = num_librarians;  // one drive per librarian
+    spec.receptionist = {0, -1, -1};  // dataless receptionist
+    spec.librarians.resize(num_librarians);
+    for (std::size_t i = 0; i < num_librarians; ++i) {
+        spec.librarians[i] = {0, static_cast<int>(i), -1};
+    }
+    return spec;
+}
+
+TopologySpec lan_topology(std::size_t num_librarians) {
+    // Paper layout: a 4-CPU SPARC 10 runs the receptionist and FR; a
+    // 2-CPU SPARC 10 runs AP and WSJ; a 2-CPU SPARC 20 runs ZIFF. All on
+    // one 10 Mbit ethernet. Extra librarians (the 43-way study) continue
+    // round-robin over the two remote machines.
+    TopologySpec spec;
+    spec.name = "LAN";
+    spec.machine_cpus = {4, 2, 2};
+    spec.machine_names = {"sparc10-quad", "sparc10-dual", "sparc20-dual"};
+    spec.num_disks = num_librarians;
+    // One shared segment: every remote transfer serialises on the cable.
+    spec.links.push_back({"ethernet-10mbit", 0.0005, 1.25e6, true});
+    spec.receptionist = {0, -1, -1};
+    spec.librarians.resize(num_librarians);
+    for (std::size_t i = 0; i < num_librarians; ++i) {
+        // Librarian 2 (FR in the paper's ordering AP, WSJ, FR, ZIFF)
+        // shares the receptionist machine; others alternate remotely.
+        Placement p;
+        p.disk = static_cast<int>(i);
+        switch (i % 4) {
+            case 0: p.machine = 1; p.link = 0; break;  // AP
+            case 1: p.machine = 1; p.link = 0; break;  // WSJ
+            case 2: p.machine = 0; p.link = -1; break; // FR (colocated)
+            default: p.machine = 2; p.link = 0; break; // ZIFF
+        }
+        spec.librarians[i] = p;
+    }
+    return spec;
+}
+
+TopologySpec wan_topology(std::size_t num_librarians) {
+    // Receptionist in Melbourne; AP in Brisbane, WSJ in Tel Aviv, FR in
+    // Hamilton (Waikato), ZIFF in Canberra — Section 4 "WAN".
+    TopologySpec spec;
+    spec.name = "WAN";
+    const auto& sites = wan_sites();
+    spec.machine_cpus.push_back(4);  // Melbourne
+    spec.machine_names.push_back("melbourne");
+    for (const SiteInfo& site : sites) {
+        spec.machine_cpus.push_back(2);
+        spec.machine_names.push_back(site.location);
+        spec.links.push_back(
+            {site.location, site.ping_seconds / 2.0, site.bytes_per_second, false});
+    }
+    spec.num_disks = num_librarians;
+    spec.receptionist = {0, -1, -1};
+    spec.librarians.resize(num_librarians);
+    // Paper's subcollection order is AP, WSJ, FR, ZIFF.
+    static constexpr int kSiteOf[4] = {2, 3, 0, 1};  // Brisbane, Israel, Waikato, Canberra
+    for (std::size_t i = 0; i < num_librarians; ++i) {
+        const int site = kSiteOf[i % 4];
+        spec.librarians[i] = {1 + site, static_cast<int>(i), site};
+    }
+    return spec;
+}
+
+std::vector<TopologySpec> all_topologies(std::size_t num_librarians) {
+    return {mono_disk_topology(num_librarians), multi_disk_topology(num_librarians),
+            lan_topology(num_librarians), wan_topology(num_librarians)};
+}
+
+SimNetwork::SimNetwork(Engine& engine, const TopologySpec& spec)
+    : engine_(&engine), spec_(spec) {
+    TERAPHIM_ASSERT(!spec_.machine_cpus.empty());
+    for (std::size_t m = 0; m < spec_.machine_cpus.size(); ++m) {
+        machine_cpu_.push_back(std::make_unique<Resource>(
+            engine, static_cast<std::size_t>(spec_.machine_cpus[m]),
+            spec_.machine_names.size() > m ? spec_.machine_names[m] : "machine"));
+    }
+    for (std::size_t d = 0; d < spec_.num_disks; ++d) {
+        disks_.push_back(std::make_unique<Resource>(engine, 1, "disk" + std::to_string(d)));
+    }
+    for (const LinkSpec& link : spec_.links) {
+        link_wires_.push_back(std::make_unique<Resource>(engine, 1, link.name));
+    }
+}
+
+void SimNetwork::transfer(std::size_t librarian, std::uint64_t bytes,
+                          std::function<void()> on_delivered) {
+    TERAPHIM_ASSERT(librarian < spec_.librarians.size());
+    const int link = spec_.librarians[librarian].link;
+    if (link < 0) {
+        // Same machine: a memcpy through a pipe, effectively.
+        engine_->schedule_in(
+            kLocalIpcSeconds + static_cast<double>(bytes) / kLocalIpcBytesPerSecond,
+            std::move(on_delivered));
+        return;
+    }
+    const LinkSpec& ls = spec_.links[static_cast<std::size_t>(link)];
+    network_bytes_ += bytes;
+    const double tx = static_cast<double>(bytes) / ls.bytes_per_second;
+    // The sender occupies the wire for the transmission time; the payload
+    // lands one propagation delay after it leaves the wire.
+    link_wires_[static_cast<std::size_t>(link)]->use(
+        tx, [this, latency = ls.one_way_latency_seconds,
+             done = std::move(on_delivered)]() mutable {
+            engine_->schedule_in(latency, std::move(done));
+        });
+}
+
+Resource& SimNetwork::librarian_cpu(std::size_t i) {
+    TERAPHIM_ASSERT(i < spec_.librarians.size());
+    return *machine_cpu_[static_cast<std::size_t>(spec_.librarians[i].machine)];
+}
+
+Resource& SimNetwork::librarian_disk(std::size_t i) {
+    TERAPHIM_ASSERT(i < spec_.librarians.size());
+    const int disk = spec_.librarians[i].disk;
+    TERAPHIM_ASSERT(disk >= 0);
+    return *disks_[static_cast<std::size_t>(disk)];
+}
+
+Resource& SimNetwork::receptionist_cpu() {
+    return *machine_cpu_[static_cast<std::size_t>(spec_.receptionist.machine)];
+}
+
+Resource& SimNetwork::receptionist_disk() {
+    const int disk = spec_.receptionist.disk;
+    if (disk >= 0) return *disks_[static_cast<std::size_t>(disk)];
+    TERAPHIM_ASSERT_MSG(!disks_.empty(), "no disks in topology");
+    return *disks_[0];
+}
+
+double SimNetwork::ping(std::size_t librarian) const {
+    TERAPHIM_ASSERT(librarian < spec_.librarians.size());
+    const int link = spec_.librarians[librarian].link;
+    if (link < 0) return 2.0 * kLocalIpcSeconds;
+    return 2.0 * spec_.links[static_cast<std::size_t>(link)].one_way_latency_seconds;
+}
+
+}  // namespace teraphim::sim

@@ -1,0 +1,113 @@
+// Simulated hardware/network topologies for the paper's configurations.
+//
+// Section 4 evaluates four configurations:
+//   Mono-Disk:  one 4-CPU machine, every librarian (and the receptionist)
+//               sharing a single disk arm.
+//   Multi-Disk: the same machine, one drive per librarian.
+//   LAN:        three machines on a shared 10 Mbit ethernet.
+//   WAN:        receptionist in Melbourne; librarians in Canberra,
+//               Brisbane, Hamilton NZ (Waikato) and Tel Aviv (Israel),
+//               with the measured hop counts and ping times of Table 2.
+//
+// A topology is a declarative spec; SimNetwork instantiates engine
+// resources from it and provides message-transfer and disk/CPU access
+// for the simulated query executions in dir/deployment.h.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/resource.h"
+
+namespace teraphim::sim {
+
+/// One row of the paper's Table 2.
+struct SiteInfo {
+    std::string location;
+    int hops = 0;
+    double ping_seconds = 0.0;        ///< measured round-trip time
+    double bytes_per_second = 0.0;    ///< our bandwidth estimate for the link
+};
+
+/// The four remote sites of Table 2 (Waikato, Canberra, Brisbane, Israel).
+const std::vector<SiteInfo>& wan_sites();
+
+struct LinkSpec {
+    std::string name;
+    double one_way_latency_seconds = 0.0;
+    double bytes_per_second = 1e9;
+    bool shared_segment = false;  ///< true: all traffic serialises (ethernet)
+};
+
+struct Placement {
+    int machine = 0;
+    int disk = -1;  ///< -1: dataless (the receptionist in most configs)
+    int link = -1;  ///< -1: colocated with the receptionist (no network)
+};
+
+struct TopologySpec {
+    std::string name;
+    std::vector<int> machine_cpus;       ///< CPU count per machine
+    std::vector<std::string> machine_names;
+    std::size_t num_disks = 0;
+    std::vector<LinkSpec> links;
+    Placement receptionist;
+    std::vector<Placement> librarians;
+};
+
+/// Factory functions for the paper's configurations, parameterised by the
+/// number of librarians (4 in Tables 3-4; 43 in the robustness study).
+TopologySpec mono_disk_topology(std::size_t num_librarians);
+TopologySpec multi_disk_topology(std::size_t num_librarians);
+TopologySpec lan_topology(std::size_t num_librarians);
+TopologySpec wan_topology(std::size_t num_librarians);
+
+/// All four, in the column order of Tables 3-4.
+std::vector<TopologySpec> all_topologies(std::size_t num_librarians);
+
+/// Live simulation state for one topology: engine resources plus message
+/// transfer between the receptionist and each librarian.
+class SimNetwork {
+public:
+    SimNetwork(Engine& engine, const TopologySpec& spec);
+
+    /// Delivers `bytes` from the receptionist to librarian `i` (or the
+    /// reverse — links are symmetric): the sender holds the wire for the
+    /// transmission time, then the payload arrives after the propagation
+    /// latency. Colocated librarians get a fixed small IPC cost.
+    void transfer(std::size_t librarian, std::uint64_t bytes,
+                  std::function<void()> on_delivered);
+
+    Resource& librarian_cpu(std::size_t i);
+    Resource& librarian_disk(std::size_t i);
+    Resource& receptionist_cpu();
+    /// The receptionist's disk (for the CI central index). In dataless
+    /// configurations this falls back to the shared disk 0.
+    Resource& receptionist_disk();
+
+    /// Round-trip time for an empty message to librarian `i` — the
+    /// simulated analogue of the paper's "ping" measurements.
+    double ping(std::size_t librarian) const;
+
+    const TopologySpec& spec() const { return spec_; }
+    std::size_t num_librarians() const { return spec_.librarians.size(); }
+
+    /// Total bytes moved over real (non-colocated) links.
+    std::uint64_t network_bytes() const { return network_bytes_; }
+
+private:
+    Engine* engine_;
+    TopologySpec spec_;
+    std::vector<std::unique_ptr<Resource>> machine_cpu_;
+    std::vector<std::unique_ptr<Resource>> disks_;
+    std::vector<std::unique_ptr<Resource>> link_wires_;
+    std::uint64_t network_bytes_ = 0;
+
+    static constexpr double kLocalIpcSeconds = 2.0e-4;
+    static constexpr double kLocalIpcBytesPerSecond = 4.0e7;
+};
+
+}  // namespace teraphim::sim

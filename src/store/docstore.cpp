@@ -1,0 +1,70 @@
+#include "store/docstore.h"
+
+#include "util/error.h"
+
+namespace teraphim::store {
+
+void DocStoreBuilder::add_document(Document doc) {
+    docs_.push_back(std::move(doc));
+}
+
+DocumentStore DocStoreBuilder::build() && {
+    compress::TextModelBuilder model;
+    for (const auto& d : docs_) model.add_document(d.text);
+    // Singletons are escape-coded rather than carried in the model; this
+    // is the min_count=2 variant MG recommends for large collections.
+    compress::TextCodec codec = model.build(/*min_count=*/2);
+
+    std::vector<std::string> ids;
+    std::vector<std::vector<std::uint8_t>> blobs;
+    ids.reserve(docs_.size());
+    blobs.reserve(docs_.size());
+    std::uint64_t raw_bytes = 0;
+    for (auto& d : docs_) {
+        raw_bytes += d.text.size();
+        blobs.push_back(codec.encode(d.text));
+        ids.push_back(std::move(d.external_id));
+    }
+    docs_.clear();
+    return DocumentStore(std::move(codec), std::move(ids), std::move(blobs), raw_bytes);
+}
+
+DocumentStore::DocumentStore(compress::TextCodec codec, std::vector<std::string> external_ids,
+                             std::vector<std::vector<std::uint8_t>> blobs,
+                             std::uint64_t raw_bytes)
+    : codec_(std::move(codec)),
+      external_ids_(std::move(external_ids)),
+      blobs_(std::move(blobs)),
+      total_raw_(raw_bytes) {
+    TERAPHIM_ASSERT(external_ids_.size() == blobs_.size());
+    for (const auto& b : blobs_) total_compressed_ += b.size();
+    // Raw per-document sizes are recovered lazily on first call to
+    // raw_bytes(); store builders record only the total to avoid a
+    // second decode pass. See raw_bytes().
+}
+
+const std::vector<std::uint8_t>& DocumentStore::blob(DocNum doc) const {
+    TERAPHIM_ASSERT(doc < blobs_.size());
+    return blobs_[doc];
+}
+
+std::string DocumentStore::fetch(DocNum doc) const {
+    return codec_.decode(blob(doc));
+}
+
+std::span<const std::uint8_t> DocumentStore::compressed(DocNum doc) const {
+    return blob(doc);
+}
+
+const std::string& DocumentStore::external_id(DocNum doc) const {
+    TERAPHIM_ASSERT(doc < external_ids_.size());
+    return external_ids_[doc];
+}
+
+std::uint64_t DocumentStore::raw_bytes(DocNum doc) const {
+    // Decoding is cheap relative to network simulation, and this path is
+    // used only for accounting of fetched documents (k per query).
+    return fetch(doc).size();
+}
+
+}  // namespace teraphim::store

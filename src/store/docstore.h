@@ -1,0 +1,85 @@
+// Compressed document store.
+//
+// TERAPHIM inherits MG's property that "all documents are stored
+// compressed", which both shrinks the store and lets librarians ship
+// documents over the network in compressed form without re-encoding
+// (Section 4, Analysis). The store keeps one word-model Huffman codec
+// per collection and a compressed blob per document.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compress/textcodec.h"
+
+namespace teraphim::store {
+
+/// Local document number within one (sub)collection, 0-based.
+using DocNum = std::uint32_t;
+
+/// A source document prior to indexing.
+struct Document {
+    std::string external_id;  ///< e.g. "AP880212-0001"
+    std::string text;
+};
+
+class DocumentStore;
+
+/// Two-pass builder: pass one trains the text model over every document,
+/// pass two encodes them. add_document() order defines DocNum order.
+class DocStoreBuilder {
+public:
+    void add_document(Document doc);
+    std::size_t document_count() const { return docs_.size(); }
+
+    /// Consumes the builder and produces the immutable store.
+    DocumentStore build() &&;
+
+private:
+    std::vector<Document> docs_;
+};
+
+/// Immutable compressed store for one subcollection.
+class DocumentStore {
+public:
+    DocumentStore(compress::TextCodec codec, std::vector<std::string> external_ids,
+                  std::vector<std::vector<std::uint8_t>> blobs,
+                  std::uint64_t raw_bytes);
+
+    std::size_t size() const { return blobs_.size(); }
+
+    /// Decompresses and returns the document text.
+    std::string fetch(DocNum doc) const;
+
+    /// The compressed bytes as stored — what travels on the wire when
+    /// compressed transfer is enabled.
+    std::span<const std::uint8_t> compressed(DocNum doc) const;
+
+    const std::string& external_id(DocNum doc) const;
+
+    std::uint64_t compressed_bytes(DocNum doc) const { return blob(doc).size(); }
+
+    /// Original (uncompressed) size of one document.
+    std::uint64_t raw_bytes(DocNum doc) const;
+
+    /// Whole-store accounting.
+    std::uint64_t total_compressed_bytes() const { return total_compressed_; }
+    std::uint64_t total_raw_bytes() const { return total_raw_; }
+    std::uint64_t model_bytes() const { return codec_.model_bytes(); }
+
+    const compress::TextCodec& codec() const { return codec_; }
+
+private:
+    const std::vector<std::uint8_t>& blob(DocNum doc) const;
+
+    compress::TextCodec codec_;
+    std::vector<std::string> external_ids_;
+    std::vector<std::vector<std::uint8_t>> blobs_;
+    std::uint64_t total_compressed_ = 0;
+    std::uint64_t total_raw_ = 0;
+};
+
+}  // namespace teraphim::store

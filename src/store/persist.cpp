@@ -1,0 +1,85 @@
+#include "store/persist.h"
+
+#include <fstream>
+
+namespace teraphim::store {
+
+namespace {
+
+void serialize_model(const compress::TokenModel& model, net::Writer& out) {
+    out.vec(model.vocab(), [](net::Writer& w, const std::string& s) { w.str(s); });
+    out.vec(model.code_lengths(), [](net::Writer& w, std::uint8_t l) { w.u8(l); });
+}
+
+compress::TokenModel deserialize_model(net::Reader& in) {
+    auto vocab = in.vec<std::string>([](net::Reader& r) { return r.str(); });
+    auto lengths = in.vec<std::uint8_t>([](net::Reader& r) { return r.u8(); });
+    if (vocab.size() != lengths.size()) {
+        throw DataError("store file: token model vocab/code-length mismatch");
+    }
+    return compress::TokenModel::from_lengths(std::move(vocab), std::move(lengths));
+}
+
+}  // namespace
+
+void serialize_store(const DocumentStore& store, net::Writer& out) {
+    out.u32(kStoreMagic);
+    out.u8(kStoreFormatVersion);
+    serialize_model(store.codec().word_model(), out);
+    serialize_model(store.codec().nonword_model(), out);
+    out.u64(store.total_raw_bytes());
+    out.u32(static_cast<std::uint32_t>(store.size()));
+    for (DocNum d = 0; d < store.size(); ++d) {
+        out.str(store.external_id(d));
+        out.bytes(store.compressed(d));
+    }
+}
+
+DocumentStore deserialize_store(net::Reader& in) {
+    if (in.u32() != kStoreMagic) throw DataError("not a TERAPHIM document store file");
+    const std::uint8_t version = in.u8();
+    if (version != kStoreFormatVersion) {
+        throw DataError("unsupported store format version " + std::to_string(version));
+    }
+    auto words = deserialize_model(in);
+    auto nonwords = deserialize_model(in);
+    compress::TextCodec codec(std::move(words), std::move(nonwords));
+
+    const std::uint64_t raw_bytes = in.u64();
+    const std::uint32_t num_docs = in.u32();
+    std::vector<std::string> ids;
+    std::vector<std::vector<std::uint8_t>> blobs;
+    ids.reserve(num_docs);
+    blobs.reserve(num_docs);
+    for (std::uint32_t d = 0; d < num_docs; ++d) {
+        ids.push_back(in.str());
+        blobs.push_back(in.bytes());
+    }
+    return DocumentStore(std::move(codec), std::move(ids), std::move(blobs), raw_bytes);
+}
+
+void save_store(const DocumentStore& store, const std::string& path) {
+    net::Writer out;
+    serialize_store(store, out);
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (!file) throw IoError("cannot open " + path + " for writing");
+    const auto bytes = out.view();
+    file.write(reinterpret_cast<const char*>(bytes.data()),
+               static_cast<std::streamsize>(bytes.size()));
+    if (!file) throw IoError("short write to " + path);
+}
+
+DocumentStore load_store(const std::string& path) {
+    std::ifstream file(path, std::ios::binary | std::ios::ate);
+    if (!file) throw IoError("cannot open " + path + " for reading");
+    const std::streamsize size = file.tellg();
+    file.seekg(0);
+    std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+    if (!file.read(reinterpret_cast<char*>(bytes.data()), size)) {
+        throw IoError("short read from " + path);
+    }
+    net::Reader in(bytes);
+    return deserialize_store(in);
+}
+
+}  // namespace teraphim::store

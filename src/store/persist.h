@@ -1,0 +1,27 @@
+// On-disk persistence for compressed document stores.
+//
+// The codec travels with the data: the file carries both token models
+// (vocabulary + canonical code lengths) followed by the per-document
+// compressed blobs, exactly as stored — documents are never re-encoded,
+// so a loaded store serves byte-identical blobs to the saved one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/serialize.h"
+#include "store/docstore.h"
+
+namespace teraphim::store {
+
+/// File magic: "TPDS" followed by a format version byte.
+inline constexpr std::uint32_t kStoreMagic = 0x53445054;  // 'TPDS' little-endian
+inline constexpr std::uint8_t kStoreFormatVersion = 1;
+
+void serialize_store(const DocumentStore& store, net::Writer& out);
+DocumentStore deserialize_store(net::Reader& in);
+
+void save_store(const DocumentStore& store, const std::string& path);
+DocumentStore load_store(const std::string& path);
+
+}  // namespace teraphim::store

@@ -1,0 +1,30 @@
+#include "text/pipeline.h"
+
+#include "text/stemmer.h"
+#include "text/tokenizer.h"
+#include "util/error.h"
+
+namespace teraphim::text {
+
+Pipeline::Pipeline(PipelineOptions options, const StopList* stoplist)
+    : options_(options), stoplist_(stoplist) {
+    TERAPHIM_ASSERT(stoplist_ != nullptr);
+}
+
+std::string Pipeline::normalize(std::string_view token) const {
+    if (token.size() < options_.min_term_length) return {};
+    if (options_.remove_stopwords && stoplist_->contains(token)) return {};
+    if (options_.stem) return porter_stem(token);
+    return std::string(token);
+}
+
+std::vector<std::string> Pipeline::terms(std::string_view raw_text) const {
+    std::vector<std::string> out;
+    for_each_token(raw_text, [&](std::string_view token) {
+        std::string term = normalize(token);
+        if (!term.empty()) out.push_back(std::move(term));
+    });
+    return out;
+}
+
+}  // namespace teraphim::text

@@ -1,0 +1,46 @@
+// The term pipeline: tokenize -> stop -> (optionally) stem.
+//
+// Both indexing and query parsing run through the same pipeline so that
+// document and query vocabularies agree — a prerequisite for the CV
+// methodology, where the receptionist's merged vocabulary must use the
+// same term forms as every librarian.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/stopwords.h"
+
+namespace teraphim::text {
+
+/// Pipeline configuration. The defaults match the paper's setup:
+/// stop-words removed, no stemming (MG's default TREC runs).
+struct PipelineOptions {
+    bool remove_stopwords = true;
+    bool stem = false;
+    /// Terms shorter than this survive only if numeric.
+    std::size_t min_term_length = 1;
+};
+
+/// Applies the configured transformations to raw text.
+class Pipeline {
+public:
+    explicit Pipeline(PipelineOptions options = {},
+                      const StopList* stoplist = &StopList::english());
+
+    /// Terms of a document or query, in occurrence order.
+    std::vector<std::string> terms(std::string_view raw_text) const;
+
+    /// Normalises one already-tokenized term; returns empty string if the
+    /// term is dropped (stopped or too short).
+    std::string normalize(std::string_view token) const;
+
+    const PipelineOptions& options() const { return options_; }
+
+private:
+    PipelineOptions options_;
+    const StopList* stoplist_;
+};
+
+}  // namespace teraphim::text

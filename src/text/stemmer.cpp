@@ -1,0 +1,273 @@
+#include "text/stemmer.h"
+
+namespace teraphim::text {
+
+namespace {
+
+// Working buffer for the Porter algorithm. `end` is the index one past
+// the last live character; suffix tests and removals adjust it.
+struct Stem {
+    std::string b;
+    std::size_t end;  // one past last character
+    std::size_t j = 0;  // set by ends(): start of the matched suffix
+
+    explicit Stem(std::string_view w) : b(w), end(w.size()) {}
+
+    bool is_consonant(std::size_t i) const {
+        switch (b[i]) {
+            case 'a': case 'e': case 'i': case 'o': case 'u':
+                return false;
+            case 'y':
+                return i == 0 ? true : !is_consonant(i - 1);
+            default:
+                return true;
+        }
+    }
+
+    // Porter's measure m: the number of VC sequences in b[0..j).
+    int measure() const {
+        int n = 0;
+        std::size_t i = 0;
+        for (;;) {
+            if (i >= j) return n;
+            if (!is_consonant(i)) break;
+            ++i;
+        }
+        ++i;
+        for (;;) {
+            for (;;) {
+                if (i >= j) return n;
+                if (is_consonant(i)) break;
+                ++i;
+            }
+            ++i;
+            ++n;
+            for (;;) {
+                if (i >= j) return n;
+                if (!is_consonant(i)) break;
+                ++i;
+            }
+            ++i;
+        }
+    }
+
+    bool vowel_in_stem() const {
+        for (std::size_t i = 0; i < j; ++i) {
+            if (!is_consonant(i)) return true;
+        }
+        return false;
+    }
+
+    bool double_consonant(std::size_t i) const {
+        if (i < 1) return false;
+        if (b[i] != b[i - 1]) return false;
+        return is_consonant(i);
+    }
+
+    // consonant-vowel-consonant ending at i, where the final consonant is
+    // not w, x or y — the condition *o of the paper.
+    bool cvc(std::size_t i) const {
+        if (i < 2 || !is_consonant(i) || is_consonant(i - 1) || !is_consonant(i - 2)) {
+            return false;
+        }
+        const char c = b[i];
+        return c != 'w' && c != 'x' && c != 'y';
+    }
+
+    bool ends(std::string_view s) {
+        if (s.size() > end) return false;
+        if (b.compare(end - s.size(), s.size(), s) != 0) return false;
+        j = end - s.size();
+        return true;
+    }
+
+    void set_to(std::string_view s) {
+        b.replace(j, end - j, s);
+        end = j + s.size();
+    }
+
+    void replace_if_m_positive(std::string_view s) {
+        if (measure() > 0) set_to(s);
+    }
+};
+
+void step1ab(Stem& z) {
+    if (z.b[z.end - 1] == 's') {
+        if (z.ends("sses")) {
+            z.end -= 2;
+        } else if (z.ends("ies")) {
+            z.set_to("i");
+        } else if (z.end >= 2 && z.b[z.end - 2] != 's') {
+            --z.end;
+        }
+    }
+    if (z.ends("eed")) {
+        if (z.measure() > 0) --z.end;
+    } else if ((z.ends("ed") || z.ends("ing")) && z.vowel_in_stem()) {
+        z.end = z.j;
+        if (z.ends("at")) {
+            z.set_to("ate");
+        } else if (z.ends("bl")) {
+            z.set_to("ble");
+        } else if (z.ends("iz")) {
+            z.set_to("ize");
+        } else if (z.double_consonant(z.end - 1)) {
+            const char c = z.b[z.end - 1];
+            if (c != 'l' && c != 's' && c != 'z') --z.end;
+        } else {
+            z.j = z.end;
+            if (z.measure() == 1 && z.cvc(z.end - 1)) z.set_to("e");
+        }
+    }
+}
+
+void step1c(Stem& z) {
+    if (z.ends("y") && z.vowel_in_stem()) z.b[z.end - 1] = 'i';
+}
+
+void step2(Stem& z) {
+    switch (z.b[z.end - 2]) {
+        case 'a':
+            if (z.ends("ational")) { z.replace_if_m_positive("ate"); break; }
+            if (z.ends("tional")) { z.replace_if_m_positive("tion"); break; }
+            break;
+        case 'c':
+            if (z.ends("enci")) { z.replace_if_m_positive("ence"); break; }
+            if (z.ends("anci")) { z.replace_if_m_positive("ance"); break; }
+            break;
+        case 'e':
+            if (z.ends("izer")) { z.replace_if_m_positive("ize"); break; }
+            break;
+        case 'l':
+            if (z.ends("bli")) { z.replace_if_m_positive("ble"); break; }
+            if (z.ends("alli")) { z.replace_if_m_positive("al"); break; }
+            if (z.ends("entli")) { z.replace_if_m_positive("ent"); break; }
+            if (z.ends("eli")) { z.replace_if_m_positive("e"); break; }
+            if (z.ends("ousli")) { z.replace_if_m_positive("ous"); break; }
+            break;
+        case 'o':
+            if (z.ends("ization")) { z.replace_if_m_positive("ize"); break; }
+            if (z.ends("ation")) { z.replace_if_m_positive("ate"); break; }
+            if (z.ends("ator")) { z.replace_if_m_positive("ate"); break; }
+            break;
+        case 's':
+            if (z.ends("alism")) { z.replace_if_m_positive("al"); break; }
+            if (z.ends("iveness")) { z.replace_if_m_positive("ive"); break; }
+            if (z.ends("fulness")) { z.replace_if_m_positive("ful"); break; }
+            if (z.ends("ousness")) { z.replace_if_m_positive("ous"); break; }
+            break;
+        case 't':
+            if (z.ends("aliti")) { z.replace_if_m_positive("al"); break; }
+            if (z.ends("iviti")) { z.replace_if_m_positive("ive"); break; }
+            if (z.ends("biliti")) { z.replace_if_m_positive("ble"); break; }
+            break;
+        case 'g':
+            if (z.ends("logi")) { z.replace_if_m_positive("log"); break; }
+            break;
+        default:
+            break;
+    }
+}
+
+void step3(Stem& z) {
+    switch (z.b[z.end - 1]) {
+        case 'e':
+            if (z.ends("icate")) { z.replace_if_m_positive("ic"); break; }
+            if (z.ends("ative")) { z.replace_if_m_positive(""); break; }
+            if (z.ends("alize")) { z.replace_if_m_positive("al"); break; }
+            break;
+        case 'i':
+            if (z.ends("iciti")) { z.replace_if_m_positive("ic"); break; }
+            break;
+        case 'l':
+            if (z.ends("ical")) { z.replace_if_m_positive("ic"); break; }
+            if (z.ends("ful")) { z.replace_if_m_positive(""); break; }
+            break;
+        case 's':
+            if (z.ends("ness")) { z.replace_if_m_positive(""); break; }
+            break;
+        default:
+            break;
+    }
+}
+
+void step4(Stem& z) {
+    switch (z.b[z.end - 2]) {
+        case 'a':
+            if (z.ends("al")) break;
+            return;
+        case 'c':
+            if (z.ends("ance")) break;
+            if (z.ends("ence")) break;
+            return;
+        case 'e':
+            if (z.ends("er")) break;
+            return;
+        case 'i':
+            if (z.ends("ic")) break;
+            return;
+        case 'l':
+            if (z.ends("able")) break;
+            if (z.ends("ible")) break;
+            return;
+        case 'n':
+            if (z.ends("ant")) break;
+            if (z.ends("ement")) break;
+            if (z.ends("ment")) break;
+            if (z.ends("ent")) break;
+            return;
+        case 'o':
+            if (z.ends("ion") && z.j >= 1 && (z.b[z.j - 1] == 's' || z.b[z.j - 1] == 't')) break;
+            if (z.ends("ou")) break;
+            return;
+        case 's':
+            if (z.ends("ism")) break;
+            return;
+        case 't':
+            if (z.ends("ate")) break;
+            if (z.ends("iti")) break;
+            return;
+        case 'u':
+            if (z.ends("ous")) break;
+            return;
+        case 'v':
+            if (z.ends("ive")) break;
+            return;
+        case 'z':
+            if (z.ends("ize")) break;
+            return;
+        default:
+            return;
+    }
+    if (z.measure() > 1) z.end = z.j;
+}
+
+void step5(Stem& z) {
+    z.j = z.end;
+    if (z.b[z.end - 1] == 'e') {
+        z.j = z.end - 1;
+        const int m = z.measure();
+        if (m > 1 || (m == 1 && !z.cvc(z.end - 2))) --z.end;
+    }
+    if (z.b[z.end - 1] == 'l' && z.double_consonant(z.end - 1)) {
+        z.j = z.end;
+        if (z.measure() > 1) --z.end;
+    }
+}
+
+}  // namespace
+
+std::string porter_stem(std::string_view word) {
+    if (word.size() <= 2) return std::string(word);
+    Stem z(word);
+    step1ab(z);
+    if (z.end > 0) step1c(z);
+    if (z.end > 1) step2(z);
+    if (z.end > 0) step3(z);
+    if (z.end > 1) step4(z);
+    if (z.end > 0) step5(z);
+    z.b.resize(z.end);
+    return z.b;
+}
+
+}  // namespace teraphim::text

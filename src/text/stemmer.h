@@ -1,0 +1,16 @@
+// Porter stemming.
+//
+// MG optionally stems terms before indexing; TERAPHIM inherits the
+// option. This is the classic Porter (1980) algorithm, steps 1a-5b.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace teraphim::text {
+
+/// Returns the Porter stem of a lower-case ASCII word. Words shorter
+/// than three characters are returned unchanged, per the algorithm.
+std::string porter_stem(std::string_view word);
+
+}  // namespace teraphim::text

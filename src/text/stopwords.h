@@ -1,0 +1,44 @@
+// Stop-word filtering.
+//
+// The paper applies "simple transformations such as removal of
+// stop-words" to the TREC queries; the same list is applied at indexing
+// time so query and document vocabularies agree.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace teraphim::text {
+
+/// A set of terms to drop during indexing and query parsing.
+class StopList {
+public:
+    /// The default English list (closed-class function words).
+    static const StopList& english();
+
+    /// An empty list (stopping disabled).
+    static const StopList& none();
+
+    StopList() = default;
+    explicit StopList(std::initializer_list<std::string_view> words);
+
+    bool contains(std::string_view term) const;
+    std::size_t size() const { return words_.size(); }
+
+private:
+    struct SvHash {
+        using is_transparent = void;
+        std::size_t operator()(std::string_view s) const {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
+    struct SvEq {
+        using is_transparent = void;
+        bool operator()(std::string_view a, std::string_view b) const { return a == b; }
+    };
+    std::unordered_set<std::string, SvHash, SvEq> words_;
+};
+
+}  // namespace teraphim::text

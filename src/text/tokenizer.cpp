@@ -1,0 +1,11 @@
+#include "text/tokenizer.h"
+
+namespace teraphim::text {
+
+std::vector<std::string> tokenize(std::string_view text) {
+    std::vector<std::string> out;
+    for_each_token(text, [&](std::string_view token) { out.emplace_back(token); });
+    return out;
+}
+
+}  // namespace teraphim::text

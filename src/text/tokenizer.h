@@ -1,0 +1,41 @@
+// Query/document tokenization for indexing.
+//
+// A token is a maximal run of alphanumeric characters, case-folded to
+// lower case — the same definition MG applies when parsing TREC data.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace teraphim::text {
+
+/// Extracts lower-cased alphanumeric tokens from `text`.
+std::vector<std::string> tokenize(std::string_view text);
+
+/// Streaming variant: invokes `fn(token)` for every token without
+/// materialising the vector. `Fn` receives a std::string_view valid only
+/// during the call.
+template <typename Fn>
+void for_each_token(std::string_view text, Fn&& fn) {
+    std::string scratch;
+    std::size_t pos = 0;
+    const auto is_word = [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9');
+    };
+    while (pos < text.size()) {
+        while (pos < text.size() && !is_word(text[pos])) ++pos;
+        std::size_t end = pos;
+        while (end < text.size() && is_word(text[end])) ++end;
+        if (end > pos) {
+            scratch.assign(text.substr(pos, end - pos));
+            for (char& c : scratch) {
+                if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+            }
+            fn(std::string_view(scratch));
+        }
+        pos = end;
+    }
+}
+
+}  // namespace teraphim::text

@@ -1,0 +1,14 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace teraphim::detail {
+
+void assertion_failure(const char* expr, const char* file, int line, const std::string& msg) {
+    std::ostringstream os;
+    os << "assertion failed: " << expr << " at " << file << ":" << line;
+    if (!msg.empty()) os << " (" << msg << ")";
+    throw Error(os.str());
+}
+
+}  // namespace teraphim::detail

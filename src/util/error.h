@@ -1,0 +1,56 @@
+// Error handling primitives for TERAPHIM.
+//
+// All recoverable failures are reported with exceptions derived from
+// teraphim::Error. Programming-logic preconditions are checked with
+// TERAPHIM_ASSERT (active in all build types; these guard index and
+// protocol invariants whose violation would otherwise corrupt results
+// silently, and they are far off the hot paths).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace teraphim {
+
+/// Base class of all exceptions thrown by the library.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input data (corrupt compressed stream, bad query syntax, ...).
+class DataError : public Error {
+public:
+    explicit DataError(const std::string& what) : Error(what) {}
+};
+
+/// I/O failures (file or socket).
+class IoError : public Error {
+public:
+    explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// Wire-protocol violations between receptionist and librarian.
+class ProtocolError : public Error {
+public:
+    explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assertion_failure(const char* expr, const char* file, int line,
+                                    const std::string& msg);
+}  // namespace detail
+
+}  // namespace teraphim
+
+/// Invariant check, active in every build type. Throws teraphim::Error.
+#define TERAPHIM_ASSERT(expr)                                                      \
+    do {                                                                           \
+        if (!(expr)) ::teraphim::detail::assertion_failure(#expr, __FILE__, __LINE__, ""); \
+    } while (false)
+
+/// Invariant check with an explanatory message.
+#define TERAPHIM_ASSERT_MSG(expr, msg)                                             \
+    do {                                                                           \
+        if (!(expr)) ::teraphim::detail::assertion_failure(#expr, __FILE__, __LINE__, (msg)); \
+    } while (false)

@@ -1,0 +1,138 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace teraphim::util {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+    TERAPHIM_ASSERT(bound > 0);
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;  // == 2^64 mod bound
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+std::int64_t Rng::between(std::int64_t lo, std::int64_t hi) {
+    TERAPHIM_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(span == 0 ? next() : below(span));
+}
+
+double Rng::uniform() {
+    // 53 random mantissa bits -> uniform double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::normal() {
+    if (have_spare_normal_) {
+        have_spare_normal_ = false;
+        return spare_normal_;
+    }
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    spare_normal_ = r * std::sin(theta);
+    have_spare_normal_ = true;
+    return r * std::cos(theta);
+}
+
+std::size_t Rng::weighted(std::span<const double> weights) {
+    TERAPHIM_ASSERT(!weights.empty());
+    double total = 0.0;
+    for (double w : weights) {
+        TERAPHIM_ASSERT(w >= 0.0);
+        total += w;
+    }
+    TERAPHIM_ASSERT(total > 0.0);
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x < 0.0) return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng Rng::fork() {
+    Rng child(0);
+    child.s_ = {next(), next(), next(), next()};
+    return child;
+}
+
+AliasSampler::AliasSampler(std::span<const double> weights) {
+    TERAPHIM_ASSERT(!weights.empty());
+    const std::size_t n = weights.size();
+    double total = 0.0;
+    for (double w : weights) {
+        TERAPHIM_ASSERT(w >= 0.0);
+        total += w;
+    }
+    TERAPHIM_ASSERT(total > 0.0);
+
+    prob_.assign(n, 0.0);
+    alias_.assign(n, 0);
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i) scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+    std::vector<std::uint32_t> small, large;
+    small.reserve(n);
+    large.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+        const std::uint32_t lo = small.back();
+        small.pop_back();
+        const std::uint32_t hi = large.back();
+        prob_[lo] = scaled[lo];
+        alias_[lo] = hi;
+        scaled[hi] = (scaled[hi] + scaled[lo]) - 1.0;
+        if (scaled[hi] < 1.0) {
+            large.pop_back();
+            small.push_back(hi);
+        }
+    }
+    for (std::uint32_t i : large) prob_[i] = 1.0;
+    for (std::uint32_t i : small) prob_[i] = 1.0;
+}
+
+std::size_t AliasSampler::sample(Rng& rng) const {
+    const std::size_t i = static_cast<std::size_t>(rng.below(prob_.size()));
+    return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace teraphim::util

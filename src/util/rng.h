@@ -1,0 +1,82 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (corpus generation, workload sampling) draw
+// from Rng so that every experiment in the repository is reproducible
+// from a seed. The generator is xoshiro256**, seeded via splitmix64.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace teraphim::util {
+
+/// Mixes a 64-bit state into a well-distributed output; used for seeding.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Fast, high-quality, reproducible PRNG (xoshiro256**).
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+    /// Next raw 64-bit value.
+    std::uint64_t next();
+
+    // UniformRandomBitGenerator interface so Rng works with <random> too.
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+    result_type operator()() { return next(); }
+
+    /// Uniform integer in [0, bound). bound must be > 0.
+    std::uint64_t below(std::uint64_t bound);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Standard normal variate (Box-Muller).
+    double normal();
+
+    /// Normal with given mean and standard deviation.
+    double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+    /// True with probability p.
+    bool chance(double p) { return uniform() < p; }
+
+    /// Sample an index according to non-negative weights (linear scan).
+    std::size_t weighted(std::span<const double> weights);
+
+    /// Fork a statistically independent child generator. Forking the same
+    /// parent state twice yields the same child, keeping experiments
+    /// reproducible even when components consume randomness lazily.
+    Rng fork();
+
+private:
+    std::array<std::uint64_t, 4> s_;
+    bool have_spare_normal_ = false;
+    double spare_normal_ = 0.0;
+};
+
+/// Sampling from a fixed discrete distribution in O(1) per draw
+/// (Walker/Vose alias method). Used for Zipfian term sampling where the
+/// support is the whole vocabulary.
+class AliasSampler {
+public:
+    /// Builds the alias table from non-negative weights (need not be
+    /// normalised). Weights must contain at least one positive entry.
+    explicit AliasSampler(std::span<const double> weights);
+
+    std::size_t sample(Rng& rng) const;
+    std::size_t size() const { return prob_.size(); }
+
+private:
+    std::vector<double> prob_;
+    std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace teraphim::util

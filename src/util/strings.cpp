@@ -1,0 +1,64 @@
+#include "util/strings.h"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+
+namespace teraphim::util {
+
+std::string to_lower(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    return out;
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        std::size_t end = s.find(delim, start);
+        if (end == std::string_view::npos) end = s.size();
+        if (end > start) out.emplace_back(s.substr(start, end - start));
+        start = end + 1;
+    }
+    return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0) out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+    static constexpr std::array<const char*, 5> kUnits{"B", "KB", "MB", "GB", "TB"};
+    double value = static_cast<double>(bytes);
+    std::size_t unit = 0;
+    while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+        value /= 1024.0;
+        ++unit;
+    }
+    char buf[32];
+    if (unit == 0) {
+        std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+    } else {
+        std::snprintf(buf, sizeof buf, "%.1f %s", value, kUnits[unit]);
+    }
+    return buf;
+}
+
+std::string format_fixed(double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return buf;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace teraphim::util

@@ -1,0 +1,28 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace teraphim::util {
+
+/// ASCII lower-casing (the corpus generator emits ASCII only).
+std::string to_lower(std::string_view s);
+
+/// Splits on any occurrence of a delimiter character; empty fields dropped.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Joins parts with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Human-readable byte count, e.g. "12.3 MB".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Fixed-point formatting, e.g. format_fixed(1.2345, 2) == "1.23".
+std::string format_fixed(double value, int decimals);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+}  // namespace teraphim::util

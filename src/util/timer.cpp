@@ -1,0 +1,5 @@
+#include "util/timer.h"
+
+// Header-only today; the translation unit anchors the module in the build
+// so additional timing facilities (CPU-time clocks) can land here without
+// touching the build files.

@@ -1,0 +1,28 @@
+// Wall-clock timing for the real (non-simulated) measurements.
+#pragma once
+
+#include <chrono>
+
+namespace teraphim::util {
+
+/// Monotonic stopwatch. Construction starts it.
+class Timer {
+public:
+    Timer() : start_(clock::now()) {}
+
+    void restart() { start_ = clock::now(); }
+
+    /// Seconds elapsed since construction or the last restart().
+    double elapsed_seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Milliseconds elapsed.
+    double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+}  // namespace teraphim::util

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compress/bitio.h"
+#include "util/rng.h"
+
+namespace teraphim::compress {
+namespace {
+
+TEST(BitWriter, SingleBits) {
+    BitWriter w;
+    // 1010 1100 -> 0xAC
+    for (bool b : {true, false, true, false, true, true, false, false}) w.write_bit(b);
+    const auto bytes = w.take();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0xAC);
+}
+
+TEST(BitWriter, PadsOnTake) {
+    BitWriter w;
+    w.write_bits(0b101, 3);
+    const auto bytes = w.take();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0b10100000);
+}
+
+TEST(BitWriter, MasksHighBits) {
+    BitWriter w;
+    w.write_bits(0xFF, 4);  // only low 4 bits taken
+    w.write_bits(0x0, 4);
+    const auto bytes = w.take();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0xF0);
+}
+
+TEST(BitWriter, SixtyFourBitValues) {
+    BitWriter w;
+    const std::uint64_t v = 0x0123456789ABCDEFULL;
+    w.write_bits(v, 64);
+    auto bytes = w.take();
+    BitReader r(bytes);
+    EXPECT_EQ(r.read_bits(64), v);
+}
+
+TEST(BitReader, ThrowsPastEnd) {
+    const std::vector<std::uint8_t> one{0xFF};
+    BitReader r(one);
+    r.read_bits(8);
+    EXPECT_THROW(r.read_bit(), DataError);
+}
+
+TEST(BitReader, SeekBit) {
+    BitWriter w;
+    w.write_bits(0b10110100, 8);
+    w.write_bits(0b01011010, 8);
+    auto bytes = w.take();
+    BitReader r(bytes);
+    r.seek_bit(10);
+    EXPECT_EQ(r.read_bits(3), 0b011u);
+    r.seek_bit(0);
+    EXPECT_EQ(r.read_bits(4), 0b1011u);
+}
+
+TEST(BitReader, SeekPastEndThrows) {
+    const std::vector<std::uint8_t> one{0x00};
+    BitReader r(one);
+    EXPECT_NO_THROW(r.seek_bit(8));
+    EXPECT_THROW(r.seek_bit(9), DataError);
+}
+
+TEST(BitIo, AlignToByte) {
+    BitWriter w;
+    w.write_bits(1, 1);
+    w.align_to_byte();
+    w.write_bits(0xAB, 8);
+    auto bytes = w.take();
+    ASSERT_EQ(bytes.size(), 2u);
+    BitReader r(bytes);
+    r.read_bit();
+    r.align_to_byte();
+    EXPECT_EQ(r.read_bits(8), 0xABu);
+}
+
+TEST(BitIo, RandomRoundTrip) {
+    util::Rng rng(99);
+    for (int trial = 0; trial < 50; ++trial) {
+        BitWriter w;
+        std::vector<std::pair<std::uint64_t, int>> written;
+        for (int i = 0; i < 200; ++i) {
+            const int count = static_cast<int>(rng.below(65));
+            std::uint64_t value = rng.next();
+            if (count < 64) value &= (1ULL << count) - 1;
+            w.write_bits(value, count);
+            written.emplace_back(value, count);
+        }
+        auto bytes = w.take();
+        BitReader r(bytes);
+        for (const auto& [value, count] : written) {
+            EXPECT_EQ(r.read_bits(count), value);
+        }
+    }
+}
+
+TEST(BitIo, BitCountTracksWrites) {
+    BitWriter w;
+    w.write_bits(3, 2);
+    w.write_bits(0, 7);
+    EXPECT_EQ(w.bit_count(), 9u);
+}
+
+}  // namespace
+}  // namespace teraphim::compress

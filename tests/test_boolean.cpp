@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "index/builder.h"
+#include "rank/boolean.h"
+
+namespace teraphim::rank {
+namespace {
+
+index::InvertedIndex sample_index() {
+    index::IndexBuilder builder;
+    const auto add = [&](std::initializer_list<const char*> terms) {
+        std::vector<std::string> v(terms.begin(), terms.end());
+        builder.add_document(v);
+    };
+    add({"cat", "dog"});          // 0
+    add({"cat"});                 // 1
+    add({"dog"});                 // 2
+    add({"cat", "dog", "fish"});  // 3
+    add({"fish"});                // 4
+    return std::move(builder).build();
+}
+
+using Docs = std::vector<std::uint32_t>;
+
+TEST(SetOps, Intersect) {
+    EXPECT_EQ(set_intersect(Docs{1, 2, 3}, Docs{2, 3, 4}), (Docs{2, 3}));
+    EXPECT_EQ(set_intersect(Docs{}, Docs{1}), Docs{});
+}
+
+TEST(SetOps, Union) {
+    EXPECT_EQ(set_union(Docs{1, 3}, Docs{2, 3}), (Docs{1, 2, 3}));
+    EXPECT_EQ(set_union(Docs{}, Docs{}), Docs{});
+}
+
+TEST(SetOps, Difference) {
+    EXPECT_EQ(set_difference(Docs{1, 2, 3}, Docs{2}), (Docs{1, 3}));
+}
+
+TEST(BooleanParser, PrecedenceAndOverOr) {
+    text::Pipeline pipeline;
+    const auto ast = parse_boolean("cat OR dog AND fish", pipeline);
+    EXPECT_EQ(ast->to_string(), "(cat OR (dog AND fish))");
+}
+
+TEST(BooleanParser, ParenthesesOverride) {
+    text::Pipeline pipeline;
+    const auto ast = parse_boolean("(cat OR dog) AND fish", pipeline);
+    EXPECT_EQ(ast->to_string(), "((cat OR dog) AND fish)");
+}
+
+TEST(BooleanParser, ImplicitAndByAdjacency) {
+    text::Pipeline pipeline;
+    const auto ast = parse_boolean("cat dog", pipeline);
+    EXPECT_EQ(ast->to_string(), "(cat AND dog)");
+}
+
+TEST(BooleanParser, NotBindsTightly) {
+    text::Pipeline pipeline;
+    const auto ast = parse_boolean("cat AND NOT dog", pipeline);
+    EXPECT_EQ(ast->to_string(), "(cat AND (NOT dog))");
+}
+
+TEST(BooleanParser, StoppedTermsVanish) {
+    text::Pipeline pipeline;
+    const auto ast = parse_boolean("the cat AND the dog", pipeline);
+    EXPECT_EQ(ast->to_string(), "(cat AND dog)");
+}
+
+TEST(BooleanParser, SyntaxErrors) {
+    text::Pipeline pipeline;
+    EXPECT_THROW(parse_boolean("(cat", pipeline), DataError);
+    EXPECT_THROW(parse_boolean("cat AND", pipeline), DataError);
+    EXPECT_THROW(parse_boolean(")", pipeline), DataError);
+    EXPECT_THROW(parse_boolean("the and of", pipeline), DataError);
+    EXPECT_THROW(parse_boolean("", pipeline), DataError);
+}
+
+TEST(BooleanEval, TermLookup) {
+    const auto idx = sample_index();
+    text::Pipeline pipeline;
+    EXPECT_EQ(boolean_search("cat", idx, pipeline), (Docs{0, 1, 3}));
+    EXPECT_EQ(boolean_search("missing", idx, pipeline), Docs{});
+}
+
+TEST(BooleanEval, AndOrNot) {
+    const auto idx = sample_index();
+    text::Pipeline pipeline;
+    EXPECT_EQ(boolean_search("cat AND dog", idx, pipeline), (Docs{0, 3}));
+    EXPECT_EQ(boolean_search("cat OR fish", idx, pipeline), (Docs{0, 1, 3, 4}));
+    EXPECT_EQ(boolean_search("NOT cat", idx, pipeline), (Docs{2, 4}));
+    EXPECT_EQ(boolean_search("dog AND NOT fish", idx, pipeline), (Docs{0, 2}));
+}
+
+TEST(BooleanEval, ComplexExpression) {
+    const auto idx = sample_index();
+    text::Pipeline pipeline;
+    EXPECT_EQ(boolean_search("(cat OR fish) AND NOT dog", idx, pipeline), (Docs{1, 4}));
+}
+
+TEST(BooleanEval, CaseInsensitiveTermsAndOperators) {
+    const auto idx = sample_index();
+    text::Pipeline pipeline;
+    EXPECT_EQ(boolean_search("CAT and DOG", idx, pipeline), (Docs{0, 3}));
+    EXPECT_EQ(boolean_search("Cat or Fish", idx, pipeline), (Docs{0, 1, 3, 4}));
+}
+
+TEST(BooleanEval, DoubleNegation) {
+    const auto idx = sample_index();
+    text::Pipeline pipeline;
+    EXPECT_EQ(boolean_search("NOT NOT cat", idx, pipeline), (Docs{0, 1, 3}));
+}
+
+}  // namespace
+}  // namespace teraphim::rank

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "index/builder.h"
+#include "rank/candidate_scorer.h"
+#include "rank/query_processor.h"
+#include "util/rng.h"
+
+namespace teraphim::rank {
+namespace {
+
+index::InvertedIndex build_index(const std::vector<std::vector<std::string>>& docs) {
+    index::IndexBuilder builder;
+    for (const auto& d : docs) builder.add_document(d);
+    return std::move(builder).build();
+}
+
+index::InvertedIndex random_collection(std::size_t docs, util::Rng& rng) {
+    std::vector<std::vector<std::string>> all;
+    for (std::size_t d = 0; d < docs; ++d) {
+        std::vector<std::string> t;
+        const std::size_t n = 5 + rng.below(30);
+        for (std::size_t i = 0; i < n; ++i) t.push_back("v" + std::to_string(rng.below(200)));
+        all.push_back(std::move(t));
+    }
+    return build_index(all);
+}
+
+TEST(CandidateScorer, MatchesFullRankingScores) {
+    util::Rng rng(55);
+    const auto idx = random_collection(400, rng);
+    QueryProcessor qp(idx, cosine_log_tf());
+
+    Query q;
+    for (int i = 0; i < 5; ++i) q.terms.push_back({"v" + std::to_string(i * 13), 1});
+    const auto weights = qp.resolve_weights(q);
+    const double norm = query_norm(weights);
+
+    // Full ranking deep enough to include everything.
+    const auto full = qp.rank_weighted(weights, norm, 400);
+
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t d = 0; d < 400; d += 3) candidates.push_back(d);
+    const auto scored = score_candidates(idx, cosine_log_tf(), weights, norm, candidates);
+
+    ASSERT_EQ(scored.size(), candidates.size());
+    for (const auto& s : scored) {
+        double expected = 0.0;
+        for (const auto& r : full) {
+            if (r.doc == s.doc) expected = r.score;
+        }
+        EXPECT_NEAR(s.score, expected, 1e-12) << "doc " << s.doc;
+    }
+}
+
+TEST(CandidateScorer, SkipsAndLinearAgree) {
+    util::Rng rng(56);
+    const auto idx = random_collection(600, rng);
+    QueryProcessor qp(idx, cosine_log_tf());
+    Query q;
+    for (int i = 0; i < 4; ++i) q.terms.push_back({"v" + std::to_string(i * 7), 1});
+    const auto weights = qp.resolve_weights(q);
+    const double norm = query_norm(weights);
+
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t d = 5; d < 600; d += 11) candidates.push_back(d);
+
+    const auto with = score_candidates(idx, cosine_log_tf(), weights, norm, candidates, true);
+    const auto without =
+        score_candidates(idx, cosine_log_tf(), weights, norm, candidates, false);
+    ASSERT_EQ(with.size(), without.size());
+    for (std::size_t i = 0; i < with.size(); ++i) {
+        EXPECT_EQ(with[i].doc, without[i].doc);
+        EXPECT_DOUBLE_EQ(with[i].score, without[i].score);
+    }
+}
+
+TEST(CandidateScorer, SkippingReducesWork) {
+    // The paper expects CPU cost at the librarians to drop "by a factor
+    // of two or more" with skipping when few candidates are requested.
+    util::Rng rng(57);
+    const auto idx = random_collection(3000, rng);
+    QueryProcessor qp(idx, cosine_log_tf());
+    Query q;
+    for (int i = 0; i < 6; ++i) q.terms.push_back({"v" + std::to_string(i), 1});
+    const auto weights = qp.resolve_weights(q);
+
+    std::vector<std::uint32_t> candidates{10, 500, 1500, 2500, 2990};
+    CandidateStats with{}, without{};
+    score_candidates(idx, cosine_log_tf(), weights, 1.0, candidates, true, &with);
+    score_candidates(idx, cosine_log_tf(), weights, 1.0, candidates, false, &without);
+    EXPECT_LT(with.postings_decoded * 2, without.postings_decoded);
+    EXPECT_LE(with.index_bits_read, without.index_bits_read);
+}
+
+TEST(CandidateScorer, NonMatchingCandidatesGetZero) {
+    const auto idx = build_index({{"a"}, {"b"}, {"c"}});
+    const std::vector<WeightedQueryTerm> terms{{"a", 1.0}};
+    const std::vector<std::uint32_t> candidates{0, 1, 2};
+    const auto scored = score_candidates(idx, cosine_log_tf(), terms, 1.0, candidates);
+    ASSERT_EQ(scored.size(), 3u);
+    EXPECT_GT(scored[0].score, 0.0);
+    EXPECT_EQ(scored[1].score, 0.0);
+    EXPECT_EQ(scored[2].score, 0.0);
+}
+
+TEST(CandidateScorer, EmptyCandidates) {
+    const auto idx = build_index({{"a"}});
+    const std::vector<WeightedQueryTerm> terms{{"a", 1.0}};
+    EXPECT_TRUE(score_candidates(idx, cosine_log_tf(), terms, 1.0, {}).empty());
+}
+
+TEST(CandidateScorer, RejectsUnsortedCandidates) {
+    const auto idx = build_index({{"a"}, {"a"}});
+    const std::vector<WeightedQueryTerm> terms{{"a", 1.0}};
+    const std::vector<std::uint32_t> bad{1, 0};
+    EXPECT_THROW(score_candidates(idx, cosine_log_tf(), terms, 1.0, bad), Error);
+}
+
+TEST(CandidateScorer, StatsCountSeeks) {
+    const auto idx = build_index({{"a"}, {"a"}, {"a"}});
+    const std::vector<WeightedQueryTerm> terms{{"a", 1.0}};
+    const std::vector<std::uint32_t> candidates{0, 2};
+    CandidateStats stats;
+    score_candidates(idx, cosine_log_tf(), terms, 1.0, candidates, true, &stats);
+    EXPECT_EQ(stats.terms_matched, 1u);
+    EXPECT_EQ(stats.seeks, 2u);
+}
+
+}  // namespace
+}  // namespace teraphim::rank

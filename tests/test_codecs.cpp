@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compress/codecs.h"
+#include "util/rng.h"
+
+namespace teraphim::compress {
+namespace {
+
+TEST(FloorLog2, KnownValues) {
+    EXPECT_EQ(floor_log2(1), 0);
+    EXPECT_EQ(floor_log2(2), 1);
+    EXPECT_EQ(floor_log2(3), 1);
+    EXPECT_EQ(floor_log2(4), 2);
+    EXPECT_EQ(floor_log2(1ULL << 63), 63);
+}
+
+TEST(Unary, KnownCodes) {
+    BitWriter w;
+    write_unary(w, 1);  // 0
+    write_unary(w, 3);  // 110
+    auto bytes = w.take();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0b01100000);
+}
+
+TEST(Unary, LargeValues) {
+    BitWriter w;
+    write_unary(w, 100);
+    auto bytes = w.take();
+    BitReader r(bytes);
+    EXPECT_EQ(read_unary(r), 100u);
+    EXPECT_EQ(unary_length(100), 100u);
+}
+
+TEST(Gamma, KnownCodes) {
+    // gamma(1) = 0; gamma(2) = 10 0; gamma(5) = 110 01
+    BitWriter w;
+    write_gamma(w, 1);
+    write_gamma(w, 2);
+    write_gamma(w, 5);
+    auto bytes = w.take();
+    BitReader r(bytes);
+    EXPECT_EQ(read_gamma(r), 1u);
+    EXPECT_EQ(read_gamma(r), 2u);
+    EXPECT_EQ(read_gamma(r), 5u);
+    EXPECT_EQ(r.bit_position(), 1u + 3u + 5u);
+}
+
+TEST(Gamma, LengthFormula) {
+    EXPECT_EQ(gamma_length(1), 1u);
+    EXPECT_EQ(gamma_length(2), 3u);
+    EXPECT_EQ(gamma_length(4), 5u);
+    EXPECT_EQ(gamma_length(1000), 19u);
+}
+
+TEST(Delta, RoundTripSmall) {
+    BitWriter w;
+    for (std::uint64_t n = 1; n <= 64; ++n) write_delta(w, n);
+    auto bytes = w.take();
+    BitReader r(bytes);
+    for (std::uint64_t n = 1; n <= 64; ++n) EXPECT_EQ(read_delta(r), n);
+}
+
+TEST(Delta, ShorterThanGammaForLargeValues) {
+    EXPECT_LT(delta_length(1u << 20), gamma_length(1u << 20));
+}
+
+TEST(Golomb, RoundTripVariousParameters) {
+    for (std::uint64_t b : {1ull, 2ull, 3ull, 5ull, 7ull, 64ull, 100ull}) {
+        BitWriter w;
+        for (std::uint64_t n = 1; n <= 200; ++n) write_golomb(w, n, b);
+        auto bytes = w.take();
+        BitReader r(bytes);
+        for (std::uint64_t n = 1; n <= 200; ++n) {
+            ASSERT_EQ(read_golomb(r, b), n) << "b=" << b;
+        }
+    }
+}
+
+TEST(Golomb, LengthMatchesEncoding) {
+    util::Rng rng(4);
+    for (int i = 0; i < 500; ++i) {
+        const std::uint64_t b = 1 + rng.below(200);
+        const std::uint64_t n = 1 + rng.below(100000);
+        BitWriter w;
+        write_golomb(w, n, b);
+        EXPECT_EQ(w.bit_count(), golomb_length(n, b)) << "n=" << n << " b=" << b;
+    }
+}
+
+TEST(Golomb, ParameterRule) {
+    // b = ceil(0.69 * N / f)
+    EXPECT_EQ(golomb_parameter(1000, 100), 7u);
+    EXPECT_EQ(golomb_parameter(1000, 1000), 1u);
+    EXPECT_EQ(golomb_parameter(10, 0), 1u);
+    EXPECT_GE(golomb_parameter(1u << 30, 2), 1u);
+}
+
+TEST(Rice, MatchesGolombPowerOfTwo) {
+    util::Rng rng(5);
+    for (int i = 0; i < 300; ++i) {
+        const int k = static_cast<int>(rng.below(10));
+        const std::uint64_t n = 1 + rng.below(1u << 16);
+        BitWriter wr, wg;
+        write_rice(wr, n, k);
+        write_golomb(wg, n, 1ULL << k);
+        EXPECT_EQ(wr.bit_count(), wg.bit_count());
+        auto bytes = wr.take();
+        BitReader r(bytes);
+        EXPECT_EQ(read_rice(r, k), n);
+    }
+}
+
+TEST(VByte, RoundTripBoundaries) {
+    const std::vector<std::uint64_t> values{0,      1,       127,        128,
+                                            16383,  16384,   (1ULL << 32) - 1,
+                                            1ULL << 32, ~0ULL};
+    BitWriter w;
+    for (auto v : values) write_vbyte(w, v);
+    auto bytes = w.take();
+    BitReader r(bytes);
+    for (auto v : values) EXPECT_EQ(read_vbyte(r), v);
+}
+
+TEST(VByte, LengthFormula) {
+    EXPECT_EQ(vbyte_length(0), 8u);
+    EXPECT_EQ(vbyte_length(127), 8u);
+    EXPECT_EQ(vbyte_length(128), 16u);
+    EXPECT_EQ(vbyte_length(16384), 24u);
+}
+
+// Property sweep: every codec round-trips random values and the length
+// functions agree with the bits actually produced.
+struct CodecCase {
+    const char* name;
+    void (*write)(BitWriter&, std::uint64_t);
+    std::uint64_t (*read)(BitReader&);
+    std::uint64_t (*length)(std::uint64_t);
+    std::uint64_t max_value;
+};
+
+void write_golomb7(BitWriter& w, std::uint64_t n) { write_golomb(w, n, 7); }
+std::uint64_t read_golomb7(BitReader& r) { return read_golomb(r, 7); }
+std::uint64_t golomb7_length(std::uint64_t n) { return golomb_length(n, 7); }
+
+class CodecProperty : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecProperty, RandomRoundTripAndLength) {
+    const CodecCase& c = GetParam();
+    util::Rng rng(31337);
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 2000; ++i) values.push_back(1 + rng.below(c.max_value));
+
+    BitWriter w;
+    std::uint64_t expected_bits = 0;
+    for (auto v : values) {
+        c.write(w, v);
+        expected_bits += c.length(v);
+    }
+    EXPECT_EQ(w.bit_count(), expected_bits);
+    auto bytes = w.take();
+    BitReader r(bytes);
+    for (auto v : values) ASSERT_EQ(c.read(r), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, CodecProperty,
+    ::testing::Values(
+        CodecCase{"unary", &write_unary, &read_unary, &unary_length, 2000},
+        CodecCase{"gamma", &write_gamma, &read_gamma, &gamma_length, 1u << 30},
+        CodecCase{"delta", &write_delta, &read_delta, &delta_length, 1u << 30},
+        CodecCase{"golomb7", &write_golomb7, &read_golomb7, &golomb7_length, 1u << 20},
+        CodecCase{"vbyte", &write_vbyte, &read_vbyte, &vbyte_length, ~0ULL - 1}),
+    [](const ::testing::TestParamInfo<CodecCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace teraphim::compress

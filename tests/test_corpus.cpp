@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "corpus/generator.h"
+#include "corpus/topics.h"
+#include "corpus/zipf.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace teraphim::corpus {
+namespace {
+
+CorpusConfig tiny_config() {
+    CorpusConfig config;
+    config.vocab_size = 2000;
+    config.subcollections = {
+        {"AP", 150, 80.0, 0.4},
+        {"WSJ", 150, 80.0, 0.4},
+        {"FR", 100, 100.0, 0.5},
+        {"ZIFF", 100, 60.0, 0.5},
+    };
+    config.num_long_topics = 4;
+    config.num_short_topics = 4;
+    config.topic_term_floor = 100;
+    config.seed = 7;
+    return config;
+}
+
+TEST(Zipf, WeightsAreDecreasing) {
+    const auto w = zipf_weights(100, 1.0);
+    ASSERT_EQ(w.size(), 100u);
+    for (std::size_t i = 1; i < w.size(); ++i) EXPECT_LT(w[i], w[i - 1]);
+    EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+TEST(Vocabulary, DistinctPronounceableWords) {
+    util::Rng rng(1);
+    const auto vocab = generate_vocabulary(5000, rng);
+    ASSERT_EQ(vocab.size(), 5000u);
+    std::unordered_set<std::string> seen(vocab.begin(), vocab.end());
+    EXPECT_EQ(seen.size(), vocab.size());
+    for (const auto& w : vocab) {
+        for (char c : w) {
+            EXPECT_TRUE(c >= 'a' && c <= 'z') << w;
+        }
+        EXPECT_GE(w.size(), 2u);
+    }
+}
+
+TEST(Vocabulary, AvoidsStopwords) {
+    util::Rng rng(2);
+    const auto vocab = generate_vocabulary(3000, rng);
+    const auto& stops = text::StopList::english();
+    for (const auto& w : vocab) EXPECT_FALSE(stops.contains(w)) << w;
+}
+
+TEST(Topic, SamplesOnlyItsTerms) {
+    util::Rng rng(3);
+    Topic topic(1000, 100, 32, rng);
+    EXPECT_EQ(topic.terms().size(), 32u);
+    std::set<std::uint32_t> allowed(topic.terms().begin(), topic.terms().end());
+    for (int i = 0; i < 2000; ++i) {
+        EXPECT_TRUE(allowed.contains(topic.sample(rng)));
+    }
+    for (auto t : topic.terms()) EXPECT_GE(t, 100u);
+}
+
+TEST(Generator, Deterministic) {
+    const auto a = generate_corpus(tiny_config());
+    const auto b = generate_corpus(tiny_config());
+    ASSERT_EQ(a.subcollections.size(), b.subcollections.size());
+    for (std::size_t s = 0; s < a.subcollections.size(); ++s) {
+        ASSERT_EQ(a.subcollections[s].documents.size(),
+                  b.subcollections[s].documents.size());
+        EXPECT_EQ(a.subcollections[s].documents[0].text,
+                  b.subcollections[s].documents[0].text);
+    }
+    ASSERT_EQ(a.short_queries.size(), b.short_queries.size());
+    EXPECT_EQ(a.short_queries.queries[0].text, b.short_queries.queries[0].text);
+}
+
+TEST(Generator, ShapeMatchesConfig) {
+    const auto corpus = generate_corpus(tiny_config());
+    ASSERT_EQ(corpus.subcollections.size(), 4u);
+    EXPECT_EQ(corpus.subcollections[0].name, "AP");
+    EXPECT_EQ(corpus.subcollections[0].documents.size(), 150u);
+    EXPECT_EQ(corpus.total_documents(), 500u);
+    EXPECT_EQ(corpus.long_queries.size(), 4u);
+    EXPECT_EQ(corpus.short_queries.size(), 4u);
+    EXPECT_EQ(corpus.long_queries.queries[0].id, 51);
+    EXPECT_EQ(corpus.short_queries.queries[0].id, 202);
+}
+
+TEST(Generator, ExternalIdsUniqueAndPrefixed) {
+    const auto corpus = generate_corpus(tiny_config());
+    std::unordered_set<std::string> ids;
+    for (const auto& sub : corpus.subcollections) {
+        for (const auto& doc : sub.documents) {
+            EXPECT_EQ(doc.external_id.rfind(sub.name + "-", 0), 0u) << doc.external_id;
+            EXPECT_TRUE(ids.insert(doc.external_id).second) << "duplicate " << doc.external_id;
+        }
+    }
+}
+
+TEST(Generator, EveryQueryHasRelevantDocuments) {
+    const auto corpus = generate_corpus(tiny_config());
+    for (const auto& qs : {corpus.long_queries, corpus.short_queries}) {
+        for (const auto& q : qs.queries) {
+            EXPECT_GE(corpus.judgments.relevant_for(q.id).size(), 3u)
+                << "query " << q.id << " has too few relevant docs";
+        }
+    }
+}
+
+TEST(Generator, JudgedDocumentsExist) {
+    const auto corpus = generate_corpus(tiny_config());
+    std::unordered_set<std::string> ids;
+    for (const auto& sub : corpus.subcollections) {
+        for (const auto& doc : sub.documents) ids.insert(doc.external_id);
+    }
+    for (const auto& qs : {corpus.long_queries, corpus.short_queries}) {
+        for (const auto& q : qs.queries) {
+            for (const auto& rel : corpus.judgments.relevant_for(q.id)) {
+                EXPECT_TRUE(ids.contains(rel)) << rel;
+            }
+        }
+    }
+}
+
+TEST(Generator, QueryLengthsMatchStyle) {
+    const auto corpus = generate_corpus(tiny_config());
+    for (const auto& q : corpus.long_queries.queries) {
+        EXPECT_GE(text::tokenize(q.text).size(), 60u);
+    }
+    for (const auto& q : corpus.short_queries.queries) {
+        const auto n = text::tokenize(q.text).size();
+        EXPECT_GE(n, 4u);
+        EXPECT_LE(n, 12u);
+    }
+}
+
+TEST(Generator, DocumentsHaveSentenceStructure) {
+    const auto corpus = generate_corpus(tiny_config());
+    const auto& text = corpus.subcollections[0].documents[0].text;
+    EXPECT_NE(text.find('.'), std::string::npos);
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(text[0])));
+}
+
+TEST(Resplit, PreservesAllDocuments) {
+    const auto corpus = generate_corpus(tiny_config());
+    const auto parts = resplit(corpus, 43, 11);
+    ASSERT_EQ(parts.size(), 43u);
+    std::size_t total = 0;
+    std::unordered_set<std::string> ids;
+    for (const auto& p : parts) {
+        EXPECT_GE(p.documents.size(), 1u);
+        total += p.documents.size();
+        for (const auto& d : p.documents) ids.insert(d.external_id);
+    }
+    EXPECT_EQ(total, corpus.total_documents());
+    EXPECT_EQ(ids.size(), corpus.total_documents());
+}
+
+TEST(Resplit, SizesAreUneven) {
+    const auto corpus = generate_corpus(tiny_config());
+    const auto parts = resplit(corpus, 10, 13);
+    std::size_t smallest = SIZE_MAX, largest = 0;
+    for (const auto& p : parts) {
+        smallest = std::min(smallest, p.documents.size());
+        largest = std::max(largest, p.documents.size());
+    }
+    EXPECT_GE(largest, smallest * 3) << "expected a noticeable size spread";
+}
+
+}  // namespace
+}  // namespace teraphim::corpus

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "dir/deployment.h"
+
+namespace teraphim::dir {
+namespace {
+
+/// A hand-built trace: 4 librarians, uniform work.
+QueryTrace uniform_trace(bool with_fetch) {
+    QueryTrace trace;
+    trace.mode = Mode::CentralNothing;
+    trace.index_phase.assign(4, LibrarianWork{});
+    trace.fetch_phase.assign(4, FetchWork{});
+    for (auto& w : trace.index_phase) {
+        w.participated = true;
+        w.request_bytes = 200;
+        w.response_bytes = 300;
+        w.messages = 1;
+        w.term_lookups = 10;
+        w.postings_decoded = 50000;
+        w.index_bits_read = 800000;  // 100 KB
+        w.lists_opened = 10;
+    }
+    trace.receptionist.merge_items = 80;
+    if (with_fetch) {
+        for (auto& f : trace.fetch_phase) {
+            f.docs = 5;
+            f.payload_bytes = 5000;
+            f.disk_bytes = 5000;
+            f.messages = 5;
+            f.request_bytes = 5 * 50;
+            f.response_bytes = 5000 + 5 * 20;
+        }
+    }
+    return trace;
+}
+
+TEST(SimulateQuery, Deterministic) {
+    const auto trace = uniform_trace(true);
+    const sim::CostModel model;
+    const auto spec = sim::lan_topology(4);
+    const auto a = simulate_query(trace, spec, model);
+    const auto b = simulate_query(trace, spec, model);
+    EXPECT_DOUBLE_EQ(a.index_seconds, b.index_seconds);
+    EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+}
+
+TEST(SimulateQuery, TotalsIncludeIndexPhase) {
+    const auto trace = uniform_trace(true);
+    const sim::CostModel model;
+    for (const auto& spec : sim::all_topologies(4)) {
+        const auto t = simulate_query(trace, spec, model);
+        EXPECT_GT(t.index_seconds, 0.0) << spec.name;
+        EXPECT_GT(t.total_seconds, t.index_seconds) << spec.name;
+    }
+}
+
+TEST(SimulateQuery, RankOnlyTraceEndsAtIndexPhase) {
+    const auto trace = uniform_trace(false);
+    const sim::CostModel model;
+    const auto t = simulate_query(trace, sim::multi_disk_topology(4), model);
+    EXPECT_DOUBLE_EQ(t.total_seconds, t.index_seconds);
+}
+
+TEST(SimulateQuery, MultiDiskFasterThanMonoDisk) {
+    // Four librarians contending for one arm vs one arm each.
+    const auto trace = uniform_trace(false);
+    const sim::CostModel model;
+    const auto mono = simulate_query(trace, sim::mono_disk_topology(4), model);
+    const auto multi = simulate_query(trace, sim::multi_disk_topology(4), model);
+    EXPECT_LT(multi.index_seconds, mono.index_seconds);
+}
+
+TEST(SimulateQuery, WanSlowerThanLan) {
+    const auto trace = uniform_trace(true);
+    const sim::CostModel model;
+    const auto lan = simulate_query(trace, sim::lan_topology(4), model);
+    const auto wan = simulate_query(trace, sim::wan_topology(4), model);
+    EXPECT_GT(wan.index_seconds, lan.index_seconds * 2);
+    EXPECT_GT(wan.total_seconds, lan.total_seconds * 2);
+}
+
+TEST(SimulateQuery, WanIndexPhaseDominatedByLatency) {
+    // With negligible compute, the index phase cannot beat the slowest
+    // link's connection setup plus one request/response round trip
+    // (Israel: 1.04 s ping -> >= 2 * 1.04 s), and with no work to do it
+    // should not exceed that by much.
+    QueryTrace trace = uniform_trace(false);
+    for (auto& w : trace.index_phase) {
+        w.postings_decoded = 1;
+        w.index_bits_read = 8;
+        w.lists_opened = 1;
+        w.term_lookups = 1;
+    }
+    const sim::CostModel model;
+    const auto wan = simulate_query(trace, sim::wan_topology(4), model);
+    EXPECT_GE(wan.index_seconds, 2 * 1.04);
+    EXPECT_LT(wan.index_seconds, 2.5);
+}
+
+TEST(SimulateQuery, IndividualFetchPaysPerDocumentRoundTrips) {
+    QueryTrace individual = uniform_trace(true);
+    QueryTrace bundled = uniform_trace(true);
+    for (auto& f : bundled.fetch_phase) f.messages = 1;
+    const sim::CostModel model;
+    const auto spec = sim::wan_topology(4);
+    const auto t_ind = simulate_query(individual, spec, model);
+    const auto t_bun = simulate_query(bundled, spec, model);
+    const double fetch_ind = t_ind.total_seconds - t_ind.index_seconds;
+    const double fetch_bun = t_bun.total_seconds - t_bun.index_seconds;
+    EXPECT_GT(fetch_ind, fetch_bun * 2)
+        << "per-document round trips must dominate on the WAN";
+}
+
+TEST(SimulateQuery, NonParticipantsCostNothing) {
+    QueryTrace trace = uniform_trace(false);
+    trace.index_phase[1].participated = false;
+    trace.index_phase[2].participated = false;
+    trace.index_phase[3].participated = false;
+    QueryTrace full = uniform_trace(false);
+    const sim::CostModel model;
+    const auto spec = sim::mono_disk_topology(4);
+    const auto part = simulate_query(trace, spec, model);
+    const auto all = simulate_query(full, spec, model);
+    EXPECT_LT(part.index_seconds, all.index_seconds);
+}
+
+TEST(SimulateQuery, CentralIndexWorkRunsBeforeBroadcast) {
+    QueryTrace trace = uniform_trace(false);
+    trace.receptionist.central_postings = 100000;
+    trace.receptionist.central_index_bits = 4000000;
+    trace.receptionist.central_lists = 10;
+    const sim::CostModel model;
+    const auto spec = sim::multi_disk_topology(4);
+    const auto with_central = simulate_query(trace, spec, model);
+    const auto without_central = simulate_query(uniform_trace(false), spec, model);
+    EXPECT_GT(with_central.index_seconds, without_central.index_seconds);
+}
+
+TEST(SimulateQuery, WorkloadScaleScalesComputeOnly) {
+    const auto trace = uniform_trace(false);
+    sim::CostModel small, large;
+    small.workload_scale = 1.0;
+    large.workload_scale = 10.0;
+    const auto spec = sim::multi_disk_topology(4);
+    const auto t1 = simulate_query(trace, spec, small);
+    const auto t10 = simulate_query(trace, spec, large);
+    // Only bytes and postings scale; seeks/lookups/messages are fixed, so
+    // the ratio is below 10x but must still be large.
+    EXPECT_GT(t10.index_seconds, t1.index_seconds * 3);
+    EXPECT_LT(t10.index_seconds, t1.index_seconds * 10);
+}
+
+TEST(SimulateQuery, MismatchedTraceRejected) {
+    const auto trace = uniform_trace(false);
+    const sim::CostModel model;
+    EXPECT_THROW(simulate_query(trace, sim::lan_topology(3), model), Error);
+}
+
+}  // namespace
+}  // namespace teraphim::dir

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "store/docstore.h"
+#include "util/rng.h"
+
+namespace teraphim::store {
+namespace {
+
+DocumentStore sample_store() {
+    DocStoreBuilder builder;
+    builder.add_document({"DOC-1", "distributed retrieval of text documents"});
+    builder.add_document({"DOC-2", "text compression for fast retrieval"});
+    builder.add_document({"DOC-3", "the receptionist merges librarian rankings"});
+    return std::move(builder).build();
+}
+
+TEST(DocStore, FetchRoundTrips) {
+    const DocumentStore store = sample_store();
+    ASSERT_EQ(store.size(), 3u);
+    EXPECT_EQ(store.fetch(0), "distributed retrieval of text documents");
+    EXPECT_EQ(store.fetch(2), "the receptionist merges librarian rankings");
+}
+
+TEST(DocStore, ExternalIdsPreserved) {
+    const DocumentStore store = sample_store();
+    EXPECT_EQ(store.external_id(0), "DOC-1");
+    EXPECT_EQ(store.external_id(1), "DOC-2");
+    EXPECT_EQ(store.external_id(2), "DOC-3");
+}
+
+TEST(DocStore, CompressedBytesSmallerThanRawForRealText) {
+    DocStoreBuilder builder;
+    std::string text;
+    for (int i = 0; i < 200; ++i) {
+        text += "information retrieval systems store documents in compressed form. ";
+    }
+    for (int d = 0; d < 10; ++d) builder.add_document({"D" + std::to_string(d), text});
+    const DocumentStore store = std::move(builder).build();
+    EXPECT_LT(store.total_compressed_bytes() * 2, store.total_raw_bytes());
+}
+
+TEST(DocStore, CompressedBlobDecodesViaCodec) {
+    const DocumentStore store = sample_store();
+    const auto blob = store.compressed(1);
+    EXPECT_EQ(store.codec().decode(blob), store.fetch(1));
+    EXPECT_EQ(store.compressed_bytes(1), blob.size());
+}
+
+TEST(DocStore, RawBytesMatchesOriginal) {
+    const DocumentStore store = sample_store();
+    EXPECT_EQ(store.raw_bytes(0), std::string("distributed retrieval of text documents").size());
+}
+
+TEST(DocStore, TotalsAreConsistent) {
+    const DocumentStore store = sample_store();
+    std::uint64_t sum = 0;
+    for (DocNum d = 0; d < store.size(); ++d) sum += store.compressed_bytes(d);
+    EXPECT_EQ(sum, store.total_compressed_bytes());
+    EXPECT_GT(store.model_bytes(), 0u);
+}
+
+TEST(DocStore, ManyRandomDocumentsRoundTrip) {
+    util::Rng rng(3);
+    DocStoreBuilder builder;
+    std::vector<std::string> texts;
+    const std::vector<std::string> words{"index", "query", "rank", "merge", "fetch", "score"};
+    for (int d = 0; d < 50; ++d) {
+        std::string t;
+        const int n = 1 + static_cast<int>(rng.below(100));
+        for (int i = 0; i < n; ++i) {
+            t += words[rng.below(words.size())];
+            t += rng.chance(0.2) ? ". " : " ";
+        }
+        texts.push_back(t);
+        builder.add_document({"R" + std::to_string(d), t});
+    }
+    const DocumentStore store = std::move(builder).build();
+    for (DocNum d = 0; d < store.size(); ++d) ASSERT_EQ(store.fetch(d), texts[d]);
+}
+
+TEST(DocStore, EmptyDocumentSupported) {
+    DocStoreBuilder builder;
+    builder.add_document({"E-0", ""});
+    builder.add_document({"E-1", "nonempty"});
+    const DocumentStore store = std::move(builder).build();
+    EXPECT_EQ(store.fetch(0), "");
+    EXPECT_EQ(store.fetch(1), "nonempty");
+}
+
+}  // namespace
+}  // namespace teraphim::store

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "index/builder.h"
+#include "index/grouped_index.h"
+
+namespace teraphim::index {
+namespace {
+
+InvertedIndex build_index(const std::vector<std::vector<std::string>>& docs) {
+    IndexBuilder builder;
+    for (const auto& d : docs) builder.add_document(d);
+    return std::move(builder).build();
+}
+
+TEST(CollectionLayout, GlobalLocalRoundTrip) {
+    const CollectionLayout layout({3, 5, 2});
+    EXPECT_EQ(layout.total_documents(), 10u);
+    EXPECT_EQ(layout.offset_of(0), 0u);
+    EXPECT_EQ(layout.offset_of(1), 3u);
+    EXPECT_EQ(layout.offset_of(2), 8u);
+    EXPECT_EQ(layout.global_of(1, 2), 5u);
+    for (std::uint32_t g = 0; g < 10; ++g) {
+        const auto [sub, local] = layout.local_of(g);
+        EXPECT_EQ(layout.global_of(sub, local), g);
+    }
+    EXPECT_EQ(layout.owner_of(0), 0u);
+    EXPECT_EQ(layout.owner_of(3), 1u);
+    EXPECT_EQ(layout.owner_of(9), 2u);
+}
+
+TEST(GroupedIndex, GroupSizeOneIsFullCentralIndex) {
+    const InvertedIndex a = build_index({{"x", "y"}, {"y"}});
+    const InvertedIndex b = build_index({{"x"}, {"z", "z"}});
+    const InvertedIndex* subs[] = {&a, &b};
+    const GroupedIndex grouped = GroupedIndex::build(subs, 1);
+
+    EXPECT_EQ(grouped.num_groups(), 4u);
+    const auto x = grouped.index().vocabulary().lookup("x");
+    ASSERT_TRUE(x.has_value());
+    const auto ps = grouped.index().postings(*x).decode_all();
+    ASSERT_EQ(ps.size(), 2u);
+    EXPECT_EQ(ps[0], (Posting{0, 1}));  // global doc 0
+    EXPECT_EQ(ps[1], (Posting{2, 1}));  // global doc 2 (b's doc 0)
+}
+
+TEST(GroupedIndex, FrequenciesAccumulateWithinGroups) {
+    // 4 docs, G=2: term "t" appears in docs 0 (2x), 1 (1x), 3 (5x).
+    const InvertedIndex a = build_index({{"t", "t"}, {"t"}, {"u"}, {"t", "t", "t", "t", "t"}});
+    const InvertedIndex* subs[] = {&a};
+    const GroupedIndex grouped = GroupedIndex::build(subs, 2);
+
+    EXPECT_EQ(grouped.num_groups(), 2u);
+    const auto t = *grouped.index().vocabulary().lookup("t");
+    const auto ps = grouped.index().postings(t).decode_all();
+    ASSERT_EQ(ps.size(), 2u);
+    EXPECT_EQ(ps[0], (Posting{0, 3}));  // docs 0+1
+    EXPECT_EQ(ps[1], (Posting{1, 5}));  // doc 3
+    EXPECT_EQ(grouped.index().stats(t).doc_frequency, 2u);  // group-level f_t
+    EXPECT_EQ(grouped.index().stats(t).collection_frequency, 8u);
+}
+
+TEST(GroupedIndex, GroupsSpanSubcollectionBoundaries) {
+    const InvertedIndex a = build_index({{"w"}, {"w"}, {"w"}});  // 3 docs
+    const InvertedIndex b = build_index({{"w"}, {"w"}});         // 2 docs
+    const InvertedIndex* subs[] = {&a, &b};
+    const GroupedIndex grouped = GroupedIndex::build(subs, 2);
+
+    // Global docs 0..4, G=2 -> groups {0,1} {2,3} {4}; group 1 mixes a+b.
+    // Postings are per *group*: group ids 0, 1, 2.
+    EXPECT_EQ(grouped.num_groups(), 3u);
+    const auto w = *grouped.index().vocabulary().lookup("w");
+    const auto ps = grouped.index().postings(w).decode_all();
+    ASSERT_EQ(ps.size(), 3u);
+    EXPECT_EQ(ps[0], (Posting{0, 2}));
+    EXPECT_EQ(ps[1], (Posting{1, 2}));
+    EXPECT_EQ(ps[2], (Posting{2, 1}));
+}
+
+TEST(GroupedIndex, GroupDocRange) {
+    const InvertedIndex a = build_index({{"a"}, {"a"}, {"a"}, {"a"}, {"a"}});
+    const InvertedIndex* subs[] = {&a};
+    const GroupedIndex grouped = GroupedIndex::build(subs, 2);
+    EXPECT_EQ(grouped.group_doc_range(0), (std::pair<std::uint32_t, std::uint32_t>{0, 2}));
+    EXPECT_EQ(grouped.group_doc_range(2), (std::pair<std::uint32_t, std::uint32_t>{4, 5}));
+}
+
+TEST(GroupedIndex, GroupWeightsFollowFormula) {
+    const InvertedIndex a = build_index({{"p", "p", "q"}, {"p"}});
+    const InvertedIndex* subs[] = {&a};
+    const GroupedIndex grouped = GroupedIndex::build(subs, 2);
+    // Single group: f_{g,p} = 3, f_{g,q} = 1.
+    const double expected =
+        std::sqrt(std::pow(std::log(4.0), 2) + std::pow(std::log(2.0), 2));
+    EXPECT_NEAR(grouped.index().doc_weight(0), expected, 1e-12);
+}
+
+TEST(GroupedIndex, GroupingShrinksIndex) {
+    // Paper ([13] / Section 3): groups of ten roughly halve index size.
+    std::vector<std::vector<std::string>> docs;
+    for (int d = 0; d < 3000; ++d) {
+        std::vector<std::string> t;
+        for (int i = 0; i < 40; ++i) t.push_back("w" + std::to_string((d * 31 + i * 17) % 700));
+        docs.push_back(std::move(t));
+    }
+    const InvertedIndex full = build_index(docs);
+    const InvertedIndex* subs[] = {&full};
+    const GroupedIndex g10 = GroupedIndex::build(subs, 10);
+
+    const auto full_bits = full.index_stats().postings_bits + full.index_stats().skip_bits;
+    const auto g10_stats = g10.index().index_stats();
+    const auto g10_bits = g10_stats.postings_bits + g10_stats.skip_bits;
+    EXPECT_LT(g10_bits, full_bits * 6 / 10)
+        << "G=10 should reduce index size substantially";
+    EXPECT_GT(g10_bits, 0u);
+}
+
+TEST(GroupedIndex, MergedVocabularyIsUnion) {
+    const InvertedIndex a = build_index({{"only_a", "shared"}});
+    const InvertedIndex b = build_index({{"only_b", "shared"}});
+    const InvertedIndex* subs[] = {&a, &b};
+    const GroupedIndex grouped = GroupedIndex::build(subs, 10);
+    EXPECT_EQ(grouped.index().num_terms(), 3u);
+    EXPECT_TRUE(grouped.index().vocabulary().lookup("only_a").has_value());
+    EXPECT_TRUE(grouped.index().vocabulary().lookup("only_b").has_value());
+    EXPECT_TRUE(grouped.index().vocabulary().lookup("shared").has_value());
+}
+
+}  // namespace
+}  // namespace teraphim::index

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "index/builder.h"
+
+namespace teraphim::index {
+namespace {
+
+std::vector<std::string> terms(std::initializer_list<const char*> list) {
+    return {list.begin(), list.end()};
+}
+
+InvertedIndex tiny_index() {
+    IndexBuilder builder;
+    builder.add_document(terms({"cat", "dog", "cat"}));     // doc 0
+    builder.add_document(terms({"dog", "fish"}));           // doc 1
+    builder.add_document(terms({"cat", "fish", "fish"}));   // doc 2
+    return std::move(builder).build();
+}
+
+TEST(IndexBuilder, DocumentNumbersAreSequential) {
+    IndexBuilder builder;
+    EXPECT_EQ(builder.add_document(terms({"a"})), 0u);
+    EXPECT_EQ(builder.add_document(terms({"b"})), 1u);
+    EXPECT_EQ(builder.document_count(), 2u);
+}
+
+TEST(InvertedIndex, TermStatistics) {
+    const InvertedIndex idx = tiny_index();
+    ASSERT_EQ(idx.num_documents(), 3u);
+    ASSERT_EQ(idx.num_terms(), 3u);
+
+    const auto cat = idx.vocabulary().lookup("cat");
+    ASSERT_TRUE(cat.has_value());
+    EXPECT_EQ(idx.stats(*cat).doc_frequency, 2u);
+    EXPECT_EQ(idx.stats(*cat).collection_frequency, 3u);
+
+    const auto fish = idx.vocabulary().lookup("fish");
+    ASSERT_TRUE(fish.has_value());
+    EXPECT_EQ(idx.stats(*fish).doc_frequency, 2u);
+    EXPECT_EQ(idx.stats(*fish).collection_frequency, 3u);
+}
+
+TEST(InvertedIndex, PostingsContents) {
+    const InvertedIndex idx = tiny_index();
+    const auto cat = *idx.vocabulary().lookup("cat");
+    const auto ps = idx.postings(cat).decode_all();
+    ASSERT_EQ(ps.size(), 2u);
+    EXPECT_EQ(ps[0], (Posting{0, 2}));
+    EXPECT_EQ(ps[1], (Posting{2, 1}));
+}
+
+TEST(InvertedIndex, DocumentWeightsMatchFormula) {
+    const InvertedIndex idx = tiny_index();
+    // Doc 0: cat f=2, dog f=1 -> sqrt(log(3)^2 + log(2)^2)
+    const double expected =
+        std::sqrt(std::pow(std::log(3.0), 2) + std::pow(std::log(2.0), 2));
+    EXPECT_NEAR(idx.doc_weight(0), expected, 1e-12);
+    // Doc 1: dog 1, fish 1 -> sqrt(2) * log(2)
+    EXPECT_NEAR(idx.doc_weight(1), std::sqrt(2.0) * std::log(2.0), 1e-12);
+}
+
+TEST(InvertedIndex, DocLengths) {
+    const InvertedIndex idx = tiny_index();
+    EXPECT_EQ(idx.doc_length(0), 3u);
+    EXPECT_EQ(idx.doc_length(1), 2u);
+    EXPECT_EQ(idx.doc_length(2), 3u);
+}
+
+TEST(InvertedIndex, EmptyDocumentGetsZeroWeight) {
+    IndexBuilder builder;
+    builder.add_document({});
+    builder.add_document(terms({"x"}));
+    const InvertedIndex idx = std::move(builder).build();
+    EXPECT_EQ(idx.doc_weight(0), 0.0);
+    EXPECT_GT(idx.doc_weight(1), 0.0);
+}
+
+TEST(InvertedIndex, StatsTotals) {
+    const InvertedIndex idx = tiny_index();
+    const IndexStats s = idx.index_stats();
+    EXPECT_EQ(s.num_documents, 3u);
+    EXPECT_EQ(s.num_terms, 3u);
+    EXPECT_EQ(s.num_postings, 6u);  // cat:2 dog:2 fish:2
+    EXPECT_GT(s.postings_bits, 0u);
+    EXPECT_GT(s.vocabulary_bytes, 0u);
+    EXPECT_EQ(s.weights_bytes, 12u);
+    EXPECT_GT(s.total_bytes(), 0u);
+}
+
+TEST(InvertedIndex, CompressionIsEffectiveOnScale) {
+    // 2000 docs of 50 postings: compressed index should be far below the
+    // 8-bytes-per-posting an uncompressed (doc,f) array would need.
+    IndexBuilder builder;
+    std::vector<std::string> doc_terms;
+    for (int d = 0; d < 2000; ++d) {
+        doc_terms.clear();
+        for (int i = 0; i < 50; ++i) {
+            doc_terms.push_back("t" + std::to_string((d * 13 + i * 7) % 500));
+        }
+        builder.add_document(doc_terms);
+    }
+    const InvertedIndex idx = std::move(builder).build();
+    const IndexStats s = idx.index_stats();
+    EXPECT_LT((s.postings_bits + s.skip_bits) / 8, s.num_postings * 3);
+}
+
+}  // namespace
+}  // namespace teraphim::index

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dir/deployment.h"
+#include "dir/librarian.h"
+
+namespace teraphim::dir {
+namespace {
+
+corpus::Subcollection sample_subcollection() {
+    corpus::Subcollection sub;
+    sub.name = "AP";
+    sub.documents = {
+        {"AP-000000", "Distributed retrieval spreads text over many librarian hosts."},
+        {"AP-000001", "Ranked retrieval assigns similarity scores to documents."},
+        {"AP-000002", "Boolean queries intersect posting lists exactly."},
+        {"AP-000003", "Similarity similarity similarity everywhere in ranked systems."},
+    };
+    return sub;
+}
+
+std::unique_ptr<Librarian> sample_librarian() {
+    return build_librarian(sample_subcollection());
+}
+
+TEST(Librarian, StatsReflectCollection) {
+    const auto lib = sample_librarian();
+    const StatsResponse stats = lib->stats();
+    EXPECT_EQ(stats.librarian_name, "AP");
+    EXPECT_EQ(stats.num_documents, 4u);
+    EXPECT_GT(stats.num_terms, 10u);
+    EXPECT_GT(stats.index_bytes, 0u);
+    EXPECT_GT(stats.store_bytes, 0u);
+}
+
+TEST(Librarian, VocabularyDumpSortedWithFrequencies) {
+    const auto lib = sample_librarian();
+    const VocabularyResponse vocab = lib->vocabulary_dump();
+    EXPECT_EQ(vocab.num_documents, 4u);
+    ASSERT_FALSE(vocab.entries.empty());
+    for (std::size_t i = 1; i < vocab.entries.size(); ++i) {
+        EXPECT_LT(vocab.entries[i - 1].term, vocab.entries[i].term);
+    }
+    for (const auto& e : vocab.entries) EXPECT_GE(e.doc_frequency, 1u);
+}
+
+TEST(Librarian, RankLocalFindsRelevantDoc) {
+    const auto lib = sample_librarian();
+    RankRequest req;
+    req.k = 4;
+    req.terms = {{"similarity", 1}};
+    const RankResponse resp = lib->rank_local(req);
+    ASSERT_FALSE(resp.results.empty());
+    EXPECT_EQ(resp.results[0].doc, 3u);  // the similarity-heavy document
+    EXPECT_GT(resp.work.postings_decoded, 0u);
+    EXPECT_GT(resp.work.index_bits_read, 0u);
+}
+
+TEST(Librarian, RankWeightedUsesSuppliedWeights) {
+    const auto lib = sample_librarian();
+    RankWeightedRequest req;
+    req.k = 4;
+    req.terms = {{"boolean", 10.0}, {"similarity", 0.001}};
+    req.query_norm = rank::query_norm(req.terms);
+    const RankResponse resp = lib->rank_weighted(req);
+    ASSERT_FALSE(resp.results.empty());
+    EXPECT_EQ(resp.results[0].doc, 2u);  // boolean doc despite rare similarity
+}
+
+TEST(Librarian, CandidateScoring) {
+    const auto lib = sample_librarian();
+    CandidateRequest req;
+    req.terms = {{"retrieval", 1.0}};
+    req.query_norm = 1.0;
+    req.candidates = {0, 2};
+    const CandidateResponse resp = lib->score_candidates(req);
+    ASSERT_EQ(resp.scored.size(), 2u);
+    EXPECT_EQ(resp.scored[0].doc, 0u);
+    EXPECT_GT(resp.scored[0].score, 0.0);
+    EXPECT_EQ(resp.scored[1].score, 0.0);  // doc 2 has no "retrieval"
+}
+
+TEST(Librarian, FetchCompressedAndRaw) {
+    const auto lib = sample_librarian();
+    FetchRequest raw;
+    raw.docs = {1};
+    raw.send_compressed = false;
+    const FetchResponse raw_resp = lib->fetch(raw);
+    ASSERT_EQ(raw_resp.docs.size(), 1u);
+    EXPECT_EQ(raw_resp.docs[0].external_id, "AP-000001");
+    const std::string text(raw_resp.docs[0].payload.begin(), raw_resp.docs[0].payload.end());
+    EXPECT_EQ(text, "Ranked retrieval assigns similarity scores to documents.");
+
+    FetchRequest compressed;
+    compressed.docs = {1};
+    compressed.send_compressed = true;
+    const FetchResponse c_resp = lib->fetch(compressed);
+    ASSERT_EQ(c_resp.docs.size(), 1u);
+    EXPECT_TRUE(c_resp.docs[0].compressed);
+    EXPECT_EQ(lib->store().codec().decode(c_resp.docs[0].payload), text);
+    EXPECT_LE(c_resp.docs[0].payload.size(), raw_resp.docs[0].payload.size());
+}
+
+TEST(Librarian, FetchOutOfRangeYieldsError) {
+    const auto lib = sample_librarian();
+    EXPECT_THROW(lib->fetch(FetchRequest{{999}, true}), ProtocolError);
+}
+
+TEST(Librarian, BooleanEvaluation) {
+    const auto lib = sample_librarian();
+    const BooleanResponse resp = lib->boolean({"retrieval AND NOT ranked"});
+    EXPECT_EQ(resp.docs, (std::vector<std::uint32_t>{0}));
+}
+
+TEST(Librarian, HandleDispatchesAllTypes) {
+    auto lib = sample_librarian();
+    EXPECT_EQ(lib->handle({net::MessageType::Ping, {}}).type, net::MessageType::Pong);
+    EXPECT_EQ(lib->handle(StatsRequest{}.encode()).type, net::MessageType::StatsResponse);
+    EXPECT_EQ(lib->handle(VocabularyRequest{}.encode()).type,
+              net::MessageType::VocabularyResponse);
+
+    RankRequest rank_req;
+    rank_req.k = 2;
+    rank_req.terms = {{"text", 1}};
+    EXPECT_EQ(lib->handle(rank_req.encode()).type, net::MessageType::RankResponse);
+}
+
+TEST(Librarian, HandleTurnsFailuresIntoErrorMessages) {
+    auto lib = sample_librarian();
+    // Fetch of nonexistent doc must come back as an Error frame, not throw.
+    FetchRequest bad;
+    bad.docs = {12345};
+    const net::Message reply = lib->handle(bad.encode());
+    EXPECT_EQ(reply.type, net::MessageType::Error);
+
+    // Unknown type likewise.
+    const net::Message unknown = lib->handle({static_cast<net::MessageType>(999), {}});
+    EXPECT_EQ(unknown.type, net::MessageType::Error);
+}
+
+TEST(Librarian, IndexAndStoreSizesAgree) {
+    const auto lib = sample_librarian();
+    EXPECT_EQ(lib->index().num_documents(), lib->store().size());
+}
+
+}  // namespace
+}  // namespace teraphim::dir

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dir/merge.h"
+#include "util/error.h"
+
+namespace teraphim::dir {
+namespace {
+
+using Rankings = std::vector<std::vector<rank::SearchResult>>;
+
+TEST(Merge, InterleavesByScore) {
+    const Rankings input{
+        {{0, 0.9}, {1, 0.5}},
+        {{7, 0.7}, {8, 0.6}},
+    };
+    const auto merged = merge_rankings(input, 10);
+    ASSERT_EQ(merged.size(), 4u);
+    EXPECT_EQ(merged[0], (GlobalResult{0, 0, 0.9}));
+    EXPECT_EQ(merged[1], (GlobalResult{1, 7, 0.7}));
+    EXPECT_EQ(merged[2], (GlobalResult{1, 8, 0.6}));
+    EXPECT_EQ(merged[3], (GlobalResult{0, 1, 0.5}));
+}
+
+TEST(Merge, TruncatesToK) {
+    const Rankings input{
+        {{0, 0.9}, {1, 0.8}, {2, 0.7}},
+        {{0, 0.85}, {1, 0.75}},
+    };
+    const auto merged = merge_rankings(input, 3);
+    ASSERT_EQ(merged.size(), 3u);
+    EXPECT_DOUBLE_EQ(merged[2].score, 0.8);
+}
+
+TEST(Merge, HandlesEmptyLists) {
+    const Rankings input{{}, {{3, 0.5}}, {}};
+    const auto merged = merge_rankings(input, 5);
+    ASSERT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged[0].librarian, 1u);
+}
+
+TEST(Merge, AllEmpty) {
+    const Rankings input{{}, {}};
+    EXPECT_TRUE(merge_rankings(input, 5).empty());
+}
+
+TEST(Merge, TieBreakByLibrarianThenDoc) {
+    const Rankings input{
+        {{5, 0.5}},
+        {{2, 0.5}},
+    };
+    const auto merged = merge_rankings(input, 2);
+    ASSERT_EQ(merged.size(), 2u);
+    EXPECT_EQ(merged[0].librarian, 0u);  // librarian index wins ties
+    EXPECT_EQ(merged[1].librarian, 1u);
+}
+
+TEST(Merge, FaceValueSemantics) {
+    // CN semantics: a librarian reporting inflated scores dominates the
+    // merge — the receptionist has "no basis for perturbing" them.
+    const Rankings input{
+        {{0, 100.0}, {1, 99.0}},
+        {{0, 0.9}},
+    };
+    const auto merged = merge_rankings(input, 2);
+    EXPECT_EQ(merged[0].librarian, 0u);
+    EXPECT_EQ(merged[1].librarian, 0u);
+}
+
+TEST(Merge, CountsHeapOperations) {
+    const Rankings input{
+        {{0, 0.9}, {1, 0.8}},
+        {{0, 0.7}},
+    };
+    std::uint64_t ops = 0;
+    merge_rankings(input, 10, &ops);
+    EXPECT_GT(ops, 0u);
+}
+
+TEST(Merge, RejectsUnsortedInput) {
+    const Rankings bad{{{0, 0.1}, {1, 0.9}}};
+    EXPECT_THROW(merge_rankings(bad, 2), Error);
+}
+
+TEST(Merge, LargeDeterministicMerge) {
+    Rankings input(8);
+    for (std::uint32_t s = 0; s < 8; ++s) {
+        for (int i = 0; i < 100; ++i) {
+            input[s].push_back({static_cast<std::uint32_t>(i),
+                                1.0 / (1.0 + i) + 0.001 * s});
+        }
+    }
+    const auto merged = merge_rankings(input, 50);
+    ASSERT_EQ(merged.size(), 50u);
+    for (std::size_t i = 1; i < merged.size(); ++i) {
+        EXPECT_TRUE(global_result_before(merged[i - 1], merged[i]));
+    }
+}
+
+}  // namespace
+}  // namespace teraphim::dir

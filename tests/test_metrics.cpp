@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "eval/queryset.h"
+
+namespace teraphim::eval {
+namespace {
+
+std::vector<std::string> ranking(std::initializer_list<const char*> ids) {
+    return {ids.begin(), ids.end()};
+}
+
+TEST(Metrics, RelevantInTop) {
+    const auto ranked = ranking({"a", "b", "c", "d"});
+    const RelevantSet rel{"b", "d", "z"};
+    EXPECT_EQ(relevant_in_top(ranked, rel, 1), 0u);
+    EXPECT_EQ(relevant_in_top(ranked, rel, 2), 1u);
+    EXPECT_EQ(relevant_in_top(ranked, rel, 4), 2u);
+    EXPECT_EQ(relevant_in_top(ranked, rel, 100), 2u);
+}
+
+TEST(Metrics, PrecisionAndRecall) {
+    const auto ranked = ranking({"a", "b", "c", "d"});
+    const RelevantSet rel{"a", "c"};
+    EXPECT_DOUBLE_EQ(precision_at(ranked, rel, 2), 0.5);
+    EXPECT_DOUBLE_EQ(precision_at(ranked, rel, 4), 0.5);
+    EXPECT_DOUBLE_EQ(recall_at(ranked, rel, 1), 0.5);
+    EXPECT_DOUBLE_EQ(recall_at(ranked, rel, 3), 1.0);
+}
+
+TEST(Metrics, PerfectRankingGivesPerfectElevenPoint) {
+    const auto ranked = ranking({"r1", "r2", "r3", "x", "y"});
+    const RelevantSet rel{"r1", "r2", "r3"};
+    EXPECT_DOUBLE_EQ(eleven_point_average(ranked, rel), 1.0);
+}
+
+TEST(Metrics, NoRelevantRetrievedGivesZero) {
+    const auto ranked = ranking({"x", "y"});
+    const RelevantSet rel{"a", "b"};
+    EXPECT_DOUBLE_EQ(eleven_point_average(ranked, rel), 0.0);
+    EXPECT_DOUBLE_EQ(average_precision(ranked, rel), 0.0);
+}
+
+TEST(Metrics, EmptyRelevantSetGivesZero) {
+    const auto ranked = ranking({"x"});
+    EXPECT_DOUBLE_EQ(eleven_point_average(ranked, {}), 0.0);
+}
+
+TEST(Metrics, HandComputedElevenPoint) {
+    // 2 relevant docs; hits at ranks 1 and 4.
+    // Interpolated precision: recall<=0.5 -> 1.0; recall<=1.0 -> 2/4=0.5.
+    // Levels 0.0-0.5 get 1.0 (6 levels), 0.6-1.0 get 0.5 (5 levels).
+    const auto ranked = ranking({"r1", "x", "y", "r2"});
+    const RelevantSet rel{"r1", "r2"};
+    const double expected = (6 * 1.0 + 5 * 0.5) / 11.0;
+    EXPECT_NEAR(eleven_point_average(ranked, rel), expected, 1e-12);
+}
+
+TEST(Metrics, CurveIsMonotoneNonIncreasing) {
+    const auto ranked =
+        ranking({"r1", "x", "r2", "y", "z", "r3", "w", "v", "u", "r4"});
+    const RelevantSet rel{"r1", "r2", "r3", "r4"};
+    const auto curve = recall_precision_curve(ranked, rel);
+    ASSERT_EQ(curve.size(), 11u);
+    for (std::size_t i = 1; i < curve.size(); ++i) {
+        EXPECT_LE(curve[i], curve[i - 1]);
+    }
+}
+
+TEST(Metrics, TruncatedRankingLosesTailRecall) {
+    // 10 relevant, only 2 retrieved: recall levels above 0.2 score 0.
+    std::vector<std::string> ranked{"r1", "r2"};
+    RelevantSet rel;
+    for (int i = 1; i <= 10; ++i) rel.insert("r" + std::to_string(i));
+    const auto curve = recall_precision_curve(ranked, rel);
+    EXPECT_GT(curve[0], 0.0);
+    EXPECT_GT(curve[1], 0.0);  // recall 0.1
+    EXPECT_GT(curve[2], 0.0);  // recall 0.2
+    for (int level = 3; level <= 10; ++level) EXPECT_EQ(curve[level], 0.0);
+}
+
+TEST(Metrics, AveragePrecisionHandComputed) {
+    // Hits at ranks 1 and 3 of 2 relevant: AP = (1/1 + 2/3) / 2.
+    const auto ranked = ranking({"r1", "x", "r2"});
+    const RelevantSet rel{"r1", "r2"};
+    EXPECT_NEAR(average_precision(ranked, rel), (1.0 + 2.0 / 3.0) / 2.0, 1e-12);
+}
+
+TEST(Judgments, AccumulateAndQuery) {
+    Judgments j;
+    j.add(51, "AP-000001");
+    j.add(51, "WSJ-000002");
+    j.add(202, "FR-000003");
+    EXPECT_EQ(j.judged_queries(), 2u);
+    EXPECT_EQ(j.total_relevant(), 3u);
+    EXPECT_TRUE(j.relevant_for(51).contains("AP-000001"));
+    EXPECT_TRUE(j.relevant_for(999).empty());
+}
+
+TEST(EvaluateRun, AggregatesOverQueries) {
+    Judgments j;
+    j.add(1, "good");
+    j.add(2, "better");
+    QuerySet qs;
+    qs.queries = {{1, "q1"}, {2, "q2"}};
+
+    const auto summary = evaluate_run(qs, j, [](const TestQuery& q) {
+        if (q.id == 1) return std::vector<std::string>{"good", "bad"};
+        return std::vector<std::string>{"bad", "better"};
+    });
+    ASSERT_EQ(summary.per_query.size(), 2u);
+    EXPECT_DOUBLE_EQ(summary.per_query[0].eleven_pt, 1.0);
+    EXPECT_EQ(summary.per_query[0].relevant_in_top20, 1u);
+    EXPECT_EQ(summary.per_query[1].relevant_in_top20, 1u);
+    EXPECT_GT(summary.mean_eleven_pt, 0.0);
+    EXPECT_DOUBLE_EQ(summary.mean_relevant_in_top20, 1.0);
+}
+
+}  // namespace
+}  // namespace teraphim::eval

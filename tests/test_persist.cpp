@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "index/builder.h"
+#include "index/persist.h"
+#include "rank/query_processor.h"
+#include "store/persist.h"
+#include "util/rng.h"
+
+namespace teraphim {
+namespace {
+
+std::string temp_path(const char* name) {
+    return std::string(::testing::TempDir()) + "/" + name;
+}
+
+index::InvertedIndex sample_index() {
+    util::Rng rng(31);
+    index::IndexBuilder builder;
+    std::vector<std::string> terms;
+    for (int d = 0; d < 500; ++d) {
+        terms.clear();
+        const int n = 5 + static_cast<int>(rng.below(40));
+        for (int i = 0; i < n; ++i) terms.push_back("t" + std::to_string(rng.below(300)));
+        builder.add_document(terms);
+    }
+    return std::move(builder).build();
+}
+
+TEST(IndexPersist, RoundTripPreservesEverything) {
+    const auto original = sample_index();
+    const std::string path = temp_path("roundtrip.tpix");
+    index::save_index(original, path);
+    const auto loaded = index::load_index(path);
+
+    ASSERT_EQ(loaded.num_documents(), original.num_documents());
+    ASSERT_EQ(loaded.num_terms(), original.num_terms());
+    for (index::TermId t = 0; t < original.num_terms(); ++t) {
+        EXPECT_EQ(loaded.vocabulary().term(t), original.vocabulary().term(t));
+        EXPECT_EQ(loaded.stats(t).doc_frequency, original.stats(t).doc_frequency);
+        EXPECT_EQ(loaded.stats(t).collection_frequency,
+                  original.stats(t).collection_frequency);
+        EXPECT_EQ(loaded.postings(t).decode_all(), original.postings(t).decode_all());
+    }
+    for (index::DocNum d = 0; d < original.num_documents(); ++d) {
+        EXPECT_DOUBLE_EQ(loaded.doc_weight(d), original.doc_weight(d));
+        EXPECT_EQ(loaded.doc_length(d), original.doc_length(d));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(IndexPersist, LoadedIndexRanksIdentically) {
+    const auto original = sample_index();
+    const std::string path = temp_path("rank.tpix");
+    index::save_index(original, path);
+    const auto loaded = index::load_index(path);
+
+    rank::Query q;
+    q.terms = {{"t1", 1}, {"t42", 2}, {"t137", 1}};
+    rank::QueryProcessor a(original, rank::cosine_log_tf());
+    rank::QueryProcessor b(loaded, rank::cosine_log_tf());
+    const auto ra = a.rank(q, 50);
+    const auto rb = b.rank(q, 50);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(ra[i].doc, rb[i].doc);
+        EXPECT_DOUBLE_EQ(ra[i].score, rb[i].score);
+    }
+    std::remove(path.c_str());
+}
+
+TEST(IndexPersist, SkipsSurviveRoundTrip) {
+    const auto original = sample_index();
+    const std::string path = temp_path("skips.tpix");
+    index::save_index(original, path);
+    const auto loaded = index::load_index(path);
+    // Find a long list and exercise skipped seeks on the loaded copy.
+    for (index::TermId t = 0; t < loaded.num_terms(); ++t) {
+        const auto& list = loaded.postings(t);
+        if (list.count() < 100) continue;
+        EXPECT_EQ(list.skip_bits(), original.postings(t).skip_bits());
+        index::PostingsCursor with(list, true);
+        index::PostingsCursor without(original.postings(t), false);
+        const std::uint32_t target = 250;
+        EXPECT_EQ(with.seek(target), without.seek(target));
+        if (!with.at_end() && !without.at_end()) {
+            EXPECT_EQ(with.doc(), without.doc());
+        }
+        break;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(IndexPersist, RejectsGarbage) {
+    const std::string path = temp_path("garbage.tpix");
+    {
+        std::vector<std::uint8_t> junk{1, 2, 3, 4, 5, 6, 7, 8};
+        FILE* f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        std::fwrite(junk.data(), 1, junk.size(), f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(index::load_index(path), Error);
+    std::remove(path.c_str());
+}
+
+TEST(IndexPersist, MissingFileThrowsIoError) {
+    EXPECT_THROW(index::load_index("/nonexistent/dir/x.tpix"), IoError);
+}
+
+TEST(IndexPersist, TruncatedFileRejected) {
+    const auto original = sample_index();
+    const std::string path = temp_path("trunc.tpix");
+    index::save_index(original, path);
+    // Truncate to half size.
+    {
+        std::ifstream in(path, std::ios::binary | std::ios::ate);
+        const auto size = static_cast<std::size_t>(in.tellg());
+        in.seekg(0);
+        std::vector<char> bytes(size / 2);
+        in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+        in.close();
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    EXPECT_THROW(index::load_index(path), Error);
+    std::remove(path.c_str());
+}
+
+store::DocumentStore sample_store() {
+    store::DocStoreBuilder builder;
+    builder.add_document({"P-0", "Persistence keeps the compressed store on disk."});
+    builder.add_document({"P-1", "The codec travels with the data; blobs are not re-encoded."});
+    builder.add_document({"P-2", "Loading yields byte-identical documents, guaranteed by tests."});
+    return std::move(builder).build();
+}
+
+TEST(StorePersist, RoundTripPreservesDocuments) {
+    const auto original = sample_store();
+    const std::string path = temp_path("roundtrip.tpds");
+    store::save_store(original, path);
+    const auto loaded = store::load_store(path);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.total_raw_bytes(), original.total_raw_bytes());
+    EXPECT_EQ(loaded.total_compressed_bytes(), original.total_compressed_bytes());
+    for (store::DocNum d = 0; d < original.size(); ++d) {
+        EXPECT_EQ(loaded.external_id(d), original.external_id(d));
+        EXPECT_EQ(loaded.fetch(d), original.fetch(d));
+        // Blobs byte-identical (no re-encoding on the round trip).
+        const auto a = original.compressed(d);
+        const auto b = loaded.compressed(d);
+        EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    }
+    std::remove(path.c_str());
+}
+
+TEST(StorePersist, LoadedCodecEncodesNewDocuments) {
+    const auto original = sample_store();
+    const std::string path = temp_path("codec.tpds");
+    store::save_store(original, path);
+    const auto loaded = store::load_store(path);
+    const std::string novel = "Entirely new text, with escape-coded tokens!";
+    EXPECT_EQ(loaded.codec().decode(loaded.codec().encode(novel)), novel);
+    // Both codecs produce identical encodings (same canonical code).
+    EXPECT_EQ(loaded.codec().encode(novel), original.codec().encode(novel));
+    std::remove(path.c_str());
+}
+
+TEST(StorePersist, RejectsWrongMagic) {
+    const auto original = sample_index();
+    const std::string path = temp_path("wrongmagic");
+    index::save_index(original, path);  // an *index* file
+    EXPECT_THROW(store::load_store(path), DataError);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace teraphim

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "index/postings.h"
+#include "util/rng.h"
+
+namespace teraphim::index {
+namespace {
+
+std::vector<Posting> random_postings(util::Rng& rng, std::uint32_t universe,
+                                     std::size_t count) {
+    std::vector<std::uint32_t> docs;
+    std::unordered_set<std::uint32_t> seen;
+    while (docs.size() < count) {
+        const auto d = static_cast<std::uint32_t>(rng.below(universe));
+        if (seen.insert(d).second) docs.push_back(d);
+    }
+    std::sort(docs.begin(), docs.end());
+    std::vector<Posting> out;
+    out.reserve(count);
+    for (auto d : docs) out.push_back({d, 1 + static_cast<std::uint32_t>(rng.below(20))});
+    return out;
+}
+
+TEST(PostingsList, EmptyList) {
+    const PostingsList list = PostingsList::build({}, 100);
+    EXPECT_TRUE(list.empty());
+    PostingsCursor cur(list);
+    EXPECT_TRUE(cur.at_end());
+    EXPECT_FALSE(cur.seek(0));
+}
+
+TEST(PostingsList, SingleEntry) {
+    const std::vector<Posting> ps{{42, 7}};
+    const PostingsList list = PostingsList::build(ps, 100);
+    PostingsCursor cur(list);
+    ASSERT_FALSE(cur.at_end());
+    EXPECT_EQ(cur.doc(), 42u);
+    EXPECT_EQ(cur.fdt(), 7u);
+    cur.next();
+    EXPECT_TRUE(cur.at_end());
+}
+
+TEST(PostingsList, DecodeAllRoundTrip) {
+    util::Rng rng(101);
+    for (int trial = 0; trial < 20; ++trial) {
+        const auto ps = random_postings(rng, 10000, 500);
+        const PostingsList list = PostingsList::build(ps, 10000);
+        EXPECT_EQ(list.decode_all(), ps);
+    }
+}
+
+TEST(PostingsList, DocZeroSupported) {
+    const std::vector<Posting> ps{{0, 3}, {1, 1}};
+    const PostingsList list = PostingsList::build(ps, 10);
+    EXPECT_EQ(list.decode_all(), ps);
+}
+
+TEST(PostingsList, DenseListUsesFewBitsPerPosting) {
+    // Every document contains the term: gaps are all 1, b = 1, so the
+    // doc component should cost ~1 bit per posting.
+    std::vector<Posting> ps;
+    for (std::uint32_t d = 0; d < 1000; ++d) ps.push_back({d, 1});
+    const PostingsList list = PostingsList::build(ps, 1000, 0);
+    EXPECT_LE(list.payload_bits(), 1000u * 3);
+}
+
+TEST(PostingsList, GolombParameterAdapts) {
+    std::vector<Posting> sparse{{0, 1}, {5000, 1}, {9999, 1}};
+    const PostingsList list = PostingsList::build(sparse, 10000);
+    EXPECT_GT(list.golomb_b(), 1000u);
+}
+
+TEST(PostingsCursor, LinearIteration) {
+    util::Rng rng(102);
+    const auto ps = random_postings(rng, 5000, 300);
+    const PostingsList list = PostingsList::build(ps, 5000);
+    PostingsCursor cur(list);
+    for (const Posting& p : ps) {
+        ASSERT_FALSE(cur.at_end());
+        EXPECT_EQ(cur.doc(), p.doc);
+        EXPECT_EQ(cur.fdt(), p.fdt);
+        cur.next();
+    }
+    EXPECT_TRUE(cur.at_end());
+}
+
+TEST(PostingsCursor, SeekExactAndMissing) {
+    const std::vector<Posting> ps{{10, 1}, {20, 2}, {30, 3}, {40, 4}};
+    const PostingsList list = PostingsList::build(ps, 100);
+    PostingsCursor cur(list);
+    EXPECT_TRUE(cur.seek(20));
+    EXPECT_EQ(cur.fdt(), 2u);
+    EXPECT_FALSE(cur.seek(25));  // lands on 30
+    EXPECT_EQ(cur.doc(), 30u);
+    EXPECT_TRUE(cur.seek(30));   // idempotent on current position
+    EXPECT_FALSE(cur.seek(50));  // past the end
+    EXPECT_TRUE(cur.at_end());
+}
+
+TEST(PostingsCursor, SeekNeverMovesBackwards) {
+    const std::vector<Posting> ps{{10, 1}, {20, 2}, {30, 3}};
+    const PostingsList list = PostingsList::build(ps, 100);
+    PostingsCursor cur(list);
+    EXPECT_TRUE(cur.seek(30));
+    EXPECT_FALSE(cur.seek(10));  // target below position: stays at 30
+    EXPECT_EQ(cur.doc(), 30u);
+}
+
+TEST(PostingsCursor, SkippedSeekMatchesLinear) {
+    util::Rng rng(103);
+    for (int trial = 0; trial < 10; ++trial) {
+        const auto ps = random_postings(rng, 50000, 2000);
+        const PostingsList with_skips = PostingsList::build(ps, 50000, 32);
+        const PostingsList no_skips = PostingsList::build(ps, 50000, 0);
+        for (int probes = 0; probes < 50; ++probes) {
+            const auto target = static_cast<std::uint32_t>(rng.below(50000));
+            PostingsCursor a(with_skips, true);
+            PostingsCursor b(no_skips, false);
+            const bool found_a = a.seek(target);
+            const bool found_b = b.seek(target);
+            ASSERT_EQ(found_a, found_b) << "target " << target;
+            ASSERT_EQ(a.at_end(), b.at_end());
+            if (!a.at_end()) {
+                ASSERT_EQ(a.doc(), b.doc());
+                ASSERT_EQ(a.fdt(), b.fdt());
+            }
+        }
+    }
+}
+
+TEST(PostingsCursor, SkipsReduceDecodedPostings) {
+    util::Rng rng(104);
+    const auto ps = random_postings(rng, 100000, 5000);
+    const PostingsList list = PostingsList::build(ps, 100000, 64);
+
+    PostingsCursor with(list, true);
+    PostingsCursor without(list, false);
+    // Seek far into the list.
+    const std::uint32_t target = ps[4500].doc;
+    with.seek(target);
+    without.seek(target);
+    EXPECT_LT(with.postings_decoded(), without.postings_decoded() / 8)
+        << "skipping should decode a small fraction of the list";
+}
+
+TEST(PostingsCursor, SortedProbeSequenceWithSkips) {
+    // CI-style access: many sorted candidate probes through one cursor.
+    util::Rng rng(105);
+    const auto ps = random_postings(rng, 20000, 1500);
+    const PostingsList list = PostingsList::build(ps, 20000, 32);
+
+    std::vector<std::uint32_t> probes;
+    for (int i = 0; i < 200; ++i) probes.push_back(static_cast<std::uint32_t>(rng.below(20000)));
+    std::sort(probes.begin(), probes.end());
+    probes.erase(std::unique(probes.begin(), probes.end()), probes.end());
+
+    PostingsCursor skipping(list, true);
+    PostingsCursor linear(list, false);
+    for (auto p : probes) {
+        const bool a = skipping.seek(p);
+        const bool b = linear.seek(p);
+        ASSERT_EQ(a, b);
+        if (!skipping.at_end() && !linear.at_end()) {
+            ASSERT_EQ(skipping.doc(), linear.doc());
+        }
+        if (skipping.at_end()) break;
+    }
+}
+
+TEST(PostingsList, SkipOverheadIsModest) {
+    util::Rng rng(106);
+    const auto ps = random_postings(rng, 100000, 10000);
+    const PostingsList with = PostingsList::build(ps, 100000, 64);
+    const PostingsList without = PostingsList::build(ps, 100000, 0);
+    EXPECT_EQ(with.payload_bits(), without.payload_bits());
+    EXPECT_GT(with.skip_bits(), 0u);
+    // MG reports self-indexing overheads of a few percent.
+    EXPECT_LT(with.skip_bits(), with.payload_bits() / 10);
+}
+
+TEST(PostingsList, RejectsUnsortedInput) {
+    const std::vector<Posting> bad{{5, 1}, {5, 2}};
+    EXPECT_THROW(PostingsList::build(bad, 10), Error);
+    const std::vector<Posting> bad2{{5, 1}, {3, 2}};
+    EXPECT_THROW(PostingsList::build(bad2, 10), Error);
+}
+
+TEST(PostingsList, RejectsZeroFrequency) {
+    const std::vector<Posting> bad{{5, 0}};
+    EXPECT_THROW(PostingsList::build(bad, 10), Error);
+}
+
+}  // namespace
+}  // namespace teraphim::index

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "dir/protocol.h"
+#include "util/error.h"
+
+namespace teraphim::dir {
+namespace {
+
+TEST(Protocol, StatsRoundTrip) {
+    StatsResponse in;
+    in.librarian_name = "AP";
+    in.num_documents = 1234;
+    in.num_terms = 56789;
+    in.index_bytes = 1 << 20;
+    in.store_bytes = 1 << 22;
+    const auto out = StatsResponse::decode(in.encode());
+    EXPECT_EQ(out.librarian_name, "AP");
+    EXPECT_EQ(out.num_documents, 1234u);
+    EXPECT_EQ(out.num_terms, 56789u);
+    EXPECT_EQ(out.index_bytes, 1u << 20);
+    EXPECT_EQ(out.store_bytes, 1u << 22);
+}
+
+TEST(Protocol, VocabularyRoundTrip) {
+    VocabularyResponse in;
+    in.num_documents = 10;
+    in.entries = {{"alpha", 3}, {"beta", 7}};
+    const auto out = VocabularyResponse::decode(in.encode());
+    EXPECT_EQ(out.num_documents, 10u);
+    ASSERT_EQ(out.entries.size(), 2u);
+    EXPECT_EQ(out.entries[0].term, "alpha");
+    EXPECT_EQ(out.entries[1].doc_frequency, 7u);
+}
+
+TEST(Protocol, RankRequestRoundTrip) {
+    RankRequest in;
+    in.k = 20;
+    in.terms = {{"cats", 2}, {"dogs", 1}};
+    const auto out = RankRequest::decode(in.encode());
+    EXPECT_EQ(out.k, 20u);
+    ASSERT_EQ(out.terms.size(), 2u);
+    EXPECT_EQ(out.terms[0].term, "cats");
+    EXPECT_EQ(out.terms[0].fqt, 2u);
+}
+
+TEST(Protocol, RankWeightedRequestRoundTrip) {
+    RankWeightedRequest in;
+    in.k = 1000;
+    in.query_norm = 2.5;
+    in.terms = {{"idf", 1.25}, {"weighted", 0.5}};
+    const auto out = RankWeightedRequest::decode(in.encode());
+    EXPECT_EQ(out.k, 1000u);
+    EXPECT_DOUBLE_EQ(out.query_norm, 2.5);
+    ASSERT_EQ(out.terms.size(), 2u);
+    EXPECT_DOUBLE_EQ(out.terms[0].weight, 1.25);
+}
+
+TEST(Protocol, RankResponseRoundTrip) {
+    RankResponse in;
+    in.results = {{5, 0.9}, {17, 0.3}};
+    in.work.postings_decoded = 1000;
+    in.work.index_bits_read = 8192;
+    const auto out = RankResponse::decode(in.encode());
+    ASSERT_EQ(out.results.size(), 2u);
+    EXPECT_EQ(out.results[0].doc, 5u);
+    EXPECT_DOUBLE_EQ(out.results[1].score, 0.3);
+    EXPECT_EQ(out.work.postings_decoded, 1000u);
+    EXPECT_EQ(out.work.index_bits_read, 8192u);
+}
+
+TEST(Protocol, CandidateRequestRoundTrip) {
+    CandidateRequest in;
+    in.query_norm = 1.5;
+    in.use_skips = true;
+    in.terms = {{"term", 2.0}};
+    in.candidates = {1, 5, 9};
+    const auto out = CandidateRequest::decode(in.encode());
+    EXPECT_DOUBLE_EQ(out.query_norm, 1.5);
+    EXPECT_TRUE(out.use_skips);
+    EXPECT_EQ(out.candidates, (std::vector<std::uint32_t>{1, 5, 9}));
+}
+
+TEST(Protocol, FetchRoundTrip) {
+    FetchRequest req;
+    req.docs = {3, 1};
+    req.send_compressed = false;
+    const auto req_out = FetchRequest::decode(req.encode());
+    EXPECT_FALSE(req_out.send_compressed);
+    EXPECT_EQ(req_out.docs, (std::vector<std::uint32_t>{3, 1}));
+
+    FetchResponse resp;
+    resp.docs.push_back({"AP-000003", true, {0x1F, 0x00, 0xFF}});
+    resp.work.disk_bytes = 333;
+    const auto resp_out = FetchResponse::decode(resp.encode());
+    ASSERT_EQ(resp_out.docs.size(), 1u);
+    EXPECT_EQ(resp_out.docs[0].external_id, "AP-000003");
+    EXPECT_TRUE(resp_out.docs[0].compressed);
+    EXPECT_EQ(resp_out.docs[0].payload, (std::vector<std::uint8_t>{0x1F, 0x00, 0xFF}));
+    EXPECT_EQ(resp_out.work.disk_bytes, 333u);
+}
+
+TEST(Protocol, BooleanRoundTrip) {
+    BooleanRequest req;
+    req.expression = "(cat OR dog) AND NOT fish";
+    EXPECT_EQ(BooleanRequest::decode(req.encode()).expression, req.expression);
+
+    BooleanResponse resp;
+    resp.docs = {0, 2, 4};
+    EXPECT_EQ(BooleanResponse::decode(resp.encode()).docs, resp.docs);
+}
+
+TEST(Protocol, ErrorsPropagateThroughExpectType) {
+    const auto err = ErrorResponse{"index corrupted"}.encode();
+    EXPECT_EQ(err.type, net::MessageType::Error);
+    try {
+        RankResponse::decode(err);
+        FAIL() << "should have thrown";
+    } catch (const ProtocolError& e) {
+        EXPECT_NE(std::string(e.what()).find("index corrupted"), std::string::npos);
+    }
+}
+
+TEST(Protocol, WrongTypeRejected) {
+    const auto stats = StatsResponse{}.encode();
+    EXPECT_THROW(RankResponse::decode(stats), ProtocolError);
+}
+
+TEST(Protocol, WireBytesIncludeHeader) {
+    const auto m = BooleanRequest{"x"}.encode();
+    EXPECT_EQ(m.wire_bytes(), net::Message::kHeaderBytes + m.payload.size());
+}
+
+}  // namespace
+}  // namespace teraphim::dir

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "index/builder.h"
+#include "index/pruning.h"
+
+namespace teraphim::index {
+namespace {
+
+InvertedIndex varied_index() {
+    IndexBuilder builder;
+    // Term "hot": f_dt values 10, 1, 1, 8 across docs.
+    std::vector<std::string> d0(10, "hot");
+    std::vector<std::string> d1{"hot", "cold"};
+    std::vector<std::string> d2{"hot", "cold", "cold"};
+    std::vector<std::string> d3(8, "hot");
+    d3.push_back("warm");
+    builder.add_document(d0);
+    builder.add_document(d1);
+    builder.add_document(d2);
+    builder.add_document(d3);
+    return std::move(builder).build();
+}
+
+TEST(Pruning, ZeroFractionKeepsEverything) {
+    const InvertedIndex src = varied_index();
+    PruneReport report;
+    const InvertedIndex pruned = prune_index(src, {.fdt_fraction = 0.0}, &report);
+    EXPECT_EQ(report.postings_before, report.postings_after);
+    EXPECT_EQ(pruned.index_stats().num_postings, src.index_stats().num_postings);
+}
+
+TEST(Pruning, DropsLowFrequencyPostings) {
+    const InvertedIndex src = varied_index();
+    PruneReport report;
+    PruneOptions options;
+    options.fdt_fraction = 0.5;       // keep f_dt >= 5 in "hot"'s list
+    options.protect_short_lists = 2;  // "cold" (2 postings) protected
+    const InvertedIndex pruned = prune_index(src, options, &report);
+
+    const auto hot = *pruned.vocabulary().lookup("hot");
+    const auto ps = pruned.postings(hot).decode_all();
+    ASSERT_EQ(ps.size(), 2u);
+    EXPECT_EQ(ps[0].doc, 0u);
+    EXPECT_EQ(ps[1].doc, 3u);
+    EXPECT_EQ(pruned.stats(hot).doc_frequency, 2u);  // f_t recomputed
+
+    const auto cold = *pruned.vocabulary().lookup("cold");
+    EXPECT_EQ(pruned.postings(cold).count(), 2u);  // protected
+}
+
+TEST(Pruning, ReportTracksSizes) {
+    const InvertedIndex src = varied_index();
+    PruneReport report;
+    prune_index(src, {.fdt_fraction = 0.9, .protect_short_lists = 0}, &report);
+    EXPECT_EQ(report.postings_before, src.index_stats().num_postings);
+    EXPECT_LT(report.postings_after, report.postings_before);
+    EXPECT_LT(report.bits_after, report.bits_before);
+    EXPECT_LT(report.postings_kept_fraction(), 1.0);
+    EXPECT_LT(report.size_kept_fraction(), 1.0);
+}
+
+TEST(Pruning, WeightsPreserved) {
+    const InvertedIndex src = varied_index();
+    const InvertedIndex pruned = prune_index(src, {.fdt_fraction = 0.8});
+    ASSERT_EQ(pruned.num_documents(), src.num_documents());
+    for (DocNum d = 0; d < src.num_documents(); ++d) {
+        EXPECT_DOUBLE_EQ(pruned.doc_weight(d), src.doc_weight(d));
+        EXPECT_EQ(pruned.doc_length(d), src.doc_length(d));
+    }
+}
+
+TEST(Pruning, TermIdsPreserved) {
+    const InvertedIndex src = varied_index();
+    const InvertedIndex pruned = prune_index(src, {.fdt_fraction = 0.5});
+    ASSERT_EQ(pruned.num_terms(), src.num_terms());
+    for (TermId t = 0; t < src.num_terms(); ++t) {
+        EXPECT_EQ(pruned.vocabulary().term(t), src.vocabulary().term(t));
+    }
+}
+
+TEST(Pruning, MonotoneInThreshold) {
+    const InvertedIndex src = varied_index();
+    PruneReport mild, harsh;
+    prune_index(src, {.fdt_fraction = 0.3, .protect_short_lists = 0}, &mild);
+    prune_index(src, {.fdt_fraction = 0.9, .protect_short_lists = 0}, &harsh);
+    EXPECT_GE(mild.postings_after, harsh.postings_after);
+}
+
+}  // namespace
+}  // namespace teraphim::index

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "index/builder.h"
+#include "rank/query_processor.h"
+
+namespace teraphim::rank {
+namespace {
+
+index::InvertedIndex build_index(const std::vector<std::vector<std::string>>& docs) {
+    index::IndexBuilder builder;
+    for (const auto& d : docs) builder.add_document(d);
+    return std::move(builder).build();
+}
+
+Query make_query(std::initializer_list<const char*> terms) {
+    Query q;
+    for (const char* t : terms) q.terms.push_back({t, 1});
+    return q;
+}
+
+TEST(QueryProcessor, FindsObviousBestDocument) {
+    const auto idx = build_index({
+        {"apples", "oranges"},
+        {"apples", "apples", "apples"},
+        {"bananas"},
+    });
+    QueryProcessor qp(idx, cosine_log_tf());
+    const auto results = qp.rank(make_query({"apples"}), 10);
+    ASSERT_GE(results.size(), 2u);
+    EXPECT_EQ(results[0].doc, 1u);
+}
+
+TEST(QueryProcessor, HandComputedScore) {
+    // One doc {t}, query {t}: score = (w_qt * w_dt) / (W_d * W_q)
+    //   w_dt = log 2, W_d = log 2; w_qt = log2 * log(1/1+1)=log2*log2, W_q = w_qt
+    // -> score = 1.0 exactly.
+    const auto idx = build_index({{"t"}});
+    QueryProcessor qp(idx, cosine_log_tf());
+    const auto results = qp.rank(make_query({"t"}), 1);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_NEAR(results[0].score, 1.0, 1e-12);
+}
+
+TEST(QueryProcessor, PerfectSelfSimilarity) {
+    // A query identical to a document's term multiset, with idf constant
+    // across terms, ranks that document first.
+    const auto idx = build_index({
+        {"one", "two", "three"},
+        {"one", "two", "four"},
+        {"five", "six", "seven"},
+    });
+    QueryProcessor qp(idx, cosine_log_tf());
+    const auto results = qp.rank(make_query({"one", "two", "three"}), 3);
+    ASSERT_FALSE(results.empty());
+    EXPECT_EQ(results[0].doc, 0u);
+}
+
+TEST(QueryProcessor, UnknownTermsIgnored) {
+    const auto idx = build_index({{"known"}});
+    QueryProcessor qp(idx, cosine_log_tf());
+    const auto results = qp.rank(make_query({"unknown", "known"}), 5);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].doc, 0u);
+}
+
+TEST(QueryProcessor, EmptyQueryGivesNoResults) {
+    const auto idx = build_index({{"a"}});
+    QueryProcessor qp(idx, cosine_log_tf());
+    EXPECT_TRUE(qp.rank(Query{}, 5).empty());
+}
+
+TEST(QueryProcessor, TopKTruncates) {
+    std::vector<std::vector<std::string>> docs;
+    for (int i = 0; i < 50; ++i) docs.push_back({"common", "filler" + std::to_string(i)});
+    const auto idx = build_index(docs);
+    QueryProcessor qp(idx, cosine_log_tf());
+    const auto results = qp.rank(make_query({"common"}), 7);
+    EXPECT_EQ(results.size(), 7u);
+}
+
+TEST(QueryProcessor, ResultsSortedDeterministically) {
+    std::vector<std::vector<std::string>> docs;
+    for (int i = 0; i < 30; ++i) docs.push_back({"same", "same"});
+    const auto idx = build_index(docs);
+    QueryProcessor qp(idx, cosine_log_tf());
+    const auto results = qp.rank(make_query({"same"}), 30);
+    ASSERT_EQ(results.size(), 30u);
+    for (std::size_t i = 1; i < results.size(); ++i) {
+        EXPECT_TRUE(result_before(results[i - 1], results[i]));
+    }
+    // All scores equal -> doc order ascending.
+    for (std::size_t i = 0; i < results.size(); ++i) EXPECT_EQ(results[i].doc, i);
+}
+
+TEST(QueryProcessor, RankStatsCounts) {
+    const auto idx = build_index({
+        {"x", "y"},
+        {"x"},
+        {"z"},
+    });
+    QueryProcessor qp(idx, cosine_log_tf());
+    RankStats stats;
+    qp.rank(make_query({"x", "y", "missing"}), 10, &stats);
+    EXPECT_EQ(stats.terms_matched, 2u);
+    EXPECT_EQ(stats.postings_decoded, 3u);  // x:2 + y:1
+    EXPECT_EQ(stats.accumulators_used, 2u);
+    EXPECT_GT(stats.index_bits_read, 0u);
+}
+
+TEST(QueryProcessor, WeightedModeMatchesLocalWhenWeightsAgree) {
+    const auto idx = build_index({
+        {"alpha", "beta"},
+        {"alpha", "alpha"},
+        {"beta", "gamma"},
+    });
+    QueryProcessor qp(idx, cosine_log_tf());
+    const Query q = make_query({"alpha", "gamma"});
+    const auto local = qp.rank(q, 10);
+    const auto weights = qp.resolve_weights(q);
+    const auto weighted = qp.rank_weighted(weights, query_norm(weights), 10);
+    ASSERT_EQ(local.size(), weighted.size());
+    for (std::size_t i = 0; i < local.size(); ++i) {
+        EXPECT_EQ(local[i].doc, weighted[i].doc);
+        EXPECT_DOUBLE_EQ(local[i].score, weighted[i].score);
+    }
+}
+
+TEST(QueryProcessor, SuppliedWeightsOverrideLocalStatistics) {
+    const auto idx = build_index({{"a"}, {"b"}});
+    QueryProcessor qp(idx, cosine_log_tf());
+    // Give "b" an enormous external weight; it must outrank "a" matches.
+    const std::vector<WeightedQueryTerm> terms{{"a", 0.001}, {"b", 100.0}};
+    const auto results = qp.rank_weighted(terms, query_norm(terms), 2);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].doc, 1u);
+}
+
+TEST(QueryProcessor, QueryFrequencyMatters) {
+    const auto idx = build_index({
+        {"cat", "dog"},
+        {"cat", "cat", "cat", "dog"},
+    });
+    QueryProcessor qp(idx, cosine_log_tf());
+    Query q;
+    q.terms.push_back({"cat", 5});  // heavily emphasised
+    q.terms.push_back({"dog", 1});
+    const auto results = qp.rank(q, 2);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].doc, 1u);
+}
+
+TEST(TopK, SelectsAndOrders) {
+    const std::vector<double> acc{0.0, 0.5, 0.1, 0.9, 0.0, 0.5};
+    const auto top = top_k_from_accumulators(acc, 3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].doc, 3u);
+    EXPECT_EQ(top[1].doc, 1u);  // tie with 5 broken by doc id
+    EXPECT_EQ(top[2].doc, 5u);
+}
+
+TEST(TopK, KZero) {
+    const std::vector<double> acc{1.0};
+    EXPECT_TRUE(top_k_from_accumulators(acc, 0).empty());
+}
+
+index::InvertedIndex accumulator_collection() {
+    // 200 docs over a small vocabulary: every query term has a long list.
+    std::vector<std::vector<std::string>> docs;
+    for (int d = 0; d < 200; ++d) {
+        std::vector<std::string> t;
+        for (int i = 0; i < 20; ++i) t.push_back("w" + std::to_string((d * 7 + i) % 40));
+        docs.push_back(std::move(t));
+    }
+    return build_index(docs);
+}
+
+TEST(AccumulatorLimiting, UnlimitedPolicyMatchesDefault) {
+    const auto idx = accumulator_collection();
+    QueryProcessor qp(idx, cosine_log_tf());
+    const auto q = make_query({"w1", "w5", "w9"});
+    const auto weights = qp.resolve_weights(q);
+    const double norm = query_norm(weights);
+    const auto a = qp.rank_weighted(weights, norm, 50);
+    const auto b = qp.rank_weighted(weights, norm, 50, RankPolicy{});
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(AccumulatorLimiting, GenerousLimitIsHarmless) {
+    const auto idx = accumulator_collection();
+    QueryProcessor qp(idx, cosine_log_tf());
+    const auto q = make_query({"w1", "w5", "w9"});
+    const auto weights = qp.resolve_weights(q);
+    const double norm = query_norm(weights);
+    RankPolicy generous{RankPolicy::Strategy::Continue, 100000};
+    const auto a = qp.rank_weighted(weights, norm, 50);
+    const auto b = qp.rank_weighted(weights, norm, 50, generous);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].doc, b[i].doc);
+        EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    }
+}
+
+TEST(AccumulatorLimiting, QuitProcessesFewerPostings) {
+    const auto idx = accumulator_collection();
+    QueryProcessor qp(idx, cosine_log_tf());
+    const auto q = make_query({"w0", "w1", "w2", "w3", "w4", "w5"});
+    const auto weights = qp.resolve_weights(q);
+    const double norm = query_norm(weights);
+
+    RankStats unlimited_stats, quit_stats;
+    qp.rank_weighted(weights, norm, 20, &unlimited_stats);
+    RankPolicy quit{RankPolicy::Strategy::Quit, 50};
+    qp.rank_weighted(weights, norm, 20, quit, &quit_stats);
+    EXPECT_LT(quit_stats.postings_decoded, unlimited_stats.postings_decoded);
+}
+
+TEST(AccumulatorLimiting, LimitBoundsAccumulators) {
+    const auto idx = accumulator_collection();
+    QueryProcessor qp(idx, cosine_log_tf());
+    const auto q = make_query({"w0", "w10", "w20", "w30"});
+    const auto weights = qp.resolve_weights(q);
+    const double norm = query_norm(weights);
+    for (auto strategy : {RankPolicy::Strategy::Quit, RankPolicy::Strategy::Continue}) {
+        RankStats stats;
+        RankPolicy policy{strategy, 30};
+        qp.rank_weighted(weights, norm, 200, policy, &stats);
+        // The crossing term's list completes, so the bound is limit plus
+        // one list's worth of new documents.
+        EXPECT_LE(stats.accumulators_used, 30u + 150u);
+        EXPECT_GT(stats.accumulators_used, 0u);
+    }
+}
+
+TEST(AccumulatorLimiting, ContinueRefinesExistingCandidates) {
+    // Continue must touch at least as many postings as quit (it keeps
+    // reading lists) but admits no new documents after the budget.
+    const auto idx = accumulator_collection();
+    QueryProcessor qp(idx, cosine_log_tf());
+    const auto q = make_query({"w0", "w1", "w2", "w3", "w4", "w5"});
+    const auto weights = qp.resolve_weights(q);
+    const double norm = query_norm(weights);
+
+    RankStats quit_stats, cont_stats;
+    RankPolicy quit{RankPolicy::Strategy::Quit, 50};
+    RankPolicy cont{RankPolicy::Strategy::Continue, 50};
+    const auto rq = qp.rank_weighted(weights, norm, 200, quit, &quit_stats);
+    const auto rc = qp.rank_weighted(weights, norm, 200, cont, &cont_stats);
+    EXPECT_GE(cont_stats.postings_decoded, quit_stats.postings_decoded);
+    EXPECT_FALSE(rq.empty());
+    EXPECT_FALSE(rc.empty());
+}
+
+TEST(MeasureSweep, AllMeasuresProduceValidRankings) {
+    const auto idx = build_index({
+        {"alpha", "beta", "gamma"},
+        {"alpha", "alpha"},
+        {"delta"},
+    });
+    for (const SimilarityMeasure* m : all_measures()) {
+        QueryProcessor qp(idx, *m);
+        const auto results = qp.rank(make_query({"alpha", "beta"}), 10);
+        ASSERT_FALSE(results.empty()) << m->name();
+        for (std::size_t i = 1; i < results.size(); ++i) {
+            EXPECT_TRUE(result_before(results[i - 1], results[i])) << m->name();
+        }
+        for (const auto& r : results) EXPECT_GT(r.score, 0.0) << m->name();
+    }
+}
+
+}  // namespace
+}  // namespace teraphim::rank

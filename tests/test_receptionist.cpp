@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dir/deployment.h"
+
+namespace teraphim::dir {
+namespace {
+
+corpus::SyntheticCorpus test_corpus() {
+    corpus::CorpusConfig config;
+    config.vocab_size = 3000;
+    config.subcollections = {
+        {"AP", 120, 70.0, 0.4},
+        {"WSJ", 120, 70.0, 0.4},
+        {"FR", 80, 90.0, 0.5},
+        {"ZIFF", 80, 60.0, 0.5},
+    };
+    config.num_long_topics = 3;
+    config.num_short_topics = 3;
+    config.topic_term_floor = 150;
+    config.seed = 12;
+    return generate_corpus(config);
+}
+
+const corpus::SyntheticCorpus& corpus_fixture() {
+    static const corpus::SyntheticCorpus corpus = test_corpus();
+    return corpus;
+}
+
+ReceptionistOptions options_for(Mode mode) {
+    ReceptionistOptions o;
+    o.mode = mode;
+    o.answers = 10;
+    o.group_size = 10;
+    o.k_prime = 30;
+    return o;
+}
+
+TEST(Receptionist, CvRankingIdenticalToMonoServer) {
+    // The paper's central claim for CV: "the similarity scores computed
+    // by the various librarians are exactly the same as for the
+    // mono-server alternative" — effectiveness is *identical* to MS.
+    auto ms = Federation::create(corpus_fixture(), options_for(Mode::MonoServer));
+    auto cv = Federation::create(corpus_fixture(), options_for(Mode::CentralVocabulary));
+
+    for (const auto& q : corpus_fixture().short_queries.queries) {
+        const auto ms_answer = ms.receptionist().rank(q.text, 50);
+        const auto cv_answer = cv.receptionist().rank(q.text, 50);
+        const auto ms_ids = ms.ranked_ids(ms_answer);
+        const auto cv_ids = cv.ranked_ids(cv_answer);
+        ASSERT_EQ(ms_ids.size(), cv_ids.size()) << "query " << q.id;
+        for (std::size_t i = 0; i < ms_ids.size(); ++i) {
+            EXPECT_EQ(ms_ids[i], cv_ids[i]) << "query " << q.id << " rank " << i;
+            EXPECT_NEAR(ms_answer.ranking[i].score, cv_answer.ranking[i].score, 1e-9);
+        }
+    }
+}
+
+TEST(Receptionist, CnProducesPlausiblyDifferentRanking) {
+    auto ms = Federation::create(corpus_fixture(), options_for(Mode::MonoServer));
+    auto cn = Federation::create(corpus_fixture(), options_for(Mode::CentralNothing));
+
+    std::size_t overlap = 0, total = 0;
+    for (const auto& q : corpus_fixture().short_queries.queries) {
+        const auto ms_ids = ms.ranked_ids(ms.receptionist().rank(q.text, 20));
+        const auto cn_ids = cn.ranked_ids(cn.receptionist().rank(q.text, 20));
+        for (const auto& id : cn_ids) {
+            ++total;
+            for (const auto& mid : ms_ids) {
+                if (id == mid) {
+                    ++overlap;
+                    break;
+                }
+            }
+        }
+    }
+    // Local statistics perturb but do not destroy the ranking.
+    EXPECT_GT(overlap * 2, total) << "CN should substantially agree with MS";
+}
+
+TEST(Receptionist, CnContactsEveryLibrarian) {
+    auto cn = Federation::create(corpus_fixture(), options_for(Mode::CentralNothing));
+    const auto& q = corpus_fixture().short_queries.queries[0];
+    const auto answer = cn.receptionist().rank(q.text, 20);
+    EXPECT_EQ(answer.trace.participating_librarians(), 4u);
+}
+
+TEST(Receptionist, CvSkipsLibrariansWithoutQueryTerms) {
+    // A query made of terms that exist only in one subcollection's
+    // documents must leave the others uncontacted.
+    auto cv = Federation::create(corpus_fixture(), options_for(Mode::CentralVocabulary));
+    // Find a term unique to librarian 0.
+    const auto& lib0 = cv.librarian(0);
+    std::string unique_term;
+    for (index::TermId t = 0; t < lib0.index().num_terms() && unique_term.empty(); ++t) {
+        const std::string& term = lib0.index().vocabulary().term(t);
+        bool elsewhere = false;
+        for (std::size_t s = 1; s < cv.num_librarians(); ++s) {
+            if (cv.librarian(s).index().vocabulary().lookup(term)) {
+                elsewhere = true;
+                break;
+            }
+        }
+        if (!elsewhere) unique_term = term;
+    }
+    ASSERT_FALSE(unique_term.empty()) << "corpus has no librarian-unique term";
+    const auto answer = cv.receptionist().rank(unique_term, 10);
+    EXPECT_EQ(answer.trace.participating_librarians(), 1u);
+    EXPECT_TRUE(answer.trace.index_phase[0].participated);
+}
+
+TEST(Receptionist, CiAgreesWithCvWhenAllGroupsExpanded) {
+    // With k' large enough to expand every group, CI scores the entire
+    // collection with global weights — the ranking must equal CV's.
+    auto cv = Federation::create(corpus_fixture(), options_for(Mode::CentralVocabulary));
+    ReceptionistOptions ci_opts = options_for(Mode::CentralIndex);
+    ci_opts.k_prime = 1000;  // more groups than exist
+    auto ci = Federation::create(corpus_fixture(), ci_opts);
+
+    for (const auto& q : corpus_fixture().short_queries.queries) {
+        const auto cv_ids = cv.ranked_ids(cv.receptionist().rank(q.text, 20));
+        const auto ci_ids = ci.ranked_ids(ci.receptionist().rank(q.text, 20));
+        ASSERT_EQ(cv_ids.size(), ci_ids.size());
+        for (std::size_t i = 0; i < cv_ids.size(); ++i) {
+            EXPECT_EQ(cv_ids[i], ci_ids[i]) << "query " << q.id << " rank " << i;
+        }
+    }
+}
+
+TEST(Receptionist, CiNeverScoresMoreThanKPrimeGroups) {
+    ReceptionistOptions ci_opts = options_for(Mode::CentralIndex);
+    ci_opts.k_prime = 5;
+    ci_opts.group_size = 10;
+    auto ci = Federation::create(corpus_fixture(), ci_opts);
+    const auto& q = corpus_fixture().short_queries.queries[0];
+    const auto answer = ci.receptionist().rank(q.text, 100);
+    EXPECT_LE(answer.trace.receptionist.candidates_expanded, 5u * 10u);
+    EXPECT_LE(answer.ranking.size(), 50u);
+}
+
+TEST(Receptionist, CiLibrariansTouchFractionOfIndex) {
+    ReceptionistOptions ci_opts = options_for(Mode::CentralIndex);
+    ci_opts.k_prime = 5;
+    ci_opts.use_skips = true;
+    auto ci = Federation::create(corpus_fixture(), ci_opts);
+    auto cv = Federation::create(corpus_fixture(), options_for(Mode::CentralVocabulary));
+
+    const auto& q = corpus_fixture().short_queries.queries[1];
+    const auto ci_answer = ci.receptionist().rank(q.text, 20);
+    const auto cv_answer = cv.receptionist().rank(q.text, 20);
+
+    std::uint64_t ci_postings = 0, cv_postings = 0;
+    for (const auto& w : ci_answer.trace.index_phase) ci_postings += w.postings_decoded;
+    for (const auto& w : cv_answer.trace.index_phase) cv_postings += w.postings_decoded;
+    EXPECT_LT(ci_postings, cv_postings)
+        << "CI librarians must inspect only a fraction of their lists";
+}
+
+TEST(Receptionist, GlobalStateBytesOrdering) {
+    auto cn = Federation::create(corpus_fixture(), options_for(Mode::CentralNothing));
+    auto cv = Federation::create(corpus_fixture(), options_for(Mode::CentralVocabulary));
+    auto ci = Federation::create(corpus_fixture(), options_for(Mode::CentralIndex));
+    EXPECT_EQ(cn.receptionist().global_state_bytes(), 0u);
+    EXPECT_GT(cv.receptionist().global_state_bytes(), 0u);
+    EXPECT_GT(ci.receptionist().global_state_bytes(),
+              cv.receptionist().global_state_bytes());
+}
+
+TEST(Receptionist, SearchFetchesDocumentsInRankOrder) {
+    auto cv = Federation::create(corpus_fixture(), options_for(Mode::CentralVocabulary));
+    const auto& q = corpus_fixture().short_queries.queries[2];
+    const QueryAnswer answer = cv.receptionist().search(q.text);
+    ASSERT_EQ(answer.documents.size(), answer.ranking.size());
+    ASSERT_LE(answer.ranking.size(), 10u);
+    for (std::size_t i = 0; i < answer.ranking.size(); ++i) {
+        EXPECT_EQ(answer.documents[i].external_id, cv.external_id(answer.ranking[i]));
+        EXPECT_TRUE(answer.documents[i].compressed);
+        EXPECT_FALSE(answer.documents[i].payload.empty());
+    }
+    // Individual (unbundled) fetch: one message per document.
+    std::uint64_t messages = 0, docs = 0;
+    for (const auto& f : answer.trace.fetch_phase) {
+        messages += f.messages;
+        docs += f.docs;
+    }
+    EXPECT_EQ(messages, docs);
+}
+
+TEST(Receptionist, BundledFetchUsesOneMessagePerLibrarian) {
+    ReceptionistOptions o = options_for(Mode::CentralVocabulary);
+    o.bundle_fetch = true;
+    auto cv = Federation::create(corpus_fixture(), o);
+    const auto& q = corpus_fixture().short_queries.queries[0];
+    const QueryAnswer answer = cv.receptionist().search(q.text);
+    for (const auto& f : answer.trace.fetch_phase) {
+        if (f.docs > 0) EXPECT_EQ(f.messages, 1u);
+    }
+}
+
+TEST(Receptionist, UncompressedFetchReturnsRawText) {
+    ReceptionistOptions o = options_for(Mode::CentralVocabulary);
+    o.compressed_fetch = false;
+    auto cv = Federation::create(corpus_fixture(), o);
+    const auto& q = corpus_fixture().short_queries.queries[0];
+    const QueryAnswer answer = cv.receptionist().search(q.text);
+    ASSERT_FALSE(answer.documents.empty());
+    const auto& doc = answer.documents[0];
+    EXPECT_FALSE(doc.compressed);
+    const std::string text(doc.payload.begin(), doc.payload.end());
+    EXPECT_NE(text.find(' '), std::string::npos);
+}
+
+TEST(Receptionist, CompressedFetchMovesFewerBytes) {
+    ReceptionistOptions raw_opts = options_for(Mode::CentralVocabulary);
+    raw_opts.compressed_fetch = false;
+    ReceptionistOptions comp_opts = options_for(Mode::CentralVocabulary);
+    auto raw = Federation::create(corpus_fixture(), raw_opts);
+    auto comp = Federation::create(corpus_fixture(), comp_opts);
+
+    const auto& q = corpus_fixture().short_queries.queries[1];
+    const auto raw_answer = raw.receptionist().search(q.text);
+    const auto comp_answer = comp.receptionist().search(q.text);
+    std::uint64_t raw_bytes = 0, comp_bytes = 0;
+    for (const auto& f : raw_answer.trace.fetch_phase) raw_bytes += f.payload_bytes;
+    for (const auto& f : comp_answer.trace.fetch_phase) comp_bytes += f.payload_bytes;
+    EXPECT_LT(comp_bytes, raw_bytes);
+}
+
+TEST(Receptionist, BooleanUnionAcrossLibrarians) {
+    auto cn = Federation::create(corpus_fixture(), options_for(Mode::CentralNothing));
+    // Every subcollection contains common background terms, so a common
+    // term should surface results from several librarians.
+    const auto& q = corpus_fixture().short_queries.queries[0];
+    const auto first_term = q.text.substr(0, q.text.find(' '));
+    const auto results = cn.receptionist().boolean(first_term);
+    std::set<std::uint32_t> librarians;
+    for (const auto& r : results) librarians.insert(r.librarian);
+    EXPECT_GE(librarians.size(), 1u);
+    // Union result must agree with per-librarian boolean evaluation.
+    std::size_t direct_total = 0;
+    for (std::size_t s = 0; s < cn.num_librarians(); ++s) {
+        direct_total += cn.librarian(s).boolean({std::string(first_term)}).docs.size();
+    }
+    EXPECT_EQ(results.size(), direct_total);
+}
+
+TEST(Receptionist, TraceTotalsAccumulate) {
+    auto cv = Federation::create(corpus_fixture(), options_for(Mode::CentralVocabulary));
+    TraceTotals totals;
+    for (const auto& q : corpus_fixture().short_queries.queries) {
+        totals.add(cv.receptionist().rank(q.text, 20).trace);
+    }
+    EXPECT_EQ(totals.queries, corpus_fixture().short_queries.size());
+    EXPECT_GT(totals.mean_message_bytes(), 0.0);
+    EXPECT_GT(totals.mean_postings(), 0.0);
+    EXPECT_GT(totals.mean_participants(), 0.0);
+}
+
+TEST(Receptionist, RankBeforePrepareFails) {
+    const auto& corpus = corpus_fixture();
+    std::vector<std::unique_ptr<Channel>> channels;
+    auto lib = build_librarian(corpus.subcollections[0]);
+    channels.push_back(std::make_unique<InProcessChannel>(*lib));
+    ReceptionistOptions o = options_for(Mode::CentralNothing);
+    Receptionist r(std::move(channels), o);
+    EXPECT_THROW(r.rank("anything", 10), Error);
+}
+
+}  // namespace
+}  // namespace teraphim::dir

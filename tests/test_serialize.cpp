@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "net/serialize.h"
+
+namespace teraphim::net {
+namespace {
+
+TEST(Serialize, ScalarRoundTrip) {
+    Writer w;
+    w.u8(0xAB);
+    w.u16(0xBEEF);
+    w.u32(0xDEADBEEF);
+    w.u64(0x0123456789ABCDEFULL);
+    w.f64(3.14159);
+    w.f64(-0.0);
+    w.f64(std::numeric_limits<double>::infinity());
+    const auto bytes = w.take();
+
+    Reader r(bytes);
+    EXPECT_EQ(r.u8(), 0xAB);
+    EXPECT_EQ(r.u16(), 0xBEEF);
+    EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+    EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+    EXPECT_DOUBLE_EQ(r.f64(), -0.0);
+    EXPECT_DOUBLE_EQ(r.f64(), std::numeric_limits<double>::infinity());
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Serialize, LittleEndianLayout) {
+    Writer w;
+    w.u32(0x01020304);
+    const auto bytes = w.take();
+    ASSERT_EQ(bytes.size(), 4u);
+    EXPECT_EQ(bytes[0], 0x04);
+    EXPECT_EQ(bytes[3], 0x01);
+}
+
+TEST(Serialize, StringsWithEmbeddedNulls) {
+    Writer w;
+    std::string s = "ab";
+    s.push_back('\0');
+    s += "cd";
+    w.str(s);
+    w.str("");
+    const auto bytes = w.take();
+    Reader r(bytes);
+    EXPECT_EQ(r.str(), s);
+    EXPECT_EQ(r.str(), "");
+}
+
+TEST(Serialize, ByteBlobs) {
+    Writer w;
+    const std::vector<std::uint8_t> blob{0, 255, 7, 42};
+    w.bytes(blob);
+    const auto out = w.take();
+    Reader r(out);
+    EXPECT_EQ(r.bytes(), blob);
+}
+
+TEST(Serialize, VectorsViaCallbacks) {
+    Writer w;
+    const std::vector<std::uint32_t> values{1, 2, 3, 999};
+    w.vec(values, [](Writer& wr, std::uint32_t v) { wr.u32(v); });
+    const auto bytes = w.take();
+    Reader r(bytes);
+    const auto decoded = r.vec<std::uint32_t>([](Reader& rd) { return rd.u32(); });
+    EXPECT_EQ(decoded, values);
+}
+
+TEST(Serialize, TruncationThrows) {
+    Writer w;
+    w.u32(7);
+    const auto bytes = w.take();
+    Reader r(bytes);
+    r.u16();
+    EXPECT_THROW(r.u32(), ProtocolError);
+}
+
+TEST(Serialize, TruncatedStringThrows) {
+    Writer w;
+    w.u32(100);  // claims 100 bytes follow, but none do
+    const auto bytes = w.take();
+    Reader r(bytes);
+    EXPECT_THROW(r.str(), ProtocolError);
+}
+
+TEST(Serialize, RemainingTracksPosition) {
+    Writer w;
+    w.u64(1);
+    const auto bytes = w.take();
+    Reader r(bytes);
+    EXPECT_EQ(r.remaining(), 8u);
+    r.u32();
+    EXPECT_EQ(r.remaining(), 4u);
+}
+
+}  // namespace
+}  // namespace teraphim::net

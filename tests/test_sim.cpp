@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/resource.h"
+
+namespace teraphim::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+    Engine engine;
+    std::vector<int> order;
+    engine.schedule_at(2.0, [&] { order.push_back(2); });
+    engine.schedule_at(1.0, [&] { order.push_back(1); });
+    engine.schedule_at(3.0, [&] { order.push_back(3); });
+    EXPECT_DOUBLE_EQ(engine.run(), 3.0);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, EqualTimesFifo) {
+    Engine engine;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        engine.schedule_at(1.0, [&, i] { order.push_back(i); });
+    }
+    engine.run();
+    for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+    Engine engine;
+    double fired_at = -1.0;
+    engine.schedule_at(1.0, [&] {
+        engine.schedule_in(0.5, [&] { fired_at = engine.now(); });
+    });
+    engine.run();
+    EXPECT_DOUBLE_EQ(fired_at, 1.5);
+}
+
+TEST(Engine, CannotScheduleIntoPast) {
+    Engine engine;
+    engine.schedule_at(2.0, [&] {
+        EXPECT_THROW(engine.schedule_at(1.0, [] {}), Error);
+    });
+    engine.run();
+}
+
+TEST(Engine, CountsEvents) {
+    Engine engine;
+    for (int i = 0; i < 5; ++i) engine.schedule_at(i, [] {});
+    engine.run();
+    EXPECT_EQ(engine.events_executed(), 5u);
+}
+
+TEST(Resource, SingleServerSerialises) {
+    Engine engine;
+    Resource disk(engine, 1, "disk");
+    std::vector<double> done;
+    for (int i = 0; i < 3; ++i) {
+        disk.use(1.0, [&] { done.push_back(engine.now()); });
+    }
+    engine.run();
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_DOUBLE_EQ(done[0], 1.0);
+    EXPECT_DOUBLE_EQ(done[1], 2.0);
+    EXPECT_DOUBLE_EQ(done[2], 3.0);
+}
+
+TEST(Resource, MultiServerRunsInParallel) {
+    Engine engine;
+    Resource cpu(engine, 4, "cpu");
+    std::vector<double> done;
+    for (int i = 0; i < 4; ++i) {
+        cpu.use(1.0, [&] { done.push_back(engine.now()); });
+    }
+    engine.run();
+    for (double t : done) EXPECT_DOUBLE_EQ(t, 1.0);
+}
+
+TEST(Resource, CapacityTwoWithFiveJobs) {
+    Engine engine;
+    Resource r(engine, 2);
+    std::vector<double> done;
+    for (int i = 0; i < 5; ++i) r.use(1.0, [&] { done.push_back(engine.now()); });
+    engine.run();
+    ASSERT_EQ(done.size(), 5u);
+    // Waves: 2 at t=1, 2 at t=2, 1 at t=3.
+    EXPECT_DOUBLE_EQ(done[0], 1.0);
+    EXPECT_DOUBLE_EQ(done[1], 1.0);
+    EXPECT_DOUBLE_EQ(done[2], 2.0);
+    EXPECT_DOUBLE_EQ(done[3], 2.0);
+    EXPECT_DOUBLE_EQ(done[4], 3.0);
+}
+
+TEST(Resource, FifoOrdering) {
+    Engine engine;
+    Resource r(engine, 1);
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i) {
+        r.use(0.5, [&, i] { order.push_back(i); });
+    }
+    engine.run();
+    for (int i = 0; i < 5; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Resource, Statistics) {
+    Engine engine;
+    Resource r(engine, 1);
+    r.use(2.0, {});
+    r.use(3.0, {});
+    engine.run();
+    EXPECT_DOUBLE_EQ(r.total_busy_time(), 5.0);
+    EXPECT_EQ(r.jobs_served(), 2u);
+    EXPECT_EQ(r.max_queue_length(), 1u);
+    EXPECT_DOUBLE_EQ(r.total_wait_time(), 2.0);  // second job waited 2s
+}
+
+TEST(Resource, ZeroServiceTime) {
+    Engine engine;
+    Resource r(engine, 1);
+    bool ran = false;
+    r.use(0.0, [&] { ran = true; });
+    engine.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(Resource, InterleavedWithEvents) {
+    // A resource user that chains onto another resource, checking the
+    // virtual clock composes additively.
+    Engine engine;
+    Resource disk(engine, 1), cpu(engine, 1);
+    double done_at = 0;
+    disk.use(1.5, [&] { cpu.use(0.5, [&] { done_at = engine.now(); }); });
+    engine.run();
+    EXPECT_DOUBLE_EQ(done_at, 2.0);
+}
+
+}  // namespace
+}  // namespace teraphim::sim

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rank/similarity.h"
+
+namespace teraphim::rank {
+namespace {
+
+TEST(ParseQuery, FoldsDuplicatesIntoFqt) {
+    text::Pipeline pipeline;
+    const Query q = parse_query("retrieval systems retrieval", pipeline);
+    ASSERT_EQ(q.terms.size(), 2u);
+    EXPECT_EQ(q.terms[0].term, "retrieval");
+    EXPECT_EQ(q.terms[0].fqt, 2u);
+    EXPECT_EQ(q.terms[1].term, "systems");
+    EXPECT_EQ(q.terms[1].fqt, 1u);
+}
+
+TEST(ParseQuery, StopwordsRemoved) {
+    text::Pipeline pipeline;
+    const Query q = parse_query("the and of", pipeline);
+    EXPECT_TRUE(q.terms.empty());
+}
+
+TEST(CosineLogTf, PaperFormulas) {
+    const SimilarityMeasure& m = cosine_log_tf();
+    // w_dt = log(f_dt + 1)
+    EXPECT_DOUBLE_EQ(m.doc_weight(1), std::log(2.0));
+    EXPECT_DOUBLE_EQ(m.doc_weight(9), std::log(10.0));
+    // w_qt = log(f_qt + 1) * log(N/f_t + 1)
+    EXPECT_DOUBLE_EQ(m.query_weight(1, 1000, 10), std::log(2.0) * std::log(101.0));
+    EXPECT_DOUBLE_EQ(m.query_weight(3, 100, 100), std::log(4.0) * std::log(2.0));
+}
+
+TEST(CosineLogTf, ZeroDocFrequencyGivesZeroWeight) {
+    for (const SimilarityMeasure* m : all_measures()) {
+        EXPECT_EQ(m->query_weight(1, 1000, 0), 0.0) << m->name();
+    }
+}
+
+TEST(CosineLogTf, RareTermsWeightedHigher) {
+    const SimilarityMeasure& m = cosine_log_tf();
+    EXPECT_GT(m.query_weight(1, 10000, 2), m.query_weight(1, 10000, 5000));
+}
+
+TEST(Measures, NamesAreDistinct) {
+    const auto measures = all_measures();
+    for (std::size_t i = 0; i < measures.size(); ++i) {
+        for (std::size_t j = i + 1; j < measures.size(); ++j) {
+            EXPECT_NE(measures[i]->name(), measures[j]->name());
+        }
+    }
+}
+
+TEST(Measures, NormalisationFlags) {
+    EXPECT_TRUE(cosine_log_tf().normalise_by_document());
+    EXPECT_TRUE(cosine_log_tf().normalise_by_query());
+    EXPECT_FALSE(inner_product_log_tf().normalise_by_document());
+    EXPECT_FALSE(inner_product_log_tf().normalise_by_query());
+}
+
+TEST(QueryNorm, MatchesDefinition) {
+    const std::vector<WeightedQueryTerm> terms{{"a", 3.0}, {"b", 4.0}};
+    EXPECT_DOUBLE_EQ(query_norm(terms), 5.0);
+    EXPECT_DOUBLE_EQ(query_norm({}), 0.0);
+}
+
+TEST(ResultBefore, OrdersByScoreThenDoc) {
+    EXPECT_TRUE(result_before({1, 2.0}, {0, 1.0}));
+    EXPECT_TRUE(result_before({3, 1.0}, {7, 1.0}));
+    EXPECT_FALSE(result_before({7, 1.0}, {3, 1.0}));
+}
+
+}  // namespace
+}  // namespace teraphim::rank

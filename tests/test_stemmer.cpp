@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "text/stemmer.h"
+
+namespace teraphim::text {
+namespace {
+
+struct StemCase {
+    const char* input;
+    const char* expected;
+};
+
+class PorterVectors : public ::testing::TestWithParam<StemCase> {};
+
+TEST_P(PorterVectors, MatchesReference) {
+    EXPECT_EQ(porter_stem(GetParam().input), GetParam().expected);
+}
+
+// Reference outputs from Porter's published vocabulary list.
+INSTANTIATE_TEST_SUITE_P(
+    Classic, PorterVectors,
+    ::testing::Values(
+        StemCase{"caresses", "caress"}, StemCase{"ponies", "poni"},
+        StemCase{"ties", "ti"}, StemCase{"caress", "caress"}, StemCase{"cats", "cat"},
+        StemCase{"feed", "feed"}, StemCase{"agreed", "agre"},
+        StemCase{"plastered", "plaster"}, StemCase{"bled", "bled"},
+        StemCase{"motoring", "motor"}, StemCase{"sing", "sing"},
+        StemCase{"conflated", "conflat"}, StemCase{"troubled", "troubl"},
+        StemCase{"sized", "size"}, StemCase{"hopping", "hop"},
+        StemCase{"tanned", "tan"}, StemCase{"falling", "fall"},
+        StemCase{"hissing", "hiss"}, StemCase{"fizzed", "fizz"},
+        StemCase{"failing", "fail"}, StemCase{"filing", "file"},
+        StemCase{"happy", "happi"}, StemCase{"sky", "sky"},
+        StemCase{"relational", "relat"}, StemCase{"conditional", "condit"},
+        StemCase{"rational", "ration"}, StemCase{"valenci", "valenc"},
+        StemCase{"hesitanci", "hesit"}, StemCase{"digitizer", "digit"},
+        StemCase{"conformabli", "conform"}, StemCase{"radicalli", "radic"},
+        StemCase{"differentli", "differ"}, StemCase{"vileli", "vile"},
+        StemCase{"analogousli", "analog"}, StemCase{"vietnamization", "vietnam"},
+        StemCase{"predication", "predic"}, StemCase{"operator", "oper"},
+        StemCase{"feudalism", "feudal"}, StemCase{"decisiveness", "decis"},
+        StemCase{"hopefulness", "hope"}, StemCase{"callousness", "callous"},
+        StemCase{"formaliti", "formal"}, StemCase{"sensitiviti", "sensit"},
+        StemCase{"sensibiliti", "sensibl"}, StemCase{"triplicate", "triplic"},
+        StemCase{"formative", "form"}, StemCase{"formalize", "formal"},
+        StemCase{"electriciti", "electr"}, StemCase{"electrical", "electr"},
+        StemCase{"hopeful", "hope"}, StemCase{"goodness", "good"},
+        StemCase{"revival", "reviv"}, StemCase{"allowance", "allow"},
+        StemCase{"inference", "infer"}, StemCase{"airliner", "airlin"},
+        StemCase{"gyroscopic", "gyroscop"}, StemCase{"adjustable", "adjust"},
+        StemCase{"defensible", "defens"}, StemCase{"irritant", "irrit"},
+        StemCase{"replacement", "replac"}, StemCase{"adjustment", "adjust"},
+        StemCase{"dependent", "depend"}, StemCase{"adoption", "adopt"},
+        StemCase{"homologou", "homolog"}, StemCase{"communism", "commun"},
+        StemCase{"activate", "activ"}, StemCase{"angulariti", "angular"},
+        StemCase{"homologous", "homolog"}, StemCase{"effective", "effect"},
+        StemCase{"bowdlerize", "bowdler"}, StemCase{"probate", "probat"},
+        StemCase{"rate", "rate"}, StemCase{"cease", "ceas"},
+        StemCase{"controll", "control"}, StemCase{"roll", "roll"}));
+
+TEST(Porter, ShortWordsUnchanged) {
+    EXPECT_EQ(porter_stem("a"), "a");
+    EXPECT_EQ(porter_stem("is"), "is");
+    EXPECT_EQ(porter_stem("be"), "be");
+}
+
+TEST(Porter, Idempotent) {
+    for (const char* w : {"relational", "happiness", "running", "generalizations"}) {
+        const std::string once = porter_stem(w);
+        EXPECT_EQ(porter_stem(once), once) << w;
+    }
+}
+
+}  // namespace
+}  // namespace teraphim::text

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/tcp.h"
+#include "util/error.h"
+
+namespace teraphim::net {
+namespace {
+
+Message text_message(MessageType type, const std::string& text) {
+    Message m;
+    m.type = type;
+    m.payload.assign(text.begin(), text.end());
+    return m;
+}
+
+std::string text_of(const Message& m) {
+    return std::string(m.payload.begin(), m.payload.end());
+}
+
+TEST(Tcp, ListenerPicksEphemeralPort) {
+    TcpListener listener(0);
+    EXPECT_GT(listener.port(), 0);
+}
+
+TEST(Tcp, EchoRoundTrip) {
+    MessageServer server(0, [](const Message& m) {
+        return text_message(MessageType::Pong, "echo:" + text_of(m));
+    });
+    TcpConnection client = TcpConnection::connect_to("127.0.0.1", server.port());
+    client.send_message(text_message(MessageType::Ping, "hello"));
+    const Message reply = client.recv_message();
+    EXPECT_EQ(reply.type, MessageType::Pong);
+    EXPECT_EQ(text_of(reply), "echo:hello");
+    server.stop();
+}
+
+TEST(Tcp, MultipleSequentialRequests) {
+    MessageServer server(0, [](const Message& m) {
+        return text_message(MessageType::Pong, text_of(m) + "!");
+    });
+    TcpConnection client = TcpConnection::connect_to("127.0.0.1", server.port());
+    for (int i = 0; i < 50; ++i) {
+        client.send_message(text_message(MessageType::Ping, std::to_string(i)));
+        EXPECT_EQ(text_of(client.recv_message()), std::to_string(i) + "!");
+    }
+    server.stop();
+}
+
+TEST(Tcp, LargePayload) {
+    MessageServer server(0, [](const Message& m) {
+        Message reply = m;
+        reply.type = MessageType::Pong;
+        return reply;
+    });
+    TcpConnection client = TcpConnection::connect_to("127.0.0.1", server.port());
+    Message big;
+    big.type = MessageType::Ping;
+    big.payload.resize(4 << 20);
+    for (std::size_t i = 0; i < big.payload.size(); ++i) {
+        big.payload[i] = static_cast<std::uint8_t>(i * 31);
+    }
+    client.send_message(big);
+    const Message reply = client.recv_message();
+    EXPECT_EQ(reply.payload, big.payload);
+    server.stop();
+}
+
+TEST(Tcp, EmptyPayload) {
+    MessageServer server(0, [](const Message&) { return Message{MessageType::Pong, {}}; });
+    TcpConnection client = TcpConnection::connect_to("127.0.0.1", server.port());
+    client.send_message({MessageType::Ping, {}});
+    EXPECT_EQ(client.recv_message().type, MessageType::Pong);
+    server.stop();
+}
+
+TEST(Tcp, ByteCountersTrackTraffic) {
+    MessageServer server(0, [](const Message& m) { return m; });
+    TcpConnection client = TcpConnection::connect_to("127.0.0.1", server.port());
+    const Message m = text_message(MessageType::Ping, "12345");
+    client.send_message(m);
+    client.recv_message();
+    EXPECT_EQ(client.bytes_sent(), m.wire_bytes());
+    EXPECT_EQ(client.bytes_received(), m.wire_bytes());
+    server.stop();
+}
+
+TEST(Tcp, ConnectToClosedPortThrows) {
+    std::uint16_t dead_port;
+    {
+        TcpListener listener(0);
+        dead_port = listener.port();
+    }
+    EXPECT_THROW(TcpConnection::connect_to("127.0.0.1", dead_port), IoError);
+}
+
+TEST(Tcp, ServerSurvivesClientDisconnect) {
+    MessageServer server(0, [](const Message& m) { return m; });
+    {
+        TcpConnection first = TcpConnection::connect_to("127.0.0.1", server.port());
+        first.send_message({MessageType::Ping, {}});
+        first.recv_message();
+    }  // disconnect
+    TcpConnection second = TcpConnection::connect_to("127.0.0.1", server.port());
+    second.send_message(text_message(MessageType::Ping, "again"));
+    EXPECT_EQ(text_of(second.recv_message()), "again");
+    server.stop();
+}
+
+TEST(Tcp, StopIsIdempotent) {
+    MessageServer server(0, [](const Message& m) { return m; });
+    server.stop();
+    server.stop();
+}
+
+TEST(Tcp, MoveSemantics) {
+    TcpListener listener(0);
+    std::thread acceptor([&] {
+        TcpConnection conn = listener.accept();
+        const Message m = conn.recv_message();
+        conn.send_message(m);
+    });
+    TcpConnection a = TcpConnection::connect_to("127.0.0.1", listener.port());
+    TcpConnection b = std::move(a);
+    EXPECT_FALSE(a.is_open());
+    EXPECT_TRUE(b.is_open());
+    b.send_message(text_message(MessageType::Ping, "moved"));
+    EXPECT_EQ(text_of(b.recv_message()), "moved");
+    acceptor.join();
+}
+
+}  // namespace
+}  // namespace teraphim::net

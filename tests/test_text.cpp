@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "text/pipeline.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace teraphim::text {
+namespace {
+
+TEST(Tokenizer, LowercasesAndSplits) {
+    const auto toks = tokenize("Hello, World! 42 times");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0], "hello");
+    EXPECT_EQ(toks[1], "world");
+    EXPECT_EQ(toks[2], "42");
+    EXPECT_EQ(toks[3], "times");
+}
+
+TEST(Tokenizer, EmptyAndPunctuationOnly) {
+    EXPECT_TRUE(tokenize("").empty());
+    EXPECT_TRUE(tokenize("... --- !!!").empty());
+}
+
+TEST(Tokenizer, AlphanumericRuns) {
+    const auto toks = tokenize("x86-64 i18n");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[0], "x86");
+    EXPECT_EQ(toks[1], "64");
+    EXPECT_EQ(toks[2], "i18n");
+}
+
+TEST(Tokenizer, StreamingMatchesBatch) {
+    const std::string text = "One two, THREE four-five.";
+    std::vector<std::string> streamed;
+    for_each_token(text, [&](std::string_view t) { streamed.emplace_back(t); });
+    EXPECT_EQ(streamed, tokenize(text));
+}
+
+TEST(StopList, EnglishContainsFunctionWords) {
+    const StopList& stops = StopList::english();
+    EXPECT_TRUE(stops.contains("the"));
+    EXPECT_TRUE(stops.contains("and"));
+    EXPECT_TRUE(stops.contains("of"));
+    EXPECT_FALSE(stops.contains("retrieval"));
+    EXPECT_FALSE(stops.contains("teraphim"));
+}
+
+TEST(StopList, NoneIsEmpty) {
+    EXPECT_EQ(StopList::none().size(), 0u);
+    EXPECT_FALSE(StopList::none().contains("the"));
+}
+
+TEST(Pipeline, DefaultRemovesStopwords) {
+    Pipeline pipeline;
+    const auto terms = pipeline.terms("The retrieval of documents and the index");
+    ASSERT_EQ(terms.size(), 3u);
+    EXPECT_EQ(terms[0], "retrieval");
+    EXPECT_EQ(terms[1], "documents");
+    EXPECT_EQ(terms[2], "index");
+}
+
+TEST(Pipeline, StoppingCanBeDisabled) {
+    PipelineOptions options;
+    options.remove_stopwords = false;
+    Pipeline pipeline(options);
+    EXPECT_EQ(pipeline.terms("the cat").size(), 2u);
+}
+
+TEST(Pipeline, StemmingOption) {
+    PipelineOptions options;
+    options.stem = true;
+    Pipeline pipeline(options);
+    const auto terms = pipeline.terms("connections connecting connected");
+    ASSERT_EQ(terms.size(), 3u);
+    EXPECT_EQ(terms[0], terms[1]);
+    EXPECT_EQ(terms[1], terms[2]);
+}
+
+TEST(Pipeline, NormalizeSingleTerm) {
+    Pipeline pipeline;
+    EXPECT_EQ(pipeline.normalize("retrieval"), "retrieval");
+    EXPECT_EQ(pipeline.normalize("the"), "");  // stopped
+}
+
+TEST(Pipeline, MinTermLength) {
+    PipelineOptions options;
+    options.min_term_length = 3;
+    Pipeline pipeline(options);
+    const auto terms = pipeline.terms("go at big dog xx");
+    ASSERT_EQ(terms.size(), 2u);
+    EXPECT_EQ(terms[0], "big");
+    EXPECT_EQ(terms[1], "dog");
+}
+
+}  // namespace
+}  // namespace teraphim::text

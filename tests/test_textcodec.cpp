@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "compress/textcodec.h"
+#include "util/rng.h"
+
+namespace teraphim::compress {
+namespace {
+
+TEST(AlternatingTokens, PairsUpWordAndNonWord) {
+    const auto toks = alternating_tokens("ab, cd!");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0], "ab");
+    EXPECT_EQ(toks[1], ", ");
+    EXPECT_EQ(toks[2], "cd");
+    EXPECT_EQ(toks[3], "!");
+}
+
+TEST(AlternatingTokens, LeadingSeparator) {
+    const auto toks = alternating_tokens("  hi");
+    ASSERT_EQ(toks.size(), 4u);
+    EXPECT_EQ(toks[0], "");
+    EXPECT_EQ(toks[1], "  ");
+    EXPECT_EQ(toks[2], "hi");
+    EXPECT_EQ(toks[3], "");
+}
+
+TEST(AlternatingTokens, EmptyInput) {
+    EXPECT_TRUE(alternating_tokens("").empty());
+}
+
+TextCodec train(const std::vector<std::string>& docs, std::uint64_t min_count = 1) {
+    TextModelBuilder builder;
+    for (const auto& d : docs) builder.add_document(d);
+    return builder.build(min_count);
+}
+
+TEST(TextCodec, LosslessRoundTrip) {
+    const std::vector<std::string> docs{
+        "The quick brown fox jumps over the lazy dog.",
+        "Pack my box with five dozen liquor jugs!",
+        "the quick dog, again; the fox.",
+    };
+    TextCodec codec = train(docs);
+    for (const auto& d : docs) {
+        EXPECT_EQ(codec.decode(codec.encode(d)), d);
+    }
+}
+
+TEST(TextCodec, NovelTokensEscapeCoded) {
+    TextCodec codec = train({"alpha beta gamma alpha beta"});
+    const std::string novel = "delta epsilon, zeta!";
+    EXPECT_EQ(codec.decode(codec.encode(novel)), novel);
+}
+
+TEST(TextCodec, EmptyDocument) {
+    TextCodec codec = train({"something to train on"});
+    EXPECT_EQ(codec.decode(codec.encode("")), "");
+}
+
+TEST(TextCodec, BinaryishContentSurvives) {
+    TextCodec codec = train({"plain text model"});
+    std::string weird;
+    for (int i = 1; i < 128; ++i) weird.push_back(static_cast<char>(i));
+    EXPECT_EQ(codec.decode(codec.encode(weird)), weird);
+}
+
+TEST(TextCodec, CompressesRepetitiveText) {
+    std::string doc;
+    for (int i = 0; i < 300; ++i) doc += "retrieval systems index documents quickly ";
+    TextCodec codec = train({doc});
+    const auto encoded = codec.encode(doc);
+    // Word-based Huffman should get well under a third of the raw size.
+    EXPECT_LT(encoded.size() * 3, doc.size());
+}
+
+TEST(TextCodec, EncodedBitsMatchesEncode) {
+    const std::string doc = "measure twice, encode once; measure twice.";
+    TextCodec codec = train({doc, "other training text"});
+    EXPECT_EQ((codec.encoded_bits(doc) + 7) / 8, codec.encode(doc).size());
+}
+
+TEST(TextCodec, MinCountDropsRareTokens) {
+    // Tokens occurring once are escape-coded under min_count=2 but the
+    // round trip must still be exact.
+    const std::string doc = "common common common rare singleton words";
+    TextCodec codec = train({doc}, 2);
+    EXPECT_EQ(codec.decode(codec.encode(doc)), doc);
+}
+
+TEST(TextCodec, RandomDocumentsRoundTrip) {
+    util::Rng rng(77);
+    std::vector<std::string> docs;
+    const std::vector<std::string> words{"alpha", "beta", "gamma", "delta", "epsilon"};
+    for (int d = 0; d < 20; ++d) {
+        std::string doc;
+        const int n = 5 + static_cast<int>(rng.below(200));
+        for (int i = 0; i < n; ++i) {
+            doc += words[rng.below(words.size())];
+            doc += rng.chance(0.1) ? ".\n" : " ";
+        }
+        docs.push_back(std::move(doc));
+    }
+    TextCodec codec = train(docs);
+    for (const auto& d : docs) ASSERT_EQ(codec.decode(codec.encode(d)), d);
+}
+
+}  // namespace
+}  // namespace teraphim::compress

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "sim/topology.h"
+
+namespace teraphim::sim {
+namespace {
+
+TEST(WanSites, MatchesTableTwo) {
+    const auto& sites = wan_sites();
+    ASSERT_EQ(sites.size(), 4u);
+    EXPECT_EQ(sites[0].location, "Waikato");
+    EXPECT_EQ(sites[0].hops, 13);
+    EXPECT_DOUBLE_EQ(sites[0].ping_seconds, 0.76);
+    EXPECT_EQ(sites[1].location, "Canberra");
+    EXPECT_DOUBLE_EQ(sites[1].ping_seconds, 0.18);
+    EXPECT_EQ(sites[2].location, "Brisbane");
+    EXPECT_EQ(sites[2].hops, 16);
+    EXPECT_EQ(sites[3].location, "Israel");
+    EXPECT_EQ(sites[3].hops, 28);
+    EXPECT_DOUBLE_EQ(sites[3].ping_seconds, 1.04);
+}
+
+TEST(Topologies, MonoDiskSharesOneDisk) {
+    const auto spec = mono_disk_topology(4);
+    EXPECT_EQ(spec.num_disks, 1u);
+    for (const auto& lib : spec.librarians) {
+        EXPECT_EQ(lib.disk, 0);
+        EXPECT_EQ(lib.link, -1);
+        EXPECT_EQ(lib.machine, 0);
+    }
+}
+
+TEST(Topologies, MultiDiskGivesOneDiskEach) {
+    const auto spec = multi_disk_topology(4);
+    EXPECT_EQ(spec.num_disks, 4u);
+    std::set<int> disks;
+    for (const auto& lib : spec.librarians) disks.insert(lib.disk);
+    EXPECT_EQ(disks.size(), 4u);
+}
+
+TEST(Topologies, LanHasSharedSegment) {
+    const auto spec = lan_topology(4);
+    ASSERT_EQ(spec.links.size(), 1u);
+    EXPECT_TRUE(spec.links[0].shared_segment);
+    EXPECT_DOUBLE_EQ(spec.links[0].bytes_per_second, 1.25e6);
+    // FR (index 2) is colocated with the receptionist.
+    EXPECT_EQ(spec.librarians[2].link, -1);
+    EXPECT_EQ(spec.librarians[0].link, 0);
+}
+
+TEST(Topologies, WanLatenciesAreHalfPing) {
+    const auto spec = wan_topology(4);
+    ASSERT_EQ(spec.links.size(), 4u);
+    // Librarian order AP, WSJ, FR, ZIFF -> Brisbane, Israel, Waikato, Canberra.
+    EXPECT_EQ(spec.links[spec.librarians[0].link].name, "Brisbane");
+    EXPECT_EQ(spec.links[spec.librarians[1].link].name, "Israel");
+    EXPECT_EQ(spec.links[spec.librarians[2].link].name, "Waikato");
+    EXPECT_EQ(spec.links[spec.librarians[3].link].name, "Canberra");
+    EXPECT_DOUBLE_EQ(spec.links[spec.librarians[1].link].one_way_latency_seconds,
+                     1.04 / 2.0);
+}
+
+TEST(Topologies, ScaleToManyLibrarians) {
+    for (const auto& spec : all_topologies(43)) {
+        EXPECT_EQ(spec.librarians.size(), 43u) << spec.name;
+        for (const auto& lib : spec.librarians) {
+            EXPECT_GE(lib.machine, 0);
+            EXPECT_LT(static_cast<std::size_t>(lib.machine), spec.machine_cpus.size());
+        }
+    }
+}
+
+TEST(SimNetwork, PingMatchesLinkLatency) {
+    Engine engine;
+    const auto spec = wan_topology(4);
+    SimNetwork net(engine, spec);
+    EXPECT_DOUBLE_EQ(net.ping(1), 1.04);  // WSJ in Israel
+    EXPECT_DOUBLE_EQ(net.ping(3), 0.18);  // ZIFF in Canberra
+}
+
+TEST(SimNetwork, TransferAccountsLatencyAndBandwidth) {
+    Engine engine;
+    const auto spec = wan_topology(4);
+    SimNetwork net(engine, spec);
+    double delivered_at = -1.0;
+    // Canberra link: 0.09s one-way, 2.5e5 B/s. 25000 bytes -> 0.1s + 0.09s.
+    net.transfer(3, 25000, [&] { delivered_at = engine.now(); });
+    engine.run();
+    EXPECT_NEAR(delivered_at, 0.19, 1e-9);
+    EXPECT_EQ(net.network_bytes(), 25000u);
+}
+
+TEST(SimNetwork, SharedSegmentSerialisesTransfers) {
+    Engine engine;
+    const auto spec = lan_topology(4);
+    SimNetwork net(engine, spec);
+    std::vector<double> delivered;
+    // Librarians 0 and 1 both use the shared ethernet; 1.25e6 B/s.
+    net.transfer(0, 125000, [&] { delivered.push_back(engine.now()); });  // 0.1s
+    net.transfer(1, 125000, [&] { delivered.push_back(engine.now()); });
+    engine.run();
+    ASSERT_EQ(delivered.size(), 2u);
+    EXPECT_NEAR(delivered[0], 0.1 + 0.0005, 1e-9);
+    EXPECT_NEAR(delivered[1], 0.2 + 0.0005, 1e-9);  // queued behind the first
+}
+
+TEST(SimNetwork, ColocatedTransfersAreCheap) {
+    Engine engine;
+    const auto spec = mono_disk_topology(4);
+    SimNetwork net(engine, spec);
+    double delivered_at = -1.0;
+    net.transfer(0, 1000, [&] { delivered_at = engine.now(); });
+    engine.run();
+    EXPECT_LT(delivered_at, 0.001);
+    EXPECT_EQ(net.network_bytes(), 0u) << "local IPC is not network traffic";
+}
+
+TEST(SimNetwork, ResourcesExist) {
+    Engine engine;
+    const auto spec = lan_topology(4);
+    SimNetwork net(engine, spec);
+    EXPECT_EQ(net.receptionist_cpu().capacity(), 4u);
+    EXPECT_EQ(net.librarian_cpu(0).capacity(), 2u);
+    EXPECT_EQ(net.librarian_disk(0).capacity(), 1u);
+}
+
+}  // namespace
+}  // namespace teraphim::sim

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace teraphim::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i) any_diff |= (a.next() != b.next());
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowIsInRange) {
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        EXPECT_LT(rng.below(17), 17u);
+    }
+}
+
+TEST(Rng, BelowOneIsZero) {
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BetweenInclusive) {
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 20000; ++i) {
+        const auto v = rng.between(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 3);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+    Rng rng(13);
+    double sum = 0.0, sum_sq = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal();
+        sum += x;
+        sum_sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, WeightedRespectsZeroWeights) {
+    Rng rng(17);
+    const std::vector<double> weights{0.0, 1.0, 0.0};
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(rng.weighted(weights), 1u);
+    }
+}
+
+TEST(Rng, ForkIsIndependentButReproducible) {
+    Rng a(5), b(5);
+    Rng ca = a.fork();
+    Rng cb = b.fork();
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(ca.next(), cb.next());
+}
+
+TEST(AliasSampler, MatchesWeights) {
+    Rng rng(21);
+    const std::vector<double> weights{1.0, 2.0, 4.0, 1.0};
+    AliasSampler sampler{std::span<const double>(weights)};
+    std::vector<int> counts(4, 0);
+    const int n = 400000;
+    for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+    const double total = 8.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        EXPECT_NEAR(counts[i] / static_cast<double>(n), weights[i] / total, 0.01)
+            << "bucket " << i;
+    }
+}
+
+TEST(AliasSampler, SingleBucket) {
+    Rng rng(22);
+    const std::vector<double> weights{3.5};
+    AliasSampler sampler{std::span<const double>(weights)};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.sample(rng), 0u);
+}
+
+TEST(AliasSampler, ZeroWeightNeverSampled) {
+    Rng rng(23);
+    const std::vector<double> weights{0.0, 1.0, 1.0, 0.0, 1.0};
+    AliasSampler sampler{std::span<const double>(weights)};
+    for (int i = 0; i < 50000; ++i) {
+        const auto s = sampler.sample(rng);
+        EXPECT_NE(s, 0u);
+        EXPECT_NE(s, 3u);
+    }
+}
+
+TEST(Strings, ToLower) {
+    EXPECT_EQ(to_lower("HeLLo W0RLD"), "hello w0rld");
+    EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Strings, SplitDropsEmptyFields) {
+    const auto parts = split("a,,b,c,", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "b");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, JoinRoundTrip) {
+    EXPECT_EQ(join({"x", "y", "z"}, "-"), "x-y-z");
+    EXPECT_EQ(join({}, "-"), "");
+}
+
+TEST(Strings, FormatBytes) {
+    EXPECT_EQ(format_bytes(512), "512 B");
+    EXPECT_EQ(format_bytes(1536), "1.5 KB");
+    EXPECT_EQ(format_bytes(10ull * 1024 * 1024), "10.0 MB");
+}
+
+TEST(Strings, FormatFixed) {
+    EXPECT_EQ(format_fixed(1.2345, 2), "1.23");
+    EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Strings, StartsWith) {
+    EXPECT_TRUE(starts_with("teraphim", "tera"));
+    EXPECT_FALSE(starts_with("tera", "teraphim"));
+}
+
+TEST(Error, AssertThrowsWithLocation) {
+    try {
+        TERAPHIM_ASSERT_MSG(false, "context");
+        FAIL() << "should have thrown";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("context"), std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("test_util.cpp"), std::string::npos);
+    }
+}
+
+TEST(Error, HierarchyIsCatchable) {
+    EXPECT_THROW(throw DataError("x"), Error);
+    EXPECT_THROW(throw IoError("x"), Error);
+    EXPECT_THROW(throw ProtocolError("x"), Error);
+}
+
+}  // namespace
+}  // namespace teraphim::util

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "index/vocabulary.h"
+#include "util/rng.h"
+
+namespace teraphim::index {
+namespace {
+
+TEST(Vocabulary, AddAssignsDenseIds) {
+    Vocabulary v;
+    EXPECT_EQ(v.add_or_get("beta"), 0u);
+    EXPECT_EQ(v.add_or_get("alpha"), 1u);
+    EXPECT_EQ(v.add_or_get("beta"), 0u);
+    EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(Vocabulary, LookupWithoutInsert) {
+    Vocabulary v;
+    v.add_or_get("term");
+    EXPECT_TRUE(v.lookup("term").has_value());
+    EXPECT_FALSE(v.lookup("missing").has_value());
+    EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(Vocabulary, TermRetrieval) {
+    Vocabulary v;
+    const TermId id = v.add_or_get("retrieval");
+    EXPECT_EQ(v.term(id), "retrieval");
+}
+
+TEST(Vocabulary, SortedIdsAreLexicographic) {
+    Vocabulary v;
+    v.add_or_get("cherry");
+    v.add_or_get("apple");
+    v.add_or_get("banana");
+    const auto ids = v.sorted_ids();
+    ASSERT_EQ(ids.size(), 3u);
+    EXPECT_EQ(v.term(ids[0]), "apple");
+    EXPECT_EQ(v.term(ids[1]), "banana");
+    EXPECT_EQ(v.term(ids[2]), "cherry");
+}
+
+TEST(Vocabulary, StableUnderHeavyGrowth) {
+    // Regression guard: lookup keys view stored strings; growth must not
+    // invalidate them (deque storage).
+    Vocabulary v;
+    std::vector<std::string> terms;
+    for (int i = 0; i < 20000; ++i) terms.push_back("term" + std::to_string(i));
+    for (const auto& t : terms) v.add_or_get(t);
+    util::Rng rng(8);
+    for (int i = 0; i < 5000; ++i) {
+        const auto& t = terms[rng.below(terms.size())];
+        const auto id = v.lookup(t);
+        ASSERT_TRUE(id.has_value());
+        EXPECT_EQ(v.term(*id), t);
+    }
+}
+
+TEST(Vocabulary, SerializedBytesGrowsSubLinearlyWithSharedPrefixes) {
+    Vocabulary shared, distinct;
+    for (int i = 0; i < 1000; ++i) {
+        shared.add_or_get("commonprefix" + std::to_string(i));
+        distinct.add_or_get(std::string(1, static_cast<char>('a' + i % 26)) +
+                            std::to_string(i) + "xyzw");
+    }
+    // Front coding must exploit the shared prefixes.
+    EXPECT_LT(shared.serialized_bytes(),
+              1000u * (std::string("commonprefix").size() + 9));
+    EXPECT_GT(shared.serialized_bytes(), 0u);
+    EXPECT_GT(distinct.serialized_bytes(), 0u);
+}
+
+TEST(Vocabulary, MoveKeepsLookupValid) {
+    Vocabulary v;
+    v.add_or_get("alpha");
+    v.add_or_get("omega");
+    Vocabulary moved = std::move(v);
+    ASSERT_TRUE(moved.lookup("alpha").has_value());
+    EXPECT_EQ(moved.term(*moved.lookup("omega")), "omega");
+}
+
+}  // namespace
+}  // namespace teraphim::index

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_43subcollections.dir/ablation_43subcollections.cpp.o"
+  "CMakeFiles/ablation_43subcollections.dir/ablation_43subcollections.cpp.o.d"
+  "ablation_43subcollections"
+  "ablation_43subcollections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_43subcollections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

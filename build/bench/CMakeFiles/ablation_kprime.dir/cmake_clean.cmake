@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kprime.dir/ablation_kprime.cpp.o"
+  "CMakeFiles/ablation_kprime.dir/ablation_kprime.cpp.o.d"
+  "ablation_kprime"
+  "ablation_kprime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kprime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_skipping.dir/ablation_skipping.cpp.o"
+  "CMakeFiles/ablation_skipping.dir/ablation_skipping.cpp.o.d"
+  "ablation_skipping"
+  "ablation_skipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

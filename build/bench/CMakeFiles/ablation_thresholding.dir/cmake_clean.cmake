@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_thresholding.dir/ablation_thresholding.cpp.o"
+  "CMakeFiles/ablation_thresholding.dir/ablation_thresholding.cpp.o.d"
+  "ablation_thresholding"
+  "ablation_thresholding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_thresholding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ranking.dir/micro_ranking.cpp.o"
+  "CMakeFiles/micro_ranking.dir/micro_ranking.cpp.o.d"
+  "micro_ranking"
+  "micro_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

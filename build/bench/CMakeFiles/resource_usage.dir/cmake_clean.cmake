@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resource_usage.dir/resource_usage.cpp.o"
+  "CMakeFiles/resource_usage.dir/resource_usage.cpp.o.d"
+  "resource_usage"
+  "resource_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resource_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_network.dir/table2_network.cpp.o"
+  "CMakeFiles/table2_network.dir/table2_network.cpp.o.d"
+  "table2_network"
+  "table2_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_total_time.dir/table4_total_time.cpp.o"
+  "CMakeFiles/table4_total_time.dir/table4_total_time.cpp.o.d"
+  "table4_total_time"
+  "table4_total_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_total_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

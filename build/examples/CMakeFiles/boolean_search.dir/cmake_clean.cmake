@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boolean_search.dir/boolean_search.cpp.o"
+  "CMakeFiles/boolean_search.dir/boolean_search.cpp.o.d"
+  "boolean_search"
+  "boolean_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boolean_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

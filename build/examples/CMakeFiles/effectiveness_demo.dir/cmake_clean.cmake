@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effectiveness_demo.dir/effectiveness_demo.cpp.o"
+  "CMakeFiles/effectiveness_demo.dir/effectiveness_demo.cpp.o.d"
+  "effectiveness_demo"
+  "effectiveness_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effectiveness_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

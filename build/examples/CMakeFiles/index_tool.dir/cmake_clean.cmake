@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_tool.dir/index_tool.cpp.o"
+  "CMakeFiles/index_tool.dir/index_tool.cpp.o.d"
+  "index_tool"
+  "index_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/bitio.cpp" "src/CMakeFiles/teraphim.dir/compress/bitio.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/compress/bitio.cpp.o.d"
+  "/root/repo/src/compress/codecs.cpp" "src/CMakeFiles/teraphim.dir/compress/codecs.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/compress/codecs.cpp.o.d"
+  "/root/repo/src/compress/huffman.cpp" "src/CMakeFiles/teraphim.dir/compress/huffman.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/compress/huffman.cpp.o.d"
+  "/root/repo/src/compress/textcodec.cpp" "src/CMakeFiles/teraphim.dir/compress/textcodec.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/compress/textcodec.cpp.o.d"
+  "/root/repo/src/corpus/generator.cpp" "src/CMakeFiles/teraphim.dir/corpus/generator.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/corpus/generator.cpp.o.d"
+  "/root/repo/src/corpus/topics.cpp" "src/CMakeFiles/teraphim.dir/corpus/topics.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/corpus/topics.cpp.o.d"
+  "/root/repo/src/corpus/zipf.cpp" "src/CMakeFiles/teraphim.dir/corpus/zipf.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/corpus/zipf.cpp.o.d"
+  "/root/repo/src/dir/accounting.cpp" "src/CMakeFiles/teraphim.dir/dir/accounting.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/dir/accounting.cpp.o.d"
+  "/root/repo/src/dir/deployment.cpp" "src/CMakeFiles/teraphim.dir/dir/deployment.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/dir/deployment.cpp.o.d"
+  "/root/repo/src/dir/librarian.cpp" "src/CMakeFiles/teraphim.dir/dir/librarian.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/dir/librarian.cpp.o.d"
+  "/root/repo/src/dir/merge.cpp" "src/CMakeFiles/teraphim.dir/dir/merge.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/dir/merge.cpp.o.d"
+  "/root/repo/src/dir/methodologies.cpp" "src/CMakeFiles/teraphim.dir/dir/methodologies.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/dir/methodologies.cpp.o.d"
+  "/root/repo/src/dir/protocol.cpp" "src/CMakeFiles/teraphim.dir/dir/protocol.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/dir/protocol.cpp.o.d"
+  "/root/repo/src/dir/receptionist.cpp" "src/CMakeFiles/teraphim.dir/dir/receptionist.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/dir/receptionist.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/CMakeFiles/teraphim.dir/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/eval/metrics.cpp.o.d"
+  "/root/repo/src/eval/queryset.cpp" "src/CMakeFiles/teraphim.dir/eval/queryset.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/eval/queryset.cpp.o.d"
+  "/root/repo/src/index/builder.cpp" "src/CMakeFiles/teraphim.dir/index/builder.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/index/builder.cpp.o.d"
+  "/root/repo/src/index/grouped_index.cpp" "src/CMakeFiles/teraphim.dir/index/grouped_index.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/index/grouped_index.cpp.o.d"
+  "/root/repo/src/index/inverted_index.cpp" "src/CMakeFiles/teraphim.dir/index/inverted_index.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/index/inverted_index.cpp.o.d"
+  "/root/repo/src/index/persist.cpp" "src/CMakeFiles/teraphim.dir/index/persist.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/index/persist.cpp.o.d"
+  "/root/repo/src/index/postings.cpp" "src/CMakeFiles/teraphim.dir/index/postings.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/index/postings.cpp.o.d"
+  "/root/repo/src/index/pruning.cpp" "src/CMakeFiles/teraphim.dir/index/pruning.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/index/pruning.cpp.o.d"
+  "/root/repo/src/index/vocabulary.cpp" "src/CMakeFiles/teraphim.dir/index/vocabulary.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/index/vocabulary.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/teraphim.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/net/message.cpp.o.d"
+  "/root/repo/src/net/serialize.cpp" "src/CMakeFiles/teraphim.dir/net/serialize.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/net/serialize.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/CMakeFiles/teraphim.dir/net/tcp.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/net/tcp.cpp.o.d"
+  "/root/repo/src/rank/boolean.cpp" "src/CMakeFiles/teraphim.dir/rank/boolean.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/rank/boolean.cpp.o.d"
+  "/root/repo/src/rank/candidate_scorer.cpp" "src/CMakeFiles/teraphim.dir/rank/candidate_scorer.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/rank/candidate_scorer.cpp.o.d"
+  "/root/repo/src/rank/query_processor.cpp" "src/CMakeFiles/teraphim.dir/rank/query_processor.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/rank/query_processor.cpp.o.d"
+  "/root/repo/src/rank/similarity.cpp" "src/CMakeFiles/teraphim.dir/rank/similarity.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/rank/similarity.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/teraphim.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/teraphim.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/CMakeFiles/teraphim.dir/sim/resource.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/sim/resource.cpp.o.d"
+  "/root/repo/src/sim/topology.cpp" "src/CMakeFiles/teraphim.dir/sim/topology.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/sim/topology.cpp.o.d"
+  "/root/repo/src/store/docstore.cpp" "src/CMakeFiles/teraphim.dir/store/docstore.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/store/docstore.cpp.o.d"
+  "/root/repo/src/store/persist.cpp" "src/CMakeFiles/teraphim.dir/store/persist.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/store/persist.cpp.o.d"
+  "/root/repo/src/text/pipeline.cpp" "src/CMakeFiles/teraphim.dir/text/pipeline.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/text/pipeline.cpp.o.d"
+  "/root/repo/src/text/stemmer.cpp" "src/CMakeFiles/teraphim.dir/text/stemmer.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/text/stemmer.cpp.o.d"
+  "/root/repo/src/text/stopwords.cpp" "src/CMakeFiles/teraphim.dir/text/stopwords.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/text/stopwords.cpp.o.d"
+  "/root/repo/src/text/tokenizer.cpp" "src/CMakeFiles/teraphim.dir/text/tokenizer.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/text/tokenizer.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/CMakeFiles/teraphim.dir/util/error.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/util/error.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/teraphim.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/teraphim.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/teraphim.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_candidate_scorer.dir/test_candidate_scorer.cpp.o"
+  "CMakeFiles/test_candidate_scorer.dir/test_candidate_scorer.cpp.o.d"
+  "test_candidate_scorer"
+  "test_candidate_scorer.pdb"
+  "test_candidate_scorer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_candidate_scorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

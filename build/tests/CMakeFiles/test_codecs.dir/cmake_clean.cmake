@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codecs.dir/test_codecs.cpp.o"
+  "CMakeFiles/test_codecs.dir/test_codecs.cpp.o.d"
+  "test_codecs"
+  "test_codecs.pdb"
+  "test_codecs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

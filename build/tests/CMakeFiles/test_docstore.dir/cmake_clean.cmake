@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_docstore.dir/test_docstore.cpp.o"
+  "CMakeFiles/test_docstore.dir/test_docstore.cpp.o.d"
+  "test_docstore"
+  "test_docstore.pdb"
+  "test_docstore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_docstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grouped_index.dir/test_grouped_index.cpp.o"
+  "CMakeFiles/test_grouped_index.dir/test_grouped_index.cpp.o.d"
+  "test_grouped_index"
+  "test_grouped_index.pdb"
+  "test_grouped_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grouped_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_builder.dir/test_index_builder.cpp.o"
+  "CMakeFiles/test_index_builder.dir/test_index_builder.cpp.o.d"
+  "test_index_builder"
+  "test_index_builder.pdb"
+  "test_index_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_librarian.dir/test_librarian.cpp.o"
+  "CMakeFiles/test_librarian.dir/test_librarian.cpp.o.d"
+  "test_librarian"
+  "test_librarian.pdb"
+  "test_librarian[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_librarian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_postings.dir/test_postings.cpp.o"
+  "CMakeFiles/test_postings.dir/test_postings.cpp.o.d"
+  "test_postings"
+  "test_postings.pdb"
+  "test_postings[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_postings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_processor.dir/test_query_processor.cpp.o"
+  "CMakeFiles/test_query_processor.dir/test_query_processor.cpp.o.d"
+  "test_query_processor"
+  "test_query_processor.pdb"
+  "test_query_processor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_processor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_receptionist.dir/test_receptionist.cpp.o"
+  "CMakeFiles/test_receptionist.dir/test_receptionist.cpp.o.d"
+  "test_receptionist"
+  "test_receptionist.pdb"
+  "test_receptionist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_receptionist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

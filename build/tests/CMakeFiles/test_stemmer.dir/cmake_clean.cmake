@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stemmer.dir/test_stemmer.cpp.o"
+  "CMakeFiles/test_stemmer.dir/test_stemmer.cpp.o.d"
+  "test_stemmer"
+  "test_stemmer.pdb"
+  "test_stemmer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stemmer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

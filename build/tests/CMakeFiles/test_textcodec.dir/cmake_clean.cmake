@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_textcodec.dir/test_textcodec.cpp.o"
+  "CMakeFiles/test_textcodec.dir/test_textcodec.cpp.o.d"
+  "test_textcodec"
+  "test_textcodec.pdb"
+  "test_textcodec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_textcodec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vocabulary.dir/test_vocabulary.cpp.o"
+  "CMakeFiles/test_vocabulary.dir/test_vocabulary.cpp.o.d"
+  "test_vocabulary"
+  "test_vocabulary.pdb"
+  "test_vocabulary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vocabulary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

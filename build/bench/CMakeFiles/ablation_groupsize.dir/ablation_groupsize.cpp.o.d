@@ -215,7 +215,13 @@ bench/CMakeFiles/ablation_groupsize.dir/ablation_groupsize.cpp.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/compress/huffman.h /root/repo/src/compress/bitio.h \
  /root/repo/src/util/error.h /root/repo/src/util/rng.h \
- /root/repo/src/dir/deployment.h /root/repo/src/dir/receptionist.h \
+ /root/repo/src/dir/deployment.h /root/repo/src/dir/fault.h \
+ /root/repo/src/dir/receptionist.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/dir/accounting.h /root/repo/src/dir/librarian.h \
  /root/repo/src/dir/protocol.h /root/repo/src/net/message.h \
  /root/repo/src/rank/similarity.h /root/repo/src/text/pipeline.h \
@@ -223,19 +229,17 @@ bench/CMakeFiles/ablation_groupsize.dir/ablation_groupsize.cpp.o: \
  /root/repo/src/index/postings.h /root/repo/src/index/vocabulary.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/dir/merge.h \
- /root/repo/src/index/grouped_index.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/tcp.h \
- /usr/include/c++/12/atomic /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/dir/retry.h /usr/include/c++/12/chrono \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/index/grouped_index.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/net/tcp.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
@@ -243,7 +247,4 @@ bench/CMakeFiles/ablation_groupsize.dir/ablation_groupsize.cpp.o: \
  /root/repo/src/sim/cost_model.h /root/repo/src/sim/topology.h \
  /root/repo/src/sim/resource.h /root/repo/src/sim/engine.h \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/util/timer.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc
+ /root/repo/src/util/timer.h

@@ -17,11 +17,13 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/corpus/zipf.cpp" "src/CMakeFiles/teraphim.dir/corpus/zipf.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/corpus/zipf.cpp.o.d"
   "/root/repo/src/dir/accounting.cpp" "src/CMakeFiles/teraphim.dir/dir/accounting.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/dir/accounting.cpp.o.d"
   "/root/repo/src/dir/deployment.cpp" "src/CMakeFiles/teraphim.dir/dir/deployment.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/dir/deployment.cpp.o.d"
+  "/root/repo/src/dir/fault.cpp" "src/CMakeFiles/teraphim.dir/dir/fault.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/dir/fault.cpp.o.d"
   "/root/repo/src/dir/librarian.cpp" "src/CMakeFiles/teraphim.dir/dir/librarian.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/dir/librarian.cpp.o.d"
   "/root/repo/src/dir/merge.cpp" "src/CMakeFiles/teraphim.dir/dir/merge.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/dir/merge.cpp.o.d"
   "/root/repo/src/dir/methodologies.cpp" "src/CMakeFiles/teraphim.dir/dir/methodologies.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/dir/methodologies.cpp.o.d"
   "/root/repo/src/dir/protocol.cpp" "src/CMakeFiles/teraphim.dir/dir/protocol.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/dir/protocol.cpp.o.d"
   "/root/repo/src/dir/receptionist.cpp" "src/CMakeFiles/teraphim.dir/dir/receptionist.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/dir/receptionist.cpp.o.d"
+  "/root/repo/src/dir/retry.cpp" "src/CMakeFiles/teraphim.dir/dir/retry.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/dir/retry.cpp.o.d"
   "/root/repo/src/eval/metrics.cpp" "src/CMakeFiles/teraphim.dir/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/eval/metrics.cpp.o.d"
   "/root/repo/src/eval/queryset.cpp" "src/CMakeFiles/teraphim.dir/eval/queryset.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/eval/queryset.cpp.o.d"
   "/root/repo/src/index/builder.cpp" "src/CMakeFiles/teraphim.dir/index/builder.cpp.o" "gcc" "src/CMakeFiles/teraphim.dir/index/builder.cpp.o.d"

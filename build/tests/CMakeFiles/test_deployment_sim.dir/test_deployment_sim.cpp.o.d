@@ -299,19 +299,20 @@ tests/CMakeFiles/test_deployment_sim.dir/test_deployment_sim.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/store/docstore.h \
  /root/repo/src/compress/textcodec.h /root/repo/src/compress/huffman.h \
  /root/repo/src/compress/bitio.h /root/repo/src/util/error.h \
- /root/repo/src/util/rng.h /root/repo/src/dir/receptionist.h \
- /root/repo/src/dir/accounting.h /root/repo/src/dir/librarian.h \
- /root/repo/src/dir/protocol.h /root/repo/src/net/message.h \
- /root/repo/src/rank/similarity.h /root/repo/src/text/pipeline.h \
- /root/repo/src/text/stopwords.h /root/repo/src/index/inverted_index.h \
- /root/repo/src/index/postings.h /root/repo/src/index/vocabulary.h \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/dir/merge.h \
- /root/repo/src/index/grouped_index.h /root/repo/src/net/tcp.h \
- /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
- /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/util/rng.h /root/repo/src/dir/fault.h \
+ /root/repo/src/dir/receptionist.h /root/repo/src/dir/accounting.h \
+ /root/repo/src/dir/librarian.h /root/repo/src/dir/protocol.h \
+ /root/repo/src/net/message.h /root/repo/src/rank/similarity.h \
+ /root/repo/src/text/pipeline.h /root/repo/src/text/stopwords.h \
+ /root/repo/src/index/inverted_index.h /root/repo/src/index/postings.h \
+ /root/repo/src/index/vocabulary.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/dir/merge.h /root/repo/src/dir/retry.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/index/grouped_index.h \
+ /root/repo/src/net/tcp.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

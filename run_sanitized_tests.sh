@@ -1,0 +1,21 @@
+#!/bin/sh
+# Builds the whole tree with TERAPHIM_SANITIZE=<address|thread> and runs
+# the tier-1 ctest suite under the sanitizer. Usage:
+#
+#   ./run_sanitized_tests.sh            # AddressSanitizer (default)
+#   ./run_sanitized_tests.sh thread     # ThreadSanitizer
+#
+# The sanitized build lives in build-<san>san/ next to the regular
+# build/ so the two never share object files.
+set -e
+
+SAN="${1:-address}"
+case "$SAN" in
+  address|thread) ;;
+  *) echo "usage: $0 [address|thread]" >&2; exit 2 ;;
+esac
+
+BUILD="build-${SAN}san"
+cmake -B "$BUILD" -S . -DTERAPHIM_SANITIZE="$SAN"
+cmake --build "$BUILD" -j
+cd "$BUILD" && ctest --output-on-failure -j "$(nproc)"

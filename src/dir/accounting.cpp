@@ -12,6 +12,28 @@ std::string_view mode_name(Mode mode) {
     return "?";
 }
 
+bool DegradedInfo::failed(std::uint32_t librarian) const {
+    for (const FailedLibrarian& f : failures) {
+        if (f.librarian == librarian) return true;
+    }
+    return false;
+}
+
+std::string DegradedInfo::summary() const {
+    if (ok()) {
+        return retries == 0 ? "complete"
+                            : "complete after " + std::to_string(retries) + " retries";
+    }
+    std::string out = partial ? "partial" : "complete";
+    out += " (" + std::to_string(retries) + " retries";
+    for (const FailedLibrarian& f : failures) {
+        out += "; librarian " + std::to_string(f.librarian) +
+               (f.attempts == 0 ? " skipped: " : " failed: ") + f.reason;
+    }
+    out += ")";
+    return out;
+}
+
 std::uint64_t QueryTrace::total_message_bytes() const {
     std::uint64_t total = 0;
     for (const auto& w : index_phase) total += w.request_bytes + w.response_bytes;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -59,11 +60,37 @@ struct ReceptionistWork {
     std::uint64_t candidates_expanded = 0;  ///< CI: k' * G
 };
 
+/// One librarian the receptionist gave up on during a query.
+struct FailedLibrarian {
+    std::uint32_t librarian = 0;
+    /// Exchange attempts spent before giving up; 0 means the circuit
+    /// breaker was open and the librarian was skipped outright.
+    std::uint32_t attempts = 0;
+    std::string reason;  ///< what() of the final failure, or "circuit open"
+
+    friend bool operator==(const FailedLibrarian&, const FailedLibrarian&) = default;
+};
+
+/// Degradation outcome of one query: which librarians could not be
+/// reached, how many extra attempts the retry layer spent, and whether
+/// the merged answer is missing contributions as a result. An empty
+/// DegradedInfo (the happy path) means the answer is complete.
+struct DegradedInfo {
+    bool partial = false;       ///< some librarian's contribution is missing
+    std::uint64_t retries = 0;  ///< attempts beyond the first, summed over exchanges
+    std::vector<FailedLibrarian> failures;
+
+    bool ok() const { return !partial && failures.empty(); }
+    bool failed(std::uint32_t librarian) const;
+    std::string summary() const;  ///< one-line human-readable description
+};
+
 struct QueryTrace {
     Mode mode = Mode::MonoServer;
     ReceptionistWork receptionist;
     std::vector<LibrarianWork> index_phase;  ///< one entry per librarian
     std::vector<FetchWork> fetch_phase;      ///< one entry per librarian
+    DegradedInfo degraded;                   ///< fault-tolerance outcome
 
     std::uint64_t total_message_bytes() const;
     std::uint64_t total_messages() const;

@@ -1,7 +1,9 @@
 #include "dir/deployment.h"
 
+#include <chrono>
 #include <functional>
 #include <memory>
+#include <thread>
 
 #include "index/builder.h"
 #include "sim/engine.h"
@@ -118,11 +120,66 @@ index::IndexStats Federation::combined_index_stats() const {
     return total;
 }
 
+// ---- TcpChannel -------------------------------------------------------------
+
+void TcpChannel::ensure_connected() {
+    if (is_connected()) return;
+    connection_.emplace(net::TcpConnection::connect_to(host_, port_, timeouts_.connect_ms));
+    if (timeouts_.io_ms > 0) {
+        connection_->set_send_timeout(timeouts_.io_ms);
+        connection_->set_recv_timeout(timeouts_.io_ms);
+    }
+}
+
+net::Message TcpChannel::exchange(const net::Message& request) {
+    ensure_connected();
+    try {
+        connection_->send_message(request);
+        return connection_->recv_message();
+    } catch (...) {
+        // The stream may be mid-frame (e.g. a recv deadline expired
+        // halfway through a response); a fresh connection is the only
+        // safe continuation.
+        connection_->close();
+        throw;
+    }
+}
+
+void TcpChannel::reset() {
+    if (connection_.has_value()) connection_->close();
+}
+
 // ---- TcpFederation ----------------------------------------------------------
+
+namespace {
+
+net::MessageServer::Handler faulty_handler(Librarian* raw, std::vector<ServerFault> faults) {
+    // The countdowns live in shared state because the handler is copied
+    // into the server thread; each librarian has its own server thread,
+    // so no synchronization is needed.
+    auto shared = std::make_shared<std::vector<ServerFault>>(std::move(faults));
+    return [raw, shared](const net::Message& m) {
+        for (ServerFault& f : *shared) {
+            if (f.times == 0 || m.type != f.trigger) continue;
+            --f.times;
+            if (f.delay_ms > 0) {
+                std::this_thread::sleep_for(std::chrono::milliseconds(f.delay_ms));
+            }
+            if (f.drop_connection) {
+                throw IoError("fault injection: librarian dropped the connection");
+            }
+            break;  // at most one fault per request
+        }
+        return raw->handle(m);
+    };
+}
+
+}  // namespace
 
 TcpFederation TcpFederation::create(const corpus::SyntheticCorpus& corpus,
                                     const ReceptionistOptions& options,
-                                    const LibrarianBuildOptions& build) {
+                                    const LibrarianBuildOptions& build,
+                                    const FaultySpec& faults) {
     TcpFederation fed;
     std::vector<const index::InvertedIndex*> indexes;
 
@@ -133,15 +190,25 @@ TcpFederation TcpFederation::create(const corpus::SyntheticCorpus& corpus,
             fed.librarians_.push_back(build_librarian(sub, build));
         }
     }
+    const TcpChannel::Timeouts timeouts{options.fault.connect_timeout_ms,
+                                        options.fault.io_timeout_ms};
     std::vector<std::unique_ptr<Channel>> channels;
-    for (auto& lib : fed.librarians_) {
-        indexes.push_back(&lib->index());
-        Librarian* raw = lib.get();
+    for (std::size_t s = 0; s < fed.librarians_.size(); ++s) {
+        Librarian* raw = fed.librarians_[s].get();
+        indexes.push_back(&raw->index());
+        const auto sf = faults.server_faults.find(s);
         fed.servers_.push_back(std::make_unique<net::MessageServer>(
-            0, [raw](const net::Message& m) { return raw->handle(m); }));
-        channels.push_back(std::make_unique<TcpChannel>(
-            raw->name(),
-            net::TcpConnection::connect_to("127.0.0.1", fed.servers_.back()->port())));
+            0, sf == faults.server_faults.end()
+                   ? net::MessageServer::Handler(
+                         [raw](const net::Message& m) { return raw->handle(m); })
+                   : faulty_handler(raw, sf->second)));
+        std::unique_ptr<Channel> channel = std::make_unique<TcpChannel>(
+            raw->name(), "127.0.0.1", fed.servers_.back()->port(), timeouts);
+        const auto cf = faults.channel_faults.find(s);
+        if (cf != faults.channel_faults.end()) {
+            channel = std::make_unique<FaultyChannel>(std::move(channel), cf->second);
+        }
+        channels.push_back(std::move(channel));
     }
     fed.receptionist_ = std::make_unique<Receptionist>(
         std::move(channels), options, text::Pipeline(build.pipeline), *build.measure);
@@ -220,7 +287,10 @@ SimulatedTiming simulate_query(const QueryTrace& trace, const sim::TopologySpec&
             if (trace.fetch_phase[s].docs > 0) (*fetch_round)(s, 0);
         }
     };
-    *fetch_round = [&, fetch_round](std::size_t s, std::uint64_t round) {
+    // Raw pointer capture: storing the shared_ptr inside the function it
+    // owns would be a reference cycle (the closure never freed). The
+    // stack shared_ptr outlives engine.run(), so the pointer stays valid.
+    *fetch_round = [&, fetch_round = fetch_round.get()](std::size_t s, std::uint64_t round) {
         // Plain values only: this closure's frame is gone by the time the
         // nested callbacks fire inside the event loop.
         const FetchWork f = trace.fetch_phase[s];

@@ -15,11 +15,14 @@
 //    (sim/cost_model.h) to produce the elapsed times of Tables 3-4.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "corpus/generator.h"
+#include "dir/fault.h"
 #include "dir/receptionist.h"
 #include "net/tcp.h"
 #include "sim/cost_model.h"
@@ -42,23 +45,36 @@ private:
     Librarian* librarian_;
 };
 
-/// Channel over a live TCP connection.
+/// Channel over a TCP connection, with optional deadlines. Connects
+/// lazily and reconnects after reset(): a timed-out or corrupted
+/// exchange leaves the stream mid-frame, so the retry layer resets the
+/// channel and the next exchange starts on a fresh connection.
 class TcpChannel final : public Channel {
 public:
-    TcpChannel(std::string name, net::TcpConnection connection)
-        : name_(std::move(name)), connection_(std::move(connection)) {}
+    struct Timeouts {
+        int connect_ms = 0;  ///< 0 = kernel default (blocking connect)
+        int io_ms = 0;       ///< send/recv deadline per call, 0 = none
+    };
 
-    net::Message exchange(const net::Message& request) override {
-        connection_.send_message(request);
-        return connection_.recv_message();
-    }
+    TcpChannel(std::string name, std::string host, std::uint16_t port, Timeouts timeouts)
+        : name_(std::move(name)), host_(std::move(host)), port_(port), timeouts_(timeouts) {}
+
+    net::Message exchange(const net::Message& request) override;
+
+    /// Drops the connection; the next exchange reconnects.
+    void reset() override;
+
     const std::string& name() const override { return name_; }
-
-    net::TcpConnection& connection() { return connection_; }
+    bool is_connected() const { return connection_.has_value() && connection_->is_open(); }
 
 private:
+    void ensure_connected();
+
     std::string name_;
-    net::TcpConnection connection_;
+    std::string host_;
+    std::uint16_t port_;
+    Timeouts timeouts_;
+    std::optional<net::TcpConnection> connection_;
 };
 
 struct LibrarianBuildOptions {
@@ -112,14 +128,38 @@ private:
     std::unique_ptr<Receptionist> receptionist_;
 };
 
+/// One scripted fault on the *server* side of a TCP librarian: the
+/// first `times` requests of type `trigger` are delayed and/or answered
+/// by severing the connection — a slow or crashing librarian behind a
+/// real socket, complementing FaultyChannel's client-side scripts.
+struct ServerFault {
+    net::MessageType trigger = net::MessageType::RankWeightedRequest;
+    std::uint32_t times = 1;         ///< how many matching requests to fault
+    std::uint32_t delay_ms = 0;      ///< sleep before handling (deadline tests)
+    bool drop_connection = false;    ///< sever instead of responding
+};
+
+/// Fault-injection plan for a whole TcpFederation, keyed by librarian
+/// index. Channel scripts wrap the receptionist's TcpChannels in
+/// FaultyChannel; server faults wrap the librarians' handlers.
+struct FaultySpec {
+    std::map<std::size_t, std::vector<ServerFault>> server_faults;
+    std::map<std::size_t, FaultScript> channel_faults;
+
+    bool empty() const { return server_faults.empty() && channel_faults.empty(); }
+};
+
 /// A TCP deployment: every librarian runs behind a MessageServer thread
 /// on a loopback port; the receptionist holds one TcpChannel per
-/// librarian. Intended for the examples and integration tests.
+/// librarian (with the deadlines from ReceptionistOptions::fault).
+/// Intended for the examples, the integration tests, and — with a
+/// FaultySpec — the fault-tolerance tests.
 class TcpFederation {
 public:
     static TcpFederation create(const corpus::SyntheticCorpus& corpus,
                                 const ReceptionistOptions& options,
-                                const LibrarianBuildOptions& build = {});
+                                const LibrarianBuildOptions& build = {},
+                                const FaultySpec& faults = {});
     ~TcpFederation();
 
     TcpFederation(TcpFederation&&) = default;

@@ -1,0 +1,66 @@
+#include "dir/fault.h"
+
+#include <chrono>
+#include <thread>
+
+#include "util/error.h"
+
+namespace teraphim::dir {
+
+FaultScript& FaultScript::at(std::uint64_t call_index, FaultAction action) {
+    scripted_[call_index] = action;
+    return *this;
+}
+
+FaultScript& FaultScript::from(std::uint64_t call_index, FaultAction action) {
+    from_index_ = call_index;
+    from_action_ = action;
+    return *this;
+}
+
+FaultScript& FaultScript::always(FaultAction action) { return from(0, action); }
+
+std::optional<FaultAction> FaultScript::action_for(std::uint64_t call_index) const {
+    const auto it = scripted_.find(call_index);
+    if (it != scripted_.end()) return it->second;
+    if (call_index >= from_index_) return from_action_;
+    return std::nullopt;
+}
+
+net::Message FaultyChannel::exchange(const net::Message& request) {
+    const std::optional<FaultAction> action = script_.action_for(calls_++);
+    if (!action.has_value()) return inner_->exchange(request);
+    ++faults_;
+    switch (action->kind) {
+        case FaultKind::Drop:
+            throw IoError("fault injection: request to " + name() + " dropped");
+        case FaultKind::Timeout:
+            throw TimeoutError("fault injection: exchange with " + name() + " timed out");
+        case FaultKind::Delay:
+            std::this_thread::sleep_for(std::chrono::milliseconds(action->delay_ms));
+            return inner_->exchange(request);
+        case FaultKind::TruncateFrame: {
+            net::Message reply = inner_->exchange(request);
+            reply.payload.resize(reply.payload.size() / 2);
+            return reply;
+        }
+        case FaultKind::GarbageFrame: {
+            // Keep the expected type so the corruption is caught by the
+            // payload decoder, not the cheaper type check. 0xEE bytes
+            // make the leading length/count field absurdly large, which
+            // the decoder must reject without attempting the allocation.
+            net::Message reply = inner_->exchange(request);
+            reply.payload.assign(8, std::uint8_t{0xEE});
+            return reply;
+        }
+        case FaultKind::Disconnect:
+            // The librarian performed the work; the response is lost and
+            // the transport is left unusable until reset.
+            inner_->exchange(request);
+            inner_->reset();
+            throw IoError("fault injection: connection to " + name() + " lost mid-stream");
+    }
+    throw Error("unknown fault kind");
+}
+
+}  // namespace teraphim::dir

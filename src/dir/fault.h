@@ -1,0 +1,81 @@
+// Deterministic fault injection for the federation.
+//
+// FaultyChannel decorates any Channel with a scripted sequence of
+// failures — dropped requests, expired deadlines, injected delays,
+// truncated frames, garbage frames, and mid-stream disconnects — so
+// every degradation path in the receptionist can be exercised without
+// real packet loss. Scripts are keyed by the channel's exchange count,
+// making each run byte-for-byte reproducible.
+//
+// TcpFederation accepts a FaultySpec (dir/deployment.h) combining these
+// client-side scripts with server-side faults (slow or crashing
+// librarians behind real sockets).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "dir/receptionist.h"
+
+namespace teraphim::dir {
+
+enum class FaultKind {
+    Drop,           ///< request never sent: throw IoError before the exchange
+    Timeout,        ///< deadline expires: throw TimeoutError before the exchange
+    Delay,          ///< sleep delay_ms, then forward the exchange untouched
+    TruncateFrame,  ///< forward, then cut the response payload in half
+    GarbageFrame,   ///< forward, then replace the response payload with junk
+    Disconnect,     ///< forward (the librarian does the work), lose the response
+};
+
+struct FaultAction {
+    FaultKind kind = FaultKind::Drop;
+    std::uint32_t delay_ms = 0;  ///< used by FaultKind::Delay
+};
+
+/// Which exchanges of a channel fail, and how. Exchange indexes count
+/// from zero over the channel's lifetime (prepare() traffic included).
+class FaultScript {
+public:
+    /// Fault exactly exchange number `call_index`.
+    FaultScript& at(std::uint64_t call_index, FaultAction action);
+
+    /// Fault every exchange from `call_index` onward — a librarian that
+    /// dies mid-flight and never comes back.
+    FaultScript& from(std::uint64_t call_index, FaultAction action = {FaultKind::Drop, 0});
+
+    /// Fault every exchange — a librarian that was never reachable.
+    FaultScript& always(FaultAction action = {FaultKind::Drop, 0});
+
+    std::optional<FaultAction> action_for(std::uint64_t call_index) const;
+
+private:
+    std::map<std::uint64_t, FaultAction> scripted_;
+    std::uint64_t from_index_ = UINT64_MAX;
+    FaultAction from_action_{};
+};
+
+/// Channel decorator applying a FaultScript. Thread-compatible with the
+/// receptionist's sequential use; counters are not synchronized.
+class FaultyChannel final : public Channel {
+public:
+    FaultyChannel(std::unique_ptr<Channel> inner, FaultScript script)
+        : inner_(std::move(inner)), script_(std::move(script)) {}
+
+    net::Message exchange(const net::Message& request) override;
+    void reset() override { inner_->reset(); }
+    const std::string& name() const override { return inner_->name(); }
+
+    std::uint64_t exchanges() const { return calls_; }
+    std::uint64_t faults_injected() const { return faults_; }
+
+private:
+    std::unique_ptr<Channel> inner_;
+    FaultScript script_;
+    std::uint64_t calls_ = 0;
+    std::uint64_t faults_ = 0;
+};
+
+}  // namespace teraphim::dir

@@ -36,16 +36,16 @@ RankedAnswer Receptionist::rank_central_nothing(const rank::Query& query, std::s
     std::vector<std::vector<rank::SearchResult>> rankings(channels_.size());
     for (std::size_t s = 0; s < channels_.size(); ++s) {
         LibrarianWork& lw = answer.trace.index_phase[s];
-        const net::Message reply = exchange_counted(s, encoded, lw);
-        auto resp = RankResponse::decode(reply);
+        auto resp = call_librarian<RankResponse>(s, encoded, lw, answer.trace);
+        if (!resp.has_value()) continue;  // degraded: merge the survivors
         const LibrarianWork counted = lw;  // keep byte/message counts
-        lw = work_from_report(resp.work);
+        lw = work_from_report(resp->work);
         lw.participated = counted.participated;
         lw.request_bytes = counted.request_bytes;
         lw.response_bytes = counted.response_bytes;
         lw.messages = counted.messages;
-        lw.results_returned = resp.results.size();
-        rankings[s] = std::move(resp.results);
+        lw.results_returned = resp->results.size();
+        rankings[s] = std::move(resp->results);
     }
 
     answer.ranking =
@@ -75,16 +75,16 @@ RankedAnswer Receptionist::rank_central_vocabulary(const rank::Query& query,
     for (std::size_t s = 0; s < channels_.size(); ++s) {
         if (!holders[s]) continue;
         LibrarianWork& lw = answer.trace.index_phase[s];
-        const net::Message reply = exchange_counted(s, encoded, lw);
-        auto resp = RankResponse::decode(reply);
+        auto resp = call_librarian<RankResponse>(s, encoded, lw, answer.trace);
+        if (!resp.has_value()) continue;  // degraded: merge the survivors
         const LibrarianWork counted = lw;
-        lw = work_from_report(resp.work);
+        lw = work_from_report(resp->work);
         lw.participated = counted.participated;
         lw.request_bytes = counted.request_bytes;
         lw.response_bytes = counted.response_bytes;
         lw.messages = counted.messages;
-        lw.results_returned = resp.results.size();
-        rankings[s] = std::move(resp.results);
+        lw.results_returned = resp->results.size();
+        rankings[s] = std::move(resp->results);
     }
 
     answer.ranking =
@@ -144,16 +144,18 @@ RankedAnswer Receptionist::rank_central_index(const rank::Query& query, std::siz
         req.candidates = candidates[s];
 
         LibrarianWork& lw = answer.trace.index_phase[s];
-        const net::Message reply = exchange_counted(s, req.encode(), lw);
-        auto resp = CandidateResponse::decode(reply);
+        auto resp = call_librarian<CandidateResponse>(s, req.encode(), lw, answer.trace);
+        // Degraded: the candidates live only on the failed librarian, so
+        // they are dropped and the survivors' scores stand.
+        if (!resp.has_value()) continue;
         const LibrarianWork counted = lw;
-        lw = work_from_report(resp.work);
+        lw = work_from_report(resp->work);
         lw.participated = counted.participated;
         lw.request_bytes = counted.request_bytes;
         lw.response_bytes = counted.response_bytes;
         lw.messages = counted.messages;
-        lw.results_returned = resp.scored.size();
-        for (const rank::SearchResult& r : resp.scored) {
+        lw.results_returned = resp->scored.size();
+        for (const rank::SearchResult& r : resp->scored) {
             if (r.score > 0.0) {
                 scored.push_back({static_cast<std::uint32_t>(s), r.doc, r.score});
             }

@@ -32,7 +32,10 @@ net::Message finish(net::MessageType type, net::Writer& w) {
 
 void expect_type(const net::Message& m, net::MessageType expected) {
     if (m.type == net::MessageType::Error) {
-        throw ProtocolError("librarian error: " + ErrorResponse::decode(m).reason);
+        // RemoteError (a ProtocolError subtype): the librarian is alive
+        // and deliberately refused, so the retry layer must not treat
+        // this like transport corruption.
+        throw RemoteError("librarian error: " + ErrorResponse::decode(m).reason);
     }
     if (m.type != expected) {
         throw ProtocolError("unexpected message type " +

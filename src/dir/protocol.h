@@ -163,7 +163,9 @@ struct ErrorResponse {
     static ErrorResponse decode(const net::Message& m);
 };
 
-/// Throws ProtocolError if `m` is an Error frame or not of `expected`.
+/// Throws RemoteError (a ProtocolError) if `m` is an Error frame — the
+/// librarian answered and refused — and plain ProtocolError if `m` is
+/// not of `expected`.
 void expect_type(const net::Message& m, net::MessageType expected);
 
 }  // namespace teraphim::dir

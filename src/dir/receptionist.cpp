@@ -1,7 +1,9 @@
 #include "dir/receptionist.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <thread>
 
 #include "util/error.h"
 
@@ -20,6 +22,7 @@ Receptionist::Receptionist(std::vector<std::unique_ptr<Channel>> channels,
                             "mono-server mode is a single librarian");
     }
     TERAPHIM_ASSERT(options_.group_size >= 1);
+    breakers_.assign(channels_.size(), CircuitBreaker(options_.fault.breaker));
 }
 
 Receptionist::~Receptionist() = default;
@@ -35,6 +38,58 @@ net::Message Receptionist::exchange_counted(std::size_t librarian,
     return response;
 }
 
+std::optional<net::Message> Receptionist::exchange_with_retry(
+    std::size_t librarian, const net::Message& request, LibrarianWork& work,
+    QueryTrace* trace, const std::function<void(const net::Message&)>& validate) {
+    const FaultToleranceOptions& ft = options_.fault;
+    CircuitBreaker& breaker = breakers_[librarian];
+
+    const auto give_up = [&](std::uint32_t attempts,
+                             const std::string& reason) -> std::optional<net::Message> {
+        if (trace == nullptr || !ft.allow_partial) {
+            throw IoError("librarian " + channels_[librarian]->name() + " unavailable: " +
+                          reason);
+        }
+        trace->degraded.partial = true;
+        trace->degraded.failures.push_back(
+            {static_cast<std::uint32_t>(librarian), attempts, reason});
+        return std::nullopt;
+    };
+
+    if (!breaker.allow_request()) return give_up(0, "circuit open");
+
+    const std::uint32_t max_attempts = std::max(1u, ft.retry.max_attempts);
+    std::string last_reason;
+    for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        if (attempt > 1) {
+            if (trace != nullptr) ++trace->degraded.retries;
+            // The previous exchange may have left the transport
+            // mid-frame; start from a clean connection.
+            channels_[librarian]->reset();
+            const auto delay = ft.retry.backoff(attempt - 1, librarian);
+            if (delay.count() > 0) std::this_thread::sleep_for(delay);
+        }
+        try {
+            net::Message response = exchange_counted(librarian, request, work);
+            if (validate) validate(response);
+            breaker.record_success();
+            return response;
+        } catch (const RemoteError&) {
+            // The librarian is up and explicitly refused the request;
+            // retrying cannot help and the breaker should not trip.
+            breaker.record_success();
+            throw;
+        } catch (const Error& e) {
+            // Transient: lost/garbled frame, expired deadline, vanished
+            // connection. Note the reason and go around.
+            breaker.record_failure();
+            last_reason = e.what();
+        }
+    }
+    channels_[librarian]->reset();
+    return give_up(max_attempts, last_reason);
+}
+
 void Receptionist::prepare(std::span<const index::InvertedIndex* const> indexes_for_ci) {
     total_documents_ = 0;
     librarian_sizes_.clear();
@@ -43,8 +98,14 @@ void Receptionist::prepare(std::span<const index::InvertedIndex* const> indexes_
     central_index_bytes_ = 0;
     grouped_.reset();
 
+    // Preparation is strict: a federation cannot be assembled around a
+    // librarian whose size and vocabulary are unknown, so failures here
+    // are retried but ultimately throw rather than degrade.
+    LibrarianWork scratch;
     for (std::size_t s = 0; s < channels_.size(); ++s) {
-        const auto stats = StatsResponse::decode(channels_[s]->exchange(StatsRequest{}.encode()));
+        StatsResponse stats;
+        exchange_with_retry(s, StatsRequest{}.encode(), scratch, nullptr,
+                            [&stats](const net::Message& m) { stats = StatsResponse::decode(m); });
         librarian_sizes_.push_back(stats.num_documents);
         total_documents_ += stats.num_documents;
     }
@@ -53,8 +114,10 @@ void Receptionist::prepare(std::span<const index::InvertedIndex* const> indexes_
                              options_.mode == Mode::CentralIndex;
     if (needs_vocab) {
         for (std::size_t s = 0; s < channels_.size(); ++s) {
-            const auto vocab =
-                VocabularyResponse::decode(channels_[s]->exchange(VocabularyRequest{}.encode()));
+            VocabularyResponse vocab;
+            exchange_with_retry(
+                s, VocabularyRequest{}.encode(), scratch, nullptr,
+                [&vocab](const net::Message& m) { vocab = VocabularyResponse::decode(m); });
             for (const VocabEntry& e : vocab.entries) {
                 GlobalTermInfo& info = global_vocab_[e.term];
                 info.doc_frequency += e.doc_frequency;
@@ -159,17 +222,18 @@ void Receptionist::fetch_documents(QueryAnswer& answer) {
             req.docs = std::move(batch);
             req.send_compressed = options_.compressed_fetch;
             LibrarianWork lw;  // scratch: fetch accounting uses FetchWork
-            const net::Message reply = exchange_counted(librarian, req.encode(), lw);
-            auto resp = FetchResponse::decode(reply);
+            auto resp = call_librarian<FetchResponse>(librarian, req.encode(), lw,
+                                                      answer.trace);
             fw.request_bytes += lw.request_bytes;
             fw.response_bytes += lw.response_bytes;
             fw.messages += lw.messages;
-            fw.disk_bytes += resp.work.disk_bytes;
-            for (std::size_t i = 0; i < resp.docs.size(); ++i) {
-                fw.payload_bytes += resp.docs[i].payload.size();
+            if (!resp.has_value()) return;  // degraded: documents stay missing
+            fw.disk_bytes += resp->work.disk_bytes;
+            for (std::size_t i = 0; i < resp->docs.size(); ++i) {
+                fw.payload_bytes += resp->docs[i].payload.size();
                 ++fw.docs;
                 received.emplace(std::make_pair(librarian, req.docs[i]),
-                                 std::move(resp.docs[i]));
+                                 std::move(resp->docs[i]));
             }
         };
         if (options_.bundle_fetch) {
@@ -208,12 +272,24 @@ void Receptionist::fetch_documents(QueryAnswer& answer) {
         }
     }
 
+    // Reassemble in rank order. Entries whose librarian failed during
+    // the fetch phase are dropped from the answer (the partial-answer
+    // contract: documents stays aligned with ranking); any other gap is
+    // still a protocol violation.
+    std::vector<GlobalResult> delivered;
+    delivered.reserve(answer.ranking.size());
     answer.documents.reserve(answer.ranking.size());
-    for (const GlobalResult& r : answer.ranking) {
+    for (GlobalResult& r : answer.ranking) {
         const auto it = received.find({r.librarian, r.doc});
-        TERAPHIM_ASSERT_MSG(it != received.end(), "librarian failed to return a document");
+        if (it == received.end()) {
+            TERAPHIM_ASSERT_MSG(answer.trace.degraded.failed(r.librarian),
+                                "librarian failed to return a document");
+            continue;
+        }
         answer.documents.push_back(std::move(it->second));
+        delivered.push_back(r);
     }
+    if (delivered.size() != answer.ranking.size()) answer.ranking = std::move(delivered);
 }
 
 std::vector<GlobalResult> Receptionist::boolean(std::string_view expression) {
@@ -221,8 +297,15 @@ std::vector<GlobalResult> Receptionist::boolean(std::string_view expression) {
     req.expression = std::string(expression);
     const net::Message encoded = req.encode();
     std::vector<GlobalResult> out;
+    LibrarianWork scratch;
     for (std::size_t s = 0; s < channels_.size(); ++s) {
-        const auto resp = BooleanResponse::decode(channels_[s]->exchange(encoded));
+        // Boolean answers are exact set unions, so a missing librarian
+        // would silently change the result set: retry, but fail loudly
+        // rather than degrade.
+        BooleanResponse resp;
+        exchange_with_retry(s, encoded, scratch, nullptr, [&resp](const net::Message& m) {
+            resp = BooleanResponse::decode(m);
+        });
         for (std::uint32_t doc : resp.docs) {
             out.push_back({static_cast<std::uint32_t>(s), doc, 1.0});
         }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -29,6 +30,7 @@
 #include "dir/librarian.h"
 #include "dir/merge.h"
 #include "dir/protocol.h"
+#include "dir/retry.h"
 #include "index/grouped_index.h"
 #include "net/message.h"
 #include "rank/similarity.h"
@@ -37,7 +39,8 @@
 namespace teraphim::dir {
 
 /// Transport-agnostic endpoint for one librarian. Implementations:
-/// InProcessChannel and TcpChannel (dir/deployment.h).
+/// InProcessChannel and TcpChannel (dir/deployment.h), FaultyChannel
+/// (dir/fault.h).
 class Channel {
 public:
     virtual ~Channel() = default;
@@ -45,7 +48,31 @@ public:
     /// Synchronous request/response exchange.
     virtual net::Message exchange(const net::Message& request) = 0;
 
+    /// Discards any transport state (e.g. a connection that may be
+    /// mid-frame after a timeout) so the next exchange starts fresh.
+    /// No-op for stateless channels.
+    virtual void reset() {}
+
     virtual const std::string& name() const = 0;
+};
+
+/// Knobs governing how the receptionist copes with librarians that are
+/// slow, crashed, or corrupting frames. The defaults retry transient
+/// failures and degrade to a partial answer; they change nothing when
+/// every librarian answers first time.
+struct FaultToleranceOptions {
+    RetryPolicy retry;       ///< attempts + backoff around every exchange
+    BreakerOptions breaker;  ///< per-librarian consecutive-failure breaker
+
+    /// When true (default) a librarian that stays unreachable is dropped
+    /// from the answer and reported via QueryTrace::degraded; when false
+    /// the query throws IoError after the retries are exhausted.
+    bool allow_partial = true;
+
+    // TCP deployment deadlines (used by TcpFederation when it builds the
+    // channels; 0 disables the deadline).
+    int connect_timeout_ms = 2000;
+    int io_timeout_ms = 0;  ///< send/recv deadline per exchange
 };
 
 struct ReceptionistOptions {
@@ -62,12 +89,18 @@ struct ReceptionistOptions {
     // and stores/ships documents compressed.
     bool bundle_fetch = false;
     bool compressed_fetch = true;
+
+    FaultToleranceOptions fault;
 };
 
 /// A merged, globally-ranked answer list plus the work trace.
 struct RankedAnswer {
     std::vector<GlobalResult> ranking;
     QueryTrace trace;
+
+    /// Fault-tolerance outcome: which librarians failed, whether the
+    /// ranking is missing their contributions.
+    const DegradedInfo& degraded() const { return trace.degraded; }
 };
 
 /// Full user-level answer: top-k documents with their text payloads.
@@ -75,6 +108,8 @@ struct QueryAnswer {
     std::vector<GlobalResult> ranking;        ///< depth `answers`
     std::vector<FetchedDocument> documents;   ///< aligned with `ranking`
     QueryTrace trace;
+
+    const DegradedInfo& degraded() const { return trace.degraded; }
 };
 
 class Receptionist {
@@ -138,10 +173,40 @@ private:
     net::Message exchange_counted(std::size_t librarian, const net::Message& request,
                                   LibrarianWork& work);
 
+    /// Fault-tolerant exchange: consults the librarian's circuit
+    /// breaker, retries transient failures (IoError, TimeoutError,
+    /// ProtocolError from a corrupt frame) per the RetryPolicy, and
+    /// runs `validate` (typically the response decoder) inside the
+    /// retry loop so a garbled reply is retried like a lost one.
+    ///
+    /// On exhaustion: with a trace, records the failure in
+    /// trace.degraded and returns nullopt (or throws if allow_partial
+    /// is off); without a trace (prepare/boolean — strict contexts) it
+    /// always throws. RemoteError (an explicit Error frame from a live
+    /// librarian) is never retried and always propagates.
+    std::optional<net::Message> exchange_with_retry(
+        std::size_t librarian, const net::Message& request, LibrarianWork& work,
+        QueryTrace* trace, const std::function<void(const net::Message&)>& validate = {});
+
+    /// exchange_with_retry + typed decode; nullopt when the librarian
+    /// was dropped from this query.
+    template <typename Response>
+    std::optional<Response> call_librarian(std::size_t librarian,
+                                           const net::Message& request, LibrarianWork& work,
+                                           QueryTrace& trace) {
+        std::optional<Response> out;
+        exchange_with_retry(librarian, request, work, &trace,
+                            [&out](const net::Message& reply) {
+                                out.emplace(Response::decode(reply));
+                            });
+        return out;
+    }
+
     std::vector<std::unique_ptr<Channel>> channels_;
     ReceptionistOptions options_;
     text::Pipeline pipeline_;
     const rank::SimilarityMeasure* measure_;
+    std::vector<CircuitBreaker> breakers_;  ///< one per librarian
 
     bool prepared_ = false;
     std::uint32_t total_documents_ = 0;

@@ -1,0 +1,57 @@
+#include "dir/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace teraphim::dir {
+
+std::chrono::milliseconds RetryPolicy::backoff(std::uint32_t attempt, std::uint64_t key) const {
+    if (attempt == 0 || base_backoff_ms == 0) return std::chrono::milliseconds(0);
+    double delay = static_cast<double>(base_backoff_ms) *
+                   std::pow(std::max(1.0, backoff_multiplier), attempt - 1);
+    delay = std::min(delay, static_cast<double>(max_backoff_ms));
+    if (jitter > 0.0) {
+        // One splitmix64 step over (seed, key, attempt) gives a uniform
+        // factor in [1-jitter, 1+jitter] that is stable across runs.
+        std::uint64_t state = jitter_seed ^ (key * 0x9E3779B97F4A7C15ULL) ^
+                              (static_cast<std::uint64_t>(attempt) << 32);
+        const std::uint64_t bits = util::splitmix64(state);
+        const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
+        delay *= 1.0 - jitter + 2.0 * jitter * unit;
+    }
+    return std::chrono::milliseconds(static_cast<std::int64_t>(std::llround(delay)));
+}
+
+bool CircuitBreaker::allow_request() {
+    switch (state_) {
+        case State::Closed:
+        case State::HalfOpen:
+            return true;
+        case State::Open:
+            if (cooldown_remaining_ > 0) {
+                --cooldown_remaining_;
+                return false;
+            }
+            state_ = State::HalfOpen;
+            return true;
+    }
+    return true;
+}
+
+void CircuitBreaker::record_success() {
+    consecutive_failures_ = 0;
+    state_ = State::Closed;
+}
+
+void CircuitBreaker::record_failure() {
+    ++consecutive_failures_;
+    if (options_.failure_threshold == 0) return;
+    if (state_ == State::HalfOpen || consecutive_failures_ >= options_.failure_threshold) {
+        state_ = State::Open;
+        cooldown_remaining_ = options_.open_cooldown;
+    }
+}
+
+}  // namespace teraphim::dir

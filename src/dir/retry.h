@@ -1,0 +1,74 @@
+// Retry policy and per-librarian health state for the federation.
+//
+// The paper assumes every librarian answers; a receptionist brokering a
+// real federation cannot. Transient failures (lost connection, expired
+// deadline, garbled frame) are retried with exponential backoff, and a
+// librarian that keeps failing trips a circuit breaker so subsequent
+// queries skip it immediately instead of paying the full retry budget
+// per query. Both components are deterministic: backoff jitter is
+// derived from a seed, and the breaker reopens on a probe count rather
+// than wall-clock time, so every fault-injection test is reproducible.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace teraphim::dir {
+
+/// How many times to attempt an exchange and how long to wait between
+/// attempts. Defaults retry twice (three attempts) with 10ms base
+/// backoff; a policy with max_attempts == 1 disables retries.
+struct RetryPolicy {
+    std::uint32_t max_attempts = 3;
+    std::uint32_t base_backoff_ms = 10;
+    double backoff_multiplier = 2.0;
+    std::uint32_t max_backoff_ms = 2000;
+    /// Jitter amplitude as a fraction of the computed delay: the actual
+    /// delay is uniform in [d*(1-jitter), d*(1+jitter)]. Deterministic
+    /// given (jitter_seed, key, attempt).
+    double jitter = 0.2;
+    std::uint64_t jitter_seed = 0x7E3A9C15B5297A4DULL;
+
+    /// Backoff before retry number `attempt` (1 = first retry). `key`
+    /// decorrelates the jitter across librarians.
+    std::chrono::milliseconds backoff(std::uint32_t attempt, std::uint64_t key) const;
+};
+
+/// Options for the consecutive-failure circuit breaker.
+struct BreakerOptions {
+    /// Consecutive failed exchanges that open the breaker. 0 disables
+    /// the breaker entirely (every exchange is attempted).
+    std::uint32_t failure_threshold = 3;
+    /// Exchanges skipped while open before one half-open probe is let
+    /// through.
+    std::uint32_t open_cooldown = 4;
+};
+
+/// Per-librarian health state. Closed: requests flow. Open: requests
+/// are skipped for `open_cooldown` would-be exchanges. Half-open: one
+/// probe is allowed; success closes the breaker, failure reopens it.
+class CircuitBreaker {
+public:
+    enum class State { Closed, Open, HalfOpen };
+
+    explicit CircuitBreaker(BreakerOptions options = {}) : options_(options) {}
+
+    /// Whether the caller may contact the librarian now. While open this
+    /// consumes one cooldown tick; once the cooldown is spent the
+    /// breaker transitions to half-open and admits a single probe.
+    bool allow_request();
+
+    void record_success();
+    void record_failure();
+
+    State state() const { return state_; }
+    std::uint32_t consecutive_failures() const { return consecutive_failures_; }
+
+private:
+    BreakerOptions options_;
+    State state_ = State::Closed;
+    std::uint32_t consecutive_failures_ = 0;
+    std::uint32_t cooldown_remaining_ = 0;
+};
+
+}  // namespace teraphim::dir

@@ -40,6 +40,11 @@ struct Message {
     std::uint64_t wire_bytes() const { return kHeaderBytes + payload.size(); }
 
     static constexpr std::uint64_t kHeaderBytes = 6;
+
+    /// Frames larger than this are rejected before the payload is
+    /// allocated, so a garbage length field from a malfunctioning or
+    /// hostile peer cannot exhaust memory (256 MB sanity bound).
+    static constexpr std::uint32_t kMaxPayloadBytes = 256u << 20;
 };
 
 }  // namespace teraphim::net

@@ -54,6 +54,11 @@ public:
     template <typename T, typename Fn>
     std::vector<T> vec(Fn&& decode_one) {
         const std::uint32_t n = u32();
+        // Every element consumes at least one byte, so a count larger
+        // than the remaining payload is a malformed (or garbage) frame;
+        // reject it before reserving, or a corrupt length could demand
+        // gigabytes.
+        if (n > remaining()) throw ProtocolError("serialized vector length exceeds payload");
         std::vector<T> items;
         items.reserve(n);
         for (std::uint32_t i = 0; i < n; ++i) items.push_back(decode_one(*this));

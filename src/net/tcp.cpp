@@ -1,13 +1,16 @@
 #include "net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
+#include <optional>
 
 #include "util/error.h"
 
@@ -18,6 +21,17 @@ namespace {
 [[noreturn]] void throw_errno(const std::string& what) {
     throw IoError(what + ": " + std::strerror(errno));
 }
+
+void set_io_timeout(int fd, int optname, int ms) {
+    timeval tv{};
+    if (ms > 0) {
+        tv.tv_sec = ms / 1000;
+        tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+    }
+    ::setsockopt(fd, SOL_SOCKET, optname, &tv, sizeof tv);
+}
+
+bool is_timeout_errno(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
 
 }  // namespace
 
@@ -49,7 +63,9 @@ TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
     return *this;
 }
 
-TcpConnection TcpConnection::connect_to(const std::string& host, std::uint16_t port) {
+TcpConnection TcpConnection::connect_to(const std::string& host, std::uint16_t port,
+                                        int timeout_ms) {
+    const std::string where = host + ":" + std::to_string(port);
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) throw_errno("socket");
     sockaddr_in addr{};
@@ -59,13 +75,59 @@ TcpConnection TcpConnection::connect_to(const std::string& host, std::uint16_t p
         ::close(fd);
         throw IoError("invalid address: " + host);
     }
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+
+    const auto fail = [&](const std::string& what) -> TcpConnection {
         const int err = errno;
         ::close(fd);
         errno = err;
-        throw_errno("connect to " + host + ":" + std::to_string(port));
+        throw_errno(what + " " + where);
+    };
+
+    if (timeout_ms <= 0) {
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+            fail("connect to");
+        }
+        return TcpConnection(fd);
     }
+
+    // Deadline-bounded connect: non-blocking connect raced against
+    // poll(), so an unresponsive (black-holed) librarian address cannot
+    // hang the caller for the kernel's multi-minute SYN timeout.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) fail("fcntl for");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        if (errno != EINPROGRESS) fail("connect to");
+        pollfd pfd{};
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        int rc;
+        do {
+            rc = ::poll(&pfd, 1, timeout_ms);
+        } while (rc < 0 && errno == EINTR);
+        if (rc < 0) fail("poll for connect to");
+        if (rc == 0) {
+            ::close(fd);
+            throw TimeoutError("connect to " + where + " timed out after " +
+                               std::to_string(timeout_ms) + "ms");
+        }
+        int err = 0;
+        socklen_t len = sizeof err;
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) fail("getsockopt for");
+        if (err != 0) {
+            errno = err;
+            fail("connect to");
+        }
+    }
+    if (::fcntl(fd, F_SETFL, flags) != 0) fail("fcntl for");
     return TcpConnection(fd);
+}
+
+void TcpConnection::set_send_timeout(int ms) {
+    if (fd_ >= 0) set_io_timeout(fd_, SO_SNDTIMEO, ms);
+}
+
+void TcpConnection::set_recv_timeout(int ms) {
+    if (fd_ >= 0) set_io_timeout(fd_, SO_RCVTIMEO, ms);
 }
 
 void TcpConnection::write_all(const std::uint8_t* data, std::size_t len) {
@@ -74,6 +136,7 @@ void TcpConnection::write_all(const std::uint8_t* data, std::size_t len) {
         const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR) continue;
+            if (is_timeout_errno(errno)) throw TimeoutError("send timed out");
             throw_errno("send");
         }
         sent += static_cast<std::size_t>(n);
@@ -87,6 +150,7 @@ void TcpConnection::read_all(std::uint8_t* data, std::size_t len) {
         const ssize_t n = ::recv(fd_, data + got, len - got, 0);
         if (n < 0) {
             if (errno == EINTR) continue;
+            if (is_timeout_errno(errno)) throw TimeoutError("recv timed out");
             throw_errno("recv");
         }
         if (n == 0) throw IoError("connection closed by peer");
@@ -114,8 +178,9 @@ Message TcpConnection::recv_message() {
     std::uint32_t len = 0;
     for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
     const auto type = static_cast<std::uint16_t>(header[4] | (header[5] << 8));
-    constexpr std::uint32_t kMaxPayload = 256u << 20;  // 256 MB sanity bound
-    if (len > kMaxPayload) throw ProtocolError("frame length exceeds protocol maximum");
+    if (len > Message::kMaxPayloadBytes) {
+        throw ProtocolError("frame length exceeds protocol maximum");
+    }
     Message m;
     m.type = static_cast<MessageType>(type);
     m.payload.resize(len);
@@ -201,28 +266,46 @@ MessageServer::~MessageServer() { stop(); }
 
 void MessageServer::serve() {
     while (!stopping_.load()) {
+        std::optional<TcpConnection> conn;
         try {
-            TcpConnection conn = listener_.accept();
-            active_fd_.store(conn.native_handle());
-            // stop() may have fired between accept() and the store; the
-            // explicit check closes that window (stop() reads active_fd_
-            // only after setting stopping_).
-            if (stopping_.load()) break;
-            for (;;) {
-                const Message request = conn.recv_message();
-                if (request.type == MessageType::Shutdown) {
-                    stopping_.store(true);
-                    conn.send_message({MessageType::Shutdown, {}});
-                    return;
-                }
-                conn.send_message(handler_(request));
-            }
+            conn.emplace(listener_.accept());
         } catch (const IoError&) {
-            // Client disconnected (await the next connection), the
-            // connection was cancelled by stop(), or the listener was
-            // shut down (the loop condition exits).
+            // The listener was shut down by stop(), or accept failed
+            // transiently; either way there is no connection and the
+            // loop condition decides whether to exit.
+            continue;
         }
+        active_fd_.store(conn->native_handle());
+        // stop() may have fired between accept() and the store; the
+        // explicit check closes that window (stop() reads active_fd_
+        // only after setting stopping_).
+        bool shutdown_received = false;
+        if (!stopping_.load()) {
+            try {
+                for (;;) {
+                    const Message request = conn->recv_message();
+                    if (request.type == MessageType::Shutdown) {
+                        stopping_.store(true);
+                        conn->send_message({MessageType::Shutdown, {}});
+                        shutdown_received = true;
+                        break;
+                    }
+                    conn->send_message(handler_(request));
+                }
+            } catch (const Error&) {
+                // Drop this connection but keep serving: the client
+                // disconnected, sent a malformed frame (ProtocolError
+                // from an oversized length field), the handler refused
+                // the request, or stop() cancelled the exchange. None of
+                // these may escape — an uncaught exception here would
+                // std::terminate the librarian.
+            }
+        }
+        // Clear the cancellation handle *before* conn's fd is closed, so
+        // stop() can never shutdown() a recycled descriptor.
         active_fd_.store(-1);
+        conn.reset();
+        if (shutdown_received) return;
     }
 }
 

@@ -31,8 +31,21 @@ public:
     TcpConnection(const TcpConnection&) = delete;
     TcpConnection& operator=(const TcpConnection&) = delete;
 
-    /// Connects to host:port (blocking). Throws IoError on failure.
-    static TcpConnection connect_to(const std::string& host, std::uint16_t port);
+    /// Connects to host:port. With `timeout_ms` <= 0 the connect blocks
+    /// indefinitely (the kernel's own timeout applies); with a positive
+    /// timeout the connect is performed non-blocking and raced against a
+    /// poll() deadline, so a black-holed address throws TimeoutError
+    /// instead of hanging. Throws IoError on any other failure.
+    static TcpConnection connect_to(const std::string& host, std::uint16_t port,
+                                    int timeout_ms = 0);
+
+    /// Deadlines for subsequent send/recv calls (SO_SNDTIMEO /
+    /// SO_RCVTIMEO). A call that cannot complete in time throws
+    /// TimeoutError; the stream may then be mid-frame, so the only safe
+    /// continuation is to close the connection. `ms` <= 0 clears the
+    /// deadline.
+    void set_send_timeout(int ms);
+    void set_recv_timeout(int ms);
 
     /// Sends one framed message (blocking, handles partial writes).
     void send_message(const Message& message);
@@ -91,6 +104,11 @@ private:
 /// connections sequentially and answers messages until it receives
 /// Shutdown or the connection closes. This is the shape of a TERAPHIM
 /// librarian session process.
+///
+/// The serve loop is resilient: a malformed frame (ProtocolError), a
+/// handler that throws, or a vanished client drops that connection and
+/// the loop returns to accept() — one bad client cannot take the
+/// librarian down.
 class MessageServer {
 public:
     using Handler = std::function<Message(const Message&)>;

@@ -30,10 +30,27 @@ public:
     explicit IoError(const std::string& what) : Error(what) {}
 };
 
+/// A deadline expired before the peer answered (connect, send or recv).
+/// Derived from IoError so fail-fast callers keep working; the
+/// receptionist's retry layer distinguishes it for reporting.
+class TimeoutError : public IoError {
+public:
+    explicit TimeoutError(const std::string& what) : IoError(what) {}
+};
+
 /// Wire-protocol violations between receptionist and librarian.
 class ProtocolError : public Error {
 public:
     explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+/// An explicit Error frame reported by a live librarian. Unlike a
+/// garbled or truncated frame this is not transport corruption — the
+/// peer is up and answering — so the retry layer treats it as
+/// permanent rather than transient.
+class RemoteError : public ProtocolError {
+public:
+    explicit RemoteError(const std::string& what) : ProtocolError(what) {}
 };
 
 namespace detail {

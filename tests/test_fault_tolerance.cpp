@@ -1,0 +1,605 @@
+// Fault-tolerance tests: deadlines, retries, circuit breaking, and
+// graceful partial-answer degradation, over both in-process federations
+// with scripted FaultyChannels and real TCP deployments with server-side
+// fault injection.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dir/deployment.h"
+#include "dir/fault.h"
+#include "dir/retry.h"
+#include "net/tcp.h"
+#include "util/error.h"
+
+namespace teraphim::dir {
+namespace {
+
+corpus::SyntheticCorpus fault_corpus() {
+    corpus::CorpusConfig config;
+    config.vocab_size = 3000;
+    config.subcollections = {
+        {"AP", 120, 70.0, 0.4},
+        {"WSJ", 120, 70.0, 0.4},
+        {"FR", 80, 90.0, 0.5},
+        {"ZIFF", 80, 60.0, 0.5},
+    };
+    config.num_long_topics = 3;
+    config.num_short_topics = 3;
+    config.topic_term_floor = 150;
+    config.seed = 12;
+    return generate_corpus(config);
+}
+
+const corpus::SyntheticCorpus& fixture() {
+    static const corpus::SyntheticCorpus corpus = fault_corpus();
+    return corpus;
+}
+
+/// Fast-retry defaults so the tests spend no real time backing off.
+ReceptionistOptions options_for(Mode mode) {
+    ReceptionistOptions o;
+    o.mode = mode;
+    o.answers = 10;
+    o.group_size = 10;
+    o.k_prime = 30;
+    o.fault.retry.base_backoff_ms = 1;
+    return o;
+}
+
+/// In-process federation whose channels can be wrapped in FaultyChannel.
+struct ScriptedFederation {
+    std::vector<std::unique_ptr<Librarian>> librarians;
+    std::unique_ptr<Receptionist> receptionist;
+
+    std::string external_id(const GlobalResult& r) const {
+        return librarians[r.librarian]->store().external_id(r.doc);
+    }
+    std::vector<std::string> ids(const std::vector<GlobalResult>& ranking) const {
+        std::vector<std::string> out;
+        out.reserve(ranking.size());
+        for (const GlobalResult& r : ranking) out.push_back(external_id(r));
+        return out;
+    }
+};
+
+ScriptedFederation make_scripted(const ReceptionistOptions& options,
+                                 const std::map<std::size_t, FaultScript>& scripts,
+                                 std::size_t num_librarians = 4) {
+    ScriptedFederation fed;
+    std::vector<std::unique_ptr<Channel>> channels;
+    std::vector<const index::InvertedIndex*> indexes;
+    for (std::size_t s = 0; s < num_librarians; ++s) {
+        fed.librarians.push_back(build_librarian(fixture().subcollections[s]));
+        std::unique_ptr<Channel> channel =
+            std::make_unique<InProcessChannel>(*fed.librarians.back());
+        const auto it = scripts.find(s);
+        if (it != scripts.end()) {
+            channel = std::make_unique<FaultyChannel>(std::move(channel), it->second);
+        }
+        channels.push_back(std::move(channel));
+        indexes.push_back(&fed.librarians.back()->index());
+    }
+    fed.receptionist = std::make_unique<Receptionist>(std::move(channels), options);
+    if (options.mode == Mode::CentralIndex) {
+        fed.receptionist->prepare(indexes);
+    } else {
+        fed.receptionist->prepare();
+    }
+    return fed;
+}
+
+/// Number of exchanges prepare() makes on every channel, i.e. the call
+/// index of the first query-time exchange.
+std::size_t prepare_calls(Mode mode) {
+    return mode == Mode::CentralNothing ? 1 : 2;  // stats (+ vocabulary)
+}
+
+std::vector<GlobalResult> without_librarian(const std::vector<GlobalResult>& ranking,
+                                            std::uint32_t librarian) {
+    std::vector<GlobalResult> out;
+    for (const GlobalResult& r : ranking) {
+        if (r.librarian != librarian) out.push_back(r);
+    }
+    return out;
+}
+
+// ---- RetryPolicy ---------------------------------------------------------
+
+TEST(RetryPolicy, BackoffGrowsAndIsDeterministic) {
+    RetryPolicy p;
+    p.base_backoff_ms = 10;
+    p.backoff_multiplier = 2.0;
+    p.max_backoff_ms = 1000;
+    p.jitter = 0.2;
+    for (std::uint32_t attempt = 1; attempt <= 5; ++attempt) {
+        const auto a = p.backoff(attempt, 7);
+        const auto b = p.backoff(attempt, 7);
+        EXPECT_EQ(a, b) << "jitter must be deterministic";
+        const double nominal = 10.0 * std::pow(2.0, attempt - 1);
+        EXPECT_GE(a.count(), static_cast<std::int64_t>(nominal * 0.8) - 1);
+        EXPECT_LE(a.count(), static_cast<std::int64_t>(nominal * 1.2) + 1);
+    }
+    // Different keys decorrelate (at least one attempt differs).
+    bool differs = false;
+    for (std::uint32_t attempt = 1; attempt <= 5; ++attempt) {
+        differs = differs || p.backoff(attempt, 1) != p.backoff(attempt, 2);
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(RetryPolicy, BackoffIsCapped) {
+    RetryPolicy p;
+    p.base_backoff_ms = 100;
+    p.backoff_multiplier = 10.0;
+    p.max_backoff_ms = 500;
+    p.jitter = 0.0;
+    EXPECT_EQ(p.backoff(4, 0).count(), 500);
+}
+
+TEST(RetryPolicy, ZeroBaseMeansNoDelay) {
+    RetryPolicy p;
+    p.base_backoff_ms = 0;
+    EXPECT_EQ(p.backoff(3, 0).count(), 0);
+}
+
+// ---- CircuitBreaker ------------------------------------------------------
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailures) {
+    CircuitBreaker b({/*failure_threshold=*/3, /*open_cooldown=*/2});
+    EXPECT_EQ(b.state(), CircuitBreaker::State::Closed);
+    b.record_failure();
+    b.record_failure();
+    EXPECT_EQ(b.state(), CircuitBreaker::State::Closed);
+    b.record_failure();
+    EXPECT_EQ(b.state(), CircuitBreaker::State::Open);
+
+    // Two cooldown ticks are skipped, then one half-open probe admitted.
+    EXPECT_FALSE(b.allow_request());
+    EXPECT_FALSE(b.allow_request());
+    EXPECT_TRUE(b.allow_request());
+    EXPECT_EQ(b.state(), CircuitBreaker::State::HalfOpen);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeSuccessCloses) {
+    CircuitBreaker b({2, 1});
+    b.record_failure();
+    b.record_failure();
+    EXPECT_FALSE(b.allow_request());
+    EXPECT_TRUE(b.allow_request());
+    b.record_success();
+    EXPECT_EQ(b.state(), CircuitBreaker::State::Closed);
+    EXPECT_EQ(b.consecutive_failures(), 0u);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeFailureReopens) {
+    CircuitBreaker b({2, 1});
+    b.record_failure();
+    b.record_failure();
+    EXPECT_FALSE(b.allow_request());
+    EXPECT_TRUE(b.allow_request());
+    b.record_failure();
+    EXPECT_EQ(b.state(), CircuitBreaker::State::Open);
+    EXPECT_FALSE(b.allow_request());
+}
+
+TEST(CircuitBreaker, SuccessResetsFailureStreak) {
+    CircuitBreaker b({3, 1});
+    b.record_failure();
+    b.record_failure();
+    b.record_success();
+    b.record_failure();
+    b.record_failure();
+    EXPECT_EQ(b.state(), CircuitBreaker::State::Closed);
+}
+
+TEST(CircuitBreaker, ZeroThresholdDisablesBreaker) {
+    CircuitBreaker b({0, 1});
+    for (int i = 0; i < 10; ++i) b.record_failure();
+    EXPECT_EQ(b.state(), CircuitBreaker::State::Closed);
+    EXPECT_TRUE(b.allow_request());
+}
+
+// ---- Malformed frame robustness ------------------------------------------
+
+TEST(FaultDecoding, GarbageFrameIsRejectedCheaply) {
+    net::Message garbage;
+    garbage.type = net::MessageType::RankResponse;
+    garbage.payload.assign(8, std::uint8_t{0xEE});
+    // The absurd leading count must be rejected before any allocation.
+    EXPECT_THROW(RankResponse::decode(garbage), ProtocolError);
+}
+
+TEST(FaultDecoding, TruncatedFrameIsRejected) {
+    RankResponse resp;
+    resp.results = {{3, 0.5}, {7, 0.25}};
+    net::Message m = resp.encode();
+    m.payload.resize(m.payload.size() / 2);
+    EXPECT_THROW(RankResponse::decode(m), ProtocolError);
+}
+
+// ---- Degradation: in-process federations with scripted faults ------------
+
+TEST(Degradation, CnDeadLibrarianMatchesSurvivorFederation) {
+    const ReceptionistOptions o = options_for(Mode::CentralNothing);
+    // Librarian 1 dies after prepare(): every query-time exchange fails.
+    std::map<std::size_t, FaultScript> scripts;
+    scripts[1].from(prepare_calls(o.mode));
+    auto faulty = make_scripted(o, scripts);
+
+    // CN librarians rank with purely local statistics, so the degraded
+    // federation must produce exactly the answer of a federation that
+    // never contained the dead librarian.
+    ScriptedFederation survivors;
+    {
+        std::vector<std::unique_ptr<Channel>> channels;
+        for (std::size_t s : {0ul, 2ul, 3ul}) {
+            survivors.librarians.push_back(build_librarian(fixture().subcollections[s]));
+            channels.push_back(std::make_unique<InProcessChannel>(*survivors.librarians.back()));
+        }
+        survivors.receptionist = std::make_unique<Receptionist>(std::move(channels), o);
+        survivors.receptionist->prepare();
+    }
+
+    for (const auto& q : fixture().short_queries.queries) {
+        const RankedAnswer degraded = faulty.receptionist->rank(q.text, 50);
+        const RankedAnswer expected = survivors.receptionist->rank(q.text, 50);
+        EXPECT_FALSE(degraded.ranking.empty()) << q.id;
+        EXPECT_TRUE(degraded.degraded().partial) << q.id;
+        ASSERT_EQ(degraded.degraded().failures.size(), 1u) << q.id;
+        EXPECT_EQ(degraded.degraded().failures[0].librarian, 1u) << q.id;
+        EXPECT_EQ(faulty.ids(degraded.ranking), survivors.ids(expected.ranking)) << q.id;
+    }
+}
+
+TEST(Degradation, CvDeadLibrarianKeepsSurvivorRankingIntact) {
+    const ReceptionistOptions o = options_for(Mode::CentralVocabulary);
+    std::map<std::size_t, FaultScript> scripts;
+    scripts[1].from(prepare_calls(o.mode));
+    auto faulty = make_scripted(o, scripts);
+    auto healthy = make_scripted(o, {});
+
+    // CV weights come from the merged vocabulary (established during
+    // prepare, before the crash), so the degraded answer must equal the
+    // healthy answer with the dead librarian's documents deleted: same
+    // survivors, same scores, same order. Depth 1000 covers every
+    // scoring document, making the equality exact.
+    for (const auto& q : fixture().short_queries.queries) {
+        const RankedAnswer degraded = faulty.receptionist->rank(q.text, 1000);
+        const RankedAnswer full = healthy.receptionist->rank(q.text, 1000);
+        const auto expected = without_librarian(full.ranking, 1);
+        EXPECT_FALSE(degraded.ranking.empty()) << q.id;
+        EXPECT_TRUE(degraded.degraded().partial) << q.id;
+        EXPECT_TRUE(degraded.degraded().failed(1)) << q.id;
+        EXPECT_EQ(degraded.ranking, expected) << q.id;
+    }
+}
+
+TEST(Degradation, CiDeadLibrarianDropsItsCandidates) {
+    const ReceptionistOptions o = options_for(Mode::CentralIndex);
+    std::map<std::size_t, FaultScript> scripts;
+    scripts[2].from(prepare_calls(o.mode));
+    auto faulty = make_scripted(o, scripts);
+    auto healthy = make_scripted(o, {});
+
+    for (const auto& q : fixture().short_queries.queries) {
+        const RankedAnswer degraded = faulty.receptionist->rank(q.text, 1000);
+        const RankedAnswer full = healthy.receptionist->rank(q.text, 1000);
+        const auto expected = without_librarian(full.ranking, 2);
+        EXPECT_EQ(degraded.ranking, expected) << q.id;
+        // Only queries whose expanded groups touch librarian 2 degrade.
+        if (full.ranking.size() != expected.size()) {
+            EXPECT_TRUE(degraded.degraded().failed(2)) << q.id;
+        }
+    }
+}
+
+TEST(Degradation, EmptyFaultScriptIsByteIdenticalToPlainChannel) {
+    const ReceptionistOptions o = options_for(Mode::CentralVocabulary);
+    // A FaultyChannel with nothing scripted must be invisible: same
+    // rankings, same wire accounting as the undecorated deployment.
+    std::map<std::size_t, FaultScript> scripts;
+    scripts[0];  // default-constructed script: no faults
+    auto wrapped = make_scripted(o, scripts);
+    auto plain = make_scripted(o, {});
+
+    for (const auto& q : fixture().short_queries.queries) {
+        const RankedAnswer a = wrapped.receptionist->rank(q.text, 20);
+        const RankedAnswer b = plain.receptionist->rank(q.text, 20);
+        EXPECT_EQ(a.ranking, b.ranking) << q.id;
+        EXPECT_EQ(a.trace.total_message_bytes(), b.trace.total_message_bytes()) << q.id;
+        EXPECT_EQ(a.trace.total_messages(), b.trace.total_messages()) << q.id;
+        EXPECT_TRUE(a.degraded().ok()) << q.id;
+        EXPECT_EQ(a.degraded().retries, 0u) << q.id;
+    }
+}
+
+TEST(Degradation, TransientCorruptionIsRetriedToFullAnswer) {
+    // CN contacts every librarian on every query, which keeps the
+    // exchange indexes independent of which librarians hold query terms.
+    const ReceptionistOptions o = options_for(Mode::CentralNothing);
+    const std::size_t first = prepare_calls(o.mode);
+    // One truncated frame, then one garbage frame, on the first two
+    // query exchanges of librarian 0; each retry must succeed.
+    std::map<std::size_t, FaultScript> scripts;
+    scripts[0]
+        .at(first, {FaultKind::TruncateFrame, 0})
+        .at(first + 2, {FaultKind::GarbageFrame, 0});
+    auto faulty = make_scripted(o, scripts);
+    auto healthy = make_scripted(o, {});
+
+    for (std::size_t i = 0; i < 2; ++i) {
+        const auto& q = fixture().short_queries.queries[i];
+        const RankedAnswer a = faulty.receptionist->rank(q.text, 20);
+        const RankedAnswer b = healthy.receptionist->rank(q.text, 20);
+        EXPECT_EQ(a.ranking, b.ranking) << q.id;
+        EXPECT_FALSE(a.degraded().partial) << q.id;
+        EXPECT_TRUE(a.degraded().failures.empty()) << q.id;
+        EXPECT_EQ(a.degraded().retries, 1u) << q.id;
+    }
+}
+
+TEST(Degradation, MidStreamDisconnectIsRetriedToFullAnswer) {
+    const ReceptionistOptions o = options_for(Mode::CentralNothing);
+    std::map<std::size_t, FaultScript> scripts;
+    scripts[3].at(prepare_calls(o.mode), {FaultKind::Disconnect, 0});
+    auto faulty = make_scripted(o, scripts);
+    auto healthy = make_scripted(o, {});
+
+    const auto& q = fixture().short_queries.queries[0];
+    const RankedAnswer a = faulty.receptionist->rank(q.text, 20);
+    const RankedAnswer b = healthy.receptionist->rank(q.text, 20);
+    EXPECT_EQ(a.ranking, b.ranking);
+    EXPECT_TRUE(a.degraded().failures.empty());
+    EXPECT_EQ(a.degraded().retries, 1u);
+}
+
+TEST(Degradation, SearchDropsDocumentsOfLibrarianThatDiesDuringFetch) {
+    ReceptionistOptions o = options_for(Mode::CentralNothing);
+    o.answers = 10;
+    // Librarian 0 answers the ranking exchange (call 1) but dies before
+    // the fetch phase.
+    std::map<std::size_t, FaultScript> scripts;
+    scripts[0].from(prepare_calls(o.mode) + 1);
+    auto faulty = make_scripted(o, scripts);
+
+    const auto& q = fixture().short_queries.queries[0];
+    const QueryAnswer answer = faulty.receptionist->search(q.text);
+    ASSERT_EQ(answer.documents.size(), answer.ranking.size());
+    EXPECT_FALSE(answer.ranking.empty());
+    EXPECT_TRUE(answer.degraded().partial);
+    EXPECT_TRUE(answer.degraded().failed(0));
+    for (std::size_t i = 0; i < answer.ranking.size(); ++i) {
+        EXPECT_NE(answer.ranking[i].librarian, 0u) << "rank " << i;
+        EXPECT_EQ(answer.documents[i].external_id, faulty.external_id(answer.ranking[i]));
+    }
+}
+
+TEST(Degradation, StrictModeThrowsInsteadOfDegrading) {
+    ReceptionistOptions o = options_for(Mode::CentralNothing);
+    o.fault.allow_partial = false;
+    std::map<std::size_t, FaultScript> scripts;
+    scripts[1].from(prepare_calls(o.mode));
+    auto faulty = make_scripted(o, scripts);
+    EXPECT_THROW(faulty.receptionist->rank(fixture().short_queries.queries[0].text, 20),
+                 IoError);
+}
+
+TEST(Degradation, PrepareIsStrict) {
+    const ReceptionistOptions o = options_for(Mode::CentralNothing);
+    std::map<std::size_t, FaultScript> scripts;
+    scripts[2].always();
+    EXPECT_THROW(make_scripted(o, scripts), IoError);
+}
+
+// ---- Circuit breaker inside the receptionist -----------------------------
+
+TEST(Breaker, OpensSkipsAndRecovers) {
+    ReceptionistOptions o = options_for(Mode::CentralNothing);
+    o.fault.retry.max_attempts = 2;
+    o.fault.retry.base_backoff_ms = 0;
+    o.fault.breaker.failure_threshold = 2;
+    o.fault.breaker.open_cooldown = 1;
+
+    // Librarian 1: calls 1 and 2 (query 1's two attempts) fail, then it
+    // recovers. Query 2 is skipped by the open breaker; query 3 is the
+    // half-open probe, which succeeds and closes the breaker.
+    std::map<std::size_t, FaultScript> scripts;
+    scripts[1].at(1, {FaultKind::Drop, 0}).at(2, {FaultKind::Drop, 0});
+    auto faulty = make_scripted(o, scripts);
+    auto healthy = make_scripted(o, {});
+    const auto& q = fixture().short_queries.queries[0];
+
+    const RankedAnswer first = faulty.receptionist->rank(q.text, 20);
+    EXPECT_TRUE(first.degraded().partial);
+    ASSERT_EQ(first.degraded().failures.size(), 1u);
+    EXPECT_EQ(first.degraded().failures[0].attempts, 2u);
+    EXPECT_EQ(first.degraded().retries, 1u);
+
+    const RankedAnswer second = faulty.receptionist->rank(q.text, 20);
+    EXPECT_TRUE(second.degraded().partial);
+    ASSERT_EQ(second.degraded().failures.size(), 1u);
+    EXPECT_EQ(second.degraded().failures[0].attempts, 0u) << "breaker must skip, not retry";
+    EXPECT_EQ(second.degraded().failures[0].reason, "circuit open");
+    EXPECT_EQ(second.trace.index_phase[1].messages, 0u)
+        << "an open breaker spends no round trips on the dead librarian";
+
+    const RankedAnswer third = faulty.receptionist->rank(q.text, 20);
+    EXPECT_TRUE(third.degraded().ok()) << third.degraded().summary();
+    EXPECT_EQ(third.ranking, healthy.receptionist->rank(q.text, 20).ranking);
+}
+
+// ---- TCP: deadlines, retries and server-side faults ----------------------
+
+TEST(TcpFaults, RecvDeadlineThrowsTimeoutError) {
+    net::MessageServer server(0, [](const net::Message& m) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        return m;
+    });
+    net::TcpConnection client = net::TcpConnection::connect_to("127.0.0.1", server.port());
+    client.set_recv_timeout(100);
+    client.send_message({net::MessageType::Ping, {}});
+    EXPECT_THROW(client.recv_message(), TimeoutError);
+    client.close();
+    server.stop();
+}
+
+TEST(TcpFaults, ConnectTimeoutFiresOnUnresponsiveListener) {
+    // A listener whose accept queue is full silently drops further SYNs
+    // (the kernel behaviour a crashed-but-routable librarian exhibits),
+    // so a fresh connect hangs in SYN-SENT. The deadline must fire.
+    const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(listener, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ASSERT_EQ(::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+    ASSERT_EQ(::listen(listener, 0), 0);
+    socklen_t len = sizeof addr;
+    ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+    const std::uint16_t port = ntohs(addr.sin_port);
+
+    // Saturate the accept queue; these connections are never accepted.
+    std::vector<int> fillers;
+    for (int i = 0; i < 8; ++i) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+        fillers.push_back(fd);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    const auto start = std::chrono::steady_clock::now();
+    EXPECT_THROW(net::TcpConnection::connect_to("127.0.0.1", port, 250), TimeoutError);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 200);
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 5000);
+
+    for (int fd : fillers) ::close(fd);
+    ::close(listener);
+}
+
+TEST(TcpFaults, ServerSurvivesOversizedFrame) {
+    net::MessageServer server(0, [](const net::Message& m) { return m; });
+
+    {
+        // Hand-craft a frame whose length field exceeds the protocol
+        // maximum. Before the fix the ProtocolError escaped the serve
+        // thread and called std::terminate.
+        net::TcpConnection bad = net::TcpConnection::connect_to("127.0.0.1", server.port());
+        const std::uint8_t evil_header[6] = {0xFF, 0xFF, 0xFF, 0x7F, 0x01, 0x00};
+        ASSERT_EQ(::send(bad.native_handle(), evil_header, sizeof evil_header, 0),
+                  static_cast<ssize_t>(sizeof evil_header));
+        // The server must drop us without replying.
+        bad.set_recv_timeout(2000);
+        EXPECT_THROW(bad.recv_message(), IoError);
+    }
+
+    // ... and keep serving the next client.
+    net::TcpConnection good = net::TcpConnection::connect_to("127.0.0.1", server.port());
+    good.send_message({net::MessageType::Ping, {}});
+    EXPECT_EQ(good.recv_message().type, net::MessageType::Ping);
+    good.close();
+    server.stop();
+}
+
+TEST(TcpFaults, SlowLibrarianTimesOutOnceThenFullAnswerOnRetry) {
+    ReceptionistOptions o = options_for(Mode::CentralNothing);
+    o.answers = 5;
+    o.fault.io_timeout_ms = 150;
+    o.fault.retry.base_backoff_ms = 1;
+
+    // Librarian 2's first rank response arrives after the receptionist's
+    // 150ms deadline; the retry reconnects and finds a healthy server.
+    FaultySpec spec;
+    spec.server_faults[2] = {{net::MessageType::RankRequest, 1, 300, false}};
+    auto faulty = TcpFederation::create(fixture(), o, {}, spec);
+
+    ReceptionistOptions plain = o;
+    plain.fault.io_timeout_ms = 0;
+    auto healthy = TcpFederation::create(fixture(), plain);
+
+    const auto& q = fixture().short_queries.queries[0];
+    const RankedAnswer a = faulty.receptionist().rank(q.text, 20);
+    const RankedAnswer b = healthy.receptionist().rank(q.text, 20);
+    EXPECT_EQ(a.ranking, b.ranking);
+    EXPECT_FALSE(a.degraded().partial) << a.degraded().summary();
+    EXPECT_TRUE(a.degraded().failures.empty()) << a.degraded().summary();
+    EXPECT_GE(a.degraded().retries, 1u);
+
+    // The same query again, with the fault spent, is clean end to end.
+    const RankedAnswer again = faulty.receptionist().rank(q.text, 20);
+    EXPECT_EQ(again.ranking, b.ranking);
+    EXPECT_TRUE(again.degraded().ok());
+
+    faulty.shutdown();
+    healthy.shutdown();
+}
+
+TEST(TcpFaults, ServerDropsConnectionMidQueryThenRecovers) {
+    ReceptionistOptions o = options_for(Mode::CentralVocabulary);
+    o.fault.retry.base_backoff_ms = 1;
+
+    FaultySpec spec;
+    spec.server_faults[1] = {{net::MessageType::RankWeightedRequest, 1, 0, true}};
+    auto faulty = TcpFederation::create(fixture(), o, {}, spec);
+    auto healthy = TcpFederation::create(fixture(), o);
+
+    const auto& q = fixture().short_queries.queries[0];
+    const RankedAnswer a = faulty.receptionist().rank(q.text, 20);
+    const RankedAnswer b = healthy.receptionist().rank(q.text, 20);
+    EXPECT_EQ(a.ranking, b.ranking);
+    EXPECT_TRUE(a.degraded().failures.empty()) << a.degraded().summary();
+    EXPECT_GE(a.degraded().retries, 1u);
+
+    faulty.shutdown();
+    healthy.shutdown();
+}
+
+TEST(TcpFaults, FaultyChannelKillsOneOfFourLibrariansMidQuery) {
+    // The acceptance scenario: a FaultyChannel kills librarian 1 of 4
+    // after prepare(); CN and CV queries over real TCP must return the
+    // survivors' ranking with DegradedInfo naming the failure — and the
+    // same deployment with no faults stays byte-identical.
+    for (Mode mode : {Mode::CentralNothing, Mode::CentralVocabulary}) {
+        ReceptionistOptions o = options_for(mode);
+        FaultySpec spec;
+        spec.channel_faults[1].from(prepare_calls(mode));
+        auto faulty = TcpFederation::create(fixture(), o, {}, spec);
+        auto healthy = TcpFederation::create(fixture(), o);
+
+        for (const auto& q : fixture().short_queries.queries) {
+            const RankedAnswer degraded = faulty.receptionist().rank(q.text, 1000);
+            const RankedAnswer full = healthy.receptionist().rank(q.text, 1000);
+            const auto expected = without_librarian(full.ranking, 1);
+            EXPECT_FALSE(degraded.ranking.empty()) << mode_name(mode) << " " << q.id;
+            EXPECT_TRUE(degraded.degraded().failed(1)) << mode_name(mode) << " " << q.id;
+            if (mode == Mode::CentralVocabulary) {
+                // Global weights are unchanged, so the equality is exact.
+                EXPECT_EQ(degraded.ranking, expected) << q.id;
+            } else {
+                // CN survivor scores are local and unchanged as well.
+                EXPECT_EQ(degraded.ranking, expected) << q.id;
+            }
+        }
+        faulty.shutdown();
+        healthy.shutdown();
+    }
+}
+
+}  // namespace
+}  // namespace teraphim::dir

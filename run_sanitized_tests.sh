@@ -2,8 +2,14 @@
 # Builds the whole tree with TERAPHIM_SANITIZE=<address|thread> and runs
 # the tier-1 ctest suite under the sanitizer. Usage:
 #
-#   ./run_sanitized_tests.sh            # AddressSanitizer (default)
-#   ./run_sanitized_tests.sh thread     # ThreadSanitizer
+#   ./run_sanitized_tests.sh                # AddressSanitizer (default)
+#   ./run_sanitized_tests.sh thread         # ThreadSanitizer
+#   ./run_sanitized_tests.sh thread fast    # TSan, concurrency tests only
+#
+# ThreadSanitizer runs always include the `concurrency` label (the
+# multi-client server, scatter-gather, and breaker-hammer tests) — first
+# on their own so a data race fails fast with focused output, then as
+# part of the full suite. `fast` stops after the labeled tests.
 #
 # The sanitized build lives in build-<san>san/ next to the regular
 # build/ so the two never share object files.
@@ -12,10 +18,15 @@ set -e
 SAN="${1:-address}"
 case "$SAN" in
   address|thread) ;;
-  *) echo "usage: $0 [address|thread]" >&2; exit 2 ;;
+  *) echo "usage: $0 [address|thread] [fast]" >&2; exit 2 ;;
 esac
 
 BUILD="build-${SAN}san"
 cmake -B "$BUILD" -S . -DTERAPHIM_SANITIZE="$SAN"
 cmake --build "$BUILD" -j
-cd "$BUILD" && ctest --output-on-failure -j "$(nproc)"
+cd "$BUILD"
+if [ "$SAN" = thread ]; then
+  ctest -L concurrency --output-on-failure -j "$(nproc)"
+  [ "${2:-}" = fast ] && exit 0
+fi
+ctest --output-on-failure -j "$(nproc)"

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "index/builder.h"
@@ -155,20 +156,34 @@ namespace {
 
 net::MessageServer::Handler faulty_handler(Librarian* raw, std::vector<ServerFault> faults) {
     // The countdowns live in shared state because the handler is copied
-    // into the server thread; each librarian has its own server thread,
-    // so no synchronization is needed.
-    auto shared = std::make_shared<std::vector<ServerFault>>(std::move(faults));
+    // into the server workers — and MessageServer serves connections
+    // concurrently, so the countdown decrement must be locked. The sleep
+    // itself happens outside the lock (a delayed request must not stall
+    // fault matching for the other connections).
+    struct Shared {
+        std::mutex mu;
+        std::vector<ServerFault> faults;
+    };
+    auto shared = std::make_shared<Shared>();
+    shared->faults = std::move(faults);
     return [raw, shared](const net::Message& m) {
-        for (ServerFault& f : *shared) {
-            if (f.times == 0 || m.type != f.trigger) continue;
-            --f.times;
-            if (f.delay_ms > 0) {
-                std::this_thread::sleep_for(std::chrono::milliseconds(f.delay_ms));
+        std::uint32_t delay_ms = 0;
+        bool drop = false;
+        {
+            std::lock_guard<std::mutex> lock(shared->mu);
+            for (ServerFault& f : shared->faults) {
+                if (f.times == 0 || m.type != f.trigger) continue;
+                --f.times;
+                delay_ms = f.delay_ms;
+                drop = f.drop_connection;
+                break;  // at most one fault per request
             }
-            if (f.drop_connection) {
-                throw IoError("fault injection: librarian dropped the connection");
-            }
-            break;  // at most one fault per request
+        }
+        if (delay_ms > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+        }
+        if (drop) {
+            throw IoError("fault injection: librarian dropped the connection");
         }
         return raw->handle(m);
     };

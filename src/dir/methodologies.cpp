@@ -18,6 +18,19 @@ LibrarianWork work_from_report(const WorkReport& report) {
     return w;
 }
 
+/// Folds one librarian's self-reported index work into its trace slot,
+/// keeping the byte/message counts the receptionist measured itself.
+void fold_work_report(LibrarianWork& lw, const WorkReport& report,
+                      std::size_t results_returned) {
+    const LibrarianWork counted = lw;
+    lw = work_from_report(report);
+    lw.participated = counted.participated;
+    lw.request_bytes = counted.request_bytes;
+    lw.response_bytes = counted.response_bytes;
+    lw.messages = counted.messages;
+    lw.results_returned = results_returned;
+}
+
 }  // namespace
 
 RankedAnswer Receptionist::rank_central_nothing(const rank::Query& query, std::size_t depth) {
@@ -32,20 +45,19 @@ RankedAnswer Receptionist::rank_central_nothing(const rank::Query& query, std::s
 
     // "When a query is entered every librarian is given the query and
     // prepares a ranking of its k best documents, as determined by its
-    // index and its values for parameters f_t and N."
+    // index and its values for parameters f_t and N." The fan-out is
+    // concurrent; responses are gathered into librarian order, so the
+    // merge below sees exactly what the sequential loop saw.
+    const std::vector<std::optional<net::Message>> requests(channels_.size(), encoded);
+    auto responses =
+        broadcast_typed<RankResponse>(requests, answer.trace.index_phase, &answer.trace);
+
     std::vector<std::vector<rank::SearchResult>> rankings(channels_.size());
     for (std::size_t s = 0; s < channels_.size(); ++s) {
-        LibrarianWork& lw = answer.trace.index_phase[s];
-        auto resp = call_librarian<RankResponse>(s, encoded, lw, answer.trace);
-        if (!resp.has_value()) continue;  // degraded: merge the survivors
-        const LibrarianWork counted = lw;  // keep byte/message counts
-        lw = work_from_report(resp->work);
-        lw.participated = counted.participated;
-        lw.request_bytes = counted.request_bytes;
-        lw.response_bytes = counted.response_bytes;
-        lw.messages = counted.messages;
-        lw.results_returned = resp->results.size();
-        rankings[s] = std::move(resp->results);
+        if (!responses[s].has_value()) continue;  // degraded: merge the survivors
+        fold_work_report(answer.trace.index_phase[s], responses[s]->work,
+                         responses[s]->results.size());
+        rankings[s] = std::move(responses[s]->results);
     }
 
     answer.ranking =
@@ -71,20 +83,20 @@ RankedAnswer Receptionist::rank_central_vocabulary(const rank::Query& query,
     req.query_norm = rank::query_norm(weighted);
     const net::Message encoded = req.encode();
 
+    // Scatter only to the holders; the disengaged slots stay untouched.
+    std::vector<std::optional<net::Message>> requests(channels_.size());
+    for (std::size_t s = 0; s < channels_.size(); ++s) {
+        if (holders[s]) requests[s] = encoded;
+    }
+    auto responses =
+        broadcast_typed<RankResponse>(requests, answer.trace.index_phase, &answer.trace);
+
     std::vector<std::vector<rank::SearchResult>> rankings(channels_.size());
     for (std::size_t s = 0; s < channels_.size(); ++s) {
-        if (!holders[s]) continue;
-        LibrarianWork& lw = answer.trace.index_phase[s];
-        auto resp = call_librarian<RankResponse>(s, encoded, lw, answer.trace);
-        if (!resp.has_value()) continue;  // degraded: merge the survivors
-        const LibrarianWork counted = lw;
-        lw = work_from_report(resp->work);
-        lw.participated = counted.participated;
-        lw.request_bytes = counted.request_bytes;
-        lw.response_bytes = counted.response_bytes;
-        lw.messages = counted.messages;
-        lw.results_returned = resp->results.size();
-        rankings[s] = std::move(resp->results);
+        if (!responses[s].has_value()) continue;  // degraded: merge the survivors
+        fold_work_report(answer.trace.index_phase[s], responses[s]->work,
+                         responses[s]->results.size());
+        rankings[s] = std::move(responses[s]->results);
     }
 
     answer.ranking =
@@ -133,8 +145,7 @@ RankedAnswer Receptionist::rank_central_index(const rank::Query& query, std::siz
     const auto weighted = global_weights(query, nullptr);
     const double norm = rank::query_norm(weighted);
 
-    std::vector<GlobalResult> scored;
-    scored.reserve(total_candidates);
+    std::vector<std::optional<net::Message>> requests(channels_.size());
     for (std::size_t s = 0; s < channels_.size(); ++s) {
         if (candidates[s].empty()) continue;
         CandidateRequest req;
@@ -142,20 +153,20 @@ RankedAnswer Receptionist::rank_central_index(const rank::Query& query, std::siz
         req.use_skips = options_.use_skips;
         req.terms = weighted;
         req.candidates = candidates[s];
+        requests[s] = req.encode();
+    }
+    auto responses = broadcast_typed<CandidateResponse>(requests, answer.trace.index_phase,
+                                                        &answer.trace);
 
-        LibrarianWork& lw = answer.trace.index_phase[s];
-        auto resp = call_librarian<CandidateResponse>(s, req.encode(), lw, answer.trace);
+    std::vector<GlobalResult> scored;
+    scored.reserve(total_candidates);
+    for (std::size_t s = 0; s < channels_.size(); ++s) {
         // Degraded: the candidates live only on the failed librarian, so
         // they are dropped and the survivors' scores stand.
-        if (!resp.has_value()) continue;
-        const LibrarianWork counted = lw;
-        lw = work_from_report(resp->work);
-        lw.participated = counted.participated;
-        lw.request_bytes = counted.request_bytes;
-        lw.response_bytes = counted.response_bytes;
-        lw.messages = counted.messages;
-        lw.results_returned = resp->scored.size();
-        for (const rank::SearchResult& r : resp->scored) {
+        if (!responses[s].has_value()) continue;
+        fold_work_report(answer.trace.index_phase[s], responses[s]->work,
+                         responses[s]->scored.size());
+        for (const rank::SearchResult& r : responses[s]->scored) {
             if (r.score > 0.0) {
                 scored.push_back({static_cast<std::uint32_t>(s), r.doc, r.score});
             }

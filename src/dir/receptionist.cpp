@@ -23,6 +23,15 @@ Receptionist::Receptionist(std::vector<std::unique_ptr<Channel>> channels,
     }
     TERAPHIM_ASSERT(options_.group_size >= 1);
     breakers_.assign(channels_.size(), CircuitBreaker(options_.fault.breaker));
+
+    // Scatter-gather pool: one worker per librarian (capped by the
+    // hardware) unless the options pin a width. Width 1 — or a single
+    // librarian — keeps the fan-out inline on the calling thread.
+    const std::size_t width =
+        options_.fanout_threads == 0
+            ? util::default_fanout_threads(channels_.size())
+            : std::min(options_.fanout_threads, channels_.size());
+    if (width > 1) pool_ = std::make_unique<util::ThreadPool>(width);
 }
 
 Receptionist::~Receptionist() = default;
@@ -50,6 +59,9 @@ std::optional<net::Message> Receptionist::exchange_with_retry(
             throw IoError("librarian " + channels_[librarian]->name() + " unavailable: " +
                           reason);
         }
+        // The degraded record is shared across the scatter-gather
+        // workers; scatter() restores librarian order after the join.
+        std::lock_guard<std::mutex> lock(trace_mu_);
         trace->degraded.partial = true;
         trace->degraded.failures.push_back(
             {static_cast<std::uint32_t>(librarian), attempts, reason});
@@ -62,7 +74,10 @@ std::optional<net::Message> Receptionist::exchange_with_retry(
     std::string last_reason;
     for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
         if (attempt > 1) {
-            if (trace != nullptr) ++trace->degraded.retries;
+            if (trace != nullptr) {
+                std::lock_guard<std::mutex> lock(trace_mu_);
+                ++trace->degraded.retries;
+            }
             // The previous exchange may have left the transport
             // mid-frame; start from a clean connection.
             channels_[librarian]->reset();
@@ -90,9 +105,57 @@ std::optional<net::Message> Receptionist::exchange_with_retry(
     return give_up(max_attempts, last_reason);
 }
 
+void Receptionist::scatter(std::size_t n, QueryTrace* trace,
+                           const std::function<void(std::size_t)>& fn) {
+    const std::size_t failures_before =
+        trace == nullptr ? 0 : trace->degraded.failures.size();
+    if (pool_ != nullptr && n > 1) {
+        pool_->parallel_for(n, fn);
+    } else {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+    }
+    if (trace != nullptr) {
+        // Workers append failures in completion order; the sequential
+        // path appends them in librarian order. Restore that order for
+        // the entries this fan-out added (stable, so one librarian's
+        // multiple failures within a phase keep their issue order).
+        auto& failures = trace->degraded.failures;
+        std::stable_sort(failures.begin() + static_cast<std::ptrdiff_t>(failures_before),
+                         failures.end(), [](const FailedLibrarian& a, const FailedLibrarian& b) {
+                             return a.librarian < b.librarian;
+                         });
+    }
+}
+
+std::vector<std::optional<net::Message>> Receptionist::broadcast(
+    const std::vector<std::optional<net::Message>>& requests,
+    std::vector<LibrarianWork>& work, QueryTrace* trace,
+    const std::function<void(std::size_t, const net::Message&)>& validate) {
+    TERAPHIM_ASSERT(requests.size() == channels_.size());
+    TERAPHIM_ASSERT(work.size() == channels_.size());
+
+    std::vector<std::size_t> active;
+    active.reserve(requests.size());
+    for (std::size_t s = 0; s < requests.size(); ++s) {
+        if (requests[s].has_value()) active.push_back(s);
+    }
+
+    std::vector<std::optional<net::Message>> responses(channels_.size());
+    scatter(active.size(), trace, [&](std::size_t i) {
+        const std::size_t s = active[i];
+        std::function<void(const net::Message&)> slot_validate;
+        if (validate) {
+            slot_validate = [&validate, s](const net::Message& reply) { validate(s, reply); };
+        }
+        responses[s] = exchange_with_retry(s, *requests[s], work[s], trace, slot_validate);
+    });
+    return responses;
+}
+
 void Receptionist::prepare(std::span<const index::InvertedIndex* const> indexes_for_ci) {
     total_documents_ = 0;
     librarian_sizes_.clear();
+    librarian_offsets_.clear();
     global_vocab_.clear();
     merged_vocab_bytes_ = 0;
     central_index_bytes_ = 0;
@@ -100,25 +163,35 @@ void Receptionist::prepare(std::span<const index::InvertedIndex* const> indexes_
 
     // Preparation is strict: a federation cannot be assembled around a
     // librarian whose size and vocabulary are unknown, so failures here
-    // are retried but ultimately throw rather than degrade.
-    LibrarianWork scratch;
+    // are retried but ultimately throw rather than degrade. Both rounds
+    // fan out in parallel; responses are gathered into librarian order
+    // and folded sequentially, so the merged state is deterministic.
+    std::vector<LibrarianWork> scratch(channels_.size());
+    const std::vector<std::optional<net::Message>> stats_requests(channels_.size(),
+                                                                  StatsRequest{}.encode());
+    const auto stats = broadcast_typed<StatsResponse>(stats_requests, scratch, nullptr);
     for (std::size_t s = 0; s < channels_.size(); ++s) {
-        StatsResponse stats;
-        exchange_with_retry(s, StatsRequest{}.encode(), scratch, nullptr,
-                            [&stats](const net::Message& m) { stats = StatsResponse::decode(m); });
-        librarian_sizes_.push_back(stats.num_documents);
-        total_documents_ += stats.num_documents;
+        librarian_sizes_.push_back(stats[s]->num_documents);
+        total_documents_ += stats[s]->num_documents;
+    }
+
+    // Prefix-sum offset table: librarian s's documents occupy global ids
+    // [offsets[s], offsets[s+1]). Replaces the O(S) per-result rescan
+    // the fetch path used to do.
+    librarian_offsets_.resize(channels_.size() + 1, 0);
+    for (std::size_t s = 0; s < channels_.size(); ++s) {
+        librarian_offsets_[s + 1] = librarian_offsets_[s] + librarian_sizes_[s];
     }
 
     const bool needs_vocab = options_.mode == Mode::CentralVocabulary ||
                              options_.mode == Mode::CentralIndex;
     if (needs_vocab) {
+        const std::vector<std::optional<net::Message>> vocab_requests(
+            channels_.size(), VocabularyRequest{}.encode());
+        const auto vocabs =
+            broadcast_typed<VocabularyResponse>(vocab_requests, scratch, nullptr);
         for (std::size_t s = 0; s < channels_.size(); ++s) {
-            VocabularyResponse vocab;
-            exchange_with_retry(
-                s, VocabularyRequest{}.encode(), scratch, nullptr,
-                [&vocab](const net::Message& m) { vocab = VocabularyResponse::decode(m); });
-            for (const VocabEntry& e : vocab.entries) {
+            for (const VocabEntry& e : vocabs[s]->entries) {
                 GlobalTermInfo& info = global_vocab_[e.term];
                 info.doc_frequency += e.doc_frequency;
                 if (e.doc_frequency > 0) info.holders.push_back(static_cast<std::uint32_t>(s));
@@ -214,8 +287,17 @@ void Receptionist::fetch_documents(QueryAnswer& answer) {
     std::map<std::uint32_t, std::vector<std::uint32_t>> wanted;
     for (const GlobalResult& r : answer.ranking) wanted[r.librarian].push_back(r.doc);
 
-    std::map<std::pair<std::uint32_t, std::uint32_t>, FetchedDocument> received;
-    for (auto& [librarian, docs] : wanted) {
+    // One fan-out job per librarian; each job's round trips stay
+    // sequential (the per-document protocol of the paper) but the jobs
+    // run concurrently, so fetch latency is the slowest librarian's
+    // chain, not the sum. Every job writes only its own slots.
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> jobs(wanted.begin(),
+                                                                           wanted.end());
+    std::vector<std::vector<std::pair<std::uint32_t, FetchedDocument>>> gathered(jobs.size());
+
+    const auto run_job = [&](std::size_t j) {
+        const std::uint32_t librarian = jobs[j].first;
+        const std::vector<std::uint32_t>& docs = jobs[j].second;
         FetchWork& fw = answer.trace.fetch_phase[librarian];
         const auto issue = [&](std::vector<std::uint32_t> batch) {
             FetchRequest req;
@@ -232,8 +314,7 @@ void Receptionist::fetch_documents(QueryAnswer& answer) {
             for (std::size_t i = 0; i < resp->docs.size(); ++i) {
                 fw.payload_bytes += resp->docs[i].payload.size();
                 ++fw.docs;
-                received.emplace(std::make_pair(librarian, req.docs[i]),
-                                 std::move(resp->docs[i]));
+                gathered[j].emplace_back(req.docs[i], std::move(resp->docs[i]));
             }
         };
         if (options_.bundle_fetch) {
@@ -246,11 +327,7 @@ void Receptionist::fetch_documents(QueryAnswer& answer) {
             std::vector<std::uint32_t> sorted = docs;
             std::sort(sorted.begin(), sorted.end());
             const std::uint32_t g = options_.group_size;
-            const std::uint32_t offset = [&] {
-                std::uint32_t off = 0;
-                for (std::uint32_t s = 0; s < librarian; ++s) off += librarian_sizes_[s];
-                return off;
-            }();
+            const std::uint32_t offset = librarian_offsets_[librarian];
             std::vector<std::uint32_t> run;
             std::uint32_t run_group = 0;
             for (std::uint32_t doc : sorted) {
@@ -269,6 +346,14 @@ void Receptionist::fetch_documents(QueryAnswer& answer) {
             // librarians rather than transferred individually" is listed
             // as an improvement, not the as-measured behaviour).
             for (std::uint32_t doc : docs) issue({doc});
+        }
+    };
+    scatter(jobs.size(), &answer.trace, run_job);
+
+    std::map<std::pair<std::uint32_t, std::uint32_t>, FetchedDocument> received;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        for (auto& [doc, fetched] : gathered[j]) {
+            received.emplace(std::make_pair(jobs[j].first, doc), std::move(fetched));
         }
     }
 
@@ -295,18 +380,15 @@ void Receptionist::fetch_documents(QueryAnswer& answer) {
 std::vector<GlobalResult> Receptionist::boolean(std::string_view expression) {
     BooleanRequest req;
     req.expression = std::string(expression);
-    const net::Message encoded = req.encode();
+    // Boolean answers are exact set unions, so a missing librarian would
+    // silently change the result set: retry, but fail loudly rather than
+    // degrade (trace == nullptr keeps the broadcast strict).
+    const std::vector<std::optional<net::Message>> requests(channels_.size(), req.encode());
+    std::vector<LibrarianWork> scratch(channels_.size());
+    const auto responses = broadcast_typed<BooleanResponse>(requests, scratch, nullptr);
     std::vector<GlobalResult> out;
-    LibrarianWork scratch;
     for (std::size_t s = 0; s < channels_.size(); ++s) {
-        // Boolean answers are exact set unions, so a missing librarian
-        // would silently change the result set: retry, but fail loudly
-        // rather than degrade.
-        BooleanResponse resp;
-        exchange_with_retry(s, encoded, scratch, nullptr, [&resp](const net::Message& m) {
-            resp = BooleanResponse::decode(m);
-        });
-        for (std::uint32_t doc : resp.docs) {
+        for (std::uint32_t doc : responses[s]->docs) {
             out.push_back({static_cast<std::uint32_t>(s), doc, 1.0});
         }
     }

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -35,6 +36,7 @@
 #include "net/message.h"
 #include "rank/similarity.h"
 #include "text/pipeline.h"
+#include "util/thread_pool.h"
 
 namespace teraphim::dir {
 
@@ -89,6 +91,15 @@ struct ReceptionistOptions {
     // and stores/ships documents compressed.
     bool bundle_fetch = false;
     bool compressed_fetch = true;
+
+    /// Scatter-gather width: how many librarians are queried
+    /// concurrently. 0 (default) uses one thread per librarian (the
+    /// threads block on sockets, so this is right even on one core);
+    /// 1 forces the sequential fan-out (useful for byte-identical
+    /// comparison and single-threaded debugging). Responses are always
+    /// gathered into librarian order before merging, so the ranking is
+    /// bit-identical at every width.
+    std::size_t fanout_threads = 0;
 
     FaultToleranceOptions fault;
 };
@@ -153,6 +164,15 @@ public:
     /// Librarian collection sizes learned during prepare().
     const std::vector<std::uint32_t>& librarian_sizes() const { return librarian_sizes_; }
 
+    /// Prefix sums of librarian_sizes(): entry s is the global doc-id
+    /// offset of librarian s's first document (size S+1; the last entry
+    /// equals total_documents()). Computed once during prepare().
+    const std::vector<std::uint32_t>& librarian_offsets() const { return librarian_offsets_; }
+
+    /// Threads actually used for the scatter-gather fan-out (1 when the
+    /// sequential path is active).
+    std::size_t fanout_threads() const { return pool_ ? pool_->size() : 1; }
+
 private:
     struct GlobalTermInfo {
         std::uint64_t doc_frequency = 0;          ///< collection-wide f_t
@@ -202,15 +222,52 @@ private:
         return out;
     }
 
+    /// Scatter-gather core. Sends requests[s] (where engaged) to
+    /// librarian s — concurrently across librarians when the fan-out
+    /// pool is enabled, in slot order otherwise — running every exchange
+    /// through the full fault-tolerance stack (retry, breaker,
+    /// degradation into `trace`; strict when `trace` is null). Responses
+    /// are gathered into slot order, so downstream merging is identical
+    /// to the sequential path. `validate(s, reply)` runs inside the
+    /// retry loop of slot s. `work` is slot-indexed and each slot is
+    /// touched only by its own exchange.
+    std::vector<std::optional<net::Message>> broadcast(
+        const std::vector<std::optional<net::Message>>& requests,
+        std::vector<LibrarianWork>& work, QueryTrace* trace,
+        const std::function<void(std::size_t, const net::Message&)>& validate = {});
+
+    /// broadcast + typed decode per slot; a disengaged result means the
+    /// slot had no request or its librarian was dropped.
+    template <typename Response>
+    std::vector<std::optional<Response>> broadcast_typed(
+        const std::vector<std::optional<net::Message>>& requests,
+        std::vector<LibrarianWork>& work, QueryTrace* trace) {
+        std::vector<std::optional<Response>> out(channels_.size());
+        broadcast(requests, work, trace,
+                  [&out](std::size_t s, const net::Message& reply) {
+                      out[s].emplace(Response::decode(reply));
+                  });
+        return out;
+    }
+
+    /// Runs fn(i) for i in [0, n) — on the fan-out pool when enabled,
+    /// inline in index order otherwise — then restores the deterministic
+    /// (librarian-ordered) failure record in `trace` so parallel and
+    /// sequential executions produce identical traces.
+    void scatter(std::size_t n, QueryTrace* trace, const std::function<void(std::size_t)>& fn);
+
     std::vector<std::unique_ptr<Channel>> channels_;
     ReceptionistOptions options_;
     text::Pipeline pipeline_;
     const rank::SimilarityMeasure* measure_;
     std::vector<CircuitBreaker> breakers_;  ///< one per librarian
+    std::unique_ptr<util::ThreadPool> pool_;  ///< fan-out workers; null = sequential
+    std::mutex trace_mu_;  ///< guards the shared DegradedInfo during a fan-out
 
     bool prepared_ = false;
     std::uint32_t total_documents_ = 0;
     std::vector<std::uint32_t> librarian_sizes_;
+    std::vector<std::uint32_t> librarian_offsets_;  ///< prefix sums of sizes, S+1 entries
     std::unordered_map<std::string, GlobalTermInfo> global_vocab_;
     std::uint64_t merged_vocab_bytes_ = 0;
     std::uint64_t central_index_bytes_ = 0;

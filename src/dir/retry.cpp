@@ -24,7 +24,27 @@ std::chrono::milliseconds RetryPolicy::backoff(std::uint32_t attempt, std::uint6
     return std::chrono::milliseconds(static_cast<std::int64_t>(std::llround(delay)));
 }
 
+CircuitBreaker::CircuitBreaker(const CircuitBreaker& other) {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    options_ = other.options_;
+    state_ = other.state_;
+    consecutive_failures_ = other.consecutive_failures_;
+    cooldown_remaining_ = other.cooldown_remaining_;
+}
+
+CircuitBreaker& CircuitBreaker::operator=(const CircuitBreaker& other) {
+    if (this != &other) {
+        std::scoped_lock lock(mu_, other.mu_);
+        options_ = other.options_;
+        state_ = other.state_;
+        consecutive_failures_ = other.consecutive_failures_;
+        cooldown_remaining_ = other.cooldown_remaining_;
+    }
+    return *this;
+}
+
 bool CircuitBreaker::allow_request() {
+    std::lock_guard<std::mutex> lock(mu_);
     switch (state_) {
         case State::Closed:
         case State::HalfOpen:
@@ -41,17 +61,29 @@ bool CircuitBreaker::allow_request() {
 }
 
 void CircuitBreaker::record_success() {
+    std::lock_guard<std::mutex> lock(mu_);
     consecutive_failures_ = 0;
     state_ = State::Closed;
 }
 
 void CircuitBreaker::record_failure() {
+    std::lock_guard<std::mutex> lock(mu_);
     ++consecutive_failures_;
     if (options_.failure_threshold == 0) return;
     if (state_ == State::HalfOpen || consecutive_failures_ >= options_.failure_threshold) {
         state_ = State::Open;
         cooldown_remaining_ = options_.open_cooldown;
     }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+}
+
+std::uint32_t CircuitBreaker::consecutive_failures() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return consecutive_failures_;
 }
 
 }  // namespace teraphim::dir

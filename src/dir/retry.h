@@ -12,6 +12,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 
 namespace teraphim::dir {
 
@@ -47,11 +48,19 @@ struct BreakerOptions {
 /// Per-librarian health state. Closed: requests flow. Open: requests
 /// are skipped for `open_cooldown` would-be exchanges. Half-open: one
 /// probe is allowed; success closes the breaker, failure reopens it.
+///
+/// Thread-safe: the receptionist's parallel fan-out records successes
+/// and failures from pool workers, and a breaker shared across
+/// concurrent sessions must not lose consecutive-failure counts to a
+/// race. All transitions happen under an internal mutex (copying a
+/// breaker snapshots the other's state under its lock).
 class CircuitBreaker {
 public:
     enum class State { Closed, Open, HalfOpen };
 
     explicit CircuitBreaker(BreakerOptions options = {}) : options_(options) {}
+    CircuitBreaker(const CircuitBreaker& other);
+    CircuitBreaker& operator=(const CircuitBreaker& other);
 
     /// Whether the caller may contact the librarian now. While open this
     /// consumes one cooldown tick; once the cooldown is spent the
@@ -61,10 +70,11 @@ public:
     void record_success();
     void record_failure();
 
-    State state() const { return state_; }
-    std::uint32_t consecutive_failures() const { return consecutive_failures_; }
+    State state() const;
+    std::uint32_t consecutive_failures() const;
 
 private:
+    mutable std::mutex mu_;
     BreakerOptions options_;
     State state_ = State::Closed;
     std::uint32_t consecutive_failures_ = 0;

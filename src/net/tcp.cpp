@@ -259,65 +259,85 @@ void TcpListener::close() {
 
 // ---- MessageServer ------------------------------------------------------
 
-MessageServer::MessageServer(std::uint16_t port, Handler handler)
-    : listener_(port), handler_(std::move(handler)), thread_([this] { serve(); }) {}
+MessageServer::MessageServer(std::uint16_t port, Handler handler, std::size_t max_connections)
+    : listener_(port),
+      handler_(std::move(handler)),
+      workers_(max_connections),
+      thread_([this] { serve(); }) {}
 
 MessageServer::~MessageServer() { stop(); }
 
 void MessageServer::serve() {
     while (!stopping_.load()) {
-        std::optional<TcpConnection> conn;
+        std::shared_ptr<TcpConnection> conn;
         try {
-            conn.emplace(listener_.accept());
+            // shared_ptr because std::function requires copyable
+            // callables; the connection is still owned by exactly one
+            // worker task at a time.
+            conn = std::make_shared<TcpConnection>(listener_.accept());
         } catch (const IoError&) {
             // The listener was shut down by stop(), or accept failed
             // transiently; either way there is no connection and the
             // loop condition decides whether to exit.
             continue;
         }
-        active_fd_.store(conn->native_handle());
-        // stop() may have fired between accept() and the store; the
-        // explicit check closes that window (stop() reads active_fd_
-        // only after setting stopping_).
-        bool shutdown_received = false;
-        if (!stopping_.load()) {
-            try {
-                for (;;) {
-                    const Message request = conn->recv_message();
-                    if (request.type == MessageType::Shutdown) {
-                        stopping_.store(true);
-                        conn->send_message({MessageType::Shutdown, {}});
-                        shutdown_received = true;
-                        break;
-                    }
-                    conn->send_message(handler_(request));
-                }
-            } catch (const Error&) {
-                // Drop this connection but keep serving: the client
-                // disconnected, sent a malformed frame (ProtocolError
-                // from an oversized length field), the handler refused
-                // the request, or stop() cancelled the exchange. None of
-                // these may escape — an uncaught exception here would
-                // std::terminate the librarian.
-            }
-        }
-        // Clear the cancellation handle *before* conn's fd is closed, so
-        // stop() can never shutdown() a recycled descriptor.
-        active_fd_.store(-1);
-        conn.reset();
-        if (shutdown_received) return;
+        if (stopping_.load()) break;  // accepted during shutdown: discard
+        workers_.submit([this, conn] { serve_connection(conn); });
     }
+}
+
+void MessageServer::serve_connection(const std::shared_ptr<TcpConnection>& conn) {
+    {
+        // Register the fd for cancellation. Checking stopping_ under the
+        // same lock begin_stop() takes closes the race where a
+        // connection is accepted concurrently with shutdown but its fd
+        // is registered after the wake-everyone sweep.
+        std::lock_guard<std::mutex> lock(fds_mu_);
+        if (stopping_.load()) return;
+        active_fds_.push_back(conn->native_handle());
+    }
+    try {
+        for (;;) {
+            const Message request = conn->recv_message();
+            if (request.type == MessageType::Shutdown) {
+                conn->send_message({MessageType::Shutdown, {}});
+                begin_stop();
+                break;
+            }
+            conn->send_message(handler_(request));
+        }
+    } catch (const Error&) {
+        // Drop this connection but keep serving the others: the client
+        // disconnected, sent a malformed frame (ProtocolError from an
+        // oversized length field), the handler refused the request, or
+        // stop() cancelled the exchange. None of these may escape — an
+        // uncaught exception here would std::terminate the librarian.
+    }
+    // Deregister *before* conn's fd is closed, so begin_stop() can never
+    // shutdown() a recycled descriptor.
+    {
+        std::lock_guard<std::mutex> lock(fds_mu_);
+        std::erase(active_fds_, conn->native_handle());
+    }
+    conn->close();
+}
+
+void MessageServer::begin_stop() {
+    stopping_.store(true);
+    // Wake every blocked thread: the accept loop in accept() on the
+    // listener, and each worker in recv_message() on its connection.
+    listener_.shutdown();
+    std::lock_guard<std::mutex> lock(fds_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
 }
 
 void MessageServer::stop() {
     if (!thread_.joinable()) return;
-    stopping_.store(true);
-    // Wake the serve thread wherever it is blocked: in accept() on the
-    // listener, or in recv_message() on a live connection.
-    listener_.shutdown();
-    const int fd = active_fd_.load();
-    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    begin_stop();
     thread_.join();
+    // Queued-but-unserved connections run now, observe stopping_, and
+    // close immediately; in-flight ones were woken by begin_stop().
+    workers_.wait_idle();
     listener_.close();
 }
 

@@ -11,11 +11,14 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/message.h"
+#include "util/thread_pool.h"
 
 namespace teraphim::net {
 
@@ -100,20 +103,28 @@ private:
     std::uint16_t port_ = 0;
 };
 
-/// A server thread running a request handler over one listener: accepts
-/// connections sequentially and answers messages until it receives
-/// Shutdown or the connection closes. This is the shape of a TERAPHIM
-/// librarian session process.
+/// A concurrent message server over one listener: an accept loop hands
+/// each connection to a bounded pool of worker threads, so one TERAPHIM
+/// librarian process serves the receptionist and any number of user
+/// sessions simultaneously. Each connection is answered until it sends
+/// Shutdown or closes; `max_connections` bounds how many are *served* at
+/// once — further accepted connections wait in the worker queue.
 ///
-/// The serve loop is resilient: a malformed frame (ProtocolError), a
-/// handler that throws, or a vanished client drops that connection and
-/// the loop returns to accept() — one bad client cannot take the
-/// librarian down.
+/// The handler is invoked concurrently from several workers and must be
+/// reentrant (Librarian::handle is: it only reads immutable state).
+///
+/// Each per-connection loop is resilient: a malformed frame
+/// (ProtocolError), a handler that throws, or a vanished client drops
+/// that connection only — one bad client cannot take the librarian down.
+///
+/// A Shutdown frame from any client stops the whole server, as does
+/// stop(): both wake the accept loop and every fd currently being
+/// served, then the workers drain.
 class MessageServer {
 public:
     using Handler = std::function<Message(const Message&)>;
 
-    MessageServer(std::uint16_t port, Handler handler);
+    MessageServer(std::uint16_t port, Handler handler, std::size_t max_connections = 8);
     ~MessageServer();
 
     MessageServer(const MessageServer&) = delete;
@@ -121,17 +132,25 @@ public:
 
     std::uint16_t port() const { return listener_.port(); }
 
-    /// Asks the server to exit its accept loop and joins the thread.
+    /// Asks the server to exit its accept loop, wakes every connection
+    /// in flight, and joins the accept thread and all workers.
     void stop();
 
 private:
     void serve();
+    void serve_connection(const std::shared_ptr<TcpConnection>& conn);
+
+    /// Flags the server as stopping and wakes every blocked thread: the
+    /// accept loop via the listener, the workers via their tracked fds.
+    void begin_stop();
 
     TcpListener listener_;
     Handler handler_;
+    util::ThreadPool workers_;
     std::atomic<bool> stopping_{false};
-    std::atomic<int> active_fd_{-1};  ///< fd being served, for cancellation
-    std::thread thread_;
+    std::mutex fds_mu_;
+    std::vector<int> active_fds_;  ///< fds being served, for cancellation
+    std::thread thread_;           ///< accept loop; last member: starts serve()
 };
 
 }  // namespace teraphim::net

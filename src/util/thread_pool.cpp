@@ -1,0 +1,106 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "util/error.h"
+
+namespace teraphim::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    workers_.reserve(std::max<std::size_t>(1, threads));
+    for (std::size_t i = 0; i < std::max<std::size_t>(1, threads); ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+    TERAPHIM_ASSERT(task != nullptr);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        TERAPHIM_ASSERT_MSG(!stopping_, "submit() on a stopping ThreadPool");
+        queue_.push_back(std::move(task));
+    }
+    work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            work_available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            // Drain the queue even when stopping: a submitted task may
+            // hold state (e.g. an accepted connection) that must be
+            // released on a worker, not leaked.
+            if (queue_.empty()) return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --running_;
+            if (queue_.empty() && running_ == 0) idle_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    if (n == 1 || workers_.empty()) {
+        for (std::size_t i = 0; i < n; ++i) fn(i);
+        return;
+    }
+
+    struct Join {
+        std::mutex mu;
+        std::condition_variable done;
+        std::size_t remaining;
+        std::vector<std::exception_ptr> errors;
+    };
+    Join join;
+    join.remaining = n;
+    join.errors.assign(n, nullptr);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        submit([&join, &fn, i] {
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(join.mu);
+                join.errors[i] = std::current_exception();
+            }
+            std::lock_guard<std::mutex> lock(join.mu);
+            if (--join.remaining == 0) join.done.notify_one();
+        });
+    }
+
+    std::unique_lock<std::mutex> lock(join.mu);
+    join.done.wait(lock, [&join] { return join.remaining == 0; });
+    for (std::exception_ptr& e : join.errors) {
+        if (e) std::rethrow_exception(e);
+    }
+}
+
+std::size_t default_fanout_threads(std::size_t slots) {
+    constexpr std::size_t kMaxFanout = 32;
+    return std::max<std::size_t>(1, std::min(slots, kMaxFanout));
+}
+
+}  // namespace teraphim::util

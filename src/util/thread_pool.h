@@ -1,0 +1,76 @@
+// A small fixed-size thread pool for scatter-gather work.
+//
+// Two callers share this primitive: the receptionist fans one query out
+// to S librarians and gathers the responses in slot order (dir/
+// receptionist.h), and MessageServer hands each accepted connection to a
+// worker so one librarian process can serve many sessions at once
+// (net/tcp.h). Both need the same shape — a bounded set of long-lived
+// threads draining a task queue — and neither needs futures, priorities
+// or work stealing, so the pool provides exactly submit() and a blocking
+// parallel_for() whose exception semantics preserve slot order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace teraphim::util {
+
+class ThreadPool {
+public:
+    /// Spawns `threads` workers (at least 1).
+    explicit ThreadPool(std::size_t threads);
+
+    /// Drains the queue, then joins the workers. Tasks submitted during
+    /// destruction are not accepted.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const { return workers_.size(); }
+
+    /// Enqueues a task for execution on some worker. The task must not
+    /// throw (wrap anything that can; parallel_for does this for you).
+    void submit(std::function<void()> task);
+
+    /// Blocks until the queue is empty and every worker is between
+    /// tasks. Only meaningful when the caller knows no new work is being
+    /// submitted concurrently (e.g. a server draining on shutdown).
+    void wait_idle();
+
+    /// Runs fn(0) ... fn(n-1) across the pool and blocks until every
+    /// call returned. If any calls threw, rethrows the exception of the
+    /// lowest index — the same exception a sequential `for` loop would
+    /// have surfaced first — after all slots finished, so slot-indexed
+    /// output vectors are never touched by a straggler afterwards.
+    ///
+    /// Must not be called from inside a pool task (the worker would wait
+    /// on work only it can run).
+    void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mu_;
+    std::condition_variable work_available_;
+    std::condition_variable idle_;
+    std::size_t running_ = 0;  ///< tasks currently executing
+    bool stopping_ = false;
+};
+
+/// Number of workers for fanning out to `slots` peers: one per slot
+/// (always at least one). Fan-out threads spend their lives blocked on
+/// sockets, not burning CPU, so the count is deliberately independent of
+/// the core count — a single-core receptionist still overlaps the
+/// latencies of all its librarians. A fixed cap bounds thread creation
+/// for very wide federations.
+std::size_t default_fanout_threads(std::size_t slots);
+
+}  // namespace teraphim::util

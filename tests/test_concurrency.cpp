@@ -1,0 +1,451 @@
+// Concurrency tests: the multi-client MessageServer, the scatter-gather
+// thread pool, thread-safe breaker/trace accounting, and the
+// bit-identical-merge guarantee of the parallel fan-out. Registered
+// under the `concurrency` CTest label so `ctest -L concurrency` (and
+// the ThreadSanitizer script) can target them directly.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dir/deployment.h"
+#include "dir/fault.h"
+#include "net/tcp.h"
+#include "util/error.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace teraphim {
+namespace {
+
+// ---- ThreadPool ---------------------------------------------------------
+
+TEST(ThreadPool, ParallelForRunsEverySlotExactlyOnce) {
+    util::ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(64);
+    pool.parallel_for(64, [&](std::size_t i) { ++hits[i]; });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestIndexException) {
+    util::ThreadPool pool(4);
+    try {
+        pool.parallel_for(16, [&](std::size_t i) {
+            if (i == 3 || i == 11) throw IoError("slot " + std::to_string(i));
+        });
+        FAIL() << "expected IoError";
+    } catch (const IoError& e) {
+        // The sequential loop would have failed on slot 3 first; the
+        // pool preserves that choice regardless of completion order.
+        EXPECT_STREQ(e.what(), "slot 3");
+    }
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilSubmittedWorkDrains) {
+    util::ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 8; ++i) {
+        pool.submit([&done] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+            ++done;
+        });
+    }
+    pool.wait_idle();
+    EXPECT_EQ(done.load(), 8);
+}
+
+// ---- MessageServer under concurrent clients -----------------------------
+
+net::Message text_message(net::MessageType type, const std::string& text) {
+    net::Message m;
+    m.type = type;
+    m.payload.assign(text.begin(), text.end());
+    return m;
+}
+
+std::string text_of(const net::Message& m) {
+    return std::string(m.payload.begin(), m.payload.end());
+}
+
+TEST(ConcurrentServer, ManyClientsAllRequestsAnswered) {
+    std::atomic<int> handled{0};
+    net::MessageServer server(0, [&handled](const net::Message& m) {
+        ++handled;
+        net::Message reply = m;
+        reply.type = net::MessageType::Pong;
+        return reply;
+    });
+
+    constexpr int kClients = 8;
+    constexpr int kRequests = 50;
+    std::atomic<int> answered{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            auto conn = net::TcpConnection::connect_to("127.0.0.1", server.port());
+            for (int i = 0; i < kRequests; ++i) {
+                const std::string body = std::to_string(c) + ":" + std::to_string(i);
+                conn.send_message(text_message(net::MessageType::Ping, body));
+                const net::Message reply = conn.recv_message();
+                if (reply.type == net::MessageType::Pong && text_of(reply) == body) {
+                    ++answered;
+                }
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(answered.load(), kClients * kRequests);
+    EXPECT_EQ(handled.load(), kClients * kRequests);
+    server.stop();
+}
+
+TEST(ConcurrentServer, ClientsAreServedSimultaneouslyNotSequentially) {
+    // Two clients issue a slow request each; a server that interleaved
+    // them on one thread would take 2 * delay for the pair.
+    constexpr auto kDelay = std::chrono::milliseconds(120);
+    net::MessageServer server(0, [&](const net::Message& m) {
+        std::this_thread::sleep_for(kDelay);
+        return m;
+    });
+    util::Timer timer;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 2; ++c) {
+        clients.emplace_back([&] {
+            auto conn = net::TcpConnection::connect_to("127.0.0.1", server.port());
+            conn.send_message({net::MessageType::Ping, {}});
+            conn.recv_message();
+        });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_LT(timer.elapsed_seconds(), 0.20) << "clients were serialized";
+    server.stop();
+}
+
+TEST(ConcurrentServer, MalformedFramesDropOnlyTheirOwnConnection) {
+    net::MessageServer server(0, [](const net::Message& m) { return m; });
+
+    std::atomic<int> good{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 6; ++c) {
+        clients.emplace_back([&, c] {
+            for (int i = 0; i < 10; ++i) {
+                auto conn = net::TcpConnection::connect_to("127.0.0.1", server.port());
+                if (c % 2 == 0) {
+                    // Malformed: a frame header whose length field is far
+                    // beyond kMaxPayloadBytes. The server must sever this
+                    // connection without disturbing anyone else.
+                    conn.send_message(
+                        text_message(net::MessageType::Ping, "seed the stream"));
+                    conn.recv_message();
+                    const std::uint8_t bogus[6] = {0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x00};
+                    ::send(conn.native_handle(), bogus, sizeof bogus, MSG_NOSIGNAL);
+                    EXPECT_THROW(conn.recv_message(), Error);
+                } else {
+                    conn.send_message(text_message(net::MessageType::Ping, "ok"));
+                    if (text_of(conn.recv_message()) == "ok") ++good;
+                }
+            }
+        });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(good.load(), 3 * 10) << "a malformed client disturbed a valid one";
+    server.stop();
+}
+
+TEST(ConcurrentServer, StopJoinsCleanlyWithConnectionsInFlight) {
+    net::MessageServer server(0, [](const net::Message& m) { return m; });
+
+    // Three kinds of in-flight connection: blocked-in-recv (the server
+    // is parked waiting for this client's next frame), idle (connected
+    // but never sent anything), and actively exchanging.
+    auto blocked = net::TcpConnection::connect_to("127.0.0.1", server.port());
+    blocked.send_message({net::MessageType::Ping, {}});
+    blocked.recv_message();  // server is now in recv on this fd
+
+    auto idle = net::TcpConnection::connect_to("127.0.0.1", server.port());
+
+    std::atomic<bool> client_done{false};
+    std::thread active([&] {
+        try {
+            auto conn = net::TcpConnection::connect_to("127.0.0.1", server.port());
+            for (int i = 0; i < 1000; ++i) {
+                conn.send_message({net::MessageType::Ping, {}});
+                conn.recv_message();
+            }
+        } catch (const Error&) {
+            // Cut off by stop() mid-stream: expected.
+        }
+        client_done = true;
+    });
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    util::Timer timer;
+    server.stop();
+    EXPECT_LT(timer.elapsed_seconds(), 2.0) << "stop() hung on in-flight connections";
+    active.join();
+    EXPECT_TRUE(client_done.load());
+}
+
+TEST(ConcurrentServer, ShutdownFrameStopsServerForAllClients) {
+    net::MessageServer server(0, [](const net::Message& m) { return m; });
+    auto bystander = net::TcpConnection::connect_to("127.0.0.1", server.port());
+    bystander.send_message({net::MessageType::Ping, {}});
+    bystander.recv_message();
+
+    auto admin = net::TcpConnection::connect_to("127.0.0.1", server.port());
+    admin.send_message({net::MessageType::Shutdown, {}});
+    EXPECT_EQ(admin.recv_message().type, net::MessageType::Shutdown);
+
+    // The bystander's connection is severed by the shutdown sweep. The
+    // sweep runs just after the Shutdown reply is sent, so a ping or two
+    // may still slip through; it must go dark within the loop's budget.
+    EXPECT_THROW(
+        {
+            for (int i = 0; i < 1000; ++i) {
+                bystander.send_message({net::MessageType::Ping, {}});
+                bystander.recv_message();
+                std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            }
+        },
+        Error);
+    server.stop();  // idempotent after a frame-initiated shutdown
+}
+
+TEST(ConcurrentServer, BoundedWorkersStillServeEveryConnection) {
+    // More concurrent clients than workers: the surplus queue and are
+    // served as slots free up — none are dropped.
+    net::MessageServer server(
+        0, [](const net::Message& m) { return m; }, /*max_connections=*/2);
+    std::atomic<int> served{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 6; ++c) {
+        clients.emplace_back([&] {
+            auto conn = net::TcpConnection::connect_to("127.0.0.1", server.port());
+            conn.send_message(text_message(net::MessageType::Ping, "q"));
+            if (text_of(conn.recv_message()) == "q") ++served;
+            // Close promptly so the worker slot frees for the queue.
+        });
+    }
+    for (auto& t : clients) t.join();
+    EXPECT_EQ(served.load(), 6);
+    server.stop();
+}
+
+// ---- Breaker thread-safety (ThreadSanitizer fodder) ---------------------
+
+TEST(ConcurrencySafety, CircuitBreakerSurvivesConcurrentHammering) {
+    dir::BreakerOptions options;
+    options.failure_threshold = 3;
+    options.open_cooldown = 4;
+    dir::CircuitBreaker breaker(options);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t) {
+        threads.emplace_back([&breaker, t] {
+            for (int i = 0; i < 2000; ++i) {
+                if (breaker.allow_request()) {
+                    if ((t + i) % 3 == 0) {
+                        breaker.record_failure();
+                    } else {
+                        breaker.record_success();
+                    }
+                }
+                (void)breaker.state();
+                (void)breaker.consecutive_failures();
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    const auto state = breaker.state();
+    EXPECT_TRUE(state == dir::CircuitBreaker::State::Closed ||
+                state == dir::CircuitBreaker::State::Open ||
+                state == dir::CircuitBreaker::State::HalfOpen);
+}
+
+// ---- Parallel == sequential (the merge-determinism contract) ------------
+
+corpus::SyntheticCorpus small_corpus() {
+    corpus::CorpusConfig config;
+    config.vocab_size = 3000;
+    config.subcollections = {
+        {"AP", 120, 70.0, 0.4},
+        {"WSJ", 120, 70.0, 0.4},
+        {"FR", 80, 90.0, 0.5},
+        {"ZIFF", 80, 60.0, 0.5},
+    };
+    config.num_long_topics = 3;
+    config.num_short_topics = 3;
+    config.topic_term_floor = 150;
+    config.seed = 12;
+    return corpus::generate_corpus(config);
+}
+
+const corpus::SyntheticCorpus& corpus_fixture() {
+    static const corpus::SyntheticCorpus corpus = small_corpus();
+    return corpus;
+}
+
+dir::ReceptionistOptions options_for(dir::Mode mode, std::size_t fanout) {
+    dir::ReceptionistOptions o;
+    o.mode = mode;
+    o.answers = 10;
+    o.group_size = 10;
+    o.k_prime = 30;
+    o.fanout_threads = fanout;
+    return o;
+}
+
+void expect_rankings_byte_equal(const std::vector<dir::GlobalResult>& seq,
+                                const std::vector<dir::GlobalResult>& par,
+                                const std::string& context) {
+    ASSERT_EQ(seq.size(), par.size()) << context;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].librarian, par[i].librarian) << context << " rank " << i;
+        EXPECT_EQ(seq[i].doc, par[i].doc) << context << " rank " << i;
+        // Byte-identical, not approximately equal: the parallel path
+        // must gather into slot order and merge exactly as the
+        // sequential path does, so even the floating-point bits match.
+        EXPECT_EQ(std::memcmp(&seq[i].score, &par[i].score, sizeof(double)), 0)
+            << context << " rank " << i << ": score bits differ ("
+            << seq[i].score << " vs " << par[i].score << ")";
+    }
+}
+
+TEST(ParallelFederation, RankingsByteIdenticalToSequentialAcrossModes) {
+    for (dir::Mode mode : {dir::Mode::CentralNothing, dir::Mode::CentralVocabulary,
+                           dir::Mode::CentralIndex}) {
+        auto seq = dir::Federation::create(corpus_fixture(), options_for(mode, 1));
+        auto par = dir::Federation::create(corpus_fixture(), options_for(mode, 0));
+        ASSERT_EQ(seq.receptionist().fanout_threads(), 1u);
+
+        for (const auto& q : corpus_fixture().short_queries.queries) {
+            const auto seq_answer = seq.receptionist().rank(q.text, 50);
+            const auto par_answer = par.receptionist().rank(q.text, 50);
+            expect_rankings_byte_equal(seq_answer.ranking, par_answer.ranking,
+                                       std::string(dir::mode_name(mode)) + " query " +
+                                           std::to_string(q.id));
+            EXPECT_TRUE(par_answer.degraded().ok());
+        }
+    }
+}
+
+TEST(ParallelFederation, SearchDocumentsIdenticalToSequential) {
+    auto seq = dir::Federation::create(corpus_fixture(),
+                                       options_for(dir::Mode::CentralVocabulary, 1));
+    auto par = dir::Federation::create(corpus_fixture(),
+                                       options_for(dir::Mode::CentralVocabulary, 0));
+    for (const auto& q : corpus_fixture().short_queries.queries) {
+        const auto seq_answer = seq.receptionist().search(q.text);
+        const auto par_answer = par.receptionist().search(q.text);
+        expect_rankings_byte_equal(seq_answer.ranking, par_answer.ranking,
+                                   "search " + std::to_string(q.id));
+        ASSERT_EQ(seq_answer.documents.size(), par_answer.documents.size());
+        for (std::size_t i = 0; i < seq_answer.documents.size(); ++i) {
+            EXPECT_EQ(seq_answer.documents[i].external_id,
+                      par_answer.documents[i].external_id);
+            EXPECT_EQ(seq_answer.documents[i].payload, par_answer.documents[i].payload);
+        }
+    }
+}
+
+TEST(ParallelFederation, PrefixSumOffsetsMatchLibrarianSizes) {
+    auto fed = dir::Federation::create(corpus_fixture(),
+                                       options_for(dir::Mode::CentralIndex, 0));
+    const auto& sizes = fed.receptionist().librarian_sizes();
+    const auto& offsets = fed.receptionist().librarian_offsets();
+    ASSERT_EQ(offsets.size(), sizes.size() + 1);
+    EXPECT_EQ(offsets.front(), 0u);
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        EXPECT_EQ(offsets[s + 1], offsets[s] + sizes[s]);
+    }
+    EXPECT_EQ(offsets.back(), fed.receptionist().total_documents());
+}
+
+TEST(ParallelFederation, DegradedAnswerIdenticalToSequentialDegradedAnswer) {
+    // A librarian that dies after prepare (its first two exchanges are
+    // the stats and vocabulary dumps) must degrade the parallel query to
+    // exactly the answer the sequential path degrades to — same partial
+    // ranking, same retry count, same failure records in the same order.
+    const auto make = [](std::size_t fanout) {
+        auto opts = options_for(dir::Mode::CentralVocabulary, fanout);
+        opts.fault.retry.max_attempts = 2;
+        opts.fault.retry.base_backoff_ms = 0;
+        std::vector<std::unique_ptr<dir::Librarian>> librarians;
+        std::vector<std::unique_ptr<dir::Channel>> channels;
+        for (const auto& sub : corpus_fixture().subcollections) {
+            librarians.push_back(dir::build_librarian(sub));
+            channels.push_back(std::make_unique<dir::InProcessChannel>(*librarians.back()));
+        }
+        // Librarian 1 answers prepare traffic, then never again.
+        dir::FaultScript script;
+        script.from(2, {dir::FaultKind::Drop, 0});
+        channels[1] = std::make_unique<dir::FaultyChannel>(std::move(channels[1]),
+                                                           std::move(script));
+        auto receptionist =
+            std::make_unique<dir::Receptionist>(std::move(channels), opts);
+        receptionist->prepare();
+        return std::make_pair(std::move(librarians), std::move(receptionist));
+    };
+
+    auto [seq_libs, seq] = make(1);
+    auto [par_libs, par] = make(0);
+    for (const auto& q : corpus_fixture().short_queries.queries) {
+        const auto seq_answer = seq->rank(q.text, 30);
+        const auto par_answer = par->rank(q.text, 30);
+        expect_rankings_byte_equal(seq_answer.ranking, par_answer.ranking,
+                                   "degraded query " + std::to_string(q.id));
+        EXPECT_EQ(seq_answer.degraded().partial, par_answer.degraded().partial);
+        EXPECT_EQ(seq_answer.degraded().retries, par_answer.degraded().retries);
+        ASSERT_TRUE(seq_answer.degraded().failures == par_answer.degraded().failures);
+    }
+}
+
+// ---- Wall-clock: fan-out pays max, not sum ------------------------------
+
+TEST(ParallelFederation, WallClockScalesWithMaxNotSumOfLibrarianDelays) {
+    // CN contacts every librarian on every query, so with four injected
+    // 40ms delays the sequential fan-out pays ~160ms per query and the
+    // parallel fan-out ~40ms.
+    constexpr std::uint32_t kDelayMs = 40;
+    const auto timed_run = [](std::size_t fanout) {
+        auto opts = options_for(dir::Mode::CentralNothing, fanout);
+        dir::FaultySpec faults;
+        for (std::size_t s = 0; s < 4; ++s) {
+            faults.server_faults[s] = {{net::MessageType::RankRequest,
+                                        /*times=*/1000000, kDelayMs,
+                                        /*drop_connection=*/false}};
+        }
+        auto fed = dir::TcpFederation::create(corpus_fixture(), opts, {}, faults);
+        const auto& q = corpus_fixture().short_queries.queries[0];
+        util::Timer timer;
+        const auto answer = fed.receptionist().rank(q.text, 10);
+        const double seconds = timer.elapsed_seconds();
+        EXPECT_EQ(answer.trace.participating_librarians(), 4u);
+        EXPECT_TRUE(answer.degraded().ok());
+        fed.shutdown();
+        return seconds;
+    };
+
+    const double sequential = timed_run(1);
+    const double parallel = timed_run(0);
+    std::printf("# scatter-gather wall-clock, 4 librarians x %ums injected delay: "
+                "sequential %.0fms, parallel %.0fms\n",
+                kDelayMs, sequential * 1e3, parallel * 1e3);
+    // Generous margins keep this robust on loaded machines: the
+    // sequential path must pay at least the summed delays, the parallel
+    // path must beat it and come in under three of the four delays.
+    EXPECT_GE(sequential, 4 * kDelayMs / 1e3);
+    EXPECT_LT(parallel, sequential * 0.75);
+    EXPECT_LT(parallel, 3 * kDelayMs / 1e3);
+}
+
+}  // namespace
+}  // namespace teraphim

@@ -63,10 +63,12 @@ struct ReceptionistWork {
 /// One librarian the receptionist gave up on during a query.
 struct FailedLibrarian {
     std::uint32_t librarian = 0;
-    /// Exchange attempts spent before giving up; 0 means the circuit
-    /// breaker was open and the librarian was skipped outright.
+    /// Exchange attempts spent before giving up; 0 means the librarian
+    /// was skipped at admission (circuit breaker open, or its half-open
+    /// Ping/Pong health probe failed).
     std::uint32_t attempts = 0;
-    std::string reason;  ///< what() of the final failure, or "circuit open"
+    std::string reason;  ///< what() of the final failure, "circuit open",
+                         ///< or "health probe failed: ..."
 
     friend bool operator==(const FailedLibrarian&, const FailedLibrarian&) = default;
 };

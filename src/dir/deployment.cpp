@@ -123,31 +123,40 @@ index::IndexStats Federation::combined_index_stats() const {
 
 // ---- TcpChannel -------------------------------------------------------------
 
-void TcpChannel::ensure_connected() {
-    if (is_connected()) return;
-    connection_.emplace(net::TcpConnection::connect_to(host_, port_, timeouts_.connect_ms));
-    if (timeouts_.io_ms > 0) {
-        connection_->set_send_timeout(timeouts_.io_ms);
-        connection_->set_recv_timeout(timeouts_.io_ms);
-    }
-}
-
-net::Message TcpChannel::exchange(const net::Message& request) {
-    ensure_connected();
+util::Future<net::Message> TcpChannel::submit(const net::Message& request) {
+    std::shared_ptr<net::MuxConnection> mux;
     try {
-        connection_->send_message(request);
-        return connection_->recv_message();
+        std::lock_guard<std::mutex> lock(mu_);
+        if (mux_ == nullptr || !mux_->healthy()) {
+            // (Re)connect lazily. Concurrent submitters serialize here,
+            // so exactly one connection is established and shared.
+            mux_ = std::make_shared<net::MuxConnection>(
+                net::TcpConnection::connect_to(host_, port_, timeouts_.connect_ms),
+                timeouts_.io_ms);
+        }
+        mux = mux_;
     } catch (...) {
-        // The stream may be mid-frame (e.g. a recv deadline expired
-        // halfway through a response); a fresh connection is the only
-        // safe continuation.
-        connection_->close();
-        throw;
+        util::Promise<net::Message> promise;
+        util::Future<net::Message> fut = promise.future();
+        promise.set_exception(std::current_exception());
+        return fut;
     }
+    // Submit outside the lock: the MuxConnection is itself thread-safe,
+    // and a slow send must not block other submitters' (re)connect path.
+    return mux->submit(request);
 }
 
 void TcpChannel::reset() {
-    if (connection_.has_value()) connection_->close();
+    std::lock_guard<std::mutex> lock(mu_);
+    // Only a dead connection is discarded: per-request timeouts leave
+    // the stream intact (the late reply is discarded by correlation id),
+    // and neighbouring requests may still be in flight on it.
+    if (mux_ != nullptr && !mux_->healthy()) mux_.reset();
+}
+
+bool TcpChannel::is_connected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return mux_ != nullptr && mux_->healthy();
 }
 
 // ---- TcpFederation ----------------------------------------------------------

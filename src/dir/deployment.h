@@ -17,6 +17,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -32,49 +33,63 @@ namespace teraphim::dir {
 
 /// Channel that invokes a librarian in the same process. Frames are
 /// still encoded/decoded so message sizes equal the TCP deployment's.
+/// submit() runs the handler synchronously — there is no wire to
+/// overlap, so the future is already complete when it returns — and is
+/// safe from any thread (Librarian::handle is reentrant).
 class InProcessChannel final : public Channel {
 public:
     explicit InProcessChannel(Librarian& librarian) : librarian_(&librarian) {}
 
-    net::Message exchange(const net::Message& request) override {
-        return librarian_->handle(request);
+    util::Future<net::Message> submit(const net::Message& request) override {
+        util::Promise<net::Message> promise;
+        util::Future<net::Message> fut = promise.future();
+        try {
+            promise.set_value(librarian_->handle(request));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+        return fut;
     }
+
     const std::string& name() const override { return librarian_->name(); }
 
 private:
     Librarian* librarian_;
 };
 
-/// Channel over a TCP connection, with optional deadlines. Connects
-/// lazily and reconnects after reset(): a timed-out or corrupted
-/// exchange leaves the stream mid-frame, so the retry layer resets the
-/// channel and the next exchange starts on a fresh connection.
+/// Channel over one shared multiplexed TCP connection. Connects lazily;
+/// every query in flight submits onto the same MuxConnection, which
+/// demultiplexes replies by correlation id (net/tcp.h). A per-request
+/// deadline (`io_ms`) fails only the request that missed it — the
+/// connection survives and late replies are discarded — so reset()
+/// replaces the connection only once it is actually dead.
 class TcpChannel final : public Channel {
 public:
     struct Timeouts {
         int connect_ms = 0;  ///< 0 = kernel default (blocking connect)
-        int io_ms = 0;       ///< send/recv deadline per call, 0 = none
+        int io_ms = 0;       ///< per-request deadline, 0 = none
     };
 
     TcpChannel(std::string name, std::string host, std::uint16_t port, Timeouts timeouts)
         : name_(std::move(name)), host_(std::move(host)), port_(port), timeouts_(timeouts) {}
 
-    net::Message exchange(const net::Message& request) override;
+    util::Future<net::Message> submit(const net::Message& request) override;
 
-    /// Drops the connection; the next exchange reconnects.
+    /// Drops the connection if it has died; the next submit reconnects.
+    /// A healthy connection is left alone — other requests may be in
+    /// flight on it.
     void reset() override;
 
     const std::string& name() const override { return name_; }
-    bool is_connected() const { return connection_.has_value() && connection_->is_open(); }
+    bool is_connected() const;
 
 private:
-    void ensure_connected();
-
     std::string name_;
     std::string host_;
     std::uint16_t port_;
     Timeouts timeouts_;
-    std::optional<net::TcpConnection> connection_;
+    mutable std::mutex mu_;  ///< guards mux_ (re)creation
+    std::shared_ptr<net::MuxConnection> mux_;
 };
 
 struct LibrarianBuildOptions {

@@ -27,40 +27,96 @@ std::optional<FaultAction> FaultScript::action_for(std::uint64_t call_index) con
     return std::nullopt;
 }
 
-net::Message FaultyChannel::exchange(const net::Message& request) {
-    const std::optional<FaultAction> action = script_.action_for(calls_++);
-    if (!action.has_value()) return inner_->exchange(request);
-    ++faults_;
+namespace {
+
+/// An already-failed future.
+util::Future<net::Message> failed(std::exception_ptr error) {
+    util::Promise<net::Message> promise;
+    util::Future<net::Message> fut = promise.future();
+    promise.set_exception(std::move(error));
+    return fut;
+}
+
+/// Chains `fn` onto `inner`: the returned future completes with
+/// fn(reply) — or fn's exception — once the inner reply lands, and with
+/// the inner error untouched if the submission itself fails. This is
+/// how a fault corrupts exactly one reply in flight: the transform runs
+/// per correlation id, after the transport has already demultiplexed.
+util::Future<net::Message> transformed(util::Future<net::Message> inner,
+                                       std::function<net::Message(net::Message)> fn) {
+    auto promise = std::make_shared<util::Promise<net::Message>>();
+    util::Future<net::Message> out = promise->future();
+    auto held = std::make_shared<util::Future<net::Message>>(std::move(inner));
+    held->on_ready([promise, held, fn = std::move(fn)] {
+        try {
+            promise->set_value(fn(held->get()));
+        } catch (...) {
+            promise->set_exception(std::current_exception());
+        }
+    });
+    return out;
+}
+
+}  // namespace
+
+util::Future<net::Message> FaultyChannel::submit(const net::Message& request) {
+    std::optional<FaultAction> action;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        action = script_.action_for(calls_++);
+        if (action.has_value()) ++faults_;
+    }
+    if (!action.has_value()) return inner_->submit(request);
     switch (action->kind) {
         case FaultKind::Drop:
-            throw IoError("fault injection: request to " + name() + " dropped");
+            return failed(std::make_exception_ptr(
+                IoError("fault injection: request to " + name() + " dropped")));
         case FaultKind::Timeout:
-            throw TimeoutError("fault injection: exchange with " + name() + " timed out");
+            return failed(std::make_exception_ptr(
+                TimeoutError("fault injection: exchange with " + name() + " timed out")));
         case FaultKind::Delay:
             std::this_thread::sleep_for(std::chrono::milliseconds(action->delay_ms));
-            return inner_->exchange(request);
-        case FaultKind::TruncateFrame: {
-            net::Message reply = inner_->exchange(request);
-            reply.payload.resize(reply.payload.size() / 2);
-            return reply;
-        }
-        case FaultKind::GarbageFrame: {
+            return inner_->submit(request);
+        case FaultKind::TruncateFrame:
+            return transformed(inner_->submit(request), [](net::Message reply) {
+                reply.payload.resize(reply.payload.size() / 2);
+                return reply;
+            });
+        case FaultKind::GarbageFrame:
             // Keep the expected type so the corruption is caught by the
             // payload decoder, not the cheaper type check. 0xEE bytes
             // make the leading length/count field absurdly large, which
             // the decoder must reject without attempting the allocation.
-            net::Message reply = inner_->exchange(request);
-            reply.payload.assign(8, std::uint8_t{0xEE});
-            return reply;
+            return transformed(inner_->submit(request), [](net::Message reply) {
+                reply.payload.assign(8, std::uint8_t{0xEE});
+                return reply;
+            });
+        case FaultKind::Disconnect: {
+            // The librarian performed the work; the response is lost.
+            // reset() runs on the success path only, where the inner
+            // connection is healthy — so for a multiplexed channel it is
+            // a no-op and the neighbours in flight are not disturbed.
+            Channel* inner = inner_.get();
+            const std::string who = name();
+            return transformed(inner_->submit(request),
+                               [inner, who](net::Message) -> net::Message {
+                                   inner->reset();
+                                   throw IoError("fault injection: connection to " + who +
+                                                 " lost mid-stream");
+                               });
         }
-        case FaultKind::Disconnect:
-            // The librarian performed the work; the response is lost and
-            // the transport is left unusable until reset.
-            inner_->exchange(request);
-            inner_->reset();
-            throw IoError("fault injection: connection to " + name() + " lost mid-stream");
     }
     throw Error("unknown fault kind");
+}
+
+std::uint64_t FaultyChannel::exchanges() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return calls_;
+}
+
+std::uint64_t FaultyChannel::faults_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return faults_;
 }
 
 }  // namespace teraphim::dir

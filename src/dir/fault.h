@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 
 #include "dir/receptionist.h"
@@ -57,23 +58,28 @@ private:
     FaultAction from_action_{};
 };
 
-/// Channel decorator applying a FaultScript. Thread-compatible with the
-/// receptionist's sequential use; counters are not synchronized.
+/// Channel decorator applying a FaultScript. Faults are matched per
+/// submission (the call counter is locked, so concurrent queries on the
+/// shared channel script deterministically by arrival order), and each
+/// injected fault poisons exactly the one reply it scripted — the
+/// neighbouring submissions in flight on the same channel complete
+/// untouched.
 class FaultyChannel final : public Channel {
 public:
     FaultyChannel(std::unique_ptr<Channel> inner, FaultScript script)
         : inner_(std::move(inner)), script_(std::move(script)) {}
 
-    net::Message exchange(const net::Message& request) override;
+    util::Future<net::Message> submit(const net::Message& request) override;
     void reset() override { inner_->reset(); }
     const std::string& name() const override { return inner_->name(); }
 
-    std::uint64_t exchanges() const { return calls_; }
-    std::uint64_t faults_injected() const { return faults_; }
+    std::uint64_t exchanges() const;
+    std::uint64_t faults_injected() const;
 
 private:
     std::unique_ptr<Channel> inner_;
     FaultScript script_;
+    mutable std::mutex mu_;  ///< guards the counters under concurrent submits
     std::uint64_t calls_ = 0;
     std::uint64_t faults_ = 0;
 };

@@ -20,8 +20,11 @@ Librarian::Librarian(std::string name, index::InvertedIndex index, store::Docume
 net::Message Librarian::handle(const net::Message& request) {
     try {
         switch (request.type) {
-            case net::MessageType::Ping:
-                return {net::MessageType::Pong, {}};
+            case net::MessageType::Ping: {
+                net::Message pong;
+                pong.type = net::MessageType::Pong;
+                return pong;
+            }
             case net::MessageType::StatsRequest:
                 return stats().encode();
             case net::MessageType::VocabularyRequest:

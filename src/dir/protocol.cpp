@@ -25,7 +25,10 @@ WorkReport decode_work(net::Reader& r) {
 }
 
 net::Message finish(net::MessageType type, net::Writer& w) {
-    return {type, w.take()};
+    net::Message m;
+    m.type = type;
+    m.payload = w.take();
+    return m;
 }
 
 }  // namespace

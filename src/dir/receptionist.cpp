@@ -24,17 +24,41 @@ Receptionist::Receptionist(std::vector<std::unique_ptr<Channel>> channels,
     TERAPHIM_ASSERT(options_.group_size >= 1);
     breakers_.assign(channels_.size(), CircuitBreaker(options_.fault.breaker));
 
-    // Scatter-gather pool: one worker per librarian (capped by the
-    // hardware) unless the options pin a width. Width 1 — or a single
-    // librarian — keeps the fan-out inline on the calling thread.
-    const std::size_t width =
-        options_.fanout_threads == 0
-            ? util::default_fanout_threads(channels_.size())
-            : std::min(options_.fanout_threads, channels_.size());
-    if (width > 1) pool_ = std::make_unique<util::ThreadPool>(width);
+    // Pooled mode needs scatter-gather workers: one per librarian
+    // (capped by the hardware) unless the options pin a width. Width 1
+    // — or a single librarian — keeps the fan-out inline on the calling
+    // thread; Multiplexed mode needs no pool at all, the channels carry
+    // the concurrency.
+    if (options_.fanout == FanoutMode::Pooled) {
+        const std::size_t width =
+            options_.fanout_threads == 0
+                ? util::default_fanout_threads(channels_.size())
+                : std::min(options_.fanout_threads, channels_.size());
+        if (width > 1) pool_ = std::make_unique<util::ThreadPool>(width);
+    }
 }
 
 Receptionist::~Receptionist() = default;
+
+FanoutMode Receptionist::effective_mode() const {
+    if (options_.fanout_threads == 1 || channels_.size() == 1) return FanoutMode::Sequential;
+    if (options_.fanout == FanoutMode::Pooled && pool_ == nullptr) {
+        return FanoutMode::Sequential;
+    }
+    return options_.fanout;
+}
+
+std::size_t Receptionist::fanout_threads() const {
+    switch (effective_mode()) {
+        case FanoutMode::Sequential:
+            return 1;
+        case FanoutMode::Pooled:
+            return pool_->size();
+        case FanoutMode::Multiplexed:
+            return channels_.size();
+    }
+    return 1;
+}
 
 net::Message Receptionist::exchange_counted(std::size_t librarian,
                                             const net::Message& request,
@@ -47,29 +71,58 @@ net::Message Receptionist::exchange_counted(std::size_t librarian,
     return response;
 }
 
+std::optional<net::Message> Receptionist::give_up_slot(std::size_t librarian,
+                                                       std::uint32_t attempts,
+                                                       const std::string& reason,
+                                                       QueryTrace* trace) {
+    if (trace == nullptr || !options_.fault.allow_partial) {
+        throw IoError("librarian " + channels_[librarian]->name() + " unavailable: " + reason);
+    }
+    // The degraded record is shared across concurrent exchanges;
+    // restore_failure_order() re-establishes librarian order afterwards.
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    trace->degraded.partial = true;
+    trace->degraded.failures.push_back(
+        {static_cast<std::uint32_t>(librarian), attempts, reason});
+    return std::nullopt;
+}
+
+bool Receptionist::admit(std::size_t librarian, LibrarianWork& work, QueryTrace* trace) {
+    CircuitBreaker& breaker = breakers_[librarian];
+    if (!breaker.allow_request()) {
+        give_up_slot(librarian, 0, "circuit open", trace);
+        return false;
+    }
+    if (breaker.state() != CircuitBreaker::State::HalfOpen) return true;
+    // Half-open: probe with Ping/Pong before trusting the librarian
+    // with a real request. A recovered librarian is re-admitted by a
+    // cheap round trip; a still-dead one re-opens the breaker without a
+    // full user exchange (and without burning the query's retry budget).
+    try {
+        net::Message ping;
+        ping.type = net::MessageType::Ping;
+        const net::Message reply = exchange_counted(librarian, ping, work);
+        if (reply.type != net::MessageType::Pong) {
+            throw ProtocolError("health probe: unexpected reply type " +
+                                std::to_string(static_cast<int>(reply.type)));
+        }
+        breaker.record_success();
+        return true;
+    } catch (const Error& e) {
+        breaker.record_failure();
+        channels_[librarian]->reset();
+        give_up_slot(librarian, 0, std::string("health probe failed: ") + e.what(), trace);
+        return false;
+    }
+}
+
 std::optional<net::Message> Receptionist::exchange_with_retry(
     std::size_t librarian, const net::Message& request, LibrarianWork& work,
     QueryTrace* trace, const std::function<void(const net::Message&)>& validate) {
+    if (!admit(librarian, work, trace)) return std::nullopt;
+
     const FaultToleranceOptions& ft = options_.fault;
     CircuitBreaker& breaker = breakers_[librarian];
-
-    const auto give_up = [&](std::uint32_t attempts,
-                             const std::string& reason) -> std::optional<net::Message> {
-        if (trace == nullptr || !ft.allow_partial) {
-            throw IoError("librarian " + channels_[librarian]->name() + " unavailable: " +
-                          reason);
-        }
-        // The degraded record is shared across the scatter-gather
-        // workers; scatter() restores librarian order after the join.
-        std::lock_guard<std::mutex> lock(trace_mu_);
-        trace->degraded.partial = true;
-        trace->degraded.failures.push_back(
-            {static_cast<std::uint32_t>(librarian), attempts, reason});
-        return std::nullopt;
-    };
-
-    if (!breaker.allow_request()) return give_up(0, "circuit open");
-
     const std::uint32_t max_attempts = std::max(1u, ft.retry.max_attempts);
     std::string last_reason;
     for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -102,7 +155,69 @@ std::optional<net::Message> Receptionist::exchange_with_retry(
         }
     }
     channels_[librarian]->reset();
-    return give_up(max_attempts, last_reason);
+    return give_up_slot(librarian, max_attempts, last_reason, trace);
+}
+
+util::Future<net::Message> Receptionist::submit_counted(std::size_t librarian,
+                                                        const net::Message& request,
+                                                        LibrarianWork& work) {
+    work.participated = true;
+    work.request_bytes += request.wire_bytes();
+    ++work.messages;
+    return channels_[librarian]->submit(request);
+}
+
+std::optional<net::Message> Receptionist::gather_with_retry(
+    std::size_t librarian, const net::Message& request, util::Future<net::Message> first,
+    LibrarianWork& work, QueryTrace* trace,
+    const std::function<void(const net::Message&)>& validate) {
+    const FaultToleranceOptions& ft = options_.fault;
+    CircuitBreaker& breaker = breakers_[librarian];
+    const std::uint32_t max_attempts = std::max(1u, ft.retry.max_attempts);
+    std::string last_reason;
+    util::Future<net::Message> fut = std::move(first);
+    for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        if (attempt > 1) {
+            // Same policy, counters and ordering as exchange_with_retry;
+            // only the transport call is split into submit + wait.
+            if (trace != nullptr) {
+                std::lock_guard<std::mutex> lock(trace_mu_);
+                ++trace->degraded.retries;
+            }
+            channels_[librarian]->reset();
+            const auto delay = ft.retry.backoff(attempt - 1, librarian);
+            if (delay.count() > 0) std::this_thread::sleep_for(delay);
+            fut = submit_counted(librarian, request, work);
+        }
+        try {
+            net::Message response = fut.get();
+            work.response_bytes += response.wire_bytes();
+            if (validate) validate(response);
+            breaker.record_success();
+            return response;
+        } catch (const RemoteError&) {
+            breaker.record_success();
+            throw;
+        } catch (const Error& e) {
+            breaker.record_failure();
+            last_reason = e.what();
+        }
+    }
+    channels_[librarian]->reset();
+    return give_up_slot(librarian, max_attempts, last_reason, trace);
+}
+
+void Receptionist::restore_failure_order(QueryTrace* trace, std::size_t failures_before) {
+    if (trace == nullptr) return;
+    // Exchanges append failures in completion order; the sequential
+    // path appends them in librarian order. Restore that order for the
+    // entries this fan-out added (stable, so one librarian's multiple
+    // failures within a phase keep their issue order).
+    auto& failures = trace->degraded.failures;
+    std::stable_sort(failures.begin() + static_cast<std::ptrdiff_t>(failures_before),
+                     failures.end(), [](const FailedLibrarian& a, const FailedLibrarian& b) {
+                         return a.librarian < b.librarian;
+                     });
 }
 
 void Receptionist::scatter(std::size_t n, QueryTrace* trace,
@@ -114,17 +229,7 @@ void Receptionist::scatter(std::size_t n, QueryTrace* trace,
     } else {
         for (std::size_t i = 0; i < n; ++i) fn(i);
     }
-    if (trace != nullptr) {
-        // Workers append failures in completion order; the sequential
-        // path appends them in librarian order. Restore that order for
-        // the entries this fan-out added (stable, so one librarian's
-        // multiple failures within a phase keep their issue order).
-        auto& failures = trace->degraded.failures;
-        std::stable_sort(failures.begin() + static_cast<std::ptrdiff_t>(failures_before),
-                         failures.end(), [](const FailedLibrarian& a, const FailedLibrarian& b) {
-                             return a.librarian < b.librarian;
-                         });
-    }
+    restore_failure_order(trace, failures_before);
 }
 
 std::vector<std::optional<net::Message>> Receptionist::broadcast(
@@ -141,14 +246,42 @@ std::vector<std::optional<net::Message>> Receptionist::broadcast(
     }
 
     std::vector<std::optional<net::Message>> responses(channels_.size());
-    scatter(active.size(), trace, [&](std::size_t i) {
-        const std::size_t s = active[i];
+    if (effective_mode() != FanoutMode::Multiplexed) {
+        scatter(active.size(), trace, [&](std::size_t i) {
+            const std::size_t s = active[i];
+            std::function<void(const net::Message&)> slot_validate;
+            if (validate) {
+                slot_validate = [&validate, s](const net::Message& reply) {
+                    validate(s, reply);
+                };
+            }
+            responses[s] = exchange_with_retry(s, *requests[s], work[s], trace, slot_validate);
+        });
+        return responses;
+    }
+
+    // Multiplexed scatter-gather: stamp every admitted request onto its
+    // shared channel first (no thread blocks yet), then gather
+    // completions in slot order so the merge downstream sees exactly
+    // what the sequential path sees. The channels complete out of order
+    // internally; slot-ordered gathering makes that invisible.
+    const std::size_t failures_before =
+        trace == nullptr ? 0 : trace->degraded.failures.size();
+    std::vector<std::optional<util::Future<net::Message>>> futures(channels_.size());
+    for (const std::size_t s : active) {
+        if (!admit(s, work[s], trace)) continue;
+        futures[s] = submit_counted(s, *requests[s], work[s]);
+    }
+    for (const std::size_t s : active) {
+        if (!futures[s].has_value()) continue;
         std::function<void(const net::Message&)> slot_validate;
         if (validate) {
             slot_validate = [&validate, s](const net::Message& reply) { validate(s, reply); };
         }
-        responses[s] = exchange_with_retry(s, *requests[s], work[s], trace, slot_validate);
-    });
+        responses[s] = gather_with_retry(s, *requests[s], std::move(*futures[s]), work[s],
+                                         trace, slot_validate);
+    }
+    restore_failure_order(trace, failures_before);
     return responses;
 }
 
@@ -287,38 +420,20 @@ void Receptionist::fetch_documents(QueryAnswer& answer) {
     std::map<std::uint32_t, std::vector<std::uint32_t>> wanted;
     for (const GlobalResult& r : answer.ranking) wanted[r.librarian].push_back(r.doc);
 
-    // One fan-out job per librarian; each job's round trips stay
-    // sequential (the per-document protocol of the paper) but the jobs
-    // run concurrently, so fetch latency is the slowest librarian's
-    // chain, not the sum. Every job writes only its own slots.
-    std::vector<std::pair<std::uint32_t, std::vector<std::uint32_t>>> jobs(wanted.begin(),
-                                                                           wanted.end());
-    std::vector<std::vector<std::pair<std::uint32_t, FetchedDocument>>> gathered(jobs.size());
-
-    const auto run_job = [&](std::size_t j) {
-        const std::uint32_t librarian = jobs[j].first;
-        const std::vector<std::uint32_t>& docs = jobs[j].second;
-        FetchWork& fw = answer.trace.fetch_phase[librarian];
-        const auto issue = [&](std::vector<std::uint32_t> batch) {
-            FetchRequest req;
-            req.docs = std::move(batch);
-            req.send_compressed = options_.compressed_fetch;
-            LibrarianWork lw;  // scratch: fetch accounting uses FetchWork
-            auto resp = call_librarian<FetchResponse>(librarian, req.encode(), lw,
-                                                      answer.trace);
-            fw.request_bytes += lw.request_bytes;
-            fw.response_bytes += lw.response_bytes;
-            fw.messages += lw.messages;
-            if (!resp.has_value()) return;  // degraded: documents stay missing
-            fw.disk_bytes += resp->work.disk_bytes;
-            for (std::size_t i = 0; i < resp->docs.size(); ++i) {
-                fw.payload_bytes += resp->docs[i].payload.size();
-                ++fw.docs;
-                gathered[j].emplace_back(req.docs[i], std::move(resp->docs[i]));
-            }
-        };
+    // Precompute every fetch round trip up front: one batch per request
+    // frame, grouped per librarian in a deterministic order. The batch
+    // list is what lets the three fan-out shapes share one definition
+    // of the fetch protocol.
+    struct Batch {
+        std::uint32_t librarian = 0;
+        std::vector<std::uint32_t> docs;
+    };
+    std::vector<Batch> batches;
+    std::vector<std::pair<std::size_t, std::size_t>> job_ranges;  ///< [first, last) per librarian
+    for (const auto& [librarian, docs] : wanted) {
+        const std::size_t first = batches.size();
         if (options_.bundle_fetch) {
-            issue(docs);
+            batches.push_back({librarian, docs});
         } else if (options_.mode == Mode::CentralIndex && grouped_.has_value()) {
             // CI ships each expanded group's answers as one block: the
             // group's documents are adjacent in the librarian's
@@ -333,27 +448,98 @@ void Receptionist::fetch_documents(QueryAnswer& answer) {
             for (std::uint32_t doc : sorted) {
                 const std::uint32_t group = (offset + doc) / g;
                 if (!run.empty() && group != run_group) {
-                    issue(run);
+                    batches.push_back({librarian, run});
                     run.clear();
                 }
                 run_group = group;
                 run.push_back(doc);
             }
-            if (!run.empty()) issue(run);
+            if (!run.empty()) batches.push_back({librarian, run});
         } else {
             // The paper's implementation: one round trip per document
             // ("documents should be bundled into blocks by the
             // librarians rather than transferred individually" is listed
             // as an improvement, not the as-measured behaviour).
-            for (std::uint32_t doc : docs) issue({doc});
+            for (std::uint32_t doc : docs) batches.push_back({librarian, {doc}});
         }
-    };
-    scatter(jobs.size(), &answer.trace, run_job);
+        job_ranges.emplace_back(first, batches.size());
+    }
 
+    // Per-batch results land in per-batch slots, so concurrent shapes
+    // never contend; accounting is folded in batch order afterwards.
+    std::vector<std::optional<FetchResponse>> responses(batches.size());
+    std::vector<LibrarianWork> scratch(batches.size());
+
+    const auto run_batch = [&](std::size_t b) {
+        FetchRequest req;
+        req.docs = batches[b].docs;
+        req.send_compressed = options_.compressed_fetch;
+        responses[b] = call_librarian<FetchResponse>(batches[b].librarian, req.encode(),
+                                                     scratch[b], answer.trace);
+    };
+
+    switch (effective_mode()) {
+        case FanoutMode::Sequential:
+            for (std::size_t b = 0; b < batches.size(); ++b) run_batch(b);
+            break;
+        case FanoutMode::Pooled:
+            // One fan-out job per librarian; each job's round trips stay
+            // sequential (the per-document protocol of the paper) but
+            // the jobs run concurrently, so fetch latency is the slowest
+            // librarian's chain, not the sum.
+            scatter(job_ranges.size(), &answer.trace, [&](std::size_t j) {
+                for (std::size_t b = job_ranges[j].first; b < job_ranges[j].second; ++b) {
+                    run_batch(b);
+                }
+            });
+            break;
+        case FanoutMode::Multiplexed: {
+            // All round trips to all librarians go out at once on the
+            // shared connections; completions are gathered in batch
+            // order. A librarian's batches are pipelined instead of
+            // waiting a round trip each — the win the paper anticipated
+            // from bundling, obtained in the transport.
+            const std::size_t failures_before = answer.trace.degraded.failures.size();
+            std::vector<std::optional<util::Future<net::Message>>> futures(batches.size());
+            std::vector<net::Message> encoded(batches.size());
+            for (std::size_t b = 0; b < batches.size(); ++b) {
+                FetchRequest req;
+                req.docs = batches[b].docs;
+                req.send_compressed = options_.compressed_fetch;
+                encoded[b] = req.encode();
+                if (!admit(batches[b].librarian, scratch[b], &answer.trace)) continue;
+                futures[b] = submit_counted(batches[b].librarian, encoded[b], scratch[b]);
+            }
+            for (std::size_t b = 0; b < batches.size(); ++b) {
+                if (!futures[b].has_value()) continue;
+                std::optional<FetchResponse>& out = responses[b];
+                gather_with_retry(batches[b].librarian, encoded[b], std::move(*futures[b]),
+                                  scratch[b], &answer.trace,
+                                  [&out](const net::Message& reply) {
+                                      out.emplace(FetchResponse::decode(reply));
+                                  });
+            }
+            restore_failure_order(&answer.trace, failures_before);
+            break;
+        }
+    }
+
+    // Fold accounting and collect documents in deterministic batch
+    // order, identically for every shape.
     std::map<std::pair<std::uint32_t, std::uint32_t>, FetchedDocument> received;
-    for (std::size_t j = 0; j < jobs.size(); ++j) {
-        for (auto& [doc, fetched] : gathered[j]) {
-            received.emplace(std::make_pair(jobs[j].first, doc), std::move(fetched));
+    for (std::size_t b = 0; b < batches.size(); ++b) {
+        FetchWork& fw = answer.trace.fetch_phase[batches[b].librarian];
+        fw.request_bytes += scratch[b].request_bytes;
+        fw.response_bytes += scratch[b].response_bytes;
+        fw.messages += scratch[b].messages;
+        if (!responses[b].has_value()) continue;  // degraded: documents stay missing
+        FetchResponse& resp = *responses[b];
+        fw.disk_bytes += resp.work.disk_bytes;
+        for (std::size_t i = 0; i < resp.docs.size(); ++i) {
+            fw.payload_bytes += resp.docs[i].payload.size();
+            ++fw.docs;
+            received.emplace(std::make_pair(batches[b].librarian, batches[b].docs[i]),
+                             std::move(resp.docs[i]));
         }
     }
 

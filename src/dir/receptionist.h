@@ -36,6 +36,7 @@
 #include "net/message.h"
 #include "rank/similarity.h"
 #include "text/pipeline.h"
+#include "util/future.h"
 #include "util/thread_pool.h"
 
 namespace teraphim::dir {
@@ -43,15 +44,26 @@ namespace teraphim::dir {
 /// Transport-agnostic endpoint for one librarian. Implementations:
 /// InProcessChannel and TcpChannel (dir/deployment.h), FaultyChannel
 /// (dir/fault.h).
+///
+/// Channels are shared: one channel per librarian serves every user
+/// query in the federation, so submit() must be safe to call from many
+/// threads with many requests outstanding (the TCP implementation
+/// multiplexes them over one connection by correlation id).
 class Channel {
 public:
     virtual ~Channel() = default;
 
-    /// Synchronous request/response exchange.
-    virtual net::Message exchange(const net::Message& request) = 0;
+    /// Asynchronous request/response: enqueues the request and returns
+    /// a future that completes with the reply or the transport error.
+    virtual util::Future<net::Message> submit(const net::Message& request) = 0;
 
-    /// Discards any transport state (e.g. a connection that may be
-    /// mid-frame after a timeout) so the next exchange starts fresh.
+    /// Synchronous exchange — submit and wait. Kept as the convenient
+    /// shape for callers that want one answer before proceeding.
+    net::Message exchange(const net::Message& request) { return submit(request).get(); }
+
+    /// Discards any transport state that is no longer usable (e.g. a
+    /// connection that died mid-frame) so the next submit starts fresh.
+    /// Must not disturb healthy state shared with in-flight requests.
     /// No-op for stateless channels.
     virtual void reset() {}
 
@@ -77,6 +89,15 @@ struct FaultToleranceOptions {
     int io_timeout_ms = 0;  ///< send/recv deadline per exchange
 };
 
+/// How the receptionist executes a fan-out. All three produce
+/// byte-identical rankings and degraded traces: responses are always
+/// gathered into librarian order before merging.
+enum class FanoutMode {
+    Sequential,   ///< one blocking exchange at a time, in librarian order
+    Pooled,       ///< thread per in-flight exchange on a scatter pool
+    Multiplexed,  ///< submit all requests, then gather futures in order
+};
+
 struct ReceptionistOptions {
     Mode mode = Mode::CentralVocabulary;
     std::size_t answers = 20;  ///< k: documents fetched for the user
@@ -92,13 +113,17 @@ struct ReceptionistOptions {
     bool bundle_fetch = false;
     bool compressed_fetch = true;
 
-    /// Scatter-gather width: how many librarians are queried
-    /// concurrently. 0 (default) uses one thread per librarian (the
-    /// threads block on sockets, so this is right even on one core);
-    /// 1 forces the sequential fan-out (useful for byte-identical
-    /// comparison and single-threaded debugging). Responses are always
-    /// gathered into librarian order before merging, so the ranking is
-    /// bit-identical at every width.
+    /// Execution shape of the fan-out (see FanoutMode). Multiplexed is
+    /// the default: requests to all librarians are submitted up front on
+    /// the shared channels and completions gathered in librarian order —
+    /// no blocked thread per exchange.
+    FanoutMode fanout = FanoutMode::Multiplexed;
+
+    /// Width of the Pooled fan-out: how many exchanges run concurrently.
+    /// 0 (default) uses one thread per librarian (the threads block on
+    /// sockets, so this is right even on one core). 1 forces the
+    /// sequential fan-out *whatever `fanout` says* — useful for
+    /// byte-identical comparison and single-threaded debugging.
     std::size_t fanout_threads = 0;
 
     FaultToleranceOptions fault;
@@ -169,9 +194,10 @@ public:
     /// equals total_documents()). Computed once during prepare().
     const std::vector<std::uint32_t>& librarian_offsets() const { return librarian_offsets_; }
 
-    /// Threads actually used for the scatter-gather fan-out (1 when the
-    /// sequential path is active).
-    std::size_t fanout_threads() const { return pool_ ? pool_->size() : 1; }
+    /// Effective fan-out parallelism: 1 when the sequential path is
+    /// active, the pool width in Pooled mode, and the librarian count in
+    /// Multiplexed mode (every librarian can have a request in flight).
+    std::size_t fanout_threads() const;
 
 private:
     struct GlobalTermInfo {
@@ -192,6 +218,44 @@ private:
 
     net::Message exchange_counted(std::size_t librarian, const net::Message& request,
                                   LibrarianWork& work);
+
+    /// The fan-out shape this query actually runs with: fanout_threads
+    /// == 1 or a single librarian forces Sequential; Pooled without a
+    /// pool degenerates to Sequential.
+    FanoutMode effective_mode() const;
+
+    /// Circuit-breaker admission for one exchange. A closed breaker
+    /// admits immediately; a half-open one first sends a cheap
+    /// Ping/Pong health probe (counted into `work`) so a recovering
+    /// librarian is re-admitted without gambling a full user request.
+    /// Returns false when the slot must be skipped — the give-up is
+    /// already recorded in `trace` (or thrown, in strict contexts).
+    bool admit(std::size_t librarian, LibrarianWork& work, QueryTrace* trace);
+
+    /// Records one dropped librarian in trace.degraded, or throws when
+    /// the context is strict (no trace, or allow_partial off).
+    std::optional<net::Message> give_up_slot(std::size_t librarian, std::uint32_t attempts,
+                                             const std::string& reason, QueryTrace* trace);
+
+    /// Counts the request into `work` (participation, bytes, messages)
+    /// and submits it on the librarian's channel.
+    util::Future<net::Message> submit_counted(std::size_t librarian,
+                                              const net::Message& request,
+                                              LibrarianWork& work);
+
+    /// Gather half of the multiplexed fault-tolerance stack: waits on
+    /// `first` (the future from the submit sweep) and applies the same
+    /// retry/breaker/degradation policy as exchange_with_retry,
+    /// resubmitting on transient failure.
+    std::optional<net::Message> gather_with_retry(
+        std::size_t librarian, const net::Message& request,
+        util::Future<net::Message> first, LibrarianWork& work, QueryTrace* trace,
+        const std::function<void(const net::Message&)>& validate);
+
+    /// Restores the deterministic (librarian-ordered) failure record for
+    /// entries appended after `failures_before`, so every fan-out shape
+    /// produces an identical trace.
+    void restore_failure_order(QueryTrace* trace, std::size_t failures_before);
 
     /// Fault-tolerant exchange: consults the librarian's circuit
     /// breaker, retries transient failures (IoError, TimeoutError,
@@ -261,7 +325,7 @@ private:
     text::Pipeline pipeline_;
     const rank::SimilarityMeasure* measure_;
     std::vector<CircuitBreaker> breakers_;  ///< one per librarian
-    std::unique_ptr<util::ThreadPool> pool_;  ///< fan-out workers; null = sequential
+    std::unique_ptr<util::ThreadPool> pool_;  ///< Pooled-mode workers; null otherwise
     std::mutex trace_mu_;  ///< guards the shared DegradedInfo during a fan-out
 
     bool prepared_ = false;

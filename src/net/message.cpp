@@ -1,4 +1,50 @@
 #include "net/message.h"
 
-// Message is a plain aggregate; frame encoding/decoding lives with the
-// TCP transport (net/tcp.cpp), the only place raw frames exist.
+#include <string>
+
+#include "util/error.h"
+
+namespace teraphim::net {
+
+namespace {
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+    return v;
+}
+
+}  // namespace
+
+void Message::encode_header(std::uint8_t* out, std::uint32_t correlation_id) const {
+    out[0] = kProtocolVersion;
+    out[1] = 0;
+    put_u32(out + 2, static_cast<std::uint32_t>(payload.size()));
+    const auto t = static_cast<std::uint16_t>(type);
+    out[6] = static_cast<std::uint8_t>(t & 0xFF);
+    out[7] = static_cast<std::uint8_t>(t >> 8);
+    put_u32(out + 8, correlation_id);
+}
+
+Message::Header Message::decode_header(const std::uint8_t* in) {
+    if (in[0] != kProtocolVersion || in[1] != 0) {
+        throw ProtocolError("unsupported frame header: version " + std::to_string(in[0]) +
+                            " (expected " + std::to_string(kProtocolVersion) + ")");
+    }
+    Header h;
+    h.payload_length = get_u32(in + 2);
+    h.type = static_cast<MessageType>(static_cast<std::uint16_t>(in[6]) |
+                                      (static_cast<std::uint16_t>(in[7]) << 8));
+    h.correlation = get_u32(in + 8);
+    if (h.payload_length > kMaxPayloadBytes) {
+        throw ProtocolError("frame payload length " + std::to_string(h.payload_length) +
+                            " exceeds protocol maximum");
+    }
+    return h;
+}
+
+}  // namespace teraphim::net

@@ -1,10 +1,20 @@
 // Framed protocol messages.
 //
-// Every receptionist <-> librarian exchange is a typed message: a
-// 6-byte frame header (4-byte little-endian payload length, 2-byte type)
-// followed by the serialized payload. The same frame travels over TCP
-// (net/tcp.h) and through the in-process channel, so byte accounting is
-// identical in both deployments.
+// Every receptionist <-> librarian exchange is a typed message framed
+// as a fixed 12-byte header followed by the serialized payload:
+//
+//   offset 0   u8    protocol version (kProtocolVersion)
+//   offset 1   u8    reserved, must be 0
+//   offset 2   u32   payload length, little-endian
+//   offset 6   u16   message type, little-endian
+//   offset 8   u32   correlation id, little-endian
+//
+// The correlation id is what lets many requests share one connection: a
+// peer answers each frame with the same id, in whatever order the work
+// completes, and the demux loop (net/tcp.h MuxConnection) routes every
+// reply back to its waiter. The same frame travels over TCP and through
+// the in-process channel, so byte accounting is identical in both
+// deployments.
 #pragma once
 
 #include <cstdint>
@@ -34,17 +44,46 @@ enum class MessageType : std::uint16_t {
 
 struct Message {
     MessageType type = MessageType::Error;
+
+    /// Matches a reply to its request on a shared connection. 0 means
+    /// "not yet assigned"; the transport stamps a fresh id on submit.
+    std::uint32_t correlation = 0;
+
     std::vector<std::uint8_t> payload;
 
     /// Total bytes on the wire, including the frame header.
     std::uint64_t wire_bytes() const { return kHeaderBytes + payload.size(); }
 
-    static constexpr std::uint64_t kHeaderBytes = 6;
+    /// Version 1 was the 6-byte pre-multiplexing header (length + type,
+    /// no version byte, no correlation id).
+    static constexpr std::uint8_t kProtocolVersion = 2;
+
+    /// The single source of truth for frame-header size. Every
+    /// byte-accounting site (wire_bytes, LibrarianWork totals, the
+    /// table2/table4 benches) derives from this constant.
+    static constexpr std::uint64_t kHeaderBytes = 12;
 
     /// Frames larger than this are rejected before the payload is
     /// allocated, so a garbage length field from a malfunctioning or
     /// hostile peer cannot exhaust memory (256 MB sanity bound).
     static constexpr std::uint32_t kMaxPayloadBytes = 256u << 20;
+
+    /// Decoded frame-header fields.
+    struct Header {
+        std::uint32_t payload_length = 0;
+        MessageType type = MessageType::Error;
+        std::uint32_t correlation = 0;
+    };
+
+    /// Writes this message's frame header into `out`, stamping
+    /// `correlation_id` (callers multiplexing a connection override the
+    /// message's own field without copying the payload).
+    void encode_header(std::uint8_t* out, std::uint32_t correlation_id) const;
+
+    /// Decodes and validates a frame header read off the wire: throws
+    /// ProtocolError on a version mismatch, a nonzero reserved byte, or
+    /// a length beyond kMaxPayloadBytes.
+    static Header decode_header(const std::uint8_t* in);
 };
 
 }  // namespace teraphim::net

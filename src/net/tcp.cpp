@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <optional>
@@ -160,13 +161,13 @@ void TcpConnection::read_all(std::uint8_t* data, std::size_t len) {
 }
 
 void TcpConnection::send_message(const Message& message) {
+    send_message(message, message.correlation);
+}
+
+void TcpConnection::send_message(const Message& message, std::uint32_t correlation) {
     TERAPHIM_ASSERT(is_open());
     std::uint8_t header[Message::kHeaderBytes];
-    const auto len = static_cast<std::uint32_t>(message.payload.size());
-    const auto type = static_cast<std::uint16_t>(message.type);
-    for (int i = 0; i < 4; ++i) header[i] = static_cast<std::uint8_t>(len >> (8 * i));
-    header[4] = static_cast<std::uint8_t>(type & 0xFF);
-    header[5] = static_cast<std::uint8_t>(type >> 8);
+    message.encode_header(header, correlation);
     write_all(header, sizeof header);
     if (!message.payload.empty()) write_all(message.payload.data(), message.payload.size());
 }
@@ -175,16 +176,12 @@ Message TcpConnection::recv_message() {
     TERAPHIM_ASSERT(is_open());
     std::uint8_t header[Message::kHeaderBytes];
     read_all(header, sizeof header);
-    std::uint32_t len = 0;
-    for (int i = 0; i < 4; ++i) len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
-    const auto type = static_cast<std::uint16_t>(header[4] | (header[5] << 8));
-    if (len > Message::kMaxPayloadBytes) {
-        throw ProtocolError("frame length exceeds protocol maximum");
-    }
+    const Message::Header h = Message::decode_header(header);
     Message m;
-    m.type = static_cast<MessageType>(type);
-    m.payload.resize(len);
-    if (len > 0) read_all(m.payload.data(), len);
+    m.type = h.type;
+    m.correlation = h.correlation;
+    m.payload.resize(h.payload_length);
+    if (h.payload_length > 0) read_all(m.payload.data(), h.payload_length);
     return m;
 }
 
@@ -197,6 +194,180 @@ void TcpConnection::close() {
 
 void TcpConnection::shutdown_both() {
     if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+// ---- MuxConnection ------------------------------------------------------
+
+MuxConnection::MuxConnection(TcpConnection conn, int request_timeout_ms)
+    : conn_(std::move(conn)), timeout_ms_(request_timeout_ms) {
+    // The reader owns the receive direction; sends get a kernel deadline
+    // so a peer that stops draining its socket cannot wedge a writer.
+    if (timeout_ms_ > 0) conn_.set_send_timeout(timeout_ms_);
+    reader_ = std::thread([this] { reader_loop(); });
+}
+
+MuxConnection::~MuxConnection() {
+    close();
+    if (reader_.joinable()) reader_.join();
+    // conn_ closes its fd only now, after the reader is done with it.
+}
+
+util::Future<Message> MuxConnection::submit(const Message& request) {
+    util::Promise<Message> promise;
+    util::Future<Message> fut = promise.future();
+
+    std::uint32_t id = 0;
+    std::exception_ptr dead_error;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (dead_.load()) {
+            dead_error = death_;
+        } else {
+            // Fresh id: never 0 (the "unassigned" sentinel), never one
+            // still pending or abandoned. With u32 ids and bounded
+            // in-flight counts the loop terminates immediately in
+            // practice.
+            do {
+                id = next_id_++;
+                if (next_id_ == 0) next_id_ = 1;
+            } while (id == 0 || pending_.count(id) != 0 || abandoned_.count(id) != 0);
+            Pending p;
+            p.promise = std::move(promise);
+            p.deadline = timeout_ms_ > 0
+                             ? std::chrono::steady_clock::now() +
+                                   std::chrono::milliseconds(timeout_ms_)
+                             : std::chrono::steady_clock::time_point::max();
+            pending_.emplace(id, std::move(p));
+        }
+    }
+    if (dead_error) {
+        promise.set_exception(std::move(dead_error));
+        return fut;
+    }
+
+    try {
+        std::lock_guard<std::mutex> lock(write_mu_);
+        conn_.send_message(request, id);
+    } catch (...) {
+        // A failed or half-written frame corrupts the stream for every
+        // request sharing it; fail them all (including this one — its
+        // promise is in pending_).
+        fail_all(std::current_exception());
+    }
+    return fut;
+}
+
+std::size_t MuxConnection::in_flight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_.size();
+}
+
+std::uint64_t MuxConnection::bytes_sent() const {
+    std::lock_guard<std::mutex> lock(write_mu_);
+    return conn_.bytes_sent();
+}
+
+void MuxConnection::close() {
+    closing_.store(true);
+    // Wakes the reader out of poll()/recv(); it then fails the pending
+    // table and exits.
+    conn_.shutdown_both();
+}
+
+void MuxConnection::reader_loop() {
+    std::exception_ptr death;
+    try {
+        for (;;) {
+            if (closing_.load()) throw IoError("multiplexed connection closed");
+            // Poll with a bounded tick so per-request deadlines are
+            // enforced even while the socket is silent.
+            int wait_ms = 200;
+            const auto now = std::chrono::steady_clock::now();
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                for (const auto& [id, p] : pending_) {
+                    if (p.deadline == std::chrono::steady_clock::time_point::max()) continue;
+                    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                          p.deadline - now)
+                                          .count();
+                    wait_ms = static_cast<int>(
+                        std::max<long long>(0, std::min<long long>(wait_ms, left)));
+                }
+            }
+            pollfd pfd{};
+            pfd.fd = conn_.native_handle();
+            pfd.events = POLLIN;
+            const int rc = ::poll(&pfd, 1, wait_ms);
+            if (rc < 0) {
+                if (errno == EINTR) continue;
+                throw_errno("poll");
+            }
+            expire_deadlines(std::chrono::steady_clock::now());
+            if (rc == 0) continue;
+            complete(conn_.recv_message());
+        }
+    } catch (...) {
+        death = std::current_exception();
+    }
+    fail_all(death);
+}
+
+void MuxConnection::expire_deadlines(std::chrono::steady_clock::time_point now) {
+    std::vector<std::pair<std::uint32_t, util::Promise<Message>>> expired;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (auto it = pending_.begin(); it != pending_.end();) {
+            if (it->second.deadline <= now) {
+                abandoned_.insert(it->first);
+                expired.emplace_back(it->first, std::move(it->second.promise));
+                it = pending_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    for (auto& [id, promise] : expired) {
+        promise.set_exception(std::make_exception_ptr(
+            TimeoutError("request " + std::to_string(id) + " timed out after " +
+                         std::to_string(timeout_ms_) + "ms")));
+    }
+}
+
+void MuxConnection::complete(Message reply) {
+    std::optional<util::Promise<Message>> promise;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = pending_.find(reply.correlation);
+        if (it != pending_.end()) {
+            promise.emplace(std::move(it->second.promise));
+            pending_.erase(it);
+        } else if (abandoned_.erase(reply.correlation) > 0) {
+            // Late reply to a request that already timed out: the waiter
+            // is long gone, but the frame itself is well-formed — drop
+            // it and keep the connection.
+            return;
+        } else {
+            throw ProtocolError("reply with unknown correlation id " +
+                                std::to_string(reply.correlation));
+        }
+    }
+    promise->set_value(std::move(reply));
+}
+
+void MuxConnection::fail_all(std::exception_ptr error) {
+    if (!error) error = std::make_exception_ptr(IoError("multiplexed connection closed"));
+    std::unordered_map<std::uint32_t, Pending> orphaned;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!dead_.exchange(true)) {
+            death_ = error;
+        } else {
+            error = death_;  // first failure wins; report it consistently
+        }
+        orphaned.swap(pending_);
+        abandoned_.clear();
+    }
+    for (auto& [id, p] : orphaned) p.promise.set_exception(error);
 }
 
 // ---- TcpListener --------------------------------------------------------
@@ -259,10 +430,12 @@ void TcpListener::close() {
 
 // ---- MessageServer ------------------------------------------------------
 
-MessageServer::MessageServer(std::uint16_t port, Handler handler, std::size_t max_connections)
+MessageServer::MessageServer(std::uint16_t port, Handler handler, std::size_t max_connections,
+                             std::size_t max_inflight)
     : listener_(port),
       handler_(std::move(handler)),
       workers_(max_connections),
+      dispatch_(max_inflight),
       thread_([this] { serve(); }) {}
 
 MessageServer::~MessageServer() { stop(); }
@@ -296,30 +469,62 @@ void MessageServer::serve_connection(const std::shared_ptr<TcpConnection>& conn)
         if (stopping_.load()) return;
         active_fds_.push_back(conn->native_handle());
     }
+    // Writers (one dispatch task per in-flight request) serialize on a
+    // per-connection mutex so interleaved replies never share a frame.
+    auto write_mu = std::make_shared<std::mutex>();
     try {
         for (;;) {
-            const Message request = conn->recv_message();
+            Message request = conn->recv_message();
             if (request.type == MessageType::Shutdown) {
-                conn->send_message({MessageType::Shutdown, {}});
+                Message reply;
+                reply.type = MessageType::Shutdown;
+                reply.correlation = request.correlation;
+                std::lock_guard<std::mutex> lock(*write_mu);
+                conn->send_message(reply);
                 begin_stop();
                 break;
             }
-            conn->send_message(handler_(request));
+            // Hand the request to the dispatch pool and go straight back
+            // to reading: one connection can have many requests in
+            // flight, and replies go out whenever their handler finishes
+            // — out of order is fine, the correlation id routes them.
+            dispatch_.submit([this, conn, write_mu, request = std::move(request)] {
+                Message reply;
+                try {
+                    reply = handler_(request);
+                } catch (const Error&) {
+                    // A throwing handler severs the connection (fault
+                    // injection and admission control rely on this);
+                    // shutdown also wakes the reader loop.
+                    conn->shutdown_both();
+                    return;
+                }
+                reply.correlation = request.correlation;
+                std::lock_guard<std::mutex> lock(*write_mu);
+                try {
+                    conn->send_message(reply);
+                } catch (const Error&) {
+                    // Peer vanished mid-reply; the reader will notice.
+                }
+            });
         }
     } catch (const Error&) {
         // Drop this connection but keep serving the others: the client
-        // disconnected, sent a malformed frame (ProtocolError from an
-        // oversized length field), the handler refused the request, or
-        // stop() cancelled the exchange. None of these may escape — an
-        // uncaught exception here would std::terminate the librarian.
+        // disconnected, sent a malformed frame (ProtocolError from a bad
+        // version byte or oversized length field), or stop() cancelled
+        // the read. None of these may escape — an uncaught exception
+        // here would std::terminate the librarian.
     }
-    // Deregister *before* conn's fd is closed, so begin_stop() can never
-    // shutdown() a recycled descriptor.
+    // Deregister *before* conn's fd can be closed, so begin_stop() can
+    // never shutdown() a recycled descriptor.
     {
         std::lock_guard<std::mutex> lock(fds_mu_);
         std::erase(active_fds_, conn->native_handle());
     }
-    conn->close();
+    // Sever now so in-flight dispatch tasks fail fast instead of writing
+    // into a dead stream; the fd itself closes when the last dispatch
+    // task holding this shared_ptr finishes.
+    conn->shutdown_both();
 }
 
 void MessageServer::begin_stop() {
@@ -336,8 +541,10 @@ void MessageServer::stop() {
     begin_stop();
     thread_.join();
     // Queued-but-unserved connections run now, observe stopping_, and
-    // close immediately; in-flight ones were woken by begin_stop().
+    // close immediately; in-flight ones were woken by begin_stop(). The
+    // readers drain first (they feed dispatch_), then the handlers.
     workers_.wait_idle();
+    dispatch_.wait_idle();
     listener_.close();
 }
 

@@ -1,4 +1,4 @@
-// Blocking TCP transport over POSIX sockets.
+// TCP transport over POSIX sockets.
 //
 // TERAPHIM librarians listen on TCP ports; receptionists connect and
 // exchange framed messages (net/message.h). The paper ran sessions
@@ -6,18 +6,29 @@
 // Tel Aviv; here the sockets are exercised on the loopback interface by
 // the distributed examples and integration tests, with wide-area latency
 // studied in simulation instead.
+//
+// Two client shapes are provided. TcpConnection is the primitive: one
+// socket, blocking send/recv of whole frames. MuxConnection layers the
+// correlation-id protocol on top so many requests share one socket with
+// out-of-order completion — the production shape, where a federation
+// holds one persistent connection per librarian no matter how many user
+// queries are in flight.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/message.h"
+#include "util/future.h"
 #include "util/thread_pool.h"
 
 namespace teraphim::net {
@@ -50,10 +61,16 @@ public:
     void set_send_timeout(int ms);
     void set_recv_timeout(int ms);
 
-    /// Sends one framed message (blocking, handles partial writes).
+    /// Sends one framed message (blocking, handles partial writes),
+    /// stamping the frame with the message's own correlation id.
     void send_message(const Message& message);
 
-    /// Receives one framed message. Throws IoError if the peer closed.
+    /// Same, but stamps `correlation` on the frame instead — lets the
+    /// multiplexer assign ids without copying the payload.
+    void send_message(const Message& message, std::uint32_t correlation);
+
+    /// Receives one framed message (correlation id included). Throws
+    /// IoError if the peer closed, ProtocolError on a bad header.
     Message recv_message();
 
     void close();
@@ -77,6 +94,80 @@ private:
     int fd_ = -1;
     std::uint64_t bytes_sent_ = 0;
     std::uint64_t bytes_received_ = 0;
+};
+
+/// Multiplexed client connection: one socket, many outstanding requests.
+///
+/// submit() stamps the request with a fresh correlation id, registers it
+/// in the in-flight table, and writes the frame (writers serialize on a
+/// mutex). A dedicated reader thread demultiplexes replies back to their
+/// futures by correlation id, so replies may complete in any order and a
+/// slow request never blocks its neighbours.
+///
+/// Deadlines are per request, enforced by the reader's poll loop: an
+/// expired request fails with TimeoutError and its id is remembered so
+/// the late reply — when it eventually lands — is quietly discarded.
+/// Unlike the one-exchange-at-a-time transport, a timeout therefore does
+/// not cost the connection.
+///
+/// A transport error (send failure, peer close, corrupt frame, unknown
+/// correlation id) *is* fatal: the frame boundary is lost, so every
+/// pending request fails with that error, healthy() turns false, and the
+/// owner is expected to replace the connection.
+class MuxConnection {
+public:
+    /// Takes ownership of a connected socket and starts the reader.
+    /// `request_timeout_ms` <= 0 disables per-request deadlines.
+    explicit MuxConnection(TcpConnection conn, int request_timeout_ms = 0);
+    ~MuxConnection();
+
+    MuxConnection(const MuxConnection&) = delete;
+    MuxConnection& operator=(const MuxConnection&) = delete;
+
+    /// Sends `request` with a fresh correlation id and returns the
+    /// future reply. Thread-safe; any number of submissions may be
+    /// outstanding. A dead connection yields an already-failed future.
+    util::Future<Message> submit(const Message& request);
+
+    /// False once any transport error has failed the connection.
+    bool healthy() const { return !dead_.load(); }
+
+    /// Requests currently awaiting a reply (excludes abandoned ones).
+    std::size_t in_flight() const;
+
+    /// Wakes and stops the reader; every pending request fails.
+    void close();
+
+    std::uint64_t bytes_sent() const;
+    std::uint64_t bytes_received() const { return conn_.bytes_received(); }
+
+private:
+    struct Pending {
+        util::Promise<Message> promise;
+        std::chrono::steady_clock::time_point deadline;
+    };
+
+    void reader_loop();
+    void expire_deadlines(std::chrono::steady_clock::time_point now);
+    void complete(Message reply);
+    void fail_all(std::exception_ptr error);
+
+    TcpConnection conn_;
+    const int timeout_ms_;
+    std::atomic<bool> dead_{false};
+    std::atomic<bool> closing_{false};
+
+    mutable std::mutex mu_;  ///< guards pending_, abandoned_, next_id_, death_
+    std::unordered_map<std::uint32_t, Pending> pending_;
+    /// Ids of timed-out requests whose reply has not arrived yet: the
+    /// reader discards these instead of treating them as protocol
+    /// violations.
+    std::unordered_set<std::uint32_t> abandoned_;
+    std::uint32_t next_id_ = 1;  ///< 0 means "unassigned" on the wire
+    std::exception_ptr death_;
+
+    mutable std::mutex write_mu_;  ///< serializes whole-frame writes
+    std::thread reader_;   ///< last member: starts reader_loop()
 };
 
 /// Listening socket bound to 127.0.0.1. Port 0 picks an ephemeral port.
@@ -104,11 +195,15 @@ private:
 };
 
 /// A concurrent message server over one listener: an accept loop hands
-/// each connection to a bounded pool of worker threads, so one TERAPHIM
-/// librarian process serves the receptionist and any number of user
-/// sessions simultaneously. Each connection is answered until it sends
-/// Shutdown or closes; `max_connections` bounds how many are *served* at
-/// once — further accepted connections wait in the worker queue.
+/// each connection to a bounded pool of reader threads, and every frame
+/// a reader pulls off a connection is dispatched to a second bounded
+/// pool that runs the handler, so one connection can have many requests
+/// in flight at once. Replies carry the request's correlation id and go
+/// out whenever their handler finishes — out of order on the same
+/// connection is legal and expected (the client's MuxConnection
+/// demultiplexes). `max_connections` bounds how many connections are
+/// *read* at once; `max_inflight` bounds concurrently executing
+/// handlers across all connections.
 ///
 /// The handler is invoked concurrently from several workers and must be
 /// reentrant (Librarian::handle is: it only reads immutable state).
@@ -119,12 +214,13 @@ private:
 ///
 /// A Shutdown frame from any client stops the whole server, as does
 /// stop(): both wake the accept loop and every fd currently being
-/// served, then the workers drain.
+/// served, then the pools drain.
 class MessageServer {
 public:
     using Handler = std::function<Message(const Message&)>;
 
-    MessageServer(std::uint16_t port, Handler handler, std::size_t max_connections = 8);
+    MessageServer(std::uint16_t port, Handler handler, std::size_t max_connections = 8,
+                  std::size_t max_inflight = 8);
     ~MessageServer();
 
     MessageServer(const MessageServer&) = delete;
@@ -141,12 +237,13 @@ private:
     void serve_connection(const std::shared_ptr<TcpConnection>& conn);
 
     /// Flags the server as stopping and wakes every blocked thread: the
-    /// accept loop via the listener, the workers via their tracked fds.
+    /// accept loop via the listener, the readers via their tracked fds.
     void begin_stop();
 
     TcpListener listener_;
     Handler handler_;
-    util::ThreadPool workers_;
+    util::ThreadPool workers_;   ///< per-connection reader loops
+    util::ThreadPool dispatch_;  ///< per-request handler executions
     std::atomic<bool> stopping_{false};
     std::mutex fds_mu_;
     std::vector<int> active_fds_;  ///< fds being served, for cancellation

@@ -1,0 +1,164 @@
+// A minimal promise/future pair for the multiplexed transport.
+//
+// std::future cannot attach work to completion without burning a thread,
+// but the mux demux loop (net/tcp.h) completes requests from its reader
+// thread and fault decorators (dir/fault.h) need to transform a reply as
+// it lands. This future supports exactly what the transport needs: one
+// producer (set_value / set_exception), one consumer (get), and
+// completion callbacks (on_ready).
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace teraphim::util {
+
+namespace detail {
+
+template <typename T>
+struct FutureState {
+    std::mutex mu;
+    std::condition_variable ready_cv;
+    bool ready = false;
+    std::optional<T> value;
+    std::exception_ptr error;
+    std::vector<std::function<void()>> callbacks;
+};
+
+/// Marks the state ready and runs the registered callbacks. The
+/// callback list is swapped out under the lock and cleared so the
+/// callback -> captured future -> state cycle is broken after the run.
+template <typename T>
+void complete(const std::shared_ptr<FutureState<T>>& state) {
+    std::vector<std::function<void()>> callbacks;
+    {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->ready = true;
+        callbacks.swap(state->callbacks);
+    }
+    state->ready_cv.notify_all();
+    for (auto& callback : callbacks) callback();
+}
+
+}  // namespace detail
+
+template <typename T>
+class Promise;
+
+/// One-shot handle to a value (or error) that a producer will deliver
+/// later. Move-only; get() consumes the value and may be called once.
+template <typename T>
+class Future {
+public:
+    Future() = default;
+
+    bool valid() const { return state_ != nullptr; }
+
+    bool ready() const {
+        std::lock_guard<std::mutex> lock(state_->mu);
+        return state_->ready;
+    }
+
+    /// Blocks until the producer completes, then returns the value or
+    /// rethrows the producer's exception.
+    T get() {
+        std::unique_lock<std::mutex> lock(state_->mu);
+        state_->ready_cv.wait(lock, [&] { return state_->ready; });
+        if (state_->error) std::rethrow_exception(state_->error);
+        T out = std::move(*state_->value);
+        state_->value.reset();
+        return out;
+    }
+
+    /// Runs `fn` when the future becomes ready — immediately if it
+    /// already is. `fn` runs on whichever thread completes the promise
+    /// (the mux reader for TCP channels): keep it short and non-throwing.
+    void on_ready(std::function<void()> fn) {
+        {
+            std::lock_guard<std::mutex> lock(state_->mu);
+            if (!state_->ready) {
+                state_->callbacks.push_back(std::move(fn));
+                return;
+            }
+        }
+        fn();
+    }
+
+private:
+    friend class Promise<T>;
+    explicit Future(std::shared_ptr<detail::FutureState<T>> state) : state_(std::move(state)) {}
+
+    std::shared_ptr<detail::FutureState<T>> state_;
+};
+
+/// Producer side. Destroying an unfulfilled promise fails the future
+/// with an IoError so no waiter can hang on an abandoned request.
+template <typename T>
+class Promise {
+public:
+    Promise() : state_(std::make_shared<detail::FutureState<T>>()) {}
+
+    Promise(Promise&& other) noexcept : state_(std::move(other.state_)), claimed_(other.claimed_) {
+        other.state_.reset();
+    }
+    Promise& operator=(Promise&& other) noexcept {
+        if (this != &other) {
+            abandon_if_unset();
+            state_ = std::move(other.state_);
+            claimed_ = other.claimed_;
+            other.state_.reset();
+        }
+        return *this;
+    }
+    Promise(const Promise&) = delete;
+    Promise& operator=(const Promise&) = delete;
+
+    ~Promise() { abandon_if_unset(); }
+
+    Future<T> future() { return Future<T>(state_); }
+
+    void set_value(T value) {
+        if (!claim()) return;
+        {
+            std::lock_guard<std::mutex> lock(state_->mu);
+            state_->value.emplace(std::move(value));
+        }
+        detail::complete(state_);
+    }
+
+    void set_exception(std::exception_ptr error) {
+        if (!claim()) return;
+        {
+            std::lock_guard<std::mutex> lock(state_->mu);
+            state_->error = std::move(error);
+        }
+        detail::complete(state_);
+    }
+
+private:
+    /// First completion wins; later set_* calls are ignored.
+    bool claim() {
+        std::lock_guard<std::mutex> lock(state_->mu);
+        if (claimed_) return false;
+        claimed_ = true;
+        return true;
+    }
+
+    void abandon_if_unset() {
+        if (state_ == nullptr) return;
+        set_exception(std::make_exception_ptr(IoError("promise abandoned before completion")));
+    }
+
+    std::shared_ptr<detail::FutureState<T>> state_;
+    bool claimed_ = false;
+};
+
+}  // namespace teraphim::util

@@ -120,7 +120,7 @@ TEST(ConcurrentServer, ClientsAreServedSimultaneouslyNotSequentially) {
     for (int c = 0; c < 2; ++c) {
         clients.emplace_back([&] {
             auto conn = net::TcpConnection::connect_to("127.0.0.1", server.port());
-            conn.send_message({net::MessageType::Ping, {}});
+            conn.send_message({net::MessageType::Ping, 0, {}});
             conn.recv_message();
         });
     }
@@ -145,7 +145,11 @@ TEST(ConcurrentServer, MalformedFramesDropOnlyTheirOwnConnection) {
                     conn.send_message(
                         text_message(net::MessageType::Ping, "seed the stream"));
                     conn.recv_message();
-                    const std::uint8_t bogus[6] = {0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x00};
+                    const std::uint8_t bogus[net::Message::kHeaderBytes] = {
+                        net::Message::kProtocolVersion, 0x00,  // version, reserved
+                        0xFF, 0xFF, 0xFF, 0xFF,                // length: 4 GB
+                        0x01, 0x00,                            // type: Ping
+                        0x00, 0x00, 0x00, 0x00};               // correlation id
                     ::send(conn.native_handle(), bogus, sizeof bogus, MSG_NOSIGNAL);
                     EXPECT_THROW(conn.recv_message(), Error);
                 } else {
@@ -167,7 +171,7 @@ TEST(ConcurrentServer, StopJoinsCleanlyWithConnectionsInFlight) {
     // is parked waiting for this client's next frame), idle (connected
     // but never sent anything), and actively exchanging.
     auto blocked = net::TcpConnection::connect_to("127.0.0.1", server.port());
-    blocked.send_message({net::MessageType::Ping, {}});
+    blocked.send_message({net::MessageType::Ping, 0, {}});
     blocked.recv_message();  // server is now in recv on this fd
 
     auto idle = net::TcpConnection::connect_to("127.0.0.1", server.port());
@@ -177,7 +181,7 @@ TEST(ConcurrentServer, StopJoinsCleanlyWithConnectionsInFlight) {
         try {
             auto conn = net::TcpConnection::connect_to("127.0.0.1", server.port());
             for (int i = 0; i < 1000; ++i) {
-                conn.send_message({net::MessageType::Ping, {}});
+                conn.send_message({net::MessageType::Ping, 0, {}});
                 conn.recv_message();
             }
         } catch (const Error&) {
@@ -197,11 +201,11 @@ TEST(ConcurrentServer, StopJoinsCleanlyWithConnectionsInFlight) {
 TEST(ConcurrentServer, ShutdownFrameStopsServerForAllClients) {
     net::MessageServer server(0, [](const net::Message& m) { return m; });
     auto bystander = net::TcpConnection::connect_to("127.0.0.1", server.port());
-    bystander.send_message({net::MessageType::Ping, {}});
+    bystander.send_message({net::MessageType::Ping, 0, {}});
     bystander.recv_message();
 
     auto admin = net::TcpConnection::connect_to("127.0.0.1", server.port());
-    admin.send_message({net::MessageType::Shutdown, {}});
+    admin.send_message({net::MessageType::Shutdown, 0, {}});
     EXPECT_EQ(admin.recv_message().type, net::MessageType::Shutdown);
 
     // The bystander's connection is severed by the shutdown sweep. The
@@ -210,7 +214,7 @@ TEST(ConcurrentServer, ShutdownFrameStopsServerForAllClients) {
     EXPECT_THROW(
         {
             for (int i = 0; i < 1000; ++i) {
-                bystander.send_message({net::MessageType::Ping, {}});
+                bystander.send_message({net::MessageType::Ping, 0, {}});
                 bystander.recv_message();
                 std::this_thread::sleep_for(std::chrono::milliseconds(1));
             }

@@ -450,7 +450,7 @@ TEST(TcpFaults, RecvDeadlineThrowsTimeoutError) {
     });
     net::TcpConnection client = net::TcpConnection::connect_to("127.0.0.1", server.port());
     client.set_recv_timeout(100);
-    client.send_message({net::MessageType::Ping, {}});
+    client.send_message({net::MessageType::Ping, 0, {}});
     EXPECT_THROW(client.recv_message(), TimeoutError);
     client.close();
     server.stop();
@@ -501,7 +501,11 @@ TEST(TcpFaults, ServerSurvivesOversizedFrame) {
         // maximum. Before the fix the ProtocolError escaped the serve
         // thread and called std::terminate.
         net::TcpConnection bad = net::TcpConnection::connect_to("127.0.0.1", server.port());
-        const std::uint8_t evil_header[6] = {0xFF, 0xFF, 0xFF, 0x7F, 0x01, 0x00};
+        const std::uint8_t evil_header[net::Message::kHeaderBytes] = {
+            net::Message::kProtocolVersion, 0x00,              // version, reserved
+            0xFF, 0xFF, 0xFF, 0x7F,                            // length: 2 GB
+            0x01, 0x00,                                        // type: Ping
+            0x00, 0x00, 0x00, 0x00};                           // correlation id
         ASSERT_EQ(::send(bad.native_handle(), evil_header, sizeof evil_header, 0),
                   static_cast<ssize_t>(sizeof evil_header));
         // The server must drop us without replying.
@@ -511,7 +515,7 @@ TEST(TcpFaults, ServerSurvivesOversizedFrame) {
 
     // ... and keep serving the next client.
     net::TcpConnection good = net::TcpConnection::connect_to("127.0.0.1", server.port());
-    good.send_message({net::MessageType::Ping, {}});
+    good.send_message({net::MessageType::Ping, 0, {}});
     EXPECT_EQ(good.recv_message().type, net::MessageType::Ping);
     good.close();
     server.stop();

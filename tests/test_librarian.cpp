@@ -116,7 +116,7 @@ TEST(Librarian, BooleanEvaluation) {
 
 TEST(Librarian, HandleDispatchesAllTypes) {
     auto lib = sample_librarian();
-    EXPECT_EQ(lib->handle({net::MessageType::Ping, {}}).type, net::MessageType::Pong);
+    EXPECT_EQ(lib->handle({net::MessageType::Ping, 0, {}}).type, net::MessageType::Pong);
     EXPECT_EQ(lib->handle(StatsRequest{}.encode()).type, net::MessageType::StatsResponse);
     EXPECT_EQ(lib->handle(VocabularyRequest{}.encode()).type,
               net::MessageType::VocabularyResponse);

@@ -1,0 +1,466 @@
+// Multiplexed-transport tests: correlation-id demultiplexing on one
+// shared connection, out-of-order completion, per-request deadlines,
+// shutdown with ids in flight, per-submission fault injection, and
+// concurrent user sessions whose answers stay byte-identical to the
+// sequential fan-out. Registered under the `concurrency` CTest label so
+// `ctest -L concurrency` (and the ThreadSanitizer script) can target
+// them directly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "dir/deployment.h"
+#include "dir/fault.h"
+#include "net/tcp.h"
+#include "util/error.h"
+#include "util/future.h"
+#include "util/timer.h"
+
+namespace teraphim {
+namespace {
+
+net::Message text_message(net::MessageType type, const std::string& text) {
+    net::Message m;
+    m.type = type;
+    m.payload.assign(text.begin(), text.end());
+    return m;
+}
+
+std::string text_of(const net::Message& m) {
+    return std::string(m.payload.begin(), m.payload.end());
+}
+
+/// Echo server that sleeps before answering any payload starting with
+/// "slow" — the tool for making replies come back out of submission
+/// order on a single connection.
+net::MessageServer make_slow_echo_server(std::chrono::milliseconds slow_delay) {
+    return net::MessageServer(0, [slow_delay](const net::Message& m) {
+        if (text_of(m).rfind("slow", 0) == 0) std::this_thread::sleep_for(slow_delay);
+        net::Message reply = m;
+        reply.type = net::MessageType::Pong;
+        return reply;
+    });
+}
+
+// ---- MuxConnection: demux, ordering, deadlines, shutdown ----------------
+
+TEST(MuxConnection, OutOfOrderRepliesRouteByCorrelationId) {
+    auto server = make_slow_echo_server(std::chrono::milliseconds(150));
+    net::MuxConnection mux(net::TcpConnection::connect_to("127.0.0.1", server.port()));
+
+    // The slow request is submitted first; the fast ones overtake it on
+    // the same connection and must still land on their own futures.
+    util::Timer timer;
+    auto slow = mux.submit(text_message(net::MessageType::Ping, "slow one"));
+    std::vector<util::Future<net::Message>> fast;
+    for (int i = 0; i < 3; ++i) {
+        fast.push_back(
+            mux.submit(text_message(net::MessageType::Ping, "fast " + std::to_string(i))));
+    }
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(text_of(fast[i].get()), "fast " + std::to_string(i));
+    }
+    EXPECT_LT(timer.elapsed_seconds(), 0.10)
+        << "fast replies were serialized behind the slow one";
+    EXPECT_EQ(text_of(slow.get()), "slow one");
+    EXPECT_TRUE(mux.healthy());
+    EXPECT_EQ(mux.in_flight(), 0u);
+    server.stop();
+}
+
+TEST(MuxConnection, ManyThreadsSubmittingEachGetTheirOwnReply) {
+    auto server = make_slow_echo_server(std::chrono::milliseconds(0));
+    net::MuxConnection mux(net::TcpConnection::connect_to("127.0.0.1", server.port()));
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 25;
+    std::atomic<int> matched{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                const std::string body = std::to_string(t) + ":" + std::to_string(i);
+                auto fut = mux.submit(text_message(net::MessageType::Ping, body));
+                if (text_of(fut.get()) == body) ++matched;
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(matched.load(), kThreads * kPerThread);
+    EXPECT_TRUE(mux.healthy());
+    EXPECT_EQ(mux.in_flight(), 0u);
+    server.stop();
+}
+
+TEST(MuxConnection, DeadlineFailsOnlyTheLateRequestAndKeepsTheConnection) {
+    auto server = make_slow_echo_server(std::chrono::milliseconds(250));
+    net::MuxConnection mux(net::TcpConnection::connect_to("127.0.0.1", server.port()),
+                           /*request_timeout_ms=*/80);
+
+    auto slow = mux.submit(text_message(net::MessageType::Ping, "slow one"));
+    auto fast = mux.submit(text_message(net::MessageType::Ping, "fast"));
+    EXPECT_EQ(text_of(fast.get()), "fast");
+    EXPECT_THROW(slow.get(), TimeoutError);
+    EXPECT_TRUE(mux.healthy()) << "a per-request deadline must not kill the connection";
+
+    // Let the abandoned reply arrive: the demux loop must discard it
+    // silently instead of treating it as an unknown correlation id.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    auto after = mux.submit(text_message(net::MessageType::Ping, "after"));
+    EXPECT_EQ(text_of(after.get()), "after");
+    EXPECT_TRUE(mux.healthy());
+    server.stop();
+}
+
+TEST(MuxConnection, ShutdownFrameAnswersWhileOtherIdsAreInFlight) {
+    auto server = make_slow_echo_server(std::chrono::milliseconds(200));
+
+    net::MuxConnection mux(net::TcpConnection::connect_to("127.0.0.1", server.port()));
+    auto slow = mux.submit(text_message(net::MessageType::Ping, "slow one"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));  // slow is in flight
+
+    util::Timer timer;
+    net::Message bye;
+    bye.type = net::MessageType::Shutdown;
+    auto ack = mux.submit(bye);
+    EXPECT_EQ(ack.get().type, net::MessageType::Shutdown)
+        << "the shutdown reply must be correlated back to its own future";
+    // The server severs every connection right after acknowledging, so
+    // the slow request's future fails rather than hanging forever.
+    EXPECT_THROW(slow.get(), Error);
+    EXPECT_LT(timer.elapsed_seconds(), 5.0) << "in-flight future hung across shutdown";
+    EXPECT_FALSE(mux.healthy());
+    server.stop();  // idempotent after a frame-initiated shutdown
+}
+
+TEST(MuxConnection, ServerStopFailsInFlightFuturesWithoutHanging) {
+    auto server = make_slow_echo_server(std::chrono::milliseconds(200));
+    net::MuxConnection mux(net::TcpConnection::connect_to("127.0.0.1", server.port()));
+
+    std::vector<util::Future<net::Message>> pending;
+    for (int i = 0; i < 4; ++i) {
+        pending.push_back(mux.submit(text_message(net::MessageType::Ping, "slow wait")));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+    util::Timer timer;
+    server.stop();
+    for (auto& fut : pending) EXPECT_THROW(fut.get(), Error);
+    EXPECT_LT(timer.elapsed_seconds(), 5.0) << "stop() left correlation ids hanging";
+    EXPECT_FALSE(mux.healthy());
+}
+
+// ---- Fault injection on the shared connection ---------------------------
+
+TEST(FaultyMux, DropPoisonsExactlyOneOfSeveralOutstandingReplies) {
+    // Every request is slowed a little so all five submissions are
+    // outstanding on the shared connection together; the scripted Drop
+    // must fail submission #2 alone.
+    net::MessageServer server(0, [](const net::Message& m) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        net::Message reply = m;
+        reply.type = net::MessageType::Pong;
+        return reply;
+    });
+
+    dir::FaultScript script;
+    script.at(2, {dir::FaultKind::Drop, 0});
+    dir::FaultyChannel channel(
+        std::make_unique<dir::TcpChannel>("L0", "127.0.0.1", server.port(),
+                                          dir::TcpChannel::Timeouts{}),
+        std::move(script));
+
+    std::vector<util::Future<net::Message>> futures;
+    for (int i = 0; i < 5; ++i) {
+        futures.push_back(
+            channel.submit(text_message(net::MessageType::Ping, std::to_string(i))));
+    }
+    for (int i = 0; i < 5; ++i) {
+        if (i == 2) {
+            EXPECT_THROW(futures[i].get(), IoError) << "submission 2 was scripted to drop";
+        } else {
+            EXPECT_EQ(text_of(futures[i].get()), std::to_string(i))
+                << "a neighbouring in-flight reply was disturbed";
+        }
+    }
+    EXPECT_EQ(channel.exchanges(), 5u);
+    EXPECT_EQ(channel.faults_injected(), 1u);
+    server.stop();
+}
+
+// ---- Federation-level behaviour -----------------------------------------
+
+corpus::SyntheticCorpus small_corpus() {
+    corpus::CorpusConfig config;
+    config.vocab_size = 3000;
+    config.subcollections = {
+        {"AP", 120, 70.0, 0.4},
+        {"WSJ", 120, 70.0, 0.4},
+        {"FR", 80, 90.0, 0.5},
+        {"ZIFF", 80, 60.0, 0.5},
+    };
+    config.num_long_topics = 3;
+    config.num_short_topics = 3;
+    config.topic_term_floor = 150;
+    config.seed = 12;
+    return corpus::generate_corpus(config);
+}
+
+const corpus::SyntheticCorpus& corpus_fixture() {
+    static const corpus::SyntheticCorpus corpus = small_corpus();
+    return corpus;
+}
+
+dir::ReceptionistOptions options_for(dir::Mode mode, dir::FanoutMode fanout,
+                                     std::size_t threads = 0) {
+    dir::ReceptionistOptions o;
+    o.mode = mode;
+    o.answers = 10;
+    o.group_size = 10;
+    o.k_prime = 30;
+    o.fanout = fanout;
+    o.fanout_threads = threads;
+    return o;
+}
+
+void expect_rankings_byte_equal(const std::vector<dir::GlobalResult>& seq,
+                                const std::vector<dir::GlobalResult>& par,
+                                const std::string& context) {
+    ASSERT_EQ(seq.size(), par.size()) << context;
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i].librarian, par[i].librarian) << context << " rank " << i;
+        EXPECT_EQ(seq[i].doc, par[i].doc) << context << " rank " << i;
+        EXPECT_EQ(std::memcmp(&seq[i].score, &par[i].score, sizeof(double)), 0)
+            << context << " rank " << i << ": score bits differ ("
+            << seq[i].score << " vs " << par[i].score << ")";
+    }
+}
+
+TEST(MuxFederation, AllThreeFanoutShapesProduceByteIdenticalAnswers) {
+    // The acceptance bar of the transport refactor: sequential, pooled,
+    // and multiplexed execution of the same query agree to the byte —
+    // rankings, degradation state, and wire accounting.
+    for (dir::Mode mode : {dir::Mode::CentralNothing, dir::Mode::CentralVocabulary,
+                           dir::Mode::CentralIndex}) {
+        auto seq = dir::Federation::create(
+            corpus_fixture(), options_for(mode, dir::FanoutMode::Sequential, 1));
+        auto pooled = dir::Federation::create(
+            corpus_fixture(), options_for(mode, dir::FanoutMode::Pooled));
+        auto mux = dir::Federation::create(
+            corpus_fixture(), options_for(mode, dir::FanoutMode::Multiplexed));
+        ASSERT_EQ(seq.receptionist().fanout_threads(), 1u);
+        ASSERT_EQ(mux.receptionist().fanout_threads(), 4u);
+
+        for (const auto& q : corpus_fixture().short_queries.queries) {
+            const std::string context =
+                std::string(dir::mode_name(mode)) + " query " + std::to_string(q.id);
+            const auto seq_answer = seq.receptionist().rank(q.text, 50);
+            const auto pooled_answer = pooled.receptionist().rank(q.text, 50);
+            const auto mux_answer = mux.receptionist().rank(q.text, 50);
+            expect_rankings_byte_equal(seq_answer.ranking, pooled_answer.ranking,
+                                       context + " (pooled)");
+            expect_rankings_byte_equal(seq_answer.ranking, mux_answer.ranking,
+                                       context + " (multiplexed)");
+            EXPECT_EQ(seq_answer.trace.total_message_bytes(),
+                      pooled_answer.trace.total_message_bytes())
+                << context;
+            EXPECT_EQ(seq_answer.trace.total_message_bytes(),
+                      mux_answer.trace.total_message_bytes())
+                << context;
+            EXPECT_TRUE(pooled_answer.degraded().ok());
+            EXPECT_TRUE(mux_answer.degraded().ok());
+        }
+    }
+}
+
+TEST(MuxFederation, ConcurrentSearchesMatchSequentialByteForByte) {
+    // Two user threads hammer one shared TCP receptionist (multiplexed
+    // channels, one connection per librarian); every answer must equal
+    // the sequential in-process reference — rankings, documents, and
+    // wire bytes.
+    auto tcp = dir::TcpFederation::create(
+        corpus_fixture(),
+        options_for(dir::Mode::CentralVocabulary, dir::FanoutMode::Multiplexed));
+    auto seq = dir::Federation::create(
+        corpus_fixture(),
+        options_for(dir::Mode::CentralVocabulary, dir::FanoutMode::Sequential, 1));
+
+    std::vector<dir::QueryAnswer> reference;
+    for (const auto& q : corpus_fixture().short_queries.queries) {
+        reference.push_back(seq.receptionist().search(q.text));
+    }
+
+    std::vector<std::thread> users;
+    for (int t = 0; t < 2; ++t) {
+        users.emplace_back([&, t] {
+            for (int pass = 0; pass < 2; ++pass) {
+                const auto& queries = corpus_fixture().short_queries.queries;
+                for (std::size_t i = 0; i < queries.size(); ++i) {
+                    const auto answer = tcp.receptionist().search(queries[i].text);
+                    const std::string context = "user " + std::to_string(t) + " query " +
+                                                std::to_string(queries[i].id);
+                    expect_rankings_byte_equal(reference[i].ranking, answer.ranking,
+                                               context);
+                    ASSERT_EQ(reference[i].documents.size(), answer.documents.size())
+                        << context;
+                    for (std::size_t d = 0; d < answer.documents.size(); ++d) {
+                        EXPECT_EQ(reference[i].documents[d].external_id,
+                                  answer.documents[d].external_id)
+                            << context;
+                        EXPECT_EQ(reference[i].documents[d].payload,
+                                  answer.documents[d].payload)
+                            << context;
+                    }
+                    EXPECT_EQ(reference[i].trace.total_message_bytes(),
+                              answer.trace.total_message_bytes())
+                        << context << ": multiplexing changed the bytes on the wire";
+                    EXPECT_TRUE(answer.degraded().ok()) << context;
+                }
+            }
+        });
+    }
+    for (auto& t : users) t.join();
+    tcp.shutdown();
+}
+
+TEST(MuxFederation, HalfOpenBreakerRecoversThroughPingProbe) {
+    // Librarian 1 drops exactly two queries — enough to open its breaker
+    // — then recovers. The next admitted query must re-enter through a
+    // cheap Ping/Pong probe (visible as one extra round trip in the
+    // trace) rather than gambling a full user request.
+    auto opts = options_for(dir::Mode::CentralNothing, dir::FanoutMode::Multiplexed);
+    opts.fault.retry.max_attempts = 1;
+    opts.fault.retry.base_backoff_ms = 0;
+    opts.fault.breaker.failure_threshold = 2;
+    opts.fault.breaker.open_cooldown = 1;
+
+    std::vector<std::unique_ptr<dir::Librarian>> librarians;
+    std::vector<std::unique_ptr<dir::Channel>> channels;
+    for (const auto& sub : corpus_fixture().subcollections) {
+        librarians.push_back(dir::build_librarian(sub));
+        channels.push_back(std::make_unique<dir::InProcessChannel>(*librarians.back()));
+    }
+    // Exchange 0 is prepare()'s stats call; exchanges 1 and 2 (the first
+    // two user queries) drop; everything afterwards works again.
+    dir::FaultScript script;
+    script.at(1, {dir::FaultKind::Drop, 0});
+    script.at(2, {dir::FaultKind::Drop, 0});
+    channels[1] =
+        std::make_unique<dir::FaultyChannel>(std::move(channels[1]), std::move(script));
+    dir::Receptionist receptionist(std::move(channels), opts);
+    receptionist.prepare();
+
+    const auto& q = corpus_fixture().short_queries.queries[0];
+    EXPECT_TRUE(receptionist.rank(q.text, 10).degraded().failed(1));  // failure 1/2
+    EXPECT_TRUE(receptionist.rank(q.text, 10).degraded().failed(1));  // opens breaker
+
+    const auto skipped = receptionist.rank(q.text, 10);  // open: cooldown tick
+    ASSERT_TRUE(skipped.degraded().failed(1));
+    EXPECT_EQ(skipped.degraded().failures[0].reason, "circuit open");
+    EXPECT_EQ(skipped.degraded().failures[0].attempts, 0u);
+
+    const auto probed = receptionist.rank(q.text, 10);  // half-open: Ping, then the query
+    EXPECT_TRUE(probed.degraded().ok());
+    EXPECT_EQ(probed.trace.index_phase[1].messages, 2u)
+        << "recovery must spend a Ping/Pong probe plus the real request";
+    EXPECT_EQ(probed.trace.index_phase[0].messages, 1u)
+        << "healthy librarians must not be probed";
+}
+
+TEST(MuxFederation, FailedPingProbeReopensBreakerWithoutSpendingRetries) {
+    auto opts = options_for(dir::Mode::CentralNothing, dir::FanoutMode::Multiplexed);
+    opts.fault.retry.max_attempts = 1;
+    opts.fault.retry.base_backoff_ms = 0;
+    opts.fault.breaker.failure_threshold = 2;
+    opts.fault.breaker.open_cooldown = 1;
+
+    std::vector<std::unique_ptr<dir::Librarian>> librarians;
+    std::vector<std::unique_ptr<dir::Channel>> channels;
+    for (const auto& sub : corpus_fixture().subcollections) {
+        librarians.push_back(dir::build_librarian(sub));
+        channels.push_back(std::make_unique<dir::InProcessChannel>(*librarians.back()));
+    }
+    dir::FaultScript script;
+    script.from(1, {dir::FaultKind::Drop, 0});  // answers prepare(), then dies for good
+    channels[1] =
+        std::make_unique<dir::FaultyChannel>(std::move(channels[1]), std::move(script));
+    dir::Receptionist receptionist(std::move(channels), opts);
+    receptionist.prepare();
+
+    const auto& q = corpus_fixture().short_queries.queries[0];
+    receptionist.rank(q.text, 10);  // failure 1/2
+    receptionist.rank(q.text, 10);  // opens breaker
+    receptionist.rank(q.text, 10);  // open: cooldown tick
+
+    const auto probed = receptionist.rank(q.text, 10);  // half-open probe also drops
+    ASSERT_TRUE(probed.degraded().failed(1));
+    EXPECT_EQ(probed.degraded().failures[0].attempts, 0u)
+        << "a failed probe must not consume the retry budget";
+    EXPECT_EQ(probed.degraded().failures[0].reason.rfind("health probe failed", 0), 0u)
+        << "reason was: " << probed.degraded().failures[0].reason;
+}
+
+// ---- Acceptance: concurrent queries on shared connections ----------------
+
+TEST(MuxFederation, EightConcurrentQueriesShareConnectionsAndBeatSequential) {
+    // Every librarian delays each RankRequest by 30ms, so a query costs
+    // ~30ms of server time. Eight queries issued back-to-back pay the
+    // delay eight times; eight issued concurrently share the four
+    // multiplexed connections (one per librarian, eight correlation ids
+    // outstanding on each) and overlap the delays.
+    constexpr std::uint32_t kDelayMs = 30;
+    constexpr int kQueries = 8;
+    auto opts = options_for(dir::Mode::CentralNothing, dir::FanoutMode::Multiplexed);
+    dir::FaultySpec faults;
+    for (std::size_t s = 0; s < 4; ++s) {
+        faults.server_faults[s] = {{net::MessageType::RankRequest,
+                                    /*times=*/1000000, kDelayMs,
+                                    /*drop_connection=*/false}};
+    }
+    auto fed = dir::TcpFederation::create(corpus_fixture(), opts, {}, faults);
+    const auto& q = corpus_fixture().short_queries.queries[0];
+
+    util::Timer seq_timer;
+    std::vector<dir::RankedAnswer> sequential(kQueries);
+    for (int i = 0; i < kQueries; ++i) sequential[i] = fed.receptionist().rank(q.text, 10);
+    const double seq_seconds = seq_timer.elapsed_seconds();
+
+    util::Timer par_timer;
+    std::vector<dir::RankedAnswer> concurrent(kQueries);
+    std::vector<std::thread> users;
+    for (int i = 0; i < kQueries; ++i) {
+        users.emplace_back(
+            [&, i] { concurrent[i] = fed.receptionist().rank(q.text, 10); });
+    }
+    for (auto& t : users) t.join();
+    const double par_seconds = par_timer.elapsed_seconds();
+
+    std::printf("# %d queries x 4 librarians x %ums injected delay: "
+                "sequential %.0fms, concurrent %.0fms\n",
+                kQueries, kDelayMs, seq_seconds * 1e3, par_seconds * 1e3);
+    for (int i = 0; i < kQueries; ++i) {
+        expect_rankings_byte_equal(sequential[0].ranking, concurrent[i].ranking,
+                                   "concurrent query " + std::to_string(i));
+        EXPECT_TRUE(concurrent[i].degraded().ok());
+        EXPECT_EQ(sequential[0].trace.total_message_bytes(),
+                  concurrent[i].trace.total_message_bytes())
+            << "sharing a connection must not change the bytes on the wire";
+    }
+    // Generous margins keep this robust on loaded machines: sequential
+    // pays at least the eight delays; the concurrent batch must clearly
+    // beat it.
+    EXPECT_GE(seq_seconds, kQueries * kDelayMs / 1e3);
+    EXPECT_LT(par_seconds, seq_seconds * 0.6);
+    fed.shutdown();
+}
+
+}  // namespace
+}  // namespace teraphim

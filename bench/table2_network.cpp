@@ -12,6 +12,7 @@
 
 #include "bench_common.h"
 #include "net/tcp.h"
+#include "obs/metrics.h"
 #include "sim/engine.h"
 #include "sim/topology.h"
 #include "util/thread_pool.h"
@@ -77,7 +78,8 @@ void measured_multiplexed_clients() {
                 return m;
             }));
         muxes.push_back(std::make_unique<net::MuxConnection>(
-            net::TcpConnection::connect_to("127.0.0.1", servers.back()->port())));
+            net::TcpConnection::connect_to("127.0.0.1", servers.back()->port()), 0,
+            net::MuxMetrics::resolve(obs::global())));
     }
     const auto wire_bytes = [&] {
         std::uint64_t total = 0;
@@ -124,6 +126,11 @@ void measured_multiplexed_clients() {
 }  // namespace
 
 int main() {
+    // The registry only watches: the multiplexed measurements must be
+    // byte-identical with or without it installed.
+    obs::MetricsRegistry registry;
+    obs::set_global(&registry);
+
     std::printf("Table 2: Network communication costs (simulated WAN topology)\n");
     bench::print_rule();
     std::printf("  %-10s %18s %18s %18s\n", "Location", "hops from Melb.", "paper ping (s)",
@@ -167,5 +174,9 @@ int main() {
 
     measured_concurrent_round_trips();
     measured_multiplexed_clients();
+
+    std::printf("\nTransport metrics (Prometheus text format):\n");
+    std::fputs(registry.render().c_str(), stdout);
+    obs::set_global(nullptr);
     return 0;
 }

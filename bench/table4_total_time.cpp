@@ -7,6 +7,7 @@
 
 #include "bench_common.h"
 #include "net/message.h"
+#include "obs/metrics.h"
 
 using namespace teraphim;
 
@@ -42,7 +43,7 @@ void measured_scatter_gather() {
 
     const auto mean_rank_ms = [&](std::size_t fanout) {
         auto opts = bench::mode_options(dir::Mode::CentralNothing);
-        opts.fanout_threads = fanout;
+        opts.fanout_width = fanout;
         dir::FaultySpec faults;
         for (std::size_t s = 0; s < cfg.subcollections.size(); ++s) {
             faults.server_faults[s] = {
@@ -75,6 +76,12 @@ void measured_scatter_gather() {
 }  // namespace
 
 int main() {
+    // Observe every run: per-stage latency histograms accumulate per
+    // mode. The table's numbers must not change whether or not the
+    // registry is installed.
+    obs::MetricsRegistry registry;
+    obs::set_global(&registry);
+
     const auto& corpus = bench::shared_corpus();
 
     struct ModeRun {
@@ -129,5 +136,26 @@ int main() {
         "dominant factor in response for wide-area distribution').\n");
 
     measured_scatter_gather();
+
+    // Wall-clock breakdown of the real (in-process and loopback-TCP)
+    // executions above, per stage and mode.
+    std::printf("\nPer-stage latency quantiles (ms, real executions):\n");
+    std::printf("  %-6s %-8s %10s %10s %10s\n", "mode", "stage", "p50", "p95", "count");
+    for (dir::Mode mode : {dir::Mode::MonoServer, dir::Mode::CentralNothing,
+                           dir::Mode::CentralVocabulary, dir::Mode::CentralIndex}) {
+        const std::string name(dir::mode_name(mode));
+        for (const char* stage : {"parse", "gather", "merge", "fetch", "total"}) {
+            const obs::Histogram& h = registry.histogram(
+                "teraphim_receptionist_stage_latency_ms", {{"mode", name}, {"stage", stage}});
+            if (h.count() == 0) continue;
+            std::printf("  %-6s %-8s %10.3f %10.3f %10llu\n", name.c_str(), stage,
+                        h.quantile(0.5), h.quantile(0.95),
+                        static_cast<unsigned long long>(h.count()));
+        }
+    }
+
+    std::printf("\nFederation metrics (Prometheus text format):\n");
+    std::fputs(registry.render().c_str(), stdout);
+    obs::set_global(nullptr);
     return 0;
 }

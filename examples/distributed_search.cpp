@@ -54,7 +54,7 @@ int main() {
         for (std::size_t i = 0; i < fed.num_librarians(); ++i) {
             std::printf(" %u", fed.port(i));
         }
-        std::printf("\n");
+        std::printf("\n  prepare: %s\n", fed.prepare_summary().summary().c_str());
 
         util::Timer timer;
         const dir::QueryAnswer answer = fed.receptionist().search(query.text);

@@ -71,8 +71,20 @@ int main() {
     fetch.docs = {1};
     fetch.send_compressed = false;
     const auto fetched = librarian->fetch(fetch);
-    std::printf("fetched %s:\n  %s\n", fetched.docs[0].external_id.c_str(),
+    std::printf("fetched %s:\n  %s\n\n", fetched.docs[0].external_id.c_str(),
                 std::string(fetched.docs[0].payload.begin(), fetched.docs[0].payload.end())
                     .c_str());
+
+    // 6. The same collection behind a receptionist. prepare() runs at
+    //    federation assembly and reports what it gathered and stored.
+    dir::ReceptionistOptions options;
+    options.mode = dir::Mode::CentralVocabulary;
+    options.answers = 3;
+    auto fed = dir::Federation::create(std::vector<corpus::Subcollection>{docs}, options);
+    std::printf("federation prepared: %s\n", fed.prepare_summary().summary().c_str());
+    const dir::QueryAnswer answer = fed.receptionist().rank("merging librarian rankings", 3);
+    for (const auto& r : answer.ranking) {
+        std::printf("  %.4f  %s\n", r.score, fed.external_id(r).c_str());
+    }
     return 0;
 }

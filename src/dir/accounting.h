@@ -87,12 +87,32 @@ struct DegradedInfo {
     std::string summary() const;  ///< one-line human-readable description
 };
 
+/// Wall-clock spent in each stage of one query, in milliseconds.
+/// Stages that did not run (e.g. fetch for rank()) stay 0. submit and
+/// gather cover the index-phase fan-out: in Multiplexed mode submit is
+/// the non-blocking request sweep and gather the slot-ordered wait; the
+/// other fan-out shapes do both inside one blocking call, accounted
+/// under gather. admit (breaker admission, including half-open health
+/// probes) overlaps the fan-out stages — it is reported separately, not
+/// additionally. These are wall-clock measurements, so unlike the work
+/// counters they vary run to run and are excluded from trace equality.
+struct StageTimings {
+    double parse_ms = 0.0;
+    double admit_ms = 0.0;
+    double submit_ms = 0.0;
+    double gather_ms = 0.0;
+    double merge_ms = 0.0;
+    double fetch_ms = 0.0;
+    double total_ms = 0.0;
+};
+
 struct QueryTrace {
     Mode mode = Mode::MonoServer;
     ReceptionistWork receptionist;
     std::vector<LibrarianWork> index_phase;  ///< one entry per librarian
     std::vector<FetchWork> fetch_phase;      ///< one entry per librarian
     DegradedInfo degraded;                   ///< fault-tolerance outcome
+    StageTimings timing;                     ///< per-stage wall clock
 
     std::uint64_t total_message_bytes() const;
     std::uint64_t total_messages() const;

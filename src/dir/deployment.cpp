@@ -65,7 +65,7 @@ Federation Federation::create(const corpus::SyntheticCorpus& corpus,
         channels.push_back(std::make_unique<InProcessChannel>(*fed.librarians_[0]));
         fed.receptionist_ = std::make_unique<Receptionist>(
             std::move(channels), options, text::Pipeline(build.pipeline), *build.measure);
-        fed.receptionist_->prepare();
+        fed.prepare_summary_ = fed.receptionist_->prepare();
         return fed;
     }
     return create(corpus.subcollections, options, build);
@@ -87,9 +87,9 @@ Federation Federation::create(const std::vector<corpus::Subcollection>& subs,
     fed.receptionist_ = std::make_unique<Receptionist>(
         std::move(channels), options, text::Pipeline(build.pipeline), *build.measure);
     if (options.mode == Mode::CentralIndex) {
-        fed.receptionist_->prepare(indexes);
+        fed.prepare_summary_ = fed.receptionist_->prepare(indexes);
     } else {
-        fed.receptionist_->prepare();
+        fed.prepare_summary_ = fed.receptionist_->prepare();
     }
     return fed;
 }
@@ -99,7 +99,7 @@ const std::string& Federation::external_id(const GlobalResult& result) const {
     return librarians_[result.librarian]->store().external_id(result.doc);
 }
 
-std::vector<std::string> Federation::ranked_ids(const RankedAnswer& answer) const {
+std::vector<std::string> Federation::ranked_ids(const QueryAnswer& answer) const {
     std::vector<std::string> ids;
     ids.reserve(answer.ranking.size());
     for (const GlobalResult& r : answer.ranking) ids.push_back(external_id(r));
@@ -123,17 +123,37 @@ index::IndexStats Federation::combined_index_stats() const {
 
 // ---- TcpChannel -------------------------------------------------------------
 
+TcpChannel::TcpChannel(std::string name, std::string host, std::uint16_t port, Timeouts timeouts)
+    : name_(std::move(name)),
+      host_(std::move(host)),
+      port_(port),
+      timeouts_(timeouts),
+      metrics_(net::MuxMetrics::resolve(obs::global(), name_)) {
+    if (obs::MetricsRegistry* registry = obs::global()) {
+        reconnects_ = &registry->counter("teraphim_mux_reconnects_total", {{"librarian", name_}});
+    }
+}
+
 util::Future<net::Message> TcpChannel::submit(const net::Message& request) {
     std::shared_ptr<net::MuxConnection> mux;
     try {
         std::lock_guard<std::mutex> lock(mu_);
-        if (mux_ == nullptr || !mux_->healthy()) {
-            // (Re)connect lazily. Concurrent submitters serialize here,
+        if (mux_ == nullptr) {
+            // Connect lazily — on first use, or after reset() discarded
+            // a dead connection. Concurrent submitters serialize here,
             // so exactly one connection is established and shared.
             mux_ = std::make_shared<net::MuxConnection>(
                 net::TcpConnection::connect_to(host_, port_, timeouts_.connect_ms),
-                timeouts_.io_ms);
+                timeouts_.io_ms, metrics_);
+            if (connected_once_ && reconnects_ != nullptr) reconnects_->inc();
+            connected_once_ = true;
         }
+        // A dead connection is deliberately NOT replaced here: submit
+        // fails fast below with its cached fatal error, and only reset()
+        // — called by the retry layer once it has observed the failure —
+        // re-arms the reconnect. Reconnecting eagerly would have every
+        // queued request on a dead channel pay a doomed connect attempt
+        // before the breaker ever hears about the outage.
         mux = mux_;
     } catch (...) {
         util::Promise<net::Message> promise;
@@ -221,11 +241,15 @@ TcpFederation TcpFederation::create(const corpus::SyntheticCorpus& corpus,
         Librarian* raw = fed.librarians_[s].get();
         indexes.push_back(&raw->index());
         const auto sf = faults.server_faults.find(s);
+        // The server shares the librarian's registry, so its
+        // teraphim_server_* counters ride along in the Stats RPC.
         fed.servers_.push_back(std::make_unique<net::MessageServer>(
-            0, sf == faults.server_faults.end()
-                   ? net::MessageServer::Handler(
-                         [raw](const net::Message& m) { return raw->handle(m); })
-                   : faulty_handler(raw, sf->second)));
+            0,
+            sf == faults.server_faults.end()
+                ? net::MessageServer::Handler(
+                      [raw](const net::Message& m) { return raw->handle(m); })
+                : faulty_handler(raw, sf->second),
+            8, 8, &raw->metrics()));
         std::unique_ptr<Channel> channel = std::make_unique<TcpChannel>(
             raw->name(), "127.0.0.1", fed.servers_.back()->port(), timeouts);
         const auto cf = faults.channel_faults.find(s);
@@ -237,9 +261,9 @@ TcpFederation TcpFederation::create(const corpus::SyntheticCorpus& corpus,
     fed.receptionist_ = std::make_unique<Receptionist>(
         std::move(channels), options, text::Pipeline(build.pipeline), *build.measure);
     if (options.mode == Mode::CentralIndex) {
-        fed.receptionist_->prepare(indexes);
+        fed.prepare_summary_ = fed.receptionist_->prepare(indexes);
     } else {
-        fed.receptionist_->prepare();
+        fed.prepare_summary_ = fed.receptionist_->prepare();
     }
     return fed;
 }

@@ -61,8 +61,19 @@ private:
 /// every query in flight submits onto the same MuxConnection, which
 /// demultiplexes replies by correlation id (net/tcp.h). A per-request
 /// deadline (`io_ms`) fails only the request that missed it — the
-/// connection survives and late replies are discarded — so reset()
-/// replaces the connection only once it is actually dead.
+/// connection survives and late replies are discarded.
+///
+/// A *dead* connection (fatal transport error) is NOT replaced by
+/// submit(): submissions fail fast with the cached fatal error until
+/// reset() discards the corpse, which re-arms the lazy connect. The
+/// retry layer calls reset() between attempts, so recovery is one
+/// observed failure away — but a fan-out sweep that hits a dead
+/// connection fails immediately instead of paying a doomed reconnect
+/// per queued request.
+///
+/// Metric handles (teraphim_mux_*, labelled with the librarian name)
+/// resolve from obs::global() at construction; with no registry
+/// installed the channel is uninstrumented.
 class TcpChannel final : public Channel {
 public:
     struct Timeouts {
@@ -70,8 +81,7 @@ public:
         int io_ms = 0;       ///< per-request deadline, 0 = none
     };
 
-    TcpChannel(std::string name, std::string host, std::uint16_t port, Timeouts timeouts)
-        : name_(std::move(name)), host_(std::move(host)), port_(port), timeouts_(timeouts) {}
+    TcpChannel(std::string name, std::string host, std::uint16_t port, Timeouts timeouts);
 
     util::Future<net::Message> submit(const net::Message& request) override;
 
@@ -88,8 +98,11 @@ private:
     std::string host_;
     std::uint16_t port_;
     Timeouts timeouts_;
+    net::MuxMetrics metrics_;
+    obs::Counter* reconnects_ = nullptr;
     mutable std::mutex mu_;  ///< guards mux_ (re)creation
     std::shared_ptr<net::MuxConnection> mux_;
+    bool connected_once_ = false;  ///< guarded by mu_; first connect is not a "reconnect"
 };
 
 struct LibrarianBuildOptions {
@@ -131,7 +144,10 @@ public:
     const std::string& external_id(const GlobalResult& result) const;
 
     /// The ranking as external ids, for the effectiveness metrics.
-    std::vector<std::string> ranked_ids(const RankedAnswer& answer) const;
+    std::vector<std::string> ranked_ids(const QueryAnswer& answer) const;
+
+    /// What prepare() reported when the federation was assembled.
+    const PrepareSummary& prepare_summary() const { return prepare_summary_; }
 
     /// Combined index statistics across the librarians.
     index::IndexStats combined_index_stats() const;
@@ -141,6 +157,7 @@ private:
 
     std::vector<std::unique_ptr<Librarian>> librarians_;
     std::unique_ptr<Receptionist> receptionist_;
+    PrepareSummary prepare_summary_;
 };
 
 /// One scripted fault on the *server* side of a TCP librarian: the
@@ -187,6 +204,9 @@ public:
 
     const std::string& external_id(const GlobalResult& result) const;
 
+    /// What prepare() reported when the federation was assembled.
+    const PrepareSummary& prepare_summary() const { return prepare_summary_; }
+
     /// Closes receptionist connections and stops the server threads.
     void shutdown();
 
@@ -196,6 +216,7 @@ private:
     std::vector<std::unique_ptr<Librarian>> librarians_;
     std::vector<std::unique_ptr<net::MessageServer>> servers_;
     std::unique_ptr<Receptionist> receptionist_;
+    PrepareSummary prepare_summary_;
 };
 
 /// Simulated elapsed times for one query trace.

@@ -1,10 +1,30 @@
 #include "dir/librarian.h"
 
+#include <utility>
+
 #include "rank/boolean.h"
 #include "rank/candidate_scorer.h"
 #include "rank/query_processor.h"
 
 namespace teraphim::dir {
+
+namespace {
+
+/// Request families counted as teraphim_librarian_requests_total{type=...};
+/// order matches Librarian::requests_by_type_.
+constexpr std::array<std::pair<net::MessageType, const char*>, 9> kRequestTypes = {{
+    {net::MessageType::Ping, "ping"},
+    {net::MessageType::StatsRequest, "stats"},
+    {net::MessageType::VocabularyRequest, "vocabulary"},
+    {net::MessageType::RankRequest, "rank"},
+    {net::MessageType::RankWeightedRequest, "rank_weighted"},
+    {net::MessageType::CandidateRequest, "candidates"},
+    {net::MessageType::FetchRequest, "fetch"},
+    {net::MessageType::BooleanRequest, "boolean"},
+    {net::MessageType::MetricsRequest, "metrics"},
+}};
+
+}  // namespace
 
 Librarian::Librarian(std::string name, index::InvertedIndex index, store::DocumentStore store,
                      text::Pipeline pipeline, const rank::SimilarityMeasure& measure)
@@ -12,12 +32,30 @@ Librarian::Librarian(std::string name, index::InvertedIndex index, store::Docume
       index_(std::move(index)),
       store_(std::move(store)),
       pipeline_(pipeline),
-      measure_(&measure) {
+      measure_(&measure),
+      metrics_(std::make_unique<obs::MetricsRegistry>()) {
     TERAPHIM_ASSERT_MSG(index_.num_documents() == store_.size(),
                         "index and document store disagree on collection size");
+    for (std::size_t i = 0; i < kRequestTypes.size(); ++i) {
+        requests_by_type_[i] = &metrics_->counter("teraphim_librarian_requests_total",
+                                                  {{"type", kRequestTypes[i].second}});
+    }
+    errors_total_ = &metrics_->counter("teraphim_librarian_errors_total");
+    request_latency_ = &metrics_->histogram("teraphim_librarian_request_latency_ms");
+}
+
+void Librarian::count_request(net::MessageType type) {
+    for (std::size_t i = 0; i < kRequestTypes.size(); ++i) {
+        if (kRequestTypes[i].first == type) {
+            requests_by_type_[i]->inc();
+            return;
+        }
+    }
 }
 
 net::Message Librarian::handle(const net::Message& request) {
+    obs::Span span(nullptr, request_latency_);
+    count_request(request.type);
     try {
         switch (request.type) {
             case net::MessageType::Ping: {
@@ -39,13 +77,19 @@ net::Message Librarian::handle(const net::Message& request) {
                 return fetch(FetchRequest::decode(request)).encode();
             case net::MessageType::BooleanRequest:
                 return boolean(BooleanRequest::decode(request)).encode();
+            case net::MessageType::MetricsRequest:
+                return metrics_snapshot().encode();
             default:
+                errors_total_->inc();
                 return ErrorResponse{"unsupported request type"}.encode();
         }
     } catch (const Error& e) {
+        errors_total_->inc();
         return ErrorResponse{e.what()}.encode();
     }
 }
+
+MetricsResponse Librarian::metrics_snapshot() const { return MetricsResponse{metrics_->collect()}; }
 
 StatsResponse Librarian::stats() const {
     StatsResponse out;

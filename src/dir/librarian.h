@@ -9,6 +9,7 @@
 // requirement).
 #pragma once
 
+#include <array>
 #include <memory>
 #include <string>
 
@@ -41,18 +42,36 @@ public:
     CandidateResponse score_candidates(const CandidateRequest& req) const;
     FetchResponse fetch(const FetchRequest& req) const;
     BooleanResponse boolean(const BooleanRequest& req) const;
+    /// Snapshot of metrics(), wire-ready; what MetricsRequest answers.
+    MetricsResponse metrics_snapshot() const;
 
     const std::string& name() const { return name_; }
     const index::InvertedIndex& index() const { return index_; }
     const store::DocumentStore& store() const { return store_; }
     const text::Pipeline& pipeline() const { return pipeline_; }
 
+    /// This librarian's own metric home (request counts by type, service
+    /// latency, error count), recorded by handle() and pulled remotely
+    /// via the MetricsRequest protocol message. Independent of the
+    /// process-global registry so each librarian in a federation —
+    /// in-process or across machines — reports its own numbers.
+    obs::MetricsRegistry& metrics() { return *metrics_; }
+    const obs::MetricsRegistry& metrics() const { return *metrics_; }
+
 private:
+    void count_request(net::MessageType type);
+
     std::string name_;
     index::InvertedIndex index_;
     store::DocumentStore store_;
     text::Pipeline pipeline_;
     const rank::SimilarityMeasure* measure_;
+    // Behind unique_ptr so Librarian stays movable (the registry owns a
+    // mutex) and handle pointers stay stable.
+    std::unique_ptr<obs::MetricsRegistry> metrics_;
+    obs::Histogram* request_latency_ = nullptr;
+    obs::Counter* errors_total_ = nullptr;
+    std::array<obs::Counter*, 9> requests_by_type_{};  // parallel to kRequestTypes
 };
 
 }  // namespace teraphim::dir

@@ -33,8 +33,8 @@ void fold_work_report(LibrarianWork& lw, const WorkReport& report,
 
 }  // namespace
 
-RankedAnswer Receptionist::rank_central_nothing(const rank::Query& query, std::size_t depth) {
-    RankedAnswer answer;
+QueryAnswer Receptionist::rank_central_nothing(const rank::Query& query, std::size_t depth) {
+    QueryAnswer answer;
     answer.trace.mode = options_.mode;
     answer.trace.index_phase.assign(channels_.size(), LibrarianWork{});
 
@@ -60,14 +60,17 @@ RankedAnswer Receptionist::rank_central_nothing(const rank::Query& query, std::s
         rankings[s] = std::move(responses[s]->results);
     }
 
-    answer.ranking =
-        merge_rankings(rankings, depth, &answer.trace.receptionist.merge_items);
+    {
+        obs::Span merge_span(&answer.trace.timing.merge_ms);
+        answer.ranking =
+            merge_rankings(rankings, depth, &answer.trace.receptionist.merge_items);
+    }
     return answer;
 }
 
-RankedAnswer Receptionist::rank_central_vocabulary(const rank::Query& query,
+QueryAnswer Receptionist::rank_central_vocabulary(const rank::Query& query,
                                                    std::size_t depth) {
-    RankedAnswer answer;
+    QueryAnswer answer;
     answer.trace.mode = options_.mode;
     answer.trace.index_phase.assign(channels_.size(), LibrarianWork{});
 
@@ -99,14 +102,17 @@ RankedAnswer Receptionist::rank_central_vocabulary(const rank::Query& query,
         rankings[s] = std::move(responses[s]->results);
     }
 
-    answer.ranking =
-        merge_rankings(rankings, depth, &answer.trace.receptionist.merge_items);
+    {
+        obs::Span merge_span(&answer.trace.timing.merge_ms);
+        answer.ranking =
+            merge_rankings(rankings, depth, &answer.trace.receptionist.merge_items);
+    }
     return answer;
 }
 
-RankedAnswer Receptionist::rank_central_index(const rank::Query& query, std::size_t depth) {
+QueryAnswer Receptionist::rank_central_index(const rank::Query& query, std::size_t depth) {
     TERAPHIM_ASSERT_MSG(grouped_.has_value(), "CI receptionist not prepared");
-    RankedAnswer answer;
+    QueryAnswer answer;
     answer.trace.mode = options_.mode;
     answer.trace.index_phase.assign(channels_.size(), LibrarianWork{});
 
@@ -174,10 +180,12 @@ RankedAnswer Receptionist::rank_central_index(const rank::Query& query, std::siz
     }
 
     // --- Merge: sort the k'.G similarity values, keep the best ---------
+    obs::Span merge_span(&answer.trace.timing.merge_ms);
     std::sort(scored.begin(), scored.end(), global_result_before);
     answer.trace.receptionist.merge_items = scored.size();
     if (scored.size() > depth) scored.resize(depth);
     answer.ranking = std::move(scored);
+    merge_span.stop();
     return answer;
 }
 

@@ -322,6 +322,64 @@ BooleanResponse BooleanResponse::decode(const net::Message& m) {
     return out;
 }
 
+// ---- Metrics ---------------------------------------------------------------
+
+namespace {
+
+void encode_sample(net::Writer& w, const obs::MetricSample& s) {
+    w.u8(static_cast<std::uint8_t>(s.kind));
+    w.str(s.name);
+    w.str(s.labels);
+    w.f64(s.value);
+    w.vec(s.bounds, [](net::Writer& ww, double b) { ww.f64(b); });
+    w.vec(s.bucket_counts, [](net::Writer& ww, std::uint64_t c) { ww.u64(c); });
+    w.u64(s.count);
+    w.f64(s.sum);
+}
+
+obs::MetricSample decode_sample(net::Reader& r) {
+    obs::MetricSample s;
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(obs::MetricSample::Kind::Histogram)) {
+        throw ProtocolError("unknown metric sample kind " + std::to_string(kind));
+    }
+    s.kind = static_cast<obs::MetricSample::Kind>(kind);
+    s.name = r.str();
+    s.labels = r.str();
+    s.value = r.f64();
+    s.bounds = r.vec<double>([](net::Reader& rr) { return rr.f64(); });
+    s.bucket_counts = r.vec<std::uint64_t>([](net::Reader& rr) { return rr.u64(); });
+    s.count = r.u64();
+    s.sum = r.f64();
+    return s;
+}
+
+}  // namespace
+
+net::Message MetricsRequest::encode() const {
+    net::Writer w;
+    return finish(net::MessageType::MetricsRequest, w);
+}
+
+MetricsRequest MetricsRequest::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::MetricsRequest);
+    return {};
+}
+
+net::Message MetricsResponse::encode() const {
+    net::Writer w;
+    w.vec(samples, encode_sample);
+    return finish(net::MessageType::MetricsResponse, w);
+}
+
+MetricsResponse MetricsResponse::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::MetricsResponse);
+    net::Reader r(m.payload);
+    MetricsResponse out;
+    out.samples = r.vec<obs::MetricSample>(decode_sample);
+    return out;
+}
+
 // ---- Error ------------------------------------------------------------------
 
 net::Message ErrorResponse::encode() const {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "net/message.h"
+#include "obs/metrics.h"
 #include "rank/similarity.h"
 #include "util/error.h"
 
@@ -153,6 +154,23 @@ struct BooleanResponse {
 
     net::Message encode() const;
     static BooleanResponse decode(const net::Message& m);
+};
+
+// ---- Metrics pull (observability) -----------------------------------------
+
+/// Asks a librarian for a snapshot of its obs::MetricsRegistry. Sent
+/// only by monitoring paths (stats_tool, render_federation_metrics),
+/// never during a query, so query byte accounting is untouched.
+struct MetricsRequest {
+    net::Message encode() const;
+    static MetricsRequest decode(const net::Message& m);
+};
+
+struct MetricsResponse {
+    std::vector<obs::MetricSample> samples;
+
+    net::Message encode() const;
+    static MetricsResponse decode(const net::Message& m);
 };
 
 /// Error reply carrying a human-readable reason.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <iterator>
 #include <map>
 #include <thread>
 
@@ -31,24 +33,76 @@ Receptionist::Receptionist(std::vector<std::unique_ptr<Channel>> channels,
     // the concurrency.
     if (options_.fanout == FanoutMode::Pooled) {
         const std::size_t width =
-            options_.fanout_threads == 0
+            options_.fanout_width == 0
                 ? util::default_fanout_threads(channels_.size())
-                : std::min(options_.fanout_threads, channels_.size());
+                : std::min(options_.fanout_width, channels_.size());
         if (width > 1) pool_ = std::make_unique<util::ThreadPool>(width);
     }
+    resolve_metrics();
 }
 
 Receptionist::~Receptionist() = default;
 
+void Receptionist::resolve_metrics() {
+    metrics_.breaker_state.assign(channels_.size(), nullptr);
+    metrics_.librarian_failures.assign(channels_.size(), nullptr);
+    obs::MetricsRegistry* reg = obs::global();
+    if (reg == nullptr) return;  // instrumentation stays null handles
+    const std::string mode(mode_name(options_.mode));
+    const auto stage = [&](const char* name) {
+        return &reg->histogram("teraphim_receptionist_stage_latency_ms",
+                               {{"mode", mode}, {"stage", name}});
+    };
+    metrics_.queries = &reg->counter("teraphim_receptionist_queries_total", {{"mode", mode}});
+    metrics_.degraded_queries =
+        &reg->counter("teraphim_receptionist_degraded_queries_total", {{"mode", mode}});
+    metrics_.retries = &reg->counter("teraphim_receptionist_retries_total");
+    metrics_.parse = stage("parse");
+    metrics_.admit = stage("admit");
+    metrics_.submit = stage("submit");
+    metrics_.gather = stage("gather");
+    metrics_.merge = stage("merge");
+    metrics_.fetch = stage("fetch");
+    metrics_.total = stage("total");
+    for (std::size_t s = 0; s < channels_.size(); ++s) {
+        const std::string& name = channels_[s]->name();
+        metrics_.breaker_state[s] =
+            &reg->gauge("teraphim_receptionist_breaker_state", {{"librarian", name}});
+        metrics_.librarian_failures[s] = &reg->counter(
+            "teraphim_receptionist_librarian_failures_total", {{"librarian", name}});
+    }
+}
+
+void Receptionist::note_breaker(std::size_t librarian) {
+    if (obs::Gauge* g = metrics_.breaker_state[librarian]) {
+        // Gauge values follow CircuitBreaker::State: 0 closed, 1 open,
+        // 2 half-open.
+        g->set(static_cast<std::int64_t>(breakers_[librarian].state()));
+    }
+}
+
+void Receptionist::observe_query(const QueryTrace& trace) {
+    if (metrics_.queries == nullptr) return;
+    metrics_.queries->inc();
+    if (!trace.degraded.ok()) metrics_.degraded_queries->inc();
+    metrics_.parse->observe(trace.timing.parse_ms);
+    metrics_.admit->observe(trace.timing.admit_ms);
+    metrics_.submit->observe(trace.timing.submit_ms);
+    metrics_.gather->observe(trace.timing.gather_ms);
+    metrics_.merge->observe(trace.timing.merge_ms);
+    metrics_.fetch->observe(trace.timing.fetch_ms);
+    metrics_.total->observe(trace.timing.total_ms);
+}
+
 FanoutMode Receptionist::effective_mode() const {
-    if (options_.fanout_threads == 1 || channels_.size() == 1) return FanoutMode::Sequential;
+    if (options_.fanout_width == 1 || channels_.size() == 1) return FanoutMode::Sequential;
     if (options_.fanout == FanoutMode::Pooled && pool_ == nullptr) {
         return FanoutMode::Sequential;
     }
     return options_.fanout;
 }
 
-std::size_t Receptionist::fanout_threads() const {
+std::size_t Receptionist::effective_fanout() const {
     switch (effective_mode()) {
         case FanoutMode::Sequential:
             return 1;
@@ -75,6 +129,7 @@ std::optional<net::Message> Receptionist::give_up_slot(std::size_t librarian,
                                                        std::uint32_t attempts,
                                                        const std::string& reason,
                                                        QueryTrace* trace) {
+    if (obs::Counter* c = metrics_.librarian_failures[librarian]) c->inc();
     if (trace == nullptr || !options_.fault.allow_partial) {
         throw IoError("librarian " + channels_[librarian]->name() + " unavailable: " + reason);
     }
@@ -88,6 +143,19 @@ std::optional<net::Message> Receptionist::give_up_slot(std::size_t librarian,
 }
 
 bool Receptionist::admit(std::size_t librarian, LibrarianWork& work, QueryTrace* trace) {
+    util::Timer timer;
+    const bool admitted = admit_impl(librarian, work, trace);
+    note_breaker(librarian);
+    if (trace != nullptr) {
+        // Admission overlaps the fan-out stages; the separate accumulator
+        // shows where half-open probes and breaker rejections spend time.
+        std::lock_guard<std::mutex> lock(trace_mu_);
+        trace->timing.admit_ms += timer.elapsed_ms();
+    }
+    return admitted;
+}
+
+bool Receptionist::admit_impl(std::size_t librarian, LibrarianWork& work, QueryTrace* trace) {
     CircuitBreaker& breaker = breakers_[librarian];
     if (!breaker.allow_request()) {
         give_up_slot(librarian, 0, "circuit open", trace);
@@ -127,6 +195,7 @@ std::optional<net::Message> Receptionist::exchange_with_retry(
     std::string last_reason;
     for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
         if (attempt > 1) {
+            if (metrics_.retries != nullptr) metrics_.retries->inc();
             if (trace != nullptr) {
                 std::lock_guard<std::mutex> lock(trace_mu_);
                 ++trace->degraded.retries;
@@ -141,16 +210,19 @@ std::optional<net::Message> Receptionist::exchange_with_retry(
             net::Message response = exchange_counted(librarian, request, work);
             if (validate) validate(response);
             breaker.record_success();
+            note_breaker(librarian);
             return response;
         } catch (const RemoteError&) {
             // The librarian is up and explicitly refused the request;
             // retrying cannot help and the breaker should not trip.
             breaker.record_success();
+            note_breaker(librarian);
             throw;
         } catch (const Error& e) {
             // Transient: lost/garbled frame, expired deadline, vanished
             // connection. Note the reason and go around.
             breaker.record_failure();
+            note_breaker(librarian);
             last_reason = e.what();
         }
     }
@@ -180,6 +252,7 @@ std::optional<net::Message> Receptionist::gather_with_retry(
         if (attempt > 1) {
             // Same policy, counters and ordering as exchange_with_retry;
             // only the transport call is split into submit + wait.
+            if (metrics_.retries != nullptr) metrics_.retries->inc();
             if (trace != nullptr) {
                 std::lock_guard<std::mutex> lock(trace_mu_);
                 ++trace->degraded.retries;
@@ -194,12 +267,15 @@ std::optional<net::Message> Receptionist::gather_with_retry(
             work.response_bytes += response.wire_bytes();
             if (validate) validate(response);
             breaker.record_success();
+            note_breaker(librarian);
             return response;
         } catch (const RemoteError&) {
             breaker.record_success();
+            note_breaker(librarian);
             throw;
         } catch (const Error& e) {
             breaker.record_failure();
+            note_breaker(librarian);
             last_reason = e.what();
         }
     }
@@ -247,6 +323,9 @@ std::vector<std::optional<net::Message>> Receptionist::broadcast(
 
     std::vector<std::optional<net::Message>> responses(channels_.size());
     if (effective_mode() != FanoutMode::Multiplexed) {
+        // Blocking shapes submit and wait inside one call; the whole
+        // fan-out is accounted as gather time.
+        obs::Span gather_span(trace != nullptr ? &trace->timing.gather_ms : nullptr);
         scatter(active.size(), trace, [&](std::size_t i) {
             const std::size_t s = active[i];
             std::function<void(const net::Message&)> slot_validate;
@@ -268,10 +347,14 @@ std::vector<std::optional<net::Message>> Receptionist::broadcast(
     const std::size_t failures_before =
         trace == nullptr ? 0 : trace->degraded.failures.size();
     std::vector<std::optional<util::Future<net::Message>>> futures(channels_.size());
-    for (const std::size_t s : active) {
-        if (!admit(s, work[s], trace)) continue;
-        futures[s] = submit_counted(s, *requests[s], work[s]);
+    {
+        obs::Span submit_span(trace != nullptr ? &trace->timing.submit_ms : nullptr);
+        for (const std::size_t s : active) {
+            if (!admit(s, work[s], trace)) continue;
+            futures[s] = submit_counted(s, *requests[s], work[s]);
+        }
     }
+    obs::Span gather_span(trace != nullptr ? &trace->timing.gather_ms : nullptr);
     for (const std::size_t s : active) {
         if (!futures[s].has_value()) continue;
         std::function<void(const net::Message&)> slot_validate;
@@ -281,11 +364,13 @@ std::vector<std::optional<net::Message>> Receptionist::broadcast(
         responses[s] = gather_with_retry(s, *requests[s], std::move(*futures[s]), work[s],
                                          trace, slot_validate);
     }
+    gather_span.stop();
     restore_failure_order(trace, failures_before);
     return responses;
 }
 
-void Receptionist::prepare(std::span<const index::InvertedIndex* const> indexes_for_ci) {
+PrepareSummary Receptionist::prepare(std::span<const index::InvertedIndex* const> indexes_for_ci) {
+    util::Timer timer;
     total_documents_ = 0;
     librarian_sizes_.clear();
     librarian_offsets_.clear();
@@ -355,6 +440,25 @@ void Receptionist::prepare(std::span<const index::InvertedIndex* const> indexes_
     }
 
     prepared_ = true;
+
+    PrepareSummary out;
+    out.librarians = channels_.size();
+    out.total_documents = total_documents_;
+    out.merged_vocabulary_bytes = merged_vocab_bytes_;
+    out.central_index_bytes = central_index_bytes_;
+    out.elapsed_ms = timer.elapsed_ms();
+    return out;
+}
+
+std::string PrepareSummary::summary() const {
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "%zu librarians, %u documents, %llu B merged vocabulary, "
+                  "%llu B central index, prepared in %.1f ms",
+                  librarians, total_documents,
+                  static_cast<unsigned long long>(merged_vocabulary_bytes),
+                  static_cast<unsigned long long>(central_index_bytes), elapsed_ms);
+    return buf;
 }
 
 std::uint64_t Receptionist::global_state_bytes() const {
@@ -388,27 +492,50 @@ std::vector<rank::WeightedQueryTerm> Receptionist::global_weights(
     return weighted;
 }
 
-RankedAnswer Receptionist::rank(std::string_view query_text, std::size_t depth) {
+QueryAnswer Receptionist::rank_impl(std::string_view query_text, std::size_t depth) {
     TERAPHIM_ASSERT_MSG(prepared_, "call prepare() before querying");
-    const rank::Query query = rank::parse_query(query_text, pipeline_);
+    double parse_ms = 0.0;
+    rank::Query query;
+    {
+        obs::Span parse_span(&parse_ms);
+        query = rank::parse_query(query_text, pipeline_);
+    }
+    QueryAnswer answer;
     switch (options_.mode) {
         case Mode::MonoServer:
         case Mode::CentralNothing:
-            return rank_central_nothing(query, depth);
+            answer = rank_central_nothing(query, depth);
+            break;
         case Mode::CentralVocabulary:
-            return rank_central_vocabulary(query, depth);
+            answer = rank_central_vocabulary(query, depth);
+            break;
         case Mode::CentralIndex:
-            return rank_central_index(query, depth);
+            answer = rank_central_index(query, depth);
+            break;
+        default:
+            throw Error("unknown mode");
     }
-    throw Error("unknown mode");
+    answer.trace.timing.parse_ms = parse_ms;
+    return answer;
+}
+
+QueryAnswer Receptionist::rank(std::string_view query_text, std::size_t depth) {
+    util::Timer timer;
+    QueryAnswer answer = rank_impl(query_text, depth);
+    answer.trace.timing.total_ms = timer.elapsed_ms();
+    observe_query(answer.trace);
+    return answer;
 }
 
 QueryAnswer Receptionist::search(std::string_view query_text) {
-    RankedAnswer ranked = rank(query_text, options_.answers);
-    QueryAnswer answer;
-    answer.ranking = std::move(ranked.ranking);
-    answer.trace = std::move(ranked.trace);
-    fetch_documents(answer);
+    util::Timer timer;
+    QueryAnswer answer = rank_impl(query_text, options_.answers);
+    {
+        obs::Span fetch_span(&answer.trace.timing.fetch_ms);
+        fetch_documents(answer);
+    }
+    answer.trace.timing.total_ms = timer.elapsed_ms();
+    observe_query(answer.trace);
     return answer;
 }
 
@@ -579,6 +706,36 @@ std::vector<GlobalResult> Receptionist::boolean(std::string_view expression) {
         }
     }
     return out;  // already sorted by (librarian, doc)
+}
+
+std::vector<obs::MetricSample> Receptionist::pull_librarian_metrics() {
+    std::vector<obs::MetricSample> out;
+    const net::Message request = MetricsRequest{}.encode();
+    for (std::size_t s = 0; s < channels_.size(); ++s) {
+        try {
+            MetricsResponse resp = MetricsResponse::decode(channels_[s]->exchange(request));
+            const std::string who =
+                obs::render_labels({{"librarian", channels_[s]->name()}});
+            for (obs::MetricSample& sample : resp.samples) {
+                sample.labels =
+                    sample.labels.empty() ? who : who + "," + sample.labels;
+                out.push_back(std::move(sample));
+            }
+        } catch (const Error&) {
+            // Monitoring never takes a federation down: a librarian that
+            // cannot answer simply contributes no samples this pull.
+        }
+    }
+    return out;
+}
+
+std::string Receptionist::render_federation_metrics() {
+    std::vector<obs::MetricSample> samples;
+    if (obs::MetricsRegistry* reg = obs::global()) samples = reg->collect();
+    std::vector<obs::MetricSample> remote = pull_librarian_metrics();
+    samples.insert(samples.end(), std::make_move_iterator(remote.begin()),
+                   std::make_move_iterator(remote.end()));
+    return obs::render_prometheus(samples);
 }
 
 }  // namespace teraphim::dir

@@ -34,6 +34,7 @@
 #include "dir/retry.h"
 #include "index/grouped_index.h"
 #include "net/message.h"
+#include "obs/metrics.h"
 #include "rank/similarity.h"
 #include "text/pipeline.h"
 #include "util/future.h"
@@ -124,14 +125,17 @@ struct ReceptionistOptions {
     /// sockets, so this is right even on one core). 1 forces the
     /// sequential fan-out *whatever `fanout` says* — useful for
     /// byte-identical comparison and single-threaded debugging.
-    std::size_t fanout_threads = 0;
+    std::size_t fanout_width = 0;
 
     FaultToleranceOptions fault;
 };
 
-/// A merged, globally-ranked answer list plus the work trace.
-struct RankedAnswer {
+/// The user-level answer: the merged global ranking, the fetched
+/// document payloads (empty after rank(), aligned with `ranking` after
+/// search()), and the work trace.
+struct QueryAnswer {
     std::vector<GlobalResult> ranking;
+    std::vector<FetchedDocument> documents;  ///< empty unless step 4 ran
     QueryTrace trace;
 
     /// Fault-tolerance outcome: which librarians failed, whether the
@@ -139,13 +143,19 @@ struct RankedAnswer {
     const DegradedInfo& degraded() const { return trace.degraded; }
 };
 
-/// Full user-level answer: top-k documents with their text payloads.
-struct QueryAnswer {
-    std::vector<GlobalResult> ranking;        ///< depth `answers`
-    std::vector<FetchedDocument> documents;   ///< aligned with `ranking`
-    QueryTrace trace;
+/// Deprecated: rank() and search() now both return QueryAnswer (the
+/// documents vector is simply empty after rank()).
+using RankedAnswer [[deprecated("use QueryAnswer")]] = QueryAnswer;
 
-    const DegradedInfo& degraded() const { return trace.degraded; }
+/// What prepare() learned about the federation, for operators and logs.
+struct PrepareSummary {
+    std::size_t librarians = 0;
+    std::uint32_t total_documents = 0;
+    std::uint64_t merged_vocabulary_bytes = 0;  ///< 0 for CN / mono-server
+    std::uint64_t central_index_bytes = 0;      ///< 0 unless CI
+    double elapsed_ms = 0.0;
+
+    std::string summary() const;  ///< one-line human-readable description
 };
 
 class Receptionist {
@@ -162,11 +172,11 @@ public:
     ///  CI — additionally builds the grouped central index; the
     ///       subcollection indexes are handed over directly (index
     ///       shipping is preprocessing, outside the measured protocol).
-    void prepare(std::span<const index::InvertedIndex* const> indexes_for_ci = {});
+    PrepareSummary prepare(std::span<const index::InvertedIndex* const> indexes_for_ci = {});
 
     /// Steps 1-3: produce the global ranking to `depth` (without
     /// fetching documents). Table 1 uses depth 1000; Tables 3-4 use 20.
-    RankedAnswer rank(std::string_view query_text, std::size_t depth);
+    QueryAnswer rank(std::string_view query_text, std::size_t depth);
 
     /// Steps 1-4: rank, then fetch the top `answers` documents.
     QueryAnswer search(std::string_view query_text);
@@ -197,7 +207,19 @@ public:
     /// Effective fan-out parallelism: 1 when the sequential path is
     /// active, the pool width in Pooled mode, and the librarian count in
     /// Multiplexed mode (every librarian can have a request in flight).
-    std::size_t fanout_threads() const;
+    std::size_t effective_fanout() const;
+
+    // --- observability ------------------------------------------------
+    /// Samples from every librarian's own obs::MetricsRegistry, pulled
+    /// over the MetricsRequest protocol message and relabelled
+    /// librarian="<name>". Librarians that cannot answer contribute
+    /// nothing — monitoring never fails a federation.
+    std::vector<obs::MetricSample> pull_librarian_metrics();
+
+    /// One Prometheus text dump of the whole federation: the
+    /// process-global registry (receptionist stages, breaker states,
+    /// transport counters) merged with every librarian's pulled samples.
+    std::string render_federation_metrics();
 
 private:
     struct GlobalTermInfo {
@@ -205,9 +227,37 @@ private:
         std::vector<std::uint32_t> holders;       ///< librarians with f_t > 0
     };
 
-    RankedAnswer rank_central_nothing(const rank::Query& query, std::size_t depth);
-    RankedAnswer rank_central_vocabulary(const rank::Query& query, std::size_t depth);
-    RankedAnswer rank_central_index(const rank::Query& query, std::size_t depth);
+    /// Cached handles into the process-global registry; all null when no
+    /// registry was installed at construction, making every record site
+    /// a single untaken branch.
+    struct StageMetrics {
+        obs::Counter* queries = nullptr;
+        obs::Counter* degraded_queries = nullptr;
+        obs::Counter* retries = nullptr;
+        obs::Histogram* parse = nullptr;
+        obs::Histogram* admit = nullptr;
+        obs::Histogram* submit = nullptr;
+        obs::Histogram* gather = nullptr;
+        obs::Histogram* merge = nullptr;
+        obs::Histogram* fetch = nullptr;
+        obs::Histogram* total = nullptr;
+        std::vector<obs::Gauge*> breaker_state;       ///< per librarian
+        std::vector<obs::Counter*> librarian_failures;  ///< per librarian
+    };
+
+    void resolve_metrics();
+    /// Publishes breakers_[librarian]'s current state to its gauge.
+    void note_breaker(std::size_t librarian);
+    /// Counts the finished query and observes its stage histograms.
+    void observe_query(const QueryTrace& trace);
+
+    /// rank() without the end-of-query metrics observation, so search()
+    /// can append the fetch stage and observe the whole query once.
+    QueryAnswer rank_impl(std::string_view query_text, std::size_t depth);
+
+    QueryAnswer rank_central_nothing(const rank::Query& query, std::size_t depth);
+    QueryAnswer rank_central_vocabulary(const rank::Query& query, std::size_t depth);
+    QueryAnswer rank_central_index(const rank::Query& query, std::size_t depth);
 
     /// Resolves global weights from the merged vocabulary; also reports
     /// which librarians hold at least one query term.
@@ -230,7 +280,9 @@ private:
     /// librarian is re-admitted without gambling a full user request.
     /// Returns false when the slot must be skipped — the give-up is
     /// already recorded in `trace` (or thrown, in strict contexts).
+    /// Wall clock spent here accumulates into trace->timing.admit_ms.
     bool admit(std::size_t librarian, LibrarianWork& work, QueryTrace* trace);
+    bool admit_impl(std::size_t librarian, LibrarianWork& work, QueryTrace* trace);
 
     /// Records one dropped librarian in trace.degraded, or throws when
     /// the context is strict (no trace, or allow_partial off).
@@ -327,6 +379,7 @@ private:
     std::vector<CircuitBreaker> breakers_;  ///< one per librarian
     std::unique_ptr<util::ThreadPool> pool_;  ///< Pooled-mode workers; null otherwise
     std::mutex trace_mu_;  ///< guards the shared DegradedInfo during a fan-out
+    StageMetrics metrics_;  ///< resolved once against obs::global()
 
     bool prepared_ = false;
     std::uint32_t total_documents_ = 0;

@@ -39,6 +39,8 @@ enum class MessageType : std::uint16_t {
     FetchResponse = 41,
     BooleanRequest = 50,
     BooleanResponse = 51,
+    MetricsRequest = 60,   // pull a librarian's obs::MetricsRegistry snapshot
+    MetricsResponse = 61,
     Shutdown = 99,
 };
 

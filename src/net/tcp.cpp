@@ -36,6 +36,23 @@ bool is_timeout_errno(int err) { return err == EAGAIN || err == EWOULDBLOCK; }
 
 }  // namespace
 
+// ---- MuxMetrics ---------------------------------------------------------
+
+MuxMetrics MuxMetrics::resolve(obs::MetricsRegistry* registry, const std::string& librarian) {
+    MuxMetrics m;
+    if (registry == nullptr) return m;
+    obs::Labels labels;
+    if (!librarian.empty()) labels.emplace_back("librarian", librarian);
+    m.frames_sent = &registry->counter("teraphim_mux_frames_sent_total", labels);
+    m.frames_received = &registry->counter("teraphim_mux_frames_received_total", labels);
+    m.bytes_sent = &registry->counter("teraphim_mux_bytes_sent_total", labels);
+    m.bytes_received = &registry->counter("teraphim_mux_bytes_received_total", labels);
+    m.timeouts = &registry->counter("teraphim_mux_timeouts_total", labels);
+    m.fatal_errors = &registry->counter("teraphim_mux_fatal_errors_total", labels);
+    m.in_flight = &registry->gauge("teraphim_mux_in_flight", labels);
+    return m;
+}
+
 // ---- TcpConnection ------------------------------------------------------
 
 TcpConnection::TcpConnection(int fd) : fd_(fd) {
@@ -198,8 +215,8 @@ void TcpConnection::shutdown_both() {
 
 // ---- MuxConnection ------------------------------------------------------
 
-MuxConnection::MuxConnection(TcpConnection conn, int request_timeout_ms)
-    : conn_(std::move(conn)), timeout_ms_(request_timeout_ms) {
+MuxConnection::MuxConnection(TcpConnection conn, int request_timeout_ms, MuxMetrics metrics)
+    : conn_(std::move(conn)), timeout_ms_(request_timeout_ms), metrics_(metrics) {
     // The reader owns the receive direction; sends get a kernel deadline
     // so a peer that stops draining its socket cannot wedge a writer.
     if (timeout_ms_ > 0) conn_.set_send_timeout(timeout_ms_);
@@ -238,6 +255,7 @@ util::Future<Message> MuxConnection::submit(const Message& request) {
                                    std::chrono::milliseconds(timeout_ms_)
                              : std::chrono::steady_clock::time_point::max();
             pending_.emplace(id, std::move(p));
+            note_in_flight(pending_.size());
         }
     }
     if (dead_error) {
@@ -248,6 +266,10 @@ util::Future<Message> MuxConnection::submit(const Message& request) {
     try {
         std::lock_guard<std::mutex> lock(write_mu_);
         conn_.send_message(request, id);
+        if (metrics_.frames_sent != nullptr) metrics_.frames_sent->inc();
+        if (metrics_.bytes_sent != nullptr) {
+            metrics_.bytes_sent->inc(Message::kHeaderBytes + request.payload.size());
+        }
     } catch (...) {
         // A failed or half-written frame corrupts the stream for every
         // request sharing it; fail them all (including this one — its
@@ -325,7 +347,9 @@ void MuxConnection::expire_deadlines(std::chrono::steady_clock::time_point now) 
                 ++it;
             }
         }
+        if (!expired.empty()) note_in_flight(pending_.size());
     }
+    if (metrics_.timeouts != nullptr && !expired.empty()) metrics_.timeouts->inc(expired.size());
     for (auto& [id, promise] : expired) {
         promise.set_exception(std::make_exception_ptr(
             TimeoutError("request " + std::to_string(id) + " timed out after " +
@@ -334,6 +358,10 @@ void MuxConnection::expire_deadlines(std::chrono::steady_clock::time_point now) 
 }
 
 void MuxConnection::complete(Message reply) {
+    if (metrics_.frames_received != nullptr) metrics_.frames_received->inc();
+    if (metrics_.bytes_received != nullptr) {
+        metrics_.bytes_received->inc(Message::kHeaderBytes + reply.payload.size());
+    }
     std::optional<util::Promise<Message>> promise;
     {
         std::lock_guard<std::mutex> lock(mu_);
@@ -341,6 +369,7 @@ void MuxConnection::complete(Message reply) {
         if (it != pending_.end()) {
             promise.emplace(std::move(it->second.promise));
             pending_.erase(it);
+            note_in_flight(pending_.size());
         } else if (abandoned_.erase(reply.correlation) > 0) {
             // Late reply to a request that already timed out: the waiter
             // is long gone, but the frame itself is well-formed — drop
@@ -357,17 +386,28 @@ void MuxConnection::complete(Message reply) {
 void MuxConnection::fail_all(std::exception_ptr error) {
     if (!error) error = std::make_exception_ptr(IoError("multiplexed connection closed"));
     std::unordered_map<std::uint32_t, Pending> orphaned;
+    bool first_death = false;
     {
         std::lock_guard<std::mutex> lock(mu_);
         if (!dead_.exchange(true)) {
             death_ = error;
+            first_death = true;
         } else {
             error = death_;  // first failure wins; report it consistently
         }
         orphaned.swap(pending_);
         abandoned_.clear();
+        note_in_flight(0);
+    }
+    // Deliberate close() is an expected end of life, not a fatal error.
+    if (first_death && !closing_.load() && metrics_.fatal_errors != nullptr) {
+        metrics_.fatal_errors->inc();
     }
     for (auto& [id, p] : orphaned) p.promise.set_exception(error);
+}
+
+void MuxConnection::note_in_flight(std::size_t n) noexcept {
+    if (metrics_.in_flight != nullptr) metrics_.in_flight->set(static_cast<std::int64_t>(n));
 }
 
 // ---- TcpListener --------------------------------------------------------
@@ -431,9 +471,20 @@ void TcpListener::close() {
 // ---- MessageServer ------------------------------------------------------
 
 MessageServer::MessageServer(std::uint16_t port, Handler handler, std::size_t max_connections,
-                             std::size_t max_inflight)
+                             std::size_t max_inflight, obs::MetricsRegistry* registry)
     : listener_(port),
       handler_(std::move(handler)),
+      connections_total_(registry != nullptr
+                             ? &registry->counter("teraphim_server_connections_total")
+                             : nullptr),
+      connections_dropped_(registry != nullptr
+                               ? &registry->counter("teraphim_server_connections_dropped_total")
+                               : nullptr),
+      frames_total_(registry != nullptr ? &registry->counter("teraphim_server_frames_total")
+                                        : nullptr),
+      connections_active_(registry != nullptr
+                              ? &registry->gauge("teraphim_server_connections_active")
+                              : nullptr),
       workers_(max_connections),
       dispatch_(max_inflight),
       thread_([this] { serve(); }) {}
@@ -455,6 +506,7 @@ void MessageServer::serve() {
             continue;
         }
         if (stopping_.load()) break;  // accepted during shutdown: discard
+        if (connections_total_ != nullptr) connections_total_->inc();
         workers_.submit([this, conn] { serve_connection(conn); });
     }
 }
@@ -469,12 +521,14 @@ void MessageServer::serve_connection(const std::shared_ptr<TcpConnection>& conn)
         if (stopping_.load()) return;
         active_fds_.push_back(conn->native_handle());
     }
+    if (connections_active_ != nullptr) connections_active_->add(1);
     // Writers (one dispatch task per in-flight request) serialize on a
     // per-connection mutex so interleaved replies never share a frame.
     auto write_mu = std::make_shared<std::mutex>();
     try {
         for (;;) {
             Message request = conn->recv_message();
+            if (frames_total_ != nullptr) frames_total_->inc();
             if (request.type == MessageType::Shutdown) {
                 Message reply;
                 reply.type = MessageType::Shutdown;
@@ -514,7 +568,9 @@ void MessageServer::serve_connection(const std::shared_ptr<TcpConnection>& conn)
         // version byte or oversized length field), or stop() cancelled
         // the read. None of these may escape — an uncaught exception
         // here would std::terminate the librarian.
+        if (connections_dropped_ != nullptr && !stopping_.load()) connections_dropped_->inc();
     }
+    if (connections_active_ != nullptr) connections_active_->add(-1);
     // Deregister *before* conn's fd can be closed, so begin_stop() can
     // never shutdown() a recycled descriptor.
     {

@@ -28,10 +28,30 @@
 #include <vector>
 
 #include "net/message.h"
+#include "obs/metrics.h"
 #include "util/future.h"
 #include "util/thread_pool.h"
 
 namespace teraphim::net {
+
+/// Resolved metric handles for one multiplexed client connection.
+/// Every pointer may be null (the default), in which case recording
+/// reduces to an untaken branch — a MuxConnection built with the
+/// default MuxMetrics{} is completely uninstrumented.
+struct MuxMetrics {
+    obs::Counter* frames_sent = nullptr;
+    obs::Counter* frames_received = nullptr;
+    obs::Counter* bytes_sent = nullptr;
+    obs::Counter* bytes_received = nullptr;
+    obs::Counter* timeouts = nullptr;      ///< per-request deadline expiries
+    obs::Counter* fatal_errors = nullptr;  ///< connection-killing transport errors
+    obs::Gauge* in_flight = nullptr;       ///< requests awaiting a reply
+
+    /// Interns the teraphim_mux_* families in `registry`, labelling
+    /// every series with `librarian` when non-empty. Null registry
+    /// returns the all-null default.
+    static MuxMetrics resolve(obs::MetricsRegistry* registry, const std::string& librarian = "");
+};
 
 /// One connected socket speaking the framed protocol. Move-only RAII
 /// owner of the file descriptor.
@@ -118,7 +138,10 @@ class MuxConnection {
 public:
     /// Takes ownership of a connected socket and starts the reader.
     /// `request_timeout_ms` <= 0 disables per-request deadlines.
-    explicit MuxConnection(TcpConnection conn, int request_timeout_ms = 0);
+    /// `metrics` carries optional pre-resolved handles (MuxMetrics::
+    /// resolve); the default records nothing.
+    explicit MuxConnection(TcpConnection conn, int request_timeout_ms = 0,
+                           MuxMetrics metrics = {});
     ~MuxConnection();
 
     MuxConnection(const MuxConnection&) = delete;
@@ -152,8 +175,12 @@ private:
     void complete(Message reply);
     void fail_all(std::exception_ptr error);
 
+    /// Called with pending_.size() under mu_ whenever it changes.
+    void note_in_flight(std::size_t n) noexcept;
+
     TcpConnection conn_;
     const int timeout_ms_;
+    const MuxMetrics metrics_;
     std::atomic<bool> dead_{false};
     std::atomic<bool> closing_{false};
 
@@ -219,8 +246,12 @@ class MessageServer {
 public:
     using Handler = std::function<Message(const Message&)>;
 
+    /// `registry`, when non-null, receives the teraphim_server_*
+    /// families (connections accepted/active/dropped, frames read) —
+    /// typically the owning librarian's registry, so the counters ride
+    /// along in its Stats RPC snapshot.
     MessageServer(std::uint16_t port, Handler handler, std::size_t max_connections = 8,
-                  std::size_t max_inflight = 8);
+                  std::size_t max_inflight = 8, obs::MetricsRegistry* registry = nullptr);
     ~MessageServer();
 
     MessageServer(const MessageServer&) = delete;
@@ -242,6 +273,10 @@ private:
 
     TcpListener listener_;
     Handler handler_;
+    obs::Counter* connections_total_ = nullptr;
+    obs::Counter* connections_dropped_ = nullptr;
+    obs::Counter* frames_total_ = nullptr;
+    obs::Gauge* connections_active_ = nullptr;
     util::ThreadPool workers_;   ///< per-connection reader loops
     util::ThreadPool dispatch_;  ///< per-request handler executions
     std::atomic<bool> stopping_{false};

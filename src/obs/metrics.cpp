@@ -1,0 +1,290 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <tuple>
+
+#include "util/error.h"
+
+namespace teraphim::obs {
+
+namespace {
+
+std::atomic<MetricsRegistry*> g_registry{nullptr};
+
+/// Prometheus label values escape backslash, double quote and newline.
+void append_escaped(std::string& out, std::string_view value) {
+    for (char c : value) {
+        switch (c) {
+            case '\\': out += "\\\\"; break;
+            case '"': out += "\\\""; break;
+            case '\n': out += "\\n"; break;
+            default: out += c;
+        }
+    }
+}
+
+/// Prometheus accepts any float syntax; integers render without an
+/// exponent or trailing zeros so counters read naturally.
+void append_number(std::string& out, double v) {
+    char buf[64];
+    if (v == std::floor(v) && std::abs(v) < 9.007199254740992e15) {
+        std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    } else {
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+    }
+    out += buf;
+}
+
+void append_series(std::string& out, const std::string& name, const std::string& labels,
+                   std::string_view extra_label = {}) {
+    out += name;
+    if (!labels.empty() || !extra_label.empty()) {
+        out += '{';
+        out += labels;
+        if (!labels.empty() && !extra_label.empty()) out += ',';
+        out += extra_label;
+        out += '}';
+    }
+}
+
+}  // namespace
+
+// ---- Histogram -------------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+    TERAPHIM_ASSERT_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                        "histogram bounds must be ascending");
+}
+
+void Histogram::observe(double v) noexcept {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    // fetch_add on atomic<double> is C++20 but not lock-free everywhere;
+    // a CAS loop keeps the class dependency-light.
+    double expected = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(expected, expected + v, std::memory_order_relaxed)) {
+    }
+}
+
+double Histogram::sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+std::uint64_t Histogram::bucket_count(std::size_t i) const {
+    TERAPHIM_ASSERT_MSG(i < buckets_.size(), "histogram bucket index out of range");
+    return buckets_[i].load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+    const std::uint64_t n = count();
+    if (n == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(n);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        const std::uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+        if (in_bucket == 0) continue;
+        const std::uint64_t next = cumulative + in_bucket;
+        if (static_cast<double>(next) >= target) {
+            if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+            const double lower = i == 0 ? 0.0 : bounds_[i - 1];
+            const double fraction =
+                (target - static_cast<double>(cumulative)) / static_cast<double>(in_bucket);
+            return lower + (bounds_[i] - lower) * std::clamp(fraction, 0.0, 1.0);
+        }
+        cumulative = next;
+    }
+    return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+std::span<const double> Histogram::default_latency_bounds_ms() {
+    static constexpr std::array<double, 14> kBounds = {0.05, 0.1, 0.25, 0.5,  1.0,  2.5,  5.0,
+                                                       10.0, 25.0, 50.0, 100.0, 250.0, 1000.0,
+                                                       10000.0};
+    return kBounds;
+}
+
+// ---- MetricsRegistry -------------------------------------------------------
+
+struct MetricsRegistry::Series {
+    MetricSample::Kind kind;
+    std::string name;
+    std::string labels;
+    Counter counter;
+    Gauge gauge;
+    std::unique_ptr<Histogram> histogram;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+std::string render_labels(const Labels& labels) {
+    std::string out;
+    for (const auto& [key, value] : labels) {
+        if (!out.empty()) out += ',';
+        out += key;
+        out += "=\"";
+        append_escaped(out, value);
+        out += '"';
+    }
+    return out;
+}
+
+MetricsRegistry::Series& MetricsRegistry::intern(std::string_view name, const Labels& labels,
+                                                 MetricSample::Kind kind,
+                                                 std::span<const double> bounds) {
+    std::string rendered = render_labels(labels);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& s : series_) {
+        if (s->name == name && s->labels == rendered) {
+            TERAPHIM_ASSERT_MSG(s->kind == kind, "metric re-registered with a different kind");
+            return *s;
+        }
+    }
+    auto s = std::make_unique<Series>();
+    s->kind = kind;
+    s->name = std::string(name);
+    s->labels = std::move(rendered);
+    if (kind == MetricSample::Kind::Histogram) {
+        if (bounds.empty()) bounds = Histogram::default_latency_bounds_ms();
+        s->histogram = std::make_unique<Histogram>(std::vector<double>(bounds.begin(), bounds.end()));
+    }
+    series_.push_back(std::move(s));
+    return *series_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, const Labels& labels) {
+    return intern(name, labels, MetricSample::Kind::Counter, {}).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
+    return intern(name, labels, MetricSample::Kind::Gauge, {}).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name, const Labels& labels,
+                                      std::span<const double> bounds) {
+    return *intern(name, labels, MetricSample::Kind::Histogram, bounds).histogram;
+}
+
+std::vector<MetricSample> MetricsRegistry::collect() const {
+    std::vector<MetricSample> out;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        out.reserve(series_.size());
+        for (const auto& s : series_) {
+            MetricSample sample;
+            sample.kind = s->kind;
+            sample.name = s->name;
+            sample.labels = s->labels;
+            switch (s->kind) {
+                case MetricSample::Kind::Counter:
+                    sample.value = static_cast<double>(s->counter.value());
+                    break;
+                case MetricSample::Kind::Gauge:
+                    sample.value = static_cast<double>(s->gauge.value());
+                    break;
+                case MetricSample::Kind::Histogram: {
+                    const Histogram& h = *s->histogram;
+                    sample.bounds = h.bounds();
+                    sample.bucket_counts.resize(h.bounds().size() + 1);
+                    for (std::size_t i = 0; i < sample.bucket_counts.size(); ++i) {
+                        sample.bucket_counts[i] = h.bucket_count(i);
+                    }
+                    sample.count = h.count();
+                    sample.sum = h.sum();
+                    break;
+                }
+            }
+            out.push_back(std::move(sample));
+        }
+    }
+    std::sort(out.begin(), out.end(), [](const MetricSample& a, const MetricSample& b) {
+        return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
+    });
+    return out;
+}
+
+std::string MetricsRegistry::render() const { return render_prometheus(collect()); }
+
+// ---- Rendering -------------------------------------------------------------
+
+std::string render_prometheus(std::span<const MetricSample> samples) {
+    std::vector<const MetricSample*> sorted;
+    sorted.reserve(samples.size());
+    for (const MetricSample& s : samples) sorted.push_back(&s);
+    std::sort(sorted.begin(), sorted.end(), [](const MetricSample* a, const MetricSample* b) {
+        return std::tie(a->name, a->labels) < std::tie(b->name, b->labels);
+    });
+
+    std::string out;
+    const std::string* current_family = nullptr;
+    for (const MetricSample* s : sorted) {
+        if (current_family == nullptr || *current_family != s->name) {
+            current_family = &s->name;
+            out += "# TYPE ";
+            out += s->name;
+            switch (s->kind) {
+                case MetricSample::Kind::Counter: out += " counter\n"; break;
+                case MetricSample::Kind::Gauge: out += " gauge\n"; break;
+                case MetricSample::Kind::Histogram: out += " histogram\n"; break;
+            }
+        }
+        if (s->kind == MetricSample::Kind::Histogram) {
+            std::uint64_t cumulative = 0;
+            for (std::size_t i = 0; i < s->bucket_counts.size(); ++i) {
+                if (i < s->bucket_counts.size() - 1 && i >= s->bounds.size()) break;
+                cumulative += s->bucket_counts[i];
+                std::string le = "le=\"";
+                if (i < s->bounds.size()) {
+                    append_number(le, s->bounds[i]);
+                } else {
+                    le += "+Inf";
+                }
+                le += '"';
+                append_series(out, s->name + "_bucket", s->labels, le);
+                out += ' ';
+                append_number(out, static_cast<double>(cumulative));
+                out += '\n';
+            }
+            append_series(out, s->name + "_sum", s->labels);
+            out += ' ';
+            append_number(out, s->sum);
+            out += '\n';
+            append_series(out, s->name + "_count", s->labels);
+            out += ' ';
+            append_number(out, static_cast<double>(s->count));
+            out += '\n';
+        } else {
+            append_series(out, s->name, s->labels);
+            out += ' ';
+            append_number(out, s->value);
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+// ---- Global registry / Span ------------------------------------------------
+
+MetricsRegistry* global() noexcept { return g_registry.load(std::memory_order_acquire); }
+
+void set_global(MetricsRegistry* registry) noexcept {
+    g_registry.store(registry, std::memory_order_release);
+}
+
+double Span::stop() {
+    if (!stopped_) {
+        stopped_ = true;
+        elapsed_ms_ = timer_.elapsed_ms();
+        if (out_ != nullptr) *out_ += elapsed_ms_;
+        if (histogram_ != nullptr) histogram_->observe(elapsed_ms_);
+    }
+    return elapsed_ms_;
+}
+
+}  // namespace teraphim::obs

@@ -1,0 +1,176 @@
+// Observability primitives for the federation: a thread-safe registry
+// of named counters, gauges, and fixed-bucket latency histograms, plus
+// a lightweight Span stopwatch. Instrumented code resolves metric
+// handles once (at construction) and records through raw pointers that
+// are null when no registry is installed, so the hot path costs a
+// branch and nothing else — no allocation, no locking, no lookup.
+//
+// Naming scheme: teraphim_<layer>_<name>, e.g.
+// teraphim_receptionist_stage_latency_ms, teraphim_mux_frames_sent_total.
+// Dumps use the Prometheus text exposition format (render_prometheus).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace teraphim::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+    std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (in-flight depth, breaker state, ...).
+class Gauge {
+public:
+    void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    void add(std::int64_t delta) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+    std::int64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are ascending inclusive upper
+/// bounds, with an implicit +Inf overflow bucket at the end. observe()
+/// is lock-free (one binary search over ~a dozen bounds plus three
+/// relaxed atomic adds).
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v) noexcept;
+
+    std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+    double sum() const noexcept;
+
+    /// Number of upper bounds (buckets minus the +Inf overflow).
+    const std::vector<double>& bounds() const { return bounds_; }
+    /// Non-cumulative count of bucket i, i in [0, bounds().size()];
+    /// the last index is the +Inf overflow bucket.
+    std::uint64_t bucket_count(std::size_t i) const;
+
+    /// Estimated quantile (q in [0,1]) by linear interpolation within
+    /// the bucket containing the target rank; values in the overflow
+    /// bucket report the largest finite bound. 0 when empty.
+    double quantile(double q) const;
+
+    /// The default bounds used for latency histograms, in milliseconds:
+    /// 0.05 .. 10000 in roughly 1-2.5-5 steps.
+    static std::span<const double> default_latency_bounds_ms();
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/// One collected time-series point, flattened so it can cross the wire
+/// (the librarian Stats RPC ships vectors of these).
+struct MetricSample {
+    enum class Kind : std::uint8_t { Counter = 0, Gauge = 1, Histogram = 2 };
+
+    Kind kind = Kind::Counter;
+    std::string name;    ///< family name, e.g. teraphim_mux_frames_sent_total
+    std::string labels;  ///< rendered label pairs without braces, e.g. `stage="parse"`; may be empty
+    double value = 0.0;  ///< counter / gauge value (unused for histograms)
+
+    // Histogram payload (empty for counters/gauges).
+    std::vector<double> bounds;                ///< ascending finite upper bounds
+    std::vector<std::uint64_t> bucket_counts;  ///< non-cumulative, bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+};
+
+/// Ordered label pairs; rendered in the order given.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Thread-safe home of every metric. Registration (counter()/gauge()/
+/// histogram()) takes a mutex and interns the series; the returned
+/// reference is stable for the registry's lifetime, so callers resolve
+/// handles once and record lock-free afterwards.
+class MetricsRegistry {
+public:
+    MetricsRegistry();   // out of line: Series is incomplete here
+    ~MetricsRegistry();
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    Counter& counter(std::string_view name, const Labels& labels = {});
+    Gauge& gauge(std::string_view name, const Labels& labels = {});
+    /// Empty `bounds` selects Histogram::default_latency_bounds_ms().
+    Histogram& histogram(std::string_view name, const Labels& labels = {},
+                         std::span<const double> bounds = {});
+
+    /// Snapshot of every series, sorted by (name, labels).
+    std::vector<MetricSample> collect() const;
+
+    /// collect() rendered as Prometheus text.
+    std::string render() const;
+
+private:
+    struct Series;
+    Series& intern(std::string_view name, const Labels& labels, MetricSample::Kind kind,
+                   std::span<const double> bounds);
+
+    mutable std::mutex mu_;
+    // Keyed by (name, rendered labels) so all series of a family are
+    // contiguous in collect() output.
+    std::vector<std::unique_ptr<Series>> series_;
+};
+
+/// Renders samples in the Prometheus text exposition format: one
+/// `# TYPE` line per family, cumulative `_bucket{le=...}` plus `_sum`/
+/// `_count` for histograms. Samples are sorted internally, so merged
+/// snapshots from several registries render correctly.
+std::string render_prometheus(std::span<const MetricSample> samples);
+
+/// Renders label pairs as they appear inside braces: `k1="v1",k2="v2"`.
+std::string render_labels(const Labels& labels);
+
+/// Process-global registry used by instrumentation sites that have no
+/// natural owner (the receptionist, client-side transports, benches).
+/// Null by default: all instrumentation resolves to null handles and
+/// the hot path reduces to untaken branches. Not owned; the caller
+/// keeps the registry alive for as long as it is installed.
+MetricsRegistry* global() noexcept;
+void set_global(MetricsRegistry* registry) noexcept;
+
+/// RAII stopwatch: on stop() (or destruction) adds the elapsed
+/// milliseconds to *out (when non-null) and observes them in *histogram
+/// (when non-null). Allocation-free.
+class Span {
+public:
+    explicit Span(double* out, Histogram* histogram = nullptr)
+        : out_(out), histogram_(histogram) {}
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { stop(); }
+
+    /// Idempotent; returns the elapsed milliseconds of the first stop.
+    double stop();
+
+private:
+    util::Timer timer_;
+    double* out_;
+    Histogram* histogram_;
+    bool stopped_ = false;
+    double elapsed_ms_ = 0.0;
+};
+
+}  // namespace teraphim::obs

@@ -303,7 +303,7 @@ dir::ReceptionistOptions options_for(dir::Mode mode, std::size_t fanout) {
     o.answers = 10;
     o.group_size = 10;
     o.k_prime = 30;
-    o.fanout_threads = fanout;
+    o.fanout_width = fanout;
     return o;
 }
 
@@ -328,7 +328,7 @@ TEST(ParallelFederation, RankingsByteIdenticalToSequentialAcrossModes) {
                            dir::Mode::CentralIndex}) {
         auto seq = dir::Federation::create(corpus_fixture(), options_for(mode, 1));
         auto par = dir::Federation::create(corpus_fixture(), options_for(mode, 0));
-        ASSERT_EQ(seq.receptionist().fanout_threads(), 1u);
+        ASSERT_EQ(seq.receptionist().effective_fanout(), 1u);
 
         for (const auto& q : corpus_fixture().short_queries.queries) {
             const auto seq_answer = seq.receptionist().rank(q.text, 50);

@@ -254,8 +254,8 @@ TEST(Degradation, CnDeadLibrarianMatchesSurvivorFederation) {
     }
 
     for (const auto& q : fixture().short_queries.queries) {
-        const RankedAnswer degraded = faulty.receptionist->rank(q.text, 50);
-        const RankedAnswer expected = survivors.receptionist->rank(q.text, 50);
+        const QueryAnswer degraded = faulty.receptionist->rank(q.text, 50);
+        const QueryAnswer expected = survivors.receptionist->rank(q.text, 50);
         EXPECT_FALSE(degraded.ranking.empty()) << q.id;
         EXPECT_TRUE(degraded.degraded().partial) << q.id;
         ASSERT_EQ(degraded.degraded().failures.size(), 1u) << q.id;
@@ -277,8 +277,8 @@ TEST(Degradation, CvDeadLibrarianKeepsSurvivorRankingIntact) {
     // survivors, same scores, same order. Depth 1000 covers every
     // scoring document, making the equality exact.
     for (const auto& q : fixture().short_queries.queries) {
-        const RankedAnswer degraded = faulty.receptionist->rank(q.text, 1000);
-        const RankedAnswer full = healthy.receptionist->rank(q.text, 1000);
+        const QueryAnswer degraded = faulty.receptionist->rank(q.text, 1000);
+        const QueryAnswer full = healthy.receptionist->rank(q.text, 1000);
         const auto expected = without_librarian(full.ranking, 1);
         EXPECT_FALSE(degraded.ranking.empty()) << q.id;
         EXPECT_TRUE(degraded.degraded().partial) << q.id;
@@ -295,8 +295,8 @@ TEST(Degradation, CiDeadLibrarianDropsItsCandidates) {
     auto healthy = make_scripted(o, {});
 
     for (const auto& q : fixture().short_queries.queries) {
-        const RankedAnswer degraded = faulty.receptionist->rank(q.text, 1000);
-        const RankedAnswer full = healthy.receptionist->rank(q.text, 1000);
+        const QueryAnswer degraded = faulty.receptionist->rank(q.text, 1000);
+        const QueryAnswer full = healthy.receptionist->rank(q.text, 1000);
         const auto expected = without_librarian(full.ranking, 2);
         EXPECT_EQ(degraded.ranking, expected) << q.id;
         // Only queries whose expanded groups touch librarian 2 degrade.
@@ -316,8 +316,8 @@ TEST(Degradation, EmptyFaultScriptIsByteIdenticalToPlainChannel) {
     auto plain = make_scripted(o, {});
 
     for (const auto& q : fixture().short_queries.queries) {
-        const RankedAnswer a = wrapped.receptionist->rank(q.text, 20);
-        const RankedAnswer b = plain.receptionist->rank(q.text, 20);
+        const QueryAnswer a = wrapped.receptionist->rank(q.text, 20);
+        const QueryAnswer b = plain.receptionist->rank(q.text, 20);
         EXPECT_EQ(a.ranking, b.ranking) << q.id;
         EXPECT_EQ(a.trace.total_message_bytes(), b.trace.total_message_bytes()) << q.id;
         EXPECT_EQ(a.trace.total_messages(), b.trace.total_messages()) << q.id;
@@ -342,8 +342,8 @@ TEST(Degradation, TransientCorruptionIsRetriedToFullAnswer) {
 
     for (std::size_t i = 0; i < 2; ++i) {
         const auto& q = fixture().short_queries.queries[i];
-        const RankedAnswer a = faulty.receptionist->rank(q.text, 20);
-        const RankedAnswer b = healthy.receptionist->rank(q.text, 20);
+        const QueryAnswer a = faulty.receptionist->rank(q.text, 20);
+        const QueryAnswer b = healthy.receptionist->rank(q.text, 20);
         EXPECT_EQ(a.ranking, b.ranking) << q.id;
         EXPECT_FALSE(a.degraded().partial) << q.id;
         EXPECT_TRUE(a.degraded().failures.empty()) << q.id;
@@ -359,8 +359,8 @@ TEST(Degradation, MidStreamDisconnectIsRetriedToFullAnswer) {
     auto healthy = make_scripted(o, {});
 
     const auto& q = fixture().short_queries.queries[0];
-    const RankedAnswer a = faulty.receptionist->rank(q.text, 20);
-    const RankedAnswer b = healthy.receptionist->rank(q.text, 20);
+    const QueryAnswer a = faulty.receptionist->rank(q.text, 20);
+    const QueryAnswer b = healthy.receptionist->rank(q.text, 20);
     EXPECT_EQ(a.ranking, b.ranking);
     EXPECT_TRUE(a.degraded().failures.empty());
     EXPECT_EQ(a.degraded().retries, 1u);
@@ -422,13 +422,13 @@ TEST(Breaker, OpensSkipsAndRecovers) {
     auto healthy = make_scripted(o, {});
     const auto& q = fixture().short_queries.queries[0];
 
-    const RankedAnswer first = faulty.receptionist->rank(q.text, 20);
+    const QueryAnswer first = faulty.receptionist->rank(q.text, 20);
     EXPECT_TRUE(first.degraded().partial);
     ASSERT_EQ(first.degraded().failures.size(), 1u);
     EXPECT_EQ(first.degraded().failures[0].attempts, 2u);
     EXPECT_EQ(first.degraded().retries, 1u);
 
-    const RankedAnswer second = faulty.receptionist->rank(q.text, 20);
+    const QueryAnswer second = faulty.receptionist->rank(q.text, 20);
     EXPECT_TRUE(second.degraded().partial);
     ASSERT_EQ(second.degraded().failures.size(), 1u);
     EXPECT_EQ(second.degraded().failures[0].attempts, 0u) << "breaker must skip, not retry";
@@ -436,7 +436,7 @@ TEST(Breaker, OpensSkipsAndRecovers) {
     EXPECT_EQ(second.trace.index_phase[1].messages, 0u)
         << "an open breaker spends no round trips on the dead librarian";
 
-    const RankedAnswer third = faulty.receptionist->rank(q.text, 20);
+    const QueryAnswer third = faulty.receptionist->rank(q.text, 20);
     EXPECT_TRUE(third.degraded().ok()) << third.degraded().summary();
     EXPECT_EQ(third.ranking, healthy.receptionist->rank(q.text, 20).ranking);
 }
@@ -538,15 +538,15 @@ TEST(TcpFaults, SlowLibrarianTimesOutOnceThenFullAnswerOnRetry) {
     auto healthy = TcpFederation::create(fixture(), plain);
 
     const auto& q = fixture().short_queries.queries[0];
-    const RankedAnswer a = faulty.receptionist().rank(q.text, 20);
-    const RankedAnswer b = healthy.receptionist().rank(q.text, 20);
+    const QueryAnswer a = faulty.receptionist().rank(q.text, 20);
+    const QueryAnswer b = healthy.receptionist().rank(q.text, 20);
     EXPECT_EQ(a.ranking, b.ranking);
     EXPECT_FALSE(a.degraded().partial) << a.degraded().summary();
     EXPECT_TRUE(a.degraded().failures.empty()) << a.degraded().summary();
     EXPECT_GE(a.degraded().retries, 1u);
 
     // The same query again, with the fault spent, is clean end to end.
-    const RankedAnswer again = faulty.receptionist().rank(q.text, 20);
+    const QueryAnswer again = faulty.receptionist().rank(q.text, 20);
     EXPECT_EQ(again.ranking, b.ranking);
     EXPECT_TRUE(again.degraded().ok());
 
@@ -564,8 +564,8 @@ TEST(TcpFaults, ServerDropsConnectionMidQueryThenRecovers) {
     auto healthy = TcpFederation::create(fixture(), o);
 
     const auto& q = fixture().short_queries.queries[0];
-    const RankedAnswer a = faulty.receptionist().rank(q.text, 20);
-    const RankedAnswer b = healthy.receptionist().rank(q.text, 20);
+    const QueryAnswer a = faulty.receptionist().rank(q.text, 20);
+    const QueryAnswer b = healthy.receptionist().rank(q.text, 20);
     EXPECT_EQ(a.ranking, b.ranking);
     EXPECT_TRUE(a.degraded().failures.empty()) << a.degraded().summary();
     EXPECT_GE(a.degraded().retries, 1u);
@@ -587,8 +587,8 @@ TEST(TcpFaults, FaultyChannelKillsOneOfFourLibrariansMidQuery) {
         auto healthy = TcpFederation::create(fixture(), o);
 
         for (const auto& q : fixture().short_queries.queries) {
-            const RankedAnswer degraded = faulty.receptionist().rank(q.text, 1000);
-            const RankedAnswer full = healthy.receptionist().rank(q.text, 1000);
+            const QueryAnswer degraded = faulty.receptionist().rank(q.text, 1000);
+            const QueryAnswer full = healthy.receptionist().rank(q.text, 1000);
             const auto expected = without_librarian(full.ranking, 1);
             EXPECT_FALSE(degraded.ranking.empty()) << mode_name(mode) << " " << q.id;
             EXPECT_TRUE(degraded.degraded().failed(1)) << mode_name(mode) << " " << q.id;

@@ -158,6 +158,70 @@ TEST(MuxConnection, ServerStopFailsInFlightFuturesWithoutHanging) {
     EXPECT_FALSE(mux.healthy());
 }
 
+// ---- TcpChannel: fail-fast on a dead connection --------------------------
+
+TEST(TcpChannel, DeadConnectionFailsFastWithCachedErrorUntilReset) {
+    auto echo = [](const net::Message& m) {
+        net::Message reply = m;
+        reply.type = net::MessageType::Pong;
+        return reply;
+    };
+    auto server = std::make_unique<net::MessageServer>(0, echo);
+    const std::uint16_t port = server->port();
+    dir::TcpChannel channel("L0", "127.0.0.1", port, dir::TcpChannel::Timeouts{});
+
+    EXPECT_EQ(channel.exchange(text_message(net::MessageType::Ping, "hello")).type,
+              net::MessageType::Pong);
+    ASSERT_TRUE(channel.is_connected());
+
+    // Kill the server. The channel's reader notices the peer close and
+    // the shared connection turns dead.
+    server.reset();
+    try {
+        channel.exchange(text_message(net::MessageType::Ping, "into the void"));
+    } catch (const Error&) {
+        // The first post-kill exchange may race the reader and report
+        // either the send failure or the reader's death error.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(channel.is_connected());
+
+    // Dead: every exchange must fail *immediately* with the connection's
+    // one cached fatal error — no reconnect attempt per submission. (The
+    // old behaviour reconnected inline, so each call threw a fresh
+    // "Connection refused" instead of the cached death.)
+    std::string cached;
+    try {
+        channel.exchange(text_message(net::MessageType::Ping, "a"));
+        FAIL() << "exchange on a dead channel must throw";
+    } catch (const Error& e) {
+        cached = e.what();
+    }
+    EXPECT_EQ(cached.find("connect to"), std::string::npos)
+        << "dead channel attempted a reconnect: " << cached;
+    util::Timer timer;
+    for (int i = 0; i < 25; ++i) {
+        try {
+            channel.exchange(text_message(net::MessageType::Ping, "b"));
+            FAIL() << "exchange on a dead channel must throw";
+        } catch (const Error& e) {
+            EXPECT_EQ(cached, std::string(e.what()))
+                << "every submission must see the same cached fatal error";
+        }
+    }
+    EXPECT_LT(timer.elapsed_seconds(), 0.5)
+        << "dead-channel submissions paid per-call reconnects";
+
+    // Only reset() re-arms the reconnect. With a new server on the same
+    // port the channel comes back to life.
+    server = std::make_unique<net::MessageServer>(port, echo);
+    channel.reset();
+    EXPECT_EQ(channel.exchange(text_message(net::MessageType::Ping, "back")).type,
+              net::MessageType::Pong);
+    EXPECT_TRUE(channel.is_connected());
+    server->stop();
+}
+
 // ---- Fault injection on the shared connection ---------------------------
 
 TEST(FaultyMux, DropPoisonsExactlyOneOfSeveralOutstandingReplies) {
@@ -227,7 +291,7 @@ dir::ReceptionistOptions options_for(dir::Mode mode, dir::FanoutMode fanout,
     o.group_size = 10;
     o.k_prime = 30;
     o.fanout = fanout;
-    o.fanout_threads = threads;
+    o.fanout_width = threads;
     return o;
 }
 
@@ -256,8 +320,8 @@ TEST(MuxFederation, AllThreeFanoutShapesProduceByteIdenticalAnswers) {
             corpus_fixture(), options_for(mode, dir::FanoutMode::Pooled));
         auto mux = dir::Federation::create(
             corpus_fixture(), options_for(mode, dir::FanoutMode::Multiplexed));
-        ASSERT_EQ(seq.receptionist().fanout_threads(), 1u);
-        ASSERT_EQ(mux.receptionist().fanout_threads(), 4u);
+        ASSERT_EQ(seq.receptionist().effective_fanout(), 1u);
+        ASSERT_EQ(mux.receptionist().effective_fanout(), 4u);
 
         for (const auto& q : corpus_fixture().short_queries.queries) {
             const std::string context =
@@ -429,12 +493,12 @@ TEST(MuxFederation, EightConcurrentQueriesShareConnectionsAndBeatSequential) {
     const auto& q = corpus_fixture().short_queries.queries[0];
 
     util::Timer seq_timer;
-    std::vector<dir::RankedAnswer> sequential(kQueries);
+    std::vector<dir::QueryAnswer> sequential(kQueries);
     for (int i = 0; i < kQueries; ++i) sequential[i] = fed.receptionist().rank(q.text, 10);
     const double seq_seconds = seq_timer.elapsed_seconds();
 
     util::Timer par_timer;
-    std::vector<dir::RankedAnswer> concurrent(kQueries);
+    std::vector<dir::QueryAnswer> concurrent(kQueries);
     std::vector<std::thread> users;
     for (int i = 0; i < kQueries; ++i) {
         users.emplace_back(

@@ -1,0 +1,242 @@
+// Observability tests: histogram bucket arithmetic, registry thread
+// safety under concurrent recording (run under the `concurrency` CTest
+// label so the ThreadSanitizer script covers them), the Prometheus
+// text rendering against a golden dump, the librarian metrics RPC over
+// a real TCP federation, and the guarantee that installing a registry
+// changes nothing about query answers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dir/deployment.h"
+#include "obs/metrics.h"
+
+namespace teraphim {
+namespace {
+
+// ---- Histogram ----------------------------------------------------------
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+    obs::Histogram h({1.0, 2.0, 5.0});
+    h.observe(0.5);  // bucket 0
+    h.observe(1.0);  // bucket 0: bounds are inclusive
+    h.observe(1.5);  // bucket 1
+    h.observe(2.0);  // bucket 1
+    h.observe(5.0);  // bucket 2
+    h.observe(7.0);  // overflow
+    EXPECT_EQ(h.bucket_count(0), 2u);
+    EXPECT_EQ(h.bucket_count(1), 2u);
+    EXPECT_EQ(h.bucket_count(2), 1u);
+    EXPECT_EQ(h.bucket_count(3), 1u);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 2.0 + 5.0 + 7.0);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinTheTargetBucket) {
+    obs::Histogram h({1.0, 2.0, 5.0});
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(3.0);
+    // target rank 1.5 of 3 falls halfway into the (1,2] bucket.
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.5);
+    EXPECT_EQ(h.quantile(0.0), 0.0);
+    // Values in the overflow bucket report the largest finite bound.
+    obs::Histogram over({1.0});
+    over.observe(100.0);
+    EXPECT_DOUBLE_EQ(over.quantile(0.99), 1.0);
+    // Empty histogram.
+    obs::Histogram empty({1.0});
+    EXPECT_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, DefaultLatencyBoundsAreAscending)
+{
+    const auto bounds = obs::Histogram::default_latency_bounds_ms();
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_LT(bounds[i - 1], bounds[i]);
+}
+
+// ---- Registry under concurrency -----------------------------------------
+
+TEST(MetricsRegistry, ConcurrentRecordingLosesNothing) {
+    obs::MetricsRegistry registry;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&registry] {
+            // Handles resolve concurrently too — registration and
+            // recording interleave across threads.
+            obs::Counter& c = registry.counter("teraphim_test_events_total");
+            obs::Gauge& g = registry.gauge("teraphim_test_level");
+            obs::Histogram& h = registry.histogram("teraphim_test_latency_ms");
+            for (int i = 0; i < kPerThread; ++i) {
+                c.inc();
+                g.add(1);
+                g.add(-1);
+                h.observe(static_cast<double>(i % 100));
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(registry.counter("teraphim_test_events_total").value(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(registry.gauge("teraphim_test_level").value(), 0);
+    EXPECT_EQ(registry.histogram("teraphim_test_latency_ms").count(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, SameNameAndLabelsInternToTheSameSeries) {
+    obs::MetricsRegistry registry;
+    obs::Counter& a = registry.counter("teraphim_test_x", {{"k", "v"}});
+    obs::Counter& b = registry.counter("teraphim_test_x", {{"k", "v"}});
+    obs::Counter& other = registry.counter("teraphim_test_x", {{"k", "w"}});
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &other);
+}
+
+// ---- Prometheus rendering ------------------------------------------------
+
+TEST(RenderPrometheus, MatchesGoldenDump) {
+    obs::MetricsRegistry registry;
+    registry.counter("teraphim_test_requests_total", {{"site", "a"}}).inc(3);
+    registry.gauge("teraphim_test_depth").set(-2);
+    obs::Histogram& h =
+        registry.histogram("teraphim_test_latency_ms", {}, std::vector<double>{1.0, 2.0});
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(5.0);
+
+    const std::string expected =
+        "# TYPE teraphim_test_depth gauge\n"
+        "teraphim_test_depth -2\n"
+        "# TYPE teraphim_test_latency_ms histogram\n"
+        "teraphim_test_latency_ms_bucket{le=\"1\"} 1\n"
+        "teraphim_test_latency_ms_bucket{le=\"2\"} 2\n"
+        "teraphim_test_latency_ms_bucket{le=\"+Inf\"} 3\n"
+        "teraphim_test_latency_ms_sum 7\n"
+        "teraphim_test_latency_ms_count 3\n"
+        "# TYPE teraphim_test_requests_total counter\n"
+        "teraphim_test_requests_total{site=\"a\"} 3\n";
+    EXPECT_EQ(registry.render(), expected);
+}
+
+TEST(RenderPrometheus, EscapesLabelValues) {
+    obs::MetricsRegistry registry;
+    registry.counter("teraphim_test_total", {{"path", "a\"b\\c\nd"}}).inc();
+    EXPECT_EQ(registry.render(),
+              "# TYPE teraphim_test_total counter\n"
+              "teraphim_test_total{path=\"a\\\"b\\\\c\\nd\"} 1\n");
+}
+
+// ---- Federation metrics over real TCP ------------------------------------
+
+corpus::SyntheticCorpus small_corpus() {
+    corpus::CorpusConfig config;
+    config.vocab_size = 3000;
+    config.subcollections = {
+        {"AP", 120, 70.0, 0.4},
+        {"WSJ", 120, 70.0, 0.4},
+        {"FR", 80, 90.0, 0.5},
+        {"ZIFF", 80, 60.0, 0.5},
+    };
+    config.num_long_topics = 3;
+    config.num_short_topics = 3;
+    config.topic_term_floor = 150;
+    config.seed = 12;
+    return corpus::generate_corpus(config);
+}
+
+TEST(FederationMetrics, LibrarianStatsPulledOverTheWire) {
+    obs::MetricsRegistry registry;
+    obs::set_global(&registry);  // before create: handles resolve in ctors
+    {
+        dir::ReceptionistOptions options;
+        options.mode = dir::Mode::CentralVocabulary;
+        options.answers = 5;
+        const auto corpus = small_corpus();
+        auto fed = dir::TcpFederation::create(corpus, options);
+        for (const auto& q : corpus.short_queries.queries) {
+            const auto answer = fed.receptionist().search(q.text);
+            EXPECT_TRUE(answer.degraded().ok());
+        }
+
+        // Librarian-side samples arrive relabelled with their name.
+        const auto remote = fed.receptionist().pull_librarian_metrics();
+        ASSERT_FALSE(remote.empty());
+        bool saw_ap_requests = false;
+        for (const auto& s : remote) {
+            EXPECT_EQ(s.labels.find("librarian=\""), 0u)
+                << "pulled sample missing librarian label: " << s.name << "{" << s.labels
+                << "}";
+            if (s.name == "teraphim_librarian_requests_total" &&
+                s.labels.find("librarian=\"AP\"") != std::string::npos &&
+                s.labels.find("type=\"rank_weighted\"") != std::string::npos) {
+                saw_ap_requests = true;
+                EXPECT_GE(s.value, 1.0);
+            }
+        }
+        EXPECT_TRUE(saw_ap_requests)
+            << "librarian AP's rank_weighted request counter was not pulled";
+
+        // The consolidated dump holds every layer's families.
+        const std::string dump = fed.receptionist().render_federation_metrics();
+        EXPECT_EQ(dump.rfind("# TYPE", 0), 0u);
+        for (const char* family : {
+                 "teraphim_receptionist_stage_latency_ms_bucket",
+                 "teraphim_receptionist_queries_total",
+                 "teraphim_receptionist_breaker_state",
+                 "teraphim_mux_frames_sent_total",
+                 "teraphim_mux_bytes_received_total",
+                 "teraphim_librarian_requests_total",
+                 "teraphim_librarian_request_latency_ms_count",
+                 "teraphim_server_frames_total",
+             }) {
+            EXPECT_NE(dump.find(family), std::string::npos)
+                << "federation dump is missing " << family;
+        }
+        fed.shutdown();
+    }
+    obs::set_global(nullptr);
+}
+
+TEST(FederationMetrics, InstalledRegistryChangesNoAnswerBytes) {
+    const auto corpus = small_corpus();
+    dir::ReceptionistOptions options;
+    options.mode = dir::Mode::CentralVocabulary;
+    options.answers = 5;
+
+    auto plain = dir::Federation::create(corpus, options);
+    std::vector<dir::QueryAnswer> reference;
+    for (const auto& q : corpus.short_queries.queries) {
+        reference.push_back(plain.receptionist().search(q.text));
+    }
+
+    obs::MetricsRegistry registry;
+    obs::set_global(&registry);
+    {
+        auto observed = dir::Federation::create(corpus, options);
+        for (std::size_t i = 0; i < corpus.short_queries.queries.size(); ++i) {
+            const auto answer =
+                observed.receptionist().search(corpus.short_queries.queries[i].text);
+            ASSERT_EQ(reference[i].ranking.size(), answer.ranking.size());
+            for (std::size_t r = 0; r < answer.ranking.size(); ++r) {
+                EXPECT_EQ(reference[i].ranking[r].librarian, answer.ranking[r].librarian);
+                EXPECT_EQ(reference[i].ranking[r].doc, answer.ranking[r].doc);
+                EXPECT_EQ(reference[i].ranking[r].score, answer.ranking[r].score);
+            }
+            EXPECT_EQ(reference[i].trace.total_message_bytes(),
+                      answer.trace.total_message_bytes())
+                << "observability must not put bytes on the wire";
+        }
+        EXPECT_GT(registry.counter("teraphim_receptionist_queries_total", {{"mode", "CV"}})
+                      .value(),
+                  0u);
+    }
+    obs::set_global(nullptr);
+}
+
+}  // namespace
+}  // namespace teraphim

@@ -1,0 +1,251 @@
+// Cache bench: a Zipfian repeated-query workload against a real TCP
+// federation, run with the answer/term-statistics caches off and on.
+//
+// Real query streams are heavily skewed, so the interesting number is
+// not the cold-query latency (identical either way — the cache is
+// byte-transparent) but what the repeats cost: with the cache on they
+// are served locally, with zero librarian round trips. The bench
+// verifies that claim directly from the teraphim_mux_* frame counters
+// rather than trusting the cache's own statistics.
+//
+// Usage:
+//   cache_bench [--smoke] [--json <path>]
+//     --smoke   tiny corpus + short workload; exits non-zero unless the
+//               cache served hits and a hot repeat moved zero frames
+//     --json    additionally writes the results as one JSON object
+#include <cstdio>
+#include <cstring>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "corpus/zipf.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace teraphim;
+
+namespace {
+
+corpus::CorpusConfig bench_corpus_config(bool smoke) {
+    corpus::CorpusConfig config;
+    if (smoke) {
+        config.vocab_size = 3000;
+        config.subcollections = {
+            {"AP", 120, 70.0, 0.4},
+            {"WSJ", 120, 70.0, 0.4},
+            {"FR", 80, 90.0, 0.5},
+            {"ZIFF", 80, 60.0, 0.5},
+        };
+        config.num_long_topics = 3;
+        config.num_short_topics = 3;
+        config.topic_term_floor = 150;
+        config.seed = 12;
+    } else {
+        config.vocab_size = 8000;
+        config.subcollections = {
+            {"AP", 1600, 120.0, 0.45},
+            {"WSJ", 1500, 115.0, 0.45},
+            {"FR", 400, 170.0, 0.6},
+            {"ZIFF", 1150, 95.0, 0.5},
+        };
+        config.num_long_topics = 16;
+        config.num_short_topics = 16;
+        config.seed = 5;
+    }
+    return config;
+}
+
+std::uint64_t sum_family(const obs::MetricsRegistry& reg, std::string_view family) {
+    double total = 0.0;
+    for (const obs::MetricSample& s : reg.collect()) {
+        if (s.name == family) total += s.value;
+    }
+    return static_cast<std::uint64_t>(total);
+}
+
+struct PhaseResult {
+    std::uint64_t queries = 0;
+    double wall_ms = 0.0;
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t cache_hits = 0;
+
+    double mean_ms() const { return queries ? wall_ms / static_cast<double>(queries) : 0.0; }
+    double frames_per_query() const {
+        return queries ? static_cast<double>(frames_sent) / static_cast<double>(queries) : 0.0;
+    }
+    double hit_rate() const {
+        return queries ? static_cast<double>(cache_hits) / static_cast<double>(queries) : 0.0;
+    }
+};
+
+/// Replays the drawn query sequence; frame counts are deltas of the
+/// process-global mux counters over the phase.
+PhaseResult run_phase(dir::Receptionist& receptionist, const obs::MetricsRegistry& reg,
+                      const std::vector<const std::string*>& workload, std::size_t depth) {
+    PhaseResult r;
+    const std::uint64_t sent_before = sum_family(reg, "teraphim_mux_frames_sent_total");
+    const std::uint64_t recv_before = sum_family(reg, "teraphim_mux_frames_received_total");
+    util::Timer timer;
+    for (const std::string* q : workload) {
+        const dir::QueryAnswer answer = receptionist.rank(*q, depth);
+        if (answer.trace.served_from_cache) ++r.cache_hits;
+    }
+    r.wall_ms = timer.elapsed_ms();
+    r.queries = workload.size();
+    r.frames_sent = sum_family(reg, "teraphim_mux_frames_sent_total") - sent_before;
+    r.frames_received = sum_family(reg, "teraphim_mux_frames_received_total") - recv_before;
+    return r;
+}
+
+void write_json(const std::string& path, dir::Mode mode, bool smoke, double zipf_s,
+                std::size_t distinct, const PhaseResult& off, const PhaseResult& on,
+                const cache::CacheStats& qstats, std::uint64_t hot_repeat_frames) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cache_bench: cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"cache_bench\",\n"
+                 "  \"mode\": \"%s\",\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"zipf_s\": %.2f,\n"
+                 "  \"distinct_queries\": %zu,\n"
+                 "  \"queries\": %llu,\n"
+                 "  \"cache_off\": {\"wall_ms\": %.3f, \"mean_ms\": %.4f, "
+                 "\"frames_sent\": %llu, \"frames_per_query\": %.3f},\n"
+                 "  \"cache_on\": {\"wall_ms\": %.3f, \"mean_ms\": %.4f, "
+                 "\"frames_sent\": %llu, \"frames_per_query\": %.3f, "
+                 "\"hits\": %llu, \"misses\": %llu, \"hit_rate\": %.4f},\n"
+                 "  \"hot_repeat_frames\": %llu,\n"
+                 "  \"speedup\": %.3f\n"
+                 "}\n",
+                 std::string(dir::mode_name(mode)).c_str(), smoke ? "true" : "false", zipf_s,
+                 distinct, static_cast<unsigned long long>(off.queries), off.wall_ms,
+                 off.mean_ms(), static_cast<unsigned long long>(off.frames_sent),
+                 off.frames_per_query(), on.wall_ms, on.mean_ms(),
+                 static_cast<unsigned long long>(on.frames_sent), on.frames_per_query(),
+                 static_cast<unsigned long long>(qstats.hits),
+                 static_cast<unsigned long long>(qstats.misses), on.hit_rate(),
+                 static_cast<unsigned long long>(hot_repeat_frames),
+                 on.wall_ms > 0.0 ? off.wall_ms / on.wall_ms : 0.0);
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: cache_bench [--smoke] [--json <path>]\n");
+            return 2;
+        }
+    }
+
+    obs::MetricsRegistry registry;
+    obs::set_global(&registry);
+
+    std::printf("Cache bench: Zipfian repeated queries over a TCP federation\n");
+    util::Timer build_timer;
+    const corpus::SyntheticCorpus corpus = corpus::generate_corpus(bench_corpus_config(smoke));
+    std::printf("# corpus: %u documents (%.1fs)\n", corpus.total_documents(),
+                build_timer.elapsed_seconds());
+
+    // The query pool: every short and long query, Zipf-ranked in order,
+    // so a handful of heads dominate the draw — the skew the mediator
+    // literature observes in real streams.
+    std::vector<const std::string*> pool;
+    for (const auto& q : corpus.short_queries.queries) pool.push_back(&q.text);
+    for (const auto& q : corpus.long_queries.queries) pool.push_back(&q.text);
+    constexpr double kZipfS = 1.1;
+    const std::vector<double> weights = corpus::zipf_weights(pool.size(), kZipfS);
+    util::AliasSampler sampler{std::span<const double>(weights)};
+    util::Rng rng(42);
+
+    const std::size_t num_queries = smoke ? 200 : 2000;
+    const std::size_t depth = 20;
+    std::vector<const std::string*> workload;
+    workload.reserve(num_queries);
+    for (std::size_t i = 0; i < num_queries; ++i) {
+        workload.push_back(pool[sampler.sample(rng)]);
+    }
+
+    const dir::Mode mode = dir::Mode::CentralVocabulary;
+    dir::ReceptionistOptions off_options = bench::mode_options(mode);
+    dir::ReceptionistOptions on_options = off_options;
+    on_options.cache.enabled = true;
+
+    std::printf("# %zu draws over %zu distinct queries (zipf s=%.1f), mode %s, depth %zu\n",
+                num_queries, pool.size(), kZipfS,
+                std::string(dir::mode_name(mode)).c_str(), depth);
+
+    auto off_fed = dir::TcpFederation::create(corpus, off_options);
+    const PhaseResult off = run_phase(off_fed.receptionist(), registry, workload, depth);
+    off_fed.shutdown();
+
+    auto on_fed = dir::TcpFederation::create(corpus, on_options);
+    PhaseResult on = run_phase(on_fed.receptionist(), registry, workload, depth);
+    const cache::CacheStats qstats = on_fed.receptionist().query_cache()->stats();
+
+    // The direct zero-round-trip check: repeat the hottest query once
+    // more and count the frames it moved.
+    const std::uint64_t frames_before = sum_family(registry, "teraphim_mux_frames_sent_total");
+    const dir::QueryAnswer hot = on_fed.receptionist().rank(*pool.front(), depth);
+    const std::uint64_t hot_repeat_frames =
+        sum_family(registry, "teraphim_mux_frames_sent_total") - frames_before;
+    on_fed.shutdown();
+
+    bench::print_rule();
+    std::printf("  %-10s %9s %12s %11s %14s %10s\n", "cache", "queries", "wall ms",
+                "mean ms", "frames/query", "hit rate");
+    bench::print_rule();
+    std::printf("  %-10s %9llu %12.1f %11.4f %14.3f %10s\n", "off",
+                static_cast<unsigned long long>(off.queries), off.wall_ms, off.mean_ms(),
+                off.frames_per_query(), "-");
+    std::printf("  %-10s %9llu %12.1f %11.4f %14.3f %9.1f%%\n", "on",
+                static_cast<unsigned long long>(on.queries), on.wall_ms, on.mean_ms(),
+                on.frames_per_query(), 100.0 * on.hit_rate());
+    bench::print_rule();
+    std::printf(
+        "  hot repeat with warm cache: served_from_cache=%s, %llu mux frames\n"
+        "  speedup on this workload: %.2fx wall clock, %.1f%% fewer frames\n",
+        hot.trace.served_from_cache ? "true" : "false",
+        static_cast<unsigned long long>(hot_repeat_frames),
+        on.wall_ms > 0.0 ? off.wall_ms / on.wall_ms : 0.0,
+        off.frames_sent > 0
+            ? 100.0 * (1.0 - static_cast<double>(on.frames_sent) /
+                                 static_cast<double>(off.frames_sent))
+            : 0.0);
+
+    if (!json_path.empty()) {
+        write_json(json_path, mode, smoke, kZipfS, pool.size(), off, on, qstats,
+                   hot_repeat_frames);
+    }
+    obs::set_global(nullptr);
+
+    if (smoke) {
+        if (on.cache_hits == 0) {
+            std::fprintf(stderr, "SMOKE FAIL: cache served no hits\n");
+            return 1;
+        }
+        if (!hot.trace.served_from_cache || hot_repeat_frames != 0) {
+            std::fprintf(stderr, "SMOKE FAIL: warm repeat was not frame-free\n");
+            return 1;
+        }
+        std::printf("smoke OK: %llu hits, warm repeat moved 0 frames\n",
+                    static_cast<unsigned long long>(on.cache_hits));
+    }
+    return 0;
+}

@@ -4,9 +4,11 @@
 // bench verifies the simulator reproduces them by actually timing an
 // empty-message round trip per site on the discrete-event engine.
 #include <cstdio>
+#include <cstring>
 
 #include <chrono>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,12 +23,60 @@ using namespace teraphim;
 
 namespace {
 
+/// Everything the bench measures, collected so it can be emitted as
+/// machine-readable JSON (--json <path>) next to the stdout tables.
+struct Table2Results {
+    struct SiteRow {
+        std::string location;
+        int hops = 0;
+        double paper_ping_s = 0.0;
+        double simulated_ping_s = 0.0;
+    };
+    std::vector<SiteRow> sites;
+    double sequential_ping_ms = 0.0;
+    double concurrent_ping_ms = 0.0;
+    double mux_one_client_ms = 0.0;
+    double mux_eight_clients_ms = 0.0;
+    std::uint64_t mux_bytes_per_query = 0;
+};
+
+void write_json(const std::string& path, const Table2Results& r) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "table2_network: cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"table2_network\",\n  \"sites\": [\n");
+    for (std::size_t i = 0; i < r.sites.size(); ++i) {
+        const auto& s = r.sites[i];
+        std::fprintf(f,
+                     "    {\"location\": \"%s\", \"hops\": %d, \"paper_ping_s\": %.2f, "
+                     "\"simulated_ping_s\": %.2f}%s\n",
+                     s.location.c_str(), s.hops, s.paper_ping_s, s.simulated_ping_s,
+                     i + 1 < r.sites.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"measured\": {\n"
+                 "    \"sequential_ping_ms\": %.1f,\n"
+                 "    \"concurrent_ping_ms\": %.1f,\n"
+                 "    \"mux_one_client_batch_ms\": %.1f,\n"
+                 "    \"mux_eight_clients_batch_ms\": %.1f,\n"
+                 "    \"mux_wire_bytes_per_query\": %llu\n"
+                 "  }\n}\n",
+                 r.sequential_ping_ms, r.concurrent_ping_ms, r.mux_one_client_ms,
+                 r.mux_eight_clients_ms,
+                 static_cast<unsigned long long>(r.mux_bytes_per_query));
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
 /// Measured loopback complement to the simulated table: four servers
 /// each answering after an artificial RTT-sized delay, pinged first one
 /// at a time and then concurrently through the scatter-gather pool. The
 /// concurrent round trip costs the slowest site, not the sum — the
 /// reason the receptionist fans out in parallel before merging.
-void measured_concurrent_round_trips() {
+void measured_concurrent_round_trips(Table2Results& results) {
     constexpr int kSites = 4;
     static constexpr int kRttMs = 25;
     std::vector<std::unique_ptr<net::MessageServer>> servers;
@@ -58,6 +108,8 @@ void measured_concurrent_round_trips() {
         "  sequential pings  %8.1f ms   (~ sum of RTTs)\n"
         "  concurrent pings  %8.1f ms   (~ max of RTTs)\n",
         kSites, kRttMs, sequential_ms, parallel_ms);
+    results.sequential_ping_ms = sequential_ms;
+    results.concurrent_ping_ms = parallel_ms;
     for (auto& s : servers) s->stop();
 }
 
@@ -66,7 +118,7 @@ void measured_concurrent_round_trips() {
 /// distinguished by correlation id. The wire cost per query is constant
 /// — multiplexing adds no bytes — while the batch completes in roughly
 /// one RTT instead of N.
-void measured_multiplexed_clients() {
+void measured_multiplexed_clients(Table2Results& results) {
     constexpr int kSites = 4;
     static constexpr int kRttMs = 25;
     std::vector<std::unique_ptr<net::MessageServer>> servers;
@@ -120,12 +172,26 @@ void measured_multiplexed_clients() {
     if (one_bytes != eight_bytes) {
         std::printf("  WARNING: per-query wire bytes changed under multiplexing\n");
     }
+    results.mux_one_client_ms = one_ms;
+    results.mux_eight_clients_ms = eight_ms;
+    results.mux_bytes_per_query = eight_bytes;
     for (auto& s : servers) s->stop();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: table2_network [--json <path>]\n");
+            return 2;
+        }
+    }
+    Table2Results results;
+
     // The registry only watches: the multiplexed measurements must be
     // byte-identical with or without it installed.
     obs::MetricsRegistry registry;
@@ -165,6 +231,8 @@ int main() {
 
         std::printf("  %-10s %18d %18.2f %18.2f\n", sites[row].location.c_str(),
                     sites[row].hops, sites[row].ping_seconds, completed);
+        results.sites.push_back(
+            {sites[row].location, sites[row].hops, sites[row].ping_seconds, completed});
     }
     bench::print_rule();
     std::printf(
@@ -172,11 +240,12 @@ int main() {
         "serialisation time; the paper's consequence — 'handshaking should be\n"
         "kept to an absolute minimum' — is what Tables 3-4 quantify.\n");
 
-    measured_concurrent_round_trips();
-    measured_multiplexed_clients();
+    measured_concurrent_round_trips(results);
+    measured_multiplexed_clients(results);
 
     std::printf("\nTransport metrics (Prometheus text format):\n");
     std::fputs(registry.render().c_str(), stdout);
+    if (!json_path.empty()) write_json(json_path, results);
     obs::set_global(nullptr);
     return 0;
 }

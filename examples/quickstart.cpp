@@ -80,11 +80,20 @@ int main() {
     dir::ReceptionistOptions options;
     options.mode = dir::Mode::CentralVocabulary;
     options.answers = 3;
+    options.cache.enabled = true;  // repeated queries skip the librarians entirely
     auto fed = dir::Federation::create(std::vector<corpus::Subcollection>{docs}, options);
     std::printf("federation prepared: %s\n", fed.prepare_summary().summary().c_str());
     const dir::QueryAnswer answer = fed.receptionist().rank("merging librarian rankings", 3);
     for (const auto& r : answer.ranking) {
         std::printf("  %.4f  %s\n", r.score, fed.external_id(r).c_str());
     }
+
+    // 7. Ask again: the identical ranking now comes from the answer
+    //    cache without a single librarian round trip, and stays valid
+    //    until a librarian's collection generation changes.
+    const dir::QueryAnswer repeat = fed.receptionist().rank("merging librarian rankings", 3);
+    std::printf("repeat query: served_from_cache=%s, %llu message bytes\n",
+                repeat.trace.served_from_cache ? "true" : "false",
+                static_cast<unsigned long long>(repeat.trace.total_message_bytes()));
     return 0;
 }

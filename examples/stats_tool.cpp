@@ -50,6 +50,10 @@ int main(int argc, char** argv) {
     dir::ReceptionistOptions options;
     options.mode = dir::Mode::CentralVocabulary;
     options.answers = 5;
+    // Answer/term-statistics caching on: the repeated rounds below are
+    // served from the QueryCache, so the dump also carries the
+    // teraphim_cache_* hit/miss/residency families.
+    options.cache.enabled = true;
     auto fed = dir::TcpFederation::create(corpus, options);
     std::fprintf(stderr, "prepare: %s\n", fed.prepare_summary().summary().c_str());
 

@@ -1,10 +1,16 @@
 #!/bin/sh
 # Regenerates every table/figure bench output (bench_output.txt).
+# Benches that support it additionally emit machine-readable JSON
+# (BENCH_*.json) so the perf trajectory can be tracked across PRs.
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   echo "===================================================================="
   echo "== $b"
   echo "===================================================================="
-  "$b"
+  case "$(basename "$b")" in
+    cache_bench)    "$b" --json BENCH_cache.json ;;
+    table2_network) "$b" --json BENCH_table2.json ;;
+    *)              "$b" ;;
+  esac
   echo
 done

@@ -1,0 +1,210 @@
+// A generic sharded LRU cache for the federation's hot paths.
+//
+// The receptionist's fan-out serves many user queries concurrently, so
+// the cache must take traffic from many threads without becoming the
+// new bottleneck: the key space is split across independently locked
+// shards (one mutex, one hash map, one recency list each), and the
+// hit/miss/eviction statistics are relaxed atomics so readers never
+// contend with the shard locks.
+//
+// Eviction is governed by two budgets — an entry count and a byte
+// budget — applied per shard (total budget divided evenly). An entry
+// carries an explicit byte size supplied by the caller at insertion, so
+// heterogenous values (whole query answers next to single term stats)
+// are accounted honestly. An optional TTL expires entries lazily at
+// lookup time.
+//
+// A cache configured with a zero entry or byte budget (or zero shards)
+// is a valid no-op: every lookup misses without counting, every insert
+// is discarded, and no division by the shard count ever happens. This
+// is what lets callers compile the cache out with configuration alone.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace teraphim::cache {
+
+/// Snapshot of one cache's counters. hits/misses/evictions are
+/// monotonic; entries/bytes are the current residency.
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;  ///< budget evictions + TTL expirations
+    std::uint64_t entries = 0;
+    std::uint64_t bytes = 0;
+};
+
+/// Budgets for one ShardedLru. A zero entry or byte budget disables the
+/// cache entirely (see file comment); zero shards are clamped to one.
+struct LruConfig {
+    std::size_t shards = 8;
+    std::size_t max_entries = 0;
+    std::uint64_t max_bytes = 0;
+    double ttl_ms = 0.0;  ///< 0 = entries never expire
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLru {
+public:
+    explicit ShardedLru(LruConfig config) : config_(config) {
+        if (config_.shards == 0) config_.shards = 1;
+        if (config_.shards > config_.max_entries) {
+            // Never spread the budget so thin a shard rounds to zero
+            // capacity (and a disabled cache allocates nothing at all).
+            config_.shards = config_.max_entries == 0 ? 1 : config_.max_entries;
+        }
+        if (!enabled()) return;
+        entries_per_shard_ = config_.max_entries / config_.shards;
+        bytes_per_shard_ = config_.max_bytes / config_.shards;
+        shards_ = std::make_unique<Shard[]>(config_.shards);
+    }
+
+    /// Whether the configuration admits any entry at all. A disabled
+    /// cache is a no-op: lookups miss silently, inserts are discarded.
+    bool enabled() const { return config_.max_entries > 0 && config_.max_bytes > 0; }
+
+    /// Returns the value and refreshes its recency, or nullopt. An
+    /// entry past its TTL is erased and counted as a miss + eviction.
+    std::optional<Value> get(const Key& key) {
+        if (!enabled()) return std::nullopt;
+        Shard& sh = shard(key);
+        std::lock_guard<std::mutex> lock(sh.mu);
+        const auto it = sh.map.find(key);
+        if (it == sh.map.end()) {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return std::nullopt;
+        }
+        if (config_.ttl_ms > 0.0 && elapsed_ms(it->second->inserted) > config_.ttl_ms) {
+            drop(sh, it->second);
+            evictions_.fetch_add(1, std::memory_order_relaxed);
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            return std::nullopt;
+        }
+        sh.lru.splice(sh.lru.begin(), sh.lru, it->second);  // most recent first
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second->value;
+    }
+
+    /// Inserts (or replaces) `key`, charging `bytes` against the byte
+    /// budget, then evicts least-recently-used entries until both shard
+    /// budgets hold again. Returns how many entries were evicted. An
+    /// entry larger than the whole shard budget is evicted immediately
+    /// — the cache never holds it, but the call is still safe.
+    std::size_t put(const Key& key, Value value, std::uint64_t bytes) {
+        if (!enabled()) return 0;
+        Shard& sh = shard(key);
+        std::lock_guard<std::mutex> lock(sh.mu);
+        const auto it = sh.map.find(key);
+        if (it != sh.map.end()) {
+            bytes_.fetch_sub(it->second->bytes, std::memory_order_relaxed);
+            sh.bytes -= it->second->bytes;
+            it->second->value = std::move(value);
+            it->second->bytes = bytes;
+            it->second->inserted = Clock::now();
+            sh.lru.splice(sh.lru.begin(), sh.lru, it->second);
+        } else {
+            sh.lru.push_front(Entry{key, std::move(value), bytes, Clock::now()});
+            sh.map.emplace(key, sh.lru.begin());
+            entries_.fetch_add(1, std::memory_order_relaxed);
+        }
+        sh.bytes += bytes;
+        bytes_.fetch_add(bytes, std::memory_order_relaxed);
+
+        std::size_t evicted = 0;
+        while (!sh.lru.empty() &&
+               (sh.lru.size() > entries_per_shard_ || sh.bytes > bytes_per_shard_)) {
+            drop(sh, std::prev(sh.lru.end()));
+            ++evicted;
+        }
+        evictions_.fetch_add(evicted, std::memory_order_relaxed);
+        return evicted;
+    }
+
+    /// Discards every entry (generation invalidation). Flushed entries
+    /// are not counted as evictions — they were not displaced by
+    /// pressure, they were declared stale.
+    void clear() {
+        if (!enabled()) return;
+        for (std::size_t i = 0; i < config_.shards; ++i) {
+            Shard& sh = shards_[i];
+            std::lock_guard<std::mutex> lock(sh.mu);
+            entries_.fetch_sub(sh.lru.size(), std::memory_order_relaxed);
+            bytes_.fetch_sub(sh.bytes, std::memory_order_relaxed);
+            sh.map.clear();
+            sh.lru.clear();
+            sh.bytes = 0;
+        }
+    }
+
+    CacheStats stats() const {
+        CacheStats s;
+        s.hits = hits_.load(std::memory_order_relaxed);
+        s.misses = misses_.load(std::memory_order_relaxed);
+        s.evictions = evictions_.load(std::memory_order_relaxed);
+        s.entries = entries_.load(std::memory_order_relaxed);
+        s.bytes = bytes_.load(std::memory_order_relaxed);
+        return s;
+    }
+
+    const LruConfig& config() const { return config_; }
+
+private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Entry {
+        Key key;
+        Value value;
+        std::uint64_t bytes = 0;
+        Clock::time_point inserted;
+    };
+
+    struct Shard {
+        std::mutex mu;
+        std::list<Entry> lru;  ///< front = most recently used
+        std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map;
+        std::uint64_t bytes = 0;  ///< guarded by mu
+    };
+
+    Shard& shard(const Key& key) {
+        // Re-mix the hash so shard choice is independent of the bucket
+        // choice the per-shard unordered_map makes with the same hash.
+        std::uint64_t h = static_cast<std::uint64_t>(Hash{}(key));
+        h ^= h >> 33;
+        h *= 0xFF51AFD7ED558CCDULL;
+        h ^= h >> 33;
+        return shards_[h % config_.shards];
+    }
+
+    /// Removes one entry from its shard (shard lock held by caller).
+    void drop(Shard& sh, typename std::list<Entry>::iterator pos) {
+        sh.bytes -= pos->bytes;
+        bytes_.fetch_sub(pos->bytes, std::memory_order_relaxed);
+        entries_.fetch_sub(1, std::memory_order_relaxed);
+        sh.map.erase(pos->key);
+        sh.lru.erase(pos);
+    }
+
+    static double elapsed_ms(Clock::time_point since) {
+        return std::chrono::duration<double, std::milli>(Clock::now() - since).count();
+    }
+
+    LruConfig config_;
+    std::size_t entries_per_shard_ = 0;
+    std::uint64_t bytes_per_shard_ = 0;
+    std::unique_ptr<Shard[]> shards_;
+
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> entries_{0};
+    std::atomic<std::uint64_t> bytes_{0};
+};
+
+}  // namespace teraphim::cache

@@ -1,0 +1,182 @@
+#include "cache/query_cache.h"
+
+#include <algorithm>
+
+namespace teraphim::cache {
+namespace {
+
+// Field and record separators for fingerprints. The term pipeline
+// lower-cases and strips to letter runs, so neither can occur in a
+// stemmed term.
+constexpr char kField = '\x1f';
+constexpr char kRecord = '\x1e';
+
+LruConfig query_lru_config(const CacheOptions& o) {
+    LruConfig c;
+    c.shards = o.shards;
+    c.max_entries = o.enabled ? o.query_entries : 0;
+    c.max_bytes = o.enabled ? o.query_bytes : 0;
+    c.ttl_ms = o.query_ttl_ms;
+    return c;
+}
+
+LruConfig term_lru_config(const CacheOptions& o) {
+    LruConfig c;
+    c.shards = o.shards;
+    c.max_entries = o.enabled ? o.term_entries : 0;
+    c.max_bytes = o.enabled ? o.term_bytes : 0;
+    return c;
+}
+
+LruConfig expansion_lru_config(const CacheOptions& o) {
+    LruConfig c;
+    c.shards = o.shards;
+    c.max_entries = o.enabled ? o.expansion_entries : 0;
+    c.max_bytes = o.enabled ? o.expansion_bytes : 0;
+    return c;
+}
+
+}  // namespace
+
+std::string query_fingerprint(std::string_view prefix, std::size_t depth,
+                              std::span<const rank::QueryTerm> terms) {
+    // parse_query folds duplicates, so terms are distinct and sorting
+    // by term alone is a total order; the canonical key is independent
+    // of the order terms appeared in the query text.
+    std::vector<const rank::QueryTerm*> sorted;
+    sorted.reserve(terms.size());
+    for (const auto& t : terms) sorted.push_back(&t);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const rank::QueryTerm* a, const rank::QueryTerm* b) { return a->term < b->term; });
+
+    std::string key;
+    key.reserve(prefix.size() + 16 + terms.size() * 12);
+    key.append(prefix);
+    key += kRecord;
+    key += std::to_string(depth);
+    for (const auto* t : sorted) {
+        key += kRecord;
+        key += t->term;
+        key += kField;
+        key += std::to_string(t->fqt);
+    }
+    return key;
+}
+
+QueryCache::QueryCache(const CacheOptions& options) : lru_(query_lru_config(options)) {
+    if (auto* reg = obs::global(); reg && enabled()) {
+        const obs::Labels labels{{"cache", "query"}};
+        hits_ = &reg->counter("teraphim_cache_hits_total", labels);
+        misses_ = &reg->counter("teraphim_cache_misses_total", labels);
+        evictions_ = &reg->counter("teraphim_cache_evictions_total", labels);
+        entries_ = &reg->gauge("teraphim_cache_entries", labels);
+        bytes_ = &reg->gauge("teraphim_cache_bytes", labels);
+    }
+}
+
+std::shared_ptr<const CachedAnswer> QueryCache::lookup(const std::string& key) {
+    auto found = lru_.get(key);
+    if (!found) {
+        if (misses_) misses_->inc();
+        return nullptr;
+    }
+    if (hits_) hits_->inc();
+    return *found;
+}
+
+void QueryCache::insert(const std::string& key, std::shared_ptr<const CachedAnswer> answer) {
+    if (!answer) return;
+    const std::uint64_t size = key.size() + answer->bytes();
+    const std::size_t evicted = lru_.put(key, std::move(answer), size);
+    if (evictions_ && evicted > 0) evictions_->inc(evicted);
+    sync_gauges();
+}
+
+void QueryCache::flush() {
+    lru_.clear();
+    sync_gauges();
+}
+
+void QueryCache::sync_gauges() {
+    if (!entries_) return;
+    const CacheStats s = lru_.stats();
+    entries_->set(static_cast<std::int64_t>(s.entries));
+    bytes_->set(static_cast<std::int64_t>(s.bytes));
+}
+
+TermStatsCache::TermStatsCache(const CacheOptions& options)
+    : terms_(term_lru_config(options)), expansions_(expansion_lru_config(options)) {
+    if (terms_.enabled()) term_handles_ = resolve("term_stats");
+    if (expansions_.enabled()) expansion_handles_ = resolve("expansion");
+}
+
+TermStatsCache::Handles TermStatsCache::resolve(std::string_view cache_label) {
+    Handles h;
+    auto* reg = obs::global();
+    if (!reg) return h;
+    const obs::Labels labels{{"cache", std::string(cache_label)}};
+    h.hits = &reg->counter("teraphim_cache_hits_total", labels);
+    h.misses = &reg->counter("teraphim_cache_misses_total", labels);
+    h.evictions = &reg->counter("teraphim_cache_evictions_total", labels);
+    h.entries = &reg->gauge("teraphim_cache_entries", labels);
+    h.bytes = &reg->gauge("teraphim_cache_bytes", labels);
+    return h;
+}
+
+template <typename Value>
+std::shared_ptr<const Value> TermStatsCache::record_lookup(
+    ShardedLru<std::string, std::shared_ptr<const Value>>& lru, const Handles& h,
+    const std::string& key) {
+    auto found = lru.get(key);
+    if (!found) {
+        if (h.misses) h.misses->inc();
+        return nullptr;
+    }
+    if (h.hits) h.hits->inc();
+    return *found;
+}
+
+template <typename Value>
+void TermStatsCache::record_insert(ShardedLru<std::string, std::shared_ptr<const Value>>& lru,
+                                   const Handles& h, const std::string& key,
+                                   std::shared_ptr<const Value> value) {
+    if (!value) return;
+    const std::uint64_t size = key.size() + value->bytes();
+    const std::size_t evicted = lru.put(key, std::move(value), size);
+    if (h.evictions && evicted > 0) h.evictions->inc(evicted);
+    if (h.entries) {
+        const CacheStats s = lru.stats();
+        h.entries->set(static_cast<std::int64_t>(s.entries));
+        h.bytes->set(static_cast<std::int64_t>(s.bytes));
+    }
+}
+
+std::shared_ptr<const TermStats> TermStatsCache::lookup_term(const std::string& key) {
+    return record_lookup(terms_, term_handles_, key);
+}
+
+void TermStatsCache::insert_term(const std::string& key, std::shared_ptr<const TermStats> stats) {
+    record_insert(terms_, term_handles_, key, std::move(stats));
+}
+
+std::shared_ptr<const Expansion> TermStatsCache::lookup_expansion(const std::string& key) {
+    return record_lookup(expansions_, expansion_handles_, key);
+}
+
+void TermStatsCache::insert_expansion(const std::string& key,
+                                      std::shared_ptr<const Expansion> expansion) {
+    record_insert(expansions_, expansion_handles_, key, std::move(expansion));
+}
+
+void TermStatsCache::flush() {
+    terms_.clear();
+    expansions_.clear();
+    for (const Handles* h : {&term_handles_, &expansion_handles_}) {
+        if (h->entries) {
+            h->entries->set(0);
+            h->bytes->set(0);
+        }
+    }
+}
+
+}  // namespace teraphim::cache

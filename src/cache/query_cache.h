@@ -1,0 +1,190 @@
+// The federation's caches: complete ranked answers, CV term
+// statistics, and CI group expansions, all keyed on canonical
+// fingerprints and invalidated by collection generation.
+//
+// What is cached, and what never is:
+//   * QueryCache — the merged global ranking of a completed query. The
+//     key fingerprints everything that affects the ranking (mode,
+//     similarity measure, k, CI group geometry, skip options, and the
+//     sorted stemmed (term, f_qt) multiset). Degraded answers — where
+//     a librarian's contribution is missing — are never inserted: the
+//     cache must only ever reproduce what a fault-free federation
+//     would compute.
+//   * TermStatsCache — per-term CV global statistics (w_qt, f_t, the
+//     holder set) and per-query CI group expansions (the candidate
+//     lists sent to each librarian plus the central work counters, so
+//     a cached expansion replays an identical QueryTrace).
+//   * Fetched document payloads are never cached; the document store
+//     is already the cheap local path and fetch shape is user-visible.
+//
+// Both caches are flushed wholesale when the receptionist observes a
+// collection generation change (see dir/receptionist.h) — entries are
+// only ever valid against the exact collection snapshot they were
+// computed from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cache/lru.h"
+#include "dir/merge.h"
+#include "obs/metrics.h"
+#include "rank/similarity.h"
+
+namespace teraphim::cache {
+
+/// Cache budgets carried in dir::ReceptionistOptions. Disabled by
+/// default so federations behave exactly as before unless asked.
+/// Setting any entry or byte budget to zero disables that cache
+/// individually (a configured no-op, never a divide-by-zero).
+struct CacheOptions {
+    bool enabled = false;  ///< master switch; false = no cache objects at all
+    std::size_t shards = 8;
+
+    // Complete ranked answers.
+    std::size_t query_entries = 4096;
+    std::uint64_t query_bytes = 8u << 20;
+    double query_ttl_ms = 0.0;  ///< 0 = generation invalidation only
+
+    // CV per-term global statistics.
+    std::size_t term_entries = 1u << 16;
+    std::uint64_t term_bytes = 8u << 20;
+
+    // CI group expansions (per-query candidate lists).
+    std::size_t expansion_entries = 2048;
+    std::uint64_t expansion_bytes = 16u << 20;
+};
+
+/// Canonical fingerprint of a parsed query: `prefix` (the receptionist
+/// pre-renders everything ranking-relevant about its own configuration)
+/// + answer depth + the (term, f_qt) pairs sorted by term, so "b a" and
+/// "a b" share an entry. Control characters separate fields; terms have
+/// been through the pipeline and cannot contain them.
+std::string query_fingerprint(std::string_view prefix, std::size_t depth,
+                              std::span<const rank::QueryTerm> terms);
+
+/// A complete cached answer: the merged global ranking. Stored behind
+/// shared_ptr<const ...> so a hit hands out the entry without copying
+/// under the shard lock.
+struct CachedAnswer {
+    std::vector<dir::GlobalResult> ranking;
+
+    std::uint64_t bytes() const {
+        return sizeof(CachedAnswer) + ranking.size() * sizeof(dir::GlobalResult);
+    }
+};
+
+/// Cached global statistics for one (term, f_qt) pair in CV mode.
+/// Everything global_weights() derives per term, so a hit reproduces
+/// the exact weighted query — and the exact wire bytes — of a miss.
+struct TermStats {
+    double weight = 0.0;  ///< w_qt under the global collection statistics
+    std::uint64_t doc_frequency = 0;
+    std::vector<std::uint32_t> holders;  ///< librarians with f_t > 0
+
+    std::uint64_t bytes() const {
+        return sizeof(TermStats) + holders.size() * sizeof(std::uint32_t);
+    }
+};
+
+/// Cached CI step-1/2 output: which local documents each librarian must
+/// score, plus the central work counters so the replayed QueryTrace is
+/// indistinguishable from a fresh central ranking.
+struct Expansion {
+    std::vector<std::vector<std::uint32_t>> candidates;  ///< per librarian, sorted
+    std::uint64_t total_candidates = 0;
+    std::uint64_t central_postings = 0;
+    std::uint64_t central_index_bits = 0;
+    std::uint64_t central_lists = 0;
+
+    std::uint64_t bytes() const {
+        std::uint64_t b = sizeof(Expansion);
+        for (const auto& c : candidates)
+            b += sizeof(std::vector<std::uint32_t>) + c.size() * sizeof(std::uint32_t);
+        return b;
+    }
+};
+
+/// Complete-answer cache. Thin wrapper over ShardedLru that sizes
+/// entries, mirrors hit/miss/eviction counts into the teraphim_cache_*
+/// metric families (label cache="query"), and exposes flush() for
+/// generation invalidation.
+class QueryCache {
+public:
+    explicit QueryCache(const CacheOptions& options);
+
+    bool enabled() const { return lru_.enabled(); }
+
+    std::shared_ptr<const CachedAnswer> lookup(const std::string& key);
+    void insert(const std::string& key, std::shared_ptr<const CachedAnswer> answer);
+
+    /// Drops everything (collection generation changed).
+    void flush();
+
+    CacheStats stats() const { return lru_.stats(); }
+
+private:
+    void sync_gauges();
+
+    ShardedLru<std::string, std::shared_ptr<const CachedAnswer>> lru_;
+    obs::Counter* hits_ = nullptr;
+    obs::Counter* misses_ = nullptr;
+    obs::Counter* evictions_ = nullptr;
+    obs::Gauge* entries_ = nullptr;
+    obs::Gauge* bytes_ = nullptr;
+};
+
+/// Term-statistics + expansion cache (labels cache="term_stats" and
+/// cache="expansion"). Two LRUs under one roof because they share a
+/// lifecycle: both memoize derivatives of the prepared collection
+/// snapshot and both flush on a generation change.
+class TermStatsCache {
+public:
+    explicit TermStatsCache(const CacheOptions& options);
+
+    bool enabled() const { return terms_.enabled() || expansions_.enabled(); }
+    bool terms_enabled() const { return terms_.enabled(); }
+    bool expansions_enabled() const { return expansions_.enabled(); }
+
+    std::shared_ptr<const TermStats> lookup_term(const std::string& key);
+    void insert_term(const std::string& key, std::shared_ptr<const TermStats> stats);
+
+    std::shared_ptr<const Expansion> lookup_expansion(const std::string& key);
+    void insert_expansion(const std::string& key, std::shared_ptr<const Expansion> expansion);
+
+    void flush();
+
+    CacheStats term_stats() const { return terms_.stats(); }
+    CacheStats expansion_stats() const { return expansions_.stats(); }
+
+private:
+    struct Handles {
+        obs::Counter* hits = nullptr;
+        obs::Counter* misses = nullptr;
+        obs::Counter* evictions = nullptr;
+        obs::Gauge* entries = nullptr;
+        obs::Gauge* bytes = nullptr;
+    };
+    static Handles resolve(std::string_view cache_label);
+
+    template <typename Value>
+    static std::shared_ptr<const Value> record_lookup(
+        ShardedLru<std::string, std::shared_ptr<const Value>>& lru, const Handles& h,
+        const std::string& key);
+    template <typename Value>
+    static void record_insert(ShardedLru<std::string, std::shared_ptr<const Value>>& lru,
+                              const Handles& h, const std::string& key,
+                              std::shared_ptr<const Value> value);
+
+    ShardedLru<std::string, std::shared_ptr<const TermStats>> terms_;
+    ShardedLru<std::string, std::shared_ptr<const Expansion>> expansions_;
+    Handles term_handles_;
+    Handles expansion_handles_;
+};
+
+}  // namespace teraphim::cache

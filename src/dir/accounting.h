@@ -114,6 +114,16 @@ struct QueryTrace {
     DegradedInfo degraded;                   ///< fault-tolerance outcome
     StageTimings timing;                     ///< per-stage wall clock
 
+    /// The ranking came out of the receptionist's QueryCache: no
+    /// librarian was contacted during the index phase, so the phase's
+    /// byte/message/work counters are all zero.
+    bool served_from_cache = false;
+    /// Some librarian answered with a newer collection generation than
+    /// the one seen at prepare(): the receptionist's global state is
+    /// stale, its caches were flushed, and this answer was not cached.
+    /// Re-run prepare() to resynchronise.
+    bool stale_generation = false;
+
     std::uint64_t total_message_bytes() const;
     std::uint64_t total_messages() const;
     std::uint64_t total_postings_decoded() const;

@@ -138,6 +138,9 @@ public:
 
     Receptionist& receptionist() { return *receptionist_; }
     const Librarian& librarian(std::size_t i) const { return *librarians_[i]; }
+    /// Mutable access, e.g. to bump a librarian's collection generation
+    /// when its subcollection is re-prepared.
+    Librarian& librarian(std::size_t i) { return *librarians_[i]; }
     std::size_t num_librarians() const { return librarians_.size(); }
 
     /// External id of a merged result (evaluation only; not on the wire).
@@ -199,6 +202,8 @@ public:
 
     Receptionist& receptionist() { return *receptionist_; }
     const Librarian& librarian(std::size_t i) const { return *librarians_[i]; }
+    /// Mutable access, e.g. to bump a librarian's collection generation.
+    Librarian& librarian(std::size_t i) { return *librarians_[i]; }
     std::size_t num_librarians() const { return librarians_.size(); }
     std::uint16_t port(std::size_t i) const { return servers_[i]->port(); }
 

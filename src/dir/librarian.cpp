@@ -33,7 +33,8 @@ Librarian::Librarian(std::string name, index::InvertedIndex index, store::Docume
       store_(std::move(store)),
       pipeline_(pipeline),
       measure_(&measure),
-      metrics_(std::make_unique<obs::MetricsRegistry>()) {
+      metrics_(std::make_unique<obs::MetricsRegistry>()),
+      generation_(std::make_unique<std::atomic<std::uint64_t>>(1)) {
     TERAPHIM_ASSERT_MSG(index_.num_documents() == store_.size(),
                         "index and document store disagree on collection size");
     for (std::size_t i = 0; i < kRequestTypes.size(); ++i) {
@@ -98,6 +99,7 @@ StatsResponse Librarian::stats() const {
     out.num_terms = index_.num_terms();
     out.index_bytes = index_.index_stats().total_bytes();
     out.store_bytes = store_.total_compressed_bytes() + store_.model_bytes();
+    out.generation = generation();
     return out;
 }
 
@@ -132,6 +134,7 @@ RankResponse Librarian::rank_local(const RankRequest& req) const {
     RankResponse out;
     out.results = processor.rank(query, req.k, &stats);
     out.work = work_from_rank_stats(stats);
+    out.generation = generation();
     return out;
 }
 
@@ -141,6 +144,7 @@ RankResponse Librarian::rank_weighted(const RankWeightedRequest& req) const {
     RankResponse out;
     out.results = processor.rank_weighted(req.terms, req.query_norm, req.k, &stats);
     out.work = work_from_rank_stats(stats);
+    out.generation = generation();
     return out;
 }
 
@@ -154,6 +158,7 @@ CandidateResponse Librarian::score_candidates(const CandidateRequest& req) const
     out.work.index_bits_read = stats.index_bits_read;
     out.work.lists_opened = stats.terms_matched;
     out.work.disk_bytes = (stats.index_bits_read + 7) / 8;
+    out.generation = generation();
     return out;
 }
 

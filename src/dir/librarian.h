@@ -10,6 +10,8 @@
 #pragma once
 
 #include <array>
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -50,6 +52,15 @@ public:
     const store::DocumentStore& store() const { return store_; }
     const text::Pipeline& pipeline() const { return pipeline_; }
 
+    /// The collection generation this librarian is serving, starting at
+    /// 1. Stamped onto Stats/Rank/Candidate responses so receptionists
+    /// can tell when cached state predates the collection they are now
+    /// talking to. Bump it whenever the served collection changes
+    /// (re-index, snapshot swap); receptionist caches keyed on the old
+    /// generation flush themselves on the next contact.
+    std::uint64_t generation() const { return generation_->load(std::memory_order_relaxed); }
+    void bump_generation() { generation_->fetch_add(1, std::memory_order_relaxed); }
+
     /// This librarian's own metric home (request counts by type, service
     /// latency, error count), recorded by handle() and pulled remotely
     /// via the MetricsRequest protocol message. Independent of the
@@ -69,6 +80,8 @@ private:
     // Behind unique_ptr so Librarian stays movable (the registry owns a
     // mutex) and handle pointers stay stable.
     std::unique_ptr<obs::MetricsRegistry> metrics_;
+    // Same movability reason: atomics cannot be moved.
+    std::unique_ptr<std::atomic<std::uint64_t>> generation_;
     obs::Histogram* request_latency_ = nullptr;
     obs::Counter* errors_total_ = nullptr;
     std::array<obs::Counter*, 9> requests_by_type_{};  // parallel to kRequestTypes

@@ -51,6 +51,7 @@ QueryAnswer Receptionist::rank_central_nothing(const rank::Query& query, std::si
     const std::vector<std::optional<net::Message>> requests(channels_.size(), encoded);
     auto responses =
         broadcast_typed<RankResponse>(requests, answer.trace.index_phase, &answer.trace);
+    check_generations(responses, answer.trace);
 
     std::vector<std::vector<rank::SearchResult>> rankings(channels_.size());
     for (std::size_t s = 0; s < channels_.size(); ++s) {
@@ -93,6 +94,7 @@ QueryAnswer Receptionist::rank_central_vocabulary(const rank::Query& query,
     }
     auto responses =
         broadcast_typed<RankResponse>(requests, answer.trace.index_phase, &answer.trace);
+    check_generations(responses, answer.trace);
 
     std::vector<std::vector<rank::SearchResult>> rankings(channels_.size());
     for (std::size_t s = 0; s < channels_.size(); ++s) {
@@ -116,32 +118,54 @@ QueryAnswer Receptionist::rank_central_index(const rank::Query& query, std::size
     answer.trace.mode = options_.mode;
     answer.trace.index_phase.assign(channels_.size(), LibrarianWork{});
 
-    // --- Step 1: rank groups on the central grouped index --------------
-    // The grouped index is itself a small text database; its own group-
-    // level statistics drive the group ranking.
-    rank::RankStats central;
-    rank::QueryProcessor group_processor(grouped_->index(), *measure_);
-    const auto group_ranking = group_processor.rank(query, options_.k_prime, &central);
-    answer.trace.receptionist.central_postings = central.postings_decoded;
-    answer.trace.receptionist.central_index_bits = central.index_bits_read;
-    answer.trace.receptionist.central_lists = central.terms_matched;
-    answer.trace.receptionist.term_lookups += query.terms.size();
+    // Steps 1-2 are pure functions of the query and the prepared
+    // grouped index (depth plays no part until step 3), so their output
+    // — the per-librarian candidate lists plus the central work
+    // counters — is memoized in the expansion cache. A hit replays the
+    // counters too, so the trace of a cached expansion is identical to
+    // a freshly computed one.
+    std::string expansion_key;
+    std::shared_ptr<const cache::Expansion> expansion;
+    if (term_cache_ != nullptr && term_cache_->expansions_enabled()) {
+        expansion_key = cache::query_fingerprint(expansion_key_prefix_, 0, query.terms);
+        expansion = term_cache_->lookup_expansion(expansion_key);
+    }
+    if (expansion == nullptr) {
+        auto fresh = std::make_shared<cache::Expansion>();
 
-    // --- Step 2: expand the k' best groups into candidate documents ----
-    const index::CollectionLayout& layout = grouped_->layout();
-    std::vector<std::vector<std::uint32_t>> candidates(channels_.size());
-    for (const rank::SearchResult& g : group_ranking) {
-        const auto [begin, end] = grouped_->group_doc_range(g.doc);
-        for (std::uint32_t global_doc = begin; global_doc < end; ++global_doc) {
-            const auto [sub, local] = layout.local_of(global_doc);
-            candidates[sub].push_back(local);
+        // --- Step 1: rank groups on the central grouped index ----------
+        // The grouped index is itself a small text database; its own
+        // group-level statistics drive the group ranking.
+        rank::RankStats central;
+        rank::QueryProcessor group_processor(grouped_->index(), *measure_);
+        const auto group_ranking = group_processor.rank(query, options_.k_prime, &central);
+        fresh->central_postings = central.postings_decoded;
+        fresh->central_index_bits = central.index_bits_read;
+        fresh->central_lists = central.terms_matched;
+
+        // --- Step 2: expand the k' best groups into candidates ---------
+        const index::CollectionLayout& layout = grouped_->layout();
+        fresh->candidates.assign(channels_.size(), {});
+        for (const rank::SearchResult& g : group_ranking) {
+            const auto [begin, end] = grouped_->group_doc_range(g.doc);
+            for (std::uint32_t global_doc = begin; global_doc < end; ++global_doc) {
+                const auto [sub, local] = layout.local_of(global_doc);
+                fresh->candidates[sub].push_back(local);
+            }
         }
+        for (auto& c : fresh->candidates) {
+            std::sort(c.begin(), c.end());
+            fresh->total_candidates += c.size();
+        }
+        if (!expansion_key.empty()) term_cache_->insert_expansion(expansion_key, fresh);
+        expansion = std::move(fresh);
     }
-    std::uint64_t total_candidates = 0;
-    for (auto& c : candidates) {
-        std::sort(c.begin(), c.end());
-        total_candidates += c.size();
-    }
+    answer.trace.receptionist.central_postings = expansion->central_postings;
+    answer.trace.receptionist.central_index_bits = expansion->central_index_bits;
+    answer.trace.receptionist.central_lists = expansion->central_lists;
+    answer.trace.receptionist.term_lookups += query.terms.size();
+    const std::vector<std::vector<std::uint32_t>>& candidates = expansion->candidates;
+    const std::uint64_t total_candidates = expansion->total_candidates;
     answer.trace.receptionist.candidates_expanded = total_candidates;
 
     // --- Step 3: librarians score exactly the candidates they own ------
@@ -163,6 +187,7 @@ QueryAnswer Receptionist::rank_central_index(const rank::Query& query, std::size
     }
     auto responses = broadcast_typed<CandidateResponse>(requests, answer.trace.index_phase,
                                                         &answer.trace);
+    check_generations(responses, answer.trace);
 
     std::vector<GlobalResult> scored;
     scored.reserve(total_candidates);

@@ -65,6 +65,7 @@ net::Message StatsResponse::encode() const {
     w.u64(num_terms);
     w.u64(index_bytes);
     w.u64(store_bytes);
+    w.u64(generation);
     return finish(net::MessageType::StatsResponse, w);
 }
 
@@ -77,6 +78,7 @@ StatsResponse StatsResponse::decode(const net::Message& m) {
     out.num_terms = r.u64();
     out.index_bytes = r.u64();
     out.store_bytes = r.u64();
+    out.generation = r.u64();
     return out;
 }
 
@@ -190,6 +192,7 @@ net::Message RankResponse::encode() const {
     net::Writer w;
     encode_results(w, results);
     encode_work(w, work);
+    w.u64(generation);
     return finish(net::MessageType::RankResponse, w);
 }
 
@@ -199,6 +202,7 @@ RankResponse RankResponse::decode(const net::Message& m) {
     RankResponse out;
     out.results = decode_results(r);
     out.work = decode_work(r);
+    out.generation = r.u64();
     return out;
 }
 
@@ -234,6 +238,7 @@ net::Message CandidateResponse::encode() const {
     net::Writer w;
     encode_results(w, scored);
     encode_work(w, work);
+    w.u64(generation);
     return finish(net::MessageType::CandidateResponse, w);
 }
 
@@ -243,6 +248,7 @@ CandidateResponse CandidateResponse::decode(const net::Message& m) {
     CandidateResponse out;
     out.scored = decode_results(r);
     out.work = decode_work(r);
+    out.generation = r.u64();
     return out;
 }
 

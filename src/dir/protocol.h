@@ -43,6 +43,10 @@ struct StatsResponse {
     std::uint64_t num_terms = 0;
     std::uint64_t index_bytes = 0;
     std::uint64_t store_bytes = 0;
+    /// Collection generation the librarian is serving (see
+    /// Librarian::generation()); lets the receptionist detect that a
+    /// librarian has been re-prepared since the last prepare().
+    std::uint64_t generation = 1;
 
     net::Message encode() const;
     static StatsResponse decode(const net::Message& m);
@@ -91,6 +95,9 @@ struct RankWeightedRequest {
 struct RankResponse {
     std::vector<rank::SearchResult> results;  ///< local doc numbers + scores
     WorkReport work;
+    /// Generation these results were computed against; a mismatch with
+    /// the generation seen at prepare() marks cached state stale.
+    std::uint64_t generation = 1;
 
     net::Message encode() const;
     static RankResponse decode(const net::Message& m);
@@ -110,6 +117,7 @@ struct CandidateRequest {
 struct CandidateResponse {
     std::vector<rank::SearchResult> scored;  ///< aligned with the request
     WorkReport work;
+    std::uint64_t generation = 1;  ///< as RankResponse::generation
 
     net::Message encode() const;
     static CandidateResponse decode(const net::Message& m);

@@ -38,6 +38,28 @@ Receptionist::Receptionist(std::vector<std::unique_ptr<Channel>> channels,
                 : std::min(options_.fanout_width, channels_.size());
         if (width > 1) pool_ = std::make_unique<util::ThreadPool>(width);
     }
+    if (options_.cache.enabled) {
+        query_cache_ = std::make_unique<cache::QueryCache>(options_.cache);
+        term_cache_ = std::make_unique<cache::TermStatsCache>(options_.cache);
+        // Everything ranking-relevant that is fixed per receptionist:
+        // the methodology, the similarity measure, and the CI geometry
+        // and skip option. Depth and terms are appended per query.
+        const char sep = '\x1f';
+        cache_key_prefix_ = std::string(mode_name(options_.mode));
+        cache_key_prefix_ += sep;
+        cache_key_prefix_ += measure_->name();
+        cache_key_prefix_ += sep;
+        cache_key_prefix_ += std::to_string(options_.group_size);
+        cache_key_prefix_ += sep;
+        cache_key_prefix_ += std::to_string(options_.k_prime);
+        cache_key_prefix_ += sep;
+        cache_key_prefix_ += options_.use_skips ? '1' : '0';
+        // CI expansions are depth-independent (they depend on k' only),
+        // so they get their own namespace within the same key scheme.
+        expansion_key_prefix_ = cache_key_prefix_;
+        expansion_key_prefix_ += sep;
+        expansion_key_prefix_ += "expansion";
+    }
     resolve_metrics();
 }
 
@@ -46,6 +68,7 @@ Receptionist::~Receptionist() = default;
 void Receptionist::resolve_metrics() {
     metrics_.breaker_state.assign(channels_.size(), nullptr);
     metrics_.librarian_failures.assign(channels_.size(), nullptr);
+    metrics_.metrics_pull_failures.assign(channels_.size(), nullptr);
     obs::MetricsRegistry* reg = obs::global();
     if (reg == nullptr) return;  // instrumentation stays null handles
     const std::string mode(mode_name(options_.mode));
@@ -70,6 +93,27 @@ void Receptionist::resolve_metrics() {
             &reg->gauge("teraphim_receptionist_breaker_state", {{"librarian", name}});
         metrics_.librarian_failures[s] = &reg->counter(
             "teraphim_receptionist_librarian_failures_total", {{"librarian", name}});
+        metrics_.metrics_pull_failures[s] = &reg->counter(
+            "teraphim_receptionist_metrics_pull_failures_total", {{"librarian", name}});
+    }
+    if (options_.cache.enabled) {
+        metrics_.cache_invalidations_prepare =
+            &reg->counter("teraphim_cache_invalidations_total", {{"reason", "prepare"}});
+        metrics_.cache_invalidations_stale =
+            &reg->counter("teraphim_cache_invalidations_total", {{"reason", "stale_response"}});
+    }
+}
+
+void Receptionist::flush_caches() {
+    if (query_cache_ != nullptr) query_cache_->flush();
+    if (term_cache_ != nullptr) term_cache_->flush();
+}
+
+void Receptionist::mark_stale(QueryTrace& trace) {
+    trace.stale_generation = true;
+    flush_caches();
+    if (metrics_.cache_invalidations_stale != nullptr) {
+        metrics_.cache_invalidations_stale->inc();
     }
 }
 
@@ -388,9 +432,31 @@ PrepareSummary Receptionist::prepare(std::span<const index::InvertedIndex* const
     const std::vector<std::optional<net::Message>> stats_requests(channels_.size(),
                                                                   StatsRequest{}.encode());
     const auto stats = broadcast_typed<StatsResponse>(stats_requests, scratch, nullptr);
+    std::vector<std::uint64_t> generations;
+    generations.reserve(channels_.size());
     for (std::size_t s = 0; s < channels_.size(); ++s) {
         librarian_sizes_.push_back(stats[s]->num_documents);
         total_documents_ += stats[s]->num_documents;
+        generations.push_back(stats[s]->generation);
+    }
+
+    // Generation bookkeeping: any librarian serving a different
+    // collection than last time voids everything the caches hold.
+    // (A first prepare() records the baseline; the caches are empty.)
+    const bool collection_changed = prepared_ && generations != librarian_generations_;
+    librarian_generations_ = std::move(generations);
+    federation_generation_ = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+    for (std::uint64_t g : librarian_generations_) {
+        for (int shift = 0; shift < 64; shift += 8) {
+            federation_generation_ ^= (g >> shift) & 0xFF;
+            federation_generation_ *= 0x100000001B3ULL;
+        }
+    }
+    if (collection_changed) {
+        flush_caches();
+        if (metrics_.cache_invalidations_prepare != nullptr) {
+            metrics_.cache_invalidations_prepare->inc();
+        }
     }
 
     // Prefix-sum offset table: librarian s's documents occupy global ids
@@ -479,10 +545,36 @@ std::vector<rank::WeightedQueryTerm> Receptionist::global_weights(
     std::vector<rank::WeightedQueryTerm> weighted;
     weighted.reserve(query.terms.size());
     if (holders_out != nullptr) holders_out->assign(channels_.size(), false);
+    const bool memoize = term_cache_ != nullptr && term_cache_->terms_enabled();
+    std::string key;
     for (const rank::QueryTerm& qt : query.terms) {
+        if (memoize) {
+            // w_qt depends on (term, f_qt) and the prepared snapshot;
+            // the snapshot part is handled by generation flushes.
+            key.assign(qt.term);
+            key += '\x1f';
+            key += std::to_string(qt.fqt);
+            if (const auto hit = term_cache_->lookup_term(key)) {
+                if (hit->weight == 0.0) continue;
+                weighted.push_back({qt.term, hit->weight});
+                if (holders_out != nullptr) {
+                    for (std::uint32_t s : hit->holders) (*holders_out)[s] = true;
+                }
+                continue;
+            }
+        }
         const auto it = global_vocab_.find(qt.term);
         const std::uint64_t ft = it == global_vocab_.end() ? 0 : it->second.doc_frequency;
         const double w = measure_->query_weight(qt.fqt, total_documents_, ft);
+        if (memoize) {
+            auto entry = std::make_shared<cache::TermStats>();
+            entry->weight = w;
+            entry->doc_frequency = ft;
+            // query_weight must return 0 for f_t == 0, so a non-zero
+            // weight implies the vocabulary entry exists.
+            if (w != 0.0) entry->holders = it->second.holders;
+            term_cache_->insert_term(key, std::move(entry));
+        }
         if (w == 0.0) continue;  // absent everywhere: nothing to send
         weighted.push_back({qt.term, w});
         if (holders_out != nullptr && it != global_vocab_.end()) {
@@ -500,6 +592,24 @@ QueryAnswer Receptionist::rank_impl(std::string_view query_text, std::size_t dep
         obs::Span parse_span(&parse_ms);
         query = rank::parse_query(query_text, pipeline_);
     }
+
+    // A cached answer short-circuits the whole index phase: no
+    // admission, no fan-out, no merge. The trace shows exactly that —
+    // zero bytes, zero messages, zero participants.
+    std::string cache_key;
+    if (query_cache_ != nullptr && query_cache_->enabled()) {
+        cache_key = cache::query_fingerprint(cache_key_prefix_, depth, query.terms);
+        if (const auto hit = query_cache_->lookup(cache_key)) {
+            QueryAnswer answer;
+            answer.ranking = hit->ranking;
+            answer.trace.mode = options_.mode;
+            answer.trace.index_phase.assign(channels_.size(), LibrarianWork{});
+            answer.trace.served_from_cache = true;
+            answer.trace.timing.parse_ms = parse_ms;
+            return answer;
+        }
+    }
+
     QueryAnswer answer;
     switch (options_.mode) {
         case Mode::MonoServer:
@@ -516,6 +626,16 @@ QueryAnswer Receptionist::rank_impl(std::string_view query_text, std::size_t dep
             throw Error("unknown mode");
     }
     answer.trace.timing.parse_ms = parse_ms;
+
+    // Only complete, current answers are admitted to the cache: a
+    // degraded ranking is missing some librarian's contribution, and a
+    // stale-generation one was computed against global state the
+    // federation no longer serves.
+    if (!cache_key.empty() && answer.trace.degraded.ok() && !answer.trace.stale_generation) {
+        auto cached = std::make_shared<cache::CachedAnswer>();
+        cached->ranking = answer.ranking;
+        query_cache_->insert(cache_key, std::move(cached));
+    }
     return answer;
 }
 
@@ -723,7 +843,12 @@ std::vector<obs::MetricSample> Receptionist::pull_librarian_metrics() {
             }
         } catch (const Error&) {
             // Monitoring never takes a federation down: a librarian that
-            // cannot answer simply contributes no samples this pull.
+            // cannot answer simply contributes no samples this pull. The
+            // skip is counted so dashboards can tell "no samples" from
+            // "no traffic", and the channel is reset so a connection
+            // that died mid-frame does not poison the next pull.
+            if (obs::Counter* c = metrics_.metrics_pull_failures[s]) c->inc();
+            channels_[s]->reset();
         }
     }
     return out;

@@ -27,6 +27,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/query_cache.h"
 #include "dir/accounting.h"
 #include "dir/librarian.h"
 #include "dir/merge.h"
@@ -128,6 +129,14 @@ struct ReceptionistOptions {
     std::size_t fanout_width = 0;
 
     FaultToleranceOptions fault;
+
+    /// Answer/term-statistics caching (src/cache). Off by default: with
+    /// `cache.enabled == false` no cache objects exist and every query
+    /// executes exactly as it always has. When on, repeated queries are
+    /// answered from the QueryCache without any librarian round trips,
+    /// and cached entries are invalidated whenever the collection
+    /// generation changes (see DESIGN.md §12).
+    cache::CacheOptions cache;
 };
 
 /// The user-level answer: the merged global ranking, the fetched
@@ -209,6 +218,20 @@ public:
     /// Multiplexed mode (every librarian can have a request in flight).
     std::size_t effective_fanout() const;
 
+    // --- caching ------------------------------------------------------
+    /// The answer / term-statistics caches; null when caching is off.
+    const cache::QueryCache* query_cache() const { return query_cache_.get(); }
+    const cache::TermStatsCache* term_stats_cache() const { return term_cache_.get(); }
+
+    /// Drops every cached answer and statistic. Called automatically
+    /// when prepare() or a query response reveals a generation change;
+    /// public so operators can force it.
+    void flush_caches();
+
+    /// Fingerprint of the per-librarian collection generations seen at
+    /// the last prepare(); changes whenever any librarian re-prepares.
+    std::uint64_t collection_generation() const { return federation_generation_; }
+
     // --- observability ------------------------------------------------
     /// Samples from every librarian's own obs::MetricsRegistry, pulled
     /// over the MetricsRequest protocol message and relabelled
@@ -243,6 +266,9 @@ private:
         obs::Histogram* total = nullptr;
         std::vector<obs::Gauge*> breaker_state;       ///< per librarian
         std::vector<obs::Counter*> librarian_failures;  ///< per librarian
+        std::vector<obs::Counter*> metrics_pull_failures;  ///< per librarian
+        obs::Counter* cache_invalidations_prepare = nullptr;
+        obs::Counter* cache_invalidations_stale = nullptr;
     };
 
     void resolve_metrics();
@@ -260,9 +286,33 @@ private:
     QueryAnswer rank_central_index(const rank::Query& query, std::size_t depth);
 
     /// Resolves global weights from the merged vocabulary; also reports
-    /// which librarians hold at least one query term.
+    /// which librarians hold at least one query term. Per-term results
+    /// are memoized in the TermStatsCache when it is enabled; a cache
+    /// hit replays exactly what the vocabulary lookup would produce.
     std::vector<rank::WeightedQueryTerm> global_weights(
         const rank::Query& query, std::vector<bool>* holders_out) const;
+
+    /// Marks the answer stale and flushes the caches: some librarian
+    /// answered with a collection generation other than the one seen at
+    /// prepare(), so everything derived from the old snapshot is void.
+    void mark_stale(QueryTrace& trace);
+
+    /// Compares the generations stamped on gathered responses against
+    /// the generations recorded at prepare(). Runs on the query thread
+    /// after the fan-out has been gathered, so it never races the
+    /// validate callbacks.
+    template <typename Response>
+    void check_generations(const std::vector<std::optional<Response>>& responses,
+                           QueryTrace& trace) {
+        if (librarian_generations_.empty()) return;
+        for (std::size_t s = 0; s < responses.size(); ++s) {
+            if (responses[s].has_value() &&
+                responses[s]->generation != librarian_generations_[s]) {
+                mark_stale(trace);
+                return;
+            }
+        }
+    }
 
     void fetch_documents(QueryAnswer& answer);
 
@@ -381,10 +431,24 @@ private:
     std::mutex trace_mu_;  ///< guards the shared DegradedInfo during a fan-out
     StageMetrics metrics_;  ///< resolved once against obs::global()
 
+    // Caches (null when options_.cache.enabled is false) and the
+    // pre-rendered fingerprint prefixes covering every ranking-relevant
+    // receptionist option, so per-query key building only appends the
+    // depth and sorted terms.
+    std::unique_ptr<cache::QueryCache> query_cache_;
+    std::unique_ptr<cache::TermStatsCache> term_cache_;
+    std::string cache_key_prefix_;
+    std::string expansion_key_prefix_;
+
     bool prepared_ = false;
     std::uint32_t total_documents_ = 0;
     std::vector<std::uint32_t> librarian_sizes_;
     std::vector<std::uint32_t> librarian_offsets_;  ///< prefix sums of sizes, S+1 entries
+    /// Per-librarian collection generations recorded at prepare();
+    /// read-only between prepares, so query threads compare against it
+    /// without locking.
+    std::vector<std::uint64_t> librarian_generations_;
+    std::uint64_t federation_generation_ = 0;  ///< FNV-1a of the vector above
     std::unordered_map<std::string, GlobalTermInfo> global_vocab_;
     std::uint64_t merged_vocab_bytes_ = 0;
     std::uint64_t central_index_bytes_ = 0;

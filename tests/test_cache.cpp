@@ -1,0 +1,648 @@
+// Tests for src/cache: the sharded LRU, the canonical query
+// fingerprint, and the receptionist-level caches — proving that caching
+// is invisible (byte-identical rankings and traces), that generation
+// bumps invalidate over both in-process and real TCP federations, and
+// that the shared caches survive concurrent hammering (run under TSan
+// via the `concurrency` CTest label).
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/lru.h"
+#include "cache/query_cache.h"
+#include "dir/deployment.h"
+#include "dir/fault.h"
+#include "obs/metrics.h"
+
+namespace teraphim::dir {
+namespace {
+
+corpus::SyntheticCorpus cache_corpus() {
+    corpus::CorpusConfig config;
+    config.vocab_size = 3000;
+    config.subcollections = {
+        {"AP", 120, 70.0, 0.4},
+        {"WSJ", 120, 70.0, 0.4},
+        {"FR", 80, 90.0, 0.5},
+        {"ZIFF", 80, 60.0, 0.5},
+    };
+    config.num_long_topics = 3;
+    config.num_short_topics = 3;
+    config.topic_term_floor = 150;
+    config.seed = 12;
+    return generate_corpus(config);
+}
+
+const corpus::SyntheticCorpus& fixture() {
+    static const corpus::SyntheticCorpus corpus = cache_corpus();
+    return corpus;
+}
+
+ReceptionistOptions options_for(Mode mode) {
+    ReceptionistOptions o;
+    o.mode = mode;
+    o.answers = 10;
+    o.group_size = 10;
+    o.k_prime = 30;
+    o.fault.retry.base_backoff_ms = 1;
+    return o;
+}
+
+ReceptionistOptions cached_options(Mode mode) {
+    ReceptionistOptions o = options_for(mode);
+    o.cache.enabled = true;
+    return o;
+}
+
+/// Installs a fresh process-global registry for the test's lifetime.
+struct RegistryGuard {
+    obs::MetricsRegistry reg;
+    RegistryGuard() { obs::set_global(&reg); }
+    ~RegistryGuard() { obs::set_global(nullptr); }
+};
+
+/// Sum of a counter family over all its label sets.
+std::uint64_t sum_family(const obs::MetricsRegistry& reg, std::string_view family) {
+    double total = 0.0;
+    for (const obs::MetricSample& s : reg.collect()) {
+        if (s.name == family) total += s.value;
+    }
+    return static_cast<std::uint64_t>(total);
+}
+
+/// A loopback port with nothing listening on it.
+std::uint16_t unused_port() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    socklen_t len = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    ::close(fd);
+    return ntohs(addr.sin_port);
+}
+
+// ---- ShardedLru ----------------------------------------------------------
+
+using cache::LruConfig;
+using cache::ShardedLru;
+
+TEST(ShardedLru, EntryBudgetEvictsLeastRecentlyUsed) {
+    LruConfig cfg;
+    cfg.shards = 1;
+    cfg.max_entries = 2;
+    cfg.max_bytes = 1 << 20;
+    ShardedLru<std::string, int> lru(cfg);
+    ASSERT_TRUE(lru.enabled());
+
+    EXPECT_EQ(lru.put("a", 1, 10), 0u);
+    EXPECT_EQ(lru.put("b", 2, 10), 0u);
+    EXPECT_EQ(lru.get("a"), std::optional<int>(1));  // refresh a: b is now LRU
+    EXPECT_EQ(lru.put("c", 3, 10), 1u);              // evicts b
+
+    EXPECT_FALSE(lru.get("b").has_value());
+    EXPECT_EQ(lru.get("a"), std::optional<int>(1));
+    EXPECT_EQ(lru.get("c"), std::optional<int>(3));
+    EXPECT_EQ(lru.stats().entries, 2u);
+    EXPECT_EQ(lru.stats().evictions, 1u);
+}
+
+TEST(ShardedLru, ByteBudgetEvictsUntilItFits) {
+    LruConfig cfg;
+    cfg.shards = 1;
+    cfg.max_entries = 100;
+    cfg.max_bytes = 100;
+    ShardedLru<std::string, int> lru(cfg);
+
+    lru.put("k1", 1, 60);
+    lru.put("k2", 2, 30);
+    EXPECT_EQ(lru.stats().bytes, 90u);
+    lru.get("k1");                      // k2 becomes LRU
+    EXPECT_EQ(lru.put("k3", 3, 30), 1u);  // 120 > 100: k2 goes
+
+    EXPECT_FALSE(lru.get("k2").has_value());
+    EXPECT_TRUE(lru.get("k1").has_value());
+    EXPECT_TRUE(lru.get("k3").has_value());
+    EXPECT_EQ(lru.stats().bytes, 90u);
+}
+
+TEST(ShardedLru, OversizedEntryNeverResides) {
+    LruConfig cfg;
+    cfg.shards = 1;
+    cfg.max_entries = 8;
+    cfg.max_bytes = 100;
+    ShardedLru<std::string, int> lru(cfg);
+
+    EXPECT_EQ(lru.put("huge", 1, 200), 1u);  // evicted on the way in
+    EXPECT_FALSE(lru.get("huge").has_value());
+    EXPECT_EQ(lru.stats().entries, 0u);
+    EXPECT_EQ(lru.stats().bytes, 0u);
+}
+
+TEST(ShardedLru, ReplaceUpdatesBytes) {
+    LruConfig cfg;
+    cfg.shards = 1;
+    cfg.max_entries = 8;
+    cfg.max_bytes = 1000;
+    ShardedLru<std::string, int> lru(cfg);
+
+    lru.put("k", 1, 40);
+    lru.put("k", 2, 70);
+    EXPECT_EQ(lru.stats().entries, 1u);
+    EXPECT_EQ(lru.stats().bytes, 70u);
+    EXPECT_EQ(lru.get("k"), std::optional<int>(2));
+}
+
+TEST(ShardedLru, TtlExpiresLazily) {
+    LruConfig cfg;
+    cfg.shards = 1;
+    cfg.max_entries = 8;
+    cfg.max_bytes = 1000;
+    cfg.ttl_ms = 5.0;
+    ShardedLru<std::string, int> lru(cfg);
+
+    lru.put("k", 1, 10);
+    EXPECT_TRUE(lru.get("k").has_value());
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    EXPECT_FALSE(lru.get("k").has_value());  // expired: miss + eviction
+    EXPECT_EQ(lru.stats().entries, 0u);
+    EXPECT_EQ(lru.stats().evictions, 1u);
+}
+
+TEST(ShardedLru, ZeroBudgetIsANoOp) {
+    for (const bool zero_entries : {true, false}) {
+        LruConfig cfg;
+        cfg.max_entries = zero_entries ? 0 : 8;
+        cfg.max_bytes = zero_entries ? 1000 : 0;
+        ShardedLru<std::string, int> lru(cfg);
+        EXPECT_FALSE(lru.enabled());
+        EXPECT_EQ(lru.put("k", 1, 10), 0u);
+        EXPECT_FALSE(lru.get("k").has_value());
+        lru.clear();  // must not crash either
+        const auto s = lru.stats();
+        EXPECT_EQ(s.hits + s.misses + s.evictions + s.entries + s.bytes, 0u);
+    }
+}
+
+TEST(ShardedLru, ShardCountIsClampedToCapacity) {
+    // More shards than entries must never round a shard's budget to
+    // zero; zero shards are clamped to one.
+    LruConfig wide;
+    wide.shards = 64;
+    wide.max_entries = 4;
+    wide.max_bytes = 1000;
+    ShardedLru<std::string, int> lru(wide);
+    ASSERT_TRUE(lru.enabled());
+    for (int i = 0; i < 4; ++i) {
+        const std::string key = "k" + std::to_string(i);
+        lru.put(key, i, 10);
+        // The just-inserted key is its shard's MRU, so it must survive
+        // whatever the eviction loop did.
+        EXPECT_EQ(lru.get(key), std::optional<int>(i));
+    }
+    EXPECT_GE(lru.stats().entries, 1u);
+    EXPECT_LE(lru.stats().entries, 4u);
+
+    LruConfig none;
+    none.shards = 0;
+    none.max_entries = 4;
+    none.max_bytes = 1000;
+    ShardedLru<std::string, int> single(none);
+    single.put("k", 7, 10);
+    EXPECT_EQ(single.get("k"), std::optional<int>(7));
+}
+
+TEST(ShardedLru, ClearIsNotAnEviction) {
+    LruConfig cfg;
+    cfg.max_entries = 8;
+    cfg.max_bytes = 1000;
+    ShardedLru<std::string, int> lru(cfg);
+    lru.put("a", 1, 10);
+    lru.put("b", 2, 10);
+    lru.clear();
+    EXPECT_EQ(lru.stats().entries, 0u);
+    EXPECT_EQ(lru.stats().bytes, 0u);
+    EXPECT_EQ(lru.stats().evictions, 0u);
+    EXPECT_FALSE(lru.get("a").has_value());
+}
+
+// ---- query_fingerprint ---------------------------------------------------
+
+TEST(QueryFingerprint, TermOrderIsCanonical) {
+    const std::vector<rank::QueryTerm> ab{{"apple", 1}, {"berry", 2}};
+    const std::vector<rank::QueryTerm> ba{{"berry", 2}, {"apple", 1}};
+    EXPECT_EQ(cache::query_fingerprint("p", 10, ab), cache::query_fingerprint("p", 10, ba));
+}
+
+TEST(QueryFingerprint, DistinguishesEverythingRankingRelevant) {
+    const std::vector<rank::QueryTerm> terms{{"apple", 1}, {"berry", 2}};
+    const std::string base = cache::query_fingerprint("p", 10, terms);
+    EXPECT_NE(base, cache::query_fingerprint("p", 20, terms));  // depth
+    EXPECT_NE(base, cache::query_fingerprint("q", 10, terms));  // receptionist config
+
+    const std::vector<rank::QueryTerm> heavier{{"apple", 2}, {"berry", 2}};
+    EXPECT_NE(base, cache::query_fingerprint("p", 10, heavier));  // f_qt
+
+    const std::vector<rank::QueryTerm> fewer{{"apple", 1}};
+    EXPECT_NE(base, cache::query_fingerprint("p", 10, fewer));
+}
+
+// ---- CacheOptions guard rails --------------------------------------------
+
+TEST(CacheConfig, ZeroBudgetQueryCacheIsANoOp) {
+    cache::CacheOptions o;
+    o.enabled = true;
+    o.query_entries = 0;  // explicit misconfiguration
+    cache::QueryCache qc(o);
+    EXPECT_FALSE(qc.enabled());
+    auto answer = std::make_shared<cache::CachedAnswer>();
+    qc.insert("k", answer);
+    EXPECT_EQ(qc.lookup("k"), nullptr);
+    qc.flush();
+    EXPECT_EQ(qc.stats().entries, 0u);
+}
+
+TEST(CacheConfig, ZeroShardsAreClamped) {
+    cache::CacheOptions o;
+    o.enabled = true;
+    o.shards = 0;
+    cache::QueryCache qc(o);
+    ASSERT_TRUE(qc.enabled());
+    auto answer = std::make_shared<cache::CachedAnswer>();
+    answer->ranking.push_back({0, 1, 0.5});
+    qc.insert("k", answer);
+    const auto hit = qc.lookup("k");
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->ranking, answer->ranking);
+}
+
+TEST(CacheConfig, TermAndExpansionBudgetsAreIndependent) {
+    cache::CacheOptions o;
+    o.enabled = true;
+    o.term_entries = 0;  // CV memoization off, CI expansions still on
+    cache::TermStatsCache tc(o);
+    EXPECT_FALSE(tc.terms_enabled());
+    EXPECT_TRUE(tc.expansions_enabled());
+    EXPECT_TRUE(tc.enabled());
+    EXPECT_EQ(tc.lookup_term("k"), nullptr);
+    tc.insert_term("k", std::make_shared<cache::TermStats>());
+    EXPECT_EQ(tc.term_stats().entries, 0u);
+}
+
+// ---- federation-level caching: byte-identical answers --------------------
+
+void expect_cache_transparent(Mode mode) {
+    auto off = Federation::create(fixture(), options_for(mode));
+    auto on = Federation::create(fixture(), cached_options(mode));
+    ASSERT_NE(on.receptionist().query_cache(), nullptr);
+    ASSERT_TRUE(on.receptionist().query_cache()->enabled());
+    EXPECT_EQ(off.receptionist().query_cache(), nullptr);
+
+    for (const auto& q : fixture().short_queries.queries) {
+        const QueryAnswer plain = off.receptionist().rank(q.text, 50);
+        const QueryAnswer miss = on.receptionist().rank(q.text, 50);
+        EXPECT_FALSE(miss.trace.served_from_cache);
+        ASSERT_EQ(miss.ranking, plain.ranking);
+        // The cache must be invisible on the wire too: a cold cached
+        // federation moves exactly the bytes an uncached one does.
+        EXPECT_EQ(miss.trace.total_message_bytes(), plain.trace.total_message_bytes());
+        EXPECT_EQ(miss.trace.total_messages(), plain.trace.total_messages());
+
+        const QueryAnswer hit = on.receptionist().rank(q.text, 50);
+        EXPECT_TRUE(hit.trace.served_from_cache);
+        ASSERT_EQ(hit.ranking, plain.ranking);
+        EXPECT_EQ(hit.trace.total_message_bytes(), 0u);
+        EXPECT_EQ(hit.trace.total_messages(), 0u);
+        EXPECT_EQ(hit.trace.participating_librarians(), 0u);
+    }
+    const auto stats = on.receptionist().query_cache()->stats();
+    EXPECT_EQ(stats.hits, fixture().short_queries.queries.size());
+    EXPECT_EQ(stats.misses, fixture().short_queries.queries.size());
+}
+
+TEST(QueryCacheFederation, CentralNothingIsByteIdentical) {
+    expect_cache_transparent(Mode::CentralNothing);
+}
+
+TEST(QueryCacheFederation, CentralVocabularyIsByteIdentical) {
+    expect_cache_transparent(Mode::CentralVocabulary);
+}
+
+TEST(QueryCacheFederation, CentralIndexIsByteIdentical) {
+    expect_cache_transparent(Mode::CentralIndex);
+}
+
+TEST(QueryCacheFederation, DepthIsPartOfTheKey) {
+    auto fed = Federation::create(fixture(), cached_options(Mode::CentralVocabulary));
+    const std::string q = fixture().short_queries.queries[0].text;
+    fed.receptionist().rank(q, 20);
+    EXPECT_FALSE(fed.receptionist().rank(q, 50).trace.served_from_cache);
+    EXPECT_TRUE(fed.receptionist().rank(q, 20).trace.served_from_cache);
+    EXPECT_TRUE(fed.receptionist().rank(q, 50).trace.served_from_cache);
+}
+
+TEST(QueryCacheFederation, DegradedAnswersAreNeverCached) {
+    // Librarian 2 drops every query-time exchange: the answers are
+    // partial, so none of them may seed the cache.
+    std::vector<std::unique_ptr<Librarian>> librarians;
+    std::vector<std::unique_ptr<Channel>> channels;
+    for (std::size_t s = 0; s < 4; ++s) {
+        librarians.push_back(build_librarian(fixture().subcollections[s]));
+        std::unique_ptr<Channel> ch = std::make_unique<InProcessChannel>(*librarians.back());
+        if (s == 2) {
+            // Drop everything after stats + vocabulary.
+            ch = std::make_unique<FaultyChannel>(std::move(ch), FaultScript{}.from(2));
+        }
+        channels.push_back(std::move(ch));
+    }
+    Receptionist receptionist(std::move(channels), cached_options(Mode::CentralVocabulary));
+    receptionist.prepare();
+
+    const std::string q = fixture().short_queries.queries[0].text;
+    const QueryAnswer first = receptionist.rank(q, 30);
+    EXPECT_TRUE(first.trace.degraded.partial);
+    EXPECT_FALSE(first.trace.served_from_cache);
+
+    const QueryAnswer second = receptionist.rank(q, 30);
+    EXPECT_FALSE(second.trace.served_from_cache);
+    EXPECT_EQ(receptionist.query_cache()->stats().hits, 0u);
+    EXPECT_EQ(receptionist.query_cache()->stats().entries, 0u);
+}
+
+TEST(QueryCacheFederation, TermStatisticsReplayExactly) {
+    auto off = Federation::create(fixture(), options_for(Mode::CentralVocabulary));
+    auto on = Federation::create(fixture(), cached_options(Mode::CentralVocabulary));
+    const std::string q = fixture().short_queries.queries[0].text;
+
+    on.receptionist().rank(q, 20);  // fills the term cache
+    // Different depth: query-cache miss, but every term is memoized.
+    const QueryAnswer replayed = on.receptionist().rank(q, 50);
+    EXPECT_FALSE(replayed.trace.served_from_cache);
+    EXPECT_GT(on.receptionist().term_stats_cache()->term_stats().hits, 0u);
+
+    const QueryAnswer plain = off.receptionist().rank(q, 50);
+    ASSERT_EQ(replayed.ranking, plain.ranking);
+    EXPECT_EQ(replayed.trace.total_message_bytes(), plain.trace.total_message_bytes());
+    EXPECT_EQ(replayed.trace.receptionist.term_lookups, plain.trace.receptionist.term_lookups);
+}
+
+TEST(QueryCacheFederation, ExpansionReplayKeepsCentralCountersIdentical) {
+    auto off = Federation::create(fixture(), options_for(Mode::CentralIndex));
+    auto on = Federation::create(fixture(), cached_options(Mode::CentralIndex));
+    const std::string q = fixture().short_queries.queries[1].text;
+
+    const QueryAnswer fresh = on.receptionist().rank(q, 20);
+    // The expansion is depth-independent: a new depth misses the query
+    // cache but replays steps 1-2 from the expansion cache.
+    const QueryAnswer replayed = on.receptionist().rank(q, 50);
+    EXPECT_FALSE(replayed.trace.served_from_cache);
+    EXPECT_GE(on.receptionist().term_stats_cache()->expansion_stats().hits, 1u);
+    EXPECT_EQ(replayed.trace.receptionist.central_postings,
+              fresh.trace.receptionist.central_postings);
+    EXPECT_EQ(replayed.trace.receptionist.central_index_bits,
+              fresh.trace.receptionist.central_index_bits);
+    EXPECT_EQ(replayed.trace.receptionist.central_lists,
+              fresh.trace.receptionist.central_lists);
+    EXPECT_EQ(replayed.trace.receptionist.candidates_expanded,
+              fresh.trace.receptionist.candidates_expanded);
+
+    const QueryAnswer plain = off.receptionist().rank(q, 50);
+    ASSERT_EQ(replayed.ranking, plain.ranking);
+    EXPECT_EQ(replayed.trace.total_message_bytes(), plain.trace.total_message_bytes());
+}
+
+// ---- generation-based invalidation ---------------------------------------
+
+TEST(GenerationInvalidation, BumpFlushesAndReprepareResynchronises) {
+    RegistryGuard guard;
+    auto fed = Federation::create(fixture(), cached_options(Mode::CentralVocabulary));
+    const std::string q0 = fixture().short_queries.queries[0].text;
+    const std::string q1 = fixture().short_queries.queries[1].text;
+
+    const QueryAnswer original = fed.receptionist().rank(q0, 30);
+    EXPECT_TRUE(fed.receptionist().rank(q0, 30).trace.served_from_cache);
+    const std::uint64_t gen_before = fed.receptionist().collection_generation();
+
+    fed.librarian(0).bump_generation();
+
+    // Staleness is only visible once a query actually reaches a
+    // librarian; this uncached query trips the detector and flushes.
+    const QueryAnswer tripped = fed.receptionist().rank(q1, 30);
+    EXPECT_TRUE(tripped.trace.stale_generation);
+    EXPECT_FALSE(tripped.trace.served_from_cache);
+
+    // q0 was flushed; and because the federation is still stale, the
+    // fresh answer must not be re-cached either.
+    const QueryAnswer after_flush = fed.receptionist().rank(q0, 30);
+    EXPECT_FALSE(after_flush.trace.served_from_cache);
+    EXPECT_TRUE(after_flush.trace.stale_generation);
+    EXPECT_EQ(after_flush.ranking, original.ranking);  // data unchanged, only the generation
+    EXPECT_FALSE(fed.receptionist().rank(q0, 30).trace.served_from_cache);
+
+    EXPECT_GE(guard.reg
+                  .counter("teraphim_cache_invalidations_total",
+                           {{"reason", "stale_response"}})
+                  .value(),
+              1u);
+
+    // Re-prepare adopts the new generations: queries are clean and
+    // cacheable again.
+    fed.receptionist().prepare();
+    EXPECT_NE(fed.receptionist().collection_generation(), gen_before);
+    const QueryAnswer clean = fed.receptionist().rank(q0, 30);
+    EXPECT_FALSE(clean.trace.stale_generation);
+    EXPECT_FALSE(clean.trace.served_from_cache);
+    EXPECT_TRUE(fed.receptionist().rank(q0, 30).trace.served_from_cache);
+    EXPECT_GE(guard.reg
+                  .counter("teraphim_cache_invalidations_total", {{"reason", "prepare"}})
+                  .value(),
+              1u);
+}
+
+TEST(GenerationInvalidation, DetectedOverRealTcpFederation) {
+    auto fed = TcpFederation::create(fixture(), cached_options(Mode::CentralVocabulary));
+    const std::string q0 = fixture().short_queries.queries[0].text;
+    const std::string q1 = fixture().short_queries.queries[2].text;
+
+    fed.receptionist().rank(q0, 30);
+    EXPECT_TRUE(fed.receptionist().rank(q0, 30).trace.served_from_cache);
+
+    fed.librarian(1).bump_generation();
+    EXPECT_TRUE(fed.receptionist().rank(q1, 30).trace.stale_generation);
+    EXPECT_FALSE(fed.receptionist().rank(q0, 30).trace.served_from_cache);
+
+    fed.receptionist().prepare();
+    EXPECT_FALSE(fed.receptionist().rank(q0, 30).trace.stale_generation);
+    EXPECT_TRUE(fed.receptionist().rank(q0, 30).trace.served_from_cache);
+    fed.shutdown();
+}
+
+TEST(QueryCacheFederation, CachedHitMakesNoLibrarianRoundTrips) {
+    RegistryGuard guard;
+    auto fed = TcpFederation::create(fixture(), cached_options(Mode::CentralVocabulary));
+    const std::string q = fixture().short_queries.queries[0].text;
+
+    fed.receptionist().rank(q, 30);
+    const std::uint64_t frames_sent = sum_family(guard.reg, "teraphim_mux_frames_sent_total");
+    const std::uint64_t frames_recv =
+        sum_family(guard.reg, "teraphim_mux_frames_received_total");
+    EXPECT_GT(frames_sent, 0u);
+
+    const QueryAnswer hit = fed.receptionist().rank(q, 30);
+    EXPECT_TRUE(hit.trace.served_from_cache);
+    EXPECT_EQ(sum_family(guard.reg, "teraphim_mux_frames_sent_total"), frames_sent);
+    EXPECT_EQ(sum_family(guard.reg, "teraphim_mux_frames_received_total"), frames_recv);
+    fed.shutdown();
+}
+
+// ---- observability -------------------------------------------------------
+
+TEST(CacheMetrics, FamiliesAppearInTheFederationDump) {
+    RegistryGuard guard;
+    auto fed = Federation::create(fixture(), cached_options(Mode::CentralVocabulary));
+    const std::string q = fixture().short_queries.queries[0].text;
+    fed.receptionist().rank(q, 30);
+    fed.receptionist().rank(q, 30);
+
+    const std::string text = fed.receptionist().render_federation_metrics();
+    for (const char* family :
+         {"teraphim_cache_hits_total", "teraphim_cache_misses_total",
+          "teraphim_cache_evictions_total", "teraphim_cache_entries", "teraphim_cache_bytes",
+          "teraphim_cache_invalidations_total"}) {
+        EXPECT_NE(text.find(family), std::string::npos) << family;
+    }
+    EXPECT_NE(text.find("cache=\"query\""), std::string::npos);
+    EXPECT_NE(text.find("cache=\"term_stats\""), std::string::npos);
+
+    EXPECT_EQ(guard.reg.counter("teraphim_cache_hits_total", {{"cache", "query"}}).value(),
+              1u);
+    EXPECT_EQ(guard.reg.counter("teraphim_cache_misses_total", {{"cache", "query"}}).value(),
+              1u);
+}
+
+TEST(MetricsPull, DeadLibrarianIsSkippedAndCounted) {
+    RegistryGuard guard;
+    auto live = build_librarian(fixture().subcollections[0]);
+
+    std::vector<std::unique_ptr<Channel>> channels;
+    channels.push_back(std::make_unique<InProcessChannel>(*live));
+    TcpChannel::Timeouts timeouts;
+    timeouts.connect_ms = 200;
+    timeouts.io_ms = 200;
+    channels.push_back(
+        std::make_unique<TcpChannel>("down", "127.0.0.1", unused_port(), timeouts));
+
+    ReceptionistOptions o;
+    o.mode = Mode::CentralNothing;
+    o.fault.retry.base_backoff_ms = 1;
+    Receptionist receptionist(std::move(channels), o);
+
+    std::vector<obs::MetricSample> samples;
+    ASSERT_NO_THROW(samples = receptionist.pull_librarian_metrics());
+
+    // The live librarian's samples survive the dead one.
+    bool live_seen = false;
+    const std::string live_label = "librarian=\"" + live->name() + "\"";
+    for (const obs::MetricSample& s : samples) {
+        live_seen = live_seen || s.labels.find(live_label) != std::string::npos;
+    }
+    EXPECT_TRUE(live_seen);
+
+    EXPECT_EQ(guard.reg
+                  .counter("teraphim_receptionist_metrics_pull_failures_total",
+                           {{"librarian", "down"}})
+                  .value(),
+              1u);
+
+    // The consolidated dump degrades the same way instead of throwing.
+    std::string text;
+    ASSERT_NO_THROW(text = receptionist.render_federation_metrics());
+    EXPECT_NE(text.find("teraphim_receptionist_metrics_pull_failures_total"),
+              std::string::npos);
+}
+
+// ---- concurrency (TSan via the `concurrency` label) ----------------------
+
+TEST(CacheConcurrency, ShardedLruSurvivesConcurrentTraffic) {
+    LruConfig cfg;
+    cfg.shards = 8;
+    cfg.max_entries = 64;
+    cfg.max_bytes = 1 << 20;
+    ShardedLru<std::string, int> lru(cfg);
+
+    constexpr int kThreads = 8;
+    constexpr int kIters = 2000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&lru, t] {
+            for (int i = 0; i < kIters; ++i) {
+                const std::string key = "k" + std::to_string((i * 31 + t * 7) % 100);
+                if (i % 3 == 0) {
+                    lru.put(key, i, 16);
+                } else {
+                    lru.get(key);
+                }
+                if (t == 0 && i % 500 == 499) lru.clear();
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+
+    const auto s = lru.stats();
+    EXPECT_LE(s.entries, 64u);
+    EXPECT_EQ(s.bytes, s.entries * 16u);
+    EXPECT_GT(s.hits + s.misses, 0u);
+}
+
+TEST(CacheConcurrency, SharedQueryCacheServesIdenticalRankingsUnderHammering) {
+    auto fed = Federation::create(fixture(), cached_options(Mode::CentralVocabulary));
+    const auto& queries = fixture().short_queries.queries;
+
+    // Reference rankings computed single-threaded (and cached).
+    std::vector<std::vector<GlobalResult>> expected;
+    expected.reserve(queries.size());
+    for (const auto& q : queries) {
+        expected.push_back(fed.receptionist().rank(q.text, 30).ranking);
+    }
+
+    constexpr int kThreads = 8;
+    constexpr int kIters = 40;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kIters; ++i) {
+                const std::size_t idx = (t + i) % queries.size();
+                // Periodic flushes force hit, miss, insert, and clear to
+                // interleave across threads.
+                if (t == 0 && i % 10 == 9) fed.receptionist().flush_caches();
+                const QueryAnswer a = fed.receptionist().rank(queries[idx].text, 30);
+                if (a.ranking != expected[idx]) mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto& th : threads) th.join();
+
+    EXPECT_EQ(mismatches.load(), 0);
+    const auto stats = fed.receptionist().query_cache()->stats();
+    EXPECT_EQ(stats.hits + stats.misses,
+              static_cast<std::uint64_t>(kThreads) * kIters + queries.size());
+}
+
+}  // namespace
+}  // namespace teraphim::dir

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "dir/deployment.h"
 #include "dir/merge.h"
 #include "util/error.h"
 
@@ -96,6 +98,76 @@ TEST(Merge, LargeDeterministicMerge) {
     for (std::size_t i = 1; i < merged.size(); ++i) {
         EXPECT_TRUE(global_result_before(merged[i - 1], merged[i]));
     }
+}
+
+TEST(Merge, EqualScoresMergeStableByLibrarianThenDoc) {
+    // Every entry scores 0.5: the merged order must be exactly
+    // (librarian, doc) ascending, with no dependence on arrival order.
+    const Rankings input{
+        {{4, 0.5}, {9, 0.5}},
+        {{1, 0.5}, {7, 0.5}},
+        {{0, 0.5}},
+    };
+    const auto merged = merge_rankings(input, 10);
+    const std::vector<GlobalResult> want{
+        {0, 4, 0.5}, {0, 9, 0.5}, {1, 1, 0.5}, {1, 7, 0.5}, {2, 0, 0.5},
+    };
+    EXPECT_EQ(merged, want);
+}
+
+/// Two librarians holding byte-identical subcollections: in CN mode
+/// (local statistics only) every document scores identically on both,
+/// so the merged ranking is wall-to-wall cross-librarian score ties.
+corpus::SyntheticCorpus twin_corpus() {
+    corpus::CorpusConfig config;
+    config.vocab_size = 3000;
+    config.subcollections = {{"A", 120, 70.0, 0.4}};
+    config.num_long_topics = 2;
+    config.num_short_topics = 2;
+    config.topic_term_floor = 150;
+    config.seed = 9;
+    return generate_corpus(config);
+}
+
+TEST(Merge, FederationTiesAreDeterministicAcrossFanoutShapes) {
+    const corpus::SyntheticCorpus corpus = twin_corpus();
+    std::vector<corpus::Subcollection> subs{corpus.subcollections[0],
+                                            corpus.subcollections[0]};
+    subs[1].name = "B";
+
+    std::vector<std::vector<std::vector<GlobalResult>>> per_mode;
+    for (const FanoutMode fanout :
+         {FanoutMode::Sequential, FanoutMode::Pooled, FanoutMode::Multiplexed}) {
+        ReceptionistOptions options;
+        options.mode = Mode::CentralNothing;
+        options.fanout = fanout;
+        auto fed = Federation::create(subs, options);
+
+        std::vector<std::vector<GlobalResult>> rankings;
+        for (const auto& q : corpus.short_queries.queries) {
+            const auto answer = fed.receptionist().rank(q.text, 1000);
+            ASSERT_FALSE(answer.ranking.empty());
+
+            // Strict deterministic total order throughout the ranking.
+            for (std::size_t i = 1; i < answer.ranking.size(); ++i) {
+                EXPECT_TRUE(global_result_before(answer.ranking[i - 1], answer.ranking[i]));
+            }
+            // The twins contribute identical (doc, score) sequences: the
+            // merge kept both, ordered deterministically by librarian.
+            std::vector<std::pair<std::uint32_t, double>> lib0, lib1;
+            for (const GlobalResult& r : answer.ranking) {
+                (r.librarian == 0 ? lib0 : lib1).push_back({r.doc, r.score});
+            }
+            EXPECT_EQ(lib0, lib1);
+            rankings.push_back(answer.ranking);
+        }
+        per_mode.push_back(std::move(rankings));
+    }
+
+    // Sequential, Pooled, and Multiplexed fan-outs merge ties to the
+    // exact same global ranking.
+    EXPECT_EQ(per_mode[0], per_mode[1]);
+    EXPECT_EQ(per_mode[0], per_mode[2]);
 }
 
 }  // namespace

@@ -1,0 +1,350 @@
+// Overload bench: an open-loop Zipfian query stream against a TCP
+// federation with deliberately tight admission limits and a fixed
+// per-request service time, swept across target arrival rates.
+//
+// Open-loop means arrivals are scheduled by the clock, not by
+// completions: when the federation falls behind, requests keep coming —
+// exactly the regime where an unprotected server melts down (queues
+// grow without bound, every query times out). The interesting output is
+// the *shape* of the degradation curve: below capacity nothing is shed
+// and latency is flat; above capacity the librarians shed the excess
+// with Overloaded replies and spent deadline budgets, completed
+// throughput plateaus near capacity instead of collapsing, and tail
+// latency stays bounded by the per-query budget.
+//
+// Per sweep point the harness reports achieved throughput, the latency
+// distribution (p50/p95/p99/p999), the shed rate (queries returning a
+// partial answer because slots were shed), hard failures (which must
+// stay zero — overload is load, not damage), and the hedge rate.
+//
+// Usage:
+//   overload_bench [--smoke] [--json <path>]
+//     --smoke   short sweep; exits non-zero unless the point well below
+//               capacity sheds nothing, the point above capacity sheds,
+//               nothing hard-fails, and overload p99 stays budget-bounded
+//     --json    additionally writes the sweep as one JSON object
+#include <cstdio>
+#include <cstring>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "corpus/zipf.h"
+#include "dir/retry.h"
+#include "obs/metrics.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace teraphim;
+
+namespace {
+
+// Every rank request is delayed this long server-side, so federation
+// capacity is known by construction: with max_inflight = 1 per
+// librarian, one librarian completes at most 1000 / kServiceMs rank
+// requests per second, and a CN query needs one from each librarian.
+constexpr std::uint32_t kServiceMs = 20;
+constexpr double kCapacityQps = 1000.0 / kServiceMs;
+constexpr std::uint32_t kBudgetMs = 100;
+constexpr std::size_t kWorkers = 32;
+constexpr std::size_t kDepth = 10;
+
+corpus::CorpusConfig bench_corpus_config() {
+    // Small on purpose (the cache bench's smoke corpus): this bench
+    // measures the overload machinery, and the scripted kServiceMs
+    // dwarfs the real ranking work either way.
+    corpus::CorpusConfig config;
+    config.vocab_size = 3000;
+    config.subcollections = {
+        {"AP", 120, 70.0, 0.4},
+        {"WSJ", 120, 70.0, 0.4},
+        {"FR", 80, 90.0, 0.5},
+        {"ZIFF", 80, 60.0, 0.5},
+    };
+    config.num_long_topics = 3;
+    config.num_short_topics = 3;
+    config.topic_term_floor = 150;
+    config.seed = 12;
+    return config;
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const double rank = q * static_cast<double>(sorted.size());
+    std::size_t idx = static_cast<std::size_t>(rank);
+    if (static_cast<double>(idx) < rank) ++idx;  // nearest-rank: ceil
+    if (idx > 0) --idx;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct PointResult {
+    double qps_target = 0.0;
+    std::uint64_t arrivals = 0;
+    double wall_ms = 0.0;
+    std::uint64_t shed_queries = 0;   ///< partial answers due to shed slots
+    std::uint64_t shed_slots = 0;     ///< individual librarian slots shed
+    std::uint64_t failed_queries = 0; ///< answers with non-shed failures
+    std::uint64_t hedges = 0;
+    std::uint64_t hedge_wins = 0;
+    std::vector<double> latencies_ms;  ///< sorted after the run
+
+    double qps_achieved() const {
+        return wall_ms > 0.0 ? 1000.0 * static_cast<double>(arrivals) / wall_ms : 0.0;
+    }
+    double shed_rate() const {
+        return arrivals ? static_cast<double>(shed_queries) / static_cast<double>(arrivals)
+                        : 0.0;
+    }
+    double hedge_rate() const {
+        return arrivals ? static_cast<double>(hedges) / static_cast<double>(arrivals) : 0.0;
+    }
+    double p(double q) const { return percentile(latencies_ms, q); }
+};
+
+/// Fires `arrivals` queries at `qps`, open-loop: arrival i is due at
+/// start + i/qps on the wall clock whether or not earlier queries have
+/// completed. A fixed worker pool sleeps until each due time; the pool
+/// is sized so that (under budget-bounded latencies) a free worker is
+/// always available and the schedule never slips behind completions.
+PointResult run_point(dir::Receptionist& receptionist,
+                      const std::vector<const std::string*>& queries, double qps,
+                      std::uint64_t arrivals) {
+    PointResult r;
+    r.qps_target = qps;
+    r.arrivals = arrivals;
+    r.latencies_ms.assign(arrivals, 0.0);
+    std::vector<std::uint8_t> shed(arrivals, 0);
+    std::vector<std::uint8_t> failed(arrivals, 0);
+    std::atomic<std::uint64_t> shed_slots{0};
+    std::atomic<std::uint64_t> hedges{0};
+    std::atomic<std::uint64_t> hedge_wins{0};
+    std::atomic<std::uint64_t> next{0};
+
+    const auto period =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(std::chrono::duration<double>(
+            1.0 / qps));
+    const auto start = std::chrono::steady_clock::now();
+
+    auto worker = [&] {
+        for (;;) {
+            const std::uint64_t i = next.fetch_add(1);
+            if (i >= arrivals) return;
+            std::this_thread::sleep_until(start + period * i);
+            const dir::QueryBudget budget = dir::QueryBudget::start(kBudgetMs);
+            util::Timer timer;
+            try {
+                const dir::QueryAnswer answer =
+                    receptionist.rank(*queries[i % queries.size()], kDepth, budget);
+                r.latencies_ms[i] = timer.elapsed_ms();
+                std::uint64_t my_sheds = 0;
+                for (const dir::FailedLibrarian& f : answer.degraded().failures) {
+                    if (f.shed) {
+                        ++my_sheds;
+                    } else {
+                        failed[i] = 1;
+                    }
+                }
+                shed_slots.fetch_add(my_sheds);
+                if (my_sheds > 0) shed[i] = 1;
+                hedges.fetch_add(answer.trace.hedges);
+                hedge_wins.fetch_add(answer.trace.hedge_wins);
+            } catch (const std::exception&) {
+                r.latencies_ms[i] = timer.elapsed_ms();
+                failed[i] = 1;
+            }
+        }
+    };
+    {
+        std::vector<std::thread> workers;
+        workers.reserve(kWorkers);
+        for (std::size_t w = 0; w < kWorkers; ++w) workers.emplace_back(worker);
+        for (auto& t : workers) t.join();
+    }
+    r.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                          start)
+                    .count();
+    for (std::uint64_t i = 0; i < arrivals; ++i) {
+        r.shed_queries += shed[i];
+        r.failed_queries += failed[i];
+    }
+    r.shed_slots = shed_slots.load();
+    r.hedges = hedges.load();
+    r.hedge_wins = hedge_wins.load();
+    std::sort(r.latencies_ms.begin(), r.latencies_ms.end());
+    return r;
+}
+
+void write_json(const std::string& path, bool smoke, const std::vector<PointResult>& points) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "overload_bench: cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"overload_bench\",\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"service_ms\": %u,\n"
+                 "  \"capacity_qps\": %.1f,\n"
+                 "  \"budget_ms\": %u,\n"
+                 "  \"points\": [\n",
+                 smoke ? "true" : "false", kServiceMs, kCapacityQps, kBudgetMs);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const PointResult& p = points[i];
+        std::fprintf(f,
+                     "    {\"qps_target\": %.1f, \"qps_achieved\": %.1f, \"arrivals\": %llu, "
+                     "\"shed_queries\": %llu, \"shed_slots\": %llu, \"shed_rate\": %.4f, "
+                     "\"failed_queries\": %llu, \"hedges\": %llu, \"hedge_wins\": %llu, "
+                     "\"p50_ms\": %.2f, \"p95_ms\": %.2f, \"p99_ms\": %.2f, "
+                     "\"p999_ms\": %.2f}%s\n",
+                     p.qps_target, p.qps_achieved(),
+                     static_cast<unsigned long long>(p.arrivals),
+                     static_cast<unsigned long long>(p.shed_queries),
+                     static_cast<unsigned long long>(p.shed_slots), p.shed_rate(),
+                     static_cast<unsigned long long>(p.failed_queries),
+                     static_cast<unsigned long long>(p.hedges),
+                     static_cast<unsigned long long>(p.hedge_wins), p.p(0.50), p.p(0.95),
+                     p.p(0.99), p.p(0.999), i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: overload_bench [--smoke] [--json <path>]\n");
+            return 2;
+        }
+    }
+
+    obs::MetricsRegistry registry;
+    obs::set_global(&registry);
+
+    std::printf("Overload bench: open-loop arrivals against tight admission limits\n");
+    util::Timer build_timer;
+    const corpus::SyntheticCorpus corpus = corpus::generate_corpus(bench_corpus_config());
+    std::printf("# corpus: %u documents (%.1fs)\n", corpus.total_documents(),
+                build_timer.elapsed_seconds());
+
+    // Zipf-skewed draws from the query pool, like the cache bench.
+    std::vector<const std::string*> pool;
+    for (const auto& q : corpus.short_queries.queries) pool.push_back(&q.text);
+    for (const auto& q : corpus.long_queries.queries) pool.push_back(&q.text);
+    const std::vector<double> weights = corpus::zipf_weights(pool.size(), 1.1);
+    util::AliasSampler sampler{std::span<const double>(weights)};
+    util::Rng rng(42);
+    std::vector<const std::string*> draws;
+    draws.reserve(4096);
+    for (std::size_t i = 0; i < 4096; ++i) draws.push_back(pool[sampler.sample(rng)]);
+
+    const dir::Mode mode = dir::Mode::CentralNothing;
+    dir::ReceptionistOptions options = bench::mode_options(mode);
+    options.answers = 10;
+    options.fault.retry.base_backoff_ms = 1;
+    options.overload.total_budget_ms = kBudgetMs;  // also the per-worker start() value
+    options.hedge.enabled = true;  // delay derived from the observed p95
+
+    // Tight limits: one handler, a four-deep queue — the point is to
+    // *reach* saturation at a few dozen QPS, not to survive it by
+    // overprovisioning.
+    net::ServerLimits limits;
+    limits.max_inflight = 1;
+    limits.dispatch_queue_capacity = 4;
+    limits.retry_after_hint_ms = 2;
+
+    // Every rank request takes kServiceMs, server-side.
+    dir::FaultySpec faults;
+    for (std::size_t s = 0; s < corpus.subcollections.size(); ++s) {
+        faults.server_faults[s] = {{net::MessageType::RankRequest, UINT32_MAX, kServiceMs,
+                                    /*drop_connection=*/false}};
+    }
+
+    auto fed = dir::TcpFederation::create(corpus, options, {}, faults, limits);
+
+    // Sweep points as multiples of the constructed capacity; arrivals
+    // sized for a roughly fixed wall-clock duration per point.
+    const std::vector<double> multiples =
+        smoke ? std::vector<double>{0.2, 0.8, 3.0}
+              : std::vector<double>{0.2, 0.5, 0.8, 1.2, 2.0, 4.0};
+    const double seconds_per_point = smoke ? 2.0 : 4.0;
+
+    std::printf("# capacity %.0f qps by construction (%u ms service, 1 in flight), "
+                "budget %u ms, queue %zu deep\n",
+                kCapacityQps, kServiceMs, kBudgetMs, limits.dispatch_queue_capacity);
+    bench::print_rule();
+    std::printf("  %8s %9s %7s %7s %7s %8s %8s %8s %8s\n", "qps", "achieved", "shed%",
+                "fail", "hedge%", "p50 ms", "p95 ms", "p99 ms", "p999 ms");
+    bench::print_rule();
+
+    std::vector<PointResult> points;
+    for (const double m : multiples) {
+        const double qps = m * kCapacityQps;
+        const std::uint64_t arrivals =
+            std::max<std::uint64_t>(24, static_cast<std::uint64_t>(qps * seconds_per_point));
+        PointResult p = run_point(fed.receptionist(), draws, qps, arrivals);
+        std::printf("  %8.1f %9.1f %6.1f%% %7llu %7.1f%% %8.2f %8.2f %8.2f %8.2f\n",
+                    p.qps_target, p.qps_achieved(), 100.0 * p.shed_rate(),
+                    static_cast<unsigned long long>(p.failed_queries),
+                    100.0 * p.hedge_rate(), p.p(0.50), p.p(0.95), p.p(0.99), p.p(0.999));
+        points.push_back(std::move(p));
+    }
+    bench::print_rule();
+
+    fed.shutdown();
+    if (!json_path.empty()) write_json(json_path, smoke, points);
+    obs::set_global(nullptr);
+
+    if (smoke) {
+        const PointResult& low = points.front();
+        const PointResult& high = points.back();
+        bool ok = true;
+        if (low.shed_queries != 0) {
+            std::fprintf(stderr, "SMOKE FAIL: %llu queries shed at %.1f qps, well below capacity\n",
+                         static_cast<unsigned long long>(low.shed_queries), low.qps_target);
+            ok = false;
+        }
+        if (high.shed_queries == 0) {
+            std::fprintf(stderr, "SMOKE FAIL: nothing shed at %.1f qps, %gx capacity\n",
+                         high.qps_target, multiples.back());
+            ok = false;
+        }
+        for (const PointResult& p : points) {
+            if (p.failed_queries != 0) {
+                std::fprintf(stderr,
+                             "SMOKE FAIL: %llu hard failures at %.1f qps — overload must "
+                             "shed, never fail\n",
+                             static_cast<unsigned long long>(p.failed_queries), p.qps_target);
+                ok = false;
+            }
+        }
+        // Budgets bound the tail even at 3x capacity: generous headroom
+        // over kBudgetMs for retries, scheduling, and a single core.
+        const double p99_bound_ms = 4.0 * kBudgetMs;
+        if (high.p(0.99) > p99_bound_ms) {
+            std::fprintf(stderr, "SMOKE FAIL: overloaded p99 %.1f ms exceeds %.0f ms bound\n",
+                         high.p(0.99), p99_bound_ms);
+            ok = false;
+        }
+        if (!ok) return 1;
+        std::printf("smoke OK: 0 sheds at %.1f qps, %llu sheds at %.1f qps, p99 %.1f ms "
+                    "within budget bound\n",
+                    low.qps_target, static_cast<unsigned long long>(high.shed_queries),
+                    high.qps_target, high.p(0.99));
+    }
+    return 0;
+}

@@ -90,7 +90,7 @@ void measured_concurrent_round_trips(Table2Results& results) {
         conns.push_back(net::TcpConnection::connect_to("127.0.0.1", servers.back()->port()));
     }
     const auto ping = [&](std::size_t i) {
-        conns[i].send_message({net::MessageType::Ping, 0, {}});
+        conns[i].send_message({net::MessageType::Ping, 0, 0, {}});
         conns[i].recv_message();
     };
 
@@ -148,7 +148,7 @@ void measured_multiplexed_clients(Table2Results& results) {
         std::vector<util::Future<net::Message>> futures;
         for (int c = 0; c < clients; ++c) {
             for (auto& mux : muxes) {
-                futures.push_back(mux->submit({net::MessageType::Ping, 0, {}}));
+                futures.push_back(mux->submit({net::MessageType::Ping, 0, 0, {}}));
             }
         }
         for (auto& f : futures) f.get();

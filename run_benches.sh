@@ -10,6 +10,7 @@ for b in build/bench/*; do
   case "$(basename "$b")" in
     cache_bench)    "$b" --json BENCH_cache.json ;;
     table2_network) "$b" --json BENCH_table2.json ;;
+    overload_bench) "$b" --json BENCH_overload.json ;;
     *)              "$b" ;;
   esac
   echo

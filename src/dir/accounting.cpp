@@ -19,6 +19,14 @@ bool DegradedInfo::failed(std::uint32_t librarian) const {
     return false;
 }
 
+std::uint64_t DegradedInfo::shed_count() const {
+    std::uint64_t n = 0;
+    for (const FailedLibrarian& f : failures) {
+        if (f.shed) ++n;
+    }
+    return n;
+}
+
 std::string DegradedInfo::summary() const {
     if (ok()) {
         return retries == 0 ? "complete"
@@ -27,8 +35,11 @@ std::string DegradedInfo::summary() const {
     std::string out = partial ? "partial" : "complete";
     out += " (" + std::to_string(retries) + " retries";
     for (const FailedLibrarian& f : failures) {
-        out += "; librarian " + std::to_string(f.librarian) +
-               (f.attempts == 0 ? " skipped: " : " failed: ") + f.reason;
+        // Shed (overload/deadline) is deliberately distinct from failed
+        // (broken librarian): sheds are the healthy-but-overloaded path
+        // and never contribute to circuit-breaker state.
+        const char* verb = f.shed ? " shed: " : (f.attempts == 0 ? " skipped: " : " failed: ");
+        out += "; librarian " + std::to_string(f.librarian) + verb + f.reason;
     }
     out += ")";
     return out;

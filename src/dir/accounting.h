@@ -69,6 +69,11 @@ struct FailedLibrarian {
     std::uint32_t attempts = 0;
     std::string reason;  ///< what() of the final failure, "circuit open",
                          ///< or "health probe failed: ..."
+    /// True when the slot was shed (deadline budget exhausted, or the
+    /// librarian answered Overloaded) rather than failed: the librarian
+    /// is healthy, the work was dropped on purpose. Shed slots never
+    /// count against circuit breakers.
+    bool shed = false;
 
     friend bool operator==(const FailedLibrarian&, const FailedLibrarian&) = default;
 };
@@ -84,6 +89,8 @@ struct DegradedInfo {
 
     bool ok() const { return !partial && failures.empty(); }
     bool failed(std::uint32_t librarian) const;
+    /// Entries with shed == true (load shedding, not failure).
+    std::uint64_t shed_count() const;
     std::string summary() const;  ///< one-line human-readable description
 };
 
@@ -123,6 +130,13 @@ struct QueryTrace {
     /// stale, its caches were flushed, and this answer was not cached.
     /// Re-run prepare() to resynchronise.
     bool stale_generation = false;
+
+    /// Hedged-request accounting (DESIGN.md §13): backup requests issued
+    /// after the hedge delay, and how many of them produced the reply
+    /// that was actually used. Like timings these vary run to run, so
+    /// they are excluded from trace-equality comparisons.
+    std::uint64_t hedges = 0;
+    std::uint64_t hedge_wins = 0;
 
     std::uint64_t total_message_bytes() const;
     std::uint64_t total_messages() const;

@@ -166,12 +166,35 @@ util::Future<net::Message> TcpChannel::submit(const net::Message& request) {
     return mux->submit(request);
 }
 
+util::Future<net::Message> TcpChannel::submit_backup(const net::Message& request) {
+    std::shared_ptr<net::MuxConnection> mux;
+    try {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (backup_mux_ == nullptr) {
+            // The hedge path gets its own connection so a backup is not
+            // serialized behind whatever stalls the primary's stream.
+            // Reconnects of the backup path are not counted — it exists
+            // only while hedges are in flight.
+            backup_mux_ = std::make_shared<net::MuxConnection>(
+                net::TcpConnection::connect_to(host_, port_, timeouts_.connect_ms),
+                timeouts_.io_ms, metrics_);
+        }
+        mux = backup_mux_;
+    } catch (...) {
+        // A hedge must never make things worse: if the backup path cannot
+        // connect, fall back to the primary submit.
+        return submit(request);
+    }
+    return mux->submit(request);
+}
+
 void TcpChannel::reset() {
     std::lock_guard<std::mutex> lock(mu_);
     // Only a dead connection is discarded: per-request timeouts leave
     // the stream intact (the late reply is discarded by correlation id),
     // and neighbouring requests may still be in flight on it.
     if (mux_ != nullptr && !mux_->healthy()) mux_.reset();
+    if (backup_mux_ != nullptr && !backup_mux_->healthy()) backup_mux_.reset();
 }
 
 bool TcpChannel::is_connected() const {
@@ -223,7 +246,8 @@ net::MessageServer::Handler faulty_handler(Librarian* raw, std::vector<ServerFau
 TcpFederation TcpFederation::create(const corpus::SyntheticCorpus& corpus,
                                     const ReceptionistOptions& options,
                                     const LibrarianBuildOptions& build,
-                                    const FaultySpec& faults) {
+                                    const FaultySpec& faults,
+                                    const net::ServerLimits& limits) {
     TcpFederation fed;
     std::vector<const index::InvertedIndex*> indexes;
 
@@ -249,7 +273,7 @@ TcpFederation TcpFederation::create(const corpus::SyntheticCorpus& corpus,
                 ? net::MessageServer::Handler(
                       [raw](const net::Message& m) { return raw->handle(m); })
                 : faulty_handler(raw, sf->second),
-            8, 8, &raw->metrics()));
+            limits, &raw->metrics()));
         std::unique_ptr<Channel> channel = std::make_unique<TcpChannel>(
             raw->name(), "127.0.0.1", fed.servers_.back()->port(), timeouts);
         const auto cf = faults.channel_faults.find(s);

@@ -85,6 +85,12 @@ public:
 
     util::Future<net::Message> submit(const net::Message& request) override;
 
+    /// Hedged backup path: a second lazily-connected MuxConnection to
+    /// the same librarian, so a backup request is not queued behind
+    /// whatever is stalling the primary connection. Falls back to the
+    /// primary submit when the backup cannot connect.
+    util::Future<net::Message> submit_backup(const net::Message& request) override;
+
     /// Drops the connection if it has died; the next submit reconnects.
     /// A healthy connection is left alone — other requests may be in
     /// flight on it.
@@ -100,8 +106,9 @@ private:
     Timeouts timeouts_;
     net::MuxMetrics metrics_;
     obs::Counter* reconnects_ = nullptr;
-    mutable std::mutex mu_;  ///< guards mux_ (re)creation
+    mutable std::mutex mu_;  ///< guards mux_/backup_mux_ (re)creation
     std::shared_ptr<net::MuxConnection> mux_;
+    std::shared_ptr<net::MuxConnection> backup_mux_;  ///< hedge path; lazy like mux_
     bool connected_once_ = false;  ///< guarded by mu_; first connect is not a "reconnect"
 };
 
@@ -191,10 +198,14 @@ struct FaultySpec {
 /// FaultySpec — the fault-tolerance tests.
 class TcpFederation {
 public:
+    /// `limits` bounds every librarian's MessageServer (dispatch-queue
+    /// capacity, in-flight handlers, budget shedding); the default keeps
+    /// the servers effectively unconstrained for functional tests.
     static TcpFederation create(const corpus::SyntheticCorpus& corpus,
                                 const ReceptionistOptions& options,
                                 const LibrarianBuildOptions& build = {},
-                                const FaultySpec& faults = {});
+                                const FaultySpec& faults = {},
+                                const net::ServerLimits& limits = {});
     ~TcpFederation();
 
     TcpFederation(TcpFederation&&) = default;

@@ -77,6 +77,33 @@ util::Future<net::Message> FaultyChannel::submit(const net::Message& request) {
         case FaultKind::Delay:
             std::this_thread::sleep_for(std::chrono::milliseconds(action->delay_ms));
             return inner_->submit(request);
+        case FaultKind::DelayReply: {
+            // Unlike Delay (which stalls the submitting thread), the
+            // submission proceeds immediately and only the *completion*
+            // is deferred — a librarian that answers late rather than a
+            // channel that sends late. This is what hedge tests need:
+            // the receptionist observes a pending future it can race a
+            // backup against.
+            auto promise = std::make_shared<util::Promise<net::Message>>();
+            util::Future<net::Message> out = promise->future();
+            auto held = std::make_shared<util::Future<net::Message>>(inner_->submit(request));
+            const auto delay = std::chrono::milliseconds(action->delay_ms);
+            held->on_ready([promise, held, delay] {
+                // Completion may run on the mux reader thread, which
+                // must not sleep: hand the delayed delivery to its own
+                // thread. Detached is safe — it owns (shared_ptr) both
+                // futures' state.
+                std::thread([promise, held, delay] {
+                    std::this_thread::sleep_for(delay);
+                    try {
+                        promise->set_value(held->get());
+                    } catch (...) {
+                        promise->set_exception(std::current_exception());
+                    }
+                }).detach();
+            });
+            return out;
+        }
         case FaultKind::TruncateFrame:
             return transformed(inner_->submit(request), [](net::Message reply) {
                 reply.payload.resize(reply.payload.size() / 2);

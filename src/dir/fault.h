@@ -26,6 +26,7 @@ enum class FaultKind {
     Drop,           ///< request never sent: throw IoError before the exchange
     Timeout,        ///< deadline expires: throw TimeoutError before the exchange
     Delay,          ///< sleep delay_ms, then forward the exchange untouched
+    DelayReply,     ///< forward immediately, deliver the reply delay_ms late
     TruncateFrame,  ///< forward, then cut the response payload in half
     GarbageFrame,   ///< forward, then replace the response payload with junk
     Disconnect,     ///< forward (the librarian does the work), lose the response
@@ -70,6 +71,14 @@ public:
         : inner_(std::move(inner)), script_(std::move(script)) {}
 
     util::Future<net::Message> submit(const net::Message& request) override;
+
+    /// Hedged backups bypass the script (they are the receptionist's
+    /// reaction to a fault, not a fault to inject) and go straight to
+    /// the inner channel's backup path.
+    util::Future<net::Message> submit_backup(const net::Message& request) override {
+        return inner_->submit_backup(request);
+    }
+
     void reset() override { inner_->reset(); }
     const std::string& name() const override { return inner_->name(); }
 

@@ -33,7 +33,8 @@ void fold_work_report(LibrarianWork& lw, const WorkReport& report,
 
 }  // namespace
 
-QueryAnswer Receptionist::rank_central_nothing(const rank::Query& query, std::size_t depth) {
+QueryAnswer Receptionist::rank_central_nothing(const rank::Query& query, std::size_t depth,
+                                               const QueryBudget* budget) {
     QueryAnswer answer;
     answer.trace.mode = options_.mode;
     answer.trace.index_phase.assign(channels_.size(), LibrarianWork{});
@@ -49,8 +50,8 @@ QueryAnswer Receptionist::rank_central_nothing(const rank::Query& query, std::si
     // concurrent; responses are gathered into librarian order, so the
     // merge below sees exactly what the sequential loop saw.
     const std::vector<std::optional<net::Message>> requests(channels_.size(), encoded);
-    auto responses =
-        broadcast_typed<RankResponse>(requests, answer.trace.index_phase, &answer.trace);
+    auto responses = broadcast_typed<RankResponse>(requests, answer.trace.index_phase,
+                                                   &answer.trace, budget);
     check_generations(responses, answer.trace);
 
     std::vector<std::vector<rank::SearchResult>> rankings(channels_.size());
@@ -69,8 +70,8 @@ QueryAnswer Receptionist::rank_central_nothing(const rank::Query& query, std::si
     return answer;
 }
 
-QueryAnswer Receptionist::rank_central_vocabulary(const rank::Query& query,
-                                                   std::size_t depth) {
+QueryAnswer Receptionist::rank_central_vocabulary(const rank::Query& query, std::size_t depth,
+                                                  const QueryBudget* budget) {
     QueryAnswer answer;
     answer.trace.mode = options_.mode;
     answer.trace.index_phase.assign(channels_.size(), LibrarianWork{});
@@ -92,8 +93,8 @@ QueryAnswer Receptionist::rank_central_vocabulary(const rank::Query& query,
     for (std::size_t s = 0; s < channels_.size(); ++s) {
         if (holders[s]) requests[s] = encoded;
     }
-    auto responses =
-        broadcast_typed<RankResponse>(requests, answer.trace.index_phase, &answer.trace);
+    auto responses = broadcast_typed<RankResponse>(requests, answer.trace.index_phase,
+                                                   &answer.trace, budget);
     check_generations(responses, answer.trace);
 
     std::vector<std::vector<rank::SearchResult>> rankings(channels_.size());
@@ -112,7 +113,8 @@ QueryAnswer Receptionist::rank_central_vocabulary(const rank::Query& query,
     return answer;
 }
 
-QueryAnswer Receptionist::rank_central_index(const rank::Query& query, std::size_t depth) {
+QueryAnswer Receptionist::rank_central_index(const rank::Query& query, std::size_t depth,
+                                             const QueryBudget* budget) {
     TERAPHIM_ASSERT_MSG(grouped_.has_value(), "CI receptionist not prepared");
     QueryAnswer answer;
     answer.trace.mode = options_.mode;
@@ -186,7 +188,7 @@ QueryAnswer Receptionist::rank_central_index(const rank::Query& query, std::size
         requests[s] = req.encode();
     }
     auto responses = broadcast_typed<CandidateResponse>(requests, answer.trace.index_phase,
-                                                        &answer.trace);
+                                                        &answer.trace, budget);
     check_generations(responses, answer.trace);
 
     std::vector<GlobalResult> scored;

@@ -38,6 +38,16 @@ Receptionist::Receptionist(std::vector<std::unique_ptr<Channel>> channels,
                 : std::min(options_.fanout_width, channels_.size());
         if (width > 1) pool_ = std::make_unique<util::ThreadPool>(width);
     }
+    if (options_.hedge.enabled) {
+        // Latency histograms exist independently of the metrics registry:
+        // the derived hedge delay must work in uninstrumented processes.
+        const auto bounds = obs::Histogram::default_latency_bounds_ms();
+        hedge_latency_.reserve(channels_.size());
+        for (std::size_t s = 0; s < channels_.size(); ++s) {
+            hedge_latency_.push_back(std::make_shared<obs::Histogram>(
+                std::vector<double>(bounds.begin(), bounds.end())));
+        }
+    }
     if (options_.cache.enabled) {
         query_cache_ = std::make_unique<cache::QueryCache>(options_.cache);
         term_cache_ = std::make_unique<cache::TermStatsCache>(options_.cache);
@@ -102,6 +112,11 @@ void Receptionist::resolve_metrics() {
         metrics_.cache_invalidations_stale =
             &reg->counter("teraphim_cache_invalidations_total", {{"reason", "stale_response"}});
     }
+    metrics_.shed_budget = &reg->counter("teraphim_shed_total", {{"reason", "budget"}});
+    metrics_.shed_overloaded = &reg->counter("teraphim_shed_total", {{"reason", "overloaded"}});
+    metrics_.overloaded_replies = &reg->counter("teraphim_overloaded_replies_total");
+    metrics_.hedges = &reg->counter("teraphim_hedges_total");
+    metrics_.hedge_wins = &reg->counter("teraphim_hedge_wins_total");
 }
 
 void Receptionist::flush_caches() {
@@ -186,6 +201,24 @@ std::optional<net::Message> Receptionist::give_up_slot(std::size_t librarian,
     return std::nullopt;
 }
 
+std::optional<net::Message> Receptionist::shed_slot(std::size_t librarian,
+                                                    std::uint32_t attempts,
+                                                    const std::string& reason,
+                                                    QueryTrace* trace,
+                                                    obs::Counter* shed_counter) {
+    // Shedding is the healthy-but-overloaded path: no librarian-failure
+    // counter, no breaker transition — only the shed family moves.
+    if (shed_counter != nullptr) shed_counter->inc();
+    if (trace == nullptr || !options_.fault.allow_partial) {
+        throw IoError("librarian " + channels_[librarian]->name() + " shed: " + reason);
+    }
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    trace->degraded.partial = true;
+    trace->degraded.failures.push_back(
+        {static_cast<std::uint32_t>(librarian), attempts, reason, /*shed=*/true});
+    return std::nullopt;
+}
+
 bool Receptionist::admit(std::size_t librarian, LibrarianWork& work, QueryTrace* trace) {
     util::Timer timer;
     const bool admitted = admit_impl(librarian, work, trace);
@@ -214,6 +247,15 @@ bool Receptionist::admit_impl(std::size_t librarian, LibrarianWork& work, QueryT
         net::Message ping;
         ping.type = net::MessageType::Ping;
         const net::Message reply = exchange_counted(librarian, ping, work);
+        if (reply.type == net::MessageType::Overloaded) {
+            // The librarian is alive enough to refuse work: that is a
+            // successful probe for breaker purposes, but this query
+            // sheds the slot rather than queueing behind the overload.
+            breaker.record_success();
+            shed_slot(librarian, 0, "overloaded (health probe)", trace,
+                      metrics_.shed_overloaded);
+            return false;
+        }
         if (reply.type != net::MessageType::Pong) {
             throw ProtocolError("health probe: unexpected reply type " +
                                 std::to_string(static_cast<int>(reply.type)));
@@ -230,89 +272,266 @@ bool Receptionist::admit_impl(std::size_t librarian, LibrarianWork& work, QueryT
 
 std::optional<net::Message> Receptionist::exchange_with_retry(
     std::size_t librarian, const net::Message& request, LibrarianWork& work,
-    QueryTrace* trace, const std::function<void(const net::Message&)>& validate) {
-    if (!admit(librarian, work, trace)) return std::nullopt;
-
-    const FaultToleranceOptions& ft = options_.fault;
-    CircuitBreaker& breaker = breakers_[librarian];
-    const std::uint32_t max_attempts = std::max(1u, ft.retry.max_attempts);
-    std::string last_reason;
-    for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
-        if (attempt > 1) {
-            if (metrics_.retries != nullptr) metrics_.retries->inc();
-            if (trace != nullptr) {
-                std::lock_guard<std::mutex> lock(trace_mu_);
-                ++trace->degraded.retries;
-            }
-            // The previous exchange may have left the transport
-            // mid-frame; start from a clean connection.
-            channels_[librarian]->reset();
-            const auto delay = ft.retry.backoff(attempt - 1, librarian);
-            if (delay.count() > 0) std::this_thread::sleep_for(delay);
-        }
-        try {
-            net::Message response = exchange_counted(librarian, request, work);
-            if (validate) validate(response);
-            breaker.record_success();
-            note_breaker(librarian);
-            return response;
-        } catch (const RemoteError&) {
-            // The librarian is up and explicitly refused the request;
-            // retrying cannot help and the breaker should not trip.
-            breaker.record_success();
-            note_breaker(librarian);
-            throw;
-        } catch (const Error& e) {
-            // Transient: lost/garbled frame, expired deadline, vanished
-            // connection. Note the reason and go around.
-            breaker.record_failure();
-            note_breaker(librarian);
-            last_reason = e.what();
-        }
+    QueryTrace* trace, const std::function<void(const net::Message&)>& validate,
+    const QueryBudget* budget) {
+    // A slot whose budget is already spent is shed before any admission
+    // work (half-open probes included) is spent on it.
+    if (budget != nullptr && budget->enabled() && budget->expired()) {
+        return shed_slot(librarian, 0, "deadline budget exhausted", trace,
+                         metrics_.shed_budget);
     }
-    channels_[librarian]->reset();
-    return give_up_slot(librarian, max_attempts, last_reason, trace);
+    if (!admit(librarian, work, trace)) return std::nullopt;
+    // Submit-then-gather through the shared retry stack: the blocking
+    // shapes are the multiplexed gather with the submit done inline,
+    // which is what makes budgets and hedging uniform across fan-outs.
+    return gather_with_retry(librarian, request,
+                             submit_counted(librarian, request, work, budget), work, trace,
+                             validate, budget);
 }
 
 util::Future<net::Message> Receptionist::submit_counted(std::size_t librarian,
                                                         const net::Message& request,
-                                                        LibrarianWork& work) {
+                                                        LibrarianWork& work,
+                                                        const QueryBudget* budget,
+                                                        bool backup) {
     work.participated = true;
     work.request_bytes += request.wire_bytes();
     ++work.messages;
-    return channels_[librarian]->submit(request);
+    Channel& channel = *channels_[librarian];
+    util::Future<net::Message> fut;
+    if (budget != nullptr && budget->enabled()) {
+        // Stamp the remaining budget into the frame header so every hop
+        // downstream (MessageServer admission, librarian dispatch) can
+        // shed work that cannot finish in time. The header is fixed
+        // size, so stamping never changes wire_bytes() accounting.
+        net::Message stamped = request;
+        stamped.budget_ms = budget->wire_budget_ms();
+        fut = backup ? channel.submit_backup(stamped) : channel.submit(stamped);
+    } else {
+        fut = backup ? channel.submit_backup(request) : channel.submit(request);
+    }
+    if (!hedge_latency_.empty() && !backup) {
+        // Feed the derived hedge delay. Runs on whichever thread
+        // completes the promise; Histogram::observe is atomic. The
+        // callback holds shared ownership — it may fire during transport
+        // teardown, after this receptionist is destroyed.
+        std::shared_ptr<obs::Histogram> hist = hedge_latency_[librarian];
+        const auto t0 = std::chrono::steady_clock::now();
+        fut.on_ready([hist, t0] {
+            const auto elapsed = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0);
+            hist->observe(elapsed.count());
+        });
+    }
+    return fut;
+}
+
+std::chrono::milliseconds Receptionist::hedge_delay(std::size_t librarian) const {
+    const HedgeOptions& h = options_.hedge;
+    if (h.delay_ms > 0) return std::chrono::milliseconds(h.delay_ms);
+    const obs::Histogram* hist = hedge_latency_[librarian].get();
+    if (hist->count() < h.min_observations) {
+        return std::chrono::milliseconds(h.initial_delay_ms);
+    }
+    const double p = hist->quantile(h.quantile);
+    const auto ms = static_cast<std::int64_t>(p) + 1;  // round up: hedge after p95, not at it
+    return std::chrono::milliseconds(
+        std::max<std::int64_t>(ms, static_cast<std::int64_t>(h.min_delay_ms)));
+}
+
+namespace {
+
+/// Rendezvous for a primary/backup race: each leg signals its index on
+/// completion; the waiter learns which finished first (and can wait for
+/// the second, to drain a loser before falling back to it).
+struct HedgeRace {
+    std::mutex mu;
+    std::condition_variable cv;
+    int completed = 0;
+    int first = -1;
+
+    void signal(int idx) {
+        {
+            std::lock_guard<std::mutex> lock(mu);
+            ++completed;
+            if (first < 0) first = idx;
+        }
+        cv.notify_all();
+    }
+    int wait_first() {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return completed > 0; });
+        return first;
+    }
+    bool wait_first_for(std::chrono::milliseconds timeout) {
+        std::unique_lock<std::mutex> lock(mu);
+        return cv.wait_for(lock, timeout, [&] { return completed > 0; });
+    }
+    int first_done() {
+        std::lock_guard<std::mutex> lock(mu);
+        return first;
+    }
+    void wait_second() {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return completed >= 2; });
+    }
+};
+
+}  // namespace
+
+net::Message Receptionist::await_reply(std::size_t librarian, const net::Message& request,
+                                       util::Future<net::Message>& fut, LibrarianWork& work,
+                                       QueryTrace* trace, const QueryBudget* budget,
+                                       std::uint32_t attempt) {
+    const bool budgeted = budget != nullptr && budget->enabled();
+    const bool may_hedge = options_.hedge.enabled && attempt == 1;
+    if (!may_hedge) {
+        if (!budgeted) return fut.get();
+        if (!fut.wait_for(budget->remaining())) {
+            throw BudgetExpiredError("deadline budget exhausted waiting for " +
+                                     channels_[librarian]->name());
+        }
+        return fut.get();
+    }
+
+    // Hedge path: give the primary its delay, then race a backup.
+    auto delay = hedge_delay(librarian);
+    if (budgeted) delay = std::min(delay, budget->remaining());
+    if (fut.wait_for(delay)) return fut.get();
+    if (budgeted && budget->expired()) {
+        throw BudgetExpiredError("deadline budget exhausted waiting for " +
+                                 channels_[librarian]->name());
+    }
+    if (metrics_.hedges != nullptr) metrics_.hedges->inc();
+    if (trace != nullptr) {
+        std::lock_guard<std::mutex> lock(trace_mu_);
+        ++trace->hedges;
+    }
+    util::Future<net::Message> backup =
+        submit_counted(librarian, request, work, budget, /*backup=*/true);
+    auto race = std::make_shared<HedgeRace>();
+    fut.on_ready([race] { race->signal(0); });
+    backup.on_ready([race] { race->signal(1); });
+    if (budgeted) {
+        if (!race->wait_first_for(budget->remaining())) {
+            throw BudgetExpiredError("deadline budget exhausted during hedge for " +
+                                     channels_[librarian]->name());
+        }
+    } else {
+        race->wait_first();
+    }
+    const int winner_idx = race->first_done();
+    util::Future<net::Message>* winner = winner_idx == 0 ? &fut : &backup;
+    util::Future<net::Message>* loser = winner_idx == 0 ? &backup : &fut;
+    const auto note_win = [&](bool backup_won) {
+        if (!backup_won) return;
+        if (metrics_.hedge_wins != nullptr) metrics_.hedge_wins->inc();
+        if (trace != nullptr) {
+            std::lock_guard<std::mutex> lock(trace_mu_);
+            ++trace->hedge_wins;
+        }
+    };
+    try {
+        net::Message response = winner->get();
+        note_win(winner_idx == 1);
+        return response;
+    } catch (const Error&) {
+        // The first leg to complete completed with an error; give the
+        // other leg a chance before declaring the attempt failed. Its
+        // error (if any) propagates instead.
+        if (budgeted) {
+            if (!loser->wait_for(budget->remaining())) {
+                throw BudgetExpiredError("deadline budget exhausted during hedge for " +
+                                         channels_[librarian]->name());
+            }
+        } else {
+            race->wait_second();
+        }
+        net::Message response = loser->get();
+        note_win(winner_idx == 0);  // the backup was the surviving leg
+        return response;
+    }
 }
 
 std::optional<net::Message> Receptionist::gather_with_retry(
     std::size_t librarian, const net::Message& request, util::Future<net::Message> first,
     LibrarianWork& work, QueryTrace* trace,
-    const std::function<void(const net::Message&)>& validate) {
+    const std::function<void(const net::Message&)>& validate, const QueryBudget* budget) {
     const FaultToleranceOptions& ft = options_.fault;
     CircuitBreaker& breaker = breakers_[librarian];
     const std::uint32_t max_attempts = std::max(1u, ft.retry.max_attempts);
     std::string last_reason;
     util::Future<net::Message> fut = std::move(first);
+    // Set when the coming retry answers an Overloaded reply: the
+    // transport is healthy, so no reset and no backoff — the librarian's
+    // retry-after hint already paced us.
+    bool overloaded_retry = false;
     for (std::uint32_t attempt = 1; attempt <= max_attempts; ++attempt) {
         if (attempt > 1) {
-            // Same policy, counters and ordering as exchange_with_retry;
-            // only the transport call is split into submit + wait.
             if (metrics_.retries != nullptr) metrics_.retries->inc();
             if (trace != nullptr) {
                 std::lock_guard<std::mutex> lock(trace_mu_);
                 ++trace->degraded.retries;
             }
-            channels_[librarian]->reset();
-            const auto delay = ft.retry.backoff(attempt - 1, librarian);
-            if (delay.count() > 0) std::this_thread::sleep_for(delay);
-            fut = submit_counted(librarian, request, work);
+            if (!overloaded_retry) {
+                // The previous exchange may have left the transport
+                // mid-frame; start from a clean connection.
+                channels_[librarian]->reset();
+                const auto delay = ft.retry.backoff(attempt - 1, librarian);
+                if (budget != nullptr && budget->enabled()) {
+                    if (budget->expired()) {
+                        return shed_slot(librarian, attempt - 1,
+                                         "deadline budget exhausted before retry", trace,
+                                         metrics_.shed_budget);
+                    }
+                    const auto clamped = std::min(delay, budget->remaining());
+                    if (clamped.count() > 0) std::this_thread::sleep_for(clamped);
+                } else if (delay.count() > 0) {
+                    std::this_thread::sleep_for(delay);
+                }
+            }
+            overloaded_retry = false;
+            fut = submit_counted(librarian, request, work, budget);
         }
         try {
-            net::Message response = fut.get();
+            net::Message response =
+                await_reply(librarian, request, fut, work, trace, budget, attempt);
             work.response_bytes += response.wire_bytes();
+            if (response.type == net::MessageType::Overloaded) {
+                // Shed-not-failed: the librarian is alive and explicitly
+                // refusing work, which must never look like a failure to
+                // its circuit breaker. Intercepted before validate so the
+                // decoder's expect_type cannot turn it into a retried
+                // (and breaker-feeding) ProtocolError.
+                breaker.record_success();
+                note_breaker(librarian);
+                if (metrics_.overloaded_replies != nullptr) metrics_.overloaded_replies->inc();
+                const net::OverloadedInfo info = net::OverloadedInfo::from_message(response);
+                const auto hint = std::chrono::milliseconds(info.retry_after_ms);
+                const bool budget_allows =
+                    budget == nullptr || !budget->enabled() || budget->remaining() > hint;
+                if (options_.overload.retry_overloaded && attempt < max_attempts &&
+                    budget_allows) {
+                    if (hint.count() > 0) std::this_thread::sleep_for(hint);
+                    last_reason = std::string("overloaded (") +
+                                  std::string(net::overload_reason_name(info.reason)) + ")";
+                    overloaded_retry = true;
+                    continue;
+                }
+                return shed_slot(librarian, attempt,
+                                 std::string("overloaded (") +
+                                     std::string(net::overload_reason_name(info.reason)) + ")",
+                                 trace, metrics_.shed_overloaded);
+            }
             if (validate) validate(response);
             breaker.record_success();
             note_breaker(librarian);
             return response;
+        } catch (const BudgetExpiredError& e) {
+            // Out of time, not out of librarian: shed without touching
+            // the breaker. The in-flight request is left to complete (or
+            // fail) on its own; the mux layer discards orphan replies.
+            return shed_slot(librarian, attempt, e.what(), trace, metrics_.shed_budget);
         } catch (const RemoteError&) {
             breaker.record_success();
             note_breaker(librarian);
@@ -355,7 +574,8 @@ void Receptionist::scatter(std::size_t n, QueryTrace* trace,
 std::vector<std::optional<net::Message>> Receptionist::broadcast(
     const std::vector<std::optional<net::Message>>& requests,
     std::vector<LibrarianWork>& work, QueryTrace* trace,
-    const std::function<void(std::size_t, const net::Message&)>& validate) {
+    const std::function<void(std::size_t, const net::Message&)>& validate,
+    const QueryBudget* budget) {
     TERAPHIM_ASSERT(requests.size() == channels_.size());
     TERAPHIM_ASSERT(work.size() == channels_.size());
 
@@ -378,7 +598,8 @@ std::vector<std::optional<net::Message>> Receptionist::broadcast(
                     validate(s, reply);
                 };
             }
-            responses[s] = exchange_with_retry(s, *requests[s], work[s], trace, slot_validate);
+            responses[s] =
+                exchange_with_retry(s, *requests[s], work[s], trace, slot_validate, budget);
         });
         return responses;
     }
@@ -394,8 +615,14 @@ std::vector<std::optional<net::Message>> Receptionist::broadcast(
     {
         obs::Span submit_span(trace != nullptr ? &trace->timing.submit_ms : nullptr);
         for (const std::size_t s : active) {
+            if (budget != nullptr && budget->enabled() && budget->expired()) {
+                // No point admitting (or probing) a slot the deadline
+                // already forecloses; shed it at the submit sweep.
+                shed_slot(s, 0, "deadline budget exhausted", trace, metrics_.shed_budget);
+                continue;
+            }
             if (!admit(s, work[s], trace)) continue;
-            futures[s] = submit_counted(s, *requests[s], work[s]);
+            futures[s] = submit_counted(s, *requests[s], work[s], budget);
         }
     }
     obs::Span gather_span(trace != nullptr ? &trace->timing.gather_ms : nullptr);
@@ -406,7 +633,7 @@ std::vector<std::optional<net::Message>> Receptionist::broadcast(
             slot_validate = [&validate, s](const net::Message& reply) { validate(s, reply); };
         }
         responses[s] = gather_with_retry(s, *requests[s], std::move(*futures[s]), work[s],
-                                         trace, slot_validate);
+                                         trace, slot_validate, budget);
     }
     gather_span.stop();
     restore_failure_order(trace, failures_before);
@@ -584,7 +811,8 @@ std::vector<rank::WeightedQueryTerm> Receptionist::global_weights(
     return weighted;
 }
 
-QueryAnswer Receptionist::rank_impl(std::string_view query_text, std::size_t depth) {
+QueryAnswer Receptionist::rank_impl(std::string_view query_text, std::size_t depth,
+                                    const QueryBudget* budget) {
     TERAPHIM_ASSERT_MSG(prepared_, "call prepare() before querying");
     double parse_ms = 0.0;
     rank::Query query;
@@ -614,13 +842,13 @@ QueryAnswer Receptionist::rank_impl(std::string_view query_text, std::size_t dep
     switch (options_.mode) {
         case Mode::MonoServer:
         case Mode::CentralNothing:
-            answer = rank_central_nothing(query, depth);
+            answer = rank_central_nothing(query, depth, budget);
             break;
         case Mode::CentralVocabulary:
-            answer = rank_central_vocabulary(query, depth);
+            answer = rank_central_vocabulary(query, depth, budget);
             break;
         case Mode::CentralIndex:
-            answer = rank_central_index(query, depth);
+            answer = rank_central_index(query, depth, budget);
             break;
         default:
             throw Error("unknown mode");
@@ -640,26 +868,35 @@ QueryAnswer Receptionist::rank_impl(std::string_view query_text, std::size_t dep
 }
 
 QueryAnswer Receptionist::rank(std::string_view query_text, std::size_t depth) {
+    return rank(query_text, depth, QueryBudget::start(options_.overload.total_budget_ms));
+}
+
+QueryAnswer Receptionist::rank(std::string_view query_text, std::size_t depth,
+                               const QueryBudget& budget) {
     util::Timer timer;
-    QueryAnswer answer = rank_impl(query_text, depth);
+    QueryAnswer answer = rank_impl(query_text, depth, &budget);
     answer.trace.timing.total_ms = timer.elapsed_ms();
     observe_query(answer.trace);
     return answer;
 }
 
 QueryAnswer Receptionist::search(std::string_view query_text) {
+    return search(query_text, QueryBudget::start(options_.overload.total_budget_ms));
+}
+
+QueryAnswer Receptionist::search(std::string_view query_text, const QueryBudget& budget) {
     util::Timer timer;
-    QueryAnswer answer = rank_impl(query_text, options_.answers);
+    QueryAnswer answer = rank_impl(query_text, options_.answers, &budget);
     {
         obs::Span fetch_span(&answer.trace.timing.fetch_ms);
-        fetch_documents(answer);
+        fetch_documents(answer, &budget);
     }
     answer.trace.timing.total_ms = timer.elapsed_ms();
     observe_query(answer.trace);
     return answer;
 }
 
-void Receptionist::fetch_documents(QueryAnswer& answer) {
+void Receptionist::fetch_documents(QueryAnswer& answer, const QueryBudget* budget) {
     answer.trace.fetch_phase.assign(channels_.size(), FetchWork{});
 
     // Group the wanted documents by owning librarian, preserving enough
@@ -722,7 +959,7 @@ void Receptionist::fetch_documents(QueryAnswer& answer) {
         req.docs = batches[b].docs;
         req.send_compressed = options_.compressed_fetch;
         responses[b] = call_librarian<FetchResponse>(batches[b].librarian, req.encode(),
-                                                     scratch[b], answer.trace);
+                                                     scratch[b], answer.trace, budget);
     };
 
     switch (effective_mode()) {
@@ -754,8 +991,13 @@ void Receptionist::fetch_documents(QueryAnswer& answer) {
                 req.docs = batches[b].docs;
                 req.send_compressed = options_.compressed_fetch;
                 encoded[b] = req.encode();
+                if (budget != nullptr && budget->enabled() && budget->expired()) {
+                    shed_slot(batches[b].librarian, 0, "deadline budget exhausted",
+                              &answer.trace, metrics_.shed_budget);
+                    continue;
+                }
                 if (!admit(batches[b].librarian, scratch[b], &answer.trace)) continue;
-                futures[b] = submit_counted(batches[b].librarian, encoded[b], scratch[b]);
+                futures[b] = submit_counted(batches[b].librarian, encoded[b], scratch[b], budget);
             }
             for (std::size_t b = 0; b < batches.size(); ++b) {
                 if (!futures[b].has_value()) continue;
@@ -764,7 +1006,8 @@ void Receptionist::fetch_documents(QueryAnswer& answer) {
                                   scratch[b], &answer.trace,
                                   [&out](const net::Message& reply) {
                                       out.emplace(FetchResponse::decode(reply));
-                                  });
+                                  },
+                                  budget);
             }
             restore_failure_order(&answer.trace, failures_before);
             break;

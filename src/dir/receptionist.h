@@ -59,6 +59,15 @@ public:
     /// a future that completes with the reply or the transport error.
     virtual util::Future<net::Message> submit(const net::Message& request) = 0;
 
+    /// Submits a hedged backup request. Transports that can afford a
+    /// second path to the same librarian (TcpChannel keeps a second
+    /// MuxConnection) send it there, so a backup can overtake a primary
+    /// wedged behind a slow socket; the default is a plain submit() on
+    /// the shared path.
+    virtual util::Future<net::Message> submit_backup(const net::Message& request) {
+        return submit(request);
+    }
+
     /// Synchronous exchange — submit and wait. Kept as the convenient
     /// shape for callers that want one answer before proceeding.
     net::Message exchange(const net::Message& request) { return submit(request).get(); }
@@ -89,6 +98,46 @@ struct FaultToleranceOptions {
     // channels; 0 disables the deadline).
     int connect_timeout_ms = 2000;
     int io_timeout_ms = 0;  ///< send/recv deadline per exchange
+};
+
+/// Deadline-budget and load-shedding knobs (DESIGN.md §13). A query's
+/// total budget bounds every wait in its fan-out: requests are stamped
+/// with the remaining budget (frame header), backoff sleeps are clamped
+/// to it, and a slot whose budget runs out is *shed* — recorded in
+/// DegradedInfo with shed = true, never counted against the librarian's
+/// circuit breaker.
+struct OverloadOptions {
+    /// Total wall-clock budget per query, milliseconds. 0 (default)
+    /// disables budgets entirely — no stamping, no bounded waits.
+    std::uint32_t total_budget_ms = 0;
+
+    /// Whether an Overloaded reply may be retried (after its retry-after
+    /// hint, within the remaining budget and attempt count). When false
+    /// the slot is shed on the first Overloaded reply.
+    bool retry_overloaded = true;
+};
+
+/// Hedged-request policy (DESIGN.md §13). When enabled, a fan-out slot
+/// that has not answered within the hedge delay gets a backup request
+/// on the librarian's second path (Channel::submit_backup); the first
+/// reply wins and the loser is discarded by correlation id. Rankings
+/// are byte-identical to unhedged runs — hedging changes *when* a reply
+/// arrives, never *what* it contains.
+struct HedgeOptions {
+    bool enabled = false;
+
+    /// Fixed hedge delay in ms. 0 (default) derives the delay from the
+    /// librarian's observed latency histogram instead.
+    std::uint32_t delay_ms = 0;
+
+    /// Quantile of the per-librarian latency histogram used as the
+    /// derived delay (0.95: hedge the slowest ~5% of requests).
+    double quantile = 0.95;
+
+    /// Delay used until a librarian has `min_observations` samples.
+    std::uint32_t initial_delay_ms = 50;
+    std::uint32_t min_delay_ms = 1;
+    std::uint64_t min_observations = 20;
 };
 
 /// How the receptionist executes a fan-out. All three produce
@@ -129,6 +178,12 @@ struct ReceptionistOptions {
     std::size_t fanout_width = 0;
 
     FaultToleranceOptions fault;
+
+    /// Deadline budgets + Overloaded-reply handling (DESIGN.md §13).
+    OverloadOptions overload;
+
+    /// Hedged backup requests for slow fan-out slots (DESIGN.md §13).
+    HedgeOptions hedge;
 
     /// Answer/term-statistics caching (src/cache). Off by default: with
     /// `cache.enabled == false` no cache objects exist and every query
@@ -185,10 +240,19 @@ public:
 
     /// Steps 1-3: produce the global ranking to `depth` (without
     /// fetching documents). Table 1 uses depth 1000; Tables 3-4 use 20.
+    /// Starts a fresh deadline budget from overload.total_budget_ms.
     QueryAnswer rank(std::string_view query_text, std::size_t depth);
+
+    /// rank() under a caller-supplied budget — lets an open-loop client
+    /// start the clock at *arrival* time, so queueing ahead of the
+    /// receptionist counts against the deadline too.
+    QueryAnswer rank(std::string_view query_text, std::size_t depth, const QueryBudget& budget);
 
     /// Steps 1-4: rank, then fetch the top `answers` documents.
     QueryAnswer search(std::string_view query_text);
+
+    /// search() under a caller-supplied budget (see the rank overload).
+    QueryAnswer search(std::string_view query_text, const QueryBudget& budget);
 
     /// Distributed Boolean query: the union of the librarians' result
     /// sets (Section 1).
@@ -269,6 +333,12 @@ private:
         std::vector<obs::Counter*> metrics_pull_failures;  ///< per librarian
         obs::Counter* cache_invalidations_prepare = nullptr;
         obs::Counter* cache_invalidations_stale = nullptr;
+        // Overload resilience (DESIGN.md §13).
+        obs::Counter* shed_budget = nullptr;      ///< teraphim_shed_total{reason="budget"}
+        obs::Counter* shed_overloaded = nullptr;  ///< teraphim_shed_total{reason="overloaded"}
+        obs::Counter* overloaded_replies = nullptr;
+        obs::Counter* hedges = nullptr;
+        obs::Counter* hedge_wins = nullptr;
     };
 
     void resolve_metrics();
@@ -279,11 +349,15 @@ private:
 
     /// rank() without the end-of-query metrics observation, so search()
     /// can append the fetch stage and observe the whole query once.
-    QueryAnswer rank_impl(std::string_view query_text, std::size_t depth);
+    QueryAnswer rank_impl(std::string_view query_text, std::size_t depth,
+                          const QueryBudget* budget);
 
-    QueryAnswer rank_central_nothing(const rank::Query& query, std::size_t depth);
-    QueryAnswer rank_central_vocabulary(const rank::Query& query, std::size_t depth);
-    QueryAnswer rank_central_index(const rank::Query& query, std::size_t depth);
+    QueryAnswer rank_central_nothing(const rank::Query& query, std::size_t depth,
+                                     const QueryBudget* budget);
+    QueryAnswer rank_central_vocabulary(const rank::Query& query, std::size_t depth,
+                                        const QueryBudget* budget);
+    QueryAnswer rank_central_index(const rank::Query& query, std::size_t depth,
+                                   const QueryBudget* budget);
 
     /// Resolves global weights from the merged vocabulary; also reports
     /// which librarians hold at least one query term. Per-term results
@@ -314,7 +388,7 @@ private:
         }
     }
 
-    void fetch_documents(QueryAnswer& answer);
+    void fetch_documents(QueryAnswer& answer, const QueryBudget* budget);
 
     net::Message exchange_counted(std::size_t librarian, const net::Message& request,
                                   LibrarianWork& work);
@@ -339,20 +413,50 @@ private:
     std::optional<net::Message> give_up_slot(std::size_t librarian, std::uint32_t attempts,
                                              const std::string& reason, QueryTrace* trace);
 
-    /// Counts the request into `work` (participation, bytes, messages)
-    /// and submits it on the librarian's channel.
+    /// Records one *shed* librarian (deadline budget spent, or an
+    /// Overloaded reply): like give_up_slot but marks the entry
+    /// shed = true and never touches the circuit breaker. `shed_counter`
+    /// is the teraphim_shed_total{reason=...} family member to bump.
+    std::optional<net::Message> shed_slot(std::size_t librarian, std::uint32_t attempts,
+                                          const std::string& reason, QueryTrace* trace,
+                                          obs::Counter* shed_counter);
+
+    /// Counts the request into `work` (participation, bytes, messages),
+    /// stamps the remaining budget into the frame header, and submits it
+    /// on the librarian's channel (backup path when `backup`). When
+    /// hedging is on, primary submissions also feed the per-librarian
+    /// latency histogram on completion.
     util::Future<net::Message> submit_counted(std::size_t librarian,
                                               const net::Message& request,
-                                              LibrarianWork& work);
+                                              LibrarianWork& work,
+                                              const QueryBudget* budget,
+                                              bool backup = false);
+
+    /// The hedge delay for one librarian: the fixed delay_ms if set,
+    /// otherwise the configured quantile of the librarian's observed
+    /// latency (initial_delay_ms until enough samples exist).
+    std::chrono::milliseconds hedge_delay(std::size_t librarian) const;
+
+    /// Waits for one fan-out reply, bounded by the remaining budget
+    /// (throws BudgetExpiredError when it runs out) and — on the first
+    /// attempt with hedging enabled — racing a backup request against a
+    /// primary that outlives the hedge delay. Transport errors from the
+    /// winning leg propagate as usual.
+    net::Message await_reply(std::size_t librarian, const net::Message& request,
+                             util::Future<net::Message>& fut, LibrarianWork& work,
+                             QueryTrace* trace, const QueryBudget* budget,
+                             std::uint32_t attempt);
 
     /// Gather half of the multiplexed fault-tolerance stack: waits on
     /// `first` (the future from the submit sweep) and applies the same
     /// retry/breaker/degradation policy as exchange_with_retry,
-    /// resubmitting on transient failure.
+    /// resubmitting on transient failure. Budget exhaustion and
+    /// Overloaded replies shed the slot instead of failing it.
     std::optional<net::Message> gather_with_retry(
         std::size_t librarian, const net::Message& request,
         util::Future<net::Message> first, LibrarianWork& work, QueryTrace* trace,
-        const std::function<void(const net::Message&)>& validate);
+        const std::function<void(const net::Message&)>& validate,
+        const QueryBudget* budget);
 
     /// Restores the deterministic (librarian-ordered) failure record for
     /// entries appended after `failures_before`, so every fan-out shape
@@ -372,19 +476,22 @@ private:
     /// librarian) is never retried and always propagates.
     std::optional<net::Message> exchange_with_retry(
         std::size_t librarian, const net::Message& request, LibrarianWork& work,
-        QueryTrace* trace, const std::function<void(const net::Message&)>& validate = {});
+        QueryTrace* trace, const std::function<void(const net::Message&)>& validate = {},
+        const QueryBudget* budget = nullptr);
 
     /// exchange_with_retry + typed decode; nullopt when the librarian
     /// was dropped from this query.
     template <typename Response>
     std::optional<Response> call_librarian(std::size_t librarian,
                                            const net::Message& request, LibrarianWork& work,
-                                           QueryTrace& trace) {
+                                           QueryTrace& trace,
+                                           const QueryBudget* budget = nullptr) {
         std::optional<Response> out;
         exchange_with_retry(librarian, request, work, &trace,
                             [&out](const net::Message& reply) {
                                 out.emplace(Response::decode(reply));
-                            });
+                            },
+                            budget);
         return out;
     }
 
@@ -400,19 +507,22 @@ private:
     std::vector<std::optional<net::Message>> broadcast(
         const std::vector<std::optional<net::Message>>& requests,
         std::vector<LibrarianWork>& work, QueryTrace* trace,
-        const std::function<void(std::size_t, const net::Message&)>& validate = {});
+        const std::function<void(std::size_t, const net::Message&)>& validate = {},
+        const QueryBudget* budget = nullptr);
 
     /// broadcast + typed decode per slot; a disengaged result means the
     /// slot had no request or its librarian was dropped.
     template <typename Response>
     std::vector<std::optional<Response>> broadcast_typed(
         const std::vector<std::optional<net::Message>>& requests,
-        std::vector<LibrarianWork>& work, QueryTrace* trace) {
+        std::vector<LibrarianWork>& work, QueryTrace* trace,
+        const QueryBudget* budget = nullptr) {
         std::vector<std::optional<Response>> out(channels_.size());
         broadcast(requests, work, trace,
                   [&out](std::size_t s, const net::Message& reply) {
                       out[s].emplace(Response::decode(reply));
-                  });
+                  },
+                  budget);
         return out;
     }
 
@@ -430,6 +540,15 @@ private:
     std::unique_ptr<util::ThreadPool> pool_;  ///< Pooled-mode workers; null otherwise
     std::mutex trace_mu_;  ///< guards the shared DegradedInfo during a fan-out
     StageMetrics metrics_;  ///< resolved once against obs::global()
+
+    /// Per-librarian reply-latency histograms feeding the derived hedge
+    /// delay; sized only when options_.hedge.enabled. Observed from
+    /// on_ready callbacks (possibly a mux reader thread) — Histogram is
+    /// atomic, so no locking. Shared, not unique: an abandoned hedge
+    /// future may complete during transport teardown, after this
+    /// receptionist is gone, and its callback must still have a live
+    /// histogram to write into.
+    std::vector<std::shared_ptr<obs::Histogram>> hedge_latency_;
 
     // Caches (null when options_.cache.enabled is false) and the
     // pre-rendered fingerprint prefixes covering every ranking-relevant

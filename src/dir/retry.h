@@ -8,13 +8,77 @@
 // per query. Both components are deterministic: backoff jitter is
 // derived from a seed, and the breaker reopens on a probe count rather
 // than wall-clock time, so every fault-injection test is reproducible.
+// Deadline budgets ride alongside: a QueryBudget is the query-wide
+// deadline every exchange, backoff sleep, and hedge wait is clamped to,
+// and BudgetExpiredError is the internal signal that a wait ran out of
+// budget — shed, not failed, so it never feeds a circuit breaker.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
 
+#include "util/error.h"
+
 namespace teraphim::dir {
+
+/// Total wall-clock budget of one query. Constructed when the query
+/// enters the receptionist; every hop receives the *remaining* budget
+/// (stamped into the frame header, net/message.h) and work that would
+/// start after the deadline is shed instead of executed. A default
+/// constructed budget is unlimited and all checks are no-ops.
+class QueryBudget {
+public:
+    QueryBudget() = default;
+
+    /// Starts a `total_ms` budget ending at now + total_ms. 0 gives the
+    /// unlimited budget.
+    static QueryBudget start(std::uint32_t total_ms) {
+        QueryBudget b;
+        if (total_ms > 0) {
+            b.enabled_ = true;
+            b.deadline_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(total_ms);
+        }
+        return b;
+    }
+
+    bool enabled() const { return enabled_; }
+
+    bool expired() const {
+        return enabled_ && std::chrono::steady_clock::now() >= deadline_;
+    }
+
+    /// Milliseconds left, clamped to >= 0. Unlimited budgets report a
+    /// very large value so min(x, remaining()) degrades to x.
+    std::chrono::milliseconds remaining() const {
+        if (!enabled_) return std::chrono::milliseconds::max();
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline_ - std::chrono::steady_clock::now());
+        return std::max(left, std::chrono::milliseconds(0));
+    }
+
+    /// The value to stamp into Message::budget_ms: at least 1, because 0
+    /// means "no budget" on the wire. Callers shed before sending when
+    /// expired(), so the clamp only papers over sub-millisecond slivers.
+    std::uint32_t wire_budget_ms() const {
+        const auto ms = remaining().count();
+        return static_cast<std::uint32_t>(std::clamp<std::int64_t>(ms, 1, UINT32_MAX));
+    }
+
+private:
+    std::chrono::steady_clock::time_point deadline_{};
+    bool enabled_ = false;
+};
+
+/// A wait (exchange, gather, backoff) ran out of deadline budget. This
+/// is load shedding, not librarian failure: the retry layer records the
+/// slot as shed in DegradedInfo and does NOT count it against the
+/// librarian's circuit breaker.
+class BudgetExpiredError : public Error {
+public:
+    explicit BudgetExpiredError(const std::string& what) : Error(what) {}
+};
 
 /// How many times to attempt an exchange and how long to wait between
 /// attempts. Defaults retry twice (three attempts) with 10ms base

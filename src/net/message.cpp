@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "net/serialize.h"
 #include "util/error.h"
 
 namespace teraphim::net {
@@ -28,6 +29,7 @@ void Message::encode_header(std::uint8_t* out, std::uint32_t correlation_id) con
     out[6] = static_cast<std::uint8_t>(t & 0xFF);
     out[7] = static_cast<std::uint8_t>(t >> 8);
     put_u32(out + 8, correlation_id);
+    put_u32(out + 12, budget_ms);
 }
 
 Message::Header Message::decode_header(const std::uint8_t* in) {
@@ -40,11 +42,47 @@ Message::Header Message::decode_header(const std::uint8_t* in) {
     h.type = static_cast<MessageType>(static_cast<std::uint16_t>(in[6]) |
                                       (static_cast<std::uint16_t>(in[7]) << 8));
     h.correlation = get_u32(in + 8);
+    h.budget_ms = get_u32(in + 12);
     if (h.payload_length > kMaxPayloadBytes) {
         throw ProtocolError("frame payload length " + std::to_string(h.payload_length) +
                             " exceeds protocol maximum");
     }
     return h;
+}
+
+Message OverloadedInfo::to_message(std::uint32_t correlation) const {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(reason));
+    w.u32(retry_after_ms);
+    Message m;
+    m.type = MessageType::Overloaded;
+    m.correlation = correlation;
+    m.payload = w.take();
+    return m;
+}
+
+OverloadedInfo OverloadedInfo::from_message(const Message& m) {
+    if (m.type != MessageType::Overloaded) {
+        throw ProtocolError("OverloadedInfo::from_message on a non-Overloaded frame");
+    }
+    Reader r(m.payload);
+    OverloadedInfo info;
+    const std::uint8_t raw = r.u8();
+    if (raw > static_cast<std::uint8_t>(Reason::BudgetExpired)) {
+        throw ProtocolError("Overloaded frame with unknown reason " + std::to_string(raw));
+    }
+    info.reason = static_cast<Reason>(raw);
+    info.retry_after_ms = r.u32();
+    if (!r.exhausted()) throw ProtocolError("Overloaded payload has trailing bytes");
+    return info;
+}
+
+const char* overload_reason_name(OverloadedInfo::Reason reason) {
+    switch (reason) {
+        case OverloadedInfo::Reason::QueueFull: return "queue_full";
+        case OverloadedInfo::Reason::BudgetExpired: return "budget_expired";
+    }
+    return "unknown";
 }
 
 }  // namespace teraphim::net

@@ -1,13 +1,16 @@
 // Framed protocol messages.
 //
 // Every receptionist <-> librarian exchange is a typed message framed
-// as a fixed 12-byte header followed by the serialized payload:
+// as a fixed 16-byte header followed by the serialized payload:
 //
 //   offset 0   u8    protocol version (kProtocolVersion)
 //   offset 1   u8    reserved, must be 0
 //   offset 2   u32   payload length, little-endian
 //   offset 6   u16   message type, little-endian
 //   offset 8   u32   correlation id, little-endian
+//   offset 12  u32   remaining deadline budget in ms, little-endian
+//                    (0 = no budget; the request may take as long as
+//                    it takes)
 //
 // The correlation id is what lets many requests share one connection: a
 // peer answers each frame with the same id, in whatever order the work
@@ -15,6 +18,12 @@
 // reply back to its waiter. The same frame travels over TCP and through
 // the in-process channel, so byte accounting is identical in both
 // deployments.
+//
+// The budget field is the overload-resilience hop contract: the
+// receptionist stamps each request with the milliseconds left of the
+// query's total deadline, and every hop that would start work after
+// that budget is spent sheds the request with an Overloaded reply
+// instead of computing an answer nobody will read (DESIGN.md §13).
 #pragma once
 
 #include <cstdint>
@@ -41,6 +50,7 @@ enum class MessageType : std::uint16_t {
     BooleanResponse = 51,
     MetricsRequest = 60,   // pull a librarian's obs::MetricsRegistry snapshot
     MetricsResponse = 61,
+    Overloaded = 70,  // admission-control rejection; payload = OverloadedInfo
     Shutdown = 99,
 };
 
@@ -51,19 +61,26 @@ struct Message {
     /// "not yet assigned"; the transport stamps a fresh id on submit.
     std::uint32_t correlation = 0;
 
+    /// Remaining deadline budget when the frame was sent, milliseconds.
+    /// 0 means "no budget" (the pre-v3 behaviour); senders with a live
+    /// budget stamp at least 1 so an exhausted deadline is shed before
+    /// the frame is built, never encoded as unlimited.
+    std::uint32_t budget_ms = 0;
+
     std::vector<std::uint8_t> payload;
 
     /// Total bytes on the wire, including the frame header.
     std::uint64_t wire_bytes() const { return kHeaderBytes + payload.size(); }
 
     /// Version 1 was the 6-byte pre-multiplexing header (length + type,
-    /// no version byte, no correlation id).
-    static constexpr std::uint8_t kProtocolVersion = 2;
+    /// no version byte, no correlation id); version 2 the 12-byte header
+    /// without the deadline-budget field.
+    static constexpr std::uint8_t kProtocolVersion = 3;
 
     /// The single source of truth for frame-header size. Every
     /// byte-accounting site (wire_bytes, LibrarianWork totals, the
     /// table2/table4 benches) derives from this constant.
-    static constexpr std::uint64_t kHeaderBytes = 12;
+    static constexpr std::uint64_t kHeaderBytes = 16;
 
     /// Frames larger than this are rejected before the payload is
     /// allocated, so a garbage length field from a malfunctioning or
@@ -75,6 +92,7 @@ struct Message {
         std::uint32_t payload_length = 0;
         MessageType type = MessageType::Error;
         std::uint32_t correlation = 0;
+        std::uint32_t budget_ms = 0;
     };
 
     /// Writes this message's frame header into `out`, stamping
@@ -87,5 +105,30 @@ struct Message {
     /// a length beyond kMaxPayloadBytes.
     static Header decode_header(const std::uint8_t* in);
 };
+
+/// Payload of a MessageType::Overloaded reply: why the peer refused the
+/// request, and how long the sender should wait before trying again.
+/// Lives in net (not dir/protocol.h) because MessageServer itself sheds
+/// frames — queue-full and spent-budget rejections happen before any
+/// dir-layer handler runs.
+struct OverloadedInfo {
+    enum class Reason : std::uint8_t {
+        QueueFull = 0,      ///< dispatch queue at capacity; request never queued
+        BudgetExpired = 1,  ///< frame's budget was spent before a worker picked it up
+    };
+
+    Reason reason = Reason::QueueFull;
+    /// Suggested wait before retrying, ms; 0 = no hint.
+    std::uint32_t retry_after_ms = 0;
+
+    /// Builds the full reply frame, echoing `correlation`.
+    Message to_message(std::uint32_t correlation) const;
+    /// Decodes an Overloaded payload; throws ProtocolError when malformed.
+    static OverloadedInfo from_message(const Message& m);
+};
+
+/// Stable label for metrics and DegradedInfo summaries ("queue_full",
+/// "budget_expired").
+const char* overload_reason_name(OverloadedInfo::Reason reason);
 
 }  // namespace teraphim::net

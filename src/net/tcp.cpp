@@ -197,6 +197,7 @@ Message TcpConnection::recv_message() {
     Message m;
     m.type = h.type;
     m.correlation = h.correlation;
+    m.budget_ms = h.budget_ms;
     m.payload.resize(h.payload_length);
     if (h.payload_length > 0) read_all(m.payload.data(), h.payload_length);
     return m;
@@ -470,10 +471,11 @@ void TcpListener::close() {
 
 // ---- MessageServer ------------------------------------------------------
 
-MessageServer::MessageServer(std::uint16_t port, Handler handler, std::size_t max_connections,
-                             std::size_t max_inflight, obs::MetricsRegistry* registry)
+MessageServer::MessageServer(std::uint16_t port, Handler handler, const ServerLimits& limits,
+                             obs::MetricsRegistry* registry)
     : listener_(port),
       handler_(std::move(handler)),
+      limits_(limits),
       connections_total_(registry != nullptr
                              ? &registry->counter("teraphim_server_connections_total")
                              : nullptr),
@@ -485,9 +487,40 @@ MessageServer::MessageServer(std::uint16_t port, Handler handler, std::size_t ma
       connections_active_(registry != nullptr
                               ? &registry->gauge("teraphim_server_connections_active")
                               : nullptr),
-      workers_(max_connections),
-      dispatch_(max_inflight),
-      thread_([this] { serve(); }) {}
+      shed_queue_full_(registry != nullptr
+                           ? &registry->counter("teraphim_server_shed_total",
+                                                {{"reason", "queue_full"}})
+                           : nullptr),
+      shed_budget_(registry != nullptr
+                       ? &registry->counter("teraphim_server_shed_total",
+                                            {{"reason", "budget_expired"}})
+                       : nullptr),
+      workers_(limits.max_connections),
+      // Reject (not Block) on a full dispatch queue: the reader must
+      // keep draining its socket to answer Overloaded, so it can never
+      // be parked inside try_submit.
+      dispatch_(limits.max_inflight,
+                util::PoolOptions{limits.dispatch_queue_capacity, util::Overflow::Reject}),
+      thread_([this] { serve(); }) {
+    if (registry != nullptr) {
+        dispatch_.set_metrics(util::PoolMetrics{
+            &registry->gauge("teraphim_server_dispatch_queue_depth"),
+            &registry->gauge("teraphim_server_dispatch_in_flight"),
+            &registry->counter("teraphim_server_dispatch_rejected_total"),
+        });
+    }
+}
+
+MessageServer::MessageServer(std::uint16_t port, Handler handler, std::size_t max_connections,
+                             std::size_t max_inflight, obs::MetricsRegistry* registry)
+    : MessageServer(port, std::move(handler),
+                    [&] {
+                        ServerLimits limits;
+                        limits.max_connections = max_connections;
+                        limits.max_inflight = max_inflight;
+                        return limits;
+                    }(),
+                    registry) {}
 
 MessageServer::~MessageServer() { stop(); }
 
@@ -507,7 +540,11 @@ void MessageServer::serve() {
         }
         if (stopping_.load()) break;  // accepted during shutdown: discard
         if (connections_total_ != nullptr) connections_total_->inc();
-        workers_.submit([this, conn] { serve_connection(conn); });
+        // try_submit: a pool racing stop() refuses the task instead of
+        // asserting; the connection just closes (shared_ptr released).
+        if (!workers_.try_submit([this, conn] { serve_connection(conn); })) {
+            if (connections_dropped_ != nullptr) connections_dropped_->inc();
+        }
     }
 }
 
@@ -542,25 +579,54 @@ void MessageServer::serve_connection(const std::shared_ptr<TcpConnection>& conn)
             // to reading: one connection can have many requests in
             // flight, and replies go out whenever their handler finishes
             // — out of order is fine, the correlation id routes them.
-            dispatch_.submit([this, conn, write_mu, request = std::move(request)] {
-                Message reply;
-                try {
-                    reply = handler_(request);
-                } catch (const Error&) {
-                    // A throwing handler severs the connection (fault
-                    // injection and admission control rely on this);
-                    // shutdown also wakes the reader loop.
-                    conn->shutdown_both();
-                    return;
-                }
-                reply.correlation = request.correlation;
-                std::lock_guard<std::mutex> lock(*write_mu);
-                try {
-                    conn->send_message(reply);
-                } catch (const Error&) {
-                    // Peer vanished mid-reply; the reader will notice.
-                }
-            });
+            const auto arrival = std::chrono::steady_clock::now();
+            const std::uint32_t correlation = request.correlation;
+            const bool queued = dispatch_.try_submit(
+                [this, conn, write_mu, arrival, request = std::move(request)] {
+                    // Shed a request whose deadline budget was spent
+                    // while it waited for a worker: the receptionist has
+                    // already (or is about to) give up on it, so running
+                    // the handler would burn CPU on an answer nobody
+                    // reads.
+                    if (limits_.shed_expired_budgets && request.budget_ms > 0) {
+                        const auto waited =
+                            std::chrono::duration_cast<std::chrono::milliseconds>(
+                                std::chrono::steady_clock::now() - arrival)
+                                .count();
+                        if (waited >= static_cast<long long>(request.budget_ms)) {
+                            if (shed_budget_ != nullptr) shed_budget_->inc();
+                            send_overloaded(*conn, *write_mu, request.correlation,
+                                            OverloadedInfo::Reason::BudgetExpired);
+                            return;
+                        }
+                    }
+                    Message reply;
+                    try {
+                        reply = handler_(request);
+                    } catch (const Error&) {
+                        // A throwing handler severs the connection (fault
+                        // injection and admission control rely on this);
+                        // shutdown also wakes the reader loop.
+                        conn->shutdown_both();
+                        return;
+                    }
+                    reply.correlation = request.correlation;
+                    std::lock_guard<std::mutex> lock(*write_mu);
+                    try {
+                        conn->send_message(reply);
+                    } catch (const Error&) {
+                        // Peer vanished mid-reply; the reader will notice.
+                    }
+                });
+            if (!queued) {
+                // Dispatch queue at capacity (or the pool is stopping):
+                // admission control. Answer Overloaded from the reader
+                // thread — cheap, no handler work — so the client sheds
+                // the request instead of timing out on silence.
+                if (shed_queue_full_ != nullptr) shed_queue_full_->inc();
+                send_overloaded(*conn, *write_mu, correlation,
+                                OverloadedInfo::Reason::QueueFull);
+            }
         }
     } catch (const Error&) {
         // Drop this connection but keep serving the others: the client
@@ -581,6 +647,20 @@ void MessageServer::serve_connection(const std::shared_ptr<TcpConnection>& conn)
     // into a dead stream; the fd itself closes when the last dispatch
     // task holding this shared_ptr finishes.
     conn->shutdown_both();
+}
+
+void MessageServer::send_overloaded(TcpConnection& conn, std::mutex& write_mu,
+                                    std::uint32_t correlation, OverloadedInfo::Reason reason) {
+    OverloadedInfo info;
+    info.reason = reason;
+    info.retry_after_ms = limits_.retry_after_hint_ms;
+    const Message reply = info.to_message(correlation);
+    std::lock_guard<std::mutex> lock(write_mu);
+    try {
+        conn.send_message(reply);
+    } catch (const Error&) {
+        // Peer vanished; nothing to shed to.
+    }
 }
 
 void MessageServer::begin_stop() {

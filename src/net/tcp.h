@@ -221,6 +221,26 @@ private:
     std::uint16_t port_ = 0;
 };
 
+/// Capacity and admission-control knobs for MessageServer.
+struct ServerLimits {
+    /// Connections *read* concurrently (reader pool size).
+    std::size_t max_connections = 8;
+    /// Handlers executing concurrently across all connections.
+    std::size_t max_inflight = 8;
+    /// Requests allowed to wait for a dispatch worker. When the queue is
+    /// full the reader answers Overloaded{queue_full} immediately instead
+    /// of queueing — bounded queues are what keep an overloaded librarian
+    /// from accumulating work it can never finish in time. 0 = unbounded
+    /// (the pre-overload-PR behaviour).
+    std::size_t dispatch_queue_capacity = 256;
+    /// retry-after hint stamped on Overloaded{queue_full} replies, ms.
+    std::uint32_t retry_after_hint_ms = 5;
+    /// When true, a queued request whose frame budget (Message::budget_ms)
+    /// was spent before a worker picked it up is answered
+    /// Overloaded{budget_expired} without running the handler.
+    bool shed_expired_budgets = true;
+};
+
 /// A concurrent message server over one listener: an accept loop hands
 /// each connection to a bounded pool of reader threads, and every frame
 /// a reader pulls off a connection is dispatched to a second bounded
@@ -228,9 +248,12 @@ private:
 /// in flight at once. Replies carry the request's correlation id and go
 /// out whenever their handler finishes — out of order on the same
 /// connection is legal and expected (the client's MuxConnection
-/// demultiplexes). `max_connections` bounds how many connections are
-/// *read* at once; `max_inflight` bounds concurrently executing
-/// handlers across all connections.
+/// demultiplexes). ServerLimits bounds how many connections are *read*
+/// at once, how many handlers execute concurrently, and how many
+/// requests may wait for a dispatch worker; requests beyond the queue
+/// bound — and requests whose deadline budget was spent while they
+/// waited — are answered with Overloaded frames instead of being served
+/// late (admission control, DESIGN.md §13).
 ///
 /// The handler is invoked concurrently from several workers and must be
 /// reentrant (Librarian::handle is: it only reads immutable state).
@@ -247,10 +270,16 @@ public:
     using Handler = std::function<Message(const Message&)>;
 
     /// `registry`, when non-null, receives the teraphim_server_*
-    /// families (connections accepted/active/dropped, frames read) —
+    /// families (connections accepted/active/dropped, frames read,
+    /// dispatch queue depth / in-flight gauges, shed counters) —
     /// typically the owning librarian's registry, so the counters ride
     /// along in its Stats RPC snapshot.
-    MessageServer(std::uint16_t port, Handler handler, std::size_t max_connections = 8,
+    MessageServer(std::uint16_t port, Handler handler, const ServerLimits& limits = {},
+                  obs::MetricsRegistry* registry = nullptr);
+
+    /// Legacy shape (pre-admission-control callers); equivalent to
+    /// ServerLimits with the given pool sizes.
+    MessageServer(std::uint16_t port, Handler handler, std::size_t max_connections,
                   std::size_t max_inflight = 8, obs::MetricsRegistry* registry = nullptr);
     ~MessageServer();
 
@@ -267,16 +296,25 @@ private:
     void serve();
     void serve_connection(const std::shared_ptr<TcpConnection>& conn);
 
+    /// Answers `correlation` with an Overloaded frame carrying the
+    /// configured retry-after hint. Write errors are swallowed (the
+    /// reader loop notices a vanished peer on its own).
+    void send_overloaded(TcpConnection& conn, std::mutex& write_mu, std::uint32_t correlation,
+                         OverloadedInfo::Reason reason);
+
     /// Flags the server as stopping and wakes every blocked thread: the
     /// accept loop via the listener, the readers via their tracked fds.
     void begin_stop();
 
     TcpListener listener_;
     Handler handler_;
+    ServerLimits limits_;
     obs::Counter* connections_total_ = nullptr;
     obs::Counter* connections_dropped_ = nullptr;
     obs::Counter* frames_total_ = nullptr;
     obs::Gauge* connections_active_ = nullptr;
+    obs::Counter* shed_queue_full_ = nullptr;    ///< teraphim_server_shed_total{reason="queue_full"}
+    obs::Counter* shed_budget_ = nullptr;        ///< teraphim_server_shed_total{reason="budget_expired"}
     util::ThreadPool workers_;   ///< per-connection reader loops
     util::ThreadPool dispatch_;  ///< per-request handler executions
     std::atomic<bool> stopping_{false};

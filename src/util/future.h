@@ -8,6 +8,7 @@
 // completion callbacks (on_ready).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <functional>
@@ -76,6 +77,17 @@ public:
         T out = std::move(*state_->value);
         state_->value.reset();
         return out;
+    }
+
+    /// Blocks until the producer completes or `timeout` elapses.
+    /// Returns true when the future is ready (get() will not block).
+    /// Unlike get() this does not consume the value, so callers can
+    /// poll with a deadline — the hedging and budget layers in
+    /// dir/receptionist.cpp wait exactly as long as they can afford.
+    template <typename Rep, typename Period>
+    bool wait_for(std::chrono::duration<Rep, Period> timeout) const {
+        std::unique_lock<std::mutex> lock(state_->mu);
+        return state_->ready_cv.wait_for(lock, timeout, [&] { return state_->ready; });
     }
 
     /// Runs `fn` when the future becomes ready — immediately if it

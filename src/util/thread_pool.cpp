@@ -7,35 +7,86 @@
 
 namespace teraphim::util {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, PoolOptions options) : options_(options) {
     workers_.reserve(std::max<std::size_t>(1, threads));
     for (std::size_t i = 0; i < std::max<std::size_t>(1, threads); ++i) {
         workers_.emplace_back([this] { worker_loop(); });
     }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
     {
         std::lock_guard<std::mutex> lock(mu_);
         stopping_ = true;
     }
     work_available_.notify_all();
-    for (std::thread& w : workers_) w.join();
+    space_available_.notify_all();
+    // workers_ is never shrunk, so size() stays valid and a second
+    // stop() finds only already-joined (unjoinable) threads.
+    for (std::thread& w : workers_) {
+        if (w.joinable()) w.join();
+    }
+}
+
+void ThreadPool::set_metrics(const PoolMetrics& metrics) {
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_ = metrics;
+    note_queue_locked();
+}
+
+void ThreadPool::note_queue_locked() {
+    if (metrics_.queue_depth != nullptr) {
+        metrics_.queue_depth->set(static_cast<std::int64_t>(queue_.size()));
+    }
+    if (metrics_.in_flight != nullptr) {
+        metrics_.in_flight->set(static_cast<std::int64_t>(running_));
+    }
+}
+
+bool ThreadPool::try_submit(std::function<void()> task) {
+    TERAPHIM_ASSERT(task != nullptr);
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (options_.capacity > 0 && queue_.size() >= options_.capacity && !stopping_) {
+            if (options_.overflow == Overflow::Reject) {
+                if (metrics_.rejected != nullptr) metrics_.rejected->inc();
+                return false;
+            }
+            space_available_.wait(lock, [this] {
+                return stopping_ || queue_.size() < options_.capacity;
+            });
+        }
+        if (stopping_) {
+            if (metrics_.rejected != nullptr) metrics_.rejected->inc();
+            return false;
+        }
+        queue_.push_back(std::move(task));
+        note_queue_locked();
+    }
+    work_available_.notify_one();
+    return true;
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-    TERAPHIM_ASSERT(task != nullptr);
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        TERAPHIM_ASSERT_MSG(!stopping_, "submit() on a stopping ThreadPool");
-        queue_.push_back(std::move(task));
-    }
-    work_available_.notify_one();
+    const bool accepted = try_submit(std::move(task));
+    TERAPHIM_ASSERT_MSG(accepted, "submit() refused (stopping pool or bounded queue)");
 }
 
 void ThreadPool::wait_idle() {
     std::unique_lock<std::mutex> lock(mu_);
     idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+std::size_t ThreadPool::queue_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+}
+
+std::size_t ThreadPool::in_flight() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return running_;
 }
 
 void ThreadPool::worker_loop() {
@@ -51,11 +102,14 @@ void ThreadPool::worker_loop() {
             task = std::move(queue_.front());
             queue_.pop_front();
             ++running_;
+            note_queue_locked();
         }
+        space_available_.notify_one();
         task();
         {
             std::lock_guard<std::mutex> lock(mu_);
             --running_;
+            note_queue_locked();
             if (queue_.empty() && running_ == 0) idle_.notify_all();
         }
     }
@@ -79,7 +133,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     join.errors.assign(n, nullptr);
 
     for (std::size_t i = 0; i < n; ++i) {
-        submit([&join, &fn, i] {
+        auto slot = [&join, &fn, i] {
             try {
                 fn(i);
             } catch (...) {
@@ -88,7 +142,11 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
             }
             std::lock_guard<std::mutex> lock(join.mu);
             if (--join.remaining == 0) join.done.notify_one();
-        });
+        };
+        // A rejected slot (bounded queue full, or a pool racing stop())
+        // still runs — inline on the caller — so parallel_for keeps its
+        // every-index-executes contract regardless of queue policy.
+        if (!try_submit(slot)) slot();
     }
 
     std::unique_lock<std::mutex> lock(join.mu);

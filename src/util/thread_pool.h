@@ -8,6 +8,15 @@
 // threads draining a task queue — and neither needs futures, priorities
 // or work stealing, so the pool provides exactly submit() and a blocking
 // parallel_for() whose exception semantics preserve slot order.
+//
+// The queue can be bounded (PoolOptions::capacity) so a server under
+// overload stops accumulating work it will never finish in time: with
+// Overflow::Reject a full queue fails try_submit() immediately and the
+// caller sheds the request (net/tcp.cpp answers Overloaded); with
+// Overflow::Block the submitter waits for space, which applies
+// backpressure to in-process producers. Queue depth / in-flight gauges
+// and a rejection counter can be wired to an obs registry (set_metrics)
+// so saturation is visible before it becomes an outage.
 #pragma once
 
 #include <condition_variable>
@@ -18,15 +27,36 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace teraphim::util {
+
+/// What submit() does when a bounded queue is full.
+enum class Overflow {
+    Block,   ///< wait until a worker frees a slot (backpressure)
+    Reject,  ///< fail immediately (admission control / load shedding)
+};
+
+struct PoolOptions {
+    /// Maximum queued (not yet running) tasks; 0 means unbounded, which
+    /// preserves the pre-overload-PR behaviour.
+    std::size_t capacity = 0;
+    Overflow overflow = Overflow::Block;
+};
+
+/// Optional observability hooks; any pointer may stay null.
+struct PoolMetrics {
+    obs::Gauge* queue_depth = nullptr;  ///< tasks waiting in the queue
+    obs::Gauge* in_flight = nullptr;    ///< tasks currently executing
+    obs::Counter* rejected = nullptr;   ///< submissions refused (full or stopping)
+};
 
 class ThreadPool {
 public:
     /// Spawns `threads` workers (at least 1).
-    explicit ThreadPool(std::size_t threads);
+    explicit ThreadPool(std::size_t threads, PoolOptions options = {});
 
-    /// Drains the queue, then joins the workers. Tasks submitted during
-    /// destruction are not accepted.
+    /// Equivalent to stop().
     ~ThreadPool();
 
     ThreadPool(const ThreadPool&) = delete;
@@ -34,8 +64,21 @@ public:
 
     std::size_t size() const { return workers_.size(); }
 
+    /// Attaches gauges/counters that mirror the queue state. Safe to
+    /// call while workers run; not safe concurrently with itself.
+    void set_metrics(const PoolMetrics& metrics);
+
     /// Enqueues a task for execution on some worker. The task must not
     /// throw (wrap anything that can; parallel_for does this for you).
+    ///
+    /// Returns false — without queuing — when the pool is stopping or a
+    /// bounded queue stayed full (Overflow::Reject, or Block woken by
+    /// stop()). Callers that cannot tolerate a lost task must check the
+    /// result; fire-and-forget callers may ignore it.
+    [[nodiscard]] bool try_submit(std::function<void()> task);
+
+    /// try_submit for callers that own the pool's lifetime and know the
+    /// queue is unbounded (the historical contract). Asserts acceptance.
     void submit(std::function<void()> task);
 
     /// Blocks until the queue is empty and every worker is between
@@ -43,11 +86,23 @@ public:
     /// submitted concurrently (e.g. a server draining on shutdown).
     void wait_idle();
 
+    /// Drains the queue, then joins the workers. Idempotent; called by
+    /// the destructor. After stop() every try_submit() returns false
+    /// (it used to be a fatal assertion, which could tear down a server
+    /// that raced an accept against shutdown).
+    void stop();
+
+    /// Tasks waiting in the queue right now (racy snapshot).
+    std::size_t queue_depth() const;
+    /// Tasks executing right now (racy snapshot).
+    std::size_t in_flight() const;
+
     /// Runs fn(0) ... fn(n-1) across the pool and blocks until every
     /// call returned. If any calls threw, rethrows the exception of the
     /// lowest index — the same exception a sequential `for` loop would
     /// have surfaced first — after all slots finished, so slot-indexed
     /// output vectors are never touched by a straggler afterwards.
+    /// Slots the queue cannot accept run inline on the caller.
     ///
     /// Must not be called from inside a pool task (the worker would wait
     /// on work only it can run).
@@ -55,12 +110,16 @@ public:
 
 private:
     void worker_loop();
+    void note_queue_locked();
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;
-    std::mutex mu_;
+    mutable std::mutex mu_;
     std::condition_variable work_available_;
+    std::condition_variable space_available_;
     std::condition_variable idle_;
+    PoolOptions options_;
+    PoolMetrics metrics_;
     std::size_t running_ = 0;  ///< tasks currently executing
     bool stopping_ = false;
 };

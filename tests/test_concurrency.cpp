@@ -120,7 +120,7 @@ TEST(ConcurrentServer, ClientsAreServedSimultaneouslyNotSequentially) {
     for (int c = 0; c < 2; ++c) {
         clients.emplace_back([&] {
             auto conn = net::TcpConnection::connect_to("127.0.0.1", server.port());
-            conn.send_message({net::MessageType::Ping, 0, {}});
+            conn.send_message({net::MessageType::Ping, 0, 0, {}});
             conn.recv_message();
         });
     }
@@ -171,7 +171,7 @@ TEST(ConcurrentServer, StopJoinsCleanlyWithConnectionsInFlight) {
     // is parked waiting for this client's next frame), idle (connected
     // but never sent anything), and actively exchanging.
     auto blocked = net::TcpConnection::connect_to("127.0.0.1", server.port());
-    blocked.send_message({net::MessageType::Ping, 0, {}});
+    blocked.send_message({net::MessageType::Ping, 0, 0, {}});
     blocked.recv_message();  // server is now in recv on this fd
 
     auto idle = net::TcpConnection::connect_to("127.0.0.1", server.port());
@@ -181,7 +181,7 @@ TEST(ConcurrentServer, StopJoinsCleanlyWithConnectionsInFlight) {
         try {
             auto conn = net::TcpConnection::connect_to("127.0.0.1", server.port());
             for (int i = 0; i < 1000; ++i) {
-                conn.send_message({net::MessageType::Ping, 0, {}});
+                conn.send_message({net::MessageType::Ping, 0, 0, {}});
                 conn.recv_message();
             }
         } catch (const Error&) {
@@ -201,11 +201,11 @@ TEST(ConcurrentServer, StopJoinsCleanlyWithConnectionsInFlight) {
 TEST(ConcurrentServer, ShutdownFrameStopsServerForAllClients) {
     net::MessageServer server(0, [](const net::Message& m) { return m; });
     auto bystander = net::TcpConnection::connect_to("127.0.0.1", server.port());
-    bystander.send_message({net::MessageType::Ping, 0, {}});
+    bystander.send_message({net::MessageType::Ping, 0, 0, {}});
     bystander.recv_message();
 
     auto admin = net::TcpConnection::connect_to("127.0.0.1", server.port());
-    admin.send_message({net::MessageType::Shutdown, 0, {}});
+    admin.send_message({net::MessageType::Shutdown, 0, 0, {}});
     EXPECT_EQ(admin.recv_message().type, net::MessageType::Shutdown);
 
     // The bystander's connection is severed by the shutdown sweep. The
@@ -214,7 +214,7 @@ TEST(ConcurrentServer, ShutdownFrameStopsServerForAllClients) {
     EXPECT_THROW(
         {
             for (int i = 0; i < 1000; ++i) {
-                bystander.send_message({net::MessageType::Ping, 0, {}});
+                bystander.send_message({net::MessageType::Ping, 0, 0, {}});
                 bystander.recv_message();
                 std::this_thread::sleep_for(std::chrono::milliseconds(1));
             }

@@ -450,7 +450,7 @@ TEST(TcpFaults, RecvDeadlineThrowsTimeoutError) {
     });
     net::TcpConnection client = net::TcpConnection::connect_to("127.0.0.1", server.port());
     client.set_recv_timeout(100);
-    client.send_message({net::MessageType::Ping, 0, {}});
+    client.send_message({net::MessageType::Ping, 0, 0, {}});
     EXPECT_THROW(client.recv_message(), TimeoutError);
     client.close();
     server.stop();
@@ -515,7 +515,7 @@ TEST(TcpFaults, ServerSurvivesOversizedFrame) {
 
     // ... and keep serving the next client.
     net::TcpConnection good = net::TcpConnection::connect_to("127.0.0.1", server.port());
-    good.send_message({net::MessageType::Ping, 0, {}});
+    good.send_message({net::MessageType::Ping, 0, 0, {}});
     EXPECT_EQ(good.recv_message().type, net::MessageType::Ping);
     good.close();
     server.stop();

@@ -116,7 +116,7 @@ TEST(Librarian, BooleanEvaluation) {
 
 TEST(Librarian, HandleDispatchesAllTypes) {
     auto lib = sample_librarian();
-    EXPECT_EQ(lib->handle({net::MessageType::Ping, 0, {}}).type, net::MessageType::Pong);
+    EXPECT_EQ(lib->handle({net::MessageType::Ping, 0, 0, {}}).type, net::MessageType::Pong);
     EXPECT_EQ(lib->handle(StatsRequest{}.encode()).type, net::MessageType::StatsResponse);
     EXPECT_EQ(lib->handle(VocabularyRequest{}.encode()).type,
               net::MessageType::VocabularyResponse);
@@ -136,7 +136,7 @@ TEST(Librarian, HandleTurnsFailuresIntoErrorMessages) {
     EXPECT_EQ(reply.type, net::MessageType::Error);
 
     // Unknown type likewise.
-    const net::Message unknown = lib->handle({static_cast<net::MessageType>(999), {}});
+    const net::Message unknown = lib->handle({static_cast<net::MessageType>(999), 0, 0, {}});
     EXPECT_EQ(unknown.type, net::MessageType::Error);
 }
 

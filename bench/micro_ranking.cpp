@@ -1,15 +1,33 @@
 // Micro benchmarks: ranked query evaluation and candidate scoring.
+//
+//   micro_ranking                      google-benchmark suite
+//   micro_ranking --smoke             fast correctness gate for CI: pruned
+//                                     top-k must equal exhaustive top-k and
+//                                     decode strictly fewer postings
+//   micro_ranking --json <path>       pruned-vs-exhaustive A/B comparison
+//                                     on a Zipfian collection, written as
+//                                     one JSON object (BENCH_ranking.json)
+//
+// The A/B corpus is Zipf-distributed, like real text: a few huge lists
+// with low per-posting impact and many short high-impact ones — the
+// regime dynamic pruning exploits. The uniform-random corpus used by the
+// google-benchmark cases is close to a worst case for pruning, which
+// makes it a useful honesty check.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 #include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "corpus/zipf.h"
 #include "index/builder.h"
 #include "rank/candidate_scorer.h"
 #include "rank/query_processor.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -36,6 +54,13 @@ rank::Query make_query(int num_terms) {
     return q;
 }
 
+rank::RankPolicy pruned_policy() {
+    rank::RankPolicy p;
+    p.pruned = true;
+    p.use_skips = true;
+    return p;
+}
+
 void BM_RankedQuery(benchmark::State& state) {
     const auto& idx = collection();
     rank::QueryProcessor qp(idx, rank::cosine_log_tf());
@@ -46,6 +71,31 @@ void BM_RankedQuery(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_RankedQuery)->Arg(2)->Arg(10)->Arg(90);
+
+void BM_RankedQueryFlatAccumulators(benchmark::State& state) {
+    const auto& idx = collection();
+    rank::QueryProcessor qp(idx, rank::cosine_log_tf());
+    const auto q = make_query(static_cast<int>(state.range(0)));
+    rank::RankPolicy flat;
+    flat.accumulators = rank::RankPolicy::Accumulators::Flat;
+    for (auto _ : state) {
+        const auto results = qp.rank(q, 20, flat);
+        benchmark::DoNotOptimize(results.size());
+    }
+}
+BENCHMARK(BM_RankedQueryFlatAccumulators)->Arg(2)->Arg(10)->Arg(90);
+
+void BM_RankedQueryPruned(benchmark::State& state) {
+    const auto& idx = collection();
+    rank::QueryProcessor qp(idx, rank::cosine_log_tf());
+    const auto q = make_query(static_cast<int>(state.range(0)));
+    const rank::RankPolicy policy = pruned_policy();
+    for (auto _ : state) {
+        const auto results = qp.rank(q, 20, policy);
+        benchmark::DoNotOptimize(results.size());
+    }
+}
+BENCHMARK(BM_RankedQueryPruned)->Arg(2)->Arg(10)->Arg(90);
 
 void BM_CandidateScoring(benchmark::State& state) {
     const bool use_skips = state.range(1) != 0;
@@ -89,4 +139,214 @@ void BM_TopKSelection(benchmark::State& state) {
 }
 BENCHMARK(BM_TopKSelection);
 
+// ---- Pruned-vs-exhaustive A/B (--smoke / --json) --------------------------
+
+index::InvertedIndex zipf_collection(bool smoke) {
+    const std::size_t num_docs = smoke ? 4000 : 30000;
+    const std::size_t vocab = smoke ? 3000 : 10000;
+    util::Rng rng(29);
+    const auto weights = corpus::zipf_weights(vocab, 1.3);
+    const util::AliasSampler sampler(weights);
+    index::IndexBuilder builder;
+    std::vector<std::string> terms;
+    for (std::size_t d = 0; d < num_docs; ++d) {
+        terms.clear();
+        const std::size_t len = 80 + rng.below(80);
+        for (std::size_t i = 0; i < len; ++i) {
+            terms.push_back("z" + std::to_string(sampler.sample(rng)));
+        }
+        builder.add_document(terms);
+    }
+    return std::move(builder).build();
+}
+
+std::vector<rank::Query> zipf_queries(std::size_t count, std::size_t vocab) {
+    // Terms drawn from the same Zipf law as the text, like user queries:
+    // most queries contain at least one long-list head term.
+    util::Rng rng(31);
+    const auto weights = corpus::zipf_weights(vocab, 1.0);
+    const util::AliasSampler sampler(weights);
+    std::vector<rank::Query> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        rank::Query q;
+        const std::size_t nterms = 2 + rng.below(7);
+        for (std::size_t t = 0; t < nterms; ++t) {
+            q.terms.push_back({"z" + std::to_string(sampler.sample(rng)), 1});
+        }
+        out.push_back(std::move(q));
+    }
+    return out;
+}
+
+struct AbResult {
+    double wall_ms = 0.0;
+    std::uint64_t postings = 0;
+    std::uint64_t bits = 0;
+    std::uint64_t seeks = 0;
+    std::uint64_t docs_pruned = 0;
+    std::vector<std::vector<rank::SearchResult>> rankings;
+
+    double qps(std::size_t queries) const {
+        return wall_ms > 0.0 ? 1000.0 * static_cast<double>(queries) / wall_ms : 0.0;
+    }
+};
+
+AbResult run_config(const rank::QueryProcessor& qp, const std::vector<rank::Query>& queries,
+                    std::size_t k, const rank::RankPolicy& policy, int reps) {
+    AbResult out;
+    // Stats and rankings from one instrumented sweep...
+    for (const auto& q : queries) {
+        rank::RankStats stats;
+        out.rankings.push_back(qp.rank(q, k, policy, &stats));
+        out.postings += stats.postings_decoded;
+        out.bits += stats.index_bits_read;
+        out.seeks += stats.seeks;
+        out.docs_pruned += stats.docs_pruned;
+    }
+    // ...and wall clock as the best of `reps` timed sweeps.
+    for (int r = 0; r < reps; ++r) {
+        util::Timer timer;
+        for (const auto& q : queries) {
+            const auto results = qp.rank(q, k, policy);
+            benchmark::DoNotOptimize(results.size());
+        }
+        const double ms = timer.elapsed_ms();
+        if (out.wall_ms == 0.0 || ms < out.wall_ms) out.wall_ms = ms;
+    }
+    return out;
+}
+
+bool rankings_identical(const AbResult& a, const AbResult& b) {
+    if (a.rankings.size() != b.rankings.size()) return false;
+    for (std::size_t i = 0; i < a.rankings.size(); ++i) {
+        const auto& ra = a.rankings[i];
+        const auto& rb = b.rankings[i];
+        if (ra.size() != rb.size()) return false;
+        for (std::size_t j = 0; j < ra.size(); ++j) {
+            if (ra[j].doc != rb[j].doc || ra[j].score != rb[j].score) return false;
+        }
+    }
+    return true;
+}
+
+int run_ab(bool smoke, const std::string& json_path) {
+    const std::size_t k = 10;
+    const int reps = smoke ? 1 : 3;
+    std::printf("Ranking A/B: exhaustive vs MaxScore-pruned, k=%zu\n", k);
+    util::Timer build_timer;
+    const auto idx = zipf_collection(smoke);
+    const auto queries = zipf_queries(smoke ? 40 : 200, smoke ? 3000 : 10000);
+    std::printf("# corpus: %u docs, %zu terms, %zu queries (built in %.1fs)\n",
+                idx.num_documents(), static_cast<std::size_t>(idx.num_terms()), queries.size(),
+                build_timer.elapsed_seconds());
+
+    rank::QueryProcessor qp(idx, rank::cosine_log_tf());
+    rank::RankPolicy dense;  // the historical default
+    rank::RankPolicy flat;
+    flat.accumulators = rank::RankPolicy::Accumulators::Flat;
+    rank::RankPolicy pruned = pruned_policy();
+    rank::RankPolicy pruned_linear = pruned;
+    pruned_linear.use_skips = false;
+
+    const AbResult base = run_config(qp, queries, k, dense, reps);
+    const AbResult flat_r = run_config(qp, queries, k, flat, reps);
+    const AbResult pr = run_config(qp, queries, k, pruned, reps);
+    const AbResult prl = run_config(qp, queries, k, pruned_linear, reps);
+
+    const bool identical =
+        rankings_identical(base, flat_r) && rankings_identical(base, pr) &&
+        rankings_identical(base, prl);
+    const double speedup = base.wall_ms > 0.0 && pr.wall_ms > 0.0
+                               ? base.wall_ms / pr.wall_ms
+                               : 0.0;
+
+    std::printf("\n%-22s %12s %14s %12s %12s\n", "config", "queries/s", "postings", "seeks",
+                "docs_pruned");
+    const auto row = [&](const char* name, const AbResult& r) {
+        std::printf("%-22s %12.1f %14llu %12llu %12llu\n", name, r.qps(queries.size()),
+                    static_cast<unsigned long long>(r.postings),
+                    static_cast<unsigned long long>(r.seeks),
+                    static_cast<unsigned long long>(r.docs_pruned));
+    };
+    row("exhaustive/dense", base);
+    row("exhaustive/flat", flat_r);
+    row("pruned/skips", pr);
+    row("pruned/linear", prl);
+    std::printf("\nrankings byte-identical: %s\n", identical ? "yes" : "NO");
+    std::printf("pruned speedup at k=%zu: %.2fx\n", k, speedup);
+
+    if (!json_path.empty()) {
+        std::FILE* f = std::fopen(json_path.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "micro_ranking: cannot write %s\n", json_path.c_str());
+            return 1;
+        }
+        std::fprintf(f,
+                     "{\n"
+                     "  \"bench\": \"micro_ranking\",\n"
+                     "  \"smoke\": %s,\n"
+                     "  \"k\": %zu,\n"
+                     "  \"documents\": %u,\n"
+                     "  \"queries\": %zu,\n"
+                     "  \"exhaustive_dense\": {\"qps\": %.1f, \"postings\": %llu},\n"
+                     "  \"exhaustive_flat\": {\"qps\": %.1f, \"postings\": %llu},\n"
+                     "  \"pruned_skips\": {\"qps\": %.1f, \"postings\": %llu, "
+                     "\"seeks\": %llu, \"docs_pruned\": %llu},\n"
+                     "  \"pruned_linear\": {\"qps\": %.1f, \"postings\": %llu},\n"
+                     "  \"byte_identical\": %s,\n"
+                     "  \"pruned_speedup\": %.3f\n"
+                     "}\n",
+                     smoke ? "true" : "false", k, idx.num_documents(), queries.size(),
+                     base.qps(queries.size()), static_cast<unsigned long long>(base.postings),
+                     flat_r.qps(queries.size()),
+                     static_cast<unsigned long long>(flat_r.postings), pr.qps(queries.size()),
+                     static_cast<unsigned long long>(pr.postings),
+                     static_cast<unsigned long long>(pr.seeks),
+                     static_cast<unsigned long long>(pr.docs_pruned),
+                     prl.qps(queries.size()), static_cast<unsigned long long>(prl.postings),
+                     identical ? "true" : "false", speedup);
+        std::fclose(f);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (!identical) {
+        std::fprintf(stderr, "FAIL: pruned rankings differ from exhaustive\n");
+        return 1;
+    }
+    if (pr.postings >= base.postings) {
+        std::fprintf(stderr, "FAIL: pruning decoded no fewer postings (%llu >= %llu)\n",
+                     static_cast<unsigned long long>(pr.postings),
+                     static_cast<unsigned long long>(base.postings));
+        return 1;
+    }
+    if (smoke) std::printf("smoke PASS\n");
+    return 0;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::string json_path;
+    bool ab = false;
+    std::vector<char*> passthrough{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = ab = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+            ab = true;
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    if (ab) return run_ab(smoke, json_path);
+
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

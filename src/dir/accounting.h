@@ -37,6 +37,7 @@ struct LibrarianWork {
     std::uint64_t postings_decoded = 0;
     std::uint64_t index_bits_read = 0;
     std::uint64_t lists_opened = 0;  ///< disk seeks attributable to lists
+    std::uint64_t seeks = 0;         ///< skip-synchronised cursor seeks
     std::uint64_t results_returned = 0;
 };
 

@@ -122,7 +122,16 @@ WorkReport work_from_rank_stats(const rank::RankStats& stats) {
     w.index_bits_read = stats.index_bits_read;
     w.lists_opened = stats.terms_matched;
     w.disk_bytes = (stats.index_bits_read + 7) / 8;
+    w.seeks = stats.seeks;
     return w;
+}
+
+rank::RankPolicy policy_from(bool pruned, bool use_skips) {
+    rank::RankPolicy policy;
+    policy.pruned = pruned;
+    policy.use_skips = use_skips;
+    if (pruned) policy.accumulators = rank::RankPolicy::Accumulators::Flat;
+    return policy;
 }
 }  // namespace
 
@@ -132,7 +141,7 @@ RankResponse Librarian::rank_local(const RankRequest& req) const {
     rank::RankStats stats;
     rank::QueryProcessor processor(index_, *measure_);
     RankResponse out;
-    out.results = processor.rank(query, req.k, &stats);
+    out.results = processor.rank(query, req.k, policy_from(req.pruned, req.use_skips), &stats);
     out.work = work_from_rank_stats(stats);
     out.generation = generation();
     return out;
@@ -142,7 +151,8 @@ RankResponse Librarian::rank_weighted(const RankWeightedRequest& req) const {
     rank::RankStats stats;
     rank::QueryProcessor processor(index_, *measure_);
     RankResponse out;
-    out.results = processor.rank_weighted(req.terms, req.query_norm, req.k, &stats);
+    out.results = processor.rank_weighted(req.terms, req.query_norm, req.k,
+                                          policy_from(req.pruned, req.use_skips), &stats);
     out.work = work_from_rank_stats(stats);
     out.generation = generation();
     return out;
@@ -158,6 +168,7 @@ CandidateResponse Librarian::score_candidates(const CandidateRequest& req) const
     out.work.index_bits_read = stats.index_bits_read;
     out.work.lists_opened = stats.terms_matched;
     out.work.disk_bytes = (stats.index_bits_read + 7) / 8;
+    out.work.seeks = stats.seeks;
     out.generation = generation();
     return out;
 }

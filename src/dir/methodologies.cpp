@@ -15,6 +15,7 @@ LibrarianWork work_from_report(const WorkReport& report) {
     w.postings_decoded = report.postings_decoded;
     w.index_bits_read = report.index_bits_read;
     w.lists_opened = report.lists_opened;
+    w.seeks = report.seeks;
     return w;
 }
 
@@ -41,6 +42,8 @@ QueryAnswer Receptionist::rank_central_nothing(const rank::Query& query, std::si
 
     RankRequest req;
     req.k = static_cast<std::uint32_t>(depth);
+    req.pruned = options_.pruned_rank;
+    req.use_skips = options_.use_skips;
     req.terms = query.terms;
     const net::Message encoded = req.encode();
 
@@ -84,6 +87,8 @@ QueryAnswer Receptionist::rank_central_vocabulary(const rank::Query& query, std:
 
     RankWeightedRequest req;
     req.k = static_cast<std::uint32_t>(depth);
+    req.pruned = options_.pruned_rank;
+    req.use_skips = options_.use_skips;
     req.terms = weighted;
     req.query_norm = rank::query_norm(weighted);
     const net::Message encoded = req.encode();

@@ -12,6 +12,7 @@ void encode_work(net::Writer& w, const WorkReport& work) {
     w.u64(work.index_bits_read);
     w.u64(work.lists_opened);
     w.u64(work.disk_bytes);
+    w.u64(work.seeks);
 }
 
 WorkReport decode_work(net::Reader& r) {
@@ -21,6 +22,7 @@ WorkReport decode_work(net::Reader& r) {
     work.index_bits_read = r.u64();
     work.lists_opened = r.u64();
     work.disk_bytes = r.u64();
+    work.seeks = r.u64();
     return work;
 }
 
@@ -123,6 +125,8 @@ VocabularyResponse VocabularyResponse::decode(const net::Message& m) {
 net::Message RankRequest::encode() const {
     net::Writer w;
     w.u32(k);
+    w.u8(pruned ? 1 : 0);
+    w.u8(use_skips ? 1 : 0);
     w.vec(terms, [](net::Writer& wr, const rank::QueryTerm& t) {
         wr.str(t.term);
         wr.u32(t.fqt);
@@ -135,6 +139,8 @@ RankRequest RankRequest::decode(const net::Message& m) {
     net::Reader r(m.payload);
     RankRequest out;
     out.k = r.u32();
+    out.pruned = r.u8() != 0;
+    out.use_skips = r.u8() != 0;
     out.terms = r.vec<rank::QueryTerm>([](net::Reader& rd) {
         rank::QueryTerm t;
         t.term = rd.str();
@@ -148,6 +154,8 @@ net::Message RankWeightedRequest::encode() const {
     net::Writer w;
     w.u32(k);
     w.f64(query_norm);
+    w.u8(pruned ? 1 : 0);
+    w.u8(use_skips ? 1 : 0);
     w.vec(terms, [](net::Writer& wr, const rank::WeightedQueryTerm& t) {
         wr.str(t.term);
         wr.f64(t.weight);
@@ -161,6 +169,8 @@ RankWeightedRequest RankWeightedRequest::decode(const net::Message& m) {
     RankWeightedRequest out;
     out.k = r.u32();
     out.query_norm = r.f64();
+    out.pruned = r.u8() != 0;
+    out.use_skips = r.u8() != 0;
     out.terms = r.vec<rank::WeightedQueryTerm>([](net::Reader& rd) {
         rank::WeightedQueryTerm t;
         t.term = rd.str();

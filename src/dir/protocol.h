@@ -28,6 +28,7 @@ struct WorkReport {
     std::uint64_t index_bits_read = 0;
     std::uint64_t lists_opened = 0;
     std::uint64_t disk_bytes = 0;
+    std::uint64_t seeks = 0;  ///< skip-synchronised cursor seeks
 };
 
 // ---- Setup ---------------------------------------------------------------
@@ -75,6 +76,8 @@ struct VocabularyResponse {
 /// CN: the librarian weights terms with its own N and f_t.
 struct RankRequest {
     std::uint32_t k = 0;
+    bool pruned = false;     ///< MaxScore-safe pruned evaluation (same top k)
+    bool use_skips = false;  ///< let postings cursors use the skip structure
     std::vector<rank::QueryTerm> terms;
 
     net::Message encode() const;
@@ -86,6 +89,8 @@ struct RankRequest {
 struct RankWeightedRequest {
     std::uint32_t k = 0;
     double query_norm = 0.0;  ///< global W_q
+    bool pruned = false;      ///< as RankRequest::pruned
+    bool use_skips = false;   ///< as RankRequest::use_skips
     std::vector<rank::WeightedQueryTerm> terms;
 
     net::Message encode() const;

@@ -64,6 +64,8 @@ Receptionist::Receptionist(std::vector<std::unique_ptr<Channel>> channels,
         cache_key_prefix_ += std::to_string(options_.k_prime);
         cache_key_prefix_ += sep;
         cache_key_prefix_ += options_.use_skips ? '1' : '0';
+        cache_key_prefix_ += sep;
+        cache_key_prefix_ += options_.pruned_rank ? '1' : '0';
         // CI expansions are depth-independent (they depend on k' only),
         // so they get their own namespace within the same key scheme.
         expansion_key_prefix_ = cache_key_prefix_;

@@ -158,6 +158,12 @@ struct ReceptionistOptions {
     std::uint32_t k_prime = 100;    ///< groups expanded
     bool use_skips = false;  ///< paper: "we did not employ our skipping mechanism"
 
+    /// Librarians evaluate CN/CV rank requests with the MaxScore-safe
+    /// pruned evaluator (DESIGN.md §14). Rankings are byte-identical to
+    /// the exhaustive default; only the work counters change. Pruned
+    /// evaluation honours use_skips for its non-essential list probes.
+    bool pruned_rank = false;
+
     // Fetch behaviour. The paper's implementation moved documents with
     // individual round trips (bundling is listed as future improvement),
     // and stores/ships documents compressed.

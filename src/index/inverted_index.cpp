@@ -15,6 +15,11 @@ InvertedIndex::InvertedIndex(Vocabulary vocabulary, std::vector<TermStats> stats
     TERAPHIM_ASSERT(stats_.size() == vocabulary_.size());
     TERAPHIM_ASSERT(lists_.size() == vocabulary_.size());
     TERAPHIM_ASSERT(doc_lengths_.size() == doc_weights_.size());
+    for (const double w : doc_weights_) {
+        if (w > 0.0 && (min_positive_doc_weight_ == 0.0 || w < min_positive_doc_weight_)) {
+            min_positive_doc_weight_ = w;
+        }
+    }
 }
 
 const TermStats& InvertedIndex::stats(TermId id) const {

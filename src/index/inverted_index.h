@@ -61,6 +61,13 @@ public:
     /// Precomputed document weight W_d (>= 0; 0 for an empty document).
     double doc_weight(DocNum doc) const;
 
+    /// Smallest strictly positive W_d in the collection (0 when every
+    /// document is empty). The most favourable denominator a document-
+    /// normalised score can see — the conversion factor MaxScore-style
+    /// pruning uses to compare unnormalised upper bounds against the
+    /// top-k threshold. Computed once at construction.
+    double min_positive_doc_weight() const { return min_positive_doc_weight_; }
+
     /// Number of indexed term occurrences in the document.
     std::uint32_t doc_length(DocNum doc) const;
 
@@ -74,6 +81,7 @@ private:
     std::vector<PostingsList> lists_;
     std::vector<double> doc_weights_;
     std::vector<std::uint32_t> doc_lengths_;
+    double min_positive_doc_weight_ = 0.0;
 };
 
 }  // namespace teraphim::index

@@ -32,23 +32,26 @@ void serialize_postings(const PostingsList& list, net::Writer& out) {
     out.u32(list.skip_period());
     out.u64(list.payload_bits());
     out.u64(list.skip_bits());
+    out.u32(list.max_fdt());  // v2: the pruning upper-bound statistic
     out.bytes(list.raw_data());
     out.vec(list.raw_skip_docs(), [](net::Writer& w, std::uint32_t d) { w.u32(d); });
     out.vec(list.raw_skip_offsets(), [](net::Writer& w, std::uint64_t o) { w.u64(o); });
 }
 
-PostingsList deserialize_postings(net::Reader& in) {
+PostingsList deserialize_postings(net::Reader& in, std::uint8_t version) {
     const std::uint32_t count = in.u32();
     const std::uint64_t golomb_b = in.u64();
     const std::uint32_t skip_period = in.u32();
     const std::uint64_t payload_bits = in.u64();
     const std::uint64_t skip_bits = in.u64();
+    // v1 files carry no max_fdt; 0 makes the list recompute it lazily.
+    const std::uint32_t max_fdt = version >= 2 ? in.u32() : 0;
     auto data = in.bytes();
     auto skip_docs = in.vec<std::uint32_t>([](net::Reader& r) { return r.u32(); });
     auto skip_offsets = in.vec<std::uint64_t>([](net::Reader& r) { return r.u64(); });
     return PostingsList::from_parts(std::move(data), count, golomb_b, skip_period,
                                     payload_bits, skip_bits, std::move(skip_docs),
-                                    std::move(skip_offsets));
+                                    std::move(skip_offsets), max_fdt);
 }
 
 }  // namespace
@@ -77,7 +80,7 @@ void serialize_index(const InvertedIndex& index, net::Writer& out) {
 InvertedIndex deserialize_index(net::Reader& in) {
     if (in.u32() != kIndexMagic) throw DataError("not a TERAPHIM index file");
     const std::uint8_t version = in.u8();
-    if (version != kIndexFormatVersion) {
+    if (version < kIndexMinFormatVersion || version > kIndexFormatVersion) {
         throw DataError("unsupported index format version " + std::to_string(version));
     }
 
@@ -96,7 +99,7 @@ InvertedIndex deserialize_index(net::Reader& in) {
     std::vector<PostingsList> lists;
     lists.reserve(num_terms);
     for (std::uint32_t t = 0; t < num_terms; ++t) {
-        lists.push_back(deserialize_postings(in));
+        lists.push_back(deserialize_postings(in, version));
     }
     const std::uint32_t num_docs = in.u32();
     std::vector<double> weights;

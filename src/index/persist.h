@@ -18,8 +18,15 @@
 namespace teraphim::index {
 
 /// File magic: "TPIX" followed by a format version byte.
+///
+/// Version history:
+///   1 — original layout.
+///   2 — adds the per-list max-f_dt statistic (score upper bounds for
+///       MaxScore-style pruning). v1 files still load; their lists
+///       recompute the statistic lazily (PostingsList::max_fdt()).
 inline constexpr std::uint32_t kIndexMagic = 0x58495054;  // 'TPIX' little-endian
-inline constexpr std::uint8_t kIndexFormatVersion = 1;
+inline constexpr std::uint8_t kIndexFormatVersion = 2;
+inline constexpr std::uint8_t kIndexMinFormatVersion = 1;
 
 /// Serializes the index into `out` (appended).
 void serialize_index(const InvertedIndex& index, net::Writer& out);

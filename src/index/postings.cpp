@@ -7,6 +7,34 @@
 
 namespace teraphim::index {
 
+PostingsList& PostingsList::operator=(const PostingsList& other) {
+    if (this == &other) return *this;
+    data_ = other.data_;
+    count_ = other.count_;
+    golomb_b_ = other.golomb_b_;
+    skip_period_ = other.skip_period_;
+    payload_bits_ = other.payload_bits_;
+    skip_bits_ = other.skip_bits_;
+    skip_docs_ = other.skip_docs_;
+    skip_bit_offsets_ = other.skip_bit_offsets_;
+    max_fdt_.store(other.max_fdt_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+}
+
+PostingsList& PostingsList::operator=(PostingsList&& other) noexcept {
+    if (this == &other) return *this;
+    data_ = std::move(other.data_);
+    count_ = other.count_;
+    golomb_b_ = other.golomb_b_;
+    skip_period_ = other.skip_period_;
+    payload_bits_ = other.payload_bits_;
+    skip_bits_ = other.skip_bits_;
+    skip_docs_ = std::move(other.skip_docs_);
+    skip_bit_offsets_ = std::move(other.skip_bit_offsets_);
+    max_fdt_.store(other.max_fdt_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+}
+
 PostingsList PostingsList::build(std::span<const Posting> postings, std::uint32_t universe,
                                  std::uint32_t skip_period) {
     PostingsList list;
@@ -19,8 +47,10 @@ PostingsList PostingsList::build(std::span<const Posting> postings, std::uint32_
     std::uint32_t prev_plus_one = 0;
     std::uint32_t prev_skip_doc = 0;
     std::uint64_t prev_skip_bits = 0;
+    std::uint32_t max_fdt = 0;
     for (std::uint32_t i = 0; i < postings.size(); ++i) {
         const Posting& p = postings[i];
+        if (p.fdt > max_fdt) max_fdt = p.fdt;
         TERAPHIM_ASSERT_MSG(p.doc + 1 > prev_plus_one, "postings must be strictly increasing");
         TERAPHIM_ASSERT_MSG(p.fdt >= 1, "in-document frequency must be positive");
         if (skip_period != 0 && i != 0 && i % skip_period == 0) {
@@ -40,14 +70,29 @@ PostingsList PostingsList::build(std::span<const Posting> postings, std::uint32_
     }
     list.payload_bits_ = w.bit_count();
     list.data_ = w.take();
+    list.max_fdt_.store(max_fdt, std::memory_order_relaxed);
     return list;
+}
+
+std::uint32_t PostingsList::max_fdt() const {
+    std::uint32_t cached = max_fdt_.load(std::memory_order_relaxed);
+    if (cached != 0 || count_ == 0) return cached;
+    // Legacy list without the persisted statistic: one linear decode.
+    // Concurrent callers may both get here; they compute and store the
+    // same value, so the race is benign and the store relaxed.
+    for (PostingsCursor cur(*this, /*use_skips=*/false); !cur.at_end(); cur.next()) {
+        if (cur.fdt() > cached) cached = cur.fdt();
+    }
+    max_fdt_.store(cached, std::memory_order_relaxed);
+    return cached;
 }
 
 PostingsList PostingsList::from_parts(std::vector<std::uint8_t> data, std::uint32_t count,
                                       std::uint64_t golomb_b, std::uint32_t skip_period,
                                       std::uint64_t payload_bits, std::uint64_t skip_bits,
                                       std::vector<std::uint32_t> skip_docs,
-                                      std::vector<std::uint64_t> skip_offsets) {
+                                      std::vector<std::uint64_t> skip_offsets,
+                                      std::uint32_t max_fdt) {
     TERAPHIM_ASSERT(skip_docs.size() == skip_offsets.size());
     TERAPHIM_ASSERT(golomb_b >= 1);
     PostingsList list;
@@ -59,6 +104,7 @@ PostingsList PostingsList::from_parts(std::vector<std::uint8_t> data, std::uint3
     list.skip_bits_ = skip_bits;
     list.skip_docs_ = std::move(skip_docs);
     list.skip_bit_offsets_ = std::move(skip_offsets);
+    list.max_fdt_.store(max_fdt, std::memory_order_relaxed);
     return list;
 }
 

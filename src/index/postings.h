@@ -9,6 +9,7 @@
 // candidate-restricted scoring cheap in the Central Index methodology.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -29,6 +30,13 @@ struct Posting {
 class PostingsList {
 public:
     PostingsList() = default;
+    // The cached max-f_dt is an atomic (lazy recompute for legacy lists
+    // may race between query threads); atomics are neither copyable nor
+    // movable, so the special members are spelled out.
+    PostingsList(const PostingsList& other) { *this = other; }
+    PostingsList& operator=(const PostingsList& other);
+    PostingsList(PostingsList&& other) noexcept { *this = std::move(other); }
+    PostingsList& operator=(PostingsList&& other) noexcept;
 
     /// Compresses `postings`, which must be sorted by strictly increasing
     /// doc. `universe` is the number of documents N in the collection
@@ -40,6 +48,14 @@ public:
     std::uint32_t count() const { return count_; }
     bool empty() const { return count_ == 0; }
     std::uint64_t golomb_b() const { return golomb_b_; }
+
+    /// Largest in-document frequency in the list — the term's score
+    /// upper-bound statistic used by MaxScore-style pruning (for every
+    /// monotone w_dt, w_dt(f) <= w_dt(max_fdt)). build() computes it on
+    /// the fly; lists reassembled from a legacy (v1) index file arrive
+    /// without it and recompute it lazily on first use, decoding the
+    /// list once. 0 for an empty list.
+    std::uint32_t max_fdt() const;
 
     /// Compressed payload size, in bits, excluding skips.
     std::uint64_t payload_bits() const { return payload_bits_; }
@@ -60,12 +76,15 @@ public:
     std::uint32_t skip_period() const { return skip_period_; }
 
     /// Reassembles a list from its persisted parts; the parts must come
-    /// from raw accessors of a list built by build().
+    /// from raw accessors of a list built by build(). `max_fdt` of 0 on
+    /// a non-empty list means "unknown" (legacy v1 index files) and is
+    /// recomputed lazily by max_fdt().
     static PostingsList from_parts(std::vector<std::uint8_t> data, std::uint32_t count,
                                    std::uint64_t golomb_b, std::uint32_t skip_period,
                                    std::uint64_t payload_bits, std::uint64_t skip_bits,
                                    std::vector<std::uint32_t> skip_docs,
-                                   std::vector<std::uint64_t> skip_offsets);
+                                   std::vector<std::uint64_t> skip_offsets,
+                                   std::uint32_t max_fdt = 0);
 
     friend class PostingsCursor;
 
@@ -81,6 +100,10 @@ private:
     // that posting's gap code.
     std::vector<std::uint32_t> skip_docs_;
     std::vector<std::uint64_t> skip_bit_offsets_;
+    // 0 = unknown (legacy file) until the lazy recompute fills it in;
+    // relaxed atomics because two query threads may recompute the same
+    // value concurrently — both writes store the identical result.
+    mutable std::atomic<std::uint32_t> max_fdt_{0};
 };
 
 /// Forward iterator over a PostingsList with optional skipped seeks.

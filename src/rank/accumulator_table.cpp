@@ -1,0 +1,88 @@
+#include "rank/accumulator_table.h"
+
+namespace teraphim::rank {
+
+namespace {
+
+constexpr std::size_t kMinCapacity = 1024;
+
+std::size_t next_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+}
+
+}  // namespace
+
+AccumulatorTable::AccumulatorTable(std::size_t expected_entries) {
+    // 8/7 headroom so the expected fill stays under the 7/8 load cap.
+    const std::size_t wanted = expected_entries + expected_entries / 7 + 1;
+    slots_.resize(next_pow2(wanted < kMinCapacity ? kMinCapacity : wanted));
+    mask_ = slots_.size() - 1;
+    grow_at_ = slots_.size() - slots_.size() / 8;
+}
+
+std::size_t AccumulatorTable::home_slot(std::uint32_t doc) const {
+    // Fibonacci multiplicative hash; doc numbers are dense and small,
+    // the multiply spreads them across the high bits before masking.
+    return static_cast<std::size_t>(
+               (static_cast<std::uint64_t>(doc + 1) * 0x9E3779B97F4A7C15ull) >> 32) &
+           mask_;
+}
+
+void AccumulatorTable::stage(std::uint32_t doc, double delta, bool admit_new) {
+    if (queued_ == kBatch) flush();
+    queue_[queued_++] = Pending{doc, admit_new, delta};
+    // Prefetch the home slot now; by the time the queue drains the
+    // line should be resident (the DRAMHiT prefetch-ahead pattern).
+    __builtin_prefetch(&slots_[home_slot(doc)], /*rw=*/1, /*locality=*/1);
+}
+
+void AccumulatorTable::flush() {
+    for (std::size_t i = 0; i < queued_; ++i) apply(queue_[i]);
+    queued_ = 0;
+}
+
+void AccumulatorTable::apply(const Pending& op) {
+    const std::uint32_t key = op.doc + 1;
+    std::size_t idx = home_slot(op.doc);
+    for (;;) {
+        Slot& s = slots_[idx];
+        if (s.key == key) {
+            s.score += op.delta;
+            return;
+        }
+        if (s.key == 0) {
+            if (!op.admit_new) return;  // continue strategy: update-only
+            s.key = key;
+            s.score = op.delta;
+            if (++size_ >= grow_at_) grow();
+            return;
+        }
+        idx = (idx + 1) & mask_;
+    }
+}
+
+void AccumulatorTable::grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    grow_at_ = slots_.size() - slots_.size() / 8;
+    for (const Slot& s : old) {
+        if (s.key == 0) continue;
+        std::size_t idx = home_slot(s.key - 1);
+        while (slots_[idx].key != 0) idx = (idx + 1) & mask_;
+        slots_[idx] = s;
+    }
+}
+
+std::vector<SearchResult> AccumulatorTable::extract_entries() const {
+    std::vector<SearchResult> out;
+    out.reserve(size_);
+    for (const Slot& s : slots_) {
+        if (s.key != 0) out.push_back({s.key - 1, s.score});
+    }
+    return out;
+}
+
+}  // namespace teraphim::rank

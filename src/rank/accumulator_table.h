@@ -1,0 +1,91 @@
+// Flat open-addressing accumulator table for term-at-a-time ranking.
+//
+// Replaces the O(N)-memory dense score vector: a query touches at most
+// sum_t f_t documents, so the accumulator structure should be sized to
+// the *postings actually processed*, not to the collection. The layout
+// and access pattern follow DRAMHiT's partitioned hash tables
+// (simple_kht.hpp / cas_kht.hpp): packed {key, value} slots in one
+// power-of-two array probed linearly, and a small FIFO staging queue
+// that issues a software prefetch for each operation's home slot when
+// it is enqueued and performs the probe only when the operation is
+// dequeued — by which time the cache line is (ideally) resident, so the
+// probe never stalls on DRAM. The queue preserves arrival order, which
+// keeps per-document score additions in exactly the order the dense
+// vector would apply them: byte-identical floating-point results.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rank/similarity.h"
+
+namespace teraphim::rank {
+
+class AccumulatorTable {
+public:
+    /// `expected_entries` pre-sizes the table (rounded up to a power of
+    /// two); the table grows itself when the load factor passes 7/8.
+    explicit AccumulatorTable(std::size_t expected_entries = 0);
+
+    /// Enqueues `score[doc] += delta`, prefetching doc's home slot.
+    /// With `admit_new` false the addition is dropped unless `doc`
+    /// already has an accumulator (Moffat & Zobel's *continue*
+    /// strategy). Operations are applied in stage() order once the
+    /// staging queue fills or flush() runs.
+    void stage(std::uint32_t doc, double delta, bool admit_new = true);
+
+    /// Applies every staged operation. Must be called before size(),
+    /// for_each() or extract_entries() observe the latest stage()s.
+    void flush();
+
+    /// Live accumulators (documents with an entry).
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /// Allocated slots (power of two); exposed for tests and benches.
+    std::size_t capacity() const { return slots_.size(); }
+
+    /// Calls fn(doc, score&) for every live entry, in unspecified
+    /// order. The reference is mutable so normalisation can run in
+    /// place.
+    template <typename Fn>
+    void for_each(Fn&& fn) {
+        for (Slot& s : slots_) {
+            if (s.key != 0) fn(s.key - 1, s.score);
+        }
+    }
+
+    /// Moves the live entries out as SearchResults (unspecified order).
+    std::vector<SearchResult> extract_entries() const;
+
+private:
+    // key = doc + 1 so that 0 marks an empty slot; the 16-byte packed
+    // slot puts four entries on a cache line.
+    struct Slot {
+        std::uint32_t key = 0;
+        double score = 0.0;
+    };
+    struct Pending {
+        std::uint32_t doc = 0;
+        bool admit_new = true;
+        double delta = 0.0;
+    };
+
+    /// DRAMHiT-style prefetch window: deep enough to cover DRAM
+    /// latency, small enough to stay in registers/L1.
+    static constexpr std::size_t kBatch = 16;
+
+    std::size_t home_slot(std::uint32_t doc) const;
+    void apply(const Pending& op);
+    void grow();
+
+    std::vector<Slot> slots_;
+    std::size_t mask_ = 0;       ///< capacity - 1
+    std::size_t size_ = 0;       ///< live entries
+    std::size_t grow_at_ = 0;    ///< size_ threshold triggering grow()
+    Pending queue_[kBatch];
+    std::size_t queued_ = 0;
+};
+
+}  // namespace teraphim::rank

@@ -2,10 +2,60 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
+#include "rank/accumulator_table.h"
 #include "util/error.h"
 
 namespace teraphim::rank {
+
+namespace {
+
+/// Multiplicative slack applied to every pruning bound. The bound
+/// arithmetic (upper-bound prefix sums, partial sums accumulated in
+/// probe order) rounds differently from the canonical score (summed in
+/// original term order), so a mathematically-equal bound could fall an
+/// ulp below the true score and prune a document that belongs in the
+/// top k. Relative rounding error of a T-term non-negative sum is
+/// bounded by ~T·2^-52 (≈2e-13 for a thousand terms); 1e-9 covers it
+/// with six orders of magnitude to spare while staying far below any
+/// meaningful score difference. See DESIGN.md §14.
+constexpr double kBoundSlack = 1.0 + 1e-9;
+
+const auto worse_first = [](const SearchResult& a, const SearchResult& b) {
+    return result_before(a, b);  // makes the heap top the *worst* kept result
+};
+
+/// Pushes r into the top-k min-heap, displacing the worst entry once
+/// the heap is full. Returns true when the heap changed.
+bool heap_offer(std::vector<SearchResult>& heap, std::size_t k, const SearchResult& r) {
+    if (heap.size() < k) {
+        heap.push_back(r);
+        std::push_heap(heap.begin(), heap.end(), worse_first);
+        return true;
+    }
+    if (k > 0 && result_before(r, heap.front())) {
+        std::pop_heap(heap.begin(), heap.end(), worse_first);
+        heap.back() = r;
+        std::push_heap(heap.begin(), heap.end(), worse_first);
+        return true;
+    }
+    return false;
+}
+
+std::vector<SearchResult> heap_finish(std::vector<SearchResult>&& heap) {
+    std::sort(heap.begin(), heap.end(), result_before);
+    return std::move(heap);
+}
+
+/// Bits charged for a partially traversed list: proportional to the
+/// fraction of postings the cursor actually decoded (total_bits when
+/// the list was read in full — the whole point of skipping).
+std::uint64_t bits_traversed(const index::PostingsList& list, std::uint64_t decoded) {
+    return list.count() == 0 ? 0 : list.total_bits() * decoded / list.count();
+}
+
+}  // namespace
 
 QueryProcessor::QueryProcessor(const index::InvertedIndex& index,
                                const SimilarityMeasure& measure)
@@ -26,16 +76,37 @@ std::vector<WeightedQueryTerm> QueryProcessor::resolve_weights(const Query& quer
 }
 
 std::vector<SearchResult> QueryProcessor::rank(const Query& query, std::size_t k,
+                                               const RankPolicy& policy,
                                                RankStats* stats) const {
     const auto weighted = resolve_weights(query);
-    return rank_weighted(weighted, query_norm(weighted), k, stats);
+    return rank_weighted(weighted, query_norm(weighted), k, policy, stats);
 }
 
 std::vector<SearchResult> QueryProcessor::rank_weighted(
     const std::vector<WeightedQueryTerm>& terms, double qnorm, std::size_t k,
     const RankPolicy& policy, RankStats* stats) const {
+    if (policy.pruned) {
+        TERAPHIM_ASSERT_MSG(policy.strategy == RankPolicy::Strategy::Unlimited,
+                            "pruned ranking cannot be combined with accumulator limiting");
+        // The upper-bound argument needs non-negative contributions;
+        // external callers may supply arbitrary weights, so fall back
+        // to the (always correct) exhaustive path instead of pruning
+        // unsafely.
+        const bool nonneg = std::all_of(terms.begin(), terms.end(),
+                                        [](const WeightedQueryTerm& t) { return t.weight >= 0.0; });
+        if (nonneg) return rank_pruned(terms, qnorm, k, policy, stats);
+    }
+    return rank_exhaustive(terms, qnorm, k, policy, stats);
+}
+
+std::vector<SearchResult> QueryProcessor::rank_exhaustive(
+    const std::vector<WeightedQueryTerm>& terms, double qnorm, std::size_t k,
+    const RankPolicy& policy, RankStats* stats) const {
     RankStats local;
-    std::vector<double> accumulators(index_->num_documents(), 0.0);
+    const bool flat = policy.accumulators == RankPolicy::Accumulators::Flat;
+    std::vector<double> dense;
+    AccumulatorTable table(flat ? 4096 : 0);
+    if (!flat) dense.assign(index_->num_documents(), 0.0);
 
     // Under a limiting policy, the rarest (highest-weighted) terms go
     // first: they select the documents most likely to rank well, so the
@@ -60,17 +131,29 @@ std::vector<SearchResult> QueryProcessor::rank_weighted(
         if (!id) continue;
         const index::PostingsList& list = index_->postings(*id);
         ++local.terms_matched;
-        local.index_bits_read += list.total_bits();
         const bool admit_new = !budget_hit;
-        for (index::PostingsCursor cur(list, /*use_skips=*/false); !cur.at_end(); cur.next()) {
-            double& acc = accumulators[cur.doc()];
-            if (acc == 0.0) {
-                if (!admit_new) continue;  // Continue: update existing only
-                ++live_accumulators;
+        index::PostingsCursor cur(list, policy.use_skips);
+        if (flat) {
+            for (; !cur.at_end(); cur.next()) {
+                table.stage(cur.doc(), wt->weight * measure_->doc_weight(cur.fdt()),
+                            admit_new);
             }
-            acc += wt->weight * measure_->doc_weight(cur.fdt());
+            table.flush();
+            live_accumulators = table.size();
+        } else {
+            for (; !cur.at_end(); cur.next()) {
+                double& acc = dense[cur.doc()];
+                if (acc == 0.0) {
+                    if (!admit_new) continue;  // Continue: update existing only
+                    ++live_accumulators;
+                }
+                acc += wt->weight * measure_->doc_weight(cur.fdt());
+            }
         }
-        local.postings_decoded += list.count();
+        // Charge what the cursor actually did, not the list totals: the
+        // difference matters as soon as a cursor stops early or seeks.
+        local.postings_decoded += cur.postings_decoded();
+        local.index_bits_read += bits_traversed(list, cur.postings_decoded());
         if (limited && live_accumulators >= policy.max_accumulators) budget_hit = true;
     }
 
@@ -79,41 +162,226 @@ std::vector<SearchResult> QueryProcessor::rank_weighted(
     // the same way the paper's implementation makes them comparable).
     const bool by_doc = measure_->normalise_by_document();
     const bool by_query = measure_->normalise_by_query() && qnorm > 0.0;
-    for (index::DocNum d = 0; d < accumulators.size(); ++d) {
-        if (accumulators[d] == 0.0) continue;
+    const auto normalise = [&](index::DocNum d, double& score) {
         ++local.accumulators_used;
         if (by_doc) {
             const double wd = index_->doc_weight(d);
-            accumulators[d] = wd > 0.0 ? accumulators[d] / wd : 0.0;
+            score = wd > 0.0 ? score / wd : 0.0;
         }
-        if (by_query) accumulators[d] /= qnorm;
+        if (by_query) score /= qnorm;
+    };
+
+    std::vector<SearchResult> out;
+    if (flat) {
+        table.for_each([&](index::DocNum d, double& score) {
+            if (score != 0.0) normalise(d, score);
+        });
+        out = top_k_from_entries(table.extract_entries(), k);
+    } else {
+        for (std::size_t d = 0; d < dense.size(); ++d) {
+            if (dense[d] == 0.0) continue;
+            normalise(static_cast<index::DocNum>(d), dense[d]);
+        }
+        out = top_k_from_accumulators(dense, k);
+    }
+    if (stats != nullptr) *stats = local;
+    return out;
+}
+
+std::vector<SearchResult> QueryProcessor::rank_pruned(
+    const std::vector<WeightedQueryTerm>& terms, double qnorm, std::size_t k,
+    const RankPolicy& policy, RankStats* stats) const {
+    RankStats local;
+    const bool by_doc = measure_->normalise_by_document();
+    const bool by_query = measure_->normalise_by_query() && qnorm > 0.0;
+    const double min_wd = index_->min_positive_doc_weight();
+
+    // Matched terms, each with its score upper bound w_qt · w_dt(max
+    // f_dt) — valid for every monotone w_dt, which all shipped measures
+    // have. `pos` remembers the original term position: the canonical
+    // score of a surviving document is summed in that order, so it is
+    // bit-identical to the exhaustive accumulator.
+    struct TermState {
+        std::size_t pos;
+        double weight;
+        double ub;
+        const index::PostingsList* list;
+        index::PostingsCursor cur;
+    };
+    std::vector<TermState> ts;
+    ts.reserve(terms.size());
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+        if (terms[i].weight == 0.0) continue;
+        const auto id = index_->vocabulary().lookup(terms[i].term);
+        if (!id) continue;
+        ++local.terms_matched;
+        const index::PostingsList& list = index_->postings(*id);
+        if (list.empty()) continue;
+        const double ub = terms[i].weight * measure_->doc_weight(list.max_fdt());
+        ts.push_back({i, terms[i].weight, ub, &list,
+                      index::PostingsCursor(list, policy.use_skips)});
+    }
+    const std::size_t T = ts.size();
+
+    const auto account_cursors = [&] {
+        for (const TermState& t : ts) {
+            local.postings_decoded += t.cur.postings_decoded();
+            local.index_bits_read += bits_traversed(*t.list, t.cur.postings_decoded());
+        }
+        if (stats != nullptr) *stats = local;
+    };
+    if (T == 0 || k == 0) {
+        account_cursors();
+        return {};
     }
 
-    if (stats != nullptr) *stats = local;
-    return top_k_from_accumulators(accumulators, k);
+    // MaxScore partition: term indices sorted by ascending upper bound
+    // with their prefix sums. The first `ne` lists in this order are
+    // non-essential — their combined upper bounds cannot lift any
+    // document past the current threshold, so they are only ever probed
+    // by seek() for documents the essential lists propose.
+    std::vector<std::size_t> sigma(T);
+    for (std::size_t i = 0; i < T; ++i) sigma[i] = i;
+    std::stable_sort(sigma.begin(), sigma.end(), [&](std::size_t a, std::size_t b) {
+        return ts[a].ub < ts[b].ub;
+    });
+    std::vector<double> prefix_ub(T);
+    double running_ub = 0.0;
+    for (std::size_t j = 0; j < T; ++j) {
+        running_ub += ts[sigma[j]].ub;
+        prefix_ub[j] = running_ub;
+    }
+
+    std::vector<SearchResult> heap;
+    heap.reserve(k + 1);
+    std::size_t ne = 0;  // lists sigma[0..ne) are non-essential
+
+    // Converts an unnormalised upper bound into score space using the
+    // most favourable denominators, inflated by the rounding slack.
+    const auto bound_for = [&](double unnorm, double wd) {
+        double b = unnorm * kBoundSlack;
+        if (by_doc) b /= wd;
+        if (by_query) b /= qnorm;
+        return b;
+    };
+
+    // Tightens the essential/non-essential split against the current
+    // threshold. Strict comparison: a document scoring *exactly* the
+    // bound could still enter on the doc-id tie-break.
+    const auto tighten = [&] {
+        if (heap.size() < k || (by_doc && min_wd <= 0.0)) return;
+        while (ne < T && bound_for(prefix_ub[ne], min_wd) < heap.front().score) ++ne;
+    };
+
+    std::vector<double> contrib(terms.size(), 0.0);
+    for (;;) {
+        // Pivot: smallest unprocessed document among essential lists.
+        std::uint32_t d = std::numeric_limits<std::uint32_t>::max();
+        bool live = false;
+        for (std::size_t j = ne; j < T; ++j) {
+            const auto& cur = ts[sigma[j]].cur;
+            if (!cur.at_end() && (!live || cur.doc() < d)) {
+                d = cur.doc();
+                live = true;
+            }
+        }
+        if (!live) break;  // every remaining list is provably non-essential or drained
+
+        // Essential contributions at d (recorded by original position).
+        double partial = 0.0;
+        for (std::size_t j = ne; j < T; ++j) {
+            TermState& t = ts[sigma[j]];
+            if (!t.cur.at_end() && t.cur.doc() == d) {
+                const double c = t.weight * measure_->doc_weight(t.cur.fdt());
+                contrib[t.pos] = c;
+                partial += c;
+            }
+        }
+
+        const double wd = by_doc ? index_->doc_weight(d) : 1.0;
+        bool viable = !(by_doc && wd <= 0.0);  // W_d = 0 scores 0 exhaustively
+        const bool full = heap.size() >= k;
+        if (viable && full) {
+            const double rest = ne > 0 ? prefix_ub[ne - 1] : 0.0;
+            viable = result_before({d, bound_for(partial + rest, wd)}, heap.front());
+        }
+        if (viable && ne > 0) {
+            // Probe non-essential lists, largest upper bound first,
+            // re-checking the (shrinking) bound after each seek.
+            double actual = partial;
+            for (std::size_t j = ne; j-- > 0;) {
+                TermState& t = ts[sigma[j]];
+                ++local.seeks;
+                if (!t.cur.at_end() && t.cur.seek(d)) {
+                    const double c = t.weight * measure_->doc_weight(t.cur.fdt());
+                    contrib[t.pos] = c;
+                    actual += c;
+                }
+                if (full) {
+                    const double rest = j > 0 ? prefix_ub[j - 1] : 0.0;
+                    if (!result_before({d, bound_for(actual + rest, wd)}, heap.front())) {
+                        viable = false;
+                        break;
+                    }
+                }
+            }
+        }
+
+        if (viable) {
+            // Canonical score: original term order, then the exact
+            // normalisation sequence of the exhaustive path. Untouched
+            // positions add 0.0, which leaves a non-negative partial
+            // sum bit-identical.
+            double score = 0.0;
+            for (std::size_t i = 0; i < contrib.size(); ++i) score += contrib[i];
+            ++local.accumulators_used;
+            if (by_doc) score = wd > 0.0 ? score / wd : 0.0;
+            if (by_query) score /= qnorm;
+            if (score > 0.0 && heap_offer(heap, k, {d, score})) tighten();
+        } else {
+            ++local.docs_pruned;
+        }
+
+        // Reset touched contributions and advance the essential
+        // cursors positioned on d (before any tightening from this
+        // round's insert took effect — `tighten` only grows `ne`, and
+        // cursors demoted mid-round must still step past d).
+        for (std::size_t j = ne; j < T; ++j) {
+            TermState& t = ts[sigma[j]];
+            contrib[t.pos] = 0.0;
+            if (!t.cur.at_end() && t.cur.doc() == d) t.cur.next();
+        }
+        for (std::size_t j = 0; j < ne; ++j) contrib[ts[sigma[j]].pos] = 0.0;
+    }
+
+    account_cursors();
+    return heap_finish(std::move(heap));
 }
 
 std::vector<SearchResult> top_k_from_accumulators(const std::vector<double>& accumulators,
                                                   std::size_t k) {
     std::vector<SearchResult> heap;  // min-heap on result_before order
     heap.reserve(k + 1);
-    const auto worse_first = [](const SearchResult& a, const SearchResult& b) {
-        return result_before(a, b);  // makes the heap top the *worst* kept result
-    };
-    for (std::uint32_t d = 0; d < accumulators.size(); ++d) {
+    // std::size_t indexing: a std::uint32_t counter would truncate (and
+    // never terminate) against a size() at or above 2^32 documents.
+    static_assert(sizeof(std::size_t) >= sizeof(index::DocNum),
+                  "accumulator indexing must cover the DocNum range");
+    for (std::size_t d = 0; d < accumulators.size(); ++d) {
         if (accumulators[d] <= 0.0) continue;
-        const SearchResult r{d, accumulators[d]};
-        if (heap.size() < k) {
-            heap.push_back(r);
-            std::push_heap(heap.begin(), heap.end(), worse_first);
-        } else if (k > 0 && result_before(r, heap.front())) {
-            std::pop_heap(heap.begin(), heap.end(), worse_first);
-            heap.back() = r;
-            std::push_heap(heap.begin(), heap.end(), worse_first);
-        }
+        heap_offer(heap, k, {static_cast<index::DocNum>(d), accumulators[d]});
     }
-    std::sort(heap.begin(), heap.end(), result_before);
-    return heap;
+    return heap_finish(std::move(heap));
+}
+
+std::vector<SearchResult> top_k_from_entries(const std::vector<SearchResult>& entries,
+                                             std::size_t k) {
+    std::vector<SearchResult> heap;
+    heap.reserve(k + 1);
+    for (const SearchResult& r : entries) {
+        if (r.score <= 0.0) continue;
+        heap_offer(heap, k, r);
+    }
+    return heap_finish(std::move(heap));
 }
 
 }  // namespace teraphim::rank

@@ -10,6 +10,11 @@
 //                     configuration, where the receptionist resolves
 //                     weights against its merged vocabulary so that every
 //                     librarian produces exactly the MS scores.
+//
+// The evaluator has two accumulator backends (dense vector / flat
+// open-addressing table) and an optional MaxScore-style safe-pruned
+// path; all of them return byte-identical top-k rankings (DESIGN.md
+// §14). The defaults reproduce the paper's exhaustive configuration.
 #pragma once
 
 #include <cstdint>
@@ -23,12 +28,25 @@ namespace teraphim::rank {
 /// Work counters used by the cost model and the ablation benches.
 struct RankStats {
     std::uint64_t terms_matched = 0;      ///< query terms found in the vocabulary
-    std::uint64_t postings_decoded = 0;   ///< inverted-list entries touched
-    std::uint64_t accumulators_used = 0;  ///< documents with a nonzero score
-    std::uint64_t index_bits_read = 0;    ///< compressed bits fetched from "disk"
+    /// Inverted-list entries actually decoded, as counted by the
+    /// postings cursors — under pruning or an accumulator budget this is
+    /// genuinely smaller than the sum of list lengths.
+    std::uint64_t postings_decoded = 0;
+    /// Documents that received a score: every nonzero accumulator in
+    /// exhaustive mode, the candidates fully scored in pruned mode.
+    std::uint64_t accumulators_used = 0;
+    /// Compressed bits fetched from "disk", charged proportionally to
+    /// the fraction of each list the cursor traversed.
+    std::uint64_t index_bits_read = 0;
+    std::uint64_t seeks = 0;              ///< skip-synchronised cursor seeks
+    /// Documents the pruned evaluator discarded on an upper bound alone
+    /// (never fully scored); always 0 in exhaustive mode.
+    std::uint64_t docs_pruned = 0;
 };
 
-/// Accumulator limiting, after Moffat & Zobel's "Self-indexing inverted
+/// Evaluation policy for one ranked query.
+///
+/// Accumulator limiting after Moffat & Zobel's "Self-indexing inverted
 /// files" [14] — the same paper the skipping mechanism comes from. Terms
 /// are processed in decreasing w_qt order (rarest first); once the
 /// accumulator target is hit, the *quit* strategy abandons the remaining
@@ -43,6 +61,28 @@ struct RankPolicy {
     Strategy strategy = Strategy::Unlimited;
     /// Accumulator target; ignored when strategy == Unlimited.
     std::size_t max_accumulators = 0;
+
+    /// Accumulator backend. Dense is the historical std::vector<double>
+    /// sized to the collection; Flat is the open-addressing
+    /// rank::AccumulatorTable sized to the postings actually touched.
+    /// Both produce byte-identical rankings — Dense is kept precisely
+    /// so the A/B identity check stays cheap to run.
+    enum class Accumulators { Dense, Flat };
+    Accumulators accumulators = Accumulators::Dense;
+
+    /// Whether postings cursors may use the self-indexing skip
+    /// structure. Default false — the paper's "in these experiments we
+    /// did not employ our skipping mechanism" baseline. Pruned
+    /// evaluation wants it on: non-essential lists are entered at the
+    /// sync points nearest each candidate instead of decoded linearly.
+    bool use_skips = false;
+
+    /// Safe dynamic pruning (MaxScore-style over per-term score upper
+    /// bounds; see DESIGN.md §14). The top-k result is guaranteed
+    /// byte-identical to exhaustive evaluation. Requires Unlimited
+    /// strategy and non-negative term weights; rank_weighted falls back
+    /// to the exhaustive path when handed negative weights.
+    bool pruned = false;
 };
 
 class QueryProcessor {
@@ -52,7 +92,13 @@ public:
     /// Ranks the whole collection with locally computed query weights and
     /// returns the top `k` by (score desc, doc asc).
     std::vector<SearchResult> rank(const Query& query, std::size_t k,
-                                   RankStats* stats = nullptr) const;
+                                   RankStats* stats = nullptr) const {
+        return rank(query, k, RankPolicy{}, stats);
+    }
+
+    /// As above, under an explicit evaluation policy.
+    std::vector<SearchResult> rank(const Query& query, std::size_t k,
+                                   const RankPolicy& policy, RankStats* stats = nullptr) const;
 
     /// Ranks with caller-supplied w_qt values. `query_norm` is W_q; pass
     /// the global norm in CV mode so scores match the mono-server ones.
@@ -62,7 +108,7 @@ public:
         return rank_weighted(terms, query_norm, k, RankPolicy{}, stats);
     }
 
-    /// As above, under an accumulator-limiting policy.
+    /// As above, under an accumulator-limiting / pruning policy.
     std::vector<SearchResult> rank_weighted(const std::vector<WeightedQueryTerm>& terms,
                                             double query_norm, std::size_t k,
                                             const RankPolicy& policy,
@@ -75,13 +121,28 @@ public:
     const SimilarityMeasure& measure() const { return *measure_; }
 
 private:
+    std::vector<SearchResult> rank_exhaustive(const std::vector<WeightedQueryTerm>& terms,
+                                              double qnorm, std::size_t k,
+                                              const RankPolicy& policy, RankStats* stats) const;
+    std::vector<SearchResult> rank_pruned(const std::vector<WeightedQueryTerm>& terms,
+                                          double qnorm, std::size_t k, const RankPolicy& policy,
+                                          RankStats* stats) const;
+
     const index::InvertedIndex* index_;
     const SimilarityMeasure* measure_;
 };
 
 /// Extracts the top-k results (score desc, doc asc) from a full
-/// accumulator array; exposed for reuse by the merging logic.
+/// accumulator array; exposed for reuse by the merging logic. Indexing
+/// is std::size_t throughout — the array may hold more than 2^32
+/// entries even though each surviving doc number fits index::DocNum.
 std::vector<SearchResult> top_k_from_accumulators(const std::vector<double>& accumulators,
                                                   std::size_t k);
+
+/// Top-k selection over sparse (doc, score) entries in any order;
+/// entries with score <= 0 are ignored, exactly as the dense overload
+/// ignores empty accumulators.
+std::vector<SearchResult> top_k_from_entries(const std::vector<SearchResult>& entries,
+                                             std::size_t k);
 
 }  // namespace teraphim::rank

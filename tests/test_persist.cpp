@@ -95,6 +95,87 @@ TEST(IndexPersist, SkipsSurviveRoundTrip) {
     std::remove(path.c_str());
 }
 
+TEST(IndexPersist, RoundTripPreservesMaxFdt) {
+    const auto original = sample_index();
+    const std::string path = temp_path("maxfdt.tpix");
+    index::save_index(original, path);
+    const auto loaded = index::load_index(path);
+    ASSERT_EQ(loaded.num_terms(), original.num_terms());
+    for (index::TermId t = 0; t < original.num_terms(); ++t) {
+        EXPECT_EQ(loaded.postings(t).max_fdt(), original.postings(t).max_fdt());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(IndexPersist, LoadsLegacyV1Files) {
+    const auto original = sample_index();
+    // Serialize by hand in the v1 layout: version byte 1, no per-list
+    // max-f_dt field. A legacy index must still load, with the missing
+    // statistic recomputed lazily.
+    net::Writer out;
+    out.u32(index::kIndexMagic);
+    out.u8(1);
+    const auto num_terms = static_cast<std::uint32_t>(original.num_terms());
+    out.u32(num_terms);
+    for (index::TermId t = 0; t < num_terms; ++t) {
+        out.str(original.vocabulary().term(t));
+        out.u64(original.stats(t).doc_frequency);
+        out.u64(original.stats(t).collection_frequency);
+    }
+    for (index::TermId t = 0; t < num_terms; ++t) {
+        const auto& list = original.postings(t);
+        out.u32(list.count());
+        out.u64(list.golomb_b());
+        out.u32(list.skip_period());
+        out.u64(list.payload_bits());
+        out.u64(list.skip_bits());
+        out.bytes(list.raw_data());
+        out.vec(list.raw_skip_docs(), [](net::Writer& w, std::uint32_t d) { w.u32(d); });
+        out.vec(list.raw_skip_offsets(), [](net::Writer& w, std::uint64_t o) { w.u64(o); });
+    }
+    out.u32(original.num_documents());
+    for (index::DocNum d = 0; d < original.num_documents(); ++d) {
+        out.f64(original.doc_weight(d));
+        out.u32(original.doc_length(d));
+    }
+
+    net::Reader in(out.view());
+    const auto loaded = index::deserialize_index(in);
+    ASSERT_EQ(loaded.num_terms(), original.num_terms());
+    for (index::TermId t = 0; t < original.num_terms(); ++t) {
+        EXPECT_EQ(loaded.postings(t).decode_all(), original.postings(t).decode_all());
+        EXPECT_EQ(loaded.postings(t).max_fdt(), original.postings(t).max_fdt());
+    }
+
+    // A legacy index ranks identically, pruned included.
+    rank::Query q;
+    q.terms = {{"t1", 1}, {"t42", 2}, {"t137", 1}};
+    rank::RankPolicy pruned;
+    pruned.pruned = true;
+    const auto exhaustive = rank::QueryProcessor(original, rank::cosine_log_tf()).rank(q, 20);
+    const auto legacy =
+        rank::QueryProcessor(loaded, rank::cosine_log_tf()).rank(q, 20, pruned);
+    ASSERT_EQ(exhaustive.size(), legacy.size());
+    for (std::size_t i = 0; i < exhaustive.size(); ++i) {
+        EXPECT_EQ(exhaustive[i].doc, legacy[i].doc);
+        EXPECT_DOUBLE_EQ(exhaustive[i].score, legacy[i].score);
+    }
+}
+
+TEST(IndexPersist, RejectsVersionsAboveCurrent) {
+    const auto original = sample_index();
+    const std::string path = temp_path("future.tpix");
+    index::save_index(original, path);
+    {
+        std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+        f.seekp(4);  // magic is 4 bytes; the version byte follows
+        const char version = static_cast<char>(index::kIndexFormatVersion + 1);
+        f.write(&version, 1);
+    }
+    EXPECT_THROW(index::load_index(path), DataError);
+    std::remove(path.c_str());
+}
+
 TEST(IndexPersist, RejectsGarbage) {
     const std::string path = temp_path("garbage.tpix");
     {

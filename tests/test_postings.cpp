@@ -182,6 +182,39 @@ TEST(PostingsList, SkipOverheadIsModest) {
     EXPECT_LT(with.skip_bits(), with.payload_bits() / 10);
 }
 
+TEST(PostingsList, MaxFdtTrackedAtBuild) {
+    const std::vector<Posting> ps{{10, 3}, {20, 9}, {30, 2}};
+    const PostingsList list = PostingsList::build(ps, 100);
+    EXPECT_EQ(list.max_fdt(), 9u);
+    EXPECT_EQ(PostingsList::build({}, 100).max_fdt(), 0u);
+}
+
+TEST(PostingsList, MaxFdtRecomputedWhenNotPersisted) {
+    // from_parts with max_fdt = 0 models a v1 on-disk list: the value
+    // must be recovered lazily by decoding the list once.
+    util::Rng rng(107);
+    const auto ps = random_postings(rng, 5000, 400);
+    const PostingsList built = PostingsList::build(ps, 5000);
+    const auto raw = built.raw_data();
+    const PostingsList legacy = PostingsList::from_parts(
+        std::vector<std::uint8_t>(raw.begin(), raw.end()), built.count(), built.golomb_b(),
+        built.skip_period(), built.payload_bits(), built.skip_bits(), built.raw_skip_docs(),
+        built.raw_skip_offsets(), /*max_fdt=*/0);
+    std::uint32_t expect = 0;
+    for (const Posting& p : ps) expect = std::max(expect, p.fdt);
+    EXPECT_EQ(legacy.max_fdt(), expect);
+    EXPECT_EQ(legacy.max_fdt(), built.max_fdt());
+}
+
+TEST(PostingsList, MaxFdtSurvivesCopyAndMove) {
+    const std::vector<Posting> ps{{1, 4}, {2, 6}};
+    const PostingsList list = PostingsList::build(ps, 10);
+    PostingsList copy = list;
+    EXPECT_EQ(copy.max_fdt(), 6u);
+    const PostingsList moved = std::move(copy);
+    EXPECT_EQ(moved.max_fdt(), 6u);
+}
+
 TEST(PostingsList, RejectsUnsortedInput) {
     const std::vector<Posting> bad{{5, 1}, {5, 2}};
     EXPECT_THROW(PostingsList::build(bad, 10), Error);

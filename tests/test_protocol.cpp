@@ -41,16 +41,33 @@ TEST(Protocol, RankRequestRoundTrip) {
     ASSERT_EQ(out.terms.size(), 2u);
     EXPECT_EQ(out.terms[0].term, "cats");
     EXPECT_EQ(out.terms[0].fqt, 2u);
+    EXPECT_FALSE(out.pruned);
+    EXPECT_FALSE(out.use_skips);
+}
+
+TEST(Protocol, RankRequestCarriesEvaluationPolicy) {
+    RankRequest in;
+    in.k = 10;
+    in.pruned = true;
+    in.use_skips = true;
+    in.terms = {{"cats", 1}};
+    const auto out = RankRequest::decode(in.encode());
+    EXPECT_TRUE(out.pruned);
+    EXPECT_TRUE(out.use_skips);
 }
 
 TEST(Protocol, RankWeightedRequestRoundTrip) {
     RankWeightedRequest in;
     in.k = 1000;
     in.query_norm = 2.5;
+    in.pruned = true;
+    in.use_skips = true;
     in.terms = {{"idf", 1.25}, {"weighted", 0.5}};
     const auto out = RankWeightedRequest::decode(in.encode());
     EXPECT_EQ(out.k, 1000u);
     EXPECT_DOUBLE_EQ(out.query_norm, 2.5);
+    EXPECT_TRUE(out.pruned);
+    EXPECT_TRUE(out.use_skips);
     ASSERT_EQ(out.terms.size(), 2u);
     EXPECT_DOUBLE_EQ(out.terms[0].weight, 1.25);
 }
@@ -60,12 +77,14 @@ TEST(Protocol, RankResponseRoundTrip) {
     in.results = {{5, 0.9}, {17, 0.3}};
     in.work.postings_decoded = 1000;
     in.work.index_bits_read = 8192;
+    in.work.seeks = 42;
     const auto out = RankResponse::decode(in.encode());
     ASSERT_EQ(out.results.size(), 2u);
     EXPECT_EQ(out.results[0].doc, 5u);
     EXPECT_DOUBLE_EQ(out.results[1].score, 0.3);
     EXPECT_EQ(out.work.postings_decoded, 1000u);
     EXPECT_EQ(out.work.index_bits_read, 8192u);
+    EXPECT_EQ(out.work.seeks, 42u);
 }
 
 TEST(Protocol, CandidateRequestRoundTrip) {

@@ -1,0 +1,238 @@
+// Safe-pruning byte-identity suite (DESIGN.md §14).
+//
+// The pruned evaluator's contract is strong: for every similarity
+// measure, accumulator backend, skip setting and cutoff k, the top-k
+// ranking — documents, order, *and the score doubles* — is identical to
+// exhaustive evaluation. These tests enforce the contract on a Zipfian
+// collection (where pruning actually skips work) and end-to-end across
+// a real TCP federation.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "corpus/zipf.h"
+#include "dir/deployment.h"
+#include "index/builder.h"
+#include "rank/query_processor.h"
+#include "util/rng.h"
+
+namespace teraphim::rank {
+namespace {
+
+/// Zipf-skewed synthetic collection: a few very common terms with long
+/// postings lists (low upper bounds per posting) and a tail of rare,
+/// high-impact terms — the shape that lets MaxScore retire whole lists.
+index::InvertedIndex zipf_index(std::size_t num_docs = 1500, std::uint64_t seed = 7) {
+    util::Rng rng(seed);
+    const auto weights = corpus::zipf_weights(400, 1.2);
+    const util::AliasSampler sampler(weights);
+    index::IndexBuilder builder;
+    std::vector<std::string> terms;
+    for (std::size_t d = 0; d < num_docs; ++d) {
+        terms.clear();
+        const std::size_t len = 20 + rng.below(30);
+        for (std::size_t i = 0; i < len; ++i) {
+            terms.push_back("z" + std::to_string(sampler.sample(rng)));
+        }
+        builder.add_document(terms);
+    }
+    return std::move(builder).build();
+}
+
+Query mixed_query() {
+    // A head term (long list, low weight) plus mid- and tail terms: the
+    // non-essential partition has something to retire.
+    Query q;
+    q.terms = {{"z0", 1}, {"z1", 1}, {"z17", 2}, {"z80", 1}, {"z250", 1}};
+    return q;
+}
+
+void expect_identical(const std::vector<SearchResult>& a, const std::vector<SearchResult>& b,
+                      const std::string& label) {
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].doc, b[i].doc) << label << " rank " << i;
+        EXPECT_EQ(a[i].score, b[i].score) << label << " rank " << i << " (bit-exact)";
+    }
+}
+
+TEST(PrunedRank, ByteIdenticalAcrossMeasuresSkipsAndCutoffs) {
+    const auto idx = zipf_index();
+    const Query q = mixed_query();
+    for (const SimilarityMeasure* m : all_measures()) {
+        QueryProcessor qp(idx, *m);
+        for (const bool use_skips : {false, true}) {
+            for (const std::size_t k : {std::size_t{1}, std::size_t{10}, std::size_t{1000},
+                                        std::size_t{1} << 20}) {
+                RankPolicy pruned;
+                pruned.pruned = true;
+                pruned.use_skips = use_skips;
+                const std::string label = std::string(m->name()) +
+                                          (use_skips ? "/skips" : "/linear") + "/k=" +
+                                          std::to_string(k);
+                expect_identical(qp.rank(q, k), qp.rank(q, k, pruned), label);
+            }
+        }
+    }
+}
+
+TEST(PrunedRank, ByteIdenticalOnWeightedQueries) {
+    // The CV path: caller-resolved weights and a global query norm.
+    const auto idx = zipf_index(1000, 13);
+    QueryProcessor qp(idx, cosine_log_tf());
+    const auto weights = qp.resolve_weights(mixed_query());
+    const double norm = query_norm(weights);
+    RankPolicy pruned;
+    pruned.pruned = true;
+    pruned.use_skips = true;
+    expect_identical(qp.rank_weighted(weights, norm, 10),
+                     qp.rank_weighted(weights, norm, 10, pruned), "weighted");
+}
+
+TEST(PrunedRank, ManyRandomQueriesStayIdentical) {
+    const auto idx = zipf_index();
+    util::Rng rng(23);
+    QueryProcessor qp(idx, cosine_log_tf());
+    for (int trial = 0; trial < 40; ++trial) {
+        Query q;
+        const std::size_t nterms = 1 + rng.below(8);
+        for (std::size_t i = 0; i < nterms; ++i) {
+            q.terms.push_back({"z" + std::to_string(rng.below(400)),
+                               1 + static_cast<std::uint32_t>(rng.below(3))});
+        }
+        const std::size_t k = 1 + rng.below(50);
+        RankPolicy pruned;
+        pruned.pruned = true;
+        pruned.use_skips = rng.chance(0.5);
+        expect_identical(qp.rank(q, k), qp.rank(q, k, pruned),
+                         "trial " + std::to_string(trial));
+    }
+}
+
+TEST(PrunedRank, DecodesStrictlyFewerPostingsAtSmallK) {
+    const auto idx = zipf_index();
+    QueryProcessor qp(idx, cosine_log_tf());
+    const Query q = mixed_query();
+    RankStats exhaustive, pruned_stats;
+    qp.rank(q, 10, RankPolicy{}, &exhaustive);
+    RankPolicy pruned;
+    pruned.pruned = true;
+    pruned.use_skips = true;
+    qp.rank(q, 10, pruned, &pruned_stats);
+    EXPECT_LT(pruned_stats.postings_decoded, exhaustive.postings_decoded);
+    EXPECT_LE(pruned_stats.index_bits_read, exhaustive.index_bits_read);
+    EXPECT_GT(pruned_stats.docs_pruned, 0u);
+    EXPECT_EQ(exhaustive.docs_pruned, 0u);
+}
+
+TEST(PrunedRank, NegativeWeightsFallBackToExhaustive) {
+    const auto idx = zipf_index(300, 5);
+    QueryProcessor qp(idx, cosine_log_tf());
+    const std::vector<WeightedQueryTerm> terms{{"z0", 1.0}, {"z5", -0.5}};
+    RankPolicy pruned;
+    pruned.pruned = true;
+    RankStats stats;
+    const auto a = qp.rank_weighted(terms, 1.0, 10);
+    const auto b = qp.rank_weighted(terms, 1.0, 10, pruned, &stats);
+    expect_identical(a, b, "negative-weight fallback");
+    EXPECT_EQ(stats.docs_pruned, 0u);  // exhaustive path ran
+}
+
+TEST(PrunedRank, RejectsAccumulatorLimiting) {
+    const auto idx = zipf_index(100, 3);
+    QueryProcessor qp(idx, cosine_log_tf());
+    RankPolicy bad;
+    bad.pruned = true;
+    bad.strategy = RankPolicy::Strategy::Quit;
+    bad.max_accumulators = 10;
+    EXPECT_THROW(qp.rank(mixed_query(), 10, bad), Error);
+}
+
+TEST(PrunedRank, KZeroAndEmptyQuery) {
+    const auto idx = zipf_index(100, 3);
+    QueryProcessor qp(idx, cosine_log_tf());
+    RankPolicy pruned;
+    pruned.pruned = true;
+    EXPECT_TRUE(qp.rank(mixed_query(), 0, pruned).empty());
+    EXPECT_TRUE(qp.rank(Query{}, 10, pruned).empty());
+    Query unknown;
+    unknown.terms = {{"nosuchterm", 1}};
+    EXPECT_TRUE(qp.rank(unknown, 10, pruned).empty());
+}
+
+}  // namespace
+}  // namespace teraphim::rank
+
+// ---- End-to-end: pruned federation rankings over real TCP -----------------
+
+namespace teraphim::dir {
+namespace {
+
+corpus::SyntheticCorpus pruned_fixture_corpus() {
+    corpus::CorpusConfig config;
+    config.vocab_size = 3000;
+    config.subcollections = {
+        {"AP", 150, 70.0, 0.4},
+        {"WSJ", 150, 70.0, 0.4},
+        {"FR", 100, 90.0, 0.5},
+    };
+    config.num_long_topics = 3;
+    config.num_short_topics = 3;
+    config.topic_term_floor = 150;
+    config.seed = 41;
+    return generate_corpus(config);
+}
+
+const corpus::SyntheticCorpus& pruned_fixture() {
+    static const corpus::SyntheticCorpus corpus = pruned_fixture_corpus();
+    return corpus;
+}
+
+TEST(PrunedFederation, TcpRankingsMatchExhaustiveInEveryMode) {
+    for (Mode mode : {Mode::MonoServer, Mode::CentralNothing, Mode::CentralVocabulary,
+                      Mode::CentralIndex}) {
+        ReceptionistOptions exhaustive;
+        exhaustive.mode = mode;
+        ReceptionistOptions pruned = exhaustive;
+        pruned.pruned_rank = true;
+        pruned.use_skips = true;
+
+        auto base = TcpFederation::create(pruned_fixture(), exhaustive);
+        auto fast = TcpFederation::create(pruned_fixture(), pruned);
+        for (const auto& q : pruned_fixture().short_queries.queries) {
+            const auto a = base.receptionist().rank(q.text, 20);
+            const auto b = fast.receptionist().rank(q.text, 20);
+            ASSERT_EQ(a.ranking.size(), b.ranking.size()) << mode_name(mode) << " " << q.id;
+            for (std::size_t i = 0; i < a.ranking.size(); ++i) {
+                EXPECT_EQ(a.ranking[i], b.ranking[i])
+                    << mode_name(mode) << " " << q.id << " rank " << i;
+            }
+        }
+        base.shutdown();
+        fast.shutdown();
+    }
+}
+
+TEST(PrunedFederation, PrunedCvDoesNoMoreIndexWork) {
+    // CN/CV rank requests carry the pruned flag; the librarians' work
+    // reports must show no more decoded postings than exhaustive runs.
+    ReceptionistOptions exhaustive;
+    exhaustive.mode = Mode::CentralVocabulary;
+    ReceptionistOptions pruned = exhaustive;
+    pruned.pruned_rank = true;
+    pruned.use_skips = true;
+
+    auto base = Federation::create(pruned_fixture(), exhaustive);
+    auto fast = Federation::create(pruned_fixture(), pruned);
+    std::uint64_t base_postings = 0, fast_postings = 0;
+    for (const auto& q : pruned_fixture().short_queries.queries) {
+        base_postings += base.receptionist().rank(q.text, 20).trace.total_postings_decoded();
+        fast_postings += fast.receptionist().rank(q.text, 20).trace.total_postings_decoded();
+    }
+    EXPECT_LE(fast_postings, base_postings);
+    EXPECT_GT(base_postings, 0u);
+}
+
+}  // namespace
+}  // namespace teraphim::dir

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "index/builder.h"
+#include "rank/accumulator_table.h"
 #include "rank/query_processor.h"
+#include "util/rng.h"
 
 namespace teraphim::rank {
 namespace {
@@ -254,6 +256,181 @@ TEST(AccumulatorLimiting, ContinueRefinesExistingCandidates) {
     EXPECT_GE(cont_stats.postings_decoded, quit_stats.postings_decoded);
     EXPECT_FALSE(rq.empty());
     EXPECT_FALSE(rc.empty());
+}
+
+TEST(TopK, EntriesMatchDenseSelection) {
+    const std::vector<double> acc{0.0, 0.5, 0.1, 0.9, 0.0, 0.5};
+    std::vector<SearchResult> entries;
+    for (std::size_t d = 0; d < acc.size(); ++d) {
+        if (acc[d] != 0.0) entries.push_back({static_cast<std::uint32_t>(d), acc[d]});
+    }
+    // Arrival order must not matter.
+    std::swap(entries.front(), entries.back());
+    const auto dense = top_k_from_accumulators(acc, 3);
+    const auto sparse = top_k_from_entries(entries, 3);
+    ASSERT_EQ(dense.size(), sparse.size());
+    for (std::size_t i = 0; i < dense.size(); ++i) EXPECT_EQ(dense[i], sparse[i]);
+}
+
+TEST(TopK, EntriesIgnoreNonPositiveScores) {
+    const std::vector<SearchResult> entries{{0, -1.0}, {1, 0.0}, {2, 2.0}};
+    const auto top = top_k_from_entries(entries, 10);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].doc, 2u);
+}
+
+TEST(TopK, KLargerThanCollection) {
+    const std::vector<double> acc{0.3, 0.0, 0.7};
+    const auto top = top_k_from_accumulators(acc, 1000);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].doc, 2u);
+    EXPECT_EQ(top[1].doc, 0u);
+}
+
+TEST(FlatAccumulators, MatchDenseByteForByte) {
+    const auto idx = accumulator_collection();
+    for (const SimilarityMeasure* m : all_measures()) {
+        QueryProcessor qp(idx, *m);
+        const auto q = make_query({"w1", "w5", "w9", "w13"});
+        const auto weights = qp.resolve_weights(q);
+        const double norm = query_norm(weights);
+        RankPolicy flat;
+        flat.accumulators = RankPolicy::Accumulators::Flat;
+        RankStats ds, fs;
+        const auto dense = qp.rank_weighted(weights, norm, 50, RankPolicy{}, &ds);
+        const auto sparse = qp.rank_weighted(weights, norm, 50, flat, &fs);
+        ASSERT_EQ(dense.size(), sparse.size()) << m->name();
+        for (std::size_t i = 0; i < dense.size(); ++i) {
+            EXPECT_EQ(dense[i].doc, sparse[i].doc) << m->name();
+            EXPECT_EQ(dense[i].score, sparse[i].score) << m->name() << " (bit-exact)";
+        }
+        EXPECT_EQ(ds.postings_decoded, fs.postings_decoded);
+        EXPECT_EQ(ds.accumulators_used, fs.accumulators_used);
+    }
+}
+
+TEST(FlatAccumulators, MatchDenseUnderLimitingStrategies) {
+    const auto idx = accumulator_collection();
+    QueryProcessor qp(idx, cosine_log_tf());
+    const auto q = make_query({"w0", "w1", "w2", "w3", "w4", "w5"});
+    const auto weights = qp.resolve_weights(q);
+    const double norm = query_norm(weights);
+    for (auto strategy : {RankPolicy::Strategy::Quit, RankPolicy::Strategy::Continue}) {
+        RankPolicy dense_policy{strategy, 50};
+        RankPolicy flat_policy{strategy, 50};
+        flat_policy.accumulators = RankPolicy::Accumulators::Flat;
+        RankStats ds, fs;
+        const auto dense = qp.rank_weighted(weights, norm, 200, dense_policy, &ds);
+        const auto sparse = qp.rank_weighted(weights, norm, 200, flat_policy, &fs);
+        ASSERT_EQ(dense.size(), sparse.size());
+        for (std::size_t i = 0; i < dense.size(); ++i) {
+            EXPECT_EQ(dense[i].doc, sparse[i].doc);
+            EXPECT_EQ(dense[i].score, sparse[i].score);
+        }
+        EXPECT_EQ(ds.accumulators_used, fs.accumulators_used);
+    }
+}
+
+TEST(RankPolicyKnobs, UseSkipsLeavesExhaustiveResultsUnchanged) {
+    const auto idx = accumulator_collection();
+    QueryProcessor qp(idx, cosine_log_tf());
+    const auto q = make_query({"w1", "w5"});
+    RankPolicy with_skips;
+    with_skips.use_skips = true;
+    RankStats a, b;
+    const auto plain = qp.rank(q, 30, RankPolicy{}, &a);
+    const auto skipped = qp.rank(q, 30, with_skips, &b);
+    ASSERT_EQ(plain.size(), skipped.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) EXPECT_EQ(plain[i], skipped[i]);
+    // Exhaustive evaluation decodes everything either way.
+    EXPECT_EQ(a.postings_decoded, b.postings_decoded);
+}
+
+TEST(RankStatsRegression, FullDecodeChargesExactListTotals) {
+    // The counters must come from the cursors; for a full linear decode
+    // that equals the historical list-total accounting, which is what
+    // keeps the bench outputs stable.
+    const auto idx = build_index({
+        {"x", "y"},
+        {"x"},
+        {"z"},
+    });
+    QueryProcessor qp(idx, cosine_log_tf());
+    RankStats stats;
+    qp.rank(make_query({"x", "y"}), 10, &stats);
+    std::uint64_t want_postings = 0, want_bits = 0;
+    for (const char* t : {"x", "y"}) {
+        const auto id = idx.vocabulary().lookup(t);
+        ASSERT_TRUE(id.has_value());
+        want_postings += idx.postings(*id).count();
+        want_bits += idx.postings(*id).total_bits();
+    }
+    EXPECT_EQ(stats.postings_decoded, want_postings);
+    EXPECT_EQ(stats.index_bits_read, want_bits);
+    EXPECT_EQ(stats.seeks, 0u);
+    EXPECT_EQ(stats.docs_pruned, 0u);
+}
+
+TEST(AccumulatorTable, AccumulatesLikeADenseVector) {
+    util::Rng rng(51);
+    std::vector<double> dense(5000, 0.0);
+    AccumulatorTable table;
+    for (int i = 0; i < 20000; ++i) {
+        const auto doc = static_cast<std::uint32_t>(rng.below(5000));
+        const double delta = 0.25 + rng.uniform();
+        dense[doc] += delta;
+        table.stage(doc, delta);
+    }
+    table.flush();
+    std::size_t nonzero = 0;
+    for (const double a : dense) nonzero += a != 0.0;
+    EXPECT_EQ(table.size(), nonzero);
+    table.for_each([&](std::uint32_t doc, double& score) {
+        // Bit-exact: the FIFO staging queue preserves addition order.
+        EXPECT_EQ(score, dense[doc]) << "doc " << doc;
+    });
+}
+
+TEST(AccumulatorTable, GrowsPastInitialCapacity) {
+    AccumulatorTable table(8);  // rounds up to the minimum capacity
+    const std::size_t initial = table.capacity();
+    for (std::uint32_t d = 0; d < 4 * initial; ++d) table.stage(d, 1.0);
+    table.flush();
+    EXPECT_EQ(table.size(), 4 * initial);
+    EXPECT_GT(table.capacity(), initial);
+    // Every key survived the rehashes.
+    std::size_t seen = 0;
+    table.for_each([&](std::uint32_t, double& score) {
+        ++seen;
+        EXPECT_EQ(score, 1.0);
+    });
+    EXPECT_EQ(seen, 4 * initial);
+}
+
+TEST(AccumulatorTable, AdmitNewFalseUpdatesOnly) {
+    AccumulatorTable table;
+    table.stage(1, 1.0);
+    table.stage(2, 1.0);
+    table.flush();
+    table.stage(1, 0.5, /*admit_new=*/false);  // update: applied
+    table.stage(3, 9.0, /*admit_new=*/false);  // insert: dropped
+    table.flush();
+    EXPECT_EQ(table.size(), 2u);
+    table.for_each([](std::uint32_t doc, double& score) {
+        EXPECT_NE(doc, 3u);
+        if (doc == 1) EXPECT_EQ(score, 1.5);
+    });
+}
+
+TEST(AccumulatorTable, DocZeroIsAValidKey) {
+    AccumulatorTable table;
+    table.stage(0, 2.0);
+    table.flush();
+    ASSERT_EQ(table.size(), 1u);
+    const auto entries = table.extract_entries();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].doc, 0u);
+    EXPECT_EQ(entries[0].score, 2.0);
 }
 
 TEST(MeasureSweep, AllMeasuresProduceValidRankings) {

@@ -11,6 +11,7 @@ for b in build/bench/*; do
     cache_bench)    "$b" --json BENCH_cache.json ;;
     table2_network) "$b" --json BENCH_table2.json ;;
     overload_bench) "$b" --json BENCH_overload.json ;;
+    topology_bench) "$b" --json BENCH_topology.json ;;
     micro_ranking)  "$b" --json BENCH_ranking.json ;;
     *)              "$b" ;;
   esac

@@ -75,6 +75,9 @@ struct FailedLibrarian {
     /// is healthy, the work was dropped on purpose. Shed slots never
     /// count against circuit breakers.
     bool shed = false;
+    /// Replica of the route target the final attempt was made on; 0 for
+    /// single-replica (flat) targets and admission-time refusals.
+    std::uint32_t replica = 0;
 
     friend bool operator==(const FailedLibrarian&, const FailedLibrarian&) = default;
 };
@@ -116,6 +119,10 @@ struct StageTimings {
 
 struct QueryTrace {
     Mode mode = Mode::MonoServer;
+    /// Tier of the receptionist that produced this trace: 0 for the
+    /// user-facing root (and the flat federation), 1+ for aggregator
+    /// tiers in a tree (DESIGN.md §15).
+    std::uint32_t tier = 0;
     ReceptionistWork receptionist;
     std::vector<LibrarianWork> index_phase;  ///< one entry per librarian
     std::vector<FetchWork> fetch_phase;      ///< one entry per librarian

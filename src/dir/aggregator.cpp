@@ -1,0 +1,311 @@
+// The aggregator tier: a Receptionist serving the librarian protocol.
+//
+// handle() answers every message a Librarian answers — stats, vocabulary
+// dump, rank, candidate scoring, fetch, boolean, metrics, ping — by
+// delegating to this receptionist's own downstream fan-out and folding
+// the children's answers into the single-subcollection shape the parent
+// expects. Documents are numbered in this receptionist's federation-
+// local space (target offsets applied via flatten_ranking / the offset
+// table), which is what keeps hierarchical merging associative: a
+// parent that merges aggregator answers produces byte-identical
+// rankings to a flat federation over the same leaves (DESIGN.md §15).
+//
+// Wrap a Receptionist's handle() in a net::MessageServer (or a
+// HandlerChannel, dir/deployment.h) and a parent receptionist treats it
+// as one librarian; trees compose to arbitrary depth. Deadline budgets
+// decrement at every tier: an incoming frame's budget_ms opens a local
+// QueryBudget, and every downstream request is re-stamped with what
+// remains of it.
+#include <algorithm>
+
+#include "dir/receptionist.h"
+#include "util/error.h"
+
+namespace teraphim::dir {
+
+namespace {
+
+/// Element-wise sum: the tier reports its subtree's index work upward
+/// as if it were one librarian, so federation-wide work totals are
+/// topology-independent.
+void accumulate_work(WorkReport& into, const WorkReport& add) {
+    into.term_lookups += add.term_lookups;
+    into.postings_decoded += add.postings_decoded;
+    into.index_bits_read += add.index_bits_read;
+    into.lists_opened += add.lists_opened;
+    into.disk_bytes += add.disk_bytes;
+    into.seeks += add.seeks;
+}
+
+}  // namespace
+
+net::Message Receptionist::handle(const net::Message& request) {
+    try {
+        if (request.type == net::MessageType::Ping) {
+            net::Message pong;
+            pong.type = net::MessageType::Pong;
+            return pong;
+        }
+        // Budgets decrement at every tier: the parent stamped what was
+        // left of the query's deadline, and every downstream request is
+        // re-stamped from this local (already ticking) budget.
+        const QueryBudget budget = QueryBudget::start(request.budget_ms);
+        return handle_impl(request, &budget);
+    } catch (const Error& e) {
+        // Mirror Librarian::handle: failures travel as Error frames, so
+        // the parent's retry stack sees a live-but-refusing child
+        // (RemoteError) rather than a dead transport.
+        return ErrorResponse{e.what()}.encode();
+    }
+}
+
+net::Message Receptionist::handle_impl(const net::Message& request, const QueryBudget* budget) {
+    switch (request.type) {
+        case net::MessageType::StatsRequest:
+            return relay_stats().encode();
+        case net::MessageType::VocabularyRequest:
+            return relay_vocabulary().encode();
+        case net::MessageType::RankRequest:
+            return relay_rank(RankRequest::decode(request), budget).encode();
+        case net::MessageType::RankWeightedRequest:
+            return relay_rank_weighted(RankWeightedRequest::decode(request), budget).encode();
+        case net::MessageType::CandidateRequest:
+            return relay_candidates(CandidateRequest::decode(request), budget).encode();
+        case net::MessageType::FetchRequest:
+            return relay_fetch(FetchRequest::decode(request), budget).encode();
+        case net::MessageType::BooleanRequest:
+            return relay_boolean(BooleanRequest::decode(request), budget).encode();
+        case net::MessageType::MetricsRequest:
+            // The tier's own series live in the process-global registry;
+            // what it relays upward are its children's samples, already
+            // path-labelled (librarian="child"), which the parent's pull
+            // prefixes again to librarian="tier/child".
+            return MetricsResponse{pull_librarian_metrics()}.encode();
+        default:
+            return ErrorResponse{"unsupported request type"}.encode();
+    }
+}
+
+StatsResponse Receptionist::relay_stats() {
+    TERAPHIM_ASSERT_MSG(prepared_, "aggregator tier not prepared");
+    StatsResponse out;
+    out.librarian_name = options_.name;
+    out.num_documents = total_documents_;
+    // Exact distinct-term count when this tier holds the merged
+    // vocabulary (CV/CI); the per-child sum (which double-counts shared
+    // terms) is the best a vocabulary-less CN tier can report.
+    out.num_terms = global_vocab_.empty() ? child_num_terms_
+                                          : static_cast<std::uint64_t>(global_vocab_.size());
+    out.index_bytes = child_index_bytes_;
+    out.store_bytes = child_store_bytes_;
+    // The subtree's collection generation: the FNV fingerprint over the
+    // child generations recorded at prepare(). Any leaf re-preparing
+    // changes the fingerprint this tier's answers carry, so staleness
+    // propagates up the tree hop by hop.
+    out.generation = federation_generation_;
+    return out;
+}
+
+VocabularyResponse Receptionist::relay_vocabulary() {
+    TERAPHIM_ASSERT_MSG(prepared_, "aggregator tier not prepared");
+    if (global_vocab_.empty()) {
+        throw Error("aggregator " + options_.name +
+                    " holds no merged vocabulary (tier prepared in CN mode)");
+    }
+    VocabularyResponse out;
+    out.num_documents = total_documents_;
+    out.entries.reserve(global_vocab_.size());
+    for (const auto& [term, info] : global_vocab_) {
+        out.entries.push_back({term, info.doc_frequency});
+    }
+    std::sort(out.entries.begin(), out.entries.end(),
+              [](const VocabEntry& a, const VocabEntry& b) { return a.term < b.term; });
+    return out;
+}
+
+RankResponse Receptionist::relay_rank(const RankRequest& req, const QueryBudget* budget) {
+    TERAPHIM_ASSERT_MSG(prepared_, "aggregator tier not prepared");
+    QueryTrace trace;
+    trace.mode = options_.mode;
+    trace.tier = options_.tier;
+    trace.index_phase.assign(targets_.size(), LibrarianWork{});
+
+    // CN relay: every child weights the terms with its own statistics,
+    // exactly as if the parent had fanned out to the leaves directly.
+    const net::Message encoded = req.encode();
+    const std::vector<std::optional<net::Message>> requests(targets_.size(), encoded);
+    auto responses =
+        broadcast_typed<RankResponse>(requests, trace.index_phase, &trace, budget);
+
+    RankResponse out;
+    std::vector<std::vector<rank::SearchResult>> rankings(targets_.size());
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
+        if (!responses[s].has_value()) continue;  // degraded: merge the survivors
+        accumulate_work(out.work, responses[s]->work);
+        rankings[s] = std::move(responses[s]->results);
+    }
+    out.results = flatten_ranking(merge_rankings(rankings, req.k, nullptr), librarian_offsets_);
+    out.generation = response_generation(responses);
+    observe_query(trace);
+    return out;
+}
+
+RankResponse Receptionist::relay_rank_weighted(const RankWeightedRequest& req,
+                                               const QueryBudget* budget) {
+    TERAPHIM_ASSERT_MSG(prepared_, "aggregator tier not prepared");
+    QueryTrace trace;
+    trace.mode = options_.mode;
+    trace.tier = options_.tier;
+    trace.index_phase.assign(targets_.size(), LibrarianWork{});
+
+    // CV relay: the weights are already resolved against collection-wide
+    // statistics by the root — forward them untouched. This tier only
+    // re-narrows the fan-out: the parent knew which *subtrees* hold a
+    // query term, the merged vocabulary here knows which children do, so
+    // the set of leaves contacted ends up identical to the flat
+    // federation's holder filter.
+    std::vector<bool> holders;
+    if (!global_vocab_.empty()) {
+        holders.assign(targets_.size(), false);
+        for (const rank::WeightedQueryTerm& t : req.terms) {
+            const auto it = global_vocab_.find(t.term);
+            if (it == global_vocab_.end()) continue;
+            for (std::uint32_t s : it->second.holders) holders[s] = true;
+        }
+    } else {
+        // A vocabulary-less tier cannot narrow; contact everyone.
+        holders.assign(targets_.size(), true);
+    }
+
+    const net::Message encoded = req.encode();
+    std::vector<std::optional<net::Message>> requests(targets_.size());
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
+        if (holders[s]) requests[s] = encoded;
+    }
+    auto responses =
+        broadcast_typed<RankResponse>(requests, trace.index_phase, &trace, budget);
+
+    RankResponse out;
+    std::vector<std::vector<rank::SearchResult>> rankings(targets_.size());
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
+        if (!responses[s].has_value()) continue;
+        accumulate_work(out.work, responses[s]->work);
+        rankings[s] = std::move(responses[s]->results);
+    }
+    out.results = flatten_ranking(merge_rankings(rankings, req.k, nullptr), librarian_offsets_);
+    out.generation = response_generation(responses);
+    observe_query(trace);
+    return out;
+}
+
+CandidateResponse Receptionist::relay_candidates(const CandidateRequest& req,
+                                                 const QueryBudget* budget) {
+    TERAPHIM_ASSERT_MSG(prepared_, "aggregator tier not prepared");
+    QueryTrace trace;
+    trace.mode = options_.mode;
+    trace.tier = options_.tier;
+    trace.index_phase.assign(targets_.size(), LibrarianWork{});
+
+    // CI relay: the root's grouped index named candidates in this tier's
+    // document space; split them back into per-child local ids. The
+    // request's candidates are sorted, so each child's slice is sorted
+    // and concatenating child answers in child order restores the
+    // original candidate order.
+    std::vector<std::vector<std::uint32_t>> per_child(targets_.size());
+    for (const std::uint32_t doc : req.candidates) {
+        const std::size_t s = target_of_doc(doc);
+        per_child[s].push_back(doc - librarian_offsets_[s]);
+    }
+    std::vector<std::optional<net::Message>> requests(targets_.size());
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
+        if (per_child[s].empty()) continue;
+        CandidateRequest child;
+        child.query_norm = req.query_norm;
+        child.use_skips = req.use_skips;
+        child.terms = req.terms;
+        child.candidates = per_child[s];
+        requests[s] = child.encode();
+    }
+    auto responses =
+        broadcast_typed<CandidateResponse>(requests, trace.index_phase, &trace, budget);
+
+    CandidateResponse out;
+    out.scored.reserve(req.candidates.size());
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
+        // Degraded: a failed child's candidates are dropped; the parent
+        // tolerates a scored list shorter than its request.
+        if (!responses[s].has_value()) continue;
+        accumulate_work(out.work, responses[s]->work);
+        for (const rank::SearchResult& r : responses[s]->scored) {
+            out.scored.push_back({librarian_offsets_[s] + r.doc, r.score});
+        }
+    }
+    out.generation = response_generation(responses);
+    observe_query(trace);
+    return out;
+}
+
+FetchResponse Receptionist::relay_fetch(const FetchRequest& req, const QueryBudget* budget) {
+    TERAPHIM_ASSERT_MSG(prepared_, "aggregator tier not prepared");
+    // Strict: the parent's fetch contract is "every requested document
+    // comes back, or the librarian is recorded failed". A partially
+    // successful relay cannot express which documents are missing, so a
+    // child failure fails the whole relay (ErrorResponse upward) and the
+    // parent's own retry/degradation stack takes over.
+    std::vector<std::vector<std::uint32_t>> per_child(targets_.size());
+    std::vector<std::vector<std::size_t>> positions(targets_.size());
+    for (std::size_t i = 0; i < req.docs.size(); ++i) {
+        const std::size_t s = target_of_doc(req.docs[i]);
+        per_child[s].push_back(req.docs[i] - librarian_offsets_[s]);
+        positions[s].push_back(i);
+    }
+    std::vector<std::optional<net::Message>> requests(targets_.size());
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
+        if (per_child[s].empty()) continue;
+        FetchRequest child;
+        child.docs = per_child[s];
+        child.send_compressed = req.send_compressed;
+        requests[s] = child.encode();
+    }
+    std::vector<LibrarianWork> scratch(targets_.size());
+    auto responses = broadcast_typed<FetchResponse>(requests, scratch, nullptr, budget);
+
+    FetchResponse out;
+    out.docs.resize(req.docs.size());
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
+        if (!responses[s].has_value()) continue;
+        if (responses[s]->docs.size() != per_child[s].size()) {
+            throw ProtocolError("fetch relay: child " + targets_[s].name() + " returned " +
+                                std::to_string(responses[s]->docs.size()) + " of " +
+                                std::to_string(per_child[s].size()) + " documents");
+        }
+        accumulate_work(out.work, responses[s]->work);
+        for (std::size_t i = 0; i < responses[s]->docs.size(); ++i) {
+            out.docs[positions[s][i]] = std::move(responses[s]->docs[i]);
+        }
+    }
+    return out;
+}
+
+BooleanResponse Receptionist::relay_boolean(const BooleanRequest& req,
+                                            const QueryBudget* budget) {
+    TERAPHIM_ASSERT_MSG(prepared_, "aggregator tier not prepared");
+    // Strict for the same reason the receptionist's boolean() is: the
+    // answer is an exact set union, so a silently missing child would
+    // change the result set.
+    const net::Message encoded = req.encode();
+    const std::vector<std::optional<net::Message>> requests(targets_.size(), encoded);
+    std::vector<LibrarianWork> scratch(targets_.size());
+    auto responses = broadcast_typed<BooleanResponse>(requests, scratch, nullptr, budget);
+
+    BooleanResponse out;
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
+        accumulate_work(out.work, responses[s]->work);
+        for (const std::uint32_t doc : responses[s]->docs) {
+            out.docs.push_back(librarian_offsets_[s] + doc);
+        }
+    }
+    return out;  // ascending: per-child ascending, children offset-ordered
+}
+
+}  // namespace teraphim::dir

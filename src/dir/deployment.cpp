@@ -1,10 +1,12 @@
 #include "dir/deployment.h"
 
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 
 #include "index/builder.h"
 #include "sim/engine.h"
@@ -305,6 +307,309 @@ void TcpFederation::shutdown() {
         if (server) server->stop();
     }
     servers_.clear();
+}
+
+// ---- TieredFederation -------------------------------------------------------
+
+namespace {
+
+struct TierPlan {
+    std::size_t num_aggregators = 0;  ///< 0 = depth-1 tree (no mid tier)
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;  ///< [lo, hi) leaves
+};
+
+TierPlan plan_tiers(const TopologySpec& topology, std::size_t leaves) {
+    TERAPHIM_ASSERT_MSG(topology.depth == 1 || topology.depth == 2,
+                        "TopologySpec::depth must be 1 or 2");
+    TERAPHIM_ASSERT_MSG(topology.replication >= 1,
+                        "TopologySpec::replication must be at least 1");
+    TierPlan plan;
+    if (topology.depth == 1) return plan;
+    std::size_t b = topology.branching;
+    if (b == 0) {
+        // Balanced default: B = floor(sqrt(L)) aggregators of ~sqrt(L)
+        // leaves each minimizes the larger of the two fan-outs.
+        while ((b + 1) * (b + 1) <= leaves) ++b;
+        if (b == 0) b = 1;
+    }
+    TERAPHIM_ASSERT_MSG(b <= leaves, "TopologySpec::branching exceeds the leaf count");
+    plan.num_aggregators = b;
+    for (std::size_t j = 0; j < b; ++j) {
+        plan.ranges.emplace_back(j * leaves / b, (j + 1) * leaves / b);
+    }
+    return plan;
+}
+
+/// Options for the aggregator at slot `j` of the mid tier: the root's
+/// knobs, re-based one tier down. CN roots get CN aggregators (no
+/// global state anywhere); CV and CI roots get CV aggregators — the
+/// merged leaf vocabulary is what lets an aggregator answer its
+/// parent's VocabularyRequest and holder-filter weighted rank fan-outs
+/// to exactly the leaves a flat federation would contact. Caching stays
+/// at the root, and budgets arrive stamped on the wire instead of
+/// starting fresh per tier.
+ReceptionistOptions aggregator_options(const ReceptionistOptions& root,
+                                       const TopologySpec& topology, std::size_t j) {
+    ReceptionistOptions agg = root;
+    agg.mode = root.mode == Mode::CentralNothing ? Mode::CentralNothing
+                                                 : Mode::CentralVocabulary;
+    agg.tier = root.tier + 1;
+    agg.name = root.name + "-t" + std::to_string(agg.tier) + "-" + std::to_string(j);
+    agg.selection = topology.selection;
+    agg.cache.enabled = false;
+    agg.overload.total_budget_ms = 0;
+    return agg;
+}
+
+net::MessageServer::Handler leaf_handler(Librarian* raw, std::uint32_t delay_ms) {
+    if (delay_ms == 0) {
+        return [raw](const net::Message& m) { return raw->handle(m); };
+    }
+    // A single-core replica: rank-path requests queue behind a
+    // per-replica lock held for the service delay, capping each replica
+    // at 1000/delay_ms rank requests per second — so an overloaded leaf
+    // visibly gains capacity replica by replica. The lock lives in
+    // shared state because MessageServer copies the handler per worker.
+    auto mu = std::make_shared<std::mutex>();
+    return [raw, delay_ms, mu](const net::Message& m) {
+        if (m.type == net::MessageType::RankRequest ||
+            m.type == net::MessageType::RankWeightedRequest ||
+            m.type == net::MessageType::CandidateRequest) {
+            std::lock_guard<std::mutex> lock(*mu);
+            std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+        }
+        return raw->handle(m);
+    };
+}
+
+}  // namespace
+
+TieredFederation TieredFederation::create(const corpus::SyntheticCorpus& corpus,
+                                          const ReceptionistOptions& options,
+                                          const TopologySpec& topology,
+                                          const LibrarianBuildOptions& build) {
+    TERAPHIM_ASSERT_MSG(options.mode != Mode::MonoServer,
+                        "tiered deployments require a federated mode");
+    TieredFederation fed;
+    fed.topology_ = topology;
+    std::vector<const index::InvertedIndex*> indexes;
+    for (const auto& sub : corpus.subcollections) {
+        fed.librarians_.push_back(build_librarian(sub, build));
+        indexes.push_back(&fed.librarians_.back()->index());
+    }
+    const std::size_t leaves = fed.librarians_.size();
+    const TierPlan plan = plan_tiers(topology, leaves);
+
+    // R channels onto the shared leaf librarian. Without a service
+    // delay the plain in-process channel suffices; with one, each
+    // replica gets its own serializing handler (its own "core").
+    const auto leaf_target = [&](std::size_t i) {
+        Librarian* raw = fed.librarians_[i].get();
+        std::vector<std::unique_ptr<Channel>> replicas;
+        for (std::size_t r = 0; r < topology.replication; ++r) {
+            if (topology.leaf_delay_ms == 0) {
+                replicas.push_back(std::make_unique<InProcessChannel>(*raw));
+            } else {
+                replicas.push_back(std::make_unique<HandlerChannel>(
+                    raw->name(), leaf_handler(raw, topology.leaf_delay_ms)));
+            }
+        }
+        return RouteTarget(std::move(replicas), options.fault.breaker, topology.selection);
+    };
+
+    ReceptionistOptions root_options = options;
+    root_options.selection = topology.selection;
+
+    if (plan.num_aggregators == 0) {
+        std::vector<RouteTarget> targets;
+        targets.reserve(leaves);
+        for (std::size_t i = 0; i < leaves; ++i) targets.push_back(leaf_target(i));
+        fed.root_ = std::make_unique<Receptionist>(std::move(targets), root_options,
+                                                   text::Pipeline(build.pipeline),
+                                                   *build.measure);
+        fed.prepare_summary_ = options.mode == Mode::CentralIndex
+                                   ? fed.root_->prepare(indexes)
+                                   : fed.root_->prepare();
+    } else {
+        std::vector<RouteTarget> root_targets;
+        std::vector<std::uint32_t> ci_leaf_targets(leaves, 0);
+        for (std::size_t j = 0; j < plan.num_aggregators; ++j) {
+            const auto [lo, hi] = plan.ranges[j];
+            std::vector<RouteTarget> targets;
+            targets.reserve(hi - lo);
+            for (std::size_t i = lo; i < hi; ++i) {
+                targets.push_back(leaf_target(i));
+                ci_leaf_targets[i] = static_cast<std::uint32_t>(j);
+            }
+            auto agg = std::make_unique<Receptionist>(
+                std::move(targets), aggregator_options(options, topology, j),
+                text::Pipeline(build.pipeline), *build.measure);
+            agg->prepare();
+            Receptionist* agg_raw = agg.get();
+            std::vector<std::unique_ptr<Channel>> root_replicas;
+            root_replicas.push_back(std::make_unique<HandlerChannel>(
+                agg_raw->options().name,
+                [agg_raw](const net::Message& m) { return agg_raw->handle(m); }));
+            root_targets.emplace_back(std::move(root_replicas), options.fault.breaker,
+                                      topology.selection);
+            fed.aggregators_.push_back(std::move(agg));
+        }
+        fed.root_ = std::make_unique<Receptionist>(std::move(root_targets), root_options,
+                                                   text::Pipeline(build.pipeline),
+                                                   *build.measure);
+        fed.prepare_summary_ = options.mode == Mode::CentralIndex
+                                   ? fed.root_->prepare(indexes, ci_leaf_targets)
+                                   : fed.root_->prepare();
+    }
+    fed.compute_leaf_offsets();
+    return fed;
+}
+
+TieredFederation TieredFederation::create_tcp(const corpus::SyntheticCorpus& corpus,
+                                              const ReceptionistOptions& options,
+                                              const TopologySpec& topology,
+                                              const LibrarianBuildOptions& build,
+                                              const net::ServerLimits& limits) {
+    TERAPHIM_ASSERT_MSG(options.mode != Mode::MonoServer,
+                        "tiered deployments require a federated mode");
+    TieredFederation fed;
+    fed.topology_ = topology;
+    std::vector<const index::InvertedIndex*> indexes;
+    for (const auto& sub : corpus.subcollections) {
+        fed.librarians_.push_back(build_librarian(sub, build));
+        indexes.push_back(&fed.librarians_.back()->index());
+    }
+    const std::size_t leaves = fed.librarians_.size();
+    const TierPlan plan = plan_tiers(topology, leaves);
+    const TcpChannel::Timeouts timeouts{options.fault.connect_timeout_ms,
+                                        options.fault.io_timeout_ms};
+
+    // R MessageServers per leaf, all serving the same librarian (and
+    // sharing its registry, so the replica servers' counters merge into
+    // one Stats snapshot). Each replica is its own process-like unit:
+    // own port, own handler, independently stoppable.
+    fed.leaf_servers_.resize(leaves);
+    const auto leaf_target = [&](std::size_t i) {
+        Librarian* raw = fed.librarians_[i].get();
+        std::vector<std::unique_ptr<Channel>> replicas;
+        for (std::size_t r = 0; r < topology.replication; ++r) {
+            fed.leaf_servers_[i].push_back(std::make_unique<net::MessageServer>(
+                0, leaf_handler(raw, topology.leaf_delay_ms), limits, &raw->metrics()));
+            replicas.push_back(std::make_unique<TcpChannel>(
+                raw->name(), "127.0.0.1", fed.leaf_servers_[i].back()->port(), timeouts));
+        }
+        return RouteTarget(std::move(replicas), options.fault.breaker, topology.selection);
+    };
+
+    ReceptionistOptions root_options = options;
+    root_options.selection = topology.selection;
+
+    if (plan.num_aggregators == 0) {
+        std::vector<RouteTarget> targets;
+        targets.reserve(leaves);
+        for (std::size_t i = 0; i < leaves; ++i) targets.push_back(leaf_target(i));
+        fed.root_ = std::make_unique<Receptionist>(std::move(targets), root_options,
+                                                   text::Pipeline(build.pipeline),
+                                                   *build.measure);
+        fed.prepare_summary_ = options.mode == Mode::CentralIndex
+                                   ? fed.root_->prepare(indexes)
+                                   : fed.root_->prepare();
+    } else {
+        std::vector<RouteTarget> root_targets;
+        std::vector<std::uint32_t> ci_leaf_targets(leaves, 0);
+        for (std::size_t j = 0; j < plan.num_aggregators; ++j) {
+            const auto [lo, hi] = plan.ranges[j];
+            std::vector<RouteTarget> targets;
+            targets.reserve(hi - lo);
+            for (std::size_t i = lo; i < hi; ++i) {
+                targets.push_back(leaf_target(i));
+                ci_leaf_targets[i] = static_cast<std::uint32_t>(j);
+            }
+            const ReceptionistOptions agg_options = aggregator_options(options, topology, j);
+            auto agg = std::make_unique<Receptionist>(std::move(targets), agg_options,
+                                                      text::Pipeline(build.pipeline),
+                                                      *build.measure);
+            agg->prepare();
+            Receptionist* agg_raw = agg.get();
+            fed.aggregator_servers_.push_back(std::make_unique<net::MessageServer>(
+                0, [agg_raw](const net::Message& m) { return agg_raw->handle(m); }, limits,
+                obs::global()));
+            std::vector<std::unique_ptr<Channel>> root_replicas;
+            root_replicas.push_back(std::make_unique<TcpChannel>(
+                agg_options.name, "127.0.0.1", fed.aggregator_servers_.back()->port(),
+                timeouts));
+            root_targets.emplace_back(std::move(root_replicas), options.fault.breaker,
+                                      topology.selection);
+            fed.aggregators_.push_back(std::move(agg));
+        }
+        fed.root_ = std::make_unique<Receptionist>(std::move(root_targets), root_options,
+                                                   text::Pipeline(build.pipeline),
+                                                   *build.measure);
+        // The grouped central index is built from the leaf indexes even
+        // over TCP — index shipping is preprocessing, outside the
+        // measured protocol (see Receptionist::prepare).
+        fed.prepare_summary_ = options.mode == Mode::CentralIndex
+                                   ? fed.root_->prepare(indexes, ci_leaf_targets)
+                                   : fed.root_->prepare();
+    }
+    fed.compute_leaf_offsets();
+    return fed;
+}
+
+TieredFederation::~TieredFederation() { shutdown(); }
+
+void TieredFederation::compute_leaf_offsets() {
+    leaf_offsets_.assign(1, 0);
+    for (const auto& lib : librarians_) {
+        leaf_offsets_.push_back(
+            leaf_offsets_.back() +
+            static_cast<std::uint32_t>(lib->index().index_stats().num_documents));
+    }
+}
+
+GlobalResult TieredFederation::to_leaf(const GlobalResult& result) const {
+    const std::vector<std::uint32_t>& target_offsets = root_->librarian_offsets();
+    TERAPHIM_ASSERT(result.librarian + 1 < target_offsets.size());
+    const std::uint32_t global = target_offsets[result.librarian] + result.doc;
+    TERAPHIM_ASSERT(global < leaf_offsets_.back());
+    const std::size_t leaf = static_cast<std::size_t>(
+        std::upper_bound(leaf_offsets_.begin(), leaf_offsets_.end(), global) -
+        leaf_offsets_.begin() - 1);
+    return {static_cast<std::uint32_t>(leaf), global - leaf_offsets_[leaf], result.score};
+}
+
+std::vector<GlobalResult> TieredFederation::to_leaf(
+    std::span<const GlobalResult> ranking) const {
+    std::vector<GlobalResult> out;
+    out.reserve(ranking.size());
+    for (const GlobalResult& r : ranking) out.push_back(to_leaf(r));
+    return out;
+}
+
+const std::string& TieredFederation::external_id(const GlobalResult& result) const {
+    const GlobalResult lr = to_leaf(result);
+    return librarians_[lr.librarian]->store().external_id(lr.doc);
+}
+
+void TieredFederation::stop_replica(std::size_t leaf, std::size_t replica) {
+    TERAPHIM_ASSERT_MSG(leaf < leaf_servers_.size() && replica < leaf_servers_[leaf].size(),
+                        "stop_replica: no such TCP replica (in-process tree?)");
+    leaf_servers_[leaf][replica]->stop();
+}
+
+void TieredFederation::shutdown() {
+    root_.reset();  // closes the root's client connections first
+    for (auto& server : aggregator_servers_) {
+        if (server) server->stop();
+    }
+    aggregator_servers_.clear();
+    aggregators_.clear();  // closes the aggregators' leaf connections
+    for (auto& row : leaf_servers_) {
+        for (auto& server : row) {
+            if (server) server->stop();
+        }
+    }
+    leaf_servers_.clear();
 }
 
 // ---- Simulation replay --------------------------------------------------------

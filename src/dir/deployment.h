@@ -15,10 +15,12 @@
 //    (sim/cost_model.h) to produce the elapsed times of Tables 3-4.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -55,6 +57,35 @@ public:
 
 private:
     Librarian* librarian_;
+};
+
+/// Channel that invokes an arbitrary protocol handler in the same
+/// process — typically an aggregator Receptionist's handle(), mounting
+/// one receptionist under another without a socket (DESIGN.md §15).
+/// Synchronous like InProcessChannel; the handler must be reentrant.
+class HandlerChannel final : public Channel {
+public:
+    using Handler = std::function<net::Message(const net::Message&)>;
+
+    HandlerChannel(std::string name, Handler handler)
+        : name_(std::move(name)), handler_(std::move(handler)) {}
+
+    util::Future<net::Message> submit(const net::Message& request) override {
+        util::Promise<net::Message> promise;
+        util::Future<net::Message> fut = promise.future();
+        try {
+            promise.set_value(handler_(request));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+        return fut;
+    }
+
+    const std::string& name() const override { return name_; }
+
+private:
+    std::string name_;
+    Handler handler_;
 };
 
 /// Channel over one shared multiplexed TCP connection. Connects lazily;
@@ -232,6 +263,116 @@ private:
     std::vector<std::unique_ptr<Librarian>> librarians_;
     std::vector<std::unique_ptr<net::MessageServer>> servers_;
     std::unique_ptr<Receptionist> receptionist_;
+    PrepareSummary prepare_summary_;
+};
+
+/// Declarative shape of a tiered deployment (DESIGN.md §15): how many
+/// replicas serve each leaf subcollection and whether an aggregator
+/// tier sits between the root receptionist and the leaves. The same
+/// spec materializes as an in-process tree (TieredFederation::create)
+/// or a real TCP tree (TieredFederation::create_tcp); both produce
+/// rankings byte-identical to the flat federation.
+struct TopologySpec {
+    /// R: channels (in-process) or MessageServers (TCP) per leaf
+    /// librarian. Replicas serve the same subcollection; the routing
+    /// layer picks one per exchange and fails over between them.
+    std::size_t replication = 1;
+
+    /// B: number of aggregator receptionists when depth == 2; each owns
+    /// a contiguous balanced range of leaves. 0 derives B = ⌊√L⌋.
+    std::size_t branching = 0;
+
+    /// 1 = flat (root → leaves); 2 = one aggregator tier
+    /// (root → aggregators → leaves).
+    std::size_t depth = 1;
+
+    /// Replica selection policy for every RouteTarget in the tree.
+    ReplicaSelection selection = ReplicaSelection::RoundRobin;
+
+    /// When non-zero, every leaf replica serializes rank-path requests
+    /// (Rank / RankWeighted / Candidate) behind a per-replica lock held
+    /// for this many milliseconds — a single-core replica with capacity
+    /// 1000/delay queries per second, so benchmarks can overload a leaf
+    /// and watch throughput scale with R (bench/topology_bench.cpp).
+    std::uint32_t leaf_delay_ms = 0;
+};
+
+/// A tiered TERAPHIM deployment: leaf librarians (each behind a replica
+/// set), an optional tier of aggregator receptionists over contiguous
+/// leaf ranges, and a root receptionist — materialized either fully
+/// in-process or as real MessageServers on loopback TCP. The root's
+/// rankings are byte-identical to the flat federation's; to_leaf()
+/// rebases its (target, doc) results into leaf coordinates for direct
+/// comparison and external-id lookup.
+class TieredFederation {
+public:
+    /// In-process tree: replicas are channels onto the shared leaf
+    /// librarian; aggregators are mounted via HandlerChannel.
+    static TieredFederation create(const corpus::SyntheticCorpus& corpus,
+                                   const ReceptionistOptions& options,
+                                   const TopologySpec& topology,
+                                   const LibrarianBuildOptions& build = {});
+
+    /// TCP tree: every leaf replica and every aggregator runs behind its
+    /// own MessageServer on a loopback port, so replicas can be killed
+    /// independently (stop_replica) while the tree keeps answering.
+    static TieredFederation create_tcp(const corpus::SyntheticCorpus& corpus,
+                                       const ReceptionistOptions& options,
+                                       const TopologySpec& topology,
+                                       const LibrarianBuildOptions& build = {},
+                                       const net::ServerLimits& limits = {});
+    ~TieredFederation();
+
+    TieredFederation(TieredFederation&&) = default;
+    TieredFederation& operator=(TieredFederation&&) = default;
+
+    /// The user-facing receptionist at the top of the tree.
+    Receptionist& root() { return *root_; }
+    /// Mid-tier aggregators, in leaf order; empty when depth == 1.
+    Receptionist& aggregator(std::size_t j) { return *aggregators_[j]; }
+    std::size_t num_aggregators() const { return aggregators_.size(); }
+
+    std::size_t num_leaves() const { return librarians_.size(); }
+    const Librarian& leaf(std::size_t i) const { return *librarians_[i]; }
+    Librarian& leaf(std::size_t i) { return *librarians_[i]; }
+    std::size_t replication() const { return topology_.replication; }
+    const TopologySpec& topology() const { return topology_; }
+
+    /// Rebases a root-level result (target = aggregator or leaf slot,
+    /// doc = that target's federation-local id) into leaf coordinates
+    /// (leaf librarian index, leaf-local doc) — the flat federation's
+    /// shape. Identity when depth == 1.
+    GlobalResult to_leaf(const GlobalResult& result) const;
+    std::vector<GlobalResult> to_leaf(std::span<const GlobalResult> ranking) const;
+
+    /// External id of a root-level merged result (rebased internally).
+    const std::string& external_id(const GlobalResult& result) const;
+
+    /// TCP trees only: stops replica `r` of leaf `i` — the server goes
+    /// away mid-stream and the routing layer must fail the traffic over
+    /// to the surviving replicas.
+    void stop_replica(std::size_t leaf, std::size_t replica);
+
+    /// What the root's prepare() reported.
+    const PrepareSummary& prepare_summary() const { return prepare_summary_; }
+
+    /// Tears the tree down top-first: root, aggregator servers,
+    /// aggregators, leaf servers.
+    void shutdown();
+
+private:
+    TieredFederation() = default;
+    void compute_leaf_offsets();
+
+    TopologySpec topology_;
+    std::vector<std::unique_ptr<Librarian>> librarians_;
+    /// TCP trees: row-major [leaf][replica]; empty in-process.
+    std::vector<std::vector<std::unique_ptr<net::MessageServer>>> leaf_servers_;
+    std::vector<std::unique_ptr<Receptionist>> aggregators_;
+    std::vector<std::unique_ptr<net::MessageServer>> aggregator_servers_;  ///< TCP only
+    std::unique_ptr<Receptionist> root_;
+    /// Prefix sums of leaf document counts (L+1 entries), for to_leaf().
+    std::vector<std::uint32_t> leaf_offsets_;
     PrepareSummary prepare_summary_;
 };
 

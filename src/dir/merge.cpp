@@ -62,4 +62,16 @@ std::vector<GlobalResult> merge_rankings(
     return out;
 }
 
+std::vector<rank::SearchResult> flatten_ranking(std::span<const GlobalResult> ranking,
+                                                std::span<const std::uint32_t> offsets) {
+    std::vector<rank::SearchResult> out;
+    out.reserve(ranking.size());
+    for (const GlobalResult& r : ranking) {
+        TERAPHIM_ASSERT_MSG(r.librarian + 1 < offsets.size(),
+                            "flatten_ranking: librarian outside the offset table");
+        out.push_back({offsets[r.librarian] + r.doc, r.score});
+    }
+    return out;
+}
+
 }  // namespace teraphim::dir

@@ -39,4 +39,18 @@ std::vector<GlobalResult> merge_rankings(
     std::span<const std::vector<rank::SearchResult>> per_librarian, std::size_t k,
     std::uint64_t* merge_items = nullptr);
 
+/// Flattens a merged ranking into the single-subcollection shape of the
+/// librarian protocol, renumbering each (librarian, doc) pair into one
+/// contiguous document space via the prefix-sum offset table
+/// (Receptionist::librarian_offsets()). This is how an aggregator tier
+/// answers its parent: the parent sees one "librarian" whose doc ids
+/// are the aggregator's federation-local ids, and re-expanding them at
+/// the next level up keeps hierarchical merging associative — the
+/// offset map (librarian, doc) -> offsets[librarian] + doc is monotone
+/// in the (librarian, doc) tie-break order, so a ranking sorted by
+/// global_result_before flattens to one sorted by rank::result_before,
+/// byte-identically to what a flat federation would have merged.
+std::vector<rank::SearchResult> flatten_ranking(std::span<const GlobalResult> ranking,
+                                                std::span<const std::uint32_t> offsets);
+
 }  // namespace teraphim::dir

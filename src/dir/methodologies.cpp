@@ -38,7 +38,7 @@ QueryAnswer Receptionist::rank_central_nothing(const rank::Query& query, std::si
                                                const QueryBudget* budget) {
     QueryAnswer answer;
     answer.trace.mode = options_.mode;
-    answer.trace.index_phase.assign(channels_.size(), LibrarianWork{});
+    answer.trace.index_phase.assign(targets_.size(), LibrarianWork{});
 
     RankRequest req;
     req.k = static_cast<std::uint32_t>(depth);
@@ -52,13 +52,13 @@ QueryAnswer Receptionist::rank_central_nothing(const rank::Query& query, std::si
     // index and its values for parameters f_t and N." The fan-out is
     // concurrent; responses are gathered into librarian order, so the
     // merge below sees exactly what the sequential loop saw.
-    const std::vector<std::optional<net::Message>> requests(channels_.size(), encoded);
+    const std::vector<std::optional<net::Message>> requests(targets_.size(), encoded);
     auto responses = broadcast_typed<RankResponse>(requests, answer.trace.index_phase,
                                                    &answer.trace, budget);
     check_generations(responses, answer.trace);
 
-    std::vector<std::vector<rank::SearchResult>> rankings(channels_.size());
-    for (std::size_t s = 0; s < channels_.size(); ++s) {
+    std::vector<std::vector<rank::SearchResult>> rankings(targets_.size());
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
         if (!responses[s].has_value()) continue;  // degraded: merge the survivors
         fold_work_report(answer.trace.index_phase[s], responses[s]->work,
                          responses[s]->results.size());
@@ -77,7 +77,7 @@ QueryAnswer Receptionist::rank_central_vocabulary(const rank::Query& query, std:
                                                   const QueryBudget* budget) {
     QueryAnswer answer;
     answer.trace.mode = options_.mode;
-    answer.trace.index_phase.assign(channels_.size(), LibrarianWork{});
+    answer.trace.index_phase.assign(targets_.size(), LibrarianWork{});
 
     // Resolve collection-wide weights against the merged vocabulary;
     // librarians holding none of the query terms are never contacted.
@@ -94,16 +94,16 @@ QueryAnswer Receptionist::rank_central_vocabulary(const rank::Query& query, std:
     const net::Message encoded = req.encode();
 
     // Scatter only to the holders; the disengaged slots stay untouched.
-    std::vector<std::optional<net::Message>> requests(channels_.size());
-    for (std::size_t s = 0; s < channels_.size(); ++s) {
+    std::vector<std::optional<net::Message>> requests(targets_.size());
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
         if (holders[s]) requests[s] = encoded;
     }
     auto responses = broadcast_typed<RankResponse>(requests, answer.trace.index_phase,
                                                    &answer.trace, budget);
     check_generations(responses, answer.trace);
 
-    std::vector<std::vector<rank::SearchResult>> rankings(channels_.size());
-    for (std::size_t s = 0; s < channels_.size(); ++s) {
+    std::vector<std::vector<rank::SearchResult>> rankings(targets_.size());
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
         if (!responses[s].has_value()) continue;  // degraded: merge the survivors
         fold_work_report(answer.trace.index_phase[s], responses[s]->work,
                          responses[s]->results.size());
@@ -123,7 +123,7 @@ QueryAnswer Receptionist::rank_central_index(const rank::Query& query, std::size
     TERAPHIM_ASSERT_MSG(grouped_.has_value(), "CI receptionist not prepared");
     QueryAnswer answer;
     answer.trace.mode = options_.mode;
-    answer.trace.index_phase.assign(channels_.size(), LibrarianWork{});
+    answer.trace.index_phase.assign(targets_.size(), LibrarianWork{});
 
     // Steps 1-2 are pure functions of the query and the prepared
     // grouped index (depth plays no part until step 3), so their output
@@ -152,12 +152,25 @@ QueryAnswer Receptionist::rank_central_index(const rank::Query& query, std::size
 
         // --- Step 2: expand the k' best groups into candidates ---------
         const index::CollectionLayout& layout = grouped_->layout();
-        fresh->candidates.assign(channels_.size(), {});
+        fresh->candidates.assign(targets_.size(), {});
         for (const rank::SearchResult& g : group_ranking) {
             const auto [begin, end] = grouped_->group_doc_range(g.doc);
             for (std::uint32_t global_doc = begin; global_doc < end; ++global_doc) {
                 const auto [sub, local] = layout.local_of(global_doc);
-                fresh->candidates[sub].push_back(local);
+                if (ci_leaf_of_.empty()) {
+                    // Flat federation: leaf == target, candidates carry
+                    // the leaf-local doc number.
+                    fresh->candidates[sub].push_back(local);
+                } else {
+                    // Tree: the leaf belongs to an aggregator target, and
+                    // the candidate is numbered in that target's document
+                    // space. Leaves are contiguous and in target order
+                    // (enforced at prepare()), so the rebase is a plain
+                    // offset shift off the grouped layout's global id.
+                    const std::size_t target = ci_leaf_of_[sub];
+                    fresh->candidates[target].push_back(global_doc -
+                                                        librarian_offsets_[target]);
+                }
             }
         }
         for (auto& c : fresh->candidates) {
@@ -182,8 +195,8 @@ QueryAnswer Receptionist::rank_central_index(const rank::Query& query, std::size
     const auto weighted = global_weights(query, nullptr);
     const double norm = rank::query_norm(weighted);
 
-    std::vector<std::optional<net::Message>> requests(channels_.size());
-    for (std::size_t s = 0; s < channels_.size(); ++s) {
+    std::vector<std::optional<net::Message>> requests(targets_.size());
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
         if (candidates[s].empty()) continue;
         CandidateRequest req;
         req.query_norm = norm;
@@ -198,7 +211,7 @@ QueryAnswer Receptionist::rank_central_index(const rank::Query& query, std::size
 
     std::vector<GlobalResult> scored;
     scored.reserve(total_candidates);
-    for (std::size_t s = 0; s < channels_.size(); ++s) {
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
         // Degraded: the candidates live only on the failed librarian, so
         // they are dropped and the survivors' scores stand.
         if (!responses[s].has_value()) continue;

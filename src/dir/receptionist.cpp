@@ -11,39 +11,61 @@
 
 namespace teraphim::dir {
 
+namespace {
+
+/// Wraps the classic flat channel list into one single-replica
+/// RouteTarget per librarian, preserving the old slot model exactly.
+std::vector<RouteTarget> single_replica_targets(std::vector<std::unique_ptr<Channel>> channels,
+                                                const ReceptionistOptions& options) {
+    std::vector<RouteTarget> targets;
+    targets.reserve(channels.size());
+    for (auto& channel : channels) {
+        std::vector<std::unique_ptr<Channel>> one;
+        one.push_back(std::move(channel));
+        targets.emplace_back(std::move(one), options.fault.breaker, options.selection);
+    }
+    return targets;
+}
+
+}  // namespace
+
 Receptionist::Receptionist(std::vector<std::unique_ptr<Channel>> channels,
                            ReceptionistOptions options, text::Pipeline pipeline,
                            const rank::SimilarityMeasure& measure)
-    : channels_(std::move(channels)),
-      options_(options),
+    : Receptionist(single_replica_targets(std::move(channels), options), options, pipeline,
+                   measure) {}
+
+Receptionist::Receptionist(std::vector<RouteTarget> targets, ReceptionistOptions options,
+                           text::Pipeline pipeline, const rank::SimilarityMeasure& measure)
+    : targets_(std::move(targets)),
+      options_(std::move(options)),
       pipeline_(pipeline),
       measure_(&measure) {
-    TERAPHIM_ASSERT_MSG(!channels_.empty(), "a receptionist needs at least one librarian");
+    TERAPHIM_ASSERT_MSG(!targets_.empty(), "a receptionist needs at least one librarian");
     if (options_.mode == Mode::MonoServer) {
-        TERAPHIM_ASSERT_MSG(channels_.size() == 1,
+        TERAPHIM_ASSERT_MSG(targets_.size() == 1,
                             "mono-server mode is a single librarian");
     }
     TERAPHIM_ASSERT(options_.group_size >= 1);
-    breakers_.assign(channels_.size(), CircuitBreaker(options_.fault.breaker));
 
-    // Pooled mode needs scatter-gather workers: one per librarian
+    // Pooled mode needs scatter-gather workers: one per target
     // (capped by the hardware) unless the options pin a width. Width 1
-    // — or a single librarian — keeps the fan-out inline on the calling
+    // — or a single target — keeps the fan-out inline on the calling
     // thread; Multiplexed mode needs no pool at all, the channels carry
     // the concurrency.
     if (options_.fanout == FanoutMode::Pooled) {
         const std::size_t width =
             options_.fanout_width == 0
-                ? util::default_fanout_threads(channels_.size())
-                : std::min(options_.fanout_width, channels_.size());
+                ? util::default_fanout_threads(targets_.size())
+                : std::min(options_.fanout_width, targets_.size());
         if (width > 1) pool_ = std::make_unique<util::ThreadPool>(width);
     }
     if (options_.hedge.enabled) {
         // Latency histograms exist independently of the metrics registry:
         // the derived hedge delay must work in uninstrumented processes.
         const auto bounds = obs::Histogram::default_latency_bounds_ms();
-        hedge_latency_.reserve(channels_.size());
-        for (std::size_t s = 0; s < channels_.size(); ++s) {
+        hedge_latency_.reserve(targets_.size());
+        for (std::size_t s = 0; s < targets_.size(); ++s) {
             hedge_latency_.push_back(std::make_shared<obs::Histogram>(
                 std::vector<double>(bounds.begin(), bounds.end())));
         }
@@ -78,20 +100,36 @@ Receptionist::Receptionist(std::vector<std::unique_ptr<Channel>> channels,
 Receptionist::~Receptionist() = default;
 
 void Receptionist::resolve_metrics() {
-    metrics_.breaker_state.assign(channels_.size(), nullptr);
-    metrics_.librarian_failures.assign(channels_.size(), nullptr);
-    metrics_.metrics_pull_failures.assign(channels_.size(), nullptr);
+    metrics_.breaker_state.assign(targets_.size(), {});
+    metrics_.librarian_failures.assign(targets_.size(), nullptr);
+    metrics_.metrics_pull_failures.assign(targets_.size(), nullptr);
+    metrics_.route_picks.assign(targets_.size(), {});
+    metrics_.route_failovers.assign(targets_.size(), nullptr);
+    metrics_.route_hedge_reroutes.assign(targets_.size(), nullptr);
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
+        metrics_.breaker_state[s].assign(targets_[s].replicas(), nullptr);
+        metrics_.route_picks[s].assign(targets_[s].replicas(), nullptr);
+    }
     obs::MetricsRegistry* reg = obs::global();
     if (reg == nullptr) return;  // instrumentation stays null handles
     const std::string mode(mode_name(options_.mode));
+    const std::string tier = std::to_string(options_.tier);
+    // Tier 0 (the flat federation / user-facing root) keeps the
+    // historical label sets; aggregator tiers add tier="N" so a merged
+    // dump distinguishes every level of the tree.
+    const auto with_tier = [&](obs::Labels labels) {
+        if (options_.tier > 0) labels.emplace_back("tier", tier);
+        return labels;
+    };
     const auto stage = [&](const char* name) {
         return &reg->histogram("teraphim_receptionist_stage_latency_ms",
-                               {{"mode", mode}, {"stage", name}});
+                               with_tier({{"mode", mode}, {"stage", name}}));
     };
-    metrics_.queries = &reg->counter("teraphim_receptionist_queries_total", {{"mode", mode}});
+    metrics_.queries =
+        &reg->counter("teraphim_receptionist_queries_total", with_tier({{"mode", mode}}));
     metrics_.degraded_queries =
-        &reg->counter("teraphim_receptionist_degraded_queries_total", {{"mode", mode}});
-    metrics_.retries = &reg->counter("teraphim_receptionist_retries_total");
+        &reg->counter("teraphim_receptionist_degraded_queries_total", with_tier({{"mode", mode}}));
+    metrics_.retries = &reg->counter("teraphim_receptionist_retries_total", with_tier({}));
     metrics_.parse = stage("parse");
     metrics_.admit = stage("admit");
     metrics_.submit = stage("submit");
@@ -99,14 +137,29 @@ void Receptionist::resolve_metrics() {
     metrics_.merge = stage("merge");
     metrics_.fetch = stage("fetch");
     metrics_.total = stage("total");
-    for (std::size_t s = 0; s < channels_.size(); ++s) {
-        const std::string& name = channels_[s]->name();
-        metrics_.breaker_state[s] =
-            &reg->gauge("teraphim_receptionist_breaker_state", {{"librarian", name}});
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
+        const std::string& name = targets_[s].name();
         metrics_.librarian_failures[s] = &reg->counter(
-            "teraphim_receptionist_librarian_failures_total", {{"librarian", name}});
+            "teraphim_receptionist_librarian_failures_total", with_tier({{"librarian", name}}));
         metrics_.metrics_pull_failures[s] = &reg->counter(
-            "teraphim_receptionist_metrics_pull_failures_total", {{"librarian", name}});
+            "teraphim_receptionist_metrics_pull_failures_total", with_tier({{"librarian", name}}));
+        metrics_.route_failovers[s] =
+            &reg->counter("teraphim_route_failovers_total", with_tier({{"librarian", name}}));
+        metrics_.route_hedge_reroutes[s] = &reg->counter("teraphim_route_hedge_reroutes_total",
+                                                         with_tier({{"librarian", name}}));
+        for (std::size_t r = 0; r < targets_[s].replicas(); ++r) {
+            // Single-replica targets keep the flat federation's
+            // breaker-gauge label set; replica sets label each member.
+            obs::Labels breaker_labels{{"librarian", name}};
+            if (targets_[s].replicas() > 1) {
+                breaker_labels.emplace_back("replica", std::to_string(r));
+            }
+            metrics_.breaker_state[s][r] =
+                &reg->gauge("teraphim_receptionist_breaker_state", with_tier(breaker_labels));
+            metrics_.route_picks[s][r] = &reg->counter(
+                "teraphim_route_replica_picks_total",
+                with_tier({{"librarian", name}, {"replica", std::to_string(r)}}));
+        }
     }
     if (options_.cache.enabled) {
         metrics_.cache_invalidations_prepare =
@@ -114,11 +167,13 @@ void Receptionist::resolve_metrics() {
         metrics_.cache_invalidations_stale =
             &reg->counter("teraphim_cache_invalidations_total", {{"reason", "stale_response"}});
     }
-    metrics_.shed_budget = &reg->counter("teraphim_shed_total", {{"reason", "budget"}});
-    metrics_.shed_overloaded = &reg->counter("teraphim_shed_total", {{"reason", "overloaded"}});
-    metrics_.overloaded_replies = &reg->counter("teraphim_overloaded_replies_total");
-    metrics_.hedges = &reg->counter("teraphim_hedges_total");
-    metrics_.hedge_wins = &reg->counter("teraphim_hedge_wins_total");
+    metrics_.shed_budget = &reg->counter("teraphim_shed_total", with_tier({{"reason", "budget"}}));
+    metrics_.shed_overloaded =
+        &reg->counter("teraphim_shed_total", with_tier({{"reason", "overloaded"}}));
+    metrics_.overloaded_replies =
+        &reg->counter("teraphim_overloaded_replies_total", with_tier({}));
+    metrics_.hedges = &reg->counter("teraphim_hedges_total", with_tier({}));
+    metrics_.hedge_wins = &reg->counter("teraphim_hedge_wins_total", with_tier({}));
 }
 
 void Receptionist::flush_caches() {
@@ -134,12 +189,19 @@ void Receptionist::mark_stale(QueryTrace& trace) {
     }
 }
 
-void Receptionist::note_breaker(std::size_t librarian) {
-    if (obs::Gauge* g = metrics_.breaker_state[librarian]) {
-        // Gauge values follow CircuitBreaker::State: 0 closed, 1 open,
-        // 2 half-open.
-        g->set(static_cast<std::int64_t>(breakers_[librarian].state()));
+void Receptionist::note_breakers(std::size_t target) {
+    auto& gauges = metrics_.breaker_state[target];
+    for (std::size_t r = 0; r < gauges.size(); ++r) {
+        if (obs::Gauge* g = gauges[r]) {
+            // Gauge values follow CircuitBreaker::State: 0 closed, 1
+            // open, 2 half-open.
+            g->set(static_cast<std::int64_t>(targets_[target].breaker(r).state()));
+        }
     }
+}
+
+void Receptionist::note_pick(std::size_t target, std::size_t replica) {
+    if (obs::Counter* c = metrics_.route_picks[target][replica]) c->inc();
 }
 
 void Receptionist::observe_query(const QueryTrace& trace) {
@@ -156,7 +218,7 @@ void Receptionist::observe_query(const QueryTrace& trace) {
 }
 
 FanoutMode Receptionist::effective_mode() const {
-    if (options_.fanout_width == 1 || channels_.size() == 1) return FanoutMode::Sequential;
+    if (options_.fanout_width == 1 || targets_.size() == 1) return FanoutMode::Sequential;
     if (options_.fanout == FanoutMode::Pooled && pool_ == nullptr) {
         return FanoutMode::Sequential;
     }
@@ -170,40 +232,58 @@ std::size_t Receptionist::effective_fanout() const {
         case FanoutMode::Pooled:
             return pool_->size();
         case FanoutMode::Multiplexed:
-            return channels_.size();
+            return targets_.size();
     }
     return 1;
 }
 
-net::Message Receptionist::exchange_counted(std::size_t librarian,
+std::uint64_t Receptionist::fingerprint_generations(const std::vector<std::uint64_t>& gens) {
+    std::uint64_t fp = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+    for (std::uint64_t g : gens) {
+        for (int shift = 0; shift < 64; shift += 8) {
+            fp ^= (g >> shift) & 0xFF;
+            fp *= 0x100000001B3ULL;
+        }
+    }
+    return fp;
+}
+
+std::size_t Receptionist::target_of_doc(std::uint32_t doc) const {
+    const auto begin = librarian_offsets_.begin() + 1;
+    const auto it = std::upper_bound(begin, librarian_offsets_.end(), doc);
+    return static_cast<std::size_t>(it - begin);
+}
+
+net::Message Receptionist::exchange_counted(std::size_t target, std::size_t replica,
                                             const net::Message& request,
                                             LibrarianWork& work) {
     work.participated = true;
     work.request_bytes += request.wire_bytes();
     ++work.messages;
-    net::Message response = channels_[librarian]->exchange(request);
+    net::Message response = targets_[target].channel(replica).exchange(request);
     work.response_bytes += response.wire_bytes();
     return response;
 }
 
-std::optional<net::Message> Receptionist::give_up_slot(std::size_t librarian,
+std::optional<net::Message> Receptionist::give_up_slot(std::size_t target, std::size_t replica,
                                                        std::uint32_t attempts,
                                                        const std::string& reason,
                                                        QueryTrace* trace) {
-    if (obs::Counter* c = metrics_.librarian_failures[librarian]) c->inc();
+    if (obs::Counter* c = metrics_.librarian_failures[target]) c->inc();
     if (trace == nullptr || !options_.fault.allow_partial) {
-        throw IoError("librarian " + channels_[librarian]->name() + " unavailable: " + reason);
+        throw IoError("librarian " + targets_[target].name() + " unavailable: " + reason);
     }
     // The degraded record is shared across concurrent exchanges;
-    // restore_failure_order() re-establishes librarian order afterwards.
+    // restore_failure_order() re-establishes target order afterwards.
     std::lock_guard<std::mutex> lock(trace_mu_);
     trace->degraded.partial = true;
-    trace->degraded.failures.push_back(
-        {static_cast<std::uint32_t>(librarian), attempts, reason});
+    trace->degraded.failures.push_back({static_cast<std::uint32_t>(target), attempts, reason,
+                                        /*shed=*/false,
+                                        static_cast<std::uint32_t>(replica)});
     return std::nullopt;
 }
 
-std::optional<net::Message> Receptionist::shed_slot(std::size_t librarian,
+std::optional<net::Message> Receptionist::shed_slot(std::size_t target, std::size_t replica,
                                                     std::uint32_t attempts,
                                                     const std::string& reason,
                                                     QueryTrace* trace,
@@ -212,112 +292,132 @@ std::optional<net::Message> Receptionist::shed_slot(std::size_t librarian,
     // counter, no breaker transition — only the shed family moves.
     if (shed_counter != nullptr) shed_counter->inc();
     if (trace == nullptr || !options_.fault.allow_partial) {
-        throw IoError("librarian " + channels_[librarian]->name() + " shed: " + reason);
+        throw IoError("librarian " + targets_[target].name() + " shed: " + reason);
     }
     std::lock_guard<std::mutex> lock(trace_mu_);
     trace->degraded.partial = true;
-    trace->degraded.failures.push_back(
-        {static_cast<std::uint32_t>(librarian), attempts, reason, /*shed=*/true});
+    trace->degraded.failures.push_back({static_cast<std::uint32_t>(target), attempts, reason,
+                                        /*shed=*/true,
+                                        static_cast<std::uint32_t>(replica)});
     return std::nullopt;
 }
 
-bool Receptionist::admit(std::size_t librarian, LibrarianWork& work, QueryTrace* trace) {
+std::size_t Receptionist::admit(std::size_t target, LibrarianWork& work, QueryTrace* trace) {
     util::Timer timer;
-    const bool admitted = admit_impl(librarian, work, trace);
-    note_breaker(librarian);
+    const std::size_t replica = admit_impl(target, work, trace);
+    note_breakers(target);
     if (trace != nullptr) {
         // Admission overlaps the fan-out stages; the separate accumulator
         // shows where half-open probes and breaker rejections spend time.
         std::lock_guard<std::mutex> lock(trace_mu_);
         trace->timing.admit_ms += timer.elapsed_ms();
     }
-    return admitted;
+    return replica;
 }
 
-bool Receptionist::admit_impl(std::size_t librarian, LibrarianWork& work, QueryTrace* trace) {
-    CircuitBreaker& breaker = breakers_[librarian];
-    if (!breaker.allow_request()) {
-        give_up_slot(librarian, 0, "circuit open", trace);
-        return false;
-    }
-    if (breaker.state() != CircuitBreaker::State::HalfOpen) return true;
-    // Half-open: probe with Ping/Pong before trusting the librarian
-    // with a real request. A recovered librarian is re-admitted by a
-    // cheap round trip; a still-dead one re-opens the breaker without a
-    // full user exchange (and without burning the query's retry budget).
-    try {
-        net::Message ping;
-        ping.type = net::MessageType::Ping;
-        const net::Message reply = exchange_counted(librarian, ping, work);
-        if (reply.type == net::MessageType::Overloaded) {
-            // The librarian is alive enough to refuse work: that is a
-            // successful probe for breaker purposes, but this query
-            // sheds the slot rather than queueing behind the overload.
+std::size_t Receptionist::admit_impl(std::size_t target, LibrarianWork& work,
+                                     QueryTrace* trace) {
+    RouteTarget& route = targets_[target];
+    std::string last_reason = "circuit open";
+    for (const std::size_t r : route.preference()) {
+        CircuitBreaker& breaker = route.breaker(r);
+        if (!breaker.allow_request()) {
+            last_reason = "circuit open";
+            continue;
+        }
+        if (breaker.state() != CircuitBreaker::State::HalfOpen) return r;
+        // Half-open: probe with Ping/Pong before trusting the replica
+        // with a real request. A recovered replica is re-admitted by a
+        // cheap round trip; a still-dead one re-opens its breaker without
+        // a full user exchange (and without burning the query's retry
+        // budget) — and the walk moves on to the next replica.
+        try {
+            net::Message ping;
+            ping.type = net::MessageType::Ping;
+            const net::Message reply = exchange_counted(target, r, ping, work);
+            if (reply.type == net::MessageType::Overloaded) {
+                // The replica is alive enough to refuse work: that is a
+                // successful probe for breaker purposes, but this query
+                // sheds the slot rather than queueing behind the overload.
+                breaker.record_success();
+                shed_slot(target, r, 0, "overloaded (health probe)", trace,
+                          metrics_.shed_overloaded);
+                return RouteTarget::npos;
+            }
+            if (reply.type != net::MessageType::Pong) {
+                throw ProtocolError("health probe: unexpected reply type " +
+                                    std::to_string(static_cast<int>(reply.type)));
+            }
             breaker.record_success();
-            shed_slot(librarian, 0, "overloaded (health probe)", trace,
-                      metrics_.shed_overloaded);
-            return false;
+            return r;
+        } catch (const Error& e) {
+            breaker.record_failure();
+            route.channel(r).reset();
+            last_reason = std::string("health probe failed: ") + e.what();
         }
-        if (reply.type != net::MessageType::Pong) {
-            throw ProtocolError("health probe: unexpected reply type " +
-                                std::to_string(static_cast<int>(reply.type)));
-        }
-        breaker.record_success();
-        return true;
-    } catch (const Error& e) {
-        breaker.record_failure();
-        channels_[librarian]->reset();
-        give_up_slot(librarian, 0, std::string("health probe failed: ") + e.what(), trace);
-        return false;
     }
+    give_up_slot(target, 0, 0, last_reason, trace);
+    return RouteTarget::npos;
 }
 
 std::optional<net::Message> Receptionist::exchange_with_retry(
-    std::size_t librarian, const net::Message& request, LibrarianWork& work,
+    std::size_t target, const net::Message& request, LibrarianWork& work,
     QueryTrace* trace, const std::function<void(const net::Message&)>& validate,
     const QueryBudget* budget) {
     // A slot whose budget is already spent is shed before any admission
     // work (half-open probes included) is spent on it.
     if (budget != nullptr && budget->enabled() && budget->expired()) {
-        return shed_slot(librarian, 0, "deadline budget exhausted", trace,
+        return shed_slot(target, 0, 0, "deadline budget exhausted", trace,
                          metrics_.shed_budget);
     }
-    if (!admit(librarian, work, trace)) return std::nullopt;
+    const std::size_t replica = admit(target, work, trace);
+    if (replica == RouteTarget::npos) return std::nullopt;
     // Submit-then-gather through the shared retry stack: the blocking
     // shapes are the multiplexed gather with the submit done inline,
     // which is what makes budgets and hedging uniform across fan-outs.
-    return gather_with_retry(librarian, request,
-                             submit_counted(librarian, request, work, budget), work, trace,
-                             validate, budget);
+    return gather_with_retry(target, request,
+                             submit_counted(target, replica, request, work, budget), replica,
+                             work, trace, validate, budget);
 }
 
-util::Future<net::Message> Receptionist::submit_counted(std::size_t librarian,
+util::Future<net::Message> Receptionist::submit_counted(std::size_t target, std::size_t replica,
                                                         const net::Message& request,
                                                         LibrarianWork& work,
                                                         const QueryBudget* budget,
-                                                        bool backup) {
+                                                        bool hedge_leg, bool backup_path) {
     work.participated = true;
     work.request_bytes += request.wire_bytes();
     ++work.messages;
-    Channel& channel = *channels_[librarian];
+    note_pick(target, replica);
+    Channel& channel = targets_[target].channel(replica);
     util::Future<net::Message> fut;
     if (budget != nullptr && budget->enabled()) {
         // Stamp the remaining budget into the frame header so every hop
-        // downstream (MessageServer admission, librarian dispatch) can
-        // shed work that cannot finish in time. The header is fixed
-        // size, so stamping never changes wire_bytes() accounting.
+        // downstream (MessageServer admission, librarian dispatch,
+        // aggregator re-stamping) can shed work that cannot finish in
+        // time. The header is fixed size, so stamping never changes
+        // wire_bytes() accounting.
         net::Message stamped = request;
         stamped.budget_ms = budget->wire_budget_ms();
-        fut = backup ? channel.submit_backup(stamped) : channel.submit(stamped);
+        fut = backup_path ? channel.submit_backup(stamped) : channel.submit(stamped);
     } else {
-        fut = backup ? channel.submit_backup(request) : channel.submit(request);
+        fut = backup_path ? channel.submit_backup(request) : channel.submit(request);
     }
-    if (!hedge_latency_.empty() && !backup) {
+    // In-flight depth feeds the least-inflight / power-of-two selection
+    // policies. The counter is a shared atomic: the completion callback
+    // may fire during transport teardown, after this receptionist (and
+    // its targets) are gone.
+    const std::shared_ptr<std::atomic<std::int64_t>> inflight = targets_[target].inflight(replica);
+    inflight->fetch_add(1, std::memory_order_relaxed);
+    fut.on_ready([inflight] { inflight->fetch_sub(1, std::memory_order_relaxed); });
+    if (!hedge_latency_.empty() && !hedge_leg) {
         // Feed the derived hedge delay. Runs on whichever thread
         // completes the promise; Histogram::observe is atomic. The
         // callback holds shared ownership — it may fire during transport
-        // teardown, after this receptionist is destroyed.
-        std::shared_ptr<obs::Histogram> hist = hedge_latency_[librarian];
+        // teardown, after this receptionist is destroyed. Hedge legs are
+        // excluded: a backup's latency says nothing about the usual
+        // reply time.
+        std::shared_ptr<obs::Histogram> hist = hedge_latency_[target];
         const auto t0 = std::chrono::steady_clock::now();
         fut.on_ready([hist, t0] {
             const auto elapsed = std::chrono::duration<double, std::milli>(
@@ -328,10 +428,10 @@ util::Future<net::Message> Receptionist::submit_counted(std::size_t librarian,
     return fut;
 }
 
-std::chrono::milliseconds Receptionist::hedge_delay(std::size_t librarian) const {
+std::chrono::milliseconds Receptionist::hedge_delay(std::size_t target) const {
     const HedgeOptions& h = options_.hedge;
     if (h.delay_ms > 0) return std::chrono::milliseconds(h.delay_ms);
-    const obs::Histogram* hist = hedge_latency_[librarian].get();
+    const obs::Histogram* hist = hedge_latency_[target].get();
     if (hist->count() < h.min_observations) {
         return std::chrono::milliseconds(h.initial_delay_ms);
     }
@@ -381,7 +481,8 @@ struct HedgeRace {
 
 }  // namespace
 
-net::Message Receptionist::await_reply(std::size_t librarian, const net::Message& request,
+net::Message Receptionist::await_reply(std::size_t target, std::size_t replica,
+                                       const net::Message& request,
                                        util::Future<net::Message>& fut, LibrarianWork& work,
                                        QueryTrace* trace, const QueryBudget* budget,
                                        std::uint32_t attempt) {
@@ -391,33 +492,47 @@ net::Message Receptionist::await_reply(std::size_t librarian, const net::Message
         if (!budgeted) return fut.get();
         if (!fut.wait_for(budget->remaining())) {
             throw BudgetExpiredError("deadline budget exhausted waiting for " +
-                                     channels_[librarian]->name());
+                                     targets_[target].name());
         }
         return fut.get();
     }
 
     // Hedge path: give the primary its delay, then race a backup.
-    auto delay = hedge_delay(librarian);
+    auto delay = hedge_delay(target);
     if (budgeted) delay = std::min(delay, budget->remaining());
     if (fut.wait_for(delay)) return fut.get();
     if (budgeted && budget->expired()) {
         throw BudgetExpiredError("deadline budget exhausted waiting for " +
-                                 channels_[librarian]->name());
+                                 targets_[target].name());
     }
     if (metrics_.hedges != nullptr) metrics_.hedges->inc();
     if (trace != nullptr) {
         std::lock_guard<std::mutex> lock(trace_mu_);
         ++trace->hedges;
     }
-    util::Future<net::Message> backup =
-        submit_counted(librarian, request, work, budget, /*backup=*/true);
+    // The backup goes to a different *healthy* replica when the set has
+    // one — a second connection to the same wedged librarian cannot
+    // overtake a genuinely slow server, a sibling replica can. Only a
+    // replica-less (or all-siblings-unhealthy) target falls back to the
+    // primary replica's second path. pick_healthy_other is side-effect
+    // free: a speculative hedge must not consume breaker cooldown ticks.
+    std::size_t hedge_replica = targets_[target].pick_healthy_other(replica);
+    bool backup_path = false;
+    if (hedge_replica == RouteTarget::npos) {
+        hedge_replica = replica;
+        backup_path = true;
+    } else if (obs::Counter* c = metrics_.route_hedge_reroutes[target]) {
+        c->inc();
+    }
+    util::Future<net::Message> backup = submit_counted(target, hedge_replica, request, work,
+                                                       budget, /*hedge_leg=*/true, backup_path);
     auto race = std::make_shared<HedgeRace>();
     fut.on_ready([race] { race->signal(0); });
     backup.on_ready([race] { race->signal(1); });
     if (budgeted) {
         if (!race->wait_first_for(budget->remaining())) {
             throw BudgetExpiredError("deadline budget exhausted during hedge for " +
-                                     channels_[librarian]->name());
+                                     targets_[target].name());
         }
     } else {
         race->wait_first();
@@ -444,7 +559,7 @@ net::Message Receptionist::await_reply(std::size_t librarian, const net::Message
         if (budgeted) {
             if (!loser->wait_for(budget->remaining())) {
                 throw BudgetExpiredError("deadline budget exhausted during hedge for " +
-                                         channels_[librarian]->name());
+                                         targets_[target].name());
             }
         } else {
             race->wait_second();
@@ -456,13 +571,14 @@ net::Message Receptionist::await_reply(std::size_t librarian, const net::Message
 }
 
 std::optional<net::Message> Receptionist::gather_with_retry(
-    std::size_t librarian, const net::Message& request, util::Future<net::Message> first,
-    LibrarianWork& work, QueryTrace* trace,
+    std::size_t target, const net::Message& request, util::Future<net::Message> first,
+    std::size_t first_replica, LibrarianWork& work, QueryTrace* trace,
     const std::function<void(const net::Message&)>& validate, const QueryBudget* budget) {
     const FaultToleranceOptions& ft = options_.fault;
-    CircuitBreaker& breaker = breakers_[librarian];
+    RouteTarget& route = targets_[target];
     const std::uint32_t max_attempts = std::max(1u, ft.retry.max_attempts);
     std::string last_reason;
+    std::size_t replica = first_replica;
     util::Future<net::Message> fut = std::move(first);
     // Set when the coming retry answers an Overloaded reply: the
     // transport is healthy, so no reset and no backoff — the librarian's
@@ -478,11 +594,11 @@ std::optional<net::Message> Receptionist::gather_with_retry(
             if (!overloaded_retry) {
                 // The previous exchange may have left the transport
                 // mid-frame; start from a clean connection.
-                channels_[librarian]->reset();
-                const auto delay = ft.retry.backoff(attempt - 1, librarian);
+                route.channel(replica).reset();
+                const auto delay = ft.retry.backoff(attempt - 1, target);
                 if (budget != nullptr && budget->enabled()) {
                     if (budget->expired()) {
-                        return shed_slot(librarian, attempt - 1,
+                        return shed_slot(target, replica, attempt - 1,
                                          "deadline budget exhausted before retry", trace,
                                          metrics_.shed_budget);
                     }
@@ -491,13 +607,23 @@ std::optional<net::Message> Receptionist::gather_with_retry(
                 } else if (delay.count() > 0) {
                     std::this_thread::sleep_for(delay);
                 }
+                // Fail over: retry on a sibling replica whose breaker
+                // admits the request instead of burning the remaining
+                // attempts on the replica that just failed. A
+                // single-replica target re-asks its only replica — the
+                // flat-federation behaviour.
+                const std::size_t next = route.pick_for_retry(replica);
+                if (next != RouteTarget::npos && next != replica) {
+                    if (obs::Counter* c = metrics_.route_failovers[target]) c->inc();
+                    replica = next;
+                }
             }
             overloaded_retry = false;
-            fut = submit_counted(librarian, request, work, budget);
+            fut = submit_counted(target, replica, request, work, budget);
         }
         try {
             net::Message response =
-                await_reply(librarian, request, fut, work, trace, budget, attempt);
+                await_reply(target, replica, request, fut, work, trace, budget, attempt);
             work.response_bytes += response.wire_bytes();
             if (response.type == net::MessageType::Overloaded) {
                 // Shed-not-failed: the librarian is alive and explicitly
@@ -505,8 +631,8 @@ std::optional<net::Message> Receptionist::gather_with_retry(
                 // its circuit breaker. Intercepted before validate so the
                 // decoder's expect_type cannot turn it into a retried
                 // (and breaker-feeding) ProtocolError.
-                breaker.record_success();
-                note_breaker(librarian);
+                route.breaker(replica).record_success();
+                note_breakers(target);
                 if (metrics_.overloaded_replies != nullptr) metrics_.overloaded_replies->inc();
                 const net::OverloadedInfo info = net::OverloadedInfo::from_message(response);
                 const auto hint = std::chrono::milliseconds(info.retry_after_ms);
@@ -520,39 +646,39 @@ std::optional<net::Message> Receptionist::gather_with_retry(
                     overloaded_retry = true;
                     continue;
                 }
-                return shed_slot(librarian, attempt,
+                return shed_slot(target, replica, attempt,
                                  std::string("overloaded (") +
                                      std::string(net::overload_reason_name(info.reason)) + ")",
                                  trace, metrics_.shed_overloaded);
             }
             if (validate) validate(response);
-            breaker.record_success();
-            note_breaker(librarian);
+            route.breaker(replica).record_success();
+            note_breakers(target);
             return response;
         } catch (const BudgetExpiredError& e) {
             // Out of time, not out of librarian: shed without touching
             // the breaker. The in-flight request is left to complete (or
             // fail) on its own; the mux layer discards orphan replies.
-            return shed_slot(librarian, attempt, e.what(), trace, metrics_.shed_budget);
+            return shed_slot(target, replica, attempt, e.what(), trace, metrics_.shed_budget);
         } catch (const RemoteError&) {
-            breaker.record_success();
-            note_breaker(librarian);
+            route.breaker(replica).record_success();
+            note_breakers(target);
             throw;
         } catch (const Error& e) {
-            breaker.record_failure();
-            note_breaker(librarian);
+            route.breaker(replica).record_failure();
+            note_breakers(target);
             last_reason = e.what();
         }
     }
-    channels_[librarian]->reset();
-    return give_up_slot(librarian, max_attempts, last_reason, trace);
+    route.channel(replica).reset();
+    return give_up_slot(target, replica, max_attempts, last_reason, trace);
 }
 
 void Receptionist::restore_failure_order(QueryTrace* trace, std::size_t failures_before) {
     if (trace == nullptr) return;
     // Exchanges append failures in completion order; the sequential
-    // path appends them in librarian order. Restore that order for the
-    // entries this fan-out added (stable, so one librarian's multiple
+    // path appends them in target order. Restore that order for the
+    // entries this fan-out added (stable, so one target's multiple
     // failures within a phase keep their issue order).
     auto& failures = trace->degraded.failures;
     std::stable_sort(failures.begin() + static_cast<std::ptrdiff_t>(failures_before),
@@ -578,8 +704,8 @@ std::vector<std::optional<net::Message>> Receptionist::broadcast(
     std::vector<LibrarianWork>& work, QueryTrace* trace,
     const std::function<void(std::size_t, const net::Message&)>& validate,
     const QueryBudget* budget) {
-    TERAPHIM_ASSERT(requests.size() == channels_.size());
-    TERAPHIM_ASSERT(work.size() == channels_.size());
+    TERAPHIM_ASSERT(requests.size() == targets_.size());
+    TERAPHIM_ASSERT(work.size() == targets_.size());
 
     std::vector<std::size_t> active;
     active.reserve(requests.size());
@@ -587,7 +713,7 @@ std::vector<std::optional<net::Message>> Receptionist::broadcast(
         if (requests[s].has_value()) active.push_back(s);
     }
 
-    std::vector<std::optional<net::Message>> responses(channels_.size());
+    std::vector<std::optional<net::Message>> responses(targets_.size());
     if (effective_mode() != FanoutMode::Multiplexed) {
         // Blocking shapes submit and wait inside one call; the whole
         // fan-out is accounted as gather time.
@@ -607,24 +733,27 @@ std::vector<std::optional<net::Message>> Receptionist::broadcast(
     }
 
     // Multiplexed scatter-gather: stamp every admitted request onto its
-    // shared channel first (no thread blocks yet), then gather
+    // picked replica's channel first (no thread blocks yet), then gather
     // completions in slot order so the merge downstream sees exactly
     // what the sequential path sees. The channels complete out of order
     // internally; slot-ordered gathering makes that invisible.
     const std::size_t failures_before =
         trace == nullptr ? 0 : trace->degraded.failures.size();
-    std::vector<std::optional<util::Future<net::Message>>> futures(channels_.size());
+    std::vector<std::optional<util::Future<net::Message>>> futures(targets_.size());
+    std::vector<std::size_t> submit_replica(targets_.size(), RouteTarget::npos);
     {
         obs::Span submit_span(trace != nullptr ? &trace->timing.submit_ms : nullptr);
         for (const std::size_t s : active) {
             if (budget != nullptr && budget->enabled() && budget->expired()) {
                 // No point admitting (or probing) a slot the deadline
                 // already forecloses; shed it at the submit sweep.
-                shed_slot(s, 0, "deadline budget exhausted", trace, metrics_.shed_budget);
+                shed_slot(s, 0, 0, "deadline budget exhausted", trace, metrics_.shed_budget);
                 continue;
             }
-            if (!admit(s, work[s], trace)) continue;
-            futures[s] = submit_counted(s, *requests[s], work[s], budget);
+            const std::size_t r = admit(s, work[s], trace);
+            if (r == RouteTarget::npos) continue;
+            submit_replica[s] = r;
+            futures[s] = submit_counted(s, r, *requests[s], work[s], budget);
         }
     }
     obs::Span gather_span(trace != nullptr ? &trace->timing.gather_ms : nullptr);
@@ -634,15 +763,17 @@ std::vector<std::optional<net::Message>> Receptionist::broadcast(
         if (validate) {
             slot_validate = [&validate, s](const net::Message& reply) { validate(s, reply); };
         }
-        responses[s] = gather_with_retry(s, *requests[s], std::move(*futures[s]), work[s],
-                                         trace, slot_validate, budget);
+        responses[s] = gather_with_retry(s, *requests[s], std::move(*futures[s]),
+                                         submit_replica[s], work[s], trace, slot_validate,
+                                         budget);
     }
     gather_span.stop();
     restore_failure_order(trace, failures_before);
     return responses;
 }
 
-PrepareSummary Receptionist::prepare(std::span<const index::InvertedIndex* const> indexes_for_ci) {
+PrepareSummary Receptionist::prepare(std::span<const index::InvertedIndex* const> indexes_for_ci,
+                                     std::span<const std::uint32_t> ci_leaf_targets) {
     util::Timer timer;
     total_documents_ = 0;
     librarian_sizes_.clear();
@@ -650,23 +781,32 @@ PrepareSummary Receptionist::prepare(std::span<const index::InvertedIndex* const
     global_vocab_.clear();
     merged_vocab_bytes_ = 0;
     central_index_bytes_ = 0;
+    child_num_terms_ = 0;
+    child_index_bytes_ = 0;
+    child_store_bytes_ = 0;
+    ci_leaf_of_.clear();
     grouped_.reset();
 
     // Preparation is strict: a federation cannot be assembled around a
     // librarian whose size and vocabulary are unknown, so failures here
     // are retried but ultimately throw rather than degrade. Both rounds
-    // fan out in parallel; responses are gathered into librarian order
+    // fan out in parallel; responses are gathered into target order
     // and folded sequentially, so the merged state is deterministic.
-    std::vector<LibrarianWork> scratch(channels_.size());
-    const std::vector<std::optional<net::Message>> stats_requests(channels_.size(),
+    std::vector<LibrarianWork> scratch(targets_.size());
+    const std::vector<std::optional<net::Message>> stats_requests(targets_.size(),
                                                                   StatsRequest{}.encode());
     const auto stats = broadcast_typed<StatsResponse>(stats_requests, scratch, nullptr);
     std::vector<std::uint64_t> generations;
-    generations.reserve(channels_.size());
-    for (std::size_t s = 0; s < channels_.size(); ++s) {
+    generations.reserve(targets_.size());
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
         librarian_sizes_.push_back(stats[s]->num_documents);
         total_documents_ += stats[s]->num_documents;
         generations.push_back(stats[s]->generation);
+        // Aggregate child stats, reported upward by relay_stats() when
+        // this receptionist serves as a tier of an aggregator tree.
+        child_num_terms_ += stats[s]->num_terms;
+        child_index_bytes_ += stats[s]->index_bytes;
+        child_store_bytes_ += stats[s]->store_bytes;
     }
 
     // Generation bookkeeping: any librarian serving a different
@@ -674,13 +814,7 @@ PrepareSummary Receptionist::prepare(std::span<const index::InvertedIndex* const
     // (A first prepare() records the baseline; the caches are empty.)
     const bool collection_changed = prepared_ && generations != librarian_generations_;
     librarian_generations_ = std::move(generations);
-    federation_generation_ = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
-    for (std::uint64_t g : librarian_generations_) {
-        for (int shift = 0; shift < 64; shift += 8) {
-            federation_generation_ ^= (g >> shift) & 0xFF;
-            federation_generation_ *= 0x100000001B3ULL;
-        }
-    }
+    federation_generation_ = fingerprint_generations(librarian_generations_);
     if (collection_changed) {
         flush_caches();
         if (metrics_.cache_invalidations_prepare != nullptr) {
@@ -688,11 +822,11 @@ PrepareSummary Receptionist::prepare(std::span<const index::InvertedIndex* const
         }
     }
 
-    // Prefix-sum offset table: librarian s's documents occupy global ids
+    // Prefix-sum offset table: target s's documents occupy global ids
     // [offsets[s], offsets[s+1]). Replaces the O(S) per-result rescan
     // the fetch path used to do.
-    librarian_offsets_.resize(channels_.size() + 1, 0);
-    for (std::size_t s = 0; s < channels_.size(); ++s) {
+    librarian_offsets_.resize(targets_.size() + 1, 0);
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
         librarian_offsets_[s + 1] = librarian_offsets_[s] + librarian_sizes_[s];
     }
 
@@ -700,10 +834,10 @@ PrepareSummary Receptionist::prepare(std::span<const index::InvertedIndex* const
                              options_.mode == Mode::CentralIndex;
     if (needs_vocab) {
         const std::vector<std::optional<net::Message>> vocab_requests(
-            channels_.size(), VocabularyRequest{}.encode());
+            targets_.size(), VocabularyRequest{}.encode());
         const auto vocabs =
             broadcast_typed<VocabularyResponse>(vocab_requests, scratch, nullptr);
-        for (std::size_t s = 0; s < channels_.size(); ++s) {
+        for (std::size_t s = 0; s < targets_.size(); ++s) {
             for (const VocabEntry& e : vocabs[s]->entries) {
                 GlobalTermInfo& info = global_vocab_[e.term];
                 info.doc_frequency += e.doc_frequency;
@@ -728,8 +862,25 @@ PrepareSummary Receptionist::prepare(std::span<const index::InvertedIndex* const
     }
 
     if (options_.mode == Mode::CentralIndex) {
-        TERAPHIM_ASSERT_MSG(indexes_for_ci.size() == channels_.size(),
-                            "CI preparation needs one subcollection index per librarian");
+        if (ci_leaf_targets.empty()) {
+            TERAPHIM_ASSERT_MSG(indexes_for_ci.size() == targets_.size(),
+                                "CI preparation needs one subcollection index per librarian");
+        } else {
+            // Tree deployment: the grouped index is built over the leaf
+            // indexes, and each leaf maps to the aggregator target that
+            // owns it. Leaves of one target must be contiguous and in
+            // target order so target-local doc ids are offset-rebased
+            // global ids.
+            TERAPHIM_ASSERT_MSG(indexes_for_ci.size() == ci_leaf_targets.size(),
+                                "CI preparation needs one owning target per leaf index");
+            ci_leaf_of_.assign(ci_leaf_targets.begin(), ci_leaf_targets.end());
+            for (std::size_t i = 0; i < ci_leaf_of_.size(); ++i) {
+                TERAPHIM_ASSERT_MSG(ci_leaf_of_[i] < targets_.size(),
+                                    "ci_leaf_targets names a target that does not exist");
+                TERAPHIM_ASSERT_MSG(i == 0 || ci_leaf_of_[i] >= ci_leaf_of_[i - 1],
+                                    "leaves of a target must be contiguous, in target order");
+            }
+        }
         grouped_ = index::GroupedIndex::build(indexes_for_ci, options_.group_size);
         central_index_bytes_ = grouped_->index().index_stats().total_bytes();
     }
@@ -737,7 +888,7 @@ PrepareSummary Receptionist::prepare(std::span<const index::InvertedIndex* const
     prepared_ = true;
 
     PrepareSummary out;
-    out.librarians = channels_.size();
+    out.librarians = targets_.size();
     out.total_documents = total_documents_;
     out.merged_vocabulary_bytes = merged_vocab_bytes_;
     out.central_index_bytes = central_index_bytes_;
@@ -773,7 +924,7 @@ std::vector<rank::WeightedQueryTerm> Receptionist::global_weights(
     const rank::Query& query, std::vector<bool>* holders_out) const {
     std::vector<rank::WeightedQueryTerm> weighted;
     weighted.reserve(query.terms.size());
-    if (holders_out != nullptr) holders_out->assign(channels_.size(), false);
+    if (holders_out != nullptr) holders_out->assign(targets_.size(), false);
     const bool memoize = term_cache_ != nullptr && term_cache_->terms_enabled();
     std::string key;
     for (const rank::QueryTerm& qt : query.terms) {
@@ -833,7 +984,8 @@ QueryAnswer Receptionist::rank_impl(std::string_view query_text, std::size_t dep
             QueryAnswer answer;
             answer.ranking = hit->ranking;
             answer.trace.mode = options_.mode;
-            answer.trace.index_phase.assign(channels_.size(), LibrarianWork{});
+            answer.trace.tier = options_.tier;
+            answer.trace.index_phase.assign(targets_.size(), LibrarianWork{});
             answer.trace.served_from_cache = true;
             answer.trace.timing.parse_ms = parse_ms;
             return answer;
@@ -855,6 +1007,7 @@ QueryAnswer Receptionist::rank_impl(std::string_view query_text, std::size_t dep
         default:
             throw Error("unknown mode");
     }
+    answer.trace.tier = options_.tier;
     answer.trace.timing.parse_ms = parse_ms;
 
     // Only complete, current answers are admitted to the cache: a
@@ -899,15 +1052,15 @@ QueryAnswer Receptionist::search(std::string_view query_text, const QueryBudget&
 }
 
 void Receptionist::fetch_documents(QueryAnswer& answer, const QueryBudget* budget) {
-    answer.trace.fetch_phase.assign(channels_.size(), FetchWork{});
+    answer.trace.fetch_phase.assign(targets_.size(), FetchWork{});
 
-    // Group the wanted documents by owning librarian, preserving enough
+    // Group the wanted documents by owning target, preserving enough
     // information to reassemble the answer in rank order.
     std::map<std::uint32_t, std::vector<std::uint32_t>> wanted;
     for (const GlobalResult& r : answer.ranking) wanted[r.librarian].push_back(r.doc);
 
     // Precompute every fetch round trip up front: one batch per request
-    // frame, grouped per librarian in a deterministic order. The batch
+    // frame, grouped per target in a deterministic order. The batch
     // list is what lets the three fan-out shapes share one definition
     // of the fetch protocol.
     struct Batch {
@@ -915,7 +1068,7 @@ void Receptionist::fetch_documents(QueryAnswer& answer, const QueryBudget* budge
         std::vector<std::uint32_t> docs;
     };
     std::vector<Batch> batches;
-    std::vector<std::pair<std::size_t, std::size_t>> job_ranges;  ///< [first, last) per librarian
+    std::vector<std::pair<std::size_t, std::size_t>> job_ranges;  ///< [first, last) per target
     for (const auto& [librarian, docs] : wanted) {
         const std::size_t first = batches.size();
         if (options_.bundle_fetch) {
@@ -969,10 +1122,10 @@ void Receptionist::fetch_documents(QueryAnswer& answer, const QueryBudget* budge
             for (std::size_t b = 0; b < batches.size(); ++b) run_batch(b);
             break;
         case FanoutMode::Pooled:
-            // One fan-out job per librarian; each job's round trips stay
+            // One fan-out job per target; each job's round trips stay
             // sequential (the per-document protocol of the paper) but
             // the jobs run concurrently, so fetch latency is the slowest
-            // librarian's chain, not the sum.
+            // target's chain, not the sum.
             scatter(job_ranges.size(), &answer.trace, [&](std::size_t j) {
                 for (std::size_t b = job_ranges[j].first; b < job_ranges[j].second; ++b) {
                     run_batch(b);
@@ -980,13 +1133,14 @@ void Receptionist::fetch_documents(QueryAnswer& answer, const QueryBudget* budge
             });
             break;
         case FanoutMode::Multiplexed: {
-            // All round trips to all librarians go out at once on the
+            // All round trips to all targets go out at once on the
             // shared connections; completions are gathered in batch
-            // order. A librarian's batches are pipelined instead of
+            // order. A target's batches are pipelined instead of
             // waiting a round trip each — the win the paper anticipated
             // from bundling, obtained in the transport.
             const std::size_t failures_before = answer.trace.degraded.failures.size();
             std::vector<std::optional<util::Future<net::Message>>> futures(batches.size());
+            std::vector<std::size_t> submit_replica(batches.size(), RouteTarget::npos);
             std::vector<net::Message> encoded(batches.size());
             for (std::size_t b = 0; b < batches.size(); ++b) {
                 FetchRequest req;
@@ -994,18 +1148,21 @@ void Receptionist::fetch_documents(QueryAnswer& answer, const QueryBudget* budge
                 req.send_compressed = options_.compressed_fetch;
                 encoded[b] = req.encode();
                 if (budget != nullptr && budget->enabled() && budget->expired()) {
-                    shed_slot(batches[b].librarian, 0, "deadline budget exhausted",
+                    shed_slot(batches[b].librarian, 0, 0, "deadline budget exhausted",
                               &answer.trace, metrics_.shed_budget);
                     continue;
                 }
-                if (!admit(batches[b].librarian, scratch[b], &answer.trace)) continue;
-                futures[b] = submit_counted(batches[b].librarian, encoded[b], scratch[b], budget);
+                const std::size_t r = admit(batches[b].librarian, scratch[b], &answer.trace);
+                if (r == RouteTarget::npos) continue;
+                submit_replica[b] = r;
+                futures[b] =
+                    submit_counted(batches[b].librarian, r, encoded[b], scratch[b], budget);
             }
             for (std::size_t b = 0; b < batches.size(); ++b) {
                 if (!futures[b].has_value()) continue;
                 std::optional<FetchResponse>& out = responses[b];
                 gather_with_retry(batches[b].librarian, encoded[b], std::move(*futures[b]),
-                                  scratch[b], &answer.trace,
+                                  submit_replica[b], scratch[b], &answer.trace,
                                   [&out](const net::Message& reply) {
                                       out.emplace(FetchResponse::decode(reply));
                                   },
@@ -1035,7 +1192,7 @@ void Receptionist::fetch_documents(QueryAnswer& answer, const QueryBudget* budge
         }
     }
 
-    // Reassemble in rank order. Entries whose librarian failed during
+    // Reassemble in rank order. Entries whose target failed during
     // the fetch phase are dropped from the answer (the partial-answer
     // contract: documents stays aligned with ranking); any other gap is
     // still a protocol violation.
@@ -1061,11 +1218,11 @@ std::vector<GlobalResult> Receptionist::boolean(std::string_view expression) {
     // Boolean answers are exact set unions, so a missing librarian would
     // silently change the result set: retry, but fail loudly rather than
     // degrade (trace == nullptr keeps the broadcast strict).
-    const std::vector<std::optional<net::Message>> requests(channels_.size(), req.encode());
-    std::vector<LibrarianWork> scratch(channels_.size());
+    const std::vector<std::optional<net::Message>> requests(targets_.size(), req.encode());
+    std::vector<LibrarianWork> scratch(targets_.size());
     const auto responses = broadcast_typed<BooleanResponse>(requests, scratch, nullptr);
     std::vector<GlobalResult> out;
-    for (std::size_t s = 0; s < channels_.size(); ++s) {
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
         for (std::uint32_t doc : responses[s]->docs) {
             out.push_back({static_cast<std::uint32_t>(s), doc, 1.0});
         }
@@ -1076,24 +1233,42 @@ std::vector<GlobalResult> Receptionist::boolean(std::string_view expression) {
 std::vector<obs::MetricSample> Receptionist::pull_librarian_metrics() {
     std::vector<obs::MetricSample> out;
     const net::Message request = MetricsRequest{}.encode();
-    for (std::size_t s = 0; s < channels_.size(); ++s) {
-        try {
-            MetricsResponse resp = MetricsResponse::decode(channels_[s]->exchange(request));
-            const std::string who =
-                obs::render_labels({{"librarian", channels_[s]->name()}});
-            for (obs::MetricSample& sample : resp.samples) {
-                sample.labels =
-                    sample.labels.empty() ? who : who + "," + sample.labels;
-                out.push_back(std::move(sample));
+    constexpr std::string_view kLibrarianLabel = "librarian=\"";
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
+        const std::string& name = targets_[s].name();
+        bool pulled = false;
+        // Replicas serve the same registry, so the first replica that
+        // answers wins; a target where every replica fails contributes
+        // no samples this pull — monitoring never takes a federation
+        // down. Skips are counted so dashboards can tell "no samples"
+        // from "no traffic", and failed channels are reset so a
+        // connection that died mid-frame does not poison the next pull.
+        for (std::size_t r = 0; r < targets_[s].replicas() && !pulled; ++r) {
+            try {
+                MetricsResponse resp =
+                    MetricsResponse::decode(targets_[s].channel(r).exchange(request));
+                const std::string who = obs::render_labels({{"librarian", name}});
+                for (obs::MetricSample& sample : resp.samples) {
+                    // A sample that already carries a librarian label came
+                    // up through an aggregator tier's own pull: prefix the
+                    // path instead of stacking a second label, so the
+                    // merged dump reads librarian="agg/leaf".
+                    const auto pos = sample.labels.find(kLibrarianLabel);
+                    if (pos != std::string::npos) {
+                        sample.labels.insert(pos + kLibrarianLabel.size(), name + "/");
+                    } else {
+                        sample.labels =
+                            sample.labels.empty() ? who : who + "," + sample.labels;
+                    }
+                    out.push_back(std::move(sample));
+                }
+                pulled = true;
+            } catch (const Error&) {
+                targets_[s].channel(r).reset();
             }
-        } catch (const Error&) {
-            // Monitoring never takes a federation down: a librarian that
-            // cannot answer simply contributes no samples this pull. The
-            // skip is counted so dashboards can tell "no samples" from
-            // "no traffic", and the channel is reset so a connection
-            // that died mid-frame does not poison the next pull.
+        }
+        if (!pulled) {
             if (obs::Counter* c = metrics_.metrics_pull_failures[s]) c->inc();
-            channels_[s]->reset();
         }
     }
     return out;

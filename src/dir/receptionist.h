@@ -16,6 +16,13 @@
 //
 // Mode::MonoServer is the baseline: a single librarian holding the whole
 // collection, queried through the same machinery.
+//
+// Fan-out is *routed* (dir/route.h): each slot is a RouteTarget — a
+// replica set of channels — and the retry/breaker/hedge stack picks
+// replicas per exchange. A receptionist is also *servable*: handle()
+// answers the librarian-facing protocol by delegating to its own
+// downstream fan-out, which is what makes receptionist-of-receptionists
+// aggregator trees composable (DESIGN.md §15).
 #pragma once
 
 #include <cstdint>
@@ -33,6 +40,7 @@
 #include "dir/merge.h"
 #include "dir/protocol.h"
 #include "dir/retry.h"
+#include "dir/route.h"
 #include "index/grouped_index.h"
 #include "net/message.h"
 #include "obs/metrics.h"
@@ -43,51 +51,13 @@
 
 namespace teraphim::dir {
 
-/// Transport-agnostic endpoint for one librarian. Implementations:
-/// InProcessChannel and TcpChannel (dir/deployment.h), FaultyChannel
-/// (dir/fault.h).
-///
-/// Channels are shared: one channel per librarian serves every user
-/// query in the federation, so submit() must be safe to call from many
-/// threads with many requests outstanding (the TCP implementation
-/// multiplexes them over one connection by correlation id).
-class Channel {
-public:
-    virtual ~Channel() = default;
-
-    /// Asynchronous request/response: enqueues the request and returns
-    /// a future that completes with the reply or the transport error.
-    virtual util::Future<net::Message> submit(const net::Message& request) = 0;
-
-    /// Submits a hedged backup request. Transports that can afford a
-    /// second path to the same librarian (TcpChannel keeps a second
-    /// MuxConnection) send it there, so a backup can overtake a primary
-    /// wedged behind a slow socket; the default is a plain submit() on
-    /// the shared path.
-    virtual util::Future<net::Message> submit_backup(const net::Message& request) {
-        return submit(request);
-    }
-
-    /// Synchronous exchange — submit and wait. Kept as the convenient
-    /// shape for callers that want one answer before proceeding.
-    net::Message exchange(const net::Message& request) { return submit(request).get(); }
-
-    /// Discards any transport state that is no longer usable (e.g. a
-    /// connection that died mid-frame) so the next submit starts fresh.
-    /// Must not disturb healthy state shared with in-flight requests.
-    /// No-op for stateless channels.
-    virtual void reset() {}
-
-    virtual const std::string& name() const = 0;
-};
-
 /// Knobs governing how the receptionist copes with librarians that are
 /// slow, crashed, or corrupting frames. The defaults retry transient
 /// failures and degrade to a partial answer; they change nothing when
 /// every librarian answers first time.
 struct FaultToleranceOptions {
     RetryPolicy retry;       ///< attempts + backoff around every exchange
-    BreakerOptions breaker;  ///< per-librarian consecutive-failure breaker
+    BreakerOptions breaker;  ///< per-replica consecutive-failure breaker
 
     /// When true (default) a librarian that stays unreachable is dropped
     /// from the answer and reported via QueryTrace::degraded; when false
@@ -117,24 +87,26 @@ struct OverloadOptions {
     bool retry_overloaded = true;
 };
 
-/// Hedged-request policy (DESIGN.md §13). When enabled, a fan-out slot
-/// that has not answered within the hedge delay gets a backup request
-/// on the librarian's second path (Channel::submit_backup); the first
-/// reply wins and the loser is discarded by correlation id. Rankings
-/// are byte-identical to unhedged runs — hedging changes *when* a reply
-/// arrives, never *what* it contains.
+/// Hedged-request policy (DESIGN.md §13, §15). When enabled, a fan-out
+/// slot that has not answered within the hedge delay gets a backup
+/// request — on a *different healthy replica* of the target when the
+/// replica set has one, otherwise on the primary replica's second path
+/// (Channel::submit_backup); the first reply wins and the loser is
+/// discarded by correlation id. Rankings are byte-identical to unhedged
+/// runs — hedging changes *when* a reply arrives, never *what* it
+/// contains (replicas serve identical content).
 struct HedgeOptions {
     bool enabled = false;
 
     /// Fixed hedge delay in ms. 0 (default) derives the delay from the
-    /// librarian's observed latency histogram instead.
+    /// target's observed latency histogram instead.
     std::uint32_t delay_ms = 0;
 
-    /// Quantile of the per-librarian latency histogram used as the
+    /// Quantile of the per-target latency histogram used as the
     /// derived delay (0.95: hedge the slowest ~5% of requests).
     double quantile = 0.95;
 
-    /// Delay used until a librarian has `min_observations` samples.
+    /// Delay used until a target has `min_observations` samples.
     std::uint32_t initial_delay_ms = 50;
     std::uint32_t min_delay_ms = 1;
     std::uint64_t min_observations = 20;
@@ -142,9 +114,9 @@ struct HedgeOptions {
 
 /// How the receptionist executes a fan-out. All three produce
 /// byte-identical rankings and degraded traces: responses are always
-/// gathered into librarian order before merging.
+/// gathered into target order before merging.
 enum class FanoutMode {
-    Sequential,   ///< one blocking exchange at a time, in librarian order
+    Sequential,   ///< one blocking exchange at a time, in target order
     Pooled,       ///< thread per in-flight exchange on a scatter pool
     Multiplexed,  ///< submit all requests, then gather futures in order
 };
@@ -171,17 +143,32 @@ struct ReceptionistOptions {
     bool compressed_fetch = true;
 
     /// Execution shape of the fan-out (see FanoutMode). Multiplexed is
-    /// the default: requests to all librarians are submitted up front on
-    /// the shared channels and completions gathered in librarian order —
+    /// the default: requests to all targets are submitted up front on
+    /// the shared channels and completions gathered in target order —
     /// no blocked thread per exchange.
     FanoutMode fanout = FanoutMode::Multiplexed;
 
     /// Width of the Pooled fan-out: how many exchanges run concurrently.
-    /// 0 (default) uses one thread per librarian (the threads block on
+    /// 0 (default) uses one thread per target (the threads block on
     /// sockets, so this is right even on one core). 1 forces the
     /// sequential fan-out *whatever `fanout` says* — useful for
     /// byte-identical comparison and single-threaded debugging.
     std::size_t fanout_width = 0;
+
+    /// Replica selection policy applied within each RouteTarget
+    /// (DESIGN.md §15). Irrelevant for single-replica targets.
+    ReplicaSelection selection = ReplicaSelection::RoundRobin;
+
+    /// Position of this receptionist in an aggregator tree: 0 (default)
+    /// is the user-facing root; mid-tier aggregators run at 1, 2, ...
+    /// Non-zero tiers add a tier="N" label to the receptionist's metric
+    /// families and stamp QueryTrace::tier, so one merged dump shows the
+    /// whole tree; tier 0 keeps the flat federation's label sets.
+    std::uint32_t tier = 0;
+
+    /// Name this receptionist reports when served as an aggregator tier
+    /// (StatsResponse::librarian_name, metric relabelling).
+    std::string name = "receptionist";
 
     FaultToleranceOptions fault;
 
@@ -213,10 +200,6 @@ struct QueryAnswer {
     const DegradedInfo& degraded() const { return trace.degraded; }
 };
 
-/// Deprecated: rank() and search() now both return QueryAnswer (the
-/// documents vector is simply empty after rank()).
-using RankedAnswer [[deprecated("use QueryAnswer")]] = QueryAnswer;
-
 /// What prepare() learned about the federation, for operators and logs.
 struct PrepareSummary {
     std::size_t librarians = 0;
@@ -230,7 +213,15 @@ struct PrepareSummary {
 
 class Receptionist {
 public:
+    /// Flat construction: one single-replica RouteTarget per channel —
+    /// the classic one-receptionist-to-S-librarians federation.
     Receptionist(std::vector<std::unique_ptr<Channel>> channels, ReceptionistOptions options,
+                 text::Pipeline pipeline = text::Pipeline{},
+                 const rank::SimilarityMeasure& measure = rank::cosine_log_tf());
+
+    /// Routed construction: explicit replica sets per fan-out slot.
+    /// Every replica of a target must serve the same subcollection.
+    Receptionist(std::vector<RouteTarget> targets, ReceptionistOptions options,
                  text::Pipeline pipeline = text::Pipeline{},
                  const rank::SimilarityMeasure& measure = rank::cosine_log_tf());
     ~Receptionist();
@@ -242,7 +233,15 @@ public:
     ///  CI — additionally builds the grouped central index; the
     ///       subcollection indexes are handed over directly (index
     ///       shipping is preprocessing, outside the measured protocol).
-    PrepareSummary prepare(std::span<const index::InvertedIndex* const> indexes_for_ci = {});
+    ///
+    /// In a tree deployment a CI root fans out to aggregator targets,
+    /// but the grouped index is built over the *leaf* indexes:
+    /// `ci_leaf_targets[i]` names the target that owns leaf index i
+    /// (leaves of one target must be contiguous and in target order so
+    /// candidate doc ids line up). Empty means leaf i == target i — the
+    /// flat federation.
+    PrepareSummary prepare(std::span<const index::InvertedIndex* const> indexes_for_ci = {},
+                           std::span<const std::uint32_t> ci_leaf_targets = {});
 
     /// Steps 1-3: produce the global ranking to `depth` (without
     /// fetching documents). Table 1 uses depth 1000; Tables 3-4 use 20.
@@ -264,6 +263,20 @@ public:
     /// sets (Section 1).
     std::vector<GlobalResult> boolean(std::string_view expression);
 
+    // --- aggregator tier (DESIGN.md §15) ------------------------------
+    /// Serves the librarian-facing protocol (stats / vocabulary / rank /
+    /// candidates / fetch / boolean / metrics / ping) by delegating to
+    /// this receptionist's own downstream fan-out. Hand it to a
+    /// net::MessageServer (or a HandlerChannel) and a parent
+    /// receptionist can treat this one as a librarian — trees compose to
+    /// arbitrary depth. Documents are numbered in this receptionist's
+    /// federation-local space (target offsets applied), so hierarchical
+    /// merges stay byte-identical to the flat federation. An incoming
+    /// budget_ms opens a deadline budget that every downstream request
+    /// is re-stamped from, so budgets decrement at every tier. Errors
+    /// come back as ErrorResponse frames, mirroring Librarian::handle.
+    net::Message handle(const net::Message& request);
+
     // --- storage accounting (Section 4, Analysis) ---------------------
     /// Bytes of global state held: 0 for CN; merged vocabulary for CV;
     /// vocabulary + grouped index for CI.
@@ -271,7 +284,7 @@ public:
     std::uint64_t merged_vocabulary_bytes() const { return merged_vocab_bytes_; }
     std::uint64_t central_index_bytes() const { return central_index_bytes_; }
 
-    std::size_t num_librarians() const { return channels_.size(); }
+    std::size_t num_librarians() const { return targets_.size(); }
     std::uint32_t total_documents() const { return total_documents_; }
     const ReceptionistOptions& options() const { return options_; }
 
@@ -284,8 +297,8 @@ public:
     const std::vector<std::uint32_t>& librarian_offsets() const { return librarian_offsets_; }
 
     /// Effective fan-out parallelism: 1 when the sequential path is
-    /// active, the pool width in Pooled mode, and the librarian count in
-    /// Multiplexed mode (every librarian can have a request in flight).
+    /// active, the pool width in Pooled mode, and the target count in
+    /// Multiplexed mode (every target can have a request in flight).
     std::size_t effective_fanout() const;
 
     // --- caching ------------------------------------------------------
@@ -303,10 +316,14 @@ public:
     std::uint64_t collection_generation() const { return federation_generation_; }
 
     // --- observability ------------------------------------------------
-    /// Samples from every librarian's own obs::MetricsRegistry, pulled
-    /// over the MetricsRequest protocol message and relabelled
-    /// librarian="<name>". Librarians that cannot answer contribute
-    /// nothing — monitoring never fails a federation.
+    /// Samples from every target's own obs::MetricsRegistry, pulled
+    /// over the MetricsRequest protocol message. Samples without a
+    /// librarian label gain librarian="<name>"; samples that already
+    /// carry one (an aggregator target's own pull) are path-prefixed to
+    /// librarian="<name>/<child>", so one merged dump shows the whole
+    /// tree. Replicas serve the same registry, so the pull tries them in
+    /// order and takes the first answer; targets where every replica
+    /// fails contribute nothing — monitoring never fails a federation.
     std::vector<obs::MetricSample> pull_librarian_metrics();
 
     /// One Prometheus text dump of the whole federation: the
@@ -334,9 +351,13 @@ private:
         obs::Histogram* merge = nullptr;
         obs::Histogram* fetch = nullptr;
         obs::Histogram* total = nullptr;
-        std::vector<obs::Gauge*> breaker_state;       ///< per librarian
-        std::vector<obs::Counter*> librarian_failures;  ///< per librarian
-        std::vector<obs::Counter*> metrics_pull_failures;  ///< per librarian
+        std::vector<std::vector<obs::Gauge*>> breaker_state;  ///< per (target, replica)
+        std::vector<obs::Counter*> librarian_failures;  ///< per target
+        std::vector<obs::Counter*> metrics_pull_failures;  ///< per target
+        // Routing layer (DESIGN.md §15).
+        std::vector<std::vector<obs::Counter*>> route_picks;  ///< per (target, replica)
+        std::vector<obs::Counter*> route_failovers;       ///< per target
+        std::vector<obs::Counter*> route_hedge_reroutes;  ///< per target
         obs::Counter* cache_invalidations_prepare = nullptr;
         obs::Counter* cache_invalidations_stale = nullptr;
         // Overload resilience (DESIGN.md §13).
@@ -348,8 +369,11 @@ private:
     };
 
     void resolve_metrics();
-    /// Publishes breakers_[librarian]'s current state to its gauge.
-    void note_breaker(std::size_t librarian);
+    /// Publishes the target's current per-replica breaker states to
+    /// their gauges.
+    void note_breakers(std::size_t target);
+    /// Counts one replica pick into the routing family.
+    void note_pick(std::size_t target, std::size_t replica);
     /// Counts the finished query and observes its stage histograms.
     void observe_query(const QueryTrace& trace);
 
@@ -364,6 +388,40 @@ private:
                                         const QueryBudget* budget);
     QueryAnswer rank_central_index(const rank::Query& query, std::size_t depth,
                                    const QueryBudget* budget);
+
+    // --- aggregator-tier relays (dir/aggregator.cpp) ------------------
+    net::Message handle_impl(const net::Message& request, const QueryBudget* budget);
+    StatsResponse relay_stats();
+    VocabularyResponse relay_vocabulary();
+    RankResponse relay_rank(const RankRequest& req, const QueryBudget* budget);
+    RankResponse relay_rank_weighted(const RankWeightedRequest& req, const QueryBudget* budget);
+    CandidateResponse relay_candidates(const CandidateRequest& req, const QueryBudget* budget);
+    FetchResponse relay_fetch(const FetchRequest& req, const QueryBudget* budget);
+    BooleanResponse relay_boolean(const BooleanRequest& req, const QueryBudget* budget);
+
+    /// The generation to stamp on a relayed response: the prepare-time
+    /// federation generation, or — when some child answered with a
+    /// different generation than recorded — a fresh fingerprint over the
+    /// observed generations, so staleness propagates up the tree.
+    template <typename Response>
+    std::uint64_t response_generation(const std::vector<std::optional<Response>>& responses) {
+        if (librarian_generations_.empty()) return federation_generation_;
+        std::vector<std::uint64_t> gens = librarian_generations_;
+        bool changed = false;
+        for (std::size_t s = 0; s < responses.size(); ++s) {
+            if (responses[s].has_value() && responses[s]->generation != gens[s]) {
+                gens[s] = responses[s]->generation;
+                changed = true;
+            }
+        }
+        return changed ? fingerprint_generations(gens) : federation_generation_;
+    }
+
+    static std::uint64_t fingerprint_generations(const std::vector<std::uint64_t>& gens);
+
+    /// The target owning federation-local document `doc`:
+    /// upper_bound over librarian_offsets_.
+    std::size_t target_of_doc(std::uint32_t doc) const;
 
     /// Resolves global weights from the merged vocabulary; also reports
     /// which librarians hold at least one query term. Per-term results
@@ -396,81 +454,95 @@ private:
 
     void fetch_documents(QueryAnswer& answer, const QueryBudget* budget);
 
-    net::Message exchange_counted(std::size_t librarian, const net::Message& request,
-                                  LibrarianWork& work);
+    net::Message exchange_counted(std::size_t target, std::size_t replica,
+                                  const net::Message& request, LibrarianWork& work);
 
     /// The fan-out shape this query actually runs with: fanout_threads
-    /// == 1 or a single librarian forces Sequential; Pooled without a
+    /// == 1 or a single target forces Sequential; Pooled without a
     /// pool degenerates to Sequential.
     FanoutMode effective_mode() const;
 
-    /// Circuit-breaker admission for one exchange. A closed breaker
-    /// admits immediately; a half-open one first sends a cheap
-    /// Ping/Pong health probe (counted into `work`) so a recovering
-    /// librarian is re-admitted without gambling a full user request.
-    /// Returns false when the slot must be skipped — the give-up is
-    /// already recorded in `trace` (or thrown, in strict contexts).
-    /// Wall clock spent here accumulates into trace->timing.admit_ms.
-    bool admit(std::size_t librarian, LibrarianWork& work, QueryTrace* trace);
-    bool admit_impl(std::size_t librarian, LibrarianWork& work, QueryTrace* trace);
+    /// Circuit-breaker admission for one exchange: walks the target's
+    /// replica preference order and returns the first replica whose
+    /// breaker admits the request. A half-open replica is first probed
+    /// with a cheap Ping/Pong (counted into `work`) so a recovering
+    /// replica is re-admitted without gambling a full user request; a
+    /// failed probe moves on to the next replica. Returns
+    /// RouteTarget::npos when the whole set refuses — the give-up (or
+    /// shed, for an overloaded probe reply) is already recorded in
+    /// `trace` (or thrown, in strict contexts). Wall clock spent here
+    /// accumulates into trace->timing.admit_ms.
+    std::size_t admit(std::size_t target, LibrarianWork& work, QueryTrace* trace);
+    std::size_t admit_impl(std::size_t target, LibrarianWork& work, QueryTrace* trace);
 
-    /// Records one dropped librarian in trace.degraded, or throws when
+    /// Records one dropped target in trace.degraded, or throws when
     /// the context is strict (no trace, or allow_partial off).
-    std::optional<net::Message> give_up_slot(std::size_t librarian, std::uint32_t attempts,
+    std::optional<net::Message> give_up_slot(std::size_t target, std::size_t replica,
+                                             std::uint32_t attempts,
                                              const std::string& reason, QueryTrace* trace);
 
-    /// Records one *shed* librarian (deadline budget spent, or an
+    /// Records one *shed* target (deadline budget spent, or an
     /// Overloaded reply): like give_up_slot but marks the entry
     /// shed = true and never touches the circuit breaker. `shed_counter`
     /// is the teraphim_shed_total{reason=...} family member to bump.
-    std::optional<net::Message> shed_slot(std::size_t librarian, std::uint32_t attempts,
-                                          const std::string& reason, QueryTrace* trace,
-                                          obs::Counter* shed_counter);
+    std::optional<net::Message> shed_slot(std::size_t target, std::size_t replica,
+                                          std::uint32_t attempts, const std::string& reason,
+                                          QueryTrace* trace, obs::Counter* shed_counter);
 
     /// Counts the request into `work` (participation, bytes, messages),
     /// stamps the remaining budget into the frame header, and submits it
-    /// on the librarian's channel (backup path when `backup`). When
-    /// hedging is on, primary submissions also feed the per-librarian
-    /// latency histogram on completion.
-    util::Future<net::Message> submit_counted(std::size_t librarian,
+    /// on the chosen replica's channel (the replica's backup path when
+    /// `backup_path`). Primary legs feed the target's hedge-delay
+    /// latency histogram on completion (`hedge_leg` legs do not — a
+    /// backup's latency says nothing about the usual reply time); every
+    /// leg maintains the replica's in-flight counter for least-loaded
+    /// selection.
+    util::Future<net::Message> submit_counted(std::size_t target, std::size_t replica,
                                               const net::Message& request,
                                               LibrarianWork& work,
                                               const QueryBudget* budget,
-                                              bool backup = false);
+                                              bool hedge_leg = false,
+                                              bool backup_path = false);
 
-    /// The hedge delay for one librarian: the fixed delay_ms if set,
-    /// otherwise the configured quantile of the librarian's observed
+    /// The hedge delay for one target: the fixed delay_ms if set,
+    /// otherwise the configured quantile of the target's observed
     /// latency (initial_delay_ms until enough samples exist).
-    std::chrono::milliseconds hedge_delay(std::size_t librarian) const;
+    std::chrono::milliseconds hedge_delay(std::size_t target) const;
 
     /// Waits for one fan-out reply, bounded by the remaining budget
     /// (throws BudgetExpiredError when it runs out) and — on the first
     /// attempt with hedging enabled — racing a backup request against a
-    /// primary that outlives the hedge delay. Transport errors from the
-    /// winning leg propagate as usual.
-    net::Message await_reply(std::size_t librarian, const net::Message& request,
+    /// primary that outlives the hedge delay. The backup goes to a
+    /// different healthy replica when the target has one (counted as a
+    /// hedge reroute), else to the primary replica's backup path.
+    /// Transport errors from the winning leg propagate as usual.
+    net::Message await_reply(std::size_t target, std::size_t replica,
+                             const net::Message& request,
                              util::Future<net::Message>& fut, LibrarianWork& work,
                              QueryTrace* trace, const QueryBudget* budget,
                              std::uint32_t attempt);
 
     /// Gather half of the multiplexed fault-tolerance stack: waits on
-    /// `first` (the future from the submit sweep) and applies the same
-    /// retry/breaker/degradation policy as exchange_with_retry,
-    /// resubmitting on transient failure. Budget exhaustion and
-    /// Overloaded replies shed the slot instead of failing it.
+    /// `first` (the future from the submit sweep, issued on
+    /// `first_replica`) and applies the same retry/breaker/degradation
+    /// policy as exchange_with_retry, resubmitting on transient failure.
+    /// Retries fail over to a sibling replica whose breaker admits the
+    /// request (the sole replica of a flat target just retries itself).
+    /// Budget exhaustion and Overloaded replies shed the slot instead of
+    /// failing it.
     std::optional<net::Message> gather_with_retry(
-        std::size_t librarian, const net::Message& request,
-        util::Future<net::Message> first, LibrarianWork& work, QueryTrace* trace,
-        const std::function<void(const net::Message&)>& validate,
+        std::size_t target, const net::Message& request,
+        util::Future<net::Message> first, std::size_t first_replica, LibrarianWork& work,
+        QueryTrace* trace, const std::function<void(const net::Message&)>& validate,
         const QueryBudget* budget);
 
-    /// Restores the deterministic (librarian-ordered) failure record for
+    /// Restores the deterministic (target-ordered) failure record for
     /// entries appended after `failures_before`, so every fan-out shape
     /// produces an identical trace.
     void restore_failure_order(QueryTrace* trace, std::size_t failures_before);
 
-    /// Fault-tolerant exchange: consults the librarian's circuit
-    /// breaker, retries transient failures (IoError, TimeoutError,
+    /// Fault-tolerant exchange: consults the target's circuit
+    /// breakers, retries transient failures (IoError, TimeoutError,
     /// ProtocolError from a corrupt frame) per the RetryPolicy, and
     /// runs `validate` (typically the response decoder) inside the
     /// retry loop so a garbled reply is retried like a lost one.
@@ -481,19 +553,19 @@ private:
     /// always throws. RemoteError (an explicit Error frame from a live
     /// librarian) is never retried and always propagates.
     std::optional<net::Message> exchange_with_retry(
-        std::size_t librarian, const net::Message& request, LibrarianWork& work,
+        std::size_t target, const net::Message& request, LibrarianWork& work,
         QueryTrace* trace, const std::function<void(const net::Message&)>& validate = {},
         const QueryBudget* budget = nullptr);
 
-    /// exchange_with_retry + typed decode; nullopt when the librarian
+    /// exchange_with_retry + typed decode; nullopt when the target
     /// was dropped from this query.
     template <typename Response>
-    std::optional<Response> call_librarian(std::size_t librarian,
+    std::optional<Response> call_librarian(std::size_t target,
                                            const net::Message& request, LibrarianWork& work,
                                            QueryTrace& trace,
                                            const QueryBudget* budget = nullptr) {
         std::optional<Response> out;
-        exchange_with_retry(librarian, request, work, &trace,
+        exchange_with_retry(target, request, work, &trace,
                             [&out](const net::Message& reply) {
                                 out.emplace(Response::decode(reply));
                             },
@@ -502,7 +574,7 @@ private:
     }
 
     /// Scatter-gather core. Sends requests[s] (where engaged) to
-    /// librarian s — concurrently across librarians when the fan-out
+    /// target s — concurrently across targets when the fan-out
     /// pool is enabled, in slot order otherwise — running every exchange
     /// through the full fault-tolerance stack (retry, breaker,
     /// degradation into `trace`; strict when `trace` is null). Responses
@@ -517,13 +589,13 @@ private:
         const QueryBudget* budget = nullptr);
 
     /// broadcast + typed decode per slot; a disengaged result means the
-    /// slot had no request or its librarian was dropped.
+    /// slot had no request or its target was dropped.
     template <typename Response>
     std::vector<std::optional<Response>> broadcast_typed(
         const std::vector<std::optional<net::Message>>& requests,
         std::vector<LibrarianWork>& work, QueryTrace* trace,
         const QueryBudget* budget = nullptr) {
-        std::vector<std::optional<Response>> out(channels_.size());
+        std::vector<std::optional<Response>> out(targets_.size());
         broadcast(requests, work, trace,
                   [&out](std::size_t s, const net::Message& reply) {
                       out[s].emplace(Response::decode(reply));
@@ -534,20 +606,19 @@ private:
 
     /// Runs fn(i) for i in [0, n) — on the fan-out pool when enabled,
     /// inline in index order otherwise — then restores the deterministic
-    /// (librarian-ordered) failure record in `trace` so parallel and
+    /// (target-ordered) failure record in `trace` so parallel and
     /// sequential executions produce identical traces.
     void scatter(std::size_t n, QueryTrace* trace, const std::function<void(std::size_t)>& fn);
 
-    std::vector<std::unique_ptr<Channel>> channels_;
+    std::vector<RouteTarget> targets_;  ///< one replica set per fan-out slot
     ReceptionistOptions options_;
     text::Pipeline pipeline_;
     const rank::SimilarityMeasure* measure_;
-    std::vector<CircuitBreaker> breakers_;  ///< one per librarian
     std::unique_ptr<util::ThreadPool> pool_;  ///< Pooled-mode workers; null otherwise
     std::mutex trace_mu_;  ///< guards the shared DegradedInfo during a fan-out
     StageMetrics metrics_;  ///< resolved once against obs::global()
 
-    /// Per-librarian reply-latency histograms feeding the derived hedge
+    /// Per-target reply-latency histograms feeding the derived hedge
     /// delay; sized only when options_.hedge.enabled. Observed from
     /// on_ready callbacks (possibly a mux reader thread) — Histogram is
     /// atomic, so no locking. Shared, not unique: an abandoned hedge
@@ -577,6 +648,14 @@ private:
     std::unordered_map<std::string, GlobalTermInfo> global_vocab_;
     std::uint64_t merged_vocab_bytes_ = 0;
     std::uint64_t central_index_bytes_ = 0;
+    /// Aggregate child stats recorded at prepare(), reported upward by
+    /// relay_stats() when this receptionist serves as a tier.
+    std::uint64_t child_num_terms_ = 0;
+    std::uint64_t child_index_bytes_ = 0;
+    std::uint64_t child_store_bytes_ = 0;
+    /// CI tree support: leaf index i of the grouped index belongs to
+    /// target ci_leaf_of_[i]; empty = identity (flat federation).
+    std::vector<std::uint32_t> ci_leaf_of_;
     std::optional<index::GroupedIndex> grouped_;
 };
 

@@ -1,0 +1,107 @@
+#include "dir/route.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace teraphim::dir {
+
+std::string_view replica_selection_name(ReplicaSelection selection) {
+    switch (selection) {
+        case ReplicaSelection::RoundRobin:
+            return "round_robin";
+        case ReplicaSelection::LeastInflight:
+            return "least_inflight";
+        case ReplicaSelection::PowerOfTwoChoices:
+            return "power_of_two";
+    }
+    return "unknown";
+}
+
+RouteTarget::RouteTarget(std::vector<std::unique_ptr<Channel>> replicas,
+                         const BreakerOptions& breaker, ReplicaSelection selection)
+    : selection_(selection),
+      cursor_(std::make_unique<std::atomic<std::uint64_t>>(0)) {
+    TERAPHIM_ASSERT_MSG(!replicas.empty(), "a route target needs at least one replica");
+    replicas_.reserve(replicas.size());
+    for (auto& channel : replicas) {
+        Replica r;
+        r.channel = std::move(channel);
+        r.breaker = CircuitBreaker(breaker);
+        r.inflight = std::make_shared<std::atomic<std::int64_t>>(0);
+        replicas_.push_back(std::move(r));
+    }
+}
+
+std::vector<std::size_t> RouteTarget::preference(std::size_t exclude) {
+    const std::size_t n = replicas_.size();
+    std::vector<std::size_t> order;
+    order.reserve(n);
+    if (n == 1) {
+        if (exclude != 0) order.push_back(0);
+        return order;
+    }
+    switch (selection_) {
+        case ReplicaSelection::RoundRobin: {
+            const std::size_t start =
+                static_cast<std::size_t>(cursor_->fetch_add(1, std::memory_order_relaxed)) % n;
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::size_t r = (start + i) % n;
+                if (r != exclude) order.push_back(r);
+            }
+            break;
+        }
+        case ReplicaSelection::LeastInflight: {
+            for (std::size_t r = 0; r < n; ++r) {
+                if (r != exclude) order.push_back(r);
+            }
+            // Stable by construction (index order breaks load ties), so
+            // equal-load sets behave like the flat slot model.
+            std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+                return replicas_[a].inflight->load(std::memory_order_relaxed) <
+                       replicas_[b].inflight->load(std::memory_order_relaxed);
+            });
+            break;
+        }
+        case ReplicaSelection::PowerOfTwoChoices: {
+            // Deterministic xorshift stream: two candidates, less loaded
+            // first, remaining replicas in index order as fallbacks.
+            std::uint64_t x =
+                cursor_->fetch_add(0x9E3779B97F4A7C15ULL, std::memory_order_relaxed) +
+                0x9E3779B97F4A7C15ULL;
+            x ^= x >> 30;
+            x *= 0xBF58476D1CE4E5B9ULL;
+            x ^= x >> 27;
+            const std::size_t a = static_cast<std::size_t>(x % n);
+            std::size_t b = static_cast<std::size_t>((x >> 32) % n);
+            if (b == a) b = (a + 1) % n;
+            const std::int64_t load_a = replicas_[a].inflight->load(std::memory_order_relaxed);
+            const std::int64_t load_b = replicas_[b].inflight->load(std::memory_order_relaxed);
+            const std::size_t first = load_b < load_a ? b : a;
+            const std::size_t second = first == a ? b : a;
+            if (first != exclude) order.push_back(first);
+            if (second != exclude) order.push_back(second);
+            for (std::size_t r = 0; r < n; ++r) {
+                if (r != exclude && r != first && r != second) order.push_back(r);
+            }
+            break;
+        }
+    }
+    return order;
+}
+
+std::size_t RouteTarget::pick_for_retry(std::size_t exclude) {
+    for (const std::size_t r : preference(exclude)) {
+        if (replicas_[r].breaker.allow_request()) return r;
+    }
+    return npos;
+}
+
+std::size_t RouteTarget::pick_healthy_other(std::size_t primary) {
+    for (const std::size_t r : preference(primary)) {
+        if (replicas_[r].breaker.state() == CircuitBreaker::State::Closed) return r;
+    }
+    return npos;
+}
+
+}  // namespace teraphim::dir

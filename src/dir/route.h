@@ -1,0 +1,147 @@
+// Routed fan-out: replica sets of channels per subcollection.
+//
+// The flat federation gave the receptionist one Channel per librarian.
+// A RouteTarget generalises that slot to a *replica set*: several
+// channels that all serve the same subcollection (identical content,
+// identical generations), fronted by a pluggable selection policy and
+// per-replica circuit breakers. The receptionist's retry stack fails a
+// query over to a sibling replica instead of burning attempts on a dead
+// one, and a hedged backup goes to a *different healthy replica* rather
+// than a second connection to the same librarian (DESIGN.md §15).
+//
+// A single-replica target behaves exactly like the old slot model: the
+// selection policy degenerates to "the one channel", retries re-ask it,
+// and hedges fall back to Channel::submit_backup.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dir/retry.h"
+#include "net/message.h"
+#include "util/future.h"
+
+namespace teraphim::dir {
+
+/// Transport-agnostic endpoint for one librarian (or one aggregator
+/// receptionist serving the librarian protocol). Implementations:
+/// InProcessChannel, HandlerChannel and TcpChannel (dir/deployment.h),
+/// FaultyChannel (dir/fault.h).
+///
+/// Channels are shared: one channel per replica serves every user
+/// query in the federation, so submit() must be safe to call from many
+/// threads with many requests outstanding (the TCP implementation
+/// multiplexes them over one connection by correlation id).
+class Channel {
+public:
+    virtual ~Channel() = default;
+
+    /// Asynchronous request/response: enqueues the request and returns
+    /// a future that completes with the reply or the transport error.
+    virtual util::Future<net::Message> submit(const net::Message& request) = 0;
+
+    /// Submits a hedged backup request. Transports that can afford a
+    /// second path to the same librarian (TcpChannel keeps a second
+    /// MuxConnection) send it there, so a backup can overtake a primary
+    /// wedged behind a slow socket; the default is a plain submit() on
+    /// the shared path. Used only when the replica set has no healthy
+    /// sibling to hedge to.
+    virtual util::Future<net::Message> submit_backup(const net::Message& request) {
+        return submit(request);
+    }
+
+    /// Synchronous exchange — submit and wait. Kept as the convenient
+    /// shape for callers that want one answer before proceeding.
+    net::Message exchange(const net::Message& request) { return submit(request).get(); }
+
+    /// Discards any transport state that is no longer usable (e.g. a
+    /// connection that died mid-frame) so the next submit starts fresh.
+    /// Must not disturb healthy state shared with in-flight requests.
+    /// No-op for stateless channels.
+    virtual void reset() {}
+
+    virtual const std::string& name() const = 0;
+};
+
+/// How a RouteTarget chooses among its replicas. All policies produce
+/// byte-identical answers — replicas serve the same content, so the
+/// choice only moves load around.
+enum class ReplicaSelection {
+    RoundRobin,         ///< rotate a cursor across the set
+    LeastInflight,      ///< fewest requests currently outstanding
+    PowerOfTwoChoices,  ///< two pseudo-random candidates, less loaded wins
+};
+
+std::string_view replica_selection_name(ReplicaSelection selection);
+
+/// One fan-out slot of the receptionist: a replica set of channels that
+/// all serve the same subcollection. Owns a circuit breaker and an
+/// in-flight counter per replica; the selection policy orders replicas
+/// for each pick, and the receptionist's admission/retry/hedge layers
+/// consult the breakers as they walk that order.
+///
+/// Thread-safety: preference() uses atomics only; breakers are
+/// internally locked; the in-flight counters are shared atomics that
+/// completion callbacks may decrement after this target is destroyed.
+class RouteTarget {
+public:
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    RouteTarget(std::vector<std::unique_ptr<Channel>> replicas, const BreakerOptions& breaker,
+                ReplicaSelection selection = ReplicaSelection::RoundRobin);
+
+    RouteTarget(RouteTarget&&) noexcept = default;
+    RouteTarget& operator=(RouteTarget&&) noexcept = default;
+
+    std::size_t replicas() const { return replicas_.size(); }
+    Channel& channel(std::size_t r) { return *replicas_[r].channel; }
+    CircuitBreaker& breaker(std::size_t r) { return replicas_[r].breaker; }
+
+    /// The subcollection's name (replicas share it by construction —
+    /// they are paths to the same content).
+    const std::string& name() const { return replicas_.front().channel->name(); }
+
+    /// The policy's preference order over the set, excluding `exclude`
+    /// (pass npos to consider every replica). Breaker state is NOT
+    /// consulted — callers walk the order and apply their own admission
+    /// semantics (allow_request consumes open-cooldown ticks, so only
+    /// the caller knows whether a probe is appropriate).
+    std::vector<std::size_t> preference(std::size_t exclude = npos);
+
+    /// A replica other than `exclude` whose breaker admits a request
+    /// right now, in preference order; npos when none does (a
+    /// single-replica target always returns npos — the retry layer then
+    /// re-asks the only replica, the flat-federation behaviour).
+    std::size_t pick_for_retry(std::size_t exclude);
+
+    /// A *closed-breaker* replica other than `primary` to hedge to, in
+    /// preference order; npos when none qualifies. Deliberately
+    /// side-effect free: a hedge is speculative and must not consume
+    /// breaker cooldown ticks.
+    std::size_t pick_healthy_other(std::size_t primary);
+
+    /// The replica's in-flight counter, shared so submit-completion
+    /// callbacks (possibly firing during teardown) can decrement safely.
+    const std::shared_ptr<std::atomic<std::int64_t>>& inflight(std::size_t r) const {
+        return replicas_[r].inflight;
+    }
+
+private:
+    struct Replica {
+        std::unique_ptr<Channel> channel;
+        CircuitBreaker breaker;
+        std::shared_ptr<std::atomic<std::int64_t>> inflight;
+    };
+
+    std::vector<Replica> replicas_;
+    ReplicaSelection selection_ = ReplicaSelection::RoundRobin;
+    /// RoundRobin rotation position / PowerOfTwoChoices PRNG state.
+    /// Heap-allocated so the target stays movable.
+    std::unique_ptr<std::atomic<std::uint64_t>> cursor_;
+};
+
+}  // namespace teraphim::dir

@@ -170,5 +170,91 @@ TEST(Merge, FederationTiesAreDeterministicAcrossFanoutShapes) {
     EXPECT_EQ(per_mode[0], per_mode[2]);
 }
 
+// ---- hierarchical merging (DESIGN.md §15) ---------------------------------
+
+/// Flat-vs-tree harness: merges `leaves` directly to k, and again
+/// through a two-level tree whose aggregators each own a contiguous
+/// range of leaves, flattening every tier with flatten_ranking. Both
+/// paths are reduced to global document ids so they compare exactly.
+std::vector<rank::SearchResult> flat_then_flatten(const Rankings& leaves,
+                                                  const std::vector<std::uint32_t>& offsets,
+                                                  std::size_t k) {
+    return flatten_ranking(merge_rankings(leaves, k), offsets);
+}
+
+std::vector<rank::SearchResult> tree_then_flatten(
+    const Rankings& leaves, const std::vector<std::uint32_t>& offsets,
+    const std::vector<std::pair<std::size_t, std::size_t>>& ranges, std::size_t k) {
+    Rankings aggregated;
+    std::vector<std::uint32_t> target_offsets{0};
+    for (const auto& [lo, hi] : ranges) {
+        const Rankings sub(leaves.begin() + lo, leaves.begin() + hi);
+        std::vector<std::uint32_t> sub_offsets{0};
+        for (std::size_t i = lo; i < hi; ++i) {
+            sub_offsets.push_back(sub_offsets.back() + (offsets[i + 1] - offsets[i]));
+        }
+        aggregated.push_back(flatten_ranking(merge_rankings(sub, k), sub_offsets));
+        target_offsets.push_back(offsets[hi]);
+    }
+    return flatten_ranking(merge_rankings(aggregated, k), target_offsets);
+}
+
+TEST(Merge, TwoLevelTreeMatchesFlatWithCrossBoundaryTies) {
+    // Equal scores straddle both the leaf and the aggregator boundary:
+    // the (librarian, doc) tie-break must survive being renumbered
+    // through the intermediate tier.
+    const Rankings leaves{
+        {{0, 0.9}, {1, 0.5}, {2, 0.5}},
+        {{0, 0.5}, {2, 0.3}},
+        {{1, 0.9}, {2, 0.5}},
+        {{0, 0.5}, {1, 0.5}},
+    };
+    const std::vector<std::uint32_t> offsets{0, 3, 6, 9, 12};
+    const std::vector<std::pair<std::size_t, std::size_t>> ranges{{0, 2}, {2, 4}};
+    for (std::size_t k : {std::size_t{1}, std::size_t{4}, std::size_t{6}, std::size_t{20}}) {
+        EXPECT_EQ(tree_then_flatten(leaves, offsets, ranges, k),
+                  flat_then_flatten(leaves, offsets, k))
+            << "k=" << k;
+    }
+    // An unbalanced split must agree too — associativity does not care
+    // where the aggregator boundary falls.
+    const std::vector<std::pair<std::size_t, std::size_t>> lopsided{{0, 1}, {1, 4}};
+    EXPECT_EQ(tree_then_flatten(leaves, offsets, lopsided, 6),
+              flat_then_flatten(leaves, offsets, 6));
+}
+
+TEST(Merge, ReplicaOriginDoesNotPerturbTies) {
+    // The same (librarian, doc) results arriving via a different replica
+    // of the target are byte-identical content; the merge is a pure
+    // function of that content, so which replica answered can never
+    // reorder equal-score entries.
+    const Rankings from_replica_a{
+        {{4, 0.5}, {9, 0.5}},
+        {{1, 0.5}, {7, 0.5}},
+    };
+    const Rankings from_replica_b = from_replica_a;  // the sibling's identical copy
+    const auto merged_a = merge_rankings(from_replica_a, 10);
+    const auto merged_b = merge_rankings(from_replica_b, 10);
+    EXPECT_EQ(merged_a, merged_b);
+    const std::vector<GlobalResult> want{
+        {0, 4, 0.5}, {0, 9, 0.5}, {1, 1, 0.5}, {1, 7, 0.5},
+    };
+    EXPECT_EQ(merged_a, want);
+}
+
+TEST(Merge, FlattenRebasesIntoContiguousDocSpace) {
+    const std::vector<GlobalResult> ranking{{1, 2, 0.9}, {0, 0, 0.5}, {2, 1, 0.5}};
+    const std::vector<std::uint32_t> offsets{0, 3, 6, 9};
+    const auto flat = flatten_ranking(ranking, offsets);
+    const std::vector<rank::SearchResult> want{{5, 0.9}, {0, 0.5}, {7, 0.5}};
+    EXPECT_EQ(flat, want);
+}
+
+TEST(Merge, FlattenRejectsOutOfRangeLibrarian) {
+    const std::vector<GlobalResult> ranking{{3, 0, 0.5}};
+    const std::vector<std::uint32_t> offsets{0, 3, 6, 9};  // only librarians 0-2
+    EXPECT_THROW(flatten_ranking(ranking, offsets), Error);
+}
+
 }  // namespace
 }  // namespace teraphim::dir

@@ -195,7 +195,9 @@ TEST(Receptionist, BundledFetchUsesOneMessagePerLibrarian) {
     const auto& q = corpus_fixture().short_queries.queries[0];
     const QueryAnswer answer = cv.receptionist().search(q.text);
     for (const auto& f : answer.trace.fetch_phase) {
-        if (f.docs > 0) EXPECT_EQ(f.messages, 1u);
+        if (f.docs > 0) {
+            EXPECT_EQ(f.messages, 1u);
+        }
     }
 }
 

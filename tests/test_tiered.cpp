@@ -1,0 +1,512 @@
+// Tiered federation (DESIGN.md §15): replica sets, aggregator trees,
+// and the byte-identity of hierarchical merging with the flat
+// federation — in-process and over TCP, plus replica failover,
+// breaker re-admission, replica-aware hedging, and per-tier budgets.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dir/deployment.h"
+#include "dir/retry.h"
+#include "dir/route.h"
+#include "util/error.h"
+
+namespace teraphim::dir {
+namespace {
+
+corpus::SyntheticCorpus tiered_corpus() {
+    corpus::CorpusConfig config;
+    config.vocab_size = 3000;
+    config.subcollections = {
+        {"AP", 120, 70.0, 0.4},
+        {"WSJ", 120, 70.0, 0.4},
+        {"FR", 80, 90.0, 0.5},
+        {"ZIFF", 80, 60.0, 0.5},
+    };
+    config.num_long_topics = 3;
+    config.num_short_topics = 3;
+    config.topic_term_floor = 150;
+    config.seed = 12;
+    return generate_corpus(config);
+}
+
+const corpus::SyntheticCorpus& fixture() {
+    static const corpus::SyntheticCorpus corpus = tiered_corpus();
+    return corpus;
+}
+
+const std::vector<std::string>& query_texts() {
+    static const std::vector<std::string> texts = [] {
+        std::vector<std::string> out;
+        for (const auto& q : fixture().short_queries.queries) out.push_back(q.text);
+        for (const auto& q : fixture().long_queries.queries) out.push_back(q.text);
+        return out;
+    }();
+    return texts;
+}
+
+ReceptionistOptions base_options(Mode mode) {
+    ReceptionistOptions o;
+    o.mode = mode;
+    o.group_size = 10;
+    o.k_prime = 50;
+    return o;
+}
+
+/// The flat federation's answer for every query, as the ground truth
+/// the trees must reproduce byte for byte.
+std::vector<std::vector<GlobalResult>> flat_rankings(Mode mode, std::size_t depth) {
+    auto fed = Federation::create(fixture(), base_options(mode));
+    std::vector<std::vector<GlobalResult>> out;
+    for (const std::string& text : query_texts()) {
+        out.push_back(fed.receptionist().rank(text, depth).ranking);
+    }
+    return out;
+}
+
+// ---- byte-identity: in-process trees --------------------------------------
+
+TEST(Tiered, TreeMatchesFlatFederationAllModes) {
+    for (Mode mode : {Mode::CentralNothing, Mode::CentralVocabulary, Mode::CentralIndex}) {
+        const auto expected = flat_rankings(mode, 20);
+        for (std::size_t tree_depth : {std::size_t{1}, std::size_t{2}}) {
+            TopologySpec topology;
+            topology.replication = 2;
+            topology.depth = tree_depth;
+            topology.branching = tree_depth == 2 ? 2 : 0;
+            auto tiered = TieredFederation::create(fixture(), base_options(mode), topology);
+            const auto& texts = query_texts();
+            for (std::size_t q = 0; q < texts.size(); ++q) {
+                const QueryAnswer answer = tiered.root().rank(texts[q], 20);
+                EXPECT_TRUE(answer.degraded().ok());
+                EXPECT_EQ(tiered.to_leaf(answer.ranking), expected[q])
+                    << mode_name(mode) << " depth=" << tree_depth << " query " << q;
+            }
+        }
+    }
+}
+
+TEST(Tiered, TreeMatchesFlatAcrossFanoutShapes) {
+    const auto expected = flat_rankings(Mode::CentralVocabulary, 20);
+    for (FanoutMode fanout :
+         {FanoutMode::Sequential, FanoutMode::Pooled, FanoutMode::Multiplexed}) {
+        ReceptionistOptions o = base_options(Mode::CentralVocabulary);
+        o.fanout = fanout;
+        TopologySpec topology;
+        topology.replication = 2;
+        topology.depth = 2;
+        topology.branching = 2;
+        auto tiered = TieredFederation::create(fixture(), o, topology);
+        const auto& texts = query_texts();
+        for (std::size_t q = 0; q < texts.size(); ++q) {
+            const QueryAnswer answer = tiered.root().rank(texts[q], 20);
+            EXPECT_EQ(tiered.to_leaf(answer.ranking), expected[q]) << "query " << q;
+        }
+    }
+}
+
+TEST(Tiered, TreeMatchesFlatWithRootCache) {
+    const auto expected = flat_rankings(Mode::CentralVocabulary, 20);
+    ReceptionistOptions o = base_options(Mode::CentralVocabulary);
+    o.cache.enabled = true;
+    TopologySpec topology;
+    topology.replication = 2;
+    topology.depth = 2;
+    topology.branching = 2;
+    auto tiered = TieredFederation::create(fixture(), o, topology);
+    const auto& texts = query_texts();
+    for (int pass = 0; pass < 2; ++pass) {  // second pass answers from the cache
+        for (std::size_t q = 0; q < texts.size(); ++q) {
+            const QueryAnswer answer = tiered.root().rank(texts[q], 20);
+            EXPECT_EQ(tiered.to_leaf(answer.ranking), expected[q])
+                << "pass " << pass << " query " << q;
+        }
+    }
+    ASSERT_NE(tiered.root().query_cache(), nullptr);
+    EXPECT_GT(tiered.root().query_cache()->stats().hits, 0u);
+}
+
+TEST(Tiered, SelectionPoliciesDoNotChangeRankings) {
+    const auto expected = flat_rankings(Mode::CentralNothing, 20);
+    for (ReplicaSelection selection :
+         {ReplicaSelection::RoundRobin, ReplicaSelection::LeastInflight,
+          ReplicaSelection::PowerOfTwoChoices}) {
+        TopologySpec topology;
+        topology.replication = 3;
+        topology.depth = 2;
+        topology.branching = 2;
+        topology.selection = selection;
+        auto tiered =
+            TieredFederation::create(fixture(), base_options(Mode::CentralNothing), topology);
+        const auto& texts = query_texts();
+        for (std::size_t q = 0; q < texts.size(); ++q) {
+            const QueryAnswer answer = tiered.root().rank(texts[q], 20);
+            EXPECT_EQ(tiered.to_leaf(answer.ranking), expected[q])
+                << replica_selection_name(selection) << " query " << q;
+        }
+    }
+}
+
+TEST(Tiered, BooleanUnionMatchesFlat) {
+    auto flat = Federation::create(fixture(), base_options(Mode::CentralNothing));
+    TopologySpec topology;
+    topology.replication = 2;
+    topology.depth = 2;
+    topology.branching = 2;
+    auto tiered =
+        TieredFederation::create(fixture(), base_options(Mode::CentralNothing), topology);
+    const auto& texts = query_texts();
+    const std::string expr = texts[0].substr(0, texts[0].find(' '));  // first query term
+    const auto expected = flat.receptionist().boolean(expr);
+    const auto got = tiered.to_leaf(tiered.root().boolean(expr));
+    EXPECT_FALSE(expected.empty());
+    EXPECT_EQ(got, expected);
+}
+
+TEST(Tiered, SearchFetchesIdenticalDocumentsThroughTheTree) {
+    auto flat = Federation::create(fixture(), base_options(Mode::CentralVocabulary));
+    TopologySpec topology;
+    topology.replication = 2;
+    topology.depth = 2;
+    topology.branching = 2;
+    auto tiered =
+        TieredFederation::create(fixture(), base_options(Mode::CentralVocabulary), topology);
+    const std::string& text = query_texts().front();
+    const QueryAnswer expected = flat.receptionist().search(text);
+    const QueryAnswer got = tiered.root().search(text);
+    ASSERT_EQ(got.ranking.size(), expected.ranking.size());
+    EXPECT_EQ(tiered.to_leaf(got.ranking), expected.ranking);
+    ASSERT_EQ(got.documents.size(), expected.documents.size());
+    for (std::size_t i = 0; i < got.documents.size(); ++i) {
+        EXPECT_EQ(got.documents[i].external_id, expected.documents[i].external_id);
+        EXPECT_EQ(got.documents[i].payload, expected.documents[i].payload);
+        EXPECT_EQ(tiered.external_id(got.ranking[i]), flat.external_id(expected.ranking[i]));
+    }
+}
+
+TEST(Tiered, AggregatorsRunOneTierDownWithMergedLeafState) {
+    TopologySpec topology;
+    topology.replication = 1;
+    topology.depth = 2;
+    topology.branching = 2;
+    auto tiered =
+        TieredFederation::create(fixture(), base_options(Mode::CentralVocabulary), topology);
+    ASSERT_EQ(tiered.num_aggregators(), 2u);
+    EXPECT_EQ(tiered.root().options().tier, 0u);
+    EXPECT_EQ(tiered.aggregator(0).options().tier, 1u);
+    EXPECT_EQ(tiered.aggregator(0).num_librarians(), 2u);
+    // An aggregator is a complete receptionist over its leaf range:
+    // querying it directly works and stamps its tier into the trace.
+    const QueryAnswer answer = tiered.aggregator(0).rank(query_texts().front(), 10);
+    EXPECT_EQ(answer.trace.tier, 1u);
+}
+
+TEST(Tiered, MetricsPullPathPrefixesTheTree) {
+    TopologySpec topology;
+    topology.replication = 1;
+    topology.depth = 2;
+    topology.branching = 2;
+    auto tiered =
+        TieredFederation::create(fixture(), base_options(Mode::CentralVocabulary), topology);
+    (void)tiered.root().rank(query_texts().front(), 10);
+    const auto samples = tiered.root().pull_librarian_metrics();
+    ASSERT_FALSE(samples.empty());
+    // Leaf samples arrive relabelled librarian="<aggregator>/<leaf>".
+    bool saw_path = false;
+    for (const auto& s : samples) {
+        if (s.labels.find("-t1-0/AP") != std::string::npos) saw_path = true;
+    }
+    EXPECT_TRUE(saw_path);
+}
+
+// ---- byte-identity: TCP trees ---------------------------------------------
+
+TEST(Tiered, TcpTreeMatchesFlatFederationAllModes) {
+    for (Mode mode : {Mode::CentralNothing, Mode::CentralVocabulary, Mode::CentralIndex}) {
+        const auto expected = flat_rankings(mode, 20);
+        TopologySpec topology;
+        topology.replication = 2;
+        topology.depth = 2;
+        topology.branching = 2;
+        auto tiered = TieredFederation::create_tcp(fixture(), base_options(mode), topology);
+        const auto& texts = query_texts();
+        for (std::size_t q = 0; q < texts.size(); ++q) {
+            const QueryAnswer answer = tiered.root().rank(texts[q], 20);
+            EXPECT_TRUE(answer.degraded().ok());
+            EXPECT_EQ(tiered.to_leaf(answer.ranking), expected[q])
+                << mode_name(mode) << " query " << q;
+        }
+        tiered.shutdown();
+    }
+}
+
+// ---- replica failover ------------------------------------------------------
+
+TEST(Tiered, KilledReplicaCausesZeroFailedQueries) {
+    // A replica dies mid-query-stream. The routing layer must absorb it:
+    // retries fail over to the surviving replica, its breaker isolates
+    // the corpse, and every answer stays complete — zero failed queries,
+    // zero degraded slots.
+    const auto expected = flat_rankings(Mode::CentralVocabulary, 20);
+    ReceptionistOptions o = base_options(Mode::CentralVocabulary);
+    o.fault.retry.base_backoff_ms = 1;  // keep the failover snappy
+    o.fault.io_timeout_ms = 5000;
+    TopologySpec topology;
+    topology.replication = 2;
+    topology.depth = 2;
+    topology.branching = 2;
+    auto tiered = TieredFederation::create_tcp(fixture(), o, topology);
+    const auto& texts = query_texts();
+
+    std::size_t completed = 0;
+    for (int round = 0; round < 3; ++round) {
+        if (round == 1) tiered.stop_replica(0, 0);  // dies between queries in flight
+        for (std::size_t q = 0; q < texts.size(); ++q) {
+            const QueryAnswer answer = tiered.root().rank(texts[q], 20);
+            EXPECT_TRUE(answer.degraded().ok()) << answer.degraded().summary();
+            EXPECT_EQ(tiered.to_leaf(answer.ranking), expected[q])
+                << "round " << round << " query " << q;
+            ++completed;
+        }
+    }
+    EXPECT_EQ(completed, texts.size() * 3);
+    tiered.shutdown();
+}
+
+// ---- controllable channels for breaker / hedge tests ----------------------
+
+/// In-process channel that can be taken down (every submit fails with
+/// IoError) and brought back, counting the exchanges it served.
+class FlakyReplicaChannel final : public Channel {
+public:
+    FlakyReplicaChannel(std::string name, Librarian& librarian)
+        : name_(std::move(name)), librarian_(&librarian) {}
+
+    util::Future<net::Message> submit(const net::Message& request) override {
+        util::Promise<net::Message> promise;
+        util::Future<net::Message> fut = promise.future();
+        if (down_.load()) {
+            promise.set_exception(
+                std::make_exception_ptr(IoError("replica down: " + name_)));
+            return fut;
+        }
+        served_.fetch_add(1);
+        try {
+            promise.set_value(librarian_->handle(request));
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+        return fut;
+    }
+
+    const std::string& name() const override { return name_; }
+
+    void set_down(bool down) { down_.store(down); }
+    std::uint64_t served() const { return served_.load(); }
+
+private:
+    std::string name_;
+    Librarian* librarian_;
+    std::atomic<bool> down_{false};
+    std::atomic<std::uint64_t> served_{0};
+};
+
+/// Asynchronous in-process channel: replies from a worker thread after
+/// a fixed delay, so hedging has something to race against (the
+/// synchronous InProcessChannel completes before await_reply runs).
+class SlowAsyncChannel final : public Channel {
+public:
+    SlowAsyncChannel(std::string name, Librarian& librarian, std::chrono::milliseconds delay)
+        : name_(std::move(name)), librarian_(&librarian), delay_(delay) {}
+
+    ~SlowAsyncChannel() override {
+        std::lock_guard<std::mutex> lock(mu_);
+        for (std::thread& t : workers_) t.join();
+    }
+
+    util::Future<net::Message> submit(const net::Message& request) override {
+        util::Promise<net::Message> promise;
+        util::Future<net::Message> fut = promise.future();
+        Librarian* librarian = librarian_;
+        const auto delay = delay_;
+        std::lock_guard<std::mutex> lock(mu_);
+        workers_.emplace_back([librarian, delay, request,
+                               promise = std::move(promise)]() mutable {
+            std::this_thread::sleep_for(delay);
+            try {
+                promise.set_value(librarian->handle(request));
+            } catch (...) {
+                promise.set_exception(std::current_exception());
+            }
+        });
+        return fut;
+    }
+
+    const std::string& name() const override { return name_; }
+
+private:
+    std::string name_;
+    Librarian* librarian_;
+    std::chrono::milliseconds delay_;
+    std::mutex mu_;
+    std::vector<std::thread> workers_;
+};
+
+std::unique_ptr<Librarian> fixture_librarian(std::size_t sub) {
+    return build_librarian(fixture().subcollections[sub]);
+}
+
+TEST(Tiered, BreakerIsolatesDeadReplicaAndProbeReadmitsIt) {
+    auto librarian = fixture_librarian(0);
+    auto flaky_owned = std::make_unique<FlakyReplicaChannel>("AP", *librarian);
+    FlakyReplicaChannel* flaky = flaky_owned.get();
+
+    ReceptionistOptions o = base_options(Mode::CentralNothing);
+    o.fault.retry.max_attempts = 2;
+    o.fault.retry.base_backoff_ms = 1;
+    o.fault.breaker.failure_threshold = 2;
+    o.fault.breaker.open_cooldown = 3;
+
+    std::vector<std::unique_ptr<Channel>> replicas;
+    replicas.push_back(std::move(flaky_owned));
+    replicas.push_back(std::make_unique<InProcessChannel>(*librarian));
+    std::vector<RouteTarget> targets;
+    targets.emplace_back(std::move(replicas), o.fault.breaker,
+                         ReplicaSelection::RoundRobin);
+    Receptionist receptionist(std::move(targets), o);
+    receptionist.prepare();
+
+    const std::string& text = query_texts().front();
+    const auto expected = receptionist.rank(text, 10).ranking;
+    ASSERT_FALSE(expected.empty());
+
+    flaky->set_down(true);
+    const std::uint64_t served_before_outage = flaky->served();
+    // Many queries against the dead replica: each one fails over to the
+    // healthy sibling and still answers in full; after failure_threshold
+    // consecutive failures the breaker stops sending traffic there.
+    for (int q = 0; q < 12; ++q) {
+        const QueryAnswer answer = receptionist.rank(text, 10);
+        EXPECT_TRUE(answer.degraded().ok()) << answer.degraded().summary();
+        EXPECT_EQ(answer.ranking, expected);
+    }
+    EXPECT_EQ(flaky->served(), served_before_outage);  // down = never served
+
+    // Revive the replica: the open breaker's cooldown elapses, the
+    // half-open probe pings it, and traffic returns to it.
+    flaky->set_down(false);
+    for (int q = 0; q < 12; ++q) {
+        const QueryAnswer answer = receptionist.rank(text, 10);
+        EXPECT_TRUE(answer.degraded().ok());
+        EXPECT_EQ(answer.ranking, expected);
+    }
+    EXPECT_GT(flaky->served(), served_before_outage);
+}
+
+TEST(Tiered, HedgeGoesToDifferentReplicaAndBeatsSlowPrimary) {
+    // PR 6 follow-up: the hedge's backup leg must go to a *different
+    // healthy replica*, so a dead-slow primary replica cannot drag the
+    // query past its budget when a fast sibling exists.
+    auto librarian = fixture_librarian(0);
+    const auto kSlow = std::chrono::milliseconds(2000);
+
+    ReceptionistOptions o = base_options(Mode::CentralNothing);
+    o.hedge.enabled = true;
+    o.hedge.delay_ms = 10;
+    // RoundRobin would alternate replicas per exchange; pin the slow
+    // replica as the persistent preference so only hedging can save us.
+    std::vector<std::unique_ptr<Channel>> replicas;
+    replicas.push_back(std::make_unique<SlowAsyncChannel>("AP", *librarian, kSlow));
+    replicas.push_back(std::make_unique<InProcessChannel>(*librarian));
+    std::vector<RouteTarget> targets;
+    targets.emplace_back(std::move(replicas), o.fault.breaker,
+                         ReplicaSelection::LeastInflight);
+    Receptionist receptionist(std::move(targets), o);
+
+    const auto start = std::chrono::steady_clock::now();
+    receptionist.prepare();  // prepare exchanges ride the slow primary + hedge too
+    const std::string& text = query_texts().front();
+    const QueryAnswer answer = receptionist.rank(text, 10);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+
+    EXPECT_TRUE(answer.degraded().ok()) << answer.degraded().summary();
+    EXPECT_FALSE(answer.ranking.empty());
+    // The slow leg alone would cost >= 2s per exchange (prepare makes
+    // at least one, rank another); the replica hedge must keep the
+    // whole run well under a single slow exchange.
+    EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed), kSlow);
+}
+
+// ---- budgets decrement per tier -------------------------------------------
+
+/// Channel decorator recording the budget stamped on each request.
+class BudgetProbeChannel final : public Channel {
+public:
+    BudgetProbeChannel(std::unique_ptr<Channel> inner,
+                       std::shared_ptr<std::atomic<std::uint32_t>> seen)
+        : inner_(std::move(inner)), seen_(std::move(seen)) {}
+
+    util::Future<net::Message> submit(const net::Message& request) override {
+        if (request.budget_ms > 0) seen_->store(request.budget_ms);
+        return inner_->submit(request);
+    }
+
+    const std::string& name() const override { return inner_->name(); }
+    void reset() override { inner_->reset(); }
+
+private:
+    std::unique_ptr<Channel> inner_;
+    std::shared_ptr<std::atomic<std::uint32_t>> seen_;
+};
+
+TEST(Tiered, BudgetsDecrementAtEveryTier) {
+    auto librarian = fixture_librarian(0);
+    auto leaf_seen = std::make_shared<std::atomic<std::uint32_t>>(0);
+    auto root_seen = std::make_shared<std::atomic<std::uint32_t>>(0);
+
+    // Leaf tier: librarian behind a probe.
+    ReceptionistOptions agg_options = base_options(Mode::CentralNothing);
+    agg_options.tier = 1;
+    agg_options.name = "agg";
+    std::vector<std::unique_ptr<Channel>> leaf_replicas;
+    leaf_replicas.push_back(std::make_unique<BudgetProbeChannel>(
+        std::make_unique<InProcessChannel>(*librarian), leaf_seen));
+    std::vector<RouteTarget> leaf_targets;
+    leaf_targets.emplace_back(std::move(leaf_replicas), agg_options.fault.breaker,
+                              ReplicaSelection::RoundRobin);
+    Receptionist aggregator(std::move(leaf_targets), agg_options);
+    aggregator.prepare();
+
+    // Root tier: aggregator behind a probe, with a fresh query budget.
+    ReceptionistOptions root_options = base_options(Mode::CentralNothing);
+    root_options.overload.total_budget_ms = 30000;
+    std::vector<std::unique_ptr<Channel>> agg_replicas;
+    agg_replicas.push_back(std::make_unique<BudgetProbeChannel>(
+        std::make_unique<HandlerChannel>(
+            "agg", [&aggregator](const net::Message& m) { return aggregator.handle(m); }),
+        root_seen));
+    std::vector<RouteTarget> root_targets;
+    root_targets.emplace_back(std::move(agg_replicas), root_options.fault.breaker,
+                              ReplicaSelection::RoundRobin);
+    Receptionist root(std::move(root_targets), root_options);
+    root.prepare();
+
+    const QueryAnswer answer = root.rank(query_texts().front(), 10);
+    EXPECT_TRUE(answer.degraded().ok());
+    // The root stamps its remaining budget onto the wire; the aggregator
+    // opens a budget from that stamp and re-stamps what is left when it
+    // fans out to the leaf — monotonically non-increasing down the tree.
+    ASSERT_GT(root_seen->load(), 0u);
+    ASSERT_GT(leaf_seen->load(), 0u);
+    EXPECT_LE(root_seen->load(), 30000u);
+    EXPECT_LE(leaf_seen->load(), root_seen->load());
+}
+
+}  // namespace
+}  // namespace teraphim::dir

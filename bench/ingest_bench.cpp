@@ -1,0 +1,438 @@
+// Ingest bench: query throughput under a live read/write mix
+// (DESIGN.md §16).
+//
+// A closed-loop pool of query clients draws from a Zipfian-skewed query
+// pool (repeats are realistic: they exercise the answer cache and its
+// generation-keyed flush) while a writer thread ingests document
+// batches into the running federation and periodically triggers
+// compaction. The sweep compares a read-only baseline against light and
+// write-heavy mixes and reports throughput, tail latency, stale-answer
+// counts, and compaction activity. The writer paces itself by query
+// progress, not wall time, so the interleaving is host-independent.
+//
+// Usage:
+//   ingest_bench [--smoke] [--json <path>]
+//     --smoke   shrinks the sweep; exits non-zero unless (a) rankings
+//               over a live delta are byte-identical to a from-scratch
+//               rebuild of the combined collection (CN and CV, before
+//               and after compaction), and (b) every point of the mix
+//               sweep — including the one that compacts mid-stream —
+//               completes with zero failed queries and the write-heavy
+//               point visibly bumps the collection generation
+//     --json    additionally writes the sweep as one JSON object
+#include <cstdio>
+#include <cstring>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace teraphim;
+
+namespace {
+
+constexpr std::size_t kClients = 16;  ///< closed-loop query client threads
+constexpr std::size_t kDepth = 20;    ///< ranking depth per query
+constexpr double kZipfS = 1.0;        ///< query-popularity skew exponent
+constexpr double kTailShare = 0.1;    ///< fraction of one-off (uncacheable) queries
+
+corpus::CorpusConfig bench_corpus_config() {
+    // Small on purpose: the bench measures the live-collection machinery
+    // (delta merge, cache flush, compaction swap), not raw scorer speed.
+    corpus::CorpusConfig config;
+    config.vocab_size = 3000;
+    config.subcollections = {
+        {"AP", 120, 70.0, 0.4},
+        {"WSJ", 120, 70.0, 0.4},
+        {"FR", 80, 90.0, 0.5},
+        {"ZIFF", 80, 60.0, 0.5},
+    };
+    config.num_long_topics = 3;
+    config.num_short_topics = 3;
+    config.topic_term_floor = 150;
+    config.seed = 41;
+    return config;
+}
+
+/// Documents fed to the writer: a sibling synthetic corpus (different
+/// seed, same vocabulary size) flattened into one stream. Ingested ids
+/// are renamed LIVE-<n> so every batch is unique.
+std::vector<store::Document> ingest_feed() {
+    corpus::CorpusConfig config = bench_corpus_config();
+    config.seed = 42;
+    const corpus::SyntheticCorpus sibling = corpus::generate_corpus(config);
+    std::vector<store::Document> feed;
+    for (const auto& sub : sibling.subcollections) {
+        for (const auto& doc : sub.documents) feed.push_back(doc);
+    }
+    return feed;
+}
+
+std::vector<const std::string*> query_pool(const corpus::SyntheticCorpus& corpus) {
+    std::vector<const std::string*> pool;
+    for (const auto& q : corpus.short_queries.queries) pool.push_back(&q.text);
+    for (const auto& q : corpus.long_queries.queries) pool.push_back(&q.text);
+    return pool;
+}
+
+dir::ReceptionistOptions bench_options() {
+    dir::ReceptionistOptions options = bench::mode_options(dir::Mode::CentralVocabulary);
+    // Cache on: the Zipfian repeats are the point — an ingest or
+    // compaction bumps the generation and the next fan-out flushes the
+    // answers, so the mix sweep prices the flush traffic too.
+    options.cache.enabled = true;
+    return options;
+}
+
+/// Zipfian sampler over [0, n): precomputed CDF, drawn by binary search.
+class ZipfPicker {
+public:
+    explicit ZipfPicker(std::size_t n) : cdf_(n) {
+        double sum = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), kZipfS);
+            cdf_[i] = sum;
+        }
+        for (double& c : cdf_) c /= sum;
+    }
+    std::size_t pick(util::Rng& rng) const {
+        const double u = rng.uniform();
+        return static_cast<std::size_t>(
+            std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+    }
+
+private:
+    std::vector<double> cdf_;
+};
+
+double percentile(const std::vector<double>& sorted, double q) {
+    if (sorted.empty()) return 0.0;
+    const double rank = q * static_cast<double>(sorted.size());
+    std::size_t idx = static_cast<std::size_t>(rank);
+    if (static_cast<double>(idx) < rank) ++idx;  // nearest-rank: ceil
+    if (idx > 0) --idx;
+    return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+/// One read/write mix: the writer issues `batches` ingest batches of
+/// `batch_docs` documents, evenly spread across the query stream, and
+/// compacts the written librarian every `compact_every` batches.
+struct Mix {
+    const char* name;
+    std::size_t batches = 0;
+    std::size_t batch_docs = 0;
+    std::size_t compact_every = 0;  ///< 0 = never compact
+};
+
+struct PointResult {
+    std::string name;
+    std::uint64_t queries = 0;
+    double wall_ms = 0.0;
+    std::uint64_t failed_queries = 0;
+    std::uint64_t writer_failures = 0;
+    std::uint64_t stale_answers = 0;   ///< fan-outs that saw a new generation
+    std::uint64_t cache_answers = 0;   ///< answers served from the QueryCache
+    std::uint64_t ingested_docs = 0;
+    std::uint64_t compactions = 0;
+    std::uint32_t delta_docs_end = 0;      ///< uncompacted delta left at the end
+    std::uint64_t generation_end = 0;      ///< max librarian generation at the end
+    std::vector<double> latencies_ms;      ///< sorted after the run
+
+    double qps() const {
+        return wall_ms > 0.0 ? 1000.0 * static_cast<double>(queries) / wall_ms : 0.0;
+    }
+    double p(double q) const { return percentile(latencies_ms, q); }
+};
+
+/// Closed-loop mixed workload: kClients threads drain `total` Zipfian
+/// queries while the writer interleaves its batches, pacing on the
+/// shared query counter so every batch lands mid-stream.
+PointResult run_point(const corpus::SyntheticCorpus& corpus,
+                      const std::vector<store::Document>& feed,
+                      const std::vector<const std::string*>& queries, const Mix& mix,
+                      std::uint64_t total) {
+    auto fed = dir::Federation::create(corpus, bench_options());
+    PointResult r;
+    r.name = mix.name;
+    r.queries = total;
+    r.latencies_ms.assign(total, 0.0);
+    std::atomic<std::uint64_t> next{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::atomic<std::uint64_t> stale{0};
+    std::atomic<std::uint64_t> cached{0};
+    std::atomic<std::uint64_t> writer_failed{0};
+    std::atomic<std::uint64_t> ingested{0};
+    std::atomic<std::uint64_t> compactions{0};
+    std::atomic<std::uint64_t> live_seq{0};  ///< unique LIVE-<n> id counter
+
+    const auto start = std::chrono::steady_clock::now();
+    auto writer = [&] {
+        const std::uint64_t stride = mix.batches > 0 ? total / (mix.batches + 1) : total;
+        for (std::size_t b = 0; b < mix.batches; ++b) {
+            // Pace on query progress: batch b lands after ~(b+1)*stride
+            // queries have completed, wherever the host's speed puts that
+            // in wall time.
+            const std::uint64_t due = static_cast<std::uint64_t>(b + 1) * stride;
+            while (next.load(std::memory_order_relaxed) < due) {
+                std::this_thread::sleep_for(std::chrono::microseconds(200));
+            }
+            const std::size_t target = b % fed.num_librarians();
+            dir::IngestRequest request;
+            request.docs.reserve(mix.batch_docs);
+            for (std::size_t d = 0; d < mix.batch_docs; ++d) {
+                const std::uint64_t n = live_seq.fetch_add(1);
+                const store::Document& src = feed[n % feed.size()];
+                request.docs.push_back({"LIVE-" + std::to_string(n), src.text});
+            }
+            try {
+                const dir::IngestResponse resp = fed.receptionist().ingest(target, request);
+                ingested.fetch_add(resp.accepted);
+                if (mix.compact_every > 0 && (b + 1) % mix.compact_every == 0) {
+                    const dir::CompactResponse comp =
+                        fed.receptionist().compact(target, {.wait = true});
+                    if (comp.compacted) compactions.fetch_add(1);
+                }
+            } catch (const std::exception& e) {
+                std::fprintf(stderr, "writer: batch %zu failed: %s\n", b, e.what());
+                writer_failed.fetch_add(1);
+            }
+        }
+    };
+    auto client = [&](std::size_t id) {
+        util::Rng rng(0xC0FFEE + id);
+        const ZipfPicker zipf(queries.size());
+        for (;;) {
+            const std::uint64_t i = next.fetch_add(1);
+            if (i >= total) return;
+            // kTailShare of the stream is distinct one-off queries (the
+            // base text plus a never-repeated term). They always miss
+            // the cache and fan out, so generation bumps from the writer
+            // are noticed — and flush the cache — mid-stream; pure
+            // Zipfian repeats would pin every answer in the cache and
+            // never observe an ingest.
+            std::string query = *queries[zipf.pick(rng)];
+            if (rng.chance(kTailShare)) query += " tail" + std::to_string(i);
+            util::Timer timer;
+            try {
+                const dir::QueryAnswer answer = fed.receptionist().rank(query, kDepth);
+                r.latencies_ms[i] = timer.elapsed_ms();
+                if (!answer.degraded().ok()) failed.fetch_add(1);
+                if (answer.trace.stale_generation) stale.fetch_add(1);
+                if (answer.trace.served_from_cache) cached.fetch_add(1);
+            } catch (const std::exception&) {
+                r.latencies_ms[i] = timer.elapsed_ms();
+                failed.fetch_add(1);
+            }
+        }
+    };
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(kClients + 1);
+        threads.emplace_back(writer);
+        for (std::size_t c = 0; c < kClients; ++c) threads.emplace_back(client, c);
+        for (auto& t : threads) t.join();
+    }
+    r.wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                          start)
+                    .count();
+    r.failed_queries = failed.load();
+    r.writer_failures = writer_failed.load();
+    r.stale_answers = stale.load();
+    r.cache_answers = cached.load();
+    r.ingested_docs = ingested.load();
+    r.compactions = compactions.load();
+    for (std::size_t s = 0; s < fed.num_librarians(); ++s) {
+        r.delta_docs_end += fed.librarian(s).delta_documents();
+        r.generation_end = std::max(r.generation_end, fed.librarian(s).generation());
+    }
+    std::sort(r.latencies_ms.begin(), r.latencies_ms.end());
+    return r;
+}
+
+void write_json(const std::string& path, bool smoke, const std::vector<PointResult>& points) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "ingest_bench: cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"ingest_bench\",\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"clients\": %zu,\n"
+                 "  \"zipf_s\": %.1f,\n"
+                 "  \"points\": [\n",
+                 smoke ? "true" : "false", kClients, kZipfS);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const PointResult& p = points[i];
+        std::fprintf(f,
+                     "    {\"mix\": \"%s\", \"queries\": %llu, \"qps\": %.1f, "
+                     "\"p50_ms\": %.2f, \"p95_ms\": %.2f, \"failed_queries\": %llu, "
+                     "\"stale_answers\": %llu, \"cache_answers\": %llu, "
+                     "\"ingested_docs\": %llu, \"compactions\": %llu, "
+                     "\"delta_docs_end\": %u, \"generation_end\": %llu}%s\n",
+                     p.name.c_str(), static_cast<unsigned long long>(p.queries), p.qps(),
+                     p.p(0.50), p.p(0.95),
+                     static_cast<unsigned long long>(p.failed_queries),
+                     static_cast<unsigned long long>(p.stale_answers),
+                     static_cast<unsigned long long>(p.cache_answers),
+                     static_cast<unsigned long long>(p.ingested_docs),
+                     static_cast<unsigned long long>(p.compactions), p.delta_docs_end,
+                     static_cast<unsigned long long>(p.generation_end),
+                     i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
+/// Smoke gate (a): rankings served over a live delta — and again after
+/// compaction — are byte-identical to a from-scratch rebuild of the
+/// combined collection (CN and CV; identical GlobalResults including
+/// the score doubles).
+bool check_identity(const corpus::SyntheticCorpus& corpus,
+                    const std::vector<store::Document>& feed,
+                    const std::vector<const std::string*>& queries) {
+    constexpr std::size_t kPerLibrarian = 3;
+    bool ok = true;
+    for (const dir::Mode mode : {dir::Mode::CentralNothing, dir::Mode::CentralVocabulary}) {
+        dir::ReceptionistOptions options = bench::mode_options(mode);
+        options.cache.enabled = false;  // every query must fan out
+
+        // The live federation ingests kPerLibrarian docs per librarian;
+        // the rebuilt one gets the same docs appended to its
+        // subcollections before indexing, in the same order.
+        auto live = dir::Federation::create(corpus, options);
+        std::vector<corpus::Subcollection> combined = corpus.subcollections;
+        std::size_t seq = 0;
+        for (std::size_t target = 0; target < live.num_librarians(); ++target) {
+            dir::IngestRequest request;
+            for (std::size_t d = 0; d < kPerLibrarian; ++d, ++seq) {
+                store::Document doc = feed[seq % feed.size()];
+                doc.external_id = "LIVE-" + std::to_string(seq);
+                request.docs.push_back({doc.external_id, doc.text});
+                combined[target].documents.push_back(std::move(doc));
+            }
+            (void)live.receptionist().ingest(target, request);
+        }
+        live.reprepare();
+        auto rebuilt = dir::Federation::create(combined, options);
+
+        auto compare = [&](const char* phase) {
+            for (const std::string* text : queries) {
+                const auto want = rebuilt.receptionist().rank(*text, kDepth).ranking;
+                const auto got = live.receptionist().rank(*text, kDepth).ranking;
+                if (got != want) {
+                    std::fprintf(stderr,
+                                 "FAIL: live ranking diverges from rebuilt (%s, %s, '%s')\n",
+                                 std::string(dir::mode_name(mode)).c_str(), phase,
+                                 text->c_str());
+                    ok = false;
+                }
+            }
+        };
+        compare("delta");
+        for (std::size_t s = 0; s < live.num_librarians(); ++s) {
+            live.librarian(s).compact_now();
+        }
+        live.reprepare();
+        compare("compacted");
+    }
+    std::printf("smoke: live delta rankings byte-identical to rebuilt     %s\n",
+                ok ? "ok" : "FAIL");
+    return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: ingest_bench [--smoke] [--json <path>]\n");
+            return 2;
+        }
+    }
+
+    std::printf("Ingest bench: query throughput under a live read/write mix\n");
+    util::Timer build_timer;
+    const corpus::SyntheticCorpus corpus = corpus::generate_corpus(bench_corpus_config());
+    const std::vector<store::Document> feed = ingest_feed();
+    const std::vector<const std::string*> queries = query_pool(corpus);
+    std::printf("corpus: %u documents, %zu queries, %zu feed docs (%.1fs)\n",
+                corpus.total_documents(), queries.size(), feed.size(),
+                build_timer.elapsed_seconds());
+
+    bool gates_ok = true;
+    if (smoke) gates_ok &= check_identity(corpus, feed, queries);
+
+    const std::uint64_t queries_per_point = smoke ? 1200 : 6000;
+    const std::vector<Mix> mixes = {
+        {"read-only", 0, 0, 0},
+        {"light-writes", 8, 4, 0},
+        {"write-heavy", 16, 16, 4},
+    };
+
+    bench::print_rule();
+    std::printf("%-14s %8s %9s %8s %8s %7s %7s %9s %8s %6s\n", "mix", "queries", "qps",
+                "p50 ms", "p95 ms", "failed", "stale", "ingested", "compact", "gen");
+    bench::print_rule();
+    std::vector<PointResult> points;
+    for (const Mix& mix : mixes) {
+        PointResult p = run_point(corpus, feed, queries, mix, queries_per_point);
+        std::printf("%-14s %8llu %9.1f %8.2f %8.2f %7llu %7llu %9llu %8llu %6llu\n",
+                    p.name.c_str(), static_cast<unsigned long long>(p.queries), p.qps(),
+                    p.p(0.50), p.p(0.95), static_cast<unsigned long long>(p.failed_queries),
+                    static_cast<unsigned long long>(p.stale_answers),
+                    static_cast<unsigned long long>(p.ingested_docs),
+                    static_cast<unsigned long long>(p.compactions),
+                    static_cast<unsigned long long>(p.generation_end));
+        points.push_back(std::move(p));
+    }
+    bench::print_rule();
+
+    if (smoke) {
+        // Gate (b): every mix — including the one that compacts
+        // mid-stream — completes with zero failed queries and zero
+        // writer failures, and the write-heavy point visibly compacts
+        // and bumps the generation.
+        for (const PointResult& p : points) {
+            if (p.failed_queries != 0 || p.writer_failures != 0) {
+                std::fprintf(stderr, "FAIL: %llu failed queries, %llu writer failures (%s)\n",
+                             static_cast<unsigned long long>(p.failed_queries),
+                             static_cast<unsigned long long>(p.writer_failures),
+                             p.name.c_str());
+                gates_ok = false;
+            }
+        }
+        const PointResult& heavy = points.back();
+        const bool compacted =
+            heavy.compactions > 0 && heavy.generation_end > 1 && heavy.stale_answers > 0;
+        std::printf("smoke: zero failed queries across every mix              %s\n",
+                    gates_ok ? "ok" : "FAIL");
+        std::printf("smoke: write-heavy mix compacts, bumps gen, flags stale  %s\n",
+                    compacted ? "ok" : "FAIL");
+        gates_ok &= compacted;
+    }
+
+    if (!json_path.empty()) write_json(json_path, smoke, points);
+    if (smoke && !gates_ok) {
+        std::fprintf(stderr, "ingest_bench: smoke gates FAILED\n");
+        return 1;
+    }
+    if (smoke) std::printf("\nsmoke gates passed\n");
+    return 0;
+}

@@ -65,6 +65,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ran %lu rounds of %zu queries over %zu librarians\n", rounds,
                  corpus.short_queries.queries.size(), fed.num_librarians());
 
+    // Live-collection families (teraphim_ingest_*, teraphim_collection_*,
+    // teraphim_compactions_total): ingest a couple of documents into
+    // librarian 0 over the wire, compact, and query once more so the
+    // dump shows a bumped generation and the post-compaction doc count.
+    dir::IngestRequest ingest;
+    ingest.docs.push_back({"live-0", "fresh wire document about query evaluation"});
+    ingest.docs.push_back({"live-1", "another live document on distributed retrieval"});
+    const dir::IngestResponse ing = fed.receptionist().ingest(0, ingest);
+    const dir::CompactResponse comp = fed.receptionist().compact(0, {.wait = true});
+    fed.reprepare();
+    for (const auto& q : corpus.short_queries.queries) {
+        (void)fed.receptionist().search(q.text);
+    }
+    std::fprintf(stderr, "ingested %u docs, compacted to %u docs at generation %llu\n",
+                 ing.accepted, comp.num_documents,
+                 static_cast<unsigned long long>(comp.generation));
+
     std::fputs(fed.receptionist().render_federation_metrics().c_str(), stdout);
 
     fed.shutdown();

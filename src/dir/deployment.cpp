@@ -26,9 +26,9 @@ std::unique_ptr<Librarian> build_from_documents(const std::string& name,
         builder.add_document(pipeline.terms(doc->text));
         store_builder.add_document(*doc);
     }
-    return std::make_unique<Librarian>(name, std::move(builder).build(),
-                                       std::move(store_builder).build(), pipeline,
-                                       *options.measure);
+    CollectionSnapshot snapshot{std::move(builder).build(), std::move(store_builder).build(),
+                                std::move(pipeline), options.measure, options.skip_period};
+    return std::make_unique<Librarian>(name, std::move(snapshot));
 }
 
 std::unique_ptr<Librarian> build_from_subcollection(const corpus::Subcollection& sub,
@@ -96,9 +96,36 @@ Federation Federation::create(const std::vector<corpus::Subcollection>& subs,
     return fed;
 }
 
-const std::string& Federation::external_id(const GlobalResult& result) const {
+namespace {
+
+/// CI re-preparation feeds the grouped-index rebuild each librarian's
+/// *materialized* live index (main + delta, byte-identical to a
+/// from-scratch build). Receptionist::prepare copies what it needs, so
+/// the materialized indexes can be temporaries.
+PrepareSummary reprepare_receptionist(Receptionist& recep,
+                                      std::span<const std::unique_ptr<Librarian>> librarians,
+                                      std::span<const std::uint32_t> ci_leaf_targets = {}) {
+    std::vector<index::InvertedIndex> live;
+    std::vector<const index::InvertedIndex*> ptrs;
+    if (recep.options().mode == Mode::CentralIndex) {
+        live.reserve(librarians.size());
+        for (const auto& lib : librarians) live.push_back(lib->materialize_index());
+        ptrs.reserve(live.size());
+        for (const auto& ix : live) ptrs.push_back(&ix);
+    }
+    return recep.prepare(ptrs, ci_leaf_targets);
+}
+
+}  // namespace
+
+PrepareSummary Federation::reprepare() {
+    prepare_summary_ = reprepare_receptionist(*receptionist_, librarians_);
+    return prepare_summary_;
+}
+
+std::string Federation::external_id(const GlobalResult& result) const {
     TERAPHIM_ASSERT(result.librarian < librarians_.size());
-    return librarians_[result.librarian]->store().external_id(result.doc);
+    return librarians_[result.librarian]->external_id(result.doc);
 }
 
 std::vector<std::string> Federation::ranked_ids(const QueryAnswer& answer) const {
@@ -296,9 +323,14 @@ TcpFederation TcpFederation::create(const corpus::SyntheticCorpus& corpus,
 
 TcpFederation::~TcpFederation() { shutdown(); }
 
-const std::string& TcpFederation::external_id(const GlobalResult& result) const {
+PrepareSummary TcpFederation::reprepare() {
+    prepare_summary_ = reprepare_receptionist(*receptionist_, librarians_);
+    return prepare_summary_;
+}
+
+std::string TcpFederation::external_id(const GlobalResult& result) const {
     TERAPHIM_ASSERT(result.librarian < librarians_.size());
-    return librarians_[result.librarian]->store().external_id(result.doc);
+    return librarians_[result.librarian]->external_id(result.doc);
 }
 
 void TcpFederation::shutdown() {
@@ -558,12 +590,32 @@ TieredFederation TieredFederation::create_tcp(const corpus::SyntheticCorpus& cor
 
 TieredFederation::~TieredFederation() { shutdown(); }
 
+PrepareSummary TieredFederation::reprepare() {
+    // Bottom-up: each aggregator re-learns its leaves' live sizes and
+    // vocabularies before the root re-learns the aggregators'.
+    for (auto& agg : aggregators_) agg->prepare();
+    const TierPlan plan = plan_tiers(topology_, librarians_.size());
+    if (plan.num_aggregators == 0) {
+        prepare_summary_ = reprepare_receptionist(*root_, librarians_);
+    } else {
+        std::vector<std::uint32_t> ci_leaf_targets(librarians_.size(), 0);
+        for (std::size_t j = 0; j < plan.num_aggregators; ++j) {
+            for (std::size_t i = plan.ranges[j].first; i < plan.ranges[j].second; ++i) {
+                ci_leaf_targets[i] = static_cast<std::uint32_t>(j);
+            }
+        }
+        prepare_summary_ = reprepare_receptionist(*root_, librarians_, ci_leaf_targets);
+    }
+    compute_leaf_offsets();
+    return prepare_summary_;
+}
+
 void TieredFederation::compute_leaf_offsets() {
     leaf_offsets_.assign(1, 0);
     for (const auto& lib : librarians_) {
-        leaf_offsets_.push_back(
-            leaf_offsets_.back() +
-            static_cast<std::uint32_t>(lib->index().index_stats().num_documents));
+        // num_documents() counts the live collection — main plus delta —
+        // matching the sizes the receptionists learned at prepare().
+        leaf_offsets_.push_back(leaf_offsets_.back() + lib->num_documents());
     }
 }
 
@@ -586,9 +638,9 @@ std::vector<GlobalResult> TieredFederation::to_leaf(
     return out;
 }
 
-const std::string& TieredFederation::external_id(const GlobalResult& result) const {
+std::string TieredFederation::external_id(const GlobalResult& result) const {
     const GlobalResult lr = to_leaf(result);
-    return librarians_[lr.librarian]->store().external_id(lr.doc);
+    return librarians_[lr.librarian]->external_id(lr.doc);
 }
 
 void TieredFederation::stop_replica(std::size_t leaf, std::size_t replica) {

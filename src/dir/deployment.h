@@ -181,8 +181,17 @@ public:
     Librarian& librarian(std::size_t i) { return *librarians_[i]; }
     std::size_t num_librarians() const { return librarians_.size(); }
 
-    /// External id of a merged result (evaluation only; not on the wire).
-    const std::string& external_id(const GlobalResult& result) const;
+    /// Re-prepares the receptionist against the librarians' *live*
+    /// collections (main + delta), refreshing CV merged vocabularies and
+    /// CI grouped indexes after ingestion or compaction. CI mode
+    /// materializes each librarian's merged index (byte-identical to a
+    /// from-scratch build) to feed the grouped-index rebuild.
+    PrepareSummary reprepare();
+
+    /// External id of a merged result (evaluation only; not on the
+    /// wire). By value: the document may still live in a librarian's
+    /// copy-on-write delta overlay.
+    std::string external_id(const GlobalResult& result) const;
 
     /// The ranking as external ids, for the effectiveness metrics.
     std::vector<std::string> ranked_ids(const QueryAnswer& answer) const;
@@ -249,7 +258,12 @@ public:
     std::size_t num_librarians() const { return librarians_.size(); }
     std::uint16_t port(std::size_t i) const { return servers_[i]->port(); }
 
-    const std::string& external_id(const GlobalResult& result) const;
+    /// Re-prepares the receptionist against the live collections over
+    /// the real sockets (see Federation::reprepare).
+    PrepareSummary reprepare();
+
+    /// By value: the document may still live in a delta overlay.
+    std::string external_id(const GlobalResult& result) const;
 
     /// What prepare() reported when the federation was assembled.
     const PrepareSummary& prepare_summary() const { return prepare_summary_; }
@@ -345,8 +359,14 @@ public:
     GlobalResult to_leaf(const GlobalResult& result) const;
     std::vector<GlobalResult> to_leaf(std::span<const GlobalResult> ranking) const;
 
+    /// Re-prepares the tree bottom-up — aggregators first, then the
+    /// root — against the leaves' live collections (see
+    /// Federation::reprepare).
+    PrepareSummary reprepare();
+
     /// External id of a root-level merged result (rebased internally).
-    const std::string& external_id(const GlobalResult& result) const;
+    /// By value: the document may still live in a delta overlay.
+    std::string external_id(const GlobalResult& result) const;
 
     /// TCP trees only: stops replica `r` of leaf `i` — the server goes
     /// away mid-stream and the routing layer must fail the traffic over

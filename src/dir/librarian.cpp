@@ -1,6 +1,11 @@
 #include "dir/librarian.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "rank/boolean.h"
 #include "rank/candidate_scorer.h"
@@ -12,7 +17,7 @@ namespace {
 
 /// Request families counted as teraphim_librarian_requests_total{type=...};
 /// order matches Librarian::requests_by_type_.
-constexpr std::array<std::pair<net::MessageType, const char*>, 9> kRequestTypes = {{
+constexpr std::array<std::pair<net::MessageType, const char*>, 11> kRequestTypes = {{
     {net::MessageType::Ping, "ping"},
     {net::MessageType::StatsRequest, "stats"},
     {net::MessageType::VocabularyRequest, "vocabulary"},
@@ -22,27 +27,97 @@ constexpr std::array<std::pair<net::MessageType, const char*>, 9> kRequestTypes 
     {net::MessageType::FetchRequest, "fetch"},
     {net::MessageType::BooleanRequest, "boolean"},
     {net::MessageType::MetricsRequest, "metrics"},
+    {net::MessageType::IngestRequest, "ingest"},
+    {net::MessageType::CompactRequest, "compact"},
 }};
 
 }  // namespace
 
-Librarian::Librarian(std::string name, index::InvertedIndex index, store::DocumentStore store,
-                     text::Pipeline pipeline, const rank::SimilarityMeasure& measure)
+/// Live-collection state (DESIGN.md §16). Readers copy the two shared
+/// pointers under `mu` and work off-lock; writers (ingest, compaction)
+/// serialize on `writer_mu`, build the replacement off-lock, and swap
+/// under `mu`. Superseded snapshots land in `retired` instead of being
+/// freed: index()/store() references handed out earlier must survive
+/// until the librarian itself dies (deployment code caches them for
+/// CI prepare()). The compaction worker is lazily spawned by the first
+/// asynchronous CompactRequest and joined by the destructor.
+struct Librarian::LiveCore {
+    mutable std::mutex mu;
+    std::shared_ptr<const CollectionSnapshot> snapshot;
+    std::shared_ptr<const LiveDelta> delta;
+    std::vector<std::shared_ptr<const CollectionSnapshot>> retired;
+
+    std::mutex writer_mu;
+
+    std::mutex work_mu;
+    std::condition_variable work_cv;
+    bool compact_requested = false;
+    bool stop = false;
+    std::thread worker;
+};
+
+Librarian::Librarian(std::string name, CollectionSnapshot snapshot)
     : name_(std::move(name)),
-      index_(std::move(index)),
-      store_(std::move(store)),
-      pipeline_(pipeline),
-      measure_(&measure),
+      live_(std::make_unique<LiveCore>()),
       metrics_(std::make_unique<obs::MetricsRegistry>()),
       generation_(std::make_unique<std::atomic<std::uint64_t>>(1)) {
-    TERAPHIM_ASSERT_MSG(index_.num_documents() == store_.size(),
+    TERAPHIM_ASSERT_MSG(snapshot.index.num_documents() == snapshot.store.size(),
                         "index and document store disagree on collection size");
+    TERAPHIM_ASSERT_MSG(snapshot.measure != nullptr, "snapshot needs a similarity measure");
+    auto delta = std::make_shared<LiveDelta>();
+    delta->index = index::DeltaIndex(snapshot.index.num_documents());
+    live_->snapshot = std::make_shared<const CollectionSnapshot>(std::move(snapshot));
+    live_->delta = std::move(delta);
     for (std::size_t i = 0; i < kRequestTypes.size(); ++i) {
         requests_by_type_[i] = &metrics_->counter("teraphim_librarian_requests_total",
                                                   {{"type", kRequestTypes[i].second}});
     }
     errors_total_ = &metrics_->counter("teraphim_librarian_errors_total");
     request_latency_ = &metrics_->histogram("teraphim_librarian_request_latency_ms");
+    ingest_documents_total_ = &metrics_->counter("teraphim_ingest_documents_total");
+    compactions_total_ = &metrics_->counter("teraphim_compactions_total");
+    collection_generation_ = &metrics_->gauge("teraphim_collection_generation");
+    collection_docs_ = &metrics_->gauge("teraphim_collection_docs");
+    collection_delta_docs_ = &metrics_->gauge("teraphim_collection_delta_docs");
+    refresh_collection_gauges(view());
+}
+
+// The shim forwards to the snapshot constructor with the default skip
+// period — exactly what every pre-live call site compressed with.
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+Librarian::Librarian(std::string name, index::InvertedIndex index, store::DocumentStore store,
+                     text::Pipeline pipeline, const rank::SimilarityMeasure& measure)
+    : Librarian(std::move(name),
+                CollectionSnapshot{std::move(index), std::move(store), std::move(pipeline),
+                                   &measure}) {}
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
+
+Librarian::~Librarian() {
+    std::thread worker;
+    {
+        std::lock_guard<std::mutex> lk(live_->work_mu);
+        live_->stop = true;
+        worker = std::move(live_->worker);
+    }
+    live_->work_cv.notify_all();
+    if (worker.joinable()) worker.join();
+}
+
+Librarian::LiveView Librarian::view() const {
+    std::lock_guard<std::mutex> lk(live_->mu);
+    return {live_->snapshot, live_->delta};
+}
+
+void Librarian::refresh_collection_gauges(const LiveView& v) {
+    collection_generation_->set(static_cast<std::int64_t>(generation()));
+    collection_docs_->set(static_cast<std::int64_t>(v.snapshot->index.num_documents() +
+                                                    v.delta->index.num_documents()));
+    collection_delta_docs_->set(static_cast<std::int64_t>(v.delta->index.num_documents()));
 }
 
 void Librarian::count_request(net::MessageType type) {
@@ -80,6 +155,10 @@ net::Message Librarian::handle(const net::Message& request) {
                 return boolean(BooleanRequest::decode(request)).encode();
             case net::MessageType::MetricsRequest:
                 return metrics_snapshot().encode();
+            case net::MessageType::IngestRequest:
+                return ingest(IngestRequest::decode(request)).encode();
+            case net::MessageType::CompactRequest:
+                return compact(CompactRequest::decode(request)).encode();
             default:
                 errors_total_->inc();
                 return ErrorResponse{"unsupported request type"}.encode();
@@ -92,24 +171,89 @@ net::Message Librarian::handle(const net::Message& request) {
 
 MetricsResponse Librarian::metrics_snapshot() const { return MetricsResponse{metrics_->collect()}; }
 
+const index::InvertedIndex& Librarian::index() const { return view().snapshot->index; }
+const store::DocumentStore& Librarian::store() const { return view().snapshot->store; }
+const text::Pipeline& Librarian::pipeline() const { return view().snapshot->pipeline; }
+
+std::shared_ptr<const CollectionSnapshot> Librarian::snapshot() const { return view().snapshot; }
+std::shared_ptr<const LiveDelta> Librarian::delta() const { return view().delta; }
+
+std::uint32_t Librarian::num_documents() const {
+    const LiveView v = view();
+    return v.snapshot->index.num_documents() + v.delta->index.num_documents();
+}
+
+std::uint32_t Librarian::delta_documents() const { return view().delta->index.num_documents(); }
+
+std::string Librarian::external_id(std::uint32_t doc) const {
+    const LiveView v = view();
+    const std::uint32_t base = static_cast<std::uint32_t>(v.snapshot->store.size());
+    if (doc < base) return v.snapshot->store.external_id(doc);
+    TERAPHIM_ASSERT(doc - base < v.delta->docs.size());
+    return v.delta->docs[doc - base].external_id;
+}
+
+index::InvertedIndex Librarian::materialize_index() const {
+    const LiveView v = view();
+    return index::merge_delta(v.snapshot->index, v.delta->index, v.snapshot->skip_period);
+}
+
 StatsResponse Librarian::stats() const {
+    const LiveView v = view();
+    const index::InvertedIndex& main = v.snapshot->index;
+    const index::DeltaIndex& delta = v.delta->index;
     StatsResponse out;
     out.librarian_name = name_;
-    out.num_documents = index_.num_documents();
-    out.num_terms = index_.num_terms();
-    out.index_bytes = index_.index_stats().total_bytes();
-    out.store_bytes = store_.total_compressed_bytes() + store_.model_bytes();
+    // Merged statistics: the values a rebuilt combined collection would
+    // report, so CV global weighting tracks ingestion on the next
+    // prepare().
+    out.num_documents = main.num_documents() + delta.num_documents();
+    out.num_terms = main.num_terms();
+    for (std::size_t slot = 0; slot < delta.num_terms(); ++slot) {
+        if (!main.vocabulary().lookup(delta.term(slot))) ++out.num_terms;
+    }
+    out.index_bytes = main.index_stats().total_bytes() + delta.approx_bytes();
+    out.store_bytes = v.snapshot->store.total_compressed_bytes() +
+                      v.snapshot->store.model_bytes();
+    for (const auto& blob : v.delta->blobs) out.store_bytes += blob.size();
     out.generation = generation();
     return out;
 }
 
 VocabularyResponse Librarian::vocabulary_dump() const {
+    const LiveView v = view();
+    const index::InvertedIndex& main = v.snapshot->index;
+    const index::DeltaIndex& delta = v.delta->index;
+
+    // Delta-only terms, sorted to merge with the (lexicographic)
+    // sorted_ids() walk; terms present in both contribute a combined
+    // document frequency.
+    std::vector<std::size_t> extra;
+    for (std::size_t slot = 0; slot < delta.num_terms(); ++slot) {
+        if (!main.vocabulary().lookup(delta.term(slot))) extra.push_back(slot);
+    }
+    std::sort(extra.begin(), extra.end(), [&](std::size_t a, std::size_t b) {
+        return delta.term(a) < delta.term(b);
+    });
+
     VocabularyResponse out;
-    out.num_documents = index_.num_documents();
-    out.entries.reserve(index_.num_terms());
-    for (index::TermId id : index_.vocabulary().sorted_ids()) {
+    out.num_documents = main.num_documents() + delta.num_documents();
+    out.entries.reserve(main.num_terms() + extra.size());
+    std::size_t e = 0;
+    for (index::TermId id : main.vocabulary().sorted_ids()) {
+        const std::string& term = main.vocabulary().term(id);
+        while (e < extra.size() && delta.term(extra[e]) < term) {
+            out.entries.push_back(
+                {delta.term(extra[e]), delta.entry(extra[e]).stats.doc_frequency});
+            ++e;
+        }
+        std::uint64_t df = main.stats(id).doc_frequency;
+        if (const auto* entry = delta.find(term)) df += entry->stats.doc_frequency;
+        out.entries.push_back({term, df});
+    }
+    for (; e < extra.size(); ++e) {
         out.entries.push_back(
-            {index_.vocabulary().term(id), index_.stats(id).doc_frequency});
+            {delta.term(extra[e]), delta.entry(extra[e]).stats.doc_frequency});
     }
     return out;
 }
@@ -136,10 +280,11 @@ rank::RankPolicy policy_from(bool pruned, bool use_skips) {
 }  // namespace
 
 RankResponse Librarian::rank_local(const RankRequest& req) const {
+    const LiveView v = view();
     rank::Query query;
     query.terms = req.terms;
     rank::RankStats stats;
-    rank::QueryProcessor processor(index_, *measure_);
+    rank::QueryProcessor processor(v.snapshot->index, *v.snapshot->measure, &v.delta->index);
     RankResponse out;
     out.results = processor.rank(query, req.k, policy_from(req.pruned, req.use_skips), &stats);
     out.work = work_from_rank_stats(stats);
@@ -148,8 +293,9 @@ RankResponse Librarian::rank_local(const RankRequest& req) const {
 }
 
 RankResponse Librarian::rank_weighted(const RankWeightedRequest& req) const {
+    const LiveView v = view();
     rank::RankStats stats;
-    rank::QueryProcessor processor(index_, *measure_);
+    rank::QueryProcessor processor(v.snapshot->index, *v.snapshot->measure, &v.delta->index);
     RankResponse out;
     out.results = processor.rank_weighted(req.terms, req.query_norm, req.k,
                                           policy_from(req.pruned, req.use_skips), &stats);
@@ -159,10 +305,12 @@ RankResponse Librarian::rank_weighted(const RankWeightedRequest& req) const {
 }
 
 CandidateResponse Librarian::score_candidates(const CandidateRequest& req) const {
+    const LiveView v = view();
     rank::CandidateStats stats;
     CandidateResponse out;
-    out.scored = rank::score_candidates(index_, *measure_, req.terms, req.query_norm,
-                                        req.candidates, req.use_skips, &stats);
+    out.scored = rank::score_candidates(v.snapshot->index, *v.snapshot->measure, req.terms,
+                                        req.query_norm, req.candidates, req.use_skips, &stats,
+                                        &v.delta->index);
     out.work.term_lookups = stats.terms_matched;
     out.work.postings_decoded = stats.postings_decoded;
     out.work.index_bits_read = stats.index_bits_read;
@@ -174,35 +322,150 @@ CandidateResponse Librarian::score_candidates(const CandidateRequest& req) const
 }
 
 FetchResponse Librarian::fetch(const FetchRequest& req) const {
+    const LiveView v = view();
+    const store::DocumentStore& main = v.snapshot->store;
+    const std::uint32_t base = static_cast<std::uint32_t>(main.size());
+    const std::uint32_t total = base + v.delta->index.num_documents();
     FetchResponse out;
     out.docs.reserve(req.docs.size());
     for (std::uint32_t doc : req.docs) {
-        if (doc >= store_.size()) {
+        if (doc >= total) {
             throw ProtocolError("fetch: document " + std::to_string(doc) +
                                 " out of range at librarian " + name_);
         }
         FetchedDocument fd;
-        fd.external_id = store_.external_id(doc);
         fd.compressed = req.send_compressed;
-        if (req.send_compressed) {
-            const auto blob = store_.compressed(doc);
-            fd.payload.assign(blob.begin(), blob.end());
+        if (doc < base) {
+            fd.external_id = main.external_id(doc);
+            if (req.send_compressed) {
+                const auto blob = main.compressed(doc);
+                fd.payload.assign(blob.begin(), blob.end());
+            } else {
+                const std::string text = main.fetch(doc);
+                fd.payload.assign(text.begin(), text.end());
+            }
+            out.work.disk_bytes += main.compressed_bytes(doc);
         } else {
-            const std::string text = store_.fetch(doc);
-            fd.payload.assign(text.begin(), text.end());
+            // Delta documents serve from memory: raw text as ingested,
+            // or the blob pre-encoded with the snapshot codec.
+            const std::size_t i = doc - base;
+            fd.external_id = v.delta->docs[i].external_id;
+            if (req.send_compressed) {
+                fd.payload = v.delta->blobs[i];
+            } else {
+                const std::string& text = v.delta->docs[i].text;
+                fd.payload.assign(text.begin(), text.end());
+            }
+            out.work.disk_bytes += v.delta->blobs[i].size();
         }
-        out.work.disk_bytes += store_.compressed_bytes(doc);
         out.docs.push_back(std::move(fd));
     }
     return out;
 }
 
 BooleanResponse Librarian::boolean(const BooleanRequest& req) const {
+    const LiveView v = view();
     BooleanResponse out;
-    out.docs = rank::boolean_search(req.expression, index_, pipeline_);
+    // Boolean evaluation runs against the main index only; delta
+    // documents join the boolean-visible collection at the next
+    // compaction (ranked retrieval sees them immediately).
+    out.docs = rank::boolean_search(req.expression, v.snapshot->index, v.snapshot->pipeline);
     // Boolean evaluation touches the full lists of every query term; we
     // approximate work as the parse tree's term lists.
     out.work.term_lookups = 0;
+    return out;
+}
+
+IngestResponse Librarian::ingest(const IngestRequest& req) {
+    std::lock_guard<std::mutex> writer(live_->writer_mu);
+    const LiveView v = view();
+    // Copy-on-write: queries keep reading the published delta while the
+    // extended copy is built; the swap below is atomic.
+    auto next = std::make_shared<LiveDelta>(*v.delta);
+    IngestResponse out;
+    out.first_doc = v.snapshot->index.num_documents() + next->index.num_documents();
+    for (const IngestDocument& d : req.docs) {
+        const std::vector<std::string> terms = v.snapshot->pipeline.terms(d.text);
+        next->index.add_document(terms);
+        next->docs.push_back({d.external_id, d.text});
+        next->blobs.push_back(v.snapshot->store.codec().encode(d.text));
+    }
+    out.accepted = static_cast<std::uint32_t>(req.docs.size());
+    out.delta_documents = next->index.num_documents();
+    {
+        std::lock_guard<std::mutex> lk(live_->mu);
+        live_->delta = std::move(next);
+    }
+    // Ingestion changes the served collection, so it must bump the
+    // generation: a cached answer computed before this batch is stale
+    // even though no snapshot was swapped.
+    bump_generation();
+    out.generation = generation();
+    ingest_documents_total_->inc(req.docs.size());
+    refresh_collection_gauges(view());
+    return out;
+}
+
+bool Librarian::compact_now() {
+    std::lock_guard<std::mutex> writer(live_->writer_mu);
+    const LiveView v = view();
+    if (v.delta->index.empty()) return false;
+    const CollectionSnapshot& old = *v.snapshot;
+    // Rebuild off-lock: queries keep the old (snapshot, delta) pair.
+    index::InvertedIndex merged =
+        index::merge_delta(old.index, v.delta->index, old.skip_period);
+    store::DocumentStore merged_store = old.store.with_appended(v.delta->docs);
+    auto fresh = std::make_shared<const CollectionSnapshot>(
+        CollectionSnapshot{std::move(merged), std::move(merged_store), old.pipeline,
+                           old.measure, old.skip_period});
+    auto empty = std::make_shared<LiveDelta>();
+    empty->index = index::DeltaIndex(fresh->index.num_documents());
+    {
+        std::lock_guard<std::mutex> lk(live_->mu);
+        // Retire rather than free: index()/store() references taken
+        // before the swap must stay valid for the librarian's lifetime.
+        live_->retired.push_back(std::move(live_->snapshot));
+        live_->snapshot = std::move(fresh);
+        live_->delta = std::move(empty);
+    }
+    bump_generation();
+    compactions_total_->inc();
+    refresh_collection_gauges(view());
+    return true;
+}
+
+CompactResponse Librarian::compact(const CompactRequest& req) {
+    if (req.wait) {
+        CompactResponse out;
+        out.compacted = compact_now();
+        const LiveView v = view();
+        out.num_documents = v.snapshot->index.num_documents();
+        out.generation = generation();
+        return out;
+    }
+    {
+        std::lock_guard<std::mutex> lk(live_->work_mu);
+        live_->compact_requested = true;
+        if (!live_->worker.joinable()) {
+            live_->worker = std::thread([this] {
+                for (;;) {
+                    std::unique_lock<std::mutex> lk(live_->work_mu);
+                    live_->work_cv.wait(
+                        lk, [&] { return live_->compact_requested || live_->stop; });
+                    if (live_->stop) return;
+                    live_->compact_requested = false;
+                    lk.unlock();
+                    compact_now();
+                }
+            });
+        }
+    }
+    live_->work_cv.notify_all();
+    CompactResponse out;
+    out.compacted = false;  // scheduled, not yet performed
+    const LiveView v = view();
+    out.num_documents = v.snapshot->index.num_documents();
+    out.generation = generation();
     return out;
 }
 

@@ -7,6 +7,15 @@
 // be queried standalone or be a logical component of databases managed
 // by several different receptionists (the paper's transparency
 // requirement).
+//
+// Collections are *live* (DESIGN.md §16): ingest() feeds new documents
+// through the collection's own text pipeline into an in-memory delta
+// index, every query path evaluates the merged main+delta collection
+// (byte-identical to a from-scratch rebuild of the combination), and
+// compact() — synchronously or on the background compaction thread —
+// folds the delta into a fresh compressed snapshot, swapping it in
+// atomically. Both ingestion and compaction bump the collection
+// generation, which is what lets receptionist caches notice the change.
 #pragma once
 
 #include <array>
@@ -16,19 +25,34 @@
 #include <string>
 
 #include "dir/protocol.h"
-#include "index/inverted_index.h"
+#include "dir/snapshot.h"
 #include "net/message.h"
-#include "rank/similarity.h"
-#include "store/docstore.h"
-#include "text/pipeline.h"
 
 namespace teraphim::dir {
 
 class Librarian {
 public:
-    Librarian(std::string name, index::InvertedIndex index, store::DocumentStore store,
-              text::Pipeline pipeline = text::Pipeline{},
-              const rank::SimilarityMeasure& measure = rank::cosine_log_tf());
+    Librarian(std::string name, CollectionSnapshot snapshot);
+
+    /// Pre-live-collections constructor, kept as a shim for one release.
+    /// Prefer assembling a CollectionSnapshot: the snapshot travels
+    /// through compaction whole, and piecewise construction cannot carry
+    /// the skip period the index was compressed with.
+    [[deprecated("assemble a CollectionSnapshot instead")]] Librarian(
+        std::string name, index::InvertedIndex index, store::DocumentStore store,
+        text::Pipeline pipeline = text::Pipeline{},
+        const rank::SimilarityMeasure& measure = rank::cosine_log_tf());
+
+    /// Joins the background compaction worker. Queries must have
+    /// drained; references returned by index()/store() die with the
+    /// librarian.
+    ~Librarian();
+    Librarian(const Librarian&) = delete;
+    Librarian& operator=(const Librarian&) = delete;
+    // A background worker and outstanding snapshot references pin the
+    // object's address: heap-allocate (deployment.h does) to relocate.
+    Librarian(Librarian&&) = delete;
+    Librarian& operator=(Librarian&&) = delete;
 
     /// Single protocol entry point: decodes the request, performs the
     /// work, returns the encoded response. Never throws for malformed
@@ -47,44 +71,94 @@ public:
     /// Snapshot of metrics(), wire-ready; what MetricsRequest answers.
     MetricsResponse metrics_snapshot() const;
 
+    /// Adds documents to the live collection: pipeline → delta index,
+    /// published copy-on-write, generation bumped. Thread-safe against
+    /// concurrent queries and other writers.
+    IngestResponse ingest(const IngestRequest& req);
+
+    /// req.wait = true folds the delta synchronously; false kicks the
+    /// background compaction thread and returns immediately (the
+    /// response then reports the pre-compaction state).
+    CompactResponse compact(const CompactRequest& req);
+
+    /// Synchronous compaction. Returns false when the delta was empty.
+    bool compact_now();
+
     const std::string& name() const { return name_; }
-    const index::InvertedIndex& index() const { return index_; }
-    const store::DocumentStore& store() const { return store_; }
-    const text::Pipeline& pipeline() const { return pipeline_; }
+
+    /// The currently served snapshot. The reference stays valid for the
+    /// librarian's lifetime (superseded snapshots are retired, not
+    /// freed), but after a compaction it is *stale* — re-read to see the
+    /// folded collection.
+    const index::InvertedIndex& index() const;
+    const store::DocumentStore& store() const;
+    const text::Pipeline& pipeline() const;
+
+    /// Current (snapshot, delta) pair, captured atomically.
+    std::shared_ptr<const CollectionSnapshot> snapshot() const;
+    std::shared_ptr<const LiveDelta> delta() const;
+
+    /// Documents in the live collection: main index plus delta.
+    std::uint32_t num_documents() const;
+    std::uint32_t delta_documents() const;
+
+    /// External id of any live document — stored or still in the delta.
+    /// By value: a delta document's id lives in a copy-on-write overlay
+    /// a concurrent ingest may retire.
+    std::string external_id(std::uint32_t doc) const;
+
+    /// A standalone merged main+delta index — what compaction would
+    /// produce, byte-identical to a from-scratch build of the combined
+    /// collection. CV/CI re-prepare uses it to refresh global state
+    /// without forcing a compaction.
+    index::InvertedIndex materialize_index() const;
 
     /// The collection generation this librarian is serving, starting at
     /// 1. Stamped onto Stats/Rank/Candidate responses so receptionists
     /// can tell when cached state predates the collection they are now
-    /// talking to. Bump it whenever the served collection changes
-    /// (re-index, snapshot swap); receptionist caches keyed on the old
-    /// generation flush themselves on the next contact.
+    /// talking to. Bumped by ingest() and compaction (and available to
+    /// tests via bump_generation()); receptionist caches keyed on the
+    /// old generation flush themselves on the next contact.
     std::uint64_t generation() const { return generation_->load(std::memory_order_relaxed); }
     void bump_generation() { generation_->fetch_add(1, std::memory_order_relaxed); }
 
     /// This librarian's own metric home (request counts by type, service
-    /// latency, error count), recorded by handle() and pulled remotely
-    /// via the MetricsRequest protocol message. Independent of the
-    /// process-global registry so each librarian in a federation —
-    /// in-process or across machines — reports its own numbers.
+    /// latency, error count, ingest/compaction counters, collection
+    /// gauges), recorded by handle() and pulled remotely via the
+    /// MetricsRequest protocol message. Independent of the process-global
+    /// registry so each librarian in a federation — in-process or across
+    /// machines — reports its own numbers.
     obs::MetricsRegistry& metrics() { return *metrics_; }
     const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
 private:
+    struct LiveCore;
+    struct LiveView {
+        std::shared_ptr<const CollectionSnapshot> snapshot;
+        std::shared_ptr<const LiveDelta> delta;
+    };
+
     void count_request(net::MessageType type);
+    LiveView view() const;
+    void refresh_collection_gauges(const LiveView& v);
 
     std::string name_;
-    index::InvertedIndex index_;
-    store::DocumentStore store_;
-    text::Pipeline pipeline_;
-    const rank::SimilarityMeasure* measure_;
-    // Behind unique_ptr so Librarian stays movable (the registry owns a
-    // mutex) and handle pointers stay stable.
+    // Snapshot/delta pointers, writer serialization, retired snapshots,
+    // and the background compaction worker; heap-held so the worker's
+    // reference survives until the destructor joins it.
+    std::unique_ptr<LiveCore> live_;
+    // Behind unique_ptr so handle pointers stay stable (the registry
+    // owns a mutex).
     std::unique_ptr<obs::MetricsRegistry> metrics_;
-    // Same movability reason: atomics cannot be moved.
     std::unique_ptr<std::atomic<std::uint64_t>> generation_;
     obs::Histogram* request_latency_ = nullptr;
     obs::Counter* errors_total_ = nullptr;
-    std::array<obs::Counter*, 9> requests_by_type_{};  // parallel to kRequestTypes
+    obs::Counter* ingest_documents_total_ = nullptr;
+    obs::Counter* compactions_total_ = nullptr;
+    obs::Gauge* collection_generation_ = nullptr;
+    obs::Gauge* collection_docs_ = nullptr;
+    obs::Gauge* collection_delta_docs_ = nullptr;
+    std::array<obs::Counter*, 11> requests_by_type_{};  // parallel to kRequestTypes
 };
 
 }  // namespace teraphim::dir

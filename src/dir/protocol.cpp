@@ -338,6 +338,82 @@ BooleanResponse BooleanResponse::decode(const net::Message& m) {
     return out;
 }
 
+// ---- Live collections ------------------------------------------------------
+
+net::Message IngestRequest::encode() const {
+    net::Writer w;
+    w.vec(docs, [](net::Writer& wr, const IngestDocument& d) {
+        wr.str(d.external_id);
+        wr.str(d.text);
+    });
+    return finish(net::MessageType::IngestRequest, w);
+}
+
+IngestRequest IngestRequest::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::IngestRequest);
+    net::Reader r(m.payload);
+    IngestRequest out;
+    out.docs = r.vec<IngestDocument>([](net::Reader& rd) {
+        IngestDocument d;
+        d.external_id = rd.str();
+        d.text = rd.str();
+        return d;
+    });
+    return out;
+}
+
+net::Message IngestResponse::encode() const {
+    net::Writer w;
+    w.u32(accepted);
+    w.u32(first_doc);
+    w.u32(delta_documents);
+    w.u64(generation);
+    return finish(net::MessageType::IngestResponse, w);
+}
+
+IngestResponse IngestResponse::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::IngestResponse);
+    net::Reader r(m.payload);
+    IngestResponse out;
+    out.accepted = r.u32();
+    out.first_doc = r.u32();
+    out.delta_documents = r.u32();
+    out.generation = r.u64();
+    return out;
+}
+
+net::Message CompactRequest::encode() const {
+    net::Writer w;
+    w.u8(wait ? 1 : 0);
+    return finish(net::MessageType::CompactRequest, w);
+}
+
+CompactRequest CompactRequest::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::CompactRequest);
+    net::Reader r(m.payload);
+    CompactRequest out;
+    out.wait = r.u8() != 0;
+    return out;
+}
+
+net::Message CompactResponse::encode() const {
+    net::Writer w;
+    w.u8(compacted ? 1 : 0);
+    w.u32(num_documents);
+    w.u64(generation);
+    return finish(net::MessageType::CompactResponse, w);
+}
+
+CompactResponse CompactResponse::decode(const net::Message& m) {
+    expect_type(m, net::MessageType::CompactResponse);
+    net::Reader r(m.payload);
+    CompactResponse out;
+    out.compacted = r.u8() != 0;
+    out.num_documents = r.u32();
+    out.generation = r.u64();
+    return out;
+}
+
 // ---- Metrics ---------------------------------------------------------------
 
 namespace {

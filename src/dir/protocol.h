@@ -169,6 +169,56 @@ struct BooleanResponse {
     static BooleanResponse decode(const net::Message& m);
 };
 
+// ---- Live collections (ingest / compaction) -------------------------------
+
+/// One document to add to a librarian's live collection.
+struct IngestDocument {
+    std::string external_id;
+    std::string text;
+};
+
+/// Adds documents to a running librarian: they enter the in-memory
+/// delta index through the librarian's own text pipeline and are
+/// immediately searchable, merged with the main index at query time.
+/// Ingestion bumps the collection generation — receptionists holding
+/// cached answers learn of the change on their next contact.
+struct IngestRequest {
+    std::vector<IngestDocument> docs;
+
+    net::Message encode() const;
+    static IngestRequest decode(const net::Message& m);
+};
+
+struct IngestResponse {
+    std::uint32_t accepted = 0;       ///< documents absorbed by the delta
+    std::uint32_t first_doc = 0;      ///< doc number assigned to docs[0]
+    std::uint32_t delta_documents = 0;  ///< delta size after the batch
+    std::uint64_t generation = 0;     ///< generation after the batch
+
+    net::Message encode() const;
+    static IngestResponse decode(const net::Message& m);
+};
+
+/// Triggers a compaction: the delta is folded into a fresh compressed
+/// index + document store, the snapshot atomically swapped, and the
+/// generation bumped. `wait` = true blocks until the swap completes;
+/// false kicks the background compaction thread and returns.
+struct CompactRequest {
+    bool wait = true;
+
+    net::Message encode() const;
+    static CompactRequest decode(const net::Message& m);
+};
+
+struct CompactResponse {
+    bool compacted = false;        ///< false when the delta was empty (no-op)
+    std::uint32_t num_documents = 0;  ///< main-index size after the call
+    std::uint64_t generation = 0;
+
+    net::Message encode() const;
+    static CompactResponse decode(const net::Message& m);
+};
+
 // ---- Metrics pull (observability) -----------------------------------------
 
 /// Asks a librarian for a snapshot of its obs::MetricsRegistry. Sent

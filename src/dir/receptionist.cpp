@@ -1022,33 +1022,37 @@ QueryAnswer Receptionist::rank_impl(std::string_view query_text, std::size_t dep
     return answer;
 }
 
-QueryAnswer Receptionist::rank(std::string_view query_text, std::size_t depth) {
-    return rank(query_text, depth, QueryBudget::start(options_.overload.total_budget_ms));
-}
-
-QueryAnswer Receptionist::rank(std::string_view query_text, std::size_t depth,
-                               const QueryBudget& budget) {
+QueryAnswer Receptionist::query(const QueryRequest& req) {
+    const std::size_t depth = req.depth == 0 ? options_.answers : req.depth;
+    const QueryBudget budget = req.budget.has_value()
+                                   ? *req.budget
+                                   : QueryBudget::start(options_.overload.total_budget_ms);
     util::Timer timer;
-    QueryAnswer answer = rank_impl(query_text, depth, &budget);
-    answer.trace.timing.total_ms = timer.elapsed_ms();
-    observe_query(answer.trace);
-    return answer;
-}
-
-QueryAnswer Receptionist::search(std::string_view query_text) {
-    return search(query_text, QueryBudget::start(options_.overload.total_budget_ms));
-}
-
-QueryAnswer Receptionist::search(std::string_view query_text, const QueryBudget& budget) {
-    util::Timer timer;
-    QueryAnswer answer = rank_impl(query_text, options_.answers, &budget);
-    {
+    QueryAnswer answer = rank_impl(req.text, depth, &budget);
+    if (req.fetch) {
         obs::Span fetch_span(&answer.trace.timing.fetch_ms);
         fetch_documents(answer, &budget);
     }
     answer.trace.timing.total_ms = timer.elapsed_ms();
     observe_query(answer.trace);
     return answer;
+}
+
+QueryAnswer Receptionist::rank(std::string_view query_text, std::size_t depth) {
+    return query({.text = query_text, .depth = depth});
+}
+
+QueryAnswer Receptionist::rank(std::string_view query_text, std::size_t depth,
+                               const QueryBudget& budget) {
+    return query({.text = query_text, .depth = depth, .budget = budget});
+}
+
+QueryAnswer Receptionist::search(std::string_view query_text) {
+    return query({.text = query_text, .fetch = true});
+}
+
+QueryAnswer Receptionist::search(std::string_view query_text, const QueryBudget& budget) {
+    return query({.text = query_text, .fetch = true, .budget = budget});
 }
 
 void Receptionist::fetch_documents(QueryAnswer& answer, const QueryBudget* budget) {
@@ -1228,6 +1232,33 @@ std::vector<GlobalResult> Receptionist::boolean(std::string_view expression) {
         }
     }
     return out;  // already sorted by (librarian, doc)
+}
+
+IngestResponse Receptionist::ingest(std::size_t target, const IngestRequest& req) {
+    TERAPHIM_ASSERT_MSG(target < targets_.size(), "ingest target out of range");
+    // Every replica of a target must serve the same subcollection, so a
+    // write goes to all of them. Strict (throws on a dead replica): a
+    // half-applied ingest would leave the set serving different content,
+    // which no retry policy can repair from here.
+    const net::Message request = req.encode();
+    std::optional<IngestResponse> first;
+    for (std::size_t r = 0; r < targets_[target].replicas(); ++r) {
+        IngestResponse resp = IngestResponse::decode(targets_[target].channel(r).exchange(request));
+        if (!first.has_value()) first = std::move(resp);
+    }
+    return *first;
+}
+
+CompactResponse Receptionist::compact(std::size_t target, const CompactRequest& req) {
+    TERAPHIM_ASSERT_MSG(target < targets_.size(), "compact target out of range");
+    const net::Message request = req.encode();
+    std::optional<CompactResponse> first;
+    for (std::size_t r = 0; r < targets_[target].replicas(); ++r) {
+        CompactResponse resp =
+            CompactResponse::decode(targets_[target].channel(r).exchange(request));
+        if (!first.has_value()) first = std::move(resp);
+    }
+    return *first;
 }
 
 std::vector<obs::MetricSample> Receptionist::pull_librarian_metrics() {

@@ -187,6 +187,27 @@ struct ReceptionistOptions {
     cache::CacheOptions cache;
 };
 
+/// One user query, fully specified. Collapses the rank()/search()
+/// overload sprawl into a single request value: the text, how deep to
+/// rank, whether to fetch documents, and (optionally) a caller-started
+/// deadline budget. The legacy overloads now build one of these and
+/// delegate to query().
+struct QueryRequest {
+    std::string_view text;
+
+    /// Ranking depth. 0 (default) means "the configured answer count"
+    /// (ReceptionistOptions::answers) — what search() always used.
+    std::size_t depth = 0;
+
+    /// Fetch the top documents (the paper's step 4)? false = rank only.
+    bool fetch = false;
+
+    /// Caller-started deadline budget — lets an open-loop client start
+    /// the clock at arrival time. Disengaged (default) starts a fresh
+    /// budget from overload.total_budget_ms at query() entry.
+    std::optional<QueryBudget> budget;
+};
+
 /// The user-level answer: the merged global ranking, the fetched
 /// document payloads (empty after rank(), aligned with `ranking` after
 /// search()), and the work trace.
@@ -243,6 +264,12 @@ public:
     PrepareSummary prepare(std::span<const index::InvertedIndex* const> indexes_for_ci = {},
                            std::span<const std::uint32_t> ci_leaf_targets = {});
 
+    /// The single query entry point: ranks req.text to req.depth and,
+    /// when req.fetch is set, fetches the top documents (steps 1-4 of
+    /// the paper's method). Every rank()/search() overload delegates
+    /// here.
+    QueryAnswer query(const QueryRequest& req);
+
     /// Steps 1-3: produce the global ranking to `depth` (without
     /// fetching documents). Table 1 uses depth 1000; Tables 3-4 use 20.
     /// Starts a fresh deadline budget from overload.total_budget_ms.
@@ -262,6 +289,22 @@ public:
     /// Distributed Boolean query: the union of the librarians' result
     /// sets (Section 1).
     std::vector<GlobalResult> boolean(std::string_view expression);
+
+    // --- live collections (DESIGN.md §16) -----------------------------
+    /// Adds documents to fan-out slot `target`'s collection. The request
+    /// is applied to *every replica* of the target (replicas must keep
+    /// serving identical content); the first replica's response is
+    /// returned. Strict: a replica that cannot be reached throws, since
+    /// a half-applied ingest would desynchronize the replica set.
+    /// The next query against the slot will observe the generation bump
+    /// and flush this receptionist's caches.
+    IngestResponse ingest(std::size_t target, const IngestRequest& req);
+
+    /// Triggers compaction on every replica of slot `target` (wait=true
+    /// blocks until each has folded its delta). First replica's response
+    /// is returned. Note CV/CI global state is refreshed only by the
+    /// next prepare() — see Federation::reprepare().
+    CompactResponse compact(std::size_t target, const CompactRequest& req);
 
     // --- aggregator tier (DESIGN.md §15) ------------------------------
     /// Serves the librarian-facing protocol (stats / vocabulary / rank /

@@ -1,0 +1,50 @@
+// CollectionSnapshot: the immutable unit a librarian serves.
+//
+// Live collections (DESIGN.md §16) split a librarian's state into an
+// immutable snapshot — compressed inverted index, compressed document
+// store, the text pipeline that fed both, and the similarity measure —
+// plus a mutable in-memory delta overlay. Queries run against one
+// (snapshot, delta) pair captured atomically; compaction builds a fresh
+// snapshot off to the side and swaps it in without blocking readers.
+//
+// The snapshot is a move-only value type: construction sites build it
+// explicitly and hand it to the librarian whole, replacing the old
+// four-argument constructor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/delta_index.h"
+#include "index/inverted_index.h"
+#include "rank/similarity.h"
+#include "store/docstore.h"
+#include "text/pipeline.h"
+
+namespace teraphim::dir {
+
+struct CollectionSnapshot {
+    index::InvertedIndex index;
+    store::DocumentStore store;
+    text::Pipeline pipeline;
+    const rank::SimilarityMeasure* measure = &rank::cosine_log_tf();
+    /// Skip-period the index was compressed with; compaction reuses it
+    /// so the recompressed lists are identical to a from-scratch build.
+    std::uint32_t skip_period = 64;
+};
+
+/// The mutable overlay on top of a snapshot: delta postings plus both
+/// forms of each delta document — raw text (compaction re-encodes and
+/// uncompressed fetch reads it) and a blob pre-encoded with the
+/// snapshot's codec (compressed fetch ships it without re-encoding,
+/// exactly like a stored document). Published copy-on-write: writers
+/// copy, extend, and atomically swap the shared pointer, so a query
+/// holding the old pointer never observes a half-applied batch.
+struct LiveDelta {
+    index::DeltaIndex index;
+    std::vector<store::Document> docs;
+    std::vector<std::vector<std::uint8_t>> blobs;
+};
+
+}  // namespace teraphim::dir

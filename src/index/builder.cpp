@@ -11,16 +11,25 @@ IndexBuilder::IndexBuilder(BuildOptions options) : options_(options) {}
 DocNum IndexBuilder::add_document(std::span<const std::string> terms) {
     const DocNum doc = num_docs_++;
     scratch_freqs_.clear();
+    scratch_order_.clear();
     for (const auto& term : terms) {
         const TermId id = vocabulary_.add_or_get(term);
         if (id == term_postings_.size()) {
             term_postings_.emplace_back();
             stats_.emplace_back();
         }
-        ++scratch_freqs_[id];
+        const auto [it, fresh] = scratch_freqs_.try_emplace(id, 0U);
+        if (fresh) scratch_order_.push_back(id);
+        ++it->second;
     }
+    // W_d sums the per-term contributions in first-occurrence order — a
+    // property of the document text alone, not of the term-id space. A
+    // DeltaIndex (its own id space) therefore computes bit-identical
+    // weights for the same document, which the live-collection
+    // byte-identity guarantee depends on (DESIGN.md §16).
     double weight_sq = 0.0;
-    for (const auto& [id, fdt] : scratch_freqs_) {
+    for (const TermId id : scratch_order_) {
+        const std::uint32_t fdt = scratch_freqs_[id];
         term_postings_[id].push_back({doc, fdt});
         ++stats_[id].doc_frequency;
         stats_[id].collection_frequency += fdt;

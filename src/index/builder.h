@@ -43,7 +43,11 @@ private:
     std::vector<std::uint32_t> doc_lengths_;
     std::uint32_t num_docs_ = 0;
     // Scratch: per-document term frequencies, reused across documents.
+    // `scratch_order_` lists each distinct term at its first occurrence;
+    // W_d accumulates in that order so the sum is reproducible from the
+    // document text alone (see add_document).
     std::unordered_map<TermId, std::uint32_t> scratch_freqs_;
+    std::vector<TermId> scratch_order_;
 };
 
 }  // namespace teraphim::index

@@ -1,0 +1,151 @@
+#include "index/delta_index.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace teraphim::index {
+
+DocNum DeltaIndex::add_document(std::span<const std::string> terms) {
+    const DocNum doc = base_ + num_documents();
+    // Per-document frequency scratch. `order` records each distinct
+    // term's first occurrence: W_d sums the per-term contributions in
+    // that order, matching IndexBuilder::add_document bit for bit.
+    std::unordered_map<std::uint32_t, std::uint32_t> freqs;
+    std::vector<std::uint32_t> order;
+    freqs.reserve(terms.size());
+    order.reserve(terms.size());
+    for (const auto& term : terms) {
+        std::uint32_t slot;
+        if (const auto it = slots_.find(term); it != slots_.end()) {
+            slot = it->second;
+        } else {
+            slot = static_cast<std::uint32_t>(terms_.size());
+            slots_.emplace(term, slot);
+            terms_.push_back(term);
+            entries_.emplace_back();
+        }
+        const auto [fit, fresh] = freqs.try_emplace(slot, 0U);
+        if (fresh) order.push_back(slot);
+        ++fit->second;
+    }
+    double weight_sq = 0.0;
+    for (const std::uint32_t slot : order) {
+        const std::uint32_t fdt = freqs[slot];
+        TermEntry& e = entries_[slot];
+        e.postings.push_back({doc, fdt});
+        ++e.stats.doc_frequency;
+        e.stats.collection_frequency += fdt;
+        if (fdt > e.max_fdt) e.max_fdt = fdt;
+        ++num_postings_;
+        const double wdt = std::log(static_cast<double>(fdt) + 1.0);
+        weight_sq += wdt * wdt;
+    }
+    doc_weights_.push_back(std::sqrt(weight_sq));
+    doc_lengths_.push_back(static_cast<std::uint32_t>(terms.size()));
+    return doc;
+}
+
+const DeltaIndex::TermEntry* DeltaIndex::find(std::string_view term) const {
+    // unordered_map<string, ...>::find on string_view needs transparent
+    // hashing; the delta is queried with terms that already live in
+    // std::string form almost everywhere, so a temporary key is fine.
+    const auto it = slots_.find(std::string(term));
+    return it == slots_.end() ? nullptr : &entries_[it->second];
+}
+
+double DeltaIndex::doc_weight(DocNum doc) const {
+    TERAPHIM_ASSERT_MSG(doc >= base_ && doc - base_ < doc_weights_.size(),
+                        "delta doc_weight out of range");
+    return doc_weights_[doc - base_];
+}
+
+std::uint32_t DeltaIndex::doc_length(DocNum doc) const {
+    TERAPHIM_ASSERT_MSG(doc >= base_ && doc - base_ < doc_lengths_.size(),
+                        "delta doc_length out of range");
+    return doc_lengths_[doc - base_];
+}
+
+double DeltaIndex::min_positive_doc_weight() const {
+    double min_wd = 0.0;
+    for (const double wd : doc_weights_) {
+        if (wd > 0.0 && (min_wd == 0.0 || wd < min_wd)) min_wd = wd;
+    }
+    return min_wd;
+}
+
+std::uint64_t DeltaIndex::approx_bytes() const {
+    std::uint64_t bytes = num_postings_ * sizeof(Posting);
+    bytes += doc_weights_.size() * (sizeof(double) + sizeof(std::uint32_t));
+    for (const auto& term : terms_) {
+        bytes += term.size() + sizeof(TermEntry) + 2 * sizeof(void*);
+    }
+    return bytes;
+}
+
+InvertedIndex merge_delta(const InvertedIndex& main, const DeltaIndex& delta,
+                          std::uint32_t skip_period) {
+    TERAPHIM_ASSERT_MSG(delta.base_documents() == main.num_documents(),
+                        "delta was built over a different base collection");
+    const std::uint32_t n_total = main.num_documents() + delta.num_documents();
+
+    // Vocabulary: main ids first (unchanged), then delta-only terms in
+    // first-occurrence order — the id assignment a from-scratch build
+    // over the concatenated documents would produce.
+    Vocabulary vocab;
+    std::vector<TermStats> stats;
+    const std::size_t main_terms = main.vocabulary().size();
+    stats.reserve(main_terms + delta.num_terms());
+    for (TermId id = 0; id < main_terms; ++id) {
+        const TermId assigned = vocab.add_or_get(main.vocabulary().term(id));
+        TERAPHIM_ASSERT_MSG(assigned == id, "vocabulary copy must preserve ids");
+        stats.push_back(main.stats(id));
+    }
+
+    // Delta postings per merged term id (empty span when untouched).
+    std::vector<const DeltaIndex::TermEntry*> extra(main_terms, nullptr);
+    for (std::size_t slot = 0; slot < delta.num_terms(); ++slot) {
+        const DeltaIndex::TermEntry& e = delta.entry(slot);
+        const TermId id = vocab.add_or_get(delta.term(slot));
+        if (id < main_terms) {
+            extra[id] = &e;
+            stats[id].doc_frequency += e.stats.doc_frequency;
+            stats[id].collection_frequency += e.stats.collection_frequency;
+        } else {
+            extra.push_back(&e);
+            stats.push_back(e.stats);
+        }
+    }
+
+    std::vector<PostingsList> lists;
+    lists.reserve(extra.size());
+    for (TermId id = 0; id < extra.size(); ++id) {
+        std::vector<Posting> postings;
+        if (id < main_terms) postings = main.postings(id).decode_all();
+        if (extra[id] != nullptr) {
+            // Every delta doc is numbered past every main doc, so the
+            // concatenation stays sorted by strictly increasing doc.
+            postings.insert(postings.end(), extra[id]->postings.begin(),
+                            extra[id]->postings.end());
+        }
+        lists.push_back(PostingsList::build(postings, n_total, skip_period));
+    }
+
+    std::vector<double> doc_weights(main.doc_weights().begin(), main.doc_weights().end());
+    std::vector<std::uint32_t> doc_lengths;
+    doc_weights.reserve(n_total);
+    doc_lengths.reserve(n_total);
+    for (DocNum d = 0; d < main.num_documents(); ++d) {
+        doc_lengths.push_back(main.doc_length(d));
+    }
+    for (DocNum d = 0; d < delta.num_documents(); ++d) {
+        const DocNum global = delta.base_documents() + d;
+        doc_weights.push_back(delta.doc_weight(global));
+        doc_lengths.push_back(delta.doc_length(global));
+    }
+
+    return InvertedIndex(std::move(vocab), std::move(stats), std::move(lists),
+                         std::move(doc_weights), std::move(doc_lengths));
+}
+
+}  // namespace teraphim::index

@@ -1,0 +1,102 @@
+// In-memory delta index for live collections.
+//
+// A librarian's main InvertedIndex is immutable; a DeltaIndex absorbs
+// documents added after it was built. Delta documents are numbered on
+// top of a base collection of `base_documents()` docs, so delta doc i
+// carries the global number base + i — exactly the number it would have
+// received had it been present in a from-scratch build of the combined
+// collection. add_document() reproduces IndexBuilder's W_d arithmetic
+// bit for bit (including the order in which per-term contributions are
+// summed), which is what lets query-time main+delta merging and
+// merge_delta() both return rankings byte-identical to that rebuild
+// (DESIGN.md §16).
+//
+// The type is copyable on purpose: ingestion publishes a new delta by
+// copy-on-write (copy, extend, atomically swap a shared_ptr) so query
+// threads never observe a half-applied batch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "index/inverted_index.h"
+#include "index/postings.h"
+#include "index/vocabulary.h"
+
+namespace teraphim::index {
+
+class DeltaIndex {
+public:
+    /// Per-term state. Postings carry *global* doc numbers (>= base),
+    /// sorted by construction since documents arrive in number order.
+    struct TermEntry {
+        TermStats stats;
+        std::uint32_t max_fdt = 0;
+        std::vector<Posting> postings;
+    };
+
+    DeltaIndex() = default;
+    explicit DeltaIndex(std::uint32_t base_documents) : base_(base_documents) {}
+
+    /// Adds the next document (terms in occurrence order, already
+    /// normalised by the pipeline). Returns the global doc number.
+    DocNum add_document(std::span<const std::string> terms);
+
+    std::uint32_t base_documents() const { return base_; }
+    std::uint32_t num_documents() const {
+        return static_cast<std::uint32_t>(doc_weights_.size());
+    }
+    bool empty() const { return doc_weights_.empty(); }
+
+    /// Term lookup by string (the delta keeps its own term-id space; ids
+    /// never leave this class). Null when the term has no delta postings.
+    const TermEntry* find(std::string_view term) const;
+
+    /// W_d of a delta document, addressed by *global* doc number.
+    double doc_weight(DocNum doc) const;
+    std::uint32_t doc_length(DocNum doc) const;
+
+    /// Smallest strictly positive delta W_d (0 when none). Combined with
+    /// the main index's value it gives pruning its most favourable
+    /// normalisation denominator over the merged collection.
+    double min_positive_doc_weight() const;
+
+    /// Distinct terms with at least one delta posting, in first-occurrence
+    /// order (the order a from-scratch rebuild would assign ids to terms
+    /// the main vocabulary lacks).
+    std::size_t num_terms() const { return terms_.size(); }
+    const std::string& term(std::size_t slot) const { return terms_[slot]; }
+    const TermEntry& entry(std::size_t slot) const { return entries_[slot]; }
+
+    std::uint64_t num_postings() const { return num_postings_; }
+
+    /// Rough resident size, for the compaction trigger and gauges.
+    std::uint64_t approx_bytes() const;
+
+private:
+    std::uint32_t base_ = 0;
+    std::unordered_map<std::string, std::uint32_t> slots_;  // term -> slot
+    std::vector<std::string> terms_;                        // slot -> term
+    std::vector<TermEntry> entries_;                        // slot -> postings
+    std::vector<double> doc_weights_;
+    std::vector<std::uint32_t> doc_lengths_;
+    std::uint64_t num_postings_ = 0;
+};
+
+/// Folds a delta into a fresh compressed index over the combined
+/// collection: each main list is decoded, the term's delta postings
+/// appended (all delta docs are numbered past every main doc), and the
+/// result recompressed with `PostingsList::build` against the combined
+/// universe; delta-only terms are appended to the vocabulary in
+/// first-occurrence order. Because add_document() mirrors IndexBuilder,
+/// the merged index is identical — postings bytes, TPIX bounds, term
+/// stats, and document weights — to one built from scratch over the
+/// concatenated documents with the same skip period.
+InvertedIndex merge_delta(const InvertedIndex& main, const DeltaIndex& delta,
+                          std::uint32_t skip_period = 64);
+
+}  // namespace teraphim::index

@@ -51,6 +51,10 @@ enum class MessageType : std::uint16_t {
     MetricsRequest = 60,   // pull a librarian's obs::MetricsRegistry snapshot
     MetricsResponse = 61,
     Overloaded = 70,  // admission-control rejection; payload = OverloadedInfo
+    IngestRequest = 80,   // live collections: add documents to the delta
+    IngestResponse = 81,
+    CompactRequest = 82,  // fold the delta into a fresh compressed index
+    CompactResponse = 83,
     Shutdown = 99,
 };
 

@@ -1,5 +1,6 @@
 #include "rank/candidate_scorer.h"
 
+#include "rank/merged_cursor.h"
 #include "util/error.h"
 
 namespace teraphim::rank {
@@ -9,25 +10,28 @@ std::vector<SearchResult> score_candidates(const index::InvertedIndex& index,
                                            const std::vector<WeightedQueryTerm>& terms,
                                            double query_norm,
                                            std::span<const std::uint32_t> candidates,
-                                           bool use_skips, CandidateStats* stats) {
+                                           bool use_skips, CandidateStats* stats,
+                                           const index::DeltaIndex* delta) {
     for (std::size_t i = 1; i < candidates.size(); ++i) {
         TERAPHIM_ASSERT_MSG(candidates[i - 1] < candidates[i],
                             "candidates must be sorted and distinct");
     }
+    if (delta != nullptr && delta->empty()) delta = nullptr;
 
     CandidateStats local;
     std::vector<double> scores(candidates.size(), 0.0);
 
     // Term-at-a-time: one pass over each matching term's list, seeking
-    // from candidate to candidate so the cursor only moves forward.
+    // from candidate to candidate so the cursor only moves forward. With
+    // a live delta the cursor chains into the in-memory postings for
+    // candidates numbered past the main index.
     for (const auto& wt : terms) {
         if (wt.weight == 0.0) continue;
-        const auto id = index.vocabulary().lookup(wt.term);
-        if (!id) continue;
-        const index::PostingsList& list = index.postings(*id);
+        const TermPostings tp = find_postings(index, delta, wt.term);
+        if (!tp.found) continue;
         ++local.terms_matched;
 
-        index::PostingsCursor cur(list, use_skips);
+        MergedCursor cur(tp, use_skips);
         for (std::size_t i = 0; i < candidates.size() && !cur.at_end(); ++i) {
             ++local.seeks;
             if (cur.seek(candidates[i])) {
@@ -37,12 +41,10 @@ std::vector<SearchResult> score_candidates(const index::InvertedIndex& index,
         local.postings_decoded += cur.postings_decoded();
         // Charge only the bits actually traversed: proportional to the
         // fraction of the list decoded (the whole point of skipping).
-        local.index_bits_read +=
-            list.count() == 0
-                ? 0
-                : list.total_bits() * cur.postings_decoded() / list.count();
+        local.index_bits_read += cur.bits_traversed();
     }
 
+    const std::uint32_t base = index.num_documents();
     const bool by_doc = measure.normalise_by_document();
     const bool by_query = measure.normalise_by_query() && query_norm > 0.0;
     std::vector<SearchResult> out;
@@ -51,7 +53,9 @@ std::vector<SearchResult> score_candidates(const index::InvertedIndex& index,
         double score = scores[i];
         if (score != 0.0) {
             if (by_doc) {
-                const double wd = index.doc_weight(candidates[i]);
+                const double wd = (delta != nullptr && candidates[i] >= base)
+                                      ? delta->doc_weight(candidates[i])
+                                      : index.doc_weight(candidates[i]);
                 score = wd > 0.0 ? score / wd : 0.0;
             }
             if (by_query) score /= query_norm;

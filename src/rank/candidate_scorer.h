@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "index/delta_index.h"
 #include "index/inverted_index.h"
 #include "rank/similarity.h"
 
@@ -32,12 +33,15 @@ struct CandidateStats {
 /// candidate order; documents matching no query term get score 0.
 ///
 /// `query_norm` is W_q (pass the receptionist's global norm in CI mode).
+/// `delta`, when non-null, extends the collection with live documents
+/// (numbered past the main index); candidates may then address them.
 std::vector<SearchResult> score_candidates(const index::InvertedIndex& index,
                                            const SimilarityMeasure& measure,
                                            const std::vector<WeightedQueryTerm>& terms,
                                            double query_norm,
                                            std::span<const std::uint32_t> candidates,
                                            bool use_skips = true,
-                                           CandidateStats* stats = nullptr);
+                                           CandidateStats* stats = nullptr,
+                                           const index::DeltaIndex* delta = nullptr);
 
 }  // namespace teraphim::rank

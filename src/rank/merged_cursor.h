@@ -1,0 +1,121 @@
+// Chained main+delta postings traversal for live collections.
+//
+// A query term's postings over a live collection are the main index's
+// compressed list followed by the term's in-memory delta postings —
+// every delta document is numbered past every main document, so the
+// concatenation is exactly the single sorted list a from-scratch
+// rebuild of the combined collection would hold. MergedCursor presents
+// that concatenation behind the PostingsCursor interface (doc/fdt/next/
+// seek), which is what lets the exhaustive and MaxScore-pruned
+// evaluators perform the *same accumulator additions in the same order*
+// as they would against the rebuilt index — the heart of the
+// byte-identity guarantee in DESIGN.md §16. With an empty delta the
+// cursor is a transparent pass-through, so the frozen-collection hot
+// path is untouched.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "index/delta_index.h"
+#include "index/inverted_index.h"
+#include "index/postings.h"
+
+namespace teraphim::rank {
+
+/// Resolution of one query term against a main index plus optional
+/// delta: whichever parts exist, and the combined max f_dt for the
+/// pruning upper bound (valid because both parts' maxima are exact).
+struct TermPostings {
+    bool found = false;
+    const index::PostingsList* list = nullptr;  ///< main list; null if absent
+    std::span<const index::Posting> delta;      ///< global doc numbers
+    std::uint32_t max_fdt = 0;
+};
+
+inline TermPostings find_postings(const index::InvertedIndex& index,
+                                  const index::DeltaIndex* delta,
+                                  std::string_view term) {
+    TermPostings out;
+    if (const auto id = index.vocabulary().lookup(term)) {
+        out.found = true;
+        out.list = &index.postings(*id);
+        out.max_fdt = out.list->max_fdt();
+    }
+    if (delta != nullptr) {
+        if (const auto* entry = delta->find(term)) {
+            out.found = true;
+            out.delta = entry->postings;
+            out.max_fdt = std::max(out.max_fdt, entry->max_fdt);
+        }
+    }
+    return out;
+}
+
+class MergedCursor {
+public:
+    MergedCursor(const TermPostings& tp, bool use_skips) : delta_(tp.delta) {
+        if (tp.list != nullptr && !tp.list->empty()) {
+            list_ = tp.list;
+            main_.emplace(*tp.list, use_skips);
+        }
+    }
+
+    bool at_end() const { return !in_main() && di_ >= delta_.size(); }
+    std::uint32_t doc() const { return in_main() ? main_->doc() : delta_[di_].doc; }
+    std::uint32_t fdt() const { return in_main() ? main_->fdt() : delta_[di_].fdt; }
+
+    void next() {
+        if (in_main()) {
+            main_->next();
+        } else {
+            ++di_;
+        }
+    }
+
+    /// Advances to the first posting with doc >= target (never moves
+    /// backwards). Returns true iff positioned on an exact match.
+    bool seek(std::uint32_t target) {
+        if (in_main()) {
+            if (main_->seek(target)) return true;
+            if (!main_->at_end()) return false;  // on a main doc > target
+        }
+        while (di_ < delta_.size() && delta_[di_].doc < target) ++di_;
+        return di_ < delta_.size() && delta_[di_].doc == target;
+    }
+
+    std::uint64_t main_decoded() const { return main_ ? main_->postings_decoded() : 0; }
+
+    /// Delta postings the cursor has stepped onto.
+    std::uint64_t delta_decoded() const {
+        if (delta_.empty()) return 0;
+        const bool on_delta = !in_main() && di_ < delta_.size();
+        return di_ + (on_delta ? 1 : 0);
+    }
+
+    std::uint64_t postings_decoded() const { return main_decoded() + delta_decoded(); }
+
+    /// Bits charged to the cost model: the compressed main list
+    /// proportional to the fraction traversed (exactly as the frozen
+    /// path charges), delta postings at their in-memory size.
+    std::uint64_t bits_traversed() const {
+        std::uint64_t bits = 0;
+        if (list_ != nullptr && list_->count() != 0) {
+            bits += list_->total_bits() * main_decoded() / list_->count();
+        }
+        return bits + delta_decoded() * sizeof(index::Posting) * 8;
+    }
+
+private:
+    bool in_main() const { return main_.has_value() && !main_->at_end(); }
+
+    const index::PostingsList* list_ = nullptr;
+    std::optional<index::PostingsCursor> main_;
+    std::span<const index::Posting> delta_;
+    std::size_t di_ = 0;
+};
+
+}  // namespace teraphim::rank

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "rank/accumulator_table.h"
+#include "rank/merged_cursor.h"
 #include "util/error.h"
 
 namespace teraphim::rank {
@@ -48,27 +49,44 @@ std::vector<SearchResult> heap_finish(std::vector<SearchResult>&& heap) {
     return std::move(heap);
 }
 
-/// Bits charged for a partially traversed list: proportional to the
-/// fraction of postings the cursor actually decoded (total_bits when
-/// the list was read in full — the whole point of skipping).
-std::uint64_t bits_traversed(const index::PostingsList& list, std::uint64_t decoded) {
-    return list.count() == 0 ? 0 : list.total_bits() * decoded / list.count();
-}
-
 }  // namespace
 
 QueryProcessor::QueryProcessor(const index::InvertedIndex& index,
-                               const SimilarityMeasure& measure)
-    : index_(&index), measure_(&measure) {}
+                               const SimilarityMeasure& measure,
+                               const index::DeltaIndex* delta)
+    : index_(&index), measure_(&measure), delta_(delta) {
+    if (delta_ != nullptr) {
+        TERAPHIM_ASSERT_MSG(delta_->base_documents() == index_->num_documents(),
+                            "delta index was built over a different base collection");
+        if (delta_->empty()) delta_ = nullptr;  // frozen path, zero overhead
+    }
+}
+
+double QueryProcessor::merged_min_positive_doc_weight() const {
+    double min_wd = index_->min_positive_doc_weight();
+    if (delta_ != nullptr) {
+        const double dmin = delta_->min_positive_doc_weight();
+        if (dmin > 0.0 && (min_wd == 0.0 || dmin < min_wd)) min_wd = dmin;
+    }
+    return min_wd;
+}
 
 std::vector<WeightedQueryTerm> QueryProcessor::resolve_weights(const Query& query) const {
     std::vector<WeightedQueryTerm> out;
     out.reserve(query.terms.size());
-    const std::uint64_t n = index_->num_documents();
+    // Live collections: query weights come from the *merged* statistics
+    // (N and f_t additive over main + delta), the values a rebuilt
+    // combined index would report.
+    const std::uint64_t n = total_documents();
     for (const QueryTerm& qt : query.terms) {
         std::uint64_t ft = 0;
         if (const auto id = index_->vocabulary().lookup(qt.term)) {
             ft = index_->stats(*id).doc_frequency;
+        }
+        if (delta_ != nullptr) {
+            if (const auto* entry = delta_->find(qt.term)) {
+                ft += entry->stats.doc_frequency;
+            }
         }
         out.push_back({qt.term, measure_->query_weight(qt.fqt, n, ft)});
     }
@@ -106,7 +124,7 @@ std::vector<SearchResult> QueryProcessor::rank_exhaustive(
     const bool flat = policy.accumulators == RankPolicy::Accumulators::Flat;
     std::vector<double> dense;
     AccumulatorTable table(flat ? 4096 : 0);
-    if (!flat) dense.assign(index_->num_documents(), 0.0);
+    if (!flat) dense.assign(total_documents(), 0.0);
 
     // Under a limiting policy, the rarest (highest-weighted) terms go
     // first: they select the documents most likely to rank well, so the
@@ -127,12 +145,11 @@ std::vector<SearchResult> QueryProcessor::rank_exhaustive(
     for (const WeightedQueryTerm* wt : order) {
         if (wt->weight == 0.0) continue;
         if (budget_hit && policy.strategy == RankPolicy::Strategy::Quit) break;
-        const auto id = index_->vocabulary().lookup(wt->term);
-        if (!id) continue;
-        const index::PostingsList& list = index_->postings(*id);
+        const TermPostings tp = find_postings(*index_, delta_, wt->term);
+        if (!tp.found) continue;
         ++local.terms_matched;
         const bool admit_new = !budget_hit;
-        index::PostingsCursor cur(list, policy.use_skips);
+        MergedCursor cur(tp, policy.use_skips);
         if (flat) {
             for (; !cur.at_end(); cur.next()) {
                 table.stage(cur.doc(), wt->weight * measure_->doc_weight(cur.fdt()),
@@ -153,7 +170,7 @@ std::vector<SearchResult> QueryProcessor::rank_exhaustive(
         // Charge what the cursor actually did, not the list totals: the
         // difference matters as soon as a cursor stops early or seeks.
         local.postings_decoded += cur.postings_decoded();
-        local.index_bits_read += bits_traversed(list, cur.postings_decoded());
+        local.index_bits_read += cur.bits_traversed();
         if (limited && live_accumulators >= policy.max_accumulators) budget_hit = true;
     }
 
@@ -165,7 +182,7 @@ std::vector<SearchResult> QueryProcessor::rank_exhaustive(
     const auto normalise = [&](index::DocNum d, double& score) {
         ++local.accumulators_used;
         if (by_doc) {
-            const double wd = index_->doc_weight(d);
+            const double wd = doc_weight_of(d);
             score = wd > 0.0 ? score / wd : 0.0;
         }
         if (by_query) score /= qnorm;
@@ -194,39 +211,38 @@ std::vector<SearchResult> QueryProcessor::rank_pruned(
     RankStats local;
     const bool by_doc = measure_->normalise_by_document();
     const bool by_query = measure_->normalise_by_query() && qnorm > 0.0;
-    const double min_wd = index_->min_positive_doc_weight();
+    const double min_wd = merged_min_positive_doc_weight();
 
     // Matched terms, each with its score upper bound w_qt · w_dt(max
     // f_dt) — valid for every monotone w_dt, which all shipped measures
-    // have. `pos` remembers the original term position: the canonical
-    // score of a surviving document is summed in that order, so it is
-    // bit-identical to the exhaustive accumulator.
+    // have (max_fdt spans main and delta in a live collection). `pos`
+    // remembers the original term position: the canonical score of a
+    // surviving document is summed in that order, so it is bit-identical
+    // to the exhaustive accumulator.
     struct TermState {
         std::size_t pos;
         double weight;
         double ub;
-        const index::PostingsList* list;
-        index::PostingsCursor cur;
+        MergedCursor cur;
     };
     std::vector<TermState> ts;
     ts.reserve(terms.size());
     for (std::size_t i = 0; i < terms.size(); ++i) {
         if (terms[i].weight == 0.0) continue;
-        const auto id = index_->vocabulary().lookup(terms[i].term);
-        if (!id) continue;
+        const TermPostings tp = find_postings(*index_, delta_, terms[i].term);
+        if (!tp.found) continue;
         ++local.terms_matched;
-        const index::PostingsList& list = index_->postings(*id);
-        if (list.empty()) continue;
-        const double ub = terms[i].weight * measure_->doc_weight(list.max_fdt());
-        ts.push_back({i, terms[i].weight, ub, &list,
-                      index::PostingsCursor(list, policy.use_skips)});
+        MergedCursor cur(tp, policy.use_skips);
+        if (cur.at_end()) continue;
+        const double ub = terms[i].weight * measure_->doc_weight(tp.max_fdt);
+        ts.push_back({i, terms[i].weight, ub, std::move(cur)});
     }
     const std::size_t T = ts.size();
 
     const auto account_cursors = [&] {
         for (const TermState& t : ts) {
             local.postings_decoded += t.cur.postings_decoded();
-            local.index_bits_read += bits_traversed(*t.list, t.cur.postings_decoded());
+            local.index_bits_read += t.cur.bits_traversed();
         }
         if (stats != nullptr) *stats = local;
     };
@@ -298,7 +314,7 @@ std::vector<SearchResult> QueryProcessor::rank_pruned(
             }
         }
 
-        const double wd = by_doc ? index_->doc_weight(d) : 1.0;
+        const double wd = by_doc ? doc_weight_of(d) : 1.0;
         bool viable = !(by_doc && wd <= 0.0);  // W_d = 0 scores 0 exhaustively
         const bool full = heap.size() >= k;
         if (viable && full) {

@@ -15,11 +15,17 @@
 // open-addressing table) and an optional MaxScore-style safe-pruned
 // path; all of them return byte-identical top-k rankings (DESIGN.md
 // §14). The defaults reproduce the paper's exhaustive configuration.
+//
+// A processor may additionally be given a DeltaIndex (live collections,
+// DESIGN.md §16): every path then evaluates the merged main+delta
+// collection — chained cursors, combined N / f_t / upper bounds — with
+// results byte-identical to a from-scratch rebuild of the combination.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "index/delta_index.h"
 #include "index/inverted_index.h"
 #include "rank/similarity.h"
 
@@ -87,7 +93,11 @@ struct RankPolicy {
 
 class QueryProcessor {
 public:
-    QueryProcessor(const index::InvertedIndex& index, const SimilarityMeasure& measure);
+    /// `delta`, when non-null, must be built over `index` (its base
+    /// document count equal to the index's N) and outlive the processor;
+    /// queries then run against the merged live collection.
+    QueryProcessor(const index::InvertedIndex& index, const SimilarityMeasure& measure,
+                   const index::DeltaIndex* delta = nullptr);
 
     /// Ranks the whole collection with locally computed query weights and
     /// returns the top `k` by (score desc, doc asc).
@@ -119,8 +129,22 @@ public:
 
     const index::InvertedIndex& index() const { return *index_; }
     const SimilarityMeasure& measure() const { return *measure_; }
+    const index::DeltaIndex* delta() const { return delta_; }
 
 private:
+    /// N of the merged collection (main + delta documents).
+    std::uint32_t total_documents() const {
+        return index_->num_documents() + (delta_ != nullptr ? delta_->num_documents() : 0);
+    }
+    /// W_d across the merged numbering: main docs from the index, delta
+    /// docs (numbered past them) from the delta.
+    double doc_weight_of(index::DocNum doc) const {
+        return (delta_ != nullptr && doc >= index_->num_documents())
+                   ? delta_->doc_weight(doc)
+                   : index_->doc_weight(doc);
+    }
+    double merged_min_positive_doc_weight() const;
+
     std::vector<SearchResult> rank_exhaustive(const std::vector<WeightedQueryTerm>& terms,
                                               double qnorm, std::size_t k,
                                               const RankPolicy& policy, RankStats* stats) const;
@@ -130,6 +154,7 @@ private:
 
     const index::InvertedIndex* index_;
     const SimilarityMeasure* measure_;
+    const index::DeltaIndex* delta_;
 };
 
 /// Extracts the top-k results (score desc, doc asc) from a full

@@ -61,6 +61,20 @@ const std::string& DocumentStore::external_id(DocNum doc) const {
     return external_ids_[doc];
 }
 
+DocumentStore DocumentStore::with_appended(std::span<const Document> docs) const {
+    std::vector<std::string> ids = external_ids_;
+    std::vector<std::vector<std::uint8_t>> blobs = blobs_;
+    ids.reserve(ids.size() + docs.size());
+    blobs.reserve(blobs.size() + docs.size());
+    std::uint64_t raw_bytes = total_raw_;
+    for (const Document& d : docs) {
+        raw_bytes += d.text.size();
+        blobs.push_back(codec_.encode(d.text));
+        ids.push_back(d.external_id);
+    }
+    return DocumentStore(codec_, std::move(ids), std::move(blobs), raw_bytes);
+}
+
 std::uint64_t DocumentStore::raw_bytes(DocNum doc) const {
     // Decoding is cheap relative to network simulation, and this path is
     // used only for accounting of fetched documents (k per query).

@@ -72,6 +72,15 @@ public:
 
     const compress::TextCodec& codec() const { return codec_; }
 
+    /// A new store holding this store's documents followed by `docs`,
+    /// compressed with the *existing* codec (its escape symbol spells
+    /// out tokens the model never saw, so encoding stays lossless; the
+    /// model is simply no longer tuned for the appended text). Used by
+    /// live-collection compaction, which must not re-train the model —
+    /// outstanding compressed-form transfers and accounting stay
+    /// comparable across the swap.
+    DocumentStore with_appended(std::span<const Document> docs) const;
+
 private:
     const std::vector<std::uint8_t>& blob(DocNum doc) const;
 

@@ -1,0 +1,443 @@
+// Live collections (DESIGN.md §16): delta indexing, ingest over the
+// wire, and compaction.
+//
+// The load-bearing property under test is *byte identity*: a federation
+// whose librarians carry un-compacted delta documents must rank exactly
+// like a federation rebuilt from scratch over the combined collection —
+// same documents, same order, same score doubles — in all four
+// methodologies, exhaustive and MaxScore-pruned, in-process and over
+// TCP. Compaction must preserve those rankings while folding the delta
+// into the compressed snapshot, and a compaction racing a query stream
+// must fail zero queries.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dir/deployment.h"
+#include "index/builder.h"
+#include "index/delta_index.h"
+#include "index/persist.h"
+
+namespace teraphim::dir {
+namespace {
+
+corpus::SyntheticCorpus test_corpus() {
+    corpus::CorpusConfig config;
+    config.vocab_size = 3000;
+    config.subcollections = {
+        {"AP", 120, 70.0, 0.4},
+        {"WSJ", 120, 70.0, 0.4},
+        {"FR", 80, 90.0, 0.5},
+        {"ZIFF", 80, 60.0, 0.5},
+    };
+    config.num_long_topics = 3;
+    config.num_short_topics = 3;
+    config.topic_term_floor = 150;
+    config.seed = 77;
+    return generate_corpus(config);
+}
+
+const corpus::SyntheticCorpus& corpus_fixture() {
+    static const corpus::SyntheticCorpus corpus = test_corpus();
+    return corpus;
+}
+
+/// New documents to ingest: drawn from a sibling corpus (same config,
+/// different seed), so they speak the same Zipfian vocabulary as the
+/// base collection without duplicating any document.
+const std::vector<std::vector<store::Document>>& extra_docs() {
+    static const std::vector<std::vector<store::Document>> extras = [] {
+        corpus::CorpusConfig config;
+        config.vocab_size = 3000;
+        config.subcollections = {
+            {"AP", 8, 70.0, 0.4},
+            {"WSJ", 8, 70.0, 0.4},
+            {"FR", 6, 90.0, 0.5},
+            {"ZIFF", 6, 60.0, 0.5},
+        };
+        config.num_long_topics = 1;
+        config.num_short_topics = 1;
+        config.seed = 78;
+        const corpus::SyntheticCorpus fresh = generate_corpus(config);
+        std::vector<std::vector<store::Document>> out;
+        for (const auto& sub : fresh.subcollections) {
+            std::vector<store::Document> docs;
+            for (const auto& d : sub.documents) {
+                docs.push_back({"NEW-" + d.external_id, d.text});
+            }
+            out.push_back(std::move(docs));
+        }
+        return out;
+    }();
+    return extras;
+}
+
+IngestRequest ingest_request(const std::vector<store::Document>& docs) {
+    IngestRequest req;
+    for (const auto& d : docs) req.docs.push_back({d.external_id, d.text});
+    return req;
+}
+
+/// The combined collection, split the same way: subcollection s plus
+/// its extra documents appended — what a from-scratch rebuild indexes.
+std::vector<corpus::Subcollection> combined_parts() {
+    std::vector<corpus::Subcollection> parts = corpus_fixture().subcollections;
+    for (std::size_t s = 0; s < parts.size(); ++s) {
+        for (const auto& d : extra_docs()[s]) parts[s].documents.push_back(d);
+    }
+    return parts;
+}
+
+/// Mono-server shape of the combined collection: the base concatenation
+/// followed by every extra document in ingest order.
+corpus::SyntheticCorpus combined_mono_corpus() {
+    corpus::SyntheticCorpus corpus = corpus_fixture();
+    corpus::Subcollection all;
+    all.name = "ALL";
+    for (const auto& sub : corpus.subcollections) {
+        for (const auto& d : sub.documents) all.documents.push_back(d);
+    }
+    for (const auto& batch : extra_docs()) {
+        for (const auto& d : batch) all.documents.push_back(d);
+    }
+    corpus.subcollections = {std::move(all)};
+    return corpus;
+}
+
+ReceptionistOptions options_for(Mode mode, bool pruned) {
+    ReceptionistOptions o;
+    o.mode = mode;
+    o.answers = 10;
+    o.group_size = 10;
+    o.k_prime = 30;
+    o.pruned_rank = pruned;
+    return o;
+}
+
+/// Byte identity: same documents, same order, same score *doubles*.
+template <typename FedA, typename FedB>
+void expect_identical_rankings(FedA& live, FedB& rebuilt, std::size_t depth,
+                               const std::string& what) {
+    for (const auto* queries :
+         {&corpus_fixture().short_queries, &corpus_fixture().long_queries}) {
+        for (const auto& q : queries->queries) {
+            const QueryAnswer a = live.receptionist().rank(q.text, depth);
+            const QueryAnswer b = rebuilt.receptionist().rank(q.text, depth);
+            ASSERT_EQ(a.ranking.size(), b.ranking.size()) << what << " query " << q.id;
+            for (std::size_t i = 0; i < a.ranking.size(); ++i) {
+                ASSERT_EQ(a.ranking[i], b.ranking[i]) << what << " query " << q.id
+                                                      << " rank " << i;
+                ASSERT_EQ(a.ranking[i].score, b.ranking[i].score)
+                    << what << " query " << q.id << " rank " << i;
+                ASSERT_EQ(live.external_id(a.ranking[i]), rebuilt.external_id(b.ranking[i]))
+                    << what << " query " << q.id << " rank " << i;
+            }
+        }
+    }
+}
+
+// ---- index-level byte identity --------------------------------------------
+
+std::string file_bytes(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+TEST(DeltaIndex, MergeMatchesScratchRebuildByteForByte) {
+    // merge_delta(main, delta) must produce the index a from-scratch
+    // build of the combined collection produces — verified on the
+    // serialized TPIX bytes, the strongest equality the format offers.
+    text::Pipeline pipeline;
+    const auto& base = corpus_fixture().subcollections[0].documents;
+    const auto& extra = extra_docs()[0];
+
+    index::IndexBuilder main_builder({/*skip_period=*/64});
+    for (const auto& d : base) main_builder.add_document(pipeline.terms(d.text));
+    const index::InvertedIndex main = std::move(main_builder).build();
+
+    index::DeltaIndex delta(main.num_documents());
+    for (const auto& d : extra) delta.add_document(pipeline.terms(d.text));
+    const index::InvertedIndex merged = index::merge_delta(main, delta, 64);
+
+    index::IndexBuilder scratch_builder({/*skip_period=*/64});
+    for (const auto& d : base) scratch_builder.add_document(pipeline.terms(d.text));
+    for (const auto& d : extra) scratch_builder.add_document(pipeline.terms(d.text));
+    const index::InvertedIndex scratch = std::move(scratch_builder).build();
+
+    const std::string merged_path = std::string(::testing::TempDir()) + "/merged.tpix";
+    const std::string scratch_path = std::string(::testing::TempDir()) + "/scratch.tpix";
+    index::save_index(merged, merged_path);
+    index::save_index(scratch, scratch_path);
+    EXPECT_EQ(file_bytes(merged_path), file_bytes(scratch_path));
+    std::remove(merged_path.c_str());
+    std::remove(scratch_path.c_str());
+}
+
+TEST(DeltaIndex, EmptyDeltaMergeIsIdentity) {
+    text::Pipeline pipeline;
+    const auto& base = corpus_fixture().subcollections[1].documents;
+    index::IndexBuilder builder({64});
+    for (const auto& d : base) builder.add_document(pipeline.terms(d.text));
+    const index::InvertedIndex main = std::move(builder).build();
+
+    const index::DeltaIndex delta(main.num_documents());
+    const index::InvertedIndex merged = index::merge_delta(main, delta, 64);
+    EXPECT_EQ(merged.num_documents(), main.num_documents());
+    EXPECT_EQ(merged.index_stats().num_postings, main.index_stats().num_postings);
+    EXPECT_EQ(merged.index_stats().postings_bits, main.index_stats().postings_bits);
+}
+
+// ---- in-process byte identity, all four methodologies ----------------------
+
+using ModeParam = std::tuple<Mode, bool>;
+
+std::string mode_param_name(const ::testing::TestParamInfo<ModeParam>& info) {
+    std::string name;
+    switch (std::get<0>(info.param)) {
+        case Mode::MonoServer: name = "MS"; break;
+        case Mode::CentralNothing: name = "CN"; break;
+        case Mode::CentralVocabulary: name = "CV"; break;
+        case Mode::CentralIndex: name = "CI"; break;
+    }
+    return name + (std::get<1>(info.param) ? "Pruned" : "Exhaustive");
+}
+
+class IngestByteIdentity : public ::testing::TestWithParam<ModeParam> {};
+
+TEST_P(IngestByteIdentity, LiveDeltaMatchesScratchRebuild) {
+    const auto [mode, pruned] = GetParam();
+    const auto options = options_for(mode, pruned);
+
+    auto live = mode == Mode::MonoServer
+                    ? Federation::create(corpus_fixture(), options)
+                    : Federation::create(corpus_fixture().subcollections, options);
+    auto rebuilt = mode == Mode::MonoServer
+                       ? Federation::create(combined_mono_corpus(), options)
+                       : Federation::create(combined_parts(), options);
+
+    if (mode == Mode::MonoServer) {
+        // The mono librarian absorbs every batch, in subcollection order.
+        for (const auto& batch : extra_docs()) {
+            const IngestResponse resp = live.librarian(0).ingest(ingest_request(batch));
+            EXPECT_EQ(resp.accepted, batch.size());
+        }
+    } else {
+        for (std::size_t s = 0; s < live.num_librarians(); ++s) {
+            const std::uint64_t before = live.librarian(s).generation();
+            const IngestResponse resp =
+                live.librarian(s).ingest(ingest_request(extra_docs()[s]));
+            EXPECT_EQ(resp.accepted, extra_docs()[s].size());
+            EXPECT_GT(resp.generation, before) << "ingest must bump the generation";
+            EXPECT_EQ(resp.first_doc,
+                      corpus_fixture().subcollections[s].documents.size());
+        }
+    }
+    live.reprepare();
+
+    expect_identical_rankings(live, rebuilt, 50, "delta");
+
+    // Compaction folds the delta without changing a single ranking.
+    for (std::size_t s = 0; s < live.num_librarians(); ++s) {
+        EXPECT_TRUE(live.librarian(s).compact_now());
+        EXPECT_EQ(live.librarian(s).delta_documents(), 0U);
+        EXPECT_FALSE(live.librarian(s).compact_now()) << "empty delta is a no-op";
+    }
+    live.reprepare();
+    expect_identical_rankings(live, rebuilt, 50, "compacted");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, IngestByteIdentity,
+    ::testing::Combine(::testing::Values(Mode::MonoServer, Mode::CentralNothing,
+                                         Mode::CentralVocabulary, Mode::CentralIndex),
+                       ::testing::Bool()),
+    mode_param_name);
+
+// ---- over TCP --------------------------------------------------------------
+
+class TcpIngestByteIdentity : public ::testing::TestWithParam<ModeParam> {};
+
+TEST_P(TcpIngestByteIdentity, WireIngestMatchesScratchRebuild) {
+    const auto [mode, pruned] = GetParam();
+    const auto options = options_for(mode, pruned);
+
+    auto live = TcpFederation::create(corpus_fixture(), options);
+    auto rebuilt = mode == Mode::MonoServer
+                       ? Federation::create(combined_mono_corpus(), options)
+                       : Federation::create(combined_parts(), options);
+
+    // Ingest over the running sockets — the receptionist relays the
+    // IngestRequest frames to every replica of the slot.
+    if (mode == Mode::MonoServer) {
+        for (const auto& batch : extra_docs()) {
+            (void)live.receptionist().ingest(0, ingest_request(batch));
+        }
+    } else {
+        for (std::size_t s = 0; s < live.num_librarians(); ++s) {
+            const IngestResponse resp =
+                live.receptionist().ingest(s, ingest_request(extra_docs()[s]));
+            EXPECT_EQ(resp.accepted, extra_docs()[s].size());
+        }
+    }
+    live.reprepare();
+    expect_identical_rankings(live, rebuilt, 50, "tcp-delta");
+
+    // Wire-triggered compaction; rankings must survive it unchanged.
+    for (std::size_t s = 0; s < live.num_librarians(); ++s) {
+        const std::uint64_t before = live.librarian(s).generation();
+        const CompactResponse resp = live.receptionist().compact(s, {.wait = true});
+        EXPECT_TRUE(resp.compacted);
+        EXPECT_GT(resp.generation, before);
+        EXPECT_EQ(live.librarian(s).delta_documents(), 0U);
+    }
+    live.reprepare();
+    expect_identical_rankings(live, rebuilt, 50, "tcp-compacted");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, TcpIngestByteIdentity,
+    ::testing::Combine(::testing::Values(Mode::MonoServer, Mode::CentralNothing,
+                                         Mode::CentralVocabulary, Mode::CentralIndex),
+                       ::testing::Bool()),
+    mode_param_name);
+
+// ---- document plumbing -----------------------------------------------------
+
+TEST(Ingest, DeltaDocumentsAreFetchableBeforeAndAfterCompaction) {
+    auto lib = build_librarian(corpus_fixture().subcollections[0]);
+    const std::uint32_t base = lib->num_documents();
+    const auto& extra = extra_docs()[0];
+    (void)lib->ingest(ingest_request(extra));
+
+    const auto check = [&](const char* when) {
+        for (std::size_t i = 0; i < extra.size(); ++i) {
+            const std::uint32_t doc = base + static_cast<std::uint32_t>(i);
+            EXPECT_EQ(lib->external_id(doc), extra[i].external_id) << when;
+            // Raw fetch returns the exact ingested text; compressed fetch
+            // round-trips through the snapshot's codec.
+            FetchRequest raw{{doc}, /*send_compressed=*/false};
+            const FetchResponse raw_resp = lib->fetch(raw);
+            ASSERT_EQ(raw_resp.docs.size(), 1U) << when;
+            EXPECT_EQ(std::string(raw_resp.docs[0].payload.begin(),
+                                  raw_resp.docs[0].payload.end()),
+                      extra[i].text)
+                << when;
+            FetchRequest packed{{doc}, /*send_compressed=*/true};
+            const FetchResponse packed_resp = lib->fetch(packed);
+            ASSERT_EQ(packed_resp.docs.size(), 1U) << when;
+            EXPECT_TRUE(packed_resp.docs[0].compressed) << when;
+        }
+    };
+    check("delta");
+    ASSERT_TRUE(lib->compact_now());
+    check("compacted");
+}
+
+TEST(Ingest, StaleGenerationDetectedWithoutReprepare) {
+    auto options = options_for(Mode::CentralVocabulary, false);
+    options.cache.enabled = true;
+    auto fed = Federation::create(corpus_fixture().subcollections, options);
+    const auto& q = corpus_fixture().short_queries.queries[0];
+
+    const QueryAnswer before = fed.receptionist().rank(q.text, 10);
+    EXPECT_FALSE(before.trace.stale_generation);
+    EXPECT_TRUE(fed.receptionist().rank(q.text, 10).trace.served_from_cache);
+
+    (void)fed.librarian(0).ingest(ingest_request(extra_docs()[0]));
+
+    // A cached answer never contacts a librarian, so staleness surfaces
+    // on the first query that actually fans out: it sees the bumped
+    // generation stamped on the responses, is marked stale, and flushes
+    // the caches — including the answer cached above.
+    const auto& q2 = corpus_fixture().short_queries.queries[1];
+    const QueryAnswer revealing = fed.receptionist().rank(q2.text, 10);
+    EXPECT_TRUE(revealing.trace.stale_generation);
+    const QueryAnswer after = fed.receptionist().rank(q.text, 10);
+    EXPECT_FALSE(after.trace.served_from_cache) << "the flush must evict the cached answer";
+
+    fed.reprepare();
+    const QueryAnswer refreshed = fed.receptionist().rank(q.text, 10);
+    EXPECT_FALSE(refreshed.trace.stale_generation);
+}
+
+TEST(Ingest, StatsAndVocabularyTrackTheDelta) {
+    auto lib = build_librarian(corpus_fixture().subcollections[2]);
+    const StatsResponse before = lib->stats();
+    (void)lib->ingest(ingest_request(extra_docs()[2]));
+    const StatsResponse during = lib->stats();
+    EXPECT_EQ(during.num_documents, before.num_documents + extra_docs()[2].size());
+    EXPECT_GE(during.num_terms, before.num_terms);
+
+    // The merged vocabulary dump equals the compacted one: same terms,
+    // same collection-wide document frequencies, sorted order.
+    const VocabularyResponse live_vocab = lib->vocabulary_dump();
+    ASSERT_TRUE(lib->compact_now());
+    const VocabularyResponse compacted_vocab = lib->vocabulary_dump();
+    ASSERT_EQ(live_vocab.entries.size(), compacted_vocab.entries.size());
+    for (std::size_t i = 0; i < live_vocab.entries.size(); ++i) {
+        EXPECT_EQ(live_vocab.entries[i].term, compacted_vocab.entries[i].term);
+        EXPECT_EQ(live_vocab.entries[i].doc_frequency,
+                  compacted_vocab.entries[i].doc_frequency);
+    }
+    const StatsResponse after = lib->stats();
+    EXPECT_EQ(after.num_documents, during.num_documents);
+}
+
+// ---- compaction racing a query stream --------------------------------------
+
+TEST(Ingest, CompactionMidQueryStreamFailsNothing) {
+    auto options = options_for(Mode::CentralVocabulary, false);
+    options.fault.retry.max_attempts = 3;
+    auto fed = TcpFederation::create(corpus_fixture(), options);
+
+    const std::uint64_t gen_before = fed.librarian(0).generation();
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> failed{0};
+    std::thread stream([&] {
+        std::size_t i = 0;
+        const auto& qs = corpus_fixture().short_queries.queries;
+        while (!stop.load(std::memory_order_relaxed)) {
+            try {
+                const QueryAnswer a =
+                    fed.receptionist().rank(qs[i++ % qs.size()].text, 10);
+                if (!a.trace.degraded.ok()) failed.fetch_add(1);
+            } catch (...) {
+                failed.fetch_add(1);
+            }
+            queries.fetch_add(1);
+        }
+    });
+
+    // Ingest + synchronous wire compaction on every librarian while the
+    // stream runs; background (wait = false) compaction on slot 0 too.
+    for (std::size_t s = 0; s < fed.num_librarians(); ++s) {
+        (void)fed.receptionist().ingest(s, ingest_request(extra_docs()[s]));
+        const CompactResponse resp = fed.receptionist().compact(s, {.wait = true});
+        EXPECT_TRUE(resp.compacted);
+    }
+    (void)fed.receptionist().ingest(0, ingest_request(extra_docs()[1]));
+    (void)fed.receptionist().compact(0, {.wait = false});
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+    stop.store(true);
+    stream.join();
+
+    EXPECT_GT(queries.load(), 0U);
+    EXPECT_EQ(failed.load(), 0U) << "a compaction must not fail a single query";
+    EXPECT_GT(fed.librarian(0).generation(), gen_before)
+        << "the compactions must be visible in the generation";
+    // The background compaction drained the second delta too.
+    for (int spin = 0; spin < 100 && fed.librarian(0).delta_documents() != 0; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(fed.librarian(0).delta_documents(), 0U);
+}
+
+}  // namespace
+}  // namespace teraphim::dir

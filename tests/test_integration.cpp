@@ -194,8 +194,9 @@ TEST(Integration, FederationFromPersistedFilesMatchesInMemory) {
         index::save_index(original->index(), prefix + ".tpix");
         store::save_store(original->store(), prefix + ".tpds");
         reloaded.push_back(std::make_unique<Librarian>(
-            original->name(), index::load_index(prefix + ".tpix"),
-            store::load_store(prefix + ".tpds")));
+            original->name(),
+            CollectionSnapshot{index::load_index(prefix + ".tpix"),
+                               store::load_store(prefix + ".tpds")}));
         channels.push_back(std::make_unique<InProcessChannel>(*reloaded.back()));
         std::remove((prefix + ".tpix").c_str());
         std::remove((prefix + ".tpds").c_str());

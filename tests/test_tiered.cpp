@@ -508,5 +508,79 @@ TEST(Tiered, BudgetsDecrementAtEveryTier) {
     EXPECT_LE(leaf_seen->load(), root_seen->load());
 }
 
+// ---- mixed-generation replica sets (DESIGN.md §16) ------------------------
+
+TEST(Tiered, MixedGenerationReplicasStayConsistentAndFlagStaleness) {
+    // Two *distinct* librarians over the same subcollection serve as one
+    // RouteTarget's replicas. Both ingest the same batch, then only one
+    // compacts: the set now serves one collection at two generations —
+    // replica A from its folded snapshot, replica B from main + delta.
+    // Round-robin routing alternates between them; the receptionist must
+    // flag the generation mismatch (and flush its caches) whenever the
+    // compacted replica answers, while every ranking stays byte-identical
+    // to a from-scratch rebuild of the combined collection.
+    auto lib_a = fixture_librarian(0);
+    auto lib_b = fixture_librarian(0);
+
+    IngestRequest batch;
+    for (const auto& d : fixture().subcollections[1].documents) {
+        if (batch.docs.size() == 6) break;
+        batch.docs.push_back({"NEW-" + d.external_id, d.text});
+    }
+    (void)lib_a->ingest(batch);
+    (void)lib_b->ingest(batch);
+
+    ReceptionistOptions o = base_options(Mode::CentralVocabulary);
+    o.answers = 10;
+    o.cache.enabled = true;
+    std::vector<std::unique_ptr<Channel>> replicas;
+    replicas.push_back(std::make_unique<InProcessChannel>(*lib_a));
+    replicas.push_back(std::make_unique<InProcessChannel>(*lib_b));
+    std::vector<RouteTarget> targets;
+    targets.emplace_back(std::move(replicas), o.fault.breaker, ReplicaSelection::RoundRobin);
+    Receptionist receptionist(std::move(targets), o);
+    receptionist.prepare();
+
+    // Ground truth: the combined collection rebuilt from scratch.
+    corpus::Subcollection combined = fixture().subcollections[0];
+    for (const auto& d : batch.docs) combined.documents.push_back({d.external_id, d.text});
+    auto rebuilt = Federation::create({combined}, base_options(Mode::CentralVocabulary));
+
+    // Only replica A compacts; B keeps serving the delta generation the
+    // receptionist recorded at prepare().
+    ASSERT_TRUE(lib_a->compact_now());
+    ASSERT_NE(lib_a->generation(), lib_b->generation());
+    ASSERT_EQ(lib_a->num_documents(), lib_b->num_documents());
+
+    std::size_t stale_answers = 0;
+    for (int round = 0; round < 6; ++round) {
+        for (const std::string& text : query_texts()) {
+            const QueryAnswer answer = receptionist.rank(text, 20);
+            const QueryAnswer expected = rebuilt.receptionist().rank(text, 20);
+            ASSERT_EQ(answer.ranking.size(), expected.ranking.size()) << text;
+            for (std::size_t i = 0; i < answer.ranking.size(); ++i) {
+                // Single-target federation: local == global doc numbers.
+                ASSERT_EQ(answer.ranking[i].doc, expected.ranking[i].doc) << text;
+                ASSERT_EQ(answer.ranking[i].score, expected.ranking[i].score) << text;
+            }
+            if (answer.trace.stale_generation) ++stale_answers;
+        }
+    }
+    // Round-robin guarantees the compacted replica answered some of the
+    // fan-outs, and each of those must have been flagged.
+    EXPECT_GT(stale_answers, 0u) << "the compacted replica's generation went unnoticed";
+
+    // A stale answer is never admitted to the cache, and each stale
+    // observation flushes it — so the cache never pins a pre-compaction
+    // ranking. Once the sibling catches up and the receptionist
+    // re-prepares, the staleness disappears.
+    ASSERT_TRUE(lib_b->compact_now());
+    receptionist.prepare();
+    for (const std::string& text : query_texts()) {
+        const QueryAnswer answer = receptionist.rank(text, 20);
+        EXPECT_FALSE(answer.trace.stale_generation) << text;
+    }
+}
+
 }  // namespace
 }  // namespace teraphim::dir

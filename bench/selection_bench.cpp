@@ -1,0 +1,236 @@
+// Selection bench: CV versus CS across the fan-out sweep R = 1 .. S.
+//
+// Central Selection buys reduced fan-out (fewer messages, fewer bytes,
+// fewer participating librarians per query) at the price of answer
+// completeness. This bench quantifies both sides: per-query network
+// work from the traces, and effectiveness as overlap@10 against the
+// exhaustive CV ranking plus the merit-mass recall proxy from the
+// selection trace. At R = S the sweep's last row must be byte-identical
+// to CV — the degeneracy DESIGN.md §17 proves.
+//
+// Usage:
+//   selection_bench [--smoke] [--json <path>]
+//     --smoke   tiny corpus; exits non-zero unless CS@R=S is
+//               byte-identical to CV and CS@R=S/2 contacts at most half
+//               the servers with strictly fewer messages than CV and
+//               overlap@10 above the gate
+//     --json    additionally writes the sweep as one JSON object
+#include <cstdio>
+#include <cstring>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace teraphim;
+
+namespace {
+
+/// CS@R=S/2 must keep at least this much of CV's top 10 on the smoke
+/// corpus (measured ~0.62; gated with margin for corpus drift).
+constexpr double kSmokeOverlapGate = 0.45;
+
+corpus::CorpusConfig bench_corpus_config(bool smoke) {
+    corpus::CorpusConfig config;
+    if (smoke) {
+        config.vocab_size = 3000;
+        config.subcollections = {
+            {"AP", 120, 70.0, 0.4},
+            {"WSJ", 120, 70.0, 0.4},
+            {"FR", 80, 90.0, 0.5},
+            {"ZIFF", 80, 60.0, 0.5},
+        };
+        config.num_long_topics = 3;
+        config.num_short_topics = 3;
+        config.topic_term_floor = 150;
+        config.seed = 12;
+    } else {
+        config.vocab_size = 8000;
+        config.subcollections = {
+            {"AP", 1600, 120.0, 0.45},
+            {"WSJ", 1500, 115.0, 0.45},
+            {"FR", 400, 170.0, 0.6},
+            {"ZIFF", 1150, 95.0, 0.5},
+        };
+        config.num_long_topics = 16;
+        config.num_short_topics = 16;
+        config.seed = 5;
+    }
+    return config;
+}
+
+struct SweepRow {
+    std::string label;
+    std::uint32_t top_r = 0;  ///< 0 = CV baseline
+    dir::TraceTotals totals;
+    double overlap_at_10 = 0.0;   ///< vs the CV top 10, averaged
+    double recall_proxy = 0.0;    ///< mean selection merit-mass kept
+    bool byte_identical = false;  ///< every ranking equal to CV's
+    std::size_t max_participants = 0;
+};
+
+double overlap(const std::vector<std::string>& a, const std::vector<std::string>& b,
+               std::size_t k) {
+    const std::size_t ka = std::min(k, a.size());
+    const std::set<std::string> top(a.begin(), a.begin() + ka);
+    std::size_t hits = 0;
+    for (std::size_t i = 0; i < std::min(k, b.size()); ++i) {
+        hits += top.count(b[i]);
+    }
+    return ka ? static_cast<double>(hits) / static_cast<double>(ka) : 1.0;
+}
+
+void write_json(const std::string& path, bool smoke, std::size_t queries,
+                const std::vector<SweepRow>& rows) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "selection_bench: cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"selection_bench\",\n"
+                 "  \"smoke\": %s,\n"
+                 "  \"queries\": %zu,\n"
+                 "  \"sweep\": [\n",
+                 smoke ? "true" : "false", queries);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const SweepRow& r = rows[i];
+        std::fprintf(f,
+                     "    {\"mode\": \"%s\", \"top_r\": %u, "
+                     "\"mean_messages\": %.3f, \"mean_kb\": %.2f, "
+                     "\"mean_participants\": %.3f, \"overlap_at_10\": %.4f, "
+                     "\"recall_proxy\": %.4f, \"byte_identical_to_cv\": %s}%s\n",
+                     r.label.c_str(), r.top_r, r.totals.mean_messages(),
+                     r.totals.mean_message_bytes() / 1024.0, r.totals.mean_participants(),
+                     r.overlap_at_10, r.recall_proxy, r.byte_identical ? "true" : "false",
+                     i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool smoke = false;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: selection_bench [--smoke] [--json <path>]\n");
+            return 2;
+        }
+    }
+
+    std::printf("Selection bench: CV vs CS across the fan-out sweep\n");
+    util::Timer build_timer;
+    const corpus::SyntheticCorpus corpus = corpus::generate_corpus(bench_corpus_config(smoke));
+    std::printf("# corpus: %u documents (%.1fs)\n", corpus.total_documents(),
+                build_timer.elapsed_seconds());
+
+    std::vector<const std::string*> queries;
+    for (const auto& q : corpus.short_queries.queries) queries.push_back(&q.text);
+    for (const auto& q : corpus.long_queries.queries) queries.push_back(&q.text);
+    const std::size_t depth = 20;
+    const auto servers = static_cast<std::uint32_t>(corpus.subcollections.size());
+
+    // The exhaustive CV baseline every CS row is compared against.
+    auto cv = dir::Federation::create(corpus, bench::mode_options(dir::Mode::CentralVocabulary));
+    std::vector<std::vector<dir::GlobalResult>> cv_rankings;
+    std::vector<std::vector<std::string>> cv_ids;
+    SweepRow cv_row{"CV", 0, {}, 1.0, 1.0, true, 0};
+    for (const std::string* q : queries) {
+        const dir::QueryAnswer answer = cv.receptionist().rank(*q, depth);
+        cv_row.totals.add(answer.trace);
+        cv_row.max_participants =
+            std::max(cv_row.max_participants, answer.trace.participating_librarians());
+        cv_ids.push_back(cv.ranked_ids(answer));
+        cv_rankings.push_back(answer.ranking);
+    }
+
+    std::vector<SweepRow> rows{cv_row};
+    // R sweep: 1, S/4 (when distinct), S/2, S.
+    std::vector<std::uint32_t> sweep{1, servers / 4, servers / 2, servers};
+    sweep.erase(std::remove(sweep.begin(), sweep.end(), 0u), sweep.end());
+    sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+    for (const std::uint32_t r : sweep) {
+        dir::ReceptionistOptions o = bench::mode_options(dir::Mode::CentralSelection);
+        o.server_selection.top_r = r;
+        auto cs = dir::Federation::create(corpus, o);
+        SweepRow row{"CS", r, {}, 0.0, 0.0, true, 0};
+        for (std::size_t q = 0; q < queries.size(); ++q) {
+            const dir::QueryAnswer answer = cs.receptionist().rank(*queries[q], depth);
+            row.totals.add(answer.trace);
+            row.max_participants =
+                std::max(row.max_participants, answer.trace.participating_librarians());
+            row.overlap_at_10 += overlap(cv_ids[q], cs.ranked_ids(answer), 10);
+            row.recall_proxy += answer.trace.selection.recall_proxy();
+            row.byte_identical = row.byte_identical && answer.ranking == cv_rankings[q];
+        }
+        row.overlap_at_10 /= static_cast<double>(queries.size());
+        row.recall_proxy /= static_cast<double>(queries.size());
+        rows.push_back(row);
+    }
+
+    bench::print_rule(78);
+    std::printf("  %-9s %6s %12s %10s %13s %11s %13s\n", "mode", "R", "msgs/query",
+                "KB/query", "participants", "overlap@10", "recall proxy");
+    bench::print_rule(78);
+    for (const SweepRow& r : rows) {
+        std::printf("  %-9s %6u %12.2f %10.1f %13.2f %11.3f %13.3f%s\n", r.label.c_str(),
+                    r.top_r == 0 ? servers : r.top_r, r.totals.mean_messages(),
+                    r.totals.mean_message_bytes() / 1024.0, r.totals.mean_participants(),
+                    r.overlap_at_10, r.recall_proxy,
+                    r.byte_identical ? "  (== CV)" : "");
+    }
+    bench::print_rule(78);
+    std::printf(
+        "\nCS@R=S must reproduce CV byte for byte (the degeneracy proof of\n"
+        "DESIGN.md §17); smaller R trades overlap@10 for strictly less\n"
+        "network work per query.\n");
+
+    if (!json_path.empty()) write_json(json_path, smoke, queries.size(), rows);
+
+    if (smoke) {
+        const SweepRow& full = rows.back();  // R = S
+        const auto half_it =
+            std::find_if(rows.begin(), rows.end(),
+                         [&](const SweepRow& r) { return r.top_r == servers / 2; });
+        if (full.top_r != servers || !full.byte_identical) {
+            std::fprintf(stderr, "SMOKE FAIL: CS@R=S is not byte-identical to CV\n");
+            return 1;
+        }
+        if (half_it == rows.end()) {
+            std::fprintf(stderr, "SMOKE FAIL: no CS@R=S/2 row\n");
+            return 1;
+        }
+        if (half_it->max_participants > servers / 2) {
+            std::fprintf(stderr, "SMOKE FAIL: CS@R=%u contacted %zu servers\n",
+                         servers / 2, half_it->max_participants);
+            return 1;
+        }
+        if (half_it->totals.mean_messages() >= rows.front().totals.mean_messages()) {
+            std::fprintf(stderr, "SMOKE FAIL: CS@R=S/2 did not reduce messages/query\n");
+            return 1;
+        }
+        if (half_it->overlap_at_10 < kSmokeOverlapGate) {
+            std::fprintf(stderr, "SMOKE FAIL: overlap@10 %.3f below gate %.2f\n",
+                         half_it->overlap_at_10, kSmokeOverlapGate);
+            return 1;
+        }
+        std::printf(
+            "smoke OK: CS@R=S byte-identical to CV; CS@R=%u used %.2f msgs/query "
+            "(CV %.2f) with overlap@10 %.3f\n",
+            servers / 2, half_it->totals.mean_messages(),
+            rows.front().totals.mean_messages(), half_it->overlap_at_10);
+    }
+    return 0;
+}

@@ -1,8 +1,14 @@
 // Reproduces Table 1: retrieval effectiveness of MS/CV, CN, and CI
 // (k' = 100 and k' = 1000) on the long and short query sets — 11-point
 // average recall-precision at 1000 documents retrieved, and the average
-// number of relevant documents in the top 20.
+// number of relevant documents in the top 20. Extended beyond the
+// paper with a CS (Central Selection, DESIGN.md §17) sweep over the
+// fan-out R: at R = S the CS row must equal CV exactly; smaller R
+// shows what selective search costs in effectiveness.
 #include <cstdio>
+
+#include <algorithm>
+#include <utility>
 
 #include "bench_common.h"
 
@@ -48,6 +54,19 @@ int main() {
     auto ci1000 =
         dir::Federation::create(corpus, bench::mode_options(dir::Mode::CentralIndex, 1000));
 
+    // The CS fan-out sweep: R = 1, S/4, S/2, S over the S = 4
+    // subcollections (deduplicated, so 1, 2, 4 here).
+    const auto servers = static_cast<std::uint32_t>(corpus.subcollections.size());
+    std::vector<std::uint32_t> sweep{1, servers / 4, servers / 2, servers};
+    std::erase(sweep, 0u);
+    sweep.erase(std::unique(sweep.begin(), sweep.end()), sweep.end());
+    std::vector<std::pair<std::uint32_t, dir::Federation>> cs_feds;
+    for (const std::uint32_t r : sweep) {
+        dir::ReceptionistOptions o = bench::mode_options(dir::Mode::CentralSelection);
+        o.server_selection.top_r = r;
+        cs_feds.emplace_back(r, dir::Federation::create(corpus, o));
+    }
+
     for (const auto* queries : {&corpus.long_queries, &corpus.short_queries}) {
         std::vector<Row> rows;
         rows.push_back({"MS", evaluate(ms, *queries)});
@@ -55,6 +74,9 @@ int main() {
         rows.push_back({"CN", evaluate(cn, *queries)});
         rows.push_back({"CI, k'=100", evaluate(ci100, *queries)});
         rows.push_back({"CI, k'=1000", evaluate(ci1000, *queries)});
+        for (auto& [r, fed] : cs_feds) {
+            rows.push_back({"CS, R=" + std::to_string(r), evaluate(fed, *queries)});
+        }
         print_block(queries->name.c_str(), rows);
         bench::print_rule();
     }
@@ -65,6 +87,8 @@ int main() {
         "  Short: MS/CV 15.67/4.7  CN 16.21/4.9  CI100 14.01/5.3  CI1000 16.81/5.0\n"
         "Expected shape: MS == CV exactly; CN within noise of MS; CI k'=100\n"
         "collapses the 11-pt average (only k'G = 1000 docs ever scored) while\n"
-        "precision in the top 20 stays comparable; CI k'=1000 recovers.\n");
+        "precision in the top 20 stays comparable; CI k'=1000 recovers.\n"
+        "CS rows are beyond the paper: R=S must equal CV exactly, and the\n"
+        "smaller-R rows price the reduced fan-out in lost effectiveness.\n");
     return 0;
 }

@@ -38,6 +38,16 @@ struct Table2Results {
     double mux_one_client_ms = 0.0;
     double mux_eight_clients_ms = 0.0;
     std::uint64_t mux_bytes_per_query = 0;
+    /// The CS column (beyond the paper): per-query network work for CV
+    /// versus Central Selection across the fan-out sweep.
+    struct FanoutRow {
+        std::string mode;
+        std::uint32_t top_r = 0;
+        double mean_messages = 0.0;
+        double mean_bytes = 0.0;
+        double mean_participants = 0.0;
+    };
+    std::vector<FanoutRow> fanout;
 };
 
 void write_json(const std::string& path, const Table2Results& r) {
@@ -63,10 +73,20 @@ void write_json(const std::string& path, const Table2Results& r) {
                  "    \"mux_one_client_batch_ms\": %.1f,\n"
                  "    \"mux_eight_clients_batch_ms\": %.1f,\n"
                  "    \"mux_wire_bytes_per_query\": %llu\n"
-                 "  }\n}\n",
+                 "  },\n"
+                 "  \"fanout\": [\n",
                  r.sequential_ping_ms, r.concurrent_ping_ms, r.mux_one_client_ms,
                  r.mux_eight_clients_ms,
                  static_cast<unsigned long long>(r.mux_bytes_per_query));
+    for (std::size_t i = 0; i < r.fanout.size(); ++i) {
+        const auto& row = r.fanout[i];
+        std::fprintf(f,
+                     "    {\"mode\": \"%s\", \"top_r\": %u, \"mean_messages\": %.3f, "
+                     "\"mean_bytes\": %.1f, \"mean_participants\": %.3f}%s\n",
+                     row.mode.c_str(), row.top_r, row.mean_messages, row.mean_bytes,
+                     row.mean_participants, i + 1 < r.fanout.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("\nwrote %s\n", path.c_str());
 }
@@ -178,6 +198,60 @@ void measured_multiplexed_clients(Table2Results& results) {
     for (auto& s : servers) s->stop();
 }
 
+/// The selective-search complement (beyond the paper): the same
+/// scatter-gather network, but the receptionist chooses how many sites
+/// to contact. CV talks to every holder; CS at R < S strictly reduces
+/// messages, bytes, and participating sites per query — the knob the
+/// WAN pings above make valuable.
+void selection_fanout_costs(Table2Results& results) {
+    corpus::CorpusConfig config;
+    config.vocab_size = 8000;
+    config.subcollections = {
+        {"AP", 1600, 120.0, 0.45},
+        {"WSJ", 1500, 115.0, 0.45},
+        {"FR", 400, 170.0, 0.6},
+        {"ZIFF", 1150, 95.0, 0.5},
+    };
+    config.num_long_topics = 16;
+    config.num_short_topics = 16;
+    config.seed = 5;
+    const corpus::SyntheticCorpus corpus = corpus::generate_corpus(config);
+    const auto servers = static_cast<std::uint32_t>(corpus.subcollections.size());
+
+    const auto measure = [&](dir::Mode mode, std::uint32_t top_r) {
+        dir::ReceptionistOptions o = bench::mode_options(mode);
+        o.server_selection.top_r = top_r;
+        auto fed = dir::Federation::create(corpus, o);
+        dir::TraceTotals totals;
+        for (const auto* queries : {&corpus.short_queries, &corpus.long_queries}) {
+            for (const auto& q : queries->queries) {
+                totals.add(fed.receptionist().rank(q.text, 20).trace);
+            }
+        }
+        results.fanout.push_back({std::string(dir::mode_name(mode)), top_r,
+                                  totals.mean_messages(), totals.mean_message_bytes(),
+                                  totals.mean_participants()});
+    };
+    measure(dir::Mode::CentralVocabulary, 0);
+    for (std::uint32_t r = 1; r <= servers; r *= 2) {
+        measure(dir::Mode::CentralSelection, r);
+    }
+
+    std::printf(
+        "\nQuery fan-out costs with server selection (CV vs CS, %u sites,\n"
+        "k = 20, short + long query mix):\n"
+        "  %-6s %6s %14s %14s %14s\n",
+        servers, "mode", "R", "msgs/query", "bytes/query", "sites/query");
+    for (const auto& row : results.fanout) {
+        std::printf("  %-6s %6u %14.2f %14.0f %14.2f\n", row.mode.c_str(),
+                    row.top_r == 0 ? servers : row.top_r, row.mean_messages, row.mean_bytes,
+                    row.mean_participants);
+    }
+    std::printf(
+        "  Every site skipped by CS saves a full WAN round trip per query —\n"
+        "  at the ping times above, the dominant cost of distributed querying.\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -242,6 +316,7 @@ int main(int argc, char** argv) {
 
     measured_concurrent_round_trips(results);
     measured_multiplexed_clients(results);
+    selection_fanout_costs(results);
 
     std::printf("\nTransport metrics (Prometheus text format):\n");
     std::fputs(registry.render().c_str(), stdout);

@@ -82,6 +82,23 @@ int main(int argc, char** argv) {
                  ing.accepted, comp.num_documents,
                  static_cast<unsigned long long>(comp.generation));
 
+    // Selection families (teraphim_selection_*): a Central Selection
+    // federation over the same corpus, fanning out to the 2 best of 4
+    // librarians per query, so the dump carries the selected-count
+    // histogram, skipped-server counter, and recall-proxy gauge.
+    {
+        dir::ReceptionistOptions cs_options;
+        cs_options.mode = dir::Mode::CentralSelection;
+        cs_options.answers = 5;
+        cs_options.server_selection.top_r = 2;
+        auto cs = dir::Federation::create(corpus, cs_options);
+        for (const auto& q : corpus.short_queries.queries) {
+            (void)cs.receptionist().search(q.text);
+        }
+        std::fprintf(stderr, "ran %zu CS queries at R=2 of %zu librarians\n",
+                     corpus.short_queries.queries.size(), cs.num_librarians());
+    }
+
     std::fputs(fed.receptionist().render_federation_metrics().c_str(), stdout);
 
     fed.shutdown();

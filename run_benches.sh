@@ -12,6 +12,7 @@ for b in build/bench/*; do
     table2_network) "$b" --json BENCH_table2.json ;;
     overload_bench) "$b" --json BENCH_overload.json ;;
     topology_bench) "$b" --json BENCH_topology.json ;;
+    selection_bench) "$b" --json BENCH_selection.json ;;
     ingest_bench)   "$b" --json BENCH_ingest.json ;;
     micro_ranking)  "$b" --json BENCH_ranking.json ;;
     *)              "$b" ;;

@@ -8,8 +8,27 @@ std::string_view mode_name(Mode mode) {
         case Mode::CentralNothing: return "CN";
         case Mode::CentralVocabulary: return "CV";
         case Mode::CentralIndex: return "CI";
+        case Mode::CentralSelection: return "CS";
     }
     return "?";
+}
+
+std::size_t SelectionInfo::selected() const {
+    std::size_t n = 0;
+    for (const ServerMerit& m : merits) {
+        if (m.selected) ++n;
+    }
+    return n;
+}
+
+double SelectionInfo::recall_proxy() const {
+    double total = 0.0;
+    double kept = 0.0;
+    for (const ServerMerit& m : merits) {
+        total += m.merit;
+        if (m.selected) kept += m.merit;
+    }
+    return total == 0.0 ? 1.0 : kept / total;
 }
 
 bool DegradedInfo::failed(std::uint32_t librarian) const {

@@ -17,12 +17,16 @@
 
 namespace teraphim::dir {
 
-/// The methodologies of Section 3, plus the mono-server baseline.
+/// The methodologies of Section 3, plus the mono-server baseline and
+/// the Central Selection extension (DESIGN.md §17): CV's vocabulary
+/// exchange feeding a CORI-style server ranker that fans out only to
+/// the most promising librarians.
 enum class Mode {
     MonoServer,
     CentralNothing,
     CentralVocabulary,
     CentralIndex,
+    CentralSelection,
 };
 
 std::string_view mode_name(Mode mode);
@@ -117,6 +121,41 @@ struct StageTimings {
     double total_ms = 0.0;
 };
 
+/// One librarian the server ranker scored for one CS query.
+struct ServerMerit {
+    std::uint32_t librarian = 0;
+    double merit = 0.0;
+    bool selected = false;
+
+    friend bool operator==(const ServerMerit&, const ServerMerit&) = default;
+};
+
+/// Resource-selection outcome of one Central Selection query
+/// (DESIGN.md §17): which librarians were considered (they hold at
+/// least one query term), which ones the policy selected into the
+/// fan-out, and the CORI merit behind each decision. Inactive (the
+/// default) in every other mode.
+struct SelectionInfo {
+    bool active = false;
+    /// Considered servers in descending merit order (ties broken by
+    /// librarian index, so the record is deterministic).
+    std::vector<ServerMerit> merits;
+    /// Skipped servers promoted into the fan-out after a selected one
+    /// failed (SelectionOptions::fallback_next_merit).
+    std::uint32_t fallbacks = 0;
+
+    std::size_t considered() const { return merits.size(); }
+    std::size_t selected() const;
+    std::size_t skipped() const { return merits.size() - selected(); }
+    /// Selected merit mass over considered merit mass, in [0, 1]: a
+    /// proxy for how much of the collection-level relevance signal the
+    /// reduced fan-out retained (exported per-mille as the
+    /// teraphim_selection_recall_proxy_permille gauge).
+    double recall_proxy() const;
+
+    friend bool operator==(const SelectionInfo&, const SelectionInfo&) = default;
+};
+
 struct QueryTrace {
     Mode mode = Mode::MonoServer;
     /// Tier of the receptionist that produced this trace: 0 for the
@@ -128,6 +167,7 @@ struct QueryTrace {
     std::vector<FetchWork> fetch_phase;      ///< one entry per librarian
     DegradedInfo degraded;                   ///< fault-tolerance outcome
     StageTimings timing;                     ///< per-stage wall clock
+    SelectionInfo selection;                 ///< CS resource-selection record
 
     /// The ranking came out of the receptionist's QueryCache: no
     /// librarian was contacted during the index phase, so the phase's

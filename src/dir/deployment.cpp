@@ -374,12 +374,15 @@ TierPlan plan_tiers(const TopologySpec& topology, std::size_t leaves) {
 
 /// Options for the aggregator at slot `j` of the mid tier: the root's
 /// knobs, re-based one tier down. CN roots get CN aggregators (no
-/// global state anywhere); CV and CI roots get CV aggregators — the
-/// merged leaf vocabulary is what lets an aggregator answer its
+/// global state anywhere); CV, CI, and CS roots get CV aggregators —
+/// the merged leaf vocabulary is what lets an aggregator answer its
 /// parent's VocabularyRequest and holder-filter weighted rank fan-outs
-/// to exactly the leaves a flat federation would contact. Caching stays
-/// at the root, and budgets arrive stamped on the wire instead of
-/// starting fresh per tier.
+/// to exactly the leaves a flat federation would contact. A CS root
+/// thus selects among its child aggregators (each scored by its
+/// aggregated vocabulary) while the aggregators themselves stay
+/// exhaustive over their leaf ranges. Caching stays at the root, and
+/// budgets arrive stamped on the wire instead of starting fresh per
+/// tier.
 ReceptionistOptions aggregator_options(const ReceptionistOptions& root,
                                        const TopologySpec& topology, std::size_t j) {
     ReceptionistOptions agg = root;

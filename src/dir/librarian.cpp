@@ -82,21 +82,6 @@ Librarian::Librarian(std::string name, CollectionSnapshot snapshot)
     refresh_collection_gauges(view());
 }
 
-// The shim forwards to the snapshot constructor with the default skip
-// period — exactly what every pre-live call site compressed with.
-#if defined(__GNUC__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-Librarian::Librarian(std::string name, index::InvertedIndex index, store::DocumentStore store,
-                     text::Pipeline pipeline, const rank::SimilarityMeasure& measure)
-    : Librarian(std::move(name),
-                CollectionSnapshot{std::move(index), std::move(store), std::move(pipeline),
-                                   &measure}) {}
-#if defined(__GNUC__)
-#pragma GCC diagnostic pop
-#endif
-
 Librarian::~Librarian() {
     std::thread worker;
     {

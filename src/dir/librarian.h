@@ -34,15 +34,6 @@ class Librarian {
 public:
     Librarian(std::string name, CollectionSnapshot snapshot);
 
-    /// Pre-live-collections constructor, kept as a shim for one release.
-    /// Prefer assembling a CollectionSnapshot: the snapshot travels
-    /// through compaction whole, and piecewise construction cannot carry
-    /// the skip period the index was compressed with.
-    [[deprecated("assemble a CollectionSnapshot instead")]] Librarian(
-        std::string name, index::InvertedIndex index, store::DocumentStore store,
-        text::Pipeline pipeline = text::Pipeline{},
-        const rank::SimilarityMeasure& measure = rank::cosine_log_tf());
-
     /// Joins the background compaction worker. Queries must have
     /// drained; references returned by index()/store() die with the
     /// librarian.

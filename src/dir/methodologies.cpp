@@ -1,4 +1,5 @@
-// The three federated methodologies (Section 3 of the paper).
+// The three federated methodologies (Section 3 of the paper), plus the
+// Central Selection extension (DESIGN.md §17).
 #include <algorithm>
 
 #include "dir/receptionist.h"
@@ -105,6 +106,110 @@ QueryAnswer Receptionist::rank_central_vocabulary(const rank::Query& query, std:
     std::vector<std::vector<rank::SearchResult>> rankings(targets_.size());
     for (std::size_t s = 0; s < targets_.size(); ++s) {
         if (!responses[s].has_value()) continue;  // degraded: merge the survivors
+        fold_work_report(answer.trace.index_phase[s], responses[s]->work,
+                         responses[s]->results.size());
+        rankings[s] = std::move(responses[s]->results);
+    }
+
+    {
+        obs::Span merge_span(&answer.trace.timing.merge_ms);
+        answer.ranking =
+            merge_rankings(rankings, depth, &answer.trace.receptionist.merge_items);
+    }
+    return answer;
+}
+
+Receptionist::SelectionPlan Receptionist::plan_selection(const rank::Query& query) const {
+    TERAPHIM_ASSERT_MSG(server_ranker_.has_value(), "CS receptionist not prepared");
+    SelectionPlan plan;
+    plan.weighted = global_weights(query, &plan.holders);
+
+    // Per-term merit statistics straight from the merged vocabulary.
+    // The TermStatsCache memoizes weights, not per-holder dfs, so these
+    // probes go to the local map — they are hash lookups, not wire work.
+    std::vector<TermSelectionStats> stats;
+    stats.reserve(query.terms.size());
+    for (const rank::QueryTerm& qt : query.terms) {
+        const auto it = global_vocab_.find(qt.term);
+        if (it == global_vocab_.end() || it->second.holders.empty()) continue;
+        const GlobalTermInfo& info = it->second;
+        TermSelectionStats ts;
+        ts.fqt = qt.fqt;
+        ts.collection_frequency = static_cast<std::uint32_t>(info.holders.size());
+        ts.server_df.reserve(info.holders.size());
+        for (std::size_t i = 0; i < info.holders.size(); ++i) {
+            ts.server_df.emplace_back(info.holders[i], info.holder_dfs[i]);
+        }
+        stats.push_back(std::move(ts));
+    }
+    const std::vector<double> merits = server_ranker_->merits(stats);
+    plan.outcome = select_servers(merits, plan.holders, options_.server_selection);
+    return plan;
+}
+
+QueryAnswer Receptionist::rank_central_selection(const rank::Query& query, std::size_t depth,
+                                                 const QueryBudget* budget,
+                                                 SelectionPlan plan) {
+    QueryAnswer answer;
+    answer.trace.mode = options_.mode;
+    answer.trace.index_phase.assign(targets_.size(), LibrarianWork{});
+    answer.trace.selection = plan.outcome.info;
+    answer.trace.receptionist.term_lookups += query.terms.size();
+
+    // The request is exactly CV's: globally weighted terms evaluated
+    // locally. Only the scatter set differs — the policy-selected
+    // subset of the term holders — which is why selecting every holder
+    // reproduces CV byte-for-byte.
+    RankWeightedRequest req;
+    req.k = static_cast<std::uint32_t>(depth);
+    req.pruned = options_.pruned_rank;
+    req.use_skips = options_.use_skips;
+    req.terms = plan.weighted;
+    req.query_norm = rank::query_norm(plan.weighted);
+    const net::Message encoded = req.encode();
+
+    std::vector<std::optional<net::Message>> requests(targets_.size());
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
+        if (plan.outcome.selected[s]) requests[s] = encoded;
+    }
+    auto responses = broadcast_typed<RankResponse>(requests, answer.trace.index_phase,
+                                                   &answer.trace, budget);
+    check_generations(responses, answer.trace);
+
+    // Policy-gated fallback: a selected librarian that *failed* (not
+    // shed — shedding dropped the work on purpose) is replaced by the
+    // best not-yet-contacted skipped server, preserving the configured
+    // fan-out width. The answer stays partial: the failed server's
+    // documents are still missing, the fallback only restores breadth.
+    if (options_.server_selection.fallback_next_merit && !plan.outcome.fallback_order.empty()) {
+        std::size_t next = 0;
+        for (std::size_t s = 0; s < targets_.size(); ++s) {
+            if (!requests[s].has_value() || responses[s].has_value()) continue;
+            bool failed_not_shed = false;
+            for (const FailedLibrarian& f : answer.trace.degraded.failures) {
+                if (f.librarian == s && !f.shed) {
+                    failed_not_shed = true;
+                    break;
+                }
+            }
+            if (!failed_not_shed) continue;
+            while (next < plan.outcome.fallback_order.size()) {
+                const std::uint32_t alt = plan.outcome.fallback_order[next++];
+                auto resp = call_librarian<RankResponse>(
+                    alt, encoded, answer.trace.index_phase[alt], answer.trace, budget);
+                if (resp.has_value()) {
+                    responses[alt] = std::move(resp);
+                    ++answer.trace.selection.fallbacks;
+                    break;
+                }
+            }
+        }
+        check_generations(responses, answer.trace);
+    }
+
+    std::vector<std::vector<rank::SearchResult>> rankings(targets_.size());
+    for (std::size_t s = 0; s < targets_.size(); ++s) {
+        if (!responses[s].has_value()) continue;  // skipped or degraded
         fold_work_report(answer.trace.index_phase[s], responses[s]->work,
                          responses[s]->results.size());
         rankings[s] = std::move(responses[s]->results);

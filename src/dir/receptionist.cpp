@@ -88,6 +88,23 @@ Receptionist::Receptionist(std::vector<RouteTarget> targets, ReceptionistOptions
         cache_key_prefix_ += options_.use_skips ? '1' : '0';
         cache_key_prefix_ += sep;
         cache_key_prefix_ += options_.pruned_rank ? '1' : '0';
+        if (options_.mode == Mode::CentralSelection) {
+            // CS adds its policy knobs: two CS receptionists with
+            // different selection rules must never share cached answers
+            // (the per-query selected-set fingerprint is appended on
+            // top of this in rank_impl).
+            const SelectionOptions& sel = options_.server_selection;
+            cache_key_prefix_ += sep;
+            cache_key_prefix_ += selection_policy_name(sel.policy);
+            cache_key_prefix_ += sep;
+            cache_key_prefix_ += std::to_string(sel.top_r);
+            cache_key_prefix_ += sep;
+            cache_key_prefix_ += std::to_string(sel.merit_fraction);
+            cache_key_prefix_ += sep;
+            cache_key_prefix_ += std::to_string(sel.adaptive_mass);
+            cache_key_prefix_ += sep;
+            cache_key_prefix_ += std::to_string(sel.min_servers);
+        }
         // CI expansions are depth-independent (they depend on k' only),
         // so they get their own namespace within the same key scheme.
         expansion_key_prefix_ = cache_key_prefix_;
@@ -174,6 +191,19 @@ void Receptionist::resolve_metrics() {
         &reg->counter("teraphim_overloaded_replies_total", with_tier({}));
     metrics_.hedges = &reg->counter("teraphim_hedges_total", with_tier({}));
     metrics_.hedge_wins = &reg->counter("teraphim_hedge_wins_total", with_tier({}));
+    if (options_.mode == Mode::CentralSelection) {
+        // Fan-out-count buckets, not latency buckets: the histogram
+        // answers "how many servers did CS queries actually touch".
+        static constexpr double kCountBounds[] = {0, 1, 2, 4, 8, 16, 32, 64, 128};
+        metrics_.selection_selected = &reg->histogram("teraphim_selection_selected_count",
+                                                      with_tier({}), kCountBounds);
+        metrics_.selection_skipped =
+            &reg->counter("teraphim_selection_skipped_servers_total", with_tier({}));
+        metrics_.selection_fallbacks =
+            &reg->counter("teraphim_selection_fallbacks_total", with_tier({}));
+        metrics_.selection_recall_proxy =
+            &reg->gauge("teraphim_selection_recall_proxy_permille", with_tier({}));
+    }
 }
 
 void Receptionist::flush_caches() {
@@ -215,6 +245,13 @@ void Receptionist::observe_query(const QueryTrace& trace) {
     metrics_.merge->observe(trace.timing.merge_ms);
     metrics_.fetch->observe(trace.timing.fetch_ms);
     metrics_.total->observe(trace.timing.total_ms);
+    if (trace.selection.active && metrics_.selection_selected != nullptr) {
+        metrics_.selection_selected->observe(static_cast<double>(trace.selection.selected()));
+        metrics_.selection_skipped->inc(trace.selection.skipped());
+        metrics_.selection_fallbacks->inc(trace.selection.fallbacks);
+        metrics_.selection_recall_proxy->set(
+            static_cast<std::int64_t>(trace.selection.recall_proxy() * 1000.0 + 0.5));
+    }
 }
 
 FanoutMode Receptionist::effective_mode() const {
@@ -786,6 +823,7 @@ PrepareSummary Receptionist::prepare(std::span<const index::InvertedIndex* const
     child_store_bytes_ = 0;
     ci_leaf_of_.clear();
     grouped_.reset();
+    server_ranker_.reset();
 
     // Preparation is strict: a federation cannot be assembled around a
     // librarian whose size and vocabulary are unknown, so failures here
@@ -830,8 +868,13 @@ PrepareSummary Receptionist::prepare(std::span<const index::InvertedIndex* const
         librarian_offsets_[s + 1] = librarian_offsets_[s] + librarian_sizes_[s];
     }
 
+    // CS reuses CV's vocabulary exchange wholesale: the same merged
+    // vocabulary drives both the global term weights and — through the
+    // per-holder document frequencies recorded below — the CORI server
+    // ranker. No extra wire messages.
     const bool needs_vocab = options_.mode == Mode::CentralVocabulary ||
-                             options_.mode == Mode::CentralIndex;
+                             options_.mode == Mode::CentralIndex ||
+                             options_.mode == Mode::CentralSelection;
     if (needs_vocab) {
         const std::vector<std::optional<net::Message>> vocab_requests(
             targets_.size(), VocabularyRequest{}.encode());
@@ -841,7 +884,10 @@ PrepareSummary Receptionist::prepare(std::span<const index::InvertedIndex* const
             for (const VocabEntry& e : vocabs[s]->entries) {
                 GlobalTermInfo& info = global_vocab_[e.term];
                 info.doc_frequency += e.doc_frequency;
-                if (e.doc_frequency > 0) info.holders.push_back(static_cast<std::uint32_t>(s));
+                if (e.doc_frequency > 0) {
+                    info.holders.push_back(static_cast<std::uint32_t>(s));
+                    info.holder_dfs.push_back(e.doc_frequency);
+                }
             }
         }
         // Storage estimate for the merged vocabulary: front coding over
@@ -885,6 +931,10 @@ PrepareSummary Receptionist::prepare(std::span<const index::InvertedIndex* const
         central_index_bytes_ = grouped_->index().index_stats().total_bytes();
     }
 
+    if (options_.mode == Mode::CentralSelection) {
+        server_ranker_.emplace(librarian_sizes_);
+    }
+
     prepared_ = true;
 
     PrepareSummary out;
@@ -913,6 +963,7 @@ std::uint64_t Receptionist::global_state_bytes() const {
         case Mode::CentralNothing:
             return 0;
         case Mode::CentralVocabulary:
+        case Mode::CentralSelection:  // CV's state; merit needs nothing extra
             return merged_vocab_bytes_;
         case Mode::CentralIndex:
             return merged_vocab_bytes_ + central_index_bytes_;
@@ -974,12 +1025,24 @@ QueryAnswer Receptionist::rank_impl(std::string_view query_text, std::size_t dep
         query = rank::parse_query(query_text, pipeline_);
     }
 
+    // CS decides its fan-out set before the cache is consulted: the
+    // selected-set fingerprint is part of the cache key, so an answer
+    // cached under one selection (policy knobs, merit outcome) can
+    // never be served for another. Selection is pure local computation
+    // over the prepared vocabulary — no librarian round trips.
+    std::optional<SelectionPlan> plan;
+    if (options_.mode == Mode::CentralSelection) plan = plan_selection(query);
+
     // A cached answer short-circuits the whole index phase: no
     // admission, no fan-out, no merge. The trace shows exactly that —
     // zero bytes, zero messages, zero participants.
     std::string cache_key;
     if (query_cache_ != nullptr && query_cache_->enabled()) {
         cache_key = cache::query_fingerprint(cache_key_prefix_, depth, query.terms);
+        if (plan.has_value()) {
+            cache_key += '\x1f';
+            cache_key += std::to_string(plan->outcome.fingerprint);
+        }
         if (const auto hit = query_cache_->lookup(cache_key)) {
             QueryAnswer answer;
             answer.ranking = hit->ranking;
@@ -988,6 +1051,10 @@ QueryAnswer Receptionist::rank_impl(std::string_view query_text, std::size_t dep
             answer.trace.index_phase.assign(targets_.size(), LibrarianWork{});
             answer.trace.served_from_cache = true;
             answer.trace.timing.parse_ms = parse_ms;
+            // The selection record is still real — it was computed to
+            // build the key — so the trace shows which servers the
+            // cached ranking covers.
+            if (plan.has_value()) answer.trace.selection = plan->outcome.info;
             return answer;
         }
     }
@@ -1003,6 +1070,9 @@ QueryAnswer Receptionist::rank_impl(std::string_view query_text, std::size_t dep
             break;
         case Mode::CentralIndex:
             answer = rank_central_index(query, depth, budget);
+            break;
+        case Mode::CentralSelection:
+            answer = rank_central_selection(query, depth, budget, std::move(*plan));
             break;
         default:
             throw Error("unknown mode");

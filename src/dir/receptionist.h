@@ -13,6 +13,12 @@
 //                              query processing ranks groups centrally,
 //                              expands the best k' into k'.G candidates,
 //                              and asks librarians to score exactly those.
+//   CS (Central Selection)   — CV's global state, plus a CORI-style
+//                              server ranker (dir/selection.h) that
+//                              scores every term-holding librarian and
+//                              fans out only to the selected subset
+//                              (DESIGN.md §17). Selecting every holder
+//                              degenerates to CV byte-for-byte.
 //
 // Mode::MonoServer is the baseline: a single librarian holding the whole
 // collection, queried through the same machinery.
@@ -41,6 +47,7 @@
 #include "dir/protocol.h"
 #include "dir/retry.h"
 #include "dir/route.h"
+#include "dir/selection.h"
 #include "index/grouped_index.h"
 #include "net/message.h"
 #include "obs/metrics.h"
@@ -158,6 +165,12 @@ struct ReceptionistOptions {
     /// Replica selection policy applied within each RouteTarget
     /// (DESIGN.md §15). Irrelevant for single-replica targets.
     ReplicaSelection selection = ReplicaSelection::RoundRobin;
+
+    /// CS resource selection (DESIGN.md §17): which of the term-holding
+    /// librarians a Mode::CentralSelection query fans out to. Ignored
+    /// in every other mode. The default (TopR with top_r = 0: select
+    /// every holder) degenerates CS to CV byte-for-byte.
+    SelectionOptions server_selection;
 
     /// Position of this receptionist in an aggregator tree: 0 (default)
     /// is the user-facing root; mid-tier aggregators run at 1, 2, ...
@@ -354,6 +367,13 @@ public:
     /// public so operators can force it.
     void flush_caches();
 
+    /// Canonical fingerprint prefix of this receptionist's QueryCache
+    /// keys (empty when caching is off). Exposed so tests can assert
+    /// every ranking-relevant option is keyed (DESIGN.md §12): two
+    /// receptionists whose options could rank differently must never
+    /// share a prefix.
+    const std::string& cache_key_prefix() const { return cache_key_prefix_; }
+
     /// Fingerprint of the per-librarian collection generations seen at
     /// the last prepare(); changes whenever any librarian re-prepares.
     std::uint64_t collection_generation() const { return federation_generation_; }
@@ -378,6 +398,7 @@ private:
     struct GlobalTermInfo {
         std::uint64_t doc_frequency = 0;          ///< collection-wide f_t
         std::vector<std::uint32_t> holders;       ///< librarians with f_t > 0
+        std::vector<std::uint64_t> holder_dfs;    ///< df per holder (CS merit input)
     };
 
     /// Cached handles into the process-global registry; all null when no
@@ -409,6 +430,11 @@ private:
         obs::Counter* overloaded_replies = nullptr;
         obs::Counter* hedges = nullptr;
         obs::Counter* hedge_wins = nullptr;
+        // Server selection (DESIGN.md §17); resolved only in CS mode.
+        obs::Histogram* selection_selected = nullptr;  ///< selected-count per query
+        obs::Counter* selection_skipped = nullptr;     ///< skipped servers, summed
+        obs::Counter* selection_fallbacks = nullptr;   ///< next-merit promotions
+        obs::Gauge* selection_recall_proxy = nullptr;  ///< last query, per-mille
     };
 
     void resolve_metrics();
@@ -431,6 +457,22 @@ private:
                                         const QueryBudget* budget);
     QueryAnswer rank_central_index(const rank::Query& query, std::size_t depth,
                                    const QueryBudget* budget);
+
+    /// CS steps 0a-0b (DESIGN.md §17): resolve global weights against
+    /// the merged vocabulary, score every term-holding librarian with
+    /// the CORI ranker, and apply the selection policy. Pure local
+    /// computation — no librarian is contacted. rank_impl runs it
+    /// before the cache lookup so the selected-set fingerprint is part
+    /// of the cache key.
+    struct SelectionPlan {
+        std::vector<rank::WeightedQueryTerm> weighted;
+        std::vector<bool> holders;  ///< the considered set
+        SelectionOutcome outcome;
+    };
+    SelectionPlan plan_selection(const rank::Query& query) const;
+
+    QueryAnswer rank_central_selection(const rank::Query& query, std::size_t depth,
+                                       const QueryBudget* budget, SelectionPlan plan);
 
     // --- aggregator-tier relays (dir/aggregator.cpp) ------------------
     net::Message handle_impl(const net::Message& request, const QueryBudget* budget);
@@ -700,6 +742,8 @@ private:
     /// target ci_leaf_of_[i]; empty = identity (flat federation).
     std::vector<std::uint32_t> ci_leaf_of_;
     std::optional<index::GroupedIndex> grouped_;
+    /// CS merit scorer over librarian_sizes_; rebuilt by prepare().
+    std::optional<ServerRanker> server_ranker_;
 };
 
 }  // namespace teraphim::dir

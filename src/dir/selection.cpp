@@ -1,0 +1,127 @@
+#include "dir/selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace teraphim::dir {
+
+namespace {
+
+/// CORI default belief: the score a term contributes to a collection
+/// that does not hold it at all.
+constexpr double kDefaultBelief = 0.4;
+
+}  // namespace
+
+std::string_view selection_policy_name(SelectionPolicy policy) {
+    switch (policy) {
+        case SelectionPolicy::TopR: return "top_r";
+        case SelectionPolicy::MeritThreshold: return "merit_threshold";
+        case SelectionPolicy::Adaptive: return "adaptive";
+    }
+    return "?";
+}
+
+ServerRanker::ServerRanker(std::span<const std::uint32_t> server_sizes)
+    : sizes_(server_sizes.begin(), server_sizes.end()) {
+    TERAPHIM_ASSERT_MSG(!sizes_.empty(), "a server ranker needs at least one server");
+    double total = 0.0;
+    for (std::uint32_t s : sizes_) total += static_cast<double>(s);
+    avg_size_ = total / static_cast<double>(sizes_.size());
+    if (avg_size_ <= 0.0) avg_size_ = 1.0;  // all-empty federation: T degenerates safely
+}
+
+std::vector<double> ServerRanker::merits(std::span<const TermSelectionStats> terms) const {
+    const double servers = static_cast<double>(sizes_.size());
+    std::vector<double> out(sizes_.size(), 0.0);
+    for (const TermSelectionStats& t : terms) {
+        if (t.collection_frequency == 0 || t.server_df.empty()) continue;
+        // I is the collection-level idf analogue: rarer-across-servers
+        // terms discriminate more. cf_t <= S, so I >= log(1 + 0.5/S) > 0.
+        const double idf = std::log((servers + 0.5) / static_cast<double>(t.collection_frequency)) /
+                           std::log(servers + 1.0);
+        const double fqt = static_cast<double>(t.fqt);
+        for (const auto& [server, df] : t.server_df) {
+            TERAPHIM_ASSERT(server < sizes_.size());
+            if (df == 0) continue;
+            const double cw = static_cast<double>(sizes_[server]);
+            const double tf = static_cast<double>(df) /
+                              (static_cast<double>(df) + 50.0 + 150.0 * cw / avg_size_);
+            out[server] += fqt * (kDefaultBelief + (1.0 - kDefaultBelief) * tf * idf);
+        }
+    }
+    return out;
+}
+
+SelectionOutcome select_servers(const std::vector<double>& merits,
+                                const std::vector<bool>& considered,
+                                const SelectionOptions& options) {
+    TERAPHIM_ASSERT(merits.size() == considered.size());
+    SelectionOutcome out;
+    out.selected.assign(merits.size(), false);
+    out.info.active = true;
+
+    // Considered servers in (merit descending, index ascending) order —
+    // the deterministic ranking everything below works from.
+    std::vector<std::uint32_t> order;
+    for (std::size_t s = 0; s < merits.size(); ++s) {
+        if (considered[s]) order.push_back(static_cast<std::uint32_t>(s));
+    }
+    std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return merits[a] > merits[b];
+    });
+
+    std::size_t keep = order.size();
+    switch (options.policy) {
+        case SelectionPolicy::TopR:
+            if (options.top_r != 0) keep = std::min<std::size_t>(options.top_r, order.size());
+            break;
+        case SelectionPolicy::MeritThreshold: {
+            const double best = order.empty() ? 0.0 : merits[order.front()];
+            const double cut = best * options.merit_fraction;
+            keep = 0;
+            while (keep < order.size() && merits[order[keep]] >= cut) ++keep;
+            break;
+        }
+        case SelectionPolicy::Adaptive: {
+            double total = 0.0;
+            for (std::uint32_t s : order) total += merits[s];
+            const double target = total * options.adaptive_mass;
+            double mass = 0.0;
+            keep = 0;
+            while (keep < order.size() && mass < target) {
+                mass += merits[order[keep]];
+                ++keep;
+            }
+            break;
+        }
+    }
+    keep = std::max<std::size_t>(keep, std::min<std::size_t>(options.min_servers, order.size()));
+    keep = std::min(keep, order.size());
+
+    out.info.merits.reserve(order.size());
+    std::uint64_t fp = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const std::uint32_t s = order[i];
+        const bool selected = i < keep;
+        out.selected[s] = selected;
+        out.info.merits.push_back({s, merits[s], selected});
+        if (!selected) out.fallback_order.push_back(s);
+    }
+    // Fingerprint over the selected set in server order, so it is
+    // independent of the merit ordering used to arrive at it.
+    for (std::size_t s = 0; s < out.selected.size(); ++s) {
+        if (!out.selected[s]) continue;
+        std::uint32_t v = static_cast<std::uint32_t>(s);
+        for (int shift = 0; shift < 32; shift += 8) {
+            fp ^= (v >> shift) & 0xFF;
+            fp *= 0x100000001B3ULL;
+        }
+    }
+    out.fingerprint = fp;
+    return out;
+}
+
+}  // namespace teraphim::dir

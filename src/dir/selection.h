@@ -1,0 +1,116 @@
+// Server selection for the Central Selection methodology (DESIGN.md
+// §17): rank *librarians* by expected merit for a query and fan out
+// only to the most promising ones.
+//
+// The merit function is CORI-style resource selection (Callan et al.;
+// see "Using Query Mediators for Distributed Searching in Federated
+// Digital Libraries" and "Document Selection in a Distributed Search
+// Engine Architecture" in PAPERS.md), computed entirely from statistics
+// the CV vocabulary exchange already collects: per-librarian document
+// frequencies df_i, collection sizes cw_i (document counts), and the
+// number of collections holding each term cf_t. No extra wire messages
+// are needed — selection is a pure function of the prepared snapshot.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "dir/accounting.h"
+
+namespace teraphim::dir {
+
+/// How the fan-out set is chosen from the merit-ranked servers.
+enum class SelectionPolicy {
+    TopR,            ///< the R best servers (R = 0 selects every holder)
+    MeritThreshold,  ///< servers within a fraction of the best merit
+    Adaptive,        ///< smallest prefix covering a target merit mass
+};
+
+std::string_view selection_policy_name(SelectionPolicy policy);
+
+/// Knobs of the Central Selection fan-out. The default — TopR with
+/// top_r = 0 — selects every term-holding librarian, which degenerates
+/// CS to CV byte-for-byte (DESIGN.md §17).
+struct SelectionOptions {
+    SelectionPolicy policy = SelectionPolicy::TopR;
+
+    /// TopR: servers kept per query. 0 keeps every considered server.
+    std::uint32_t top_r = 0;
+
+    /// MeritThreshold: keep servers whose merit is at least this
+    /// fraction of the best considered merit.
+    double merit_fraction = 0.5;
+
+    /// Adaptive: keep the smallest merit-ordered prefix whose merit
+    /// mass reaches this fraction of the considered total.
+    double adaptive_mass = 0.9;
+
+    /// Floor on the selected count (clamped to the considered count),
+    /// so a sharp merit skew cannot collapse the fan-out below it.
+    std::uint32_t min_servers = 1;
+
+    /// When true, a *failed* (not shed) selected librarian is replaced
+    /// during the query by the best not-yet-contacted skipped server,
+    /// preserving the configured fan-out width under faults.
+    bool fallback_next_merit = false;
+
+    friend bool operator==(const SelectionOptions&, const SelectionOptions&) = default;
+};
+
+/// Per-query-term statistics the ranker consumes, straight out of the
+/// merged vocabulary: which servers hold the term and with what df.
+struct TermSelectionStats {
+    std::uint32_t fqt = 1;  ///< occurrences of the term in the query
+    std::uint32_t collection_frequency = 0;  ///< cf_t: servers holding the term
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> server_df;  ///< (server, df_i)
+};
+
+/// Scores every server's expected merit for a query with the CORI
+/// belief function:
+///
+///   T = df_i / (df_i + 50 + 150 * cw_i / avg_cw)
+///   I = log((S + 0.5) / cf_t) / log(S + 1.0)
+///   merit_i = sum over query terms of f_qt * (b + (1 - b) * T * I)
+///
+/// with b = 0.4 the default belief. cw_i is approximated by the
+/// server's document count (the statistic prepare() already holds).
+class ServerRanker {
+public:
+    explicit ServerRanker(std::span<const std::uint32_t> server_sizes);
+
+    std::size_t num_servers() const { return sizes_.size(); }
+
+    /// Merit per server (size num_servers()); servers holding none of
+    /// the terms score 0.
+    std::vector<double> merits(std::span<const TermSelectionStats> terms) const;
+
+private:
+    std::vector<std::uint32_t> sizes_;
+    double avg_size_ = 0.0;
+};
+
+/// What one application of the policy decided.
+struct SelectionOutcome {
+    std::vector<bool> selected;  ///< per server; subset of the considered set
+    SelectionInfo info;          ///< trace record (merit order, flags)
+    /// FNV-1a over the selected server set — appended to CS cache keys
+    /// so answers cached under one fan-out set never serve another.
+    std::uint64_t fingerprint = 0;
+    /// Considered-but-skipped servers in descending merit order: the
+    /// promotion order for fallback_next_merit.
+    std::vector<std::uint32_t> fallback_order;
+};
+
+/// Applies `options.policy` to the merit scores: servers marked in
+/// `considered` (they hold at least one query term) are ranked by
+/// (merit descending, index ascending — fully deterministic) and the
+/// policy keeps a prefix. The selected count is clamped to
+/// [min(min_servers, considered), considered].
+SelectionOutcome select_servers(const std::vector<double>& merits,
+                                const std::vector<bool>& considered,
+                                const SelectionOptions& options);
+
+}  // namespace teraphim::dir

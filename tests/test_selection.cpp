@@ -1,0 +1,588 @@
+// Tests for Central Selection (DESIGN.md §17): the CORI-style
+// ServerRanker and selection policies as pure functions, the CS
+// methodology end-to-end (in-process, TCP, tiered), its degeneracy to
+// CV at full fan-out, reduced fan-out at R < S, fault handling with and
+// without next-merit fallback, and cache-key coverage of every
+// ranking-relevant knob (the PR 10 fingerprint audit).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dir/deployment.h"
+#include "dir/fault.h"
+#include "dir/selection.h"
+#include "obs/metrics.h"
+
+namespace teraphim::dir {
+namespace {
+
+corpus::SyntheticCorpus selection_corpus() {
+    corpus::CorpusConfig config;
+    config.vocab_size = 3000;
+    config.subcollections = {
+        {"AP", 120, 70.0, 0.4},
+        {"WSJ", 120, 70.0, 0.4},
+        {"FR", 80, 90.0, 0.5},
+        {"ZIFF", 80, 60.0, 0.5},
+    };
+    config.num_long_topics = 3;
+    config.num_short_topics = 3;
+    config.topic_term_floor = 150;
+    config.seed = 12;
+    return generate_corpus(config);
+}
+
+const corpus::SyntheticCorpus& fixture() {
+    static const corpus::SyntheticCorpus corpus = selection_corpus();
+    return corpus;
+}
+
+const std::vector<std::string>& query_texts() {
+    static const std::vector<std::string> texts = [] {
+        std::vector<std::string> out;
+        for (const auto& q : fixture().short_queries.queries) out.push_back(q.text);
+        for (const auto& q : fixture().long_queries.queries) out.push_back(q.text);
+        return out;
+    }();
+    return texts;
+}
+
+ReceptionistOptions options_for(Mode mode) {
+    ReceptionistOptions o;
+    o.mode = mode;
+    o.answers = 10;
+    o.group_size = 10;
+    o.k_prime = 30;
+    o.fault.retry.base_backoff_ms = 1;
+    return o;
+}
+
+ReceptionistOptions cs_options(std::uint32_t top_r) {
+    ReceptionistOptions o = options_for(Mode::CentralSelection);
+    o.server_selection.top_r = top_r;
+    return o;
+}
+
+/// In-process federation whose channels can be wrapped in FaultyChannel.
+struct ScriptedFederation {
+    std::vector<std::unique_ptr<Librarian>> librarians;
+    std::unique_ptr<Receptionist> receptionist;
+};
+
+ScriptedFederation make_scripted(const ReceptionistOptions& options,
+                                 const std::map<std::size_t, FaultScript>& scripts) {
+    ScriptedFederation fed;
+    std::vector<std::unique_ptr<Channel>> channels;
+    for (std::size_t s = 0; s < fixture().subcollections.size(); ++s) {
+        fed.librarians.push_back(build_librarian(fixture().subcollections[s]));
+        std::unique_ptr<Channel> channel =
+            std::make_unique<InProcessChannel>(*fed.librarians.back());
+        const auto it = scripts.find(s);
+        if (it != scripts.end()) {
+            channel = std::make_unique<FaultyChannel>(std::move(channel), it->second);
+        }
+        channels.push_back(std::move(channel));
+    }
+    fed.receptionist = std::make_unique<Receptionist>(std::move(channels), options);
+    fed.receptionist->prepare();
+    return fed;
+}
+
+// ---- ServerRanker as a pure function --------------------------------------
+
+TEST(ServerRanker, FavoursServersRichInQueryTerms) {
+    const std::uint32_t sizes[] = {100, 100, 100, 100};
+    const ServerRanker ranker{std::span<const std::uint32_t>(sizes)};
+
+    // One query term held by servers 0 (df 80) and 1 (df 5).
+    TermSelectionStats term;
+    term.fqt = 1;
+    term.collection_frequency = 2;
+    term.server_df = {{0, 80}, {1, 5}};
+    const auto merits = ranker.merits(std::span<const TermSelectionStats>(&term, 1));
+
+    ASSERT_EQ(merits.size(), 4u);
+    EXPECT_GT(merits[0], merits[1]);
+    EXPECT_GT(merits[1], 0.0);
+    EXPECT_EQ(merits[2], 0.0);  // holds no query term
+    EXPECT_EQ(merits[3], 0.0);
+}
+
+TEST(ServerRanker, LargerServersNeedMoreOccurrencesForTheSameMerit) {
+    // Same df on a small and a large server: the T component
+    // normalises by collection size, so the small server wins.
+    const std::uint32_t sizes[] = {50, 500};
+    const ServerRanker ranker{std::span<const std::uint32_t>(sizes)};
+    TermSelectionStats term;
+    term.collection_frequency = 2;
+    term.server_df = {{0, 20}, {1, 20}};
+    const auto merits = ranker.merits(std::span<const TermSelectionStats>(&term, 1));
+    EXPECT_GT(merits[0], merits[1]);
+}
+
+TEST(ServerRanker, RepeatedQueryTermsWeighMore) {
+    const std::uint32_t sizes[] = {100, 100};
+    const ServerRanker ranker{std::span<const std::uint32_t>(sizes)};
+    TermSelectionStats once;
+    once.fqt = 1;
+    once.collection_frequency = 1;
+    once.server_df = {{0, 30}};
+    TermSelectionStats thrice = once;
+    thrice.fqt = 3;
+    const auto single = ranker.merits(std::span<const TermSelectionStats>(&once, 1));
+    const auto triple = ranker.merits(std::span<const TermSelectionStats>(&thrice, 1));
+    EXPECT_NEAR(triple[0], 3.0 * single[0], 1e-12);
+}
+
+// ---- select_servers policies ----------------------------------------------
+
+TEST(SelectServers, TopRZeroKeepsEveryConsideredServer) {
+    const std::vector<double> merits = {0.3, 0.0, 0.9, 0.5};
+    const std::vector<bool> considered = {true, false, true, true};
+    const SelectionOutcome out = select_servers(merits, considered, {});
+
+    EXPECT_EQ(out.selected, std::vector<bool>({true, false, true, true}));
+    EXPECT_TRUE(out.info.active);
+    EXPECT_EQ(out.info.selected(), 3u);
+    EXPECT_EQ(out.info.skipped(), 0u);
+    EXPECT_TRUE(out.fallback_order.empty());
+    EXPECT_DOUBLE_EQ(out.info.recall_proxy(), 1.0);
+    // Merit order is descending and deterministic.
+    ASSERT_EQ(out.info.merits.size(), 3u);
+    EXPECT_EQ(out.info.merits[0].librarian, 2u);
+    EXPECT_EQ(out.info.merits[1].librarian, 3u);
+    EXPECT_EQ(out.info.merits[2].librarian, 0u);
+}
+
+TEST(SelectServers, TopRKeepsTheBestAndRecordsFallbackOrder) {
+    const std::vector<double> merits = {0.3, 0.2, 0.9, 0.5};
+    const std::vector<bool> considered = {true, true, true, true};
+    SelectionOptions options;
+    options.top_r = 2;
+    const SelectionOutcome out = select_servers(merits, considered, options);
+
+    EXPECT_EQ(out.selected, std::vector<bool>({false, false, true, true}));
+    EXPECT_EQ(out.info.selected(), 2u);
+    EXPECT_EQ(out.info.skipped(), 2u);
+    EXPECT_EQ(out.fallback_order, std::vector<std::uint32_t>({0, 1}));
+    EXPECT_GT(out.info.recall_proxy(), 0.0);
+    EXPECT_LT(out.info.recall_proxy(), 1.0);
+}
+
+TEST(SelectServers, TiesBreakByServerIndex) {
+    const std::vector<double> merits = {0.5, 0.5, 0.5};
+    const std::vector<bool> considered = {true, true, true};
+    SelectionOptions options;
+    options.top_r = 1;
+    const SelectionOutcome out = select_servers(merits, considered, options);
+    EXPECT_EQ(out.selected, std::vector<bool>({true, false, false}));
+    EXPECT_EQ(out.fallback_order, std::vector<std::uint32_t>({1, 2}));
+}
+
+TEST(SelectServers, MeritThresholdKeepsServersNearTheBest) {
+    const std::vector<double> merits = {1.0, 0.85, 0.2, 0.6};
+    const std::vector<bool> considered = {true, true, true, true};
+    SelectionOptions options;
+    options.policy = SelectionPolicy::MeritThreshold;
+    options.merit_fraction = 0.8;
+    const SelectionOutcome out = select_servers(merits, considered, options);
+    EXPECT_EQ(out.selected, std::vector<bool>({true, true, false, false}));
+}
+
+TEST(SelectServers, AdaptiveKeepsTheSmallestPrefixCoveringTheMass) {
+    const std::vector<double> merits = {0.6, 0.3, 0.1};
+    const std::vector<bool> considered = {true, true, true};
+    SelectionOptions options;
+    options.policy = SelectionPolicy::Adaptive;
+    options.adaptive_mass = 0.85;  // 0.6 < 0.85, 0.6 + 0.3 = 0.9 >= 0.85
+    const SelectionOutcome out = select_servers(merits, considered, options);
+    EXPECT_EQ(out.selected, std::vector<bool>({true, true, false}));
+}
+
+TEST(SelectServers, MinServersFloorsTheFanout) {
+    const std::vector<double> merits = {1.0, 0.01, 0.01};
+    const std::vector<bool> considered = {true, true, true};
+    SelectionOptions options;
+    options.policy = SelectionPolicy::MeritThreshold;
+    options.merit_fraction = 0.99;  // alone, keeps only server 0
+    options.min_servers = 2;
+    const SelectionOutcome out = select_servers(merits, considered, options);
+    EXPECT_EQ(out.info.selected(), 2u);
+}
+
+TEST(SelectServers, FingerprintIdentifiesTheSelectedSet) {
+    const std::vector<double> merits = {0.3, 0.2, 0.9, 0.5};
+    const std::vector<bool> considered = {true, true, true, true};
+    SelectionOptions top2;
+    top2.top_r = 2;
+    SelectionOptions top3;
+    top3.top_r = 3;
+    const SelectionOutcome a = select_servers(merits, considered, top2);
+    const SelectionOutcome b = select_servers(merits, considered, top2);
+    const SelectionOutcome c = select_servers(merits, considered, top3);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_NE(a.fingerprint, c.fingerprint);
+}
+
+// ---- CS end-to-end: degeneracy to CV at R = S -----------------------------
+
+TEST(Selection, FullFanoutMatchesCentralVocabularyByteForByte) {
+    auto cv = Federation::create(fixture(), options_for(Mode::CentralVocabulary));
+    auto cs = Federation::create(fixture(), cs_options(0));
+
+    for (const std::string& text : query_texts()) {
+        const QueryAnswer expected = cv.receptionist().rank(text, 20);
+        const QueryAnswer answer = cs.receptionist().rank(text, 20);
+        EXPECT_EQ(answer.ranking, expected.ranking) << text;
+        // At R = S the scatter set is exactly CV's holder set, so the
+        // wire work is identical too.
+        EXPECT_EQ(answer.trace.total_messages(), expected.trace.total_messages());
+        EXPECT_EQ(answer.trace.total_message_bytes(), expected.trace.total_message_bytes());
+        EXPECT_TRUE(answer.trace.selection.active);
+        EXPECT_EQ(answer.trace.selection.selected(), answer.trace.selection.considered());
+        EXPECT_EQ(answer.trace.selection.skipped(), 0u);
+    }
+}
+
+TEST(Selection, ExplicitTopRAtServerCountAlsoDegeneratesToCV) {
+    const auto servers =
+        static_cast<std::uint32_t>(fixture().subcollections.size());
+    auto cv = Federation::create(fixture(), options_for(Mode::CentralVocabulary));
+    auto cs = Federation::create(fixture(), cs_options(servers));
+    for (const std::string& text : query_texts()) {
+        EXPECT_EQ(cs.receptionist().rank(text, 20).ranking,
+                  cv.receptionist().rank(text, 20).ranking)
+            << text;
+    }
+}
+
+// ---- CS end-to-end: reduced fan-out at R < S ------------------------------
+
+TEST(Selection, ReducedFanoutContactsOnlySelectedServers) {
+    auto cv = Federation::create(fixture(), options_for(Mode::CentralVocabulary));
+    auto cs = Federation::create(fixture(), cs_options(2));
+
+    for (const std::string& text : query_texts()) {
+        const QueryAnswer full = cv.receptionist().rank(text, 20);
+        const QueryAnswer answer = cs.receptionist().rank(text, 20);
+        ASSERT_FALSE(answer.ranking.empty()) << text;
+        EXPECT_TRUE(answer.degraded().ok()) << text;
+        EXPECT_LE(answer.trace.participating_librarians(), 2u) << text;
+        EXPECT_LT(answer.trace.total_messages(), full.trace.total_messages()) << text;
+
+        const SelectionInfo& sel = answer.trace.selection;
+        EXPECT_TRUE(sel.active);
+        EXPECT_EQ(sel.selected(), std::min<std::size_t>(2, sel.considered()));
+        // Trace merits are sorted descending with the selected prefix.
+        for (std::size_t i = 1; i < sel.merits.size(); ++i) {
+            EXPECT_GE(sel.merits[i - 1].merit, sel.merits[i].merit);
+            EXPECT_LE(sel.merits[i].selected, sel.merits[i - 1].selected);
+        }
+        // Every returned document came from a selected librarian.
+        std::set<std::uint32_t> chosen;
+        for (const ServerMerit& m : sel.merits) {
+            if (m.selected) chosen.insert(m.librarian);
+        }
+        for (const GlobalResult& r : answer.ranking) {
+            EXPECT_TRUE(chosen.count(r.librarian)) << text;
+        }
+    }
+}
+
+TEST(Selection, ThresholdAndAdaptivePoliciesAreDeterministic) {
+    for (SelectionPolicy policy :
+         {SelectionPolicy::MeritThreshold, SelectionPolicy::Adaptive}) {
+        ReceptionistOptions o = options_for(Mode::CentralSelection);
+        o.server_selection.policy = policy;
+        o.server_selection.merit_fraction = 0.9;
+        o.server_selection.adaptive_mass = 0.6;
+        auto a = Federation::create(fixture(), o);
+        auto b = Federation::create(fixture(), o);
+        for (const std::string& text : query_texts()) {
+            const QueryAnswer first = a.receptionist().rank(text, 20);
+            const QueryAnswer second = b.receptionist().rank(text, 20);
+            ASSERT_FALSE(first.ranking.empty());
+            EXPECT_EQ(first.ranking, second.ranking);
+            EXPECT_EQ(first.trace.selection, second.trace.selection);
+        }
+    }
+}
+
+// ---- CS metrics -----------------------------------------------------------
+
+TEST(Selection, ExportsSelectionMetrics) {
+    obs::MetricsRegistry registry;
+    obs::set_global(&registry);
+    {
+        auto cs = Federation::create(fixture(), cs_options(2));
+        for (const std::string& text : query_texts()) {
+            cs.receptionist().rank(text, 20);
+        }
+    }
+    obs::set_global(nullptr);
+
+    std::uint64_t selected_count = 0;
+    double skipped = -1.0, recall = -1.0;
+    for (const obs::MetricSample& s : registry.collect()) {
+        if (s.name == "teraphim_selection_selected_count") selected_count += s.count;
+        if (s.name == "teraphim_selection_skipped_servers_total") skipped = s.value;
+        if (s.name == "teraphim_selection_recall_proxy_permille") recall = s.value;
+    }
+    EXPECT_EQ(selected_count, query_texts().size());
+    EXPECT_GT(skipped, 0.0);  // R=2 of 4 skips servers on most queries
+    EXPECT_GE(recall, 0.0);
+    EXPECT_LE(recall, 1000.0);
+}
+
+// ---- CS over TCP ----------------------------------------------------------
+
+TEST(SelectionTcp, FullFanoutMatchesCVOverTcp) {
+    auto cv = TcpFederation::create(fixture(), options_for(Mode::CentralVocabulary));
+    auto cs = TcpFederation::create(fixture(), cs_options(0));
+    for (const std::string& text : query_texts()) {
+        EXPECT_EQ(cs.receptionist().rank(text, 20).ranking,
+                  cv.receptionist().rank(text, 20).ranking)
+            << text;
+    }
+    cs.shutdown();
+    cv.shutdown();
+}
+
+TEST(SelectionTcp, ReducedFanoutWorksOverTcp) {
+    auto cs = TcpFederation::create(fixture(), cs_options(2));
+    for (const std::string& text : query_texts()) {
+        const QueryAnswer answer = cs.receptionist().rank(text, 20);
+        EXPECT_FALSE(answer.ranking.empty()) << text;
+        EXPECT_TRUE(answer.degraded().ok()) << text;
+        EXPECT_LE(answer.trace.participating_librarians(), 2u) << text;
+    }
+    cs.shutdown();
+}
+
+// ---- CS under faults ------------------------------------------------------
+
+/// The best-merit librarian for the fixture's first short query, found
+/// on a healthy federation so the fault can be aimed at a server that
+/// is guaranteed to be selected.
+std::uint32_t best_librarian_for_first_query() {
+    auto cs = Federation::create(fixture(), cs_options(2));
+    const QueryAnswer answer =
+        cs.receptionist().rank(fixture().short_queries.queries[0].text, 20);
+    return answer.trace.selection.merits.at(0).librarian;
+}
+
+TEST(SelectionFaults, SelectedLibrarianDiesMidQueryDegradesGracefully) {
+    const std::uint32_t victim = best_librarian_for_first_query();
+    ReceptionistOptions o = cs_options(2);
+    std::map<std::size_t, FaultScript> scripts;
+    scripts[victim].from(2);  // dies after prepare()'s stats + vocabulary
+    ScriptedFederation fed = make_scripted(o, scripts);
+
+    const std::string& text = fixture().short_queries.queries[0].text;
+    const QueryAnswer answer = fed.receptionist->rank(text, 20);
+    // Partial answer, failure recorded, no throw, no fallback (off).
+    EXPECT_TRUE(answer.degraded().failed(victim)) << answer.degraded().summary();
+    EXPECT_TRUE(answer.degraded().partial);
+    EXPECT_EQ(answer.trace.selection.fallbacks, 0u);
+    for (const GlobalResult& r : answer.ranking) {
+        EXPECT_NE(r.librarian, victim);
+    }
+
+    // No breaker storm: queries that never select the dead server — or
+    // tolerate its absence — keep completing without tripping healthy
+    // servers' breakers.
+    for (const std::string& other : query_texts()) {
+        const QueryAnswer again = fed.receptionist->rank(other, 20);
+        for (std::size_t s = 0; s < fed.librarians.size(); ++s) {
+            if (s == victim) continue;
+            EXPECT_FALSE(again.degraded().failed(static_cast<std::uint32_t>(s)))
+                << other << " librarian " << s;
+        }
+    }
+}
+
+TEST(SelectionFaults, FallbackPromotesTheNextMeritServer) {
+    const std::uint32_t victim = best_librarian_for_first_query();
+    ReceptionistOptions o = cs_options(2);
+    o.server_selection.fallback_next_merit = true;
+    o.fault.retry.max_attempts = 1;  // fail fast into the fallback path
+    std::map<std::size_t, FaultScript> scripts;
+    scripts[victim].from(2);
+    ScriptedFederation fed = make_scripted(o, scripts);
+
+    const std::string& text = fixture().short_queries.queries[0].text;
+    const QueryAnswer answer = fed.receptionist->rank(text, 20);
+    EXPECT_TRUE(answer.degraded().failed(victim)) << answer.degraded().summary();
+    EXPECT_GE(answer.trace.selection.fallbacks, 1u);
+    ASSERT_FALSE(answer.ranking.empty());
+    // A previously skipped server was promoted and contributed work.
+    EXPECT_GE(answer.trace.participating_librarians(), 2u);
+    for (const GlobalResult& r : answer.ranking) {
+        EXPECT_NE(r.librarian, victim);
+    }
+}
+
+// ---- CS in tiered federations ---------------------------------------------
+
+TEST(SelectionTiered, FullFanoutRootMatchesFlatCV) {
+    auto flat = Federation::create(fixture(), options_for(Mode::CentralVocabulary));
+    for (std::size_t tree_depth : {std::size_t{1}, std::size_t{2}}) {
+        TopologySpec topology;
+        topology.replication = 2;
+        topology.depth = tree_depth;
+        topology.branching = tree_depth == 2 ? 2 : 0;
+        auto tiered = TieredFederation::create(fixture(), cs_options(0), topology);
+        for (const std::string& text : query_texts()) {
+            const QueryAnswer expected = flat.receptionist().rank(text, 20);
+            const QueryAnswer answer = tiered.root().rank(text, 20);
+            EXPECT_TRUE(answer.degraded().ok()) << text;
+            EXPECT_EQ(tiered.to_leaf(answer.ranking), expected.ranking)
+                << "depth=" << tree_depth << " " << text;
+        }
+    }
+}
+
+TEST(SelectionTiered, RootSelectsAmongChildAggregators) {
+    // Depth 2 with branching 2: the CS root sees 2 aggregators and, at
+    // top_r = 1, must scatter to at most one of them per query.
+    TopologySpec topology;
+    topology.replication = 1;
+    topology.depth = 2;
+    topology.branching = 2;
+    auto tiered = TieredFederation::create(fixture(), cs_options(1), topology);
+    for (const std::string& text : query_texts()) {
+        const QueryAnswer answer = tiered.root().rank(text, 20);
+        EXPECT_FALSE(answer.ranking.empty()) << text;
+        EXPECT_TRUE(answer.degraded().ok()) << text;
+        EXPECT_TRUE(answer.trace.selection.active);
+        EXPECT_LE(answer.trace.participating_librarians(), 1u) << text;
+        EXPECT_LE(answer.trace.selection.considered(), 2u) << text;
+    }
+}
+
+// ---- CS and the query cache -----------------------------------------------
+
+TEST(SelectionCache, RepeatQueryIsServedFromCacheByteIdentically) {
+    ReceptionistOptions o = cs_options(2);
+    o.cache.enabled = true;
+    auto cs = Federation::create(fixture(), o);
+    for (const std::string& text : query_texts()) {
+        const QueryAnswer first = cs.receptionist().rank(text, 20);
+        const QueryAnswer second = cs.receptionist().rank(text, 20);
+        EXPECT_FALSE(first.trace.served_from_cache);
+        EXPECT_TRUE(second.trace.served_from_cache) << text;
+        EXPECT_EQ(second.ranking, first.ranking) << text;
+        // The cached answer still carries the selection record.
+        EXPECT_EQ(second.trace.selection, first.trace.selection) << text;
+    }
+}
+
+TEST(SelectionCache, CachedAnswersMatchUncachedFederation) {
+    ReceptionistOptions cached = cs_options(2);
+    cached.cache.enabled = true;
+    auto with_cache = Federation::create(fixture(), cached);
+    auto without = Federation::create(fixture(), cs_options(2));
+    for (int round = 0; round < 2; ++round) {
+        for (const std::string& text : query_texts()) {
+            EXPECT_EQ(with_cache.receptionist().rank(text, 20).ranking,
+                      without.receptionist().rank(text, 20).ranking)
+                << text;
+        }
+    }
+}
+
+// ---- cache-key audit (PR 10 fingerprint sweep) ----------------------------
+
+/// A single-librarian receptionist, just to materialise the cache key
+/// prefix for a given option set.
+std::string prefix_for(const ReceptionistOptions& options) {
+    auto librarian = build_librarian(fixture().subcollections[0]);
+    std::vector<std::unique_ptr<Channel>> channels;
+    channels.push_back(std::make_unique<InProcessChannel>(*librarian));
+    const Receptionist receptionist(std::move(channels), options);
+    return receptionist.cache_key_prefix();
+}
+
+TEST(SelectionCache, CacheKeyPrefixCoversEveryRankingKnob) {
+    ReceptionistOptions base = options_for(Mode::CentralVocabulary);
+    base.cache.enabled = true;
+
+    // Identical options produce identical prefixes (cache sharing works).
+    EXPECT_EQ(prefix_for(base), prefix_for(base));
+
+    // Every knob that changes what a query returns must change the key.
+    std::vector<ReceptionistOptions> variants;
+    {
+        ReceptionistOptions o = base;
+        o.mode = Mode::CentralNothing;
+        variants.push_back(o);
+    }
+    {
+        ReceptionistOptions o = base;
+        o.group_size = o.group_size + 5;
+        variants.push_back(o);
+    }
+    {
+        ReceptionistOptions o = base;
+        o.k_prime = o.k_prime + 10;
+        variants.push_back(o);
+    }
+    {
+        ReceptionistOptions o = base;
+        o.use_skips = !o.use_skips;
+        variants.push_back(o);
+    }
+    {
+        ReceptionistOptions o = base;
+        o.pruned_rank = !o.pruned_rank;
+        variants.push_back(o);
+    }
+    const std::string base_prefix = prefix_for(base);
+    for (const ReceptionistOptions& o : variants) {
+        EXPECT_NE(prefix_for(o), base_prefix);
+    }
+
+    // CS policy knobs each get their own namespace too.
+    ReceptionistOptions cs = base;
+    cs.mode = Mode::CentralSelection;
+    std::vector<ReceptionistOptions> cs_variants;
+    {
+        ReceptionistOptions o = cs;
+        o.server_selection.policy = SelectionPolicy::MeritThreshold;
+        cs_variants.push_back(o);
+    }
+    {
+        ReceptionistOptions o = cs;
+        o.server_selection.top_r = 2;
+        cs_variants.push_back(o);
+    }
+    {
+        ReceptionistOptions o = cs;
+        o.server_selection.merit_fraction = 0.75;
+        cs_variants.push_back(o);
+    }
+    {
+        ReceptionistOptions o = cs;
+        o.server_selection.adaptive_mass = 0.5;
+        cs_variants.push_back(o);
+    }
+    {
+        ReceptionistOptions o = cs;
+        o.server_selection.min_servers = 3;
+        cs_variants.push_back(o);
+    }
+    const std::string cs_prefix = prefix_for(cs);
+    std::set<std::string> distinct{cs_prefix};
+    for (const ReceptionistOptions& o : cs_variants) {
+        distinct.insert(prefix_for(o));
+    }
+    EXPECT_EQ(distinct.size(), cs_variants.size() + 1);
+}
+
+}  // namespace
+}  // namespace teraphim::dir
